@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure.  Formatted outputs are
+written to ``benchmarks/results/`` so a plain ``pytest benchmarks/
+--benchmark-only`` leaves the reproduced artefacts on disk.
+
+Accuracy benchmarks honour ``REPRO_PROFILE`` (smoke/fast/full; default
+fast) and reuse ``.repro_cache`` across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,59 @@
+"""Extension bench: APSQ on the dynamic attention matmuls.
+
+The A·V contraction depth equals the sequence length, so for LLM-class
+sequences the attention context matmul accumulates through hundreds of
+PSUM tiles — exactly the regime APSQ targets.  This bench measures the
+output error of PSUM-quantized attention vs float attention across
+sequence lengths and group sizes (no training; fixed projections).
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro import nn
+from repro.quant import PsumQuantizedAttention, apsq_config, required_psum_bits
+from repro.tensor import Tensor, manual_seed
+
+
+def attention_error(seq_len: int, gs: int, trials: int = 3) -> float:
+    errors = []
+    for trial in range(trials):
+        manual_seed(trial)
+        mha = nn.MultiHeadAttention(16, 4)
+        qattn = PsumQuantizedAttention(mha, apsq_config(gs=gs, pci=8))
+        rng = np.random.default_rng(trial)
+        x = Tensor(rng.normal(size=(1, seq_len, 16)) * 0.5)
+        ref = mha(x).data
+        out = qattn(x).data
+        errors.append(np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-12))
+    return float(np.mean(errors))
+
+
+def run_ablation() -> dict:
+    results = {}
+    for seq_len in (16, 32, 64):
+        results[seq_len] = {
+            "overflow_bits": required_psum_bits(seq_len),
+            **{f"gs={gs}": attention_error(seq_len, gs) for gs in (1, 4)},
+        }
+    return results
+
+
+def test_ablation_attention_apsq(benchmark, results_dir):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = ["Extension — APSQ on attention A·V (relative output error)"]
+    lines.append(f"{'seq':>5} {'psum bits':>10} {'gs=1':>9} {'gs=4':>9}")
+    for seq_len, row in results.items():
+        lines.append(
+            f"{seq_len:>5} {row['overflow_bits']:>10} {row['gs=1']:>9.4f} {row['gs=4']:>9.4f}"
+        )
+    save_result(results_dir, "ablation_attention_apsq", "\n".join(lines))
+
+    for row in results.values():
+        # Quantized attention stays within tens of percent of float...
+        assert row["gs=1"] < 0.8
+        # ...and grouping does not make things worse on average.
+        assert row["gs=4"] <= row["gs=1"] * 1.3
+    # The exact-accumulator width the paper derives grows with depth.
+    assert results[64]["overflow_bits"] > results[16]["overflow_bits"]

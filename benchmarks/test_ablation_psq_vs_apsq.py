@@ -1,0 +1,65 @@
+"""Ablation bench: accumulation error of BASELINE vs PSQ vs APSQ.
+
+DESIGN.md calls out the choice of *additive* quantization over the prior
+ReRAM-style PSQ [19, 20].  This ablation measures the numeric error each
+scheme adds over exact accumulation, across reduction depths — APSQ with
+grouping must beat pure APSQ (gs=1), and PSQ's independent-rounding error
+must grow with the tile count.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.quant import PsumMode, PsumQuantConfig, TiledPsumAccumulator, apsq_config
+from repro.tensor import Tensor, manual_seed
+
+
+def accumulation_errors(np_tiles: int, trials: int = 12) -> dict:
+    """Mean relative error vs exact sum for each PSUM handling scheme."""
+    errors = {"psq": [], "apsq_gs1": [], "apsq_gs4": [], "psq_abs": []}
+    for trial in range(trials):
+        rng = np.random.default_rng(trial * 31 + np_tiles)
+        tiles = [Tensor(rng.normal(size=(8, 8))) for _ in range(np_tiles)]
+        exact = sum(t.data for t in tiles)
+        scale = np.abs(exact).mean() + 1e-12
+
+        configs = {
+            "psq": PsumQuantConfig(mode=PsumMode.PSQ),
+            "apsq_gs1": apsq_config(gs=1),
+            "apsq_gs4": apsq_config(gs=4),
+        }
+        for key, cfg in configs.items():
+            acc = TiledPsumAccumulator(np_tiles, cfg)
+            out = acc(tiles)
+            abs_err = np.abs(out.data - exact).mean()
+            errors[key].append(abs_err / scale)
+            if key == "psq":
+                errors["psq_abs"].append(abs_err)
+    return {k: float(np.mean(v)) for k, v in errors.items()}
+
+
+def run_ablation() -> dict:
+    manual_seed(0)
+    return {np_tiles: accumulation_errors(np_tiles) for np_tiles in (2, 4, 8, 16)}
+
+
+def test_ablation_psq_vs_apsq(benchmark, results_dir):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = ["Ablation — accumulation error vs exact sum (mean relative)"]
+    lines.append(f"{'np':>4} {'PSQ':>10} {'APSQ gs=1':>10} {'APSQ gs=4':>10}")
+    for np_tiles, errs in results.items():
+        lines.append(
+            f"{np_tiles:>4} {errs['psq']:>10.4f} {errs['apsq_gs1']:>10.4f} "
+            f"{errs['apsq_gs4']:>10.4f}"
+        )
+    save_result(results_dir, "ablation_psq_vs_apsq", "\n".join(lines))
+
+    for np_tiles, errs in results.items():
+        if np_tiles >= 8:
+            # Grouping strictly reduces repeated-rounding error at depth.
+            assert errs["apsq_gs4"] <= errs["apsq_gs1"] * 1.05
+    # PSQ *absolute* error grows with reduction depth (independent
+    # roundings add in quadrature; relative error stays flat because the
+    # exact sum grows at the same sqrt(np) rate).
+    assert results[16]["psq_abs"] > results[2]["psq_abs"]

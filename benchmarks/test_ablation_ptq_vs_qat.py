@@ -1,0 +1,74 @@
+"""Extension bench: what does QAT + distillation buy over PTQ?
+
+The paper trains APSQ models with QAT guided by a float teacher
+(Sec. IV-A).  This ablation quantizes the same float QNLI teacher two
+ways — min-max PTQ calibration only, vs QAT fine-tuning — at gs=1 (the
+most quantization-stressed setting) and gs=2.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro import nn
+from repro.data import make_glue_task
+from repro.experiments import get_profile
+from repro.models import BertConfig, BertTiny
+from repro.quant import (
+    QATConfig,
+    QATTrainer,
+    apsq_config,
+    evaluate,
+    ptq_quantize,
+    quantize_model,
+)
+from repro.tensor import manual_seed
+
+
+def run_comparison() -> dict:
+    profile = get_profile()
+    task = make_glue_task("QNLI", n_train=profile.bert_train, n_eval=profile.bert_eval)
+    manual_seed(0)
+    teacher = BertTiny(BertConfig(num_classes=2))
+    QATTrainer(
+        teacher,
+        nn.cross_entropy,
+        config=QATConfig(epochs=profile.bert_pretrain_epochs, lr=profile.pretrain_lr),
+    ).fit(task.train_x, task.train_y)
+
+    results = {"float teacher": evaluate(teacher, task.eval_x, task.eval_y, task.metric_fn)}
+    for gs in (1, 2):
+        for method in ("ptq", "qat"):
+            manual_seed(1)
+            student = quantize_model(
+                BertTiny(BertConfig(num_classes=2)), apsq_config(gs=gs, pci=8)
+            )
+            student.load_state_dict(teacher.state_dict(), strict=False)
+            if method == "ptq":
+                ptq_quantize(student, [task.train_x[:64]])
+            else:
+                QATTrainer(
+                    student,
+                    nn.cross_entropy,
+                    teacher=teacher,
+                    config=QATConfig(epochs=profile.bert_qat_epochs, lr=profile.qat_lr),
+                ).fit(task.train_x, task.train_y)
+            results[f"{method} gs={gs}"] = evaluate(
+                student, task.eval_x, task.eval_y, task.metric_fn
+            )
+    return results
+
+
+def test_ablation_ptq_vs_qat(benchmark, results_dir):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    lines = ["Extension — PTQ (min-max calibration) vs QAT (LSQ + distillation), QNLI"]
+    for key, value in results.items():
+        lines.append(f"{key:<16} {100 * value:.2f}%")
+    save_result(results_dir, "ablation_ptq_vs_qat", "\n".join(lines))
+
+    # Both paths beat chance; QAT is at least as good as PTQ on average.
+    for key, value in results.items():
+        assert value > 0.5, key
+    qat_mean = np.mean([results["qat gs=1"], results["qat gs=2"]])
+    ptq_mean = np.mean([results["ptq gs=1"], results["ptq gs=2"]])
+    assert qat_mean >= ptq_mean - 0.03

@@ -1,0 +1,74 @@
+"""Extension bench: per-layer dataflow selection (Tu et al. [16] style).
+
+The paper fixes one dataflow per experiment; its introduction argues the
+best dataflow depends on layer configuration.  This bench quantifies that:
+a reconfigurable accelerator picking the cheapest of IS/WS/OS per layer
+vs each fixed dataflow, with INT32 PSUMs and with INT8 APSQ — showing
+APSQ also shifts *which* dataflow wins.
+"""
+
+from conftest import save_result
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    bert_base_workload,
+    dataflow_histogram,
+    efficientvit_b1_workload,
+    model_energy,
+    reconfigurable_model_energy,
+    segformer_b0_workload,
+)
+
+MODELS = {
+    "BERT-Base": bert_base_workload,
+    "Segformer-B0": segformer_b0_workload,
+    "EfficientViT-B1": efficientvit_b1_workload,
+}
+
+
+def run_comparison() -> dict:
+    config = AcceleratorConfig()
+    results = {}
+    for name, workload_fn in MODELS.items():
+        workload = workload_fn()
+        for fmt_name, fmt in (
+            ("INT32", baseline_psum_format(32)),
+            ("APSQ gs=2", apsq_psum_format(2)),
+        ):
+            fixed = {
+                df.name: model_energy(workload, config, fmt, df).total for df in Dataflow
+            }
+            reconf, choices = reconfigurable_model_energy(workload, config, fmt)
+            results[f"{name}/{fmt_name}"] = {
+                **fixed,
+                "reconfigurable": reconf.total,
+                "histogram": dataflow_histogram(choices),
+            }
+    return results
+
+
+def test_ablation_reconfigurable_dataflow(benchmark, results_dir):
+    results = benchmark(run_comparison)
+
+    lines = ["Extension — reconfigurable vs fixed dataflow (total energy, pJ)"]
+    lines.append(
+        f"{'model/psum':<26} {'IS':>12} {'WS':>12} {'OS':>12} {'reconf':>12}  best-per-layer"
+    )
+    for key, row in results.items():
+        lines.append(
+            f"{key:<26} {row['IS']:>12.3e} {row['WS']:>12.3e} {row['OS']:>12.3e} "
+            f"{row['reconfigurable']:>12.3e}  {row['histogram']}"
+        )
+    save_result(results_dir, "ablation_reconfigurable_dataflow", "\n".join(lines))
+
+    for key, row in results.items():
+        best_fixed = min(row["IS"], row["WS"], row["OS"])
+        assert row["reconfigurable"] <= best_fixed + 1e-6, key
+    # For at least one model the mix beats every fixed dataflow strictly.
+    assert any(
+        row["reconfigurable"] < min(row["IS"], row["WS"], row["OS"]) * 0.999
+        for row in results.values()
+    )

@@ -1,0 +1,58 @@
+"""Ablation bench: power-of-two vs free learnable quantizer scales.
+
+The paper constrains PSUM scales to powers of two so the RAE can rescale
+with shifters.  This ablation quantifies the cost: after identical LSQ
+training, the po2-constrained quantizer's reconstruction MSE should be
+close to (within ~2x of) the free-scale quantizer's.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.optim import SGD
+from repro.quant import INT8, LSQQuantizer
+from repro.tensor import Tensor, manual_seed
+
+
+def train_quantizer(po2: bool, steps: int = 80, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(1024,)) * 2.7  # deliberately off-po2 spread
+    q = LSQQuantizer(INT8, po2_scale=po2)
+    q(Tensor(data))  # init
+    opt = SGD([q.scale], lr=0.02)
+    for _ in range(steps):
+        opt.zero_grad()
+        x = Tensor(data, requires_grad=True)
+        loss = ((q(x) - Tensor(data)) ** 2).mean()
+        loss.backward()
+        opt.step()
+    return float(((q(Tensor(data)).data - data) ** 2).mean())
+
+
+def run_ablation() -> dict:
+    manual_seed(0)
+    results = {}
+    for seed in range(5):
+        results[seed] = {
+            "free": train_quantizer(po2=False, seed=seed),
+            "po2": train_quantizer(po2=True, seed=seed),
+        }
+    return results
+
+
+def test_ablation_scale_format(benchmark, results_dir):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    free = np.mean([r["free"] for r in results.values()])
+    po2 = np.mean([r["po2"] for r in results.values()])
+    text = (
+        "Ablation — quantizer scale format (reconstruction MSE after LSQ)\n"
+        f"free scale: {free:.6f}\n"
+        f"po2  scale: {po2:.6f}\n"
+        f"po2 / free: {po2 / free:.3f}x"
+    )
+    save_result(results_dir, "ablation_scale_format", text)
+
+    # Shift-friendly scales cost little accuracy: bounded overhead.
+    assert po2 < 2.5 * free
+    assert po2 >= free * 0.8  # sanity: free scale can't be much worse

@@ -1,0 +1,24 @@
+"""Fig. 1 bench: energy breakdown of IS/WS/OS vs PSUM bitwidth (BERT-Base).
+
+Paper shape: PSUM share rises with bitwidth, is larger for WS than IS
+(up to 69% at INT32), and OS is insensitive to PSUM precision.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig1
+
+
+def test_fig1_energy_breakdown(benchmark, results_dir):
+    results = benchmark(fig1.run)
+    save_result(results_dir, "fig1_energy_breakdown", fig1.format_table(results))
+
+    # WS PSUM share dominates at INT32 and decays with precision.
+    assert results["WS/32"]["psum_share"] > 0.5
+    assert results["WS/32"]["psum_share"] > results["WS/16"]["psum_share"]
+    assert results["WS/16"]["psum_share"] > results["WS/8"]["psum_share"]
+    assert results["IS/32"]["psum_share"] > results["IS/8"]["psum_share"]
+    # WS is more PSUM-bound than IS; OS has no PSUM traffic at all.
+    assert results["WS/32"]["psum_share"] > results["IS/32"]["psum_share"]
+    for bits in (8, 16, 32):
+        assert results[f"OS/{bits}"]["psum_share"] == 0.0

@@ -1,0 +1,33 @@
+"""Fig. 6 bench: normalized energy across gs settings and models (IS/WS).
+
+Paper shape: IS savings are gs-independent; BERT WS saves a uniform ~50%;
+the high-resolution CV models save ~85% at small gs but lose part of it
+at gs >= 3 when the grouped PSUM working set spills into DRAM.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig6
+
+
+def test_fig6_energy_vs_gs(benchmark, results_dir):
+    results = benchmark(fig6.run)
+    save_result(results_dir, "fig6_energy_vs_gs", fig6.format_table(results))
+
+    # IS: savings exist and do not depend on gs.
+    for model in ("BERT-Base", "Segformer-B0", "EfficientViT-B1"):
+        row = results[f"IS/{model}"]
+        gs_vals = [row[f"gs={g}"] for g in (1, 2, 3, 4)]
+        assert max(gs_vals) - min(gs_vals) < 1e-9
+        assert gs_vals[0] < 0.9
+
+    # BERT WS: uniform ~50% reduction (short token length).
+    bert_ws = results["WS/BERT-Base"]
+    assert abs(bert_ws["gs=1"] - bert_ws["gs=4"]) < 1e-9
+    assert 0.4 < bert_ws["gs=1"] < 0.6
+
+    # CV models under WS: crossover between gs=2 and gs=3.
+    for model in ("Segformer-B0", "EfficientViT-B1"):
+        row = results[f"WS/{model}"]
+        assert row["gs=1"] == row["gs=2"] < row["gs=3"] == row["gs=4"] < 1.0
+        assert row["gs=1"] < 0.25  # deep savings while PSUMs fit on-chip

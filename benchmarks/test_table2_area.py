@@ -1,0 +1,21 @@
+"""Table II bench: synthesized-area accounting for the RAE.
+
+Paper shape: the RAE costs a few percent of the accelerator (3.21% in the
+paper) because it replaces the conventional PSUM accumulation path.
+"""
+
+from conftest import save_result
+
+from repro.experiments import table2
+
+
+def test_table2_area(benchmark, results_dir):
+    results = benchmark(table2.run)
+    save_result(results_dir, "table2_area", table2.format_table(results))
+
+    assert results["RAE"] < 0.1 * results["Baseline DNN Accelerator"]
+    assert 1.0 < results["overhead_percent"] < 8.0
+    assert (
+        results["DNN Accelerator w/ RAE"]
+        < results["Baseline DNN Accelerator"] + results["RAE"]
+    )

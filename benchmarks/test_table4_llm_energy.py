@@ -1,0 +1,26 @@
+"""Table IV bench: LLaMA2-7B normalized energy under IS and WS.
+
+Paper shape: IS sees essentially no PSUM benefit (the decode feature map
+is a vector); WS INT32 baseline costs an order of magnitude more than
+INT8 APSQ (31.7x in the paper), with gs=3/4 giving back part of the win
+once the grouped prefill PSUMs spill (8.42x in the paper).
+"""
+
+from conftest import save_result
+
+from repro.experiments import table4
+
+
+def test_table4_llm_energy(benchmark, results_dir):
+    results = benchmark(table4.run)
+    save_result(results_dir, "table4_llm_energy", table4.format_table(results))
+
+    is_row, ws_row = results["IS"], results["WS"]
+    assert 1.0 <= is_row["Baseline"] < 1.2  # paper: 1.02x
+    assert all(abs(is_row[f"gs={g}"] - 1.0) < 0.05 for g in (1, 2, 3, 4))
+
+    assert ws_row["Baseline"] > 10  # paper: 31.7x
+    assert ws_row["gs=1"] == 1.0
+    assert abs(ws_row["gs=2"] - 1.0) < 0.05
+    assert 3 < ws_row["gs=3"] < ws_row["Baseline"]  # paper: 8.42x
+    assert abs(ws_row["gs=3"] - ws_row["gs=4"]) < 0.05

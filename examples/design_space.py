@@ -1,0 +1,74 @@
+"""Co-design scenario: explore the accelerator design space around APSQ.
+
+Answers the questions a deployment engineer would ask before adopting
+APSQ, using the analytical model (runs in seconds, no training):
+
+1. How much output buffer do I need before large group sizes stop
+   spilling?  (`sweep_ofmap_buffer`)
+2. How does MAC-array input parallelism trade against PSUM traffic?
+   (`sweep_pci`)
+3. Which PSUM precision is worth it? (`sweep_psum_bits`)
+4. Which dataflow should each layer use, with and without APSQ?
+   (`best_dataflow` / `reconfigurable_model_energy`)
+5. How wide would exact accumulators have to be? (`required_psum_bits`)
+"""
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    bert_base_workload,
+    dataflow_histogram,
+    format_sweep,
+    llama2_7b_workload,
+    reconfigurable_model_energy,
+    segformer_b0_workload,
+    sweep_ofmap_buffer,
+    sweep_pci,
+    sweep_psum_bits,
+)
+from repro.quant import required_psum_bits, storage_psum_bits
+
+
+def main():
+    config = AcceleratorConfig()
+    segformer = segformer_b0_workload(512)
+    bert = bert_base_workload(128)
+
+    print("1. Segformer WS energy vs ofmap buffer (APSQ gs=4):")
+    sweep = sweep_ofmap_buffer(segformer, [64, 128, 256, 512, 1024], apsq_psum_format(4), Dataflow.WS)
+    print(format_sweep(sweep, "KiB", "{:.3e}"))
+
+    print("\n2. BERT WS energy vs Pci (INT32 PSUMs):")
+    sweep = sweep_pci(bert, [4, 8, 16, 32], baseline_psum_format(32), Dataflow.WS)
+    print(format_sweep(sweep, "Pci", "{:.3e}"))
+
+    print("\n3. BERT WS normalized energy vs stored-PSUM bits (gs=1):")
+    sweep = sweep_psum_bits(bert, [4, 6, 8, 16, 32], Dataflow.WS)
+    print(format_sweep(sweep, "bits", "{:.3f}"))
+
+    print("\n4. Per-layer dataflow choice, INT32 vs APSQ gs=2:")
+    for label, fmt in (("INT32", baseline_psum_format(32)), ("APSQ gs=2", apsq_psum_format(2))):
+        total, choices = reconfigurable_model_energy(segformer, config, fmt)
+        print(f"   {label:<10} total={total.total:.3e} pJ, mix={dataflow_histogram(choices)}")
+
+    print("\n5. Exact accumulator widths (Section II-A):")
+    for name, ci in (("BERT-Base FFN", 3072), ("BERT-Large MLP", 4096), ("LLaMA2-7B down_proj", 11008)):
+        print(
+            f"   {name:<22} Ci={ci:>6}: exact {required_psum_bits(ci)} bits "
+            f"-> stored {storage_psum_bits(ci)} bits (APSQ: 8)"
+        )
+
+    print("\n6. LLaMA2-7B decode vs prefill WS energy (INT32 PSUMs):")
+    lcfg = AcceleratorConfig(po=1, pci=32, pco=32)
+    from repro.accelerator import model_energy
+
+    for phase in ("decode", "prefill"):
+        wl = llama2_7b_workload(4096, phase)
+        e = model_energy(wl, lcfg, baseline_psum_format(32), Dataflow.WS)
+        print(f"   {phase:<8} total={e.total:.3e} pJ  psum share={e.psum_share:.0%}")
+
+
+if __name__ == "__main__":
+    main()

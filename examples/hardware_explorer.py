@@ -1,0 +1,132 @@
+"""Hardware scenario: explore the analytical accelerator and drive the RAE.
+
+Three parts:
+
+1. Energy landscape — per-dataflow breakdown for BERT-Base (Fig. 1 data)
+   and the buffer-size sensitivity of the Fig. 6b crossover.
+2. Area accounting — the Table II report.
+3. RAE in action — feed integer PSUM tiles through the bit-accurate
+   Reconfigurable APSQ Engine at every supported group size and verify it
+   against the Algorithm-1 reference transcription.
+
+Runs in seconds; purely analytical + integer simulation (no training).
+"""
+
+import numpy as np
+
+from repro.accelerator import (
+    KIB,
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    area_report,
+    baseline_psum_format,
+    bert_base_workload,
+    format_report,
+    layer_report,
+    model_energy,
+    segformer_b0_workload,
+)
+from repro.rae import IntegerGemmRunner, RAEngine, reference_apsq_reduce
+
+
+def energy_landscape():
+    print("=== 1. Energy landscape (BERT-Base, 128 tokens) ===")
+    config = AcceleratorConfig()
+    workload = bert_base_workload(128)
+    for dataflow in (Dataflow.IS, Dataflow.WS, Dataflow.OS):
+        breakdown = model_energy(workload, config, baseline_psum_format(32), dataflow)
+        parts = ", ".join(f"{k}={v / breakdown.total:.0%}" for k, v in breakdown.as_dict().items())
+        print(f"{dataflow.name}: total={breakdown.total:.3e} pJ  [{parts}]")
+
+    print("\nSegformer WS crossover vs ofmap buffer (normalized energy at gs=1..4):")
+    workload = segformer_b0_workload(512)
+    for kib in (128, 256, 512):
+        config = AcceleratorConfig(ofmap_buffer=kib * KIB)
+        base = model_energy(workload, config, baseline_psum_format(32), Dataflow.WS).total
+        row = " ".join(
+            f"gs{gs}={model_energy(workload, config, apsq_psum_format(gs), Dataflow.WS).total / base:.2f}"
+            for gs in (1, 2, 3, 4)
+        )
+        print(f"  {kib:>4} KiB: {row}")
+
+
+def area_accounting():
+    print("\n=== 2. Area accounting (Table II) ===")
+    report = area_report()
+    print(f"baseline accelerator: {report.baseline_accelerator:>12,.0f} um^2")
+    print(f"RAE:                  {report.rae:>12,.0f} um^2")
+    print(f"accelerator w/ RAE:   {report.accelerator_with_rae:>12,.0f} um^2")
+    print(f"overhead:             {report.overhead_percent:.2f}%")
+
+
+def drive_rae():
+    print("\n=== 3. Driving the RAE ===")
+    rng = np.random.default_rng(0)
+    lanes = 16
+    tiles = [rng.integers(-3000, 3000, size=lanes) for _ in range(8)]
+    exponents = [6] * 8
+    exact = sum(tiles)
+
+    for gs in (1, 2, 3, 4):
+        engine = RAEngine(gs=gs, lanes=lanes)
+        codes, exp = engine.reduce(tiles, exponents)
+        ref_codes, _ = reference_apsq_reduce(tiles, exponents, gs=gs)
+        approx = codes.astype(np.int64) << exp
+        err = np.abs(approx - exact).mean() / np.abs(exact).mean()
+        match = "ok" if np.array_equal(codes, ref_codes) else "MISMATCH"
+        print(
+            f"gs={gs}: s0={engine.mode.s0} s1={engine.mode.s1 or '-'} | "
+            f"bank writes={engine.stats.bank_writes} reads={engine.stats.bank_reads} "
+            f"apsq={engine.stats.apsq_steps} psq={engine.stats.psq_steps} | "
+            f"rel.err={err:.3f} | vs Algorithm 1: {match}"
+        )
+
+
+def drill_down():
+    print("\n=== 4. Per-layer drill-down (Segformer-B0 hotspots, WS/INT32) ===")
+    rows = layer_report(
+        segformer_b0_workload(512),
+        AcceleratorConfig(),
+        baseline_psum_format(32),
+        Dataflow.WS,
+    )
+    print(format_report(rows, top=5))
+
+
+def integer_inference():
+    print("\n=== 5. Integer-only inference through the RAE ===")
+    from repro import nn
+    from repro.quant import PsumQuantizedLinear, apsq_config, format_summary, model_summary
+    from repro.tensor import Tensor, manual_seed
+
+    manual_seed(0)
+    layer = PsumQuantizedLinear(nn.Linear(32, 8), apsq_config(gs=2, pci=8))
+    rng = np.random.default_rng(0)
+    layer(Tensor(rng.normal(size=(8, 32))))  # calibrate quantizers
+    # Pin scales to powers of two so the shift path is exact.
+    layer.act_quantizer.scale.data = np.array(2.0**-4)
+    layer.weight_quantizer.scale.data = np.array(2.0**-5)
+
+    runner = IntegerGemmRunner(layer, requant="shift")
+    report = runner.compare_with_fake_quant(rng.normal(size=(4, 32)) * 0.5)
+    print(f"exponent snap error: {report['exponent_snap_bits']} bits")
+    print(f"integer vs fake-quant max |diff|: {report['max_abs_diff']:.2e}")
+
+    class Wrapper(nn.Module):
+        def __init__(self, inner):
+            super().__init__()
+            self.layer = inner
+
+        def forward(self, x):
+            return self.layer(x)
+
+    print(format_summary(model_summary(Wrapper(layer))))
+
+
+if __name__ == "__main__":
+    energy_landscape()
+    area_accounting()
+    drive_rae()
+    drill_down()
+    integer_inference()

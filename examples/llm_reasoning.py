@@ -1,0 +1,56 @@
+"""LLM scenario: APSQ for autoregressive decoding (Section IV-D).
+
+Pretrains the tiny LLaMA causal LM on the synthetic chain corpus,
+quantizes with APSQ, evaluates zero-shot multiple-choice reasoning by
+choice log-likelihood (the lm-eval protocol), and reports the Table-IV
+energy ratios at the LLM parallelism (Po=1, Pci=32, Pco=32).
+
+Run with::
+
+    REPRO_PROFILE=smoke python examples/llm_reasoning.py
+"""
+
+from repro.data import ZCSR_TASK_NAMES
+from repro.experiments import (
+    evaluate_zcsr,
+    get_profile,
+    pretrain_llama,
+    quantized_llama,
+    table4,
+)
+
+
+def main():
+    profile = get_profile()
+    print(f"profile: {profile.name}\n")
+
+    print("pretraining the causal LM on the synthetic chain corpus...")
+    teacher = pretrain_llama(profile)
+    tasks = list(ZCSR_TASK_NAMES)
+    float_scores = evaluate_zcsr(teacher, tasks, profile.zcsr_examples)
+
+    print("QAT-quantizing: W8A8 baseline and INT8 APSQ gs=2...")
+    baseline = quantized_llama(teacher, "Baseline", profile)
+    apsq = quantized_llama(teacher, "gs=2", profile)
+    base_scores = evaluate_zcsr(baseline, tasks, profile.zcsr_examples)
+    apsq_scores = evaluate_zcsr(apsq, tasks, profile.zcsr_examples)
+
+    print(f"\n{'task':<12} {'float':>7} {'W8A8':>7} {'APSQ gs=2':>10}")
+    for task in tasks:
+        print(
+            f"{task:<12} {100 * float_scores[task]:>6.1f}% "
+            f"{100 * base_scores[task]:>6.1f}% {100 * apsq_scores[task]:>9.1f}%"
+        )
+
+    mean = lambda d: sum(d.values()) / len(d)
+    print(
+        f"\nmean: float {100 * mean(float_scores):.1f}%, "
+        f"W8A8 {100 * mean(base_scores):.1f}%, APSQ {100 * mean(apsq_scores):.1f}%"
+    )
+
+    print("\nLLaMA2-7B energy at seq 4096 (prefill + decode), Table IV:")
+    print(table4.format_table(table4.run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""NLP scenario: BERT on a GLUE task with APSQ group-size sweep.
+
+Reproduces one row of Table I end-to-end: pretrain a tiny BERT teacher on
+the synthetic QNLI task, then QAT-quantize with the W8A8 baseline and
+INT8 APSQ at gs = 1..4, printing the accuracy column the paper reports
+alongside the per-method energy of the WS accelerator.
+
+Run with::
+
+    REPRO_PROFILE=smoke python examples/nlp_glue_apsq.py   # seconds
+    python examples/nlp_glue_apsq.py                       # default: fast
+"""
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    bert_base_workload,
+    normalized_energy,
+)
+from repro.experiments import METHOD_NAMES, get_profile, run_glue_task
+
+TASK = "QNLI"
+
+
+def main():
+    profile = get_profile()
+    print(f"profile: {profile.name} (set REPRO_PROFILE to change)")
+    print(f"task: synthetic {TASK} — pair classification by cross-segment keys\n")
+
+    accuracies = run_glue_task(TASK, profile)
+
+    config = AcceleratorConfig()
+    workload = bert_base_workload(128)
+    reference = baseline_psum_format(32)
+
+    print(f"{'method':<10} {'accuracy':>9} {'WS energy':>10}")
+    for method in METHOD_NAMES:
+        if method == "Baseline":
+            energy = 1.0
+        else:
+            gs = int(method[3:])
+            energy = normalized_energy(
+                workload, config, apsq_psum_format(gs), Dataflow.WS, reference
+            )
+        print(f"{method:<10} {100 * accuracies[method]:>8.2f}% {energy:>9.2f}x")
+
+    best_gs = max(
+        (m for m in METHOD_NAMES if m.startswith("gs=")), key=lambda m: accuracies[m]
+    )
+    drop = accuracies["Baseline"] - accuracies[best_gs]
+    print(
+        f"\nbest APSQ setting: {best_gs} "
+        f"({100 * drop:+.2f} points vs baseline, ~50% WS energy saved)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Quickstart: quantize a model with APSQ in five steps.
+
+Run with::
+
+    python examples/quickstart.py
+
+Steps: (1) train a small float model, (2) quantize it to W8A8 with INT8
+APSQ partial sums, (3) QAT-finetune against the float teacher, (4) compare
+accuracy, (5) estimate the accelerator energy saving.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    GemmLayer,
+    apsq_psum_format,
+    baseline_psum_format,
+    normalized_energy,
+)
+from repro.quant import QATConfig, QATTrainer, apsq_config, evaluate, quantize_model
+from repro.tensor import Tensor, manual_seed
+
+
+class TinyClassifier(nn.Module):
+    """Two-layer MLP — any model built from repro.nn layers works."""
+
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(32, 64)
+        self.fc2 = nn.Linear(64, 4)
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return self.fc2(self.fc1(x).relu())
+
+
+def make_data(n=512, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 32))
+    y = (x[:, 0] > 0).astype(np.int64) * 2 + (x[:, 1] > 0).astype(np.int64)
+    return x, y
+
+
+def main():
+    manual_seed(0)
+    train_x, train_y = make_data(512)
+    eval_x, eval_y = make_data(256, seed=1)
+    accuracy = lambda out, t: float((out.argmax(-1) == t).mean())
+
+    # 1. Train the float teacher.
+    teacher = TinyClassifier()
+    QATTrainer(teacher, nn.cross_entropy, config=QATConfig(epochs=10, lr=3e-3)).fit(
+        train_x, train_y
+    )
+    float_acc = evaluate(teacher, eval_x, eval_y, accuracy)
+    print(f"float teacher accuracy:        {float_acc:.4f}")
+
+    # 2. Quantize a fresh copy: W8A8 + INT8 APSQ partial sums, group size 2.
+    #    Every Linear's reduction is split into ceil(Ci/Pci) PSUM tiles.
+    student = quantize_model(TinyClassifier(), apsq_config(gs=2, pci=8))
+    student.load_state_dict(teacher.state_dict(), strict=False)
+
+    # 3. QAT with knowledge distillation from the float teacher.
+    QATTrainer(
+        student, nn.cross_entropy, teacher=teacher, config=QATConfig(epochs=5, lr=5e-4)
+    ).fit(train_x, train_y)
+
+    # 4. Accuracy after APSQ.
+    apsq_acc = evaluate(student, eval_x, eval_y, accuracy)
+    print(f"APSQ (INT8 PSUM, gs=2):        {apsq_acc:.4f}")
+
+    # 5. Energy: what does INT8 PSUM storage buy on a WS accelerator?
+    workload = [GemmLayer("fc1", 512, 32, 64), GemmLayer("fc2", 512, 64, 4)]
+    ratio = normalized_energy(
+        workload,
+        AcceleratorConfig(),
+        apsq_psum_format(gs=2),
+        Dataflow.WS,
+        baseline_psum_format(32),
+    )
+    print(f"energy vs INT32-PSUM baseline: {ratio:.2f}x  ({100 * (1 - ratio):.0f}% saved)")
+
+
+if __name__ == "__main__":
+    main()

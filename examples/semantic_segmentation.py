@@ -1,0 +1,63 @@
+"""CV scenario: semantic segmentation with APSQ on Segformer/EfficientViT.
+
+The paper's motivating workload: high-resolution dense prediction
+(ADE20K-class) where stage-1 token counts exceed 16k, blowing up the WS
+PSUM working set.  This example trains both tiny CV models on the
+synthetic segmentation task, quantizes with APSQ, and shows the
+interaction Fig. 6b highlights: small gs keeps the full 85%+ WS energy
+saving, large gs spills the grouped PSUMs into DRAM.
+
+Run with::
+
+    REPRO_PROFILE=smoke python examples/semantic_segmentation.py
+"""
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    efficientvit_b1_workload,
+    model_energy,
+    psum_working_set,
+    segformer_b0_workload,
+)
+from repro.experiments import get_profile, run_segmentation
+
+ARCHS = {"segformer": segformer_b0_workload, "efficientvit": efficientvit_b1_workload}
+
+
+def main():
+    profile = get_profile()
+    config = AcceleratorConfig()
+    reference = baseline_psum_format(32)
+    print(f"profile: {profile.name}\n")
+
+    for arch, workload_fn in ARCHS.items():
+        workload = workload_fn(512)
+        print(f"=== {arch} ===")
+
+        # Where does the PSUM working set peak? (the Fig. 6b mechanism)
+        fmt = apsq_psum_format(4)
+        worst = max(workload, key=lambda l: psum_working_set(l, config, fmt, Dataflow.WS))
+        peak_kib = psum_working_set(worst, config, fmt, Dataflow.WS) / 1024
+        print(
+            f"largest WS PSUM working set at gs=4: {peak_kib:.0f} KiB "
+            f"({worst.name}, {worst.m} tokens) vs {config.ofmap_buffer // 1024} KiB buffer"
+        )
+
+        mious = run_segmentation(arch, profile, methods=["Baseline", "gs=1", "gs=2", "gs=4"])
+        base_energy = model_energy(workload, config, reference, Dataflow.WS).total
+        print(f"{'method':<10} {'mIoU':>7} {'WS energy':>10}")
+        for method, miou in mious.items():
+            if method == "Baseline":
+                ratio = 1.0
+            else:
+                fmt = apsq_psum_format(int(method[3:]))
+                ratio = model_energy(workload, config, fmt, Dataflow.WS).total / base_energy
+            print(f"{method:<10} {100 * miou:>6.2f}% {ratio:>9.2f}x")
+        print()
+
+
+if __name__ == "__main__":
+    main()

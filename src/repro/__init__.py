@@ -1,0 +1,16 @@
+"""APSQ: Additive Partial Sum Quantization with Algorithm-Hardware Co-Design.
+
+Full reproduction of the DAC 2025 paper, built from scratch on numpy:
+
+- :mod:`repro.tensor` — autograd engine
+- :mod:`repro.nn`, :mod:`repro.optim` — neural-network substrate
+- :mod:`repro.quant` — LSQ / PSQ / APSQ quantization (the paper's contribution)
+- :mod:`repro.models` — architecture-faithful tiny BERT / Segformer /
+  EfficientViT / LLaMA models
+- :mod:`repro.data` — synthetic GLUE / ADE20K / ZCSR task suites + metrics
+- :mod:`repro.accelerator` — PSUM-precision-aware analytical energy model
+- :mod:`repro.rae` — bit-accurate Reconfigurable APSQ Engine simulator
+- :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+__version__ = "0.1.0"

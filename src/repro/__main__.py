@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show the available experiments and effort profiles.
+run ARTEFACT [--profile NAME]
+    Regenerate one paper artefact (``fig1``, ``fig5``, ``fig6``,
+    ``table1`` … ``table4``) and print it.
+all [--profile NAME]
+    Regenerate everything (the analytical artefacts first, then the
+    training-based ones).
+info
+    Print the package/version and the configuration of the analytical
+    accelerator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .experiments import PROFILES, fig1, fig5, fig6, get_profile, table1, table2, table3, table4
+
+ANALYTICAL = {
+    "fig1": lambda _profile: fig1.format_table(fig1.run()),
+    "fig6": lambda _profile: fig6.format_table(fig6.run()),
+    "table2": lambda _profile: table2.format_table(table2.run()),
+    "table4": lambda _profile: table4.format_table(table4.run()),
+}
+TRAINED = {
+    "table1": lambda profile: table1.render(table1.run(profile=profile)),
+    "table3": lambda profile: table3.render(table3.run(profile=profile)),
+    "fig5": lambda profile: fig5.format_table(fig5.run(profile=profile)),
+}
+ARTEFACTS = {**ANALYTICAL, **TRAINED}
+
+
+def cmd_list() -> str:
+    lines = ["analytical artefacts (instant):"]
+    lines.extend(f"  {name}" for name in sorted(ANALYTICAL))
+    lines.append("training-based artefacts (honour --profile):")
+    lines.extend(f"  {name}" for name in sorted(TRAINED))
+    lines.append(f"profiles: {', '.join(sorted(PROFILES))} (default: fast)")
+    return "\n".join(lines)
+
+
+def cmd_info() -> str:
+    from .accelerator import AcceleratorConfig
+
+    config = AcceleratorConfig()
+    return "\n".join(
+        [
+            f"repro {__version__} — APSQ (DAC 2025) reproduction",
+            f"accelerator: Po={config.po} Pci={config.pci} Pco={config.pco}",
+            f"buffers: ifmap {config.ifmap_buffer // 1024} KiB, "
+            f"ofmap {config.ofmap_buffer // 1024} KiB, "
+            f"weight {config.weight_buffer // 1024} KiB",
+            f"energy/access: mac {config.energy.e_mac} pJ, "
+            f"sram {config.energy.e_sram} pJ/B, dram {config.energy.e_dram} pJ/B",
+        ]
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list experiments and profiles")
+    sub.add_parser("info", help="show package and accelerator configuration")
+    run_parser = sub.add_parser("run", help="regenerate one artefact")
+    run_parser.add_argument("artefact", choices=sorted(ARTEFACTS))
+    run_parser.add_argument("--profile", default="", help="smoke | fast | full")
+    all_parser = sub.add_parser("all", help="regenerate every artefact")
+    all_parser.add_argument("--profile", default="", help="smoke | fast | full")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print(cmd_list())
+    elif args.command == "info":
+        print(cmd_info())
+    elif args.command == "run":
+        profile = get_profile(args.profile) if args.artefact in TRAINED else None
+        print(ARTEFACTS[args.artefact](profile))
+    elif args.command == "all":
+        for name in ["fig1", "fig6", "table2", "table4", "table1", "table3", "fig5"]:
+            profile = get_profile(args.profile) if name in TRAINED else None
+            print(f"\n===== {name} =====")
+            print(ARTEFACTS[name](profile))
+    else:
+        parser.print_help()
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""PSUM-precision-aware analytical accelerator model (Eqs. 1-6, Table II)."""
+
+from .area import (
+    AreaModel,
+    AreaReport,
+    area_report,
+    baseline_accelerator_area,
+    baseline_psum_path_area,
+    rae_area,
+)
+from .dataflow import (
+    AccessCounts,
+    Dataflow,
+    EnergyBreakdown,
+    access_counts,
+    layer_energy,
+    model_energy,
+    normalized_energy,
+    psum_working_set,
+)
+from .energy import (
+    KIB,
+    AcceleratorConfig,
+    EnergyTable,
+    PsumFormat,
+    apsq_psum_format,
+    baseline_psum_format,
+    llm_config,
+)
+from .layers import GemmLayer, conv_as_gemm, total_macs, validate_workload
+from .report import LayerReport, format_report, hotspots, layer_report
+from .selector import (
+    DataflowChoice,
+    best_dataflow,
+    dataflow_histogram,
+    reconfigurable_model_energy,
+)
+from .sweeps import (
+    format_sweep,
+    sweep_ofmap_buffer,
+    sweep_pci,
+    sweep_psum_bits,
+    sweep_sequence_length,
+)
+from .workloads import (
+    WORKLOADS,
+    bert_base_workload,
+    efficientvit_b1_workload,
+    llama2_7b_workload,
+    segformer_b0_workload,
+)
+
+__all__ = [
+    "EnergyTable",
+    "AcceleratorConfig",
+    "PsumFormat",
+    "baseline_psum_format",
+    "apsq_psum_format",
+    "llm_config",
+    "KIB",
+    "Dataflow",
+    "AccessCounts",
+    "EnergyBreakdown",
+    "access_counts",
+    "psum_working_set",
+    "layer_energy",
+    "model_energy",
+    "normalized_energy",
+    "GemmLayer",
+    "conv_as_gemm",
+    "total_macs",
+    "validate_workload",
+    "bert_base_workload",
+    "segformer_b0_workload",
+    "efficientvit_b1_workload",
+    "llama2_7b_workload",
+    "WORKLOADS",
+    "DataflowChoice",
+    "best_dataflow",
+    "reconfigurable_model_energy",
+    "dataflow_histogram",
+    "LayerReport",
+    "layer_report",
+    "hotspots",
+    "format_report",
+    "sweep_ofmap_buffer",
+    "sweep_psum_bits",
+    "sweep_pci",
+    "sweep_sequence_length",
+    "format_sweep",
+    "AreaModel",
+    "AreaReport",
+    "area_report",
+    "baseline_accelerator_area",
+    "baseline_psum_path_area",
+    "rae_area",
+]

@@ -1,0 +1,225 @@
+"""PSUM-precision-aware access-count model for IS / WS / OS dataflows.
+
+Implements the paper's refined analytical framework (Eqs. 2-6): per-layer
+SRAM and DRAM access counts for ifmap, weight, PSUM and ofmap, with the
+precision factor β scaling PSUM traffic and a *capacity* factor (β·gs for
+APSQ) deciding whether the live PSUM working set spills past the output
+buffer into DRAM.
+
+Conventions for a GEMM of shape (M, Ci) × (Ci, Co):
+
+- The ifmap tile grid has ``ceil(M / Po)`` tiles (the Hi/Pih · Wi/Piw
+  product of Eq. 3), and the reduction runs ``np = ceil(Ci / Pci)`` rounds.
+- IS keeps an ifmap tile in the PE registers; its PSUM working set spans
+  all output channels for that tile: ``capacity · Po · Co`` bytes.
+- WS keeps a Pci×Pco weight tile; its PSUM working set spans all output
+  positions: ``capacity · M · Pco`` bytes.
+- OS accumulates in output registers: PSUM traffic is identically zero,
+  at the cost of re-streaming both operands.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from .energy import AcceleratorConfig, PsumFormat
+from .layers import GemmLayer
+
+
+class Dataflow(enum.Enum):
+    """MAC-array scheduling strategies analysed by the paper."""
+
+    IS = "input-stationary"
+    WS = "weight-stationary"
+    OS = "output-stationary"
+
+
+@dataclass(frozen=True)
+class AccessCounts:
+    """Round counts N^{i/w/p/o}_{s/d} of Eqs. 3-6 (per data structure)."""
+
+    ifmap_sram: float
+    weight_sram: float
+    psum_sram: float
+    ofmap_sram: float
+    ifmap_dram: float
+    weight_dram: float
+    psum_dram: float
+    ofmap_dram: float
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (pJ) per category — the stacks of Fig. 1."""
+
+    ifmap: float
+    weight: float
+    psum: float
+    ofmap: float
+    mac: float
+
+    @property
+    def total(self) -> float:
+        return self.ifmap + self.weight + self.psum + self.ofmap + self.mac
+
+    @property
+    def psum_share(self) -> float:
+        return self.psum / self.total if self.total else 0.0
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.ifmap + other.ifmap,
+            self.weight + other.weight,
+            self.psum + other.psum,
+            self.ofmap + other.ofmap,
+            self.mac + other.mac,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "ifmap": self.ifmap,
+            "weight": self.weight,
+            "psum": self.psum,
+            "ofmap": self.ofmap,
+            "op": self.mac,
+        }
+
+
+ZERO_BREAKDOWN = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _ceil(a: int, b: int) -> int:
+    return math.ceil(a / b)
+
+
+def psum_working_set(
+    layer: GemmLayer,
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    dataflow: Dataflow,
+) -> float:
+    """Live PSUM bytes that must stay buffered during the reduction."""
+    if dataflow is Dataflow.IS:
+        # The stationary ifmap tile's PSUMs across all output channels
+        # (the Co/Pco · S̃p of Eq. 3 with S̃p = capacity · Po · Pco).
+        return psum.capacity_factor * min(config.po, layer.live_m) * layer.co
+    if dataflow is Dataflow.WS:
+        # The stationary weight tile's PSUMs across all output positions
+        # (the Ho·Wo/Po · S̃p of Eq. 5).
+        return psum.capacity_factor * layer.live_m * config.pco
+    return 0.0  # OS: PSUMs live in registers
+
+
+def access_counts(
+    layer: GemmLayer,
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    dataflow: Dataflow,
+) -> AccessCounts:
+    """Per-structure access-round counts (Eqs. 3-6; OS per Section II-A)."""
+    np_rounds = _ceil(layer.ci, config.pci)
+    input_tiles = _ceil(layer.m, config.po)
+    co_tiles = _ceil(layer.co, config.pco)
+    psum_rounds = 2 * (np_rounds - 1)
+
+    if dataflow is Dataflow.IS:
+        weight_fits = layer.weight_bytes <= config.weight_buffer
+        psum_fits = psum_working_set(layer, config, psum, dataflow) <= config.ofmap_buffer
+        return AccessCounts(
+            ifmap_sram=2.0,
+            weight_sram=(1 + input_tiles) if weight_fits else 2 * input_tiles,
+            psum_sram=float(psum_rounds if psum_fits else 2 * psum_rounds),
+            ofmap_sram=2.0,
+            ifmap_dram=1.0,
+            weight_dram=1.0 if weight_fits else float(input_tiles),
+            psum_dram=0.0 if psum_fits else float(psum_rounds),
+            ofmap_dram=1.0,
+        )
+
+    if dataflow is Dataflow.WS:
+        # The streaming ifmap tile (S̃i, enlarged per output tile) must fit
+        # for ifmap reuse across the ceil(Co/Pco) weight-tile rounds.
+        stream_tile = config.po * layer.ci
+        ifmap_fits = stream_tile <= config.ifmap_buffer
+        psum_fits = psum_working_set(layer, config, psum, dataflow) <= config.ofmap_buffer
+        return AccessCounts(
+            ifmap_sram=(1 + co_tiles) if ifmap_fits else 2 * co_tiles,
+            weight_sram=2.0,
+            psum_sram=float(psum_rounds if psum_fits else 2 * psum_rounds),
+            ofmap_sram=2.0,
+            ifmap_dram=1.0 if ifmap_fits else float(co_tiles),
+            weight_dram=1.0,
+            psum_dram=0.0 if psum_fits else float(psum_rounds),
+            ofmap_dram=1.0,
+        )
+
+    # OS: PSUMs never leave the registers; operands are re-streamed.
+    weight_fits = layer.weight_bytes <= config.weight_buffer
+    ifmap_fits = layer.ifmap_bytes <= config.ifmap_buffer
+    return AccessCounts(
+        ifmap_sram=float(co_tiles) + 1.0,
+        weight_sram=float(input_tiles) + 1.0,
+        psum_sram=0.0,
+        ofmap_sram=1.0,
+        ifmap_dram=1.0 if ifmap_fits else float(co_tiles),
+        weight_dram=1.0 if weight_fits else float(input_tiles),
+        psum_dram=0.0,
+        ofmap_dram=1.0,
+    )
+
+
+def layer_energy(
+    layer: GemmLayer,
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    dataflow: Dataflow,
+) -> EnergyBreakdown:
+    """Energy of one GEMM under Eq. 1/2: E = Nd·Edram + Ns·Esram + Nm·Emac."""
+    counts = access_counts(layer, config, psum, dataflow)
+    e = config.energy
+    beta = psum.beta
+
+    def cost(size_bytes: int, n_sram: float, n_dram: float) -> float:
+        return size_bytes * (n_sram * e.e_sram + n_dram * e.e_dram)
+
+    breakdown = EnergyBreakdown(
+        ifmap=cost(layer.ifmap_bytes, counts.ifmap_sram, counts.ifmap_dram),
+        weight=cost(layer.weight_bytes, counts.weight_sram, counts.weight_dram),
+        psum=beta * cost(layer.ofmap_bytes, counts.psum_sram, counts.psum_dram),
+        ofmap=cost(layer.ofmap_bytes, counts.ofmap_sram, counts.ofmap_dram),
+        mac=layer.macs * e.e_mac,
+    )
+    if layer.repeats == 1:
+        return breakdown
+    return EnergyBreakdown(
+        *(getattr(breakdown, f) * layer.repeats for f in ("ifmap", "weight", "psum", "ofmap", "mac"))
+    )
+
+
+def model_energy(
+    layers: Iterable[GemmLayer],
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    dataflow: Dataflow,
+) -> EnergyBreakdown:
+    """Whole-network energy: the sum of per-layer breakdowns."""
+    total = ZERO_BREAKDOWN
+    for layer in layers:
+        total = total + layer_energy(layer, config, psum, dataflow)
+    return total
+
+
+def normalized_energy(
+    layers: List[GemmLayer],
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    dataflow: Dataflow,
+    reference: PsumFormat,
+) -> float:
+    """Energy of ``psum`` relative to the ``reference`` PSUM format."""
+    target = model_energy(layers, config, psum, dataflow).total
+    base = model_energy(layers, config, reference, dataflow).total
+    return target / base if base else 0.0

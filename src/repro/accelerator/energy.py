@@ -1,0 +1,122 @@
+"""Per-access energy costs (Eq. 1) and accelerator configuration.
+
+Energy values follow Horowitz, ISSCC 2014 [21] (45 nm, scaled the way
+Eyeriss [15] and Tu et al. [16] use them): a DRAM access costs two orders
+of magnitude more than an on-chip SRAM access, which costs an order of
+magnitude more than an 8-bit MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy per access/operation in picojoules.
+
+    ``e_sram`` and ``e_dram`` are per *byte*; ``e_mac`` per 8-bit MAC.
+    Defaults derive from Horowitz's table: 32 KB SRAM ≈ 2.5 pJ/B scaled to
+    the 128-256 KB buffers here (≈5 pJ/B), DDR3 ≈ 1.3 nJ / 64 bit
+    (≈160 pJ/B), 8-bit multiply 0.2 pJ + add ≈ 0.25 pJ/MAC.
+    """
+
+    e_mac: float = 0.25
+    e_sram: float = 5.0
+    e_dram: float = 160.0
+
+    def __post_init__(self) -> None:
+        if min(self.e_mac, self.e_sram, self.e_dram) <= 0:
+            raise ValueError("energy costs must be positive")
+        if not self.e_mac < self.e_sram < self.e_dram:
+            raise ValueError(
+                "expected e_mac < e_sram < e_dram (the memory-hierarchy "
+                f"ordering), got {self}"
+            )
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """The analytical DNN accelerator of Fig. 2.
+
+    ``po``/``pci``/``pco`` are the MAC-array parallelisms (output positions,
+    input channels, output channels); buffer capacities are in bytes.
+    Defaults are the paper's CV/NLP configuration (Section IV-A):
+    Po=16, Pci=8, Pco=8, 256 KB ifmap/ofmap buffers, 128 KB weight buffer.
+    """
+
+    po: int = 16
+    pci: int = 8
+    pco: int = 8
+    ifmap_buffer: int = 256 * KIB
+    ofmap_buffer: int = 256 * KIB
+    weight_buffer: int = 128 * KIB
+    energy: EnergyTable = EnergyTable()
+
+    def __post_init__(self) -> None:
+        if min(self.po, self.pci, self.pco) < 1:
+            raise ValueError("parallelisms must be >= 1")
+        if min(self.ifmap_buffer, self.ofmap_buffer, self.weight_buffer) <= 0:
+            raise ValueError("buffer sizes must be positive")
+
+    @property
+    def num_macs(self) -> int:
+        return self.po * self.pci * self.pco
+
+
+def llm_config(energy: EnergyTable = EnergyTable()) -> AcceleratorConfig:
+    """The LLM decode configuration of Section IV-D: Po=1, Pci=32, Pco=32."""
+    return AcceleratorConfig(po=1, pci=32, pco=32, energy=energy)
+
+
+@dataclass(frozen=True)
+class PsumFormat:
+    """How PSUMs are stored between accumulation rounds.
+
+    ``bits`` sets the paper's precision factor β = bits/8 relative to the
+    1-byte activations of an INT8 DNN (β=4 for INT32 baseline, β=1 for
+    INT8 APSQ, fractional below INT8 — Fig. 5 sweeps INT4/6/8).
+    ``group_size`` only matters for APSQ: the grouping strategy keeps
+    ``gs`` quantized PSUM tiles resident, inflating the *capacity*
+    footprint (not the access traffic — Sec. III-B) by ``gs``.
+    """
+
+    bits: int = 32
+    group_size: int = 1
+    additive: bool = False  # True for APSQ / PSQ stored-low-bit schemes
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+
+    @property
+    def beta(self) -> float:
+        """Access-traffic precision factor β of Eq. 2 (bits / 8)."""
+        return self.bits / 8.0
+
+    @property
+    def capacity_factor(self) -> float:
+        """Bytes-resident factor for the buffer-capacity checks.
+
+        Sub-byte PSUMs still occupy whole bytes in the byte-addressed
+        buffer (Section II-A: "memory hierarchy designs are typically
+        byte-based").
+        """
+        bytes_resident = max(-(-self.bits // 8), 1)
+        if self.additive:
+            return float(bytes_resident * self.group_size)
+        return float(bytes_resident)
+
+
+def baseline_psum_format(bits: int = 32) -> PsumFormat:
+    """Conventional high-precision PSUM storage (INT32 by default)."""
+    return PsumFormat(bits=bits, additive=False)
+
+
+def apsq_psum_format(gs: int, bits: int = 8) -> PsumFormat:
+    """APSQ stored-PSUM format: INT-``bits`` elements, ``gs`` resident tiles."""
+    return PsumFormat(bits=bits, group_size=gs, additive=True)

@@ -1,0 +1,90 @@
+"""GEMM workload descriptors for the analytical model.
+
+Every layer the accelerator executes — linear, attention projection, or
+convolution (via im2col) — is a GEMM of shape ``(M, Ci) x (Ci, Co)``:
+``M`` output positions (tokens or pixels), reduction depth ``Ci`` and
+``Co`` output channels.  Data sizes assume the INT8 DNN of the paper
+(1 byte per ifmap/weight/ofmap element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class GemmLayer:
+    """One GEMM workload: ``M × Ci × Co``, executed ``repeats`` times.
+
+    ``psum_m`` is the number of output positions whose PSUMs are live
+    *simultaneously*.  It defaults to ``m``; autoregressive decode sets it
+    to 1 (each generated token's reduction completes before the next
+    starts), which is why LLM decode PSUMs never spill (Table IV, IS row).
+    """
+
+    name: str
+    m: int
+    ci: int
+    co: int
+    repeats: int = 1
+    psum_m: int = 0  # 0 -> defaults to m
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.ci, self.co, self.repeats) < 1:
+            raise ValueError(f"all GEMM dimensions must be >= 1: {self}")
+        if self.psum_m < 0 or self.psum_m > self.m:
+            raise ValueError(f"psum_m must be in [0, m]: {self}")
+
+    @property
+    def live_m(self) -> int:
+        """Output positions with simultaneously-live PSUMs."""
+        return self.psum_m or self.m
+
+    @property
+    def ifmap_bytes(self) -> int:
+        """S_i of Eq. 2 (INT8)."""
+        return self.m * self.ci
+
+    @property
+    def weight_bytes(self) -> int:
+        """S_w of Eq. 2 (INT8)."""
+        return self.ci * self.co
+
+    @property
+    def ofmap_bytes(self) -> int:
+        """S_o of Eq. 2 (INT8)."""
+        return self.m * self.co
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations."""
+        return self.m * self.ci * self.co
+
+    def scaled(self, repeats: int) -> "GemmLayer":
+        return GemmLayer(
+            self.name, self.m, self.ci, self.co, self.repeats * repeats, self.psum_m
+        )
+
+
+def conv_as_gemm(
+    name: str,
+    h_out: int,
+    w_out: int,
+    c_in: int,
+    c_out: int,
+    kernel: int = 1,
+    repeats: int = 1,
+) -> GemmLayer:
+    """Describe a convolution as its im2col GEMM."""
+    return GemmLayer(name, h_out * w_out, c_in * kernel * kernel, c_out, repeats)
+
+
+def total_macs(layers: Iterable[GemmLayer]) -> int:
+    return sum(layer.macs * layer.repeats for layer in layers)
+
+
+def validate_workload(layers: List[GemmLayer]) -> List[GemmLayer]:
+    if not layers:
+        raise ValueError("workload has no layers")
+    return layers

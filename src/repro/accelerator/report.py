@@ -1,0 +1,89 @@
+"""Per-layer energy reports — where does a model's energy actually go?
+
+``layer_report`` explains each GEMM of a workload under a given dataflow
+and PSUM format: tile counts, PSUM working set vs the output buffer, spill
+status and the category breakdown.  This is the drill-down view behind
+Figs. 1/6: the summary numbers are sums of exactly these rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .dataflow import Dataflow, layer_energy, psum_working_set
+from .energy import AcceleratorConfig, PsumFormat
+from .layers import GemmLayer
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """One row of the per-layer energy drill-down."""
+
+    name: str
+    m: int
+    ci: int
+    co: int
+    repeats: int
+    num_tiles: int
+    psum_working_set_bytes: float
+    psum_spills: bool
+    total_energy: float
+    psum_energy: float
+
+    @property
+    def psum_share(self) -> float:
+        return self.psum_energy / self.total_energy if self.total_energy else 0.0
+
+
+def layer_report(
+    layers: Iterable[GemmLayer],
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    dataflow: Dataflow,
+) -> List[LayerReport]:
+    """Analyse every layer of a workload."""
+    rows: List[LayerReport] = []
+    for layer in layers:
+        working_set = psum_working_set(layer, config, psum, dataflow)
+        energy = layer_energy(layer, config, psum, dataflow)
+        rows.append(
+            LayerReport(
+                name=layer.name,
+                m=layer.m,
+                ci=layer.ci,
+                co=layer.co,
+                repeats=layer.repeats,
+                num_tiles=-(-layer.ci // config.pci),
+                psum_working_set_bytes=working_set,
+                psum_spills=working_set > config.ofmap_buffer,
+                total_energy=energy.total,
+                psum_energy=energy.psum,
+            )
+        )
+    return rows
+
+
+def hotspots(rows: List[LayerReport], top: int = 5) -> List[LayerReport]:
+    """The ``top`` most energy-hungry layers."""
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    return sorted(rows, key=lambda r: r.total_energy, reverse=True)[:top]
+
+
+def format_report(rows: List[LayerReport], top: int = 0) -> str:
+    """Render the drill-down as an aligned text table."""
+    if top:
+        rows = hotspots(rows, top)
+    lines = [
+        f"{'layer':<18} {'M':>7} {'Ci':>6} {'Co':>6} {'rep':>4} {'np':>4} "
+        f"{'psum WS':>10} {'spill':>6} {'energy':>11} {'psum%':>6}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<18} {r.m:>7} {r.ci:>6} {r.co:>6} {r.repeats:>4} {r.num_tiles:>4} "
+            f"{r.psum_working_set_bytes / 1024:>8.1f}KB "
+            f"{'yes' if r.psum_spills else 'no':>6} "
+            f"{r.total_energy:>11.3e} {100 * r.psum_share:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Per-layer dataflow selection — the reconfigurable-architecture idea of
+Tu et al. [16] the paper builds on.
+
+The effectiveness of IS/WS/OS "is contingent upon layer configuration,
+degree of parallelism, and on-chip SRAM size" (Section I).  This module
+picks the cheapest dataflow per layer under a given PSUM format, and
+aggregates whole-model energy for a reconfigurable accelerator — an
+extension experiment beyond the paper's fixed-dataflow tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from .dataflow import ZERO_BREAKDOWN, Dataflow, EnergyBreakdown, layer_energy
+from .energy import AcceleratorConfig, PsumFormat
+from .layers import GemmLayer
+
+
+@dataclass(frozen=True)
+class DataflowChoice:
+    """The winning dataflow for one layer."""
+
+    layer: GemmLayer
+    dataflow: Dataflow
+    energy: EnergyBreakdown
+    alternatives: Dict[str, float]  # dataflow name -> total energy
+
+
+def best_dataflow(
+    layer: GemmLayer,
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    candidates: Tuple[Dataflow, ...] = (Dataflow.IS, Dataflow.WS, Dataflow.OS),
+) -> DataflowChoice:
+    """Evaluate ``candidates`` and pick the lowest-energy dataflow."""
+    if not candidates:
+        raise ValueError("need at least one candidate dataflow")
+    energies = {df: layer_energy(layer, config, psum, df) for df in candidates}
+    winner = min(energies, key=lambda df: energies[df].total)
+    return DataflowChoice(
+        layer=layer,
+        dataflow=winner,
+        energy=energies[winner],
+        alternatives={df.name: e.total for df, e in energies.items()},
+    )
+
+
+def reconfigurable_model_energy(
+    layers: Iterable[GemmLayer],
+    config: AcceleratorConfig,
+    psum: PsumFormat,
+    candidates: Tuple[Dataflow, ...] = (Dataflow.IS, Dataflow.WS, Dataflow.OS),
+) -> Tuple[EnergyBreakdown, List[DataflowChoice]]:
+    """Whole-model energy with the best dataflow chosen per layer."""
+    total = ZERO_BREAKDOWN
+    choices: List[DataflowChoice] = []
+    for layer in layers:
+        choice = best_dataflow(layer, config, psum, candidates)
+        choices.append(choice)
+        total = total + choice.energy
+    return total, choices
+
+
+def dataflow_histogram(choices: List[DataflowChoice]) -> Dict[str, int]:
+    """How many layers picked each dataflow."""
+    histogram: Dict[str, int] = {}
+    for choice in choices:
+        histogram[choice.dataflow.name] = histogram.get(choice.dataflow.name, 0) + 1
+    return histogram

@@ -1,0 +1,90 @@
+"""Design-space sweeps over the analytical accelerator.
+
+Utilities for the co-design questions the paper's configuration choices
+answer implicitly: how do buffer sizes, MAC-array parallelism and PSUM
+precision move total energy?  Each sweep returns ``{swept value: result}``
+for direct tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from .dataflow import Dataflow, model_energy
+from .energy import KIB, AcceleratorConfig, PsumFormat, apsq_psum_format, baseline_psum_format
+from .layers import GemmLayer
+
+
+def sweep_ofmap_buffer(
+    layers: List[GemmLayer],
+    sizes_kib: Sequence[int],
+    psum: PsumFormat,
+    dataflow: Dataflow,
+    base_config: AcceleratorConfig = AcceleratorConfig(),
+) -> Dict[int, float]:
+    """Total energy vs output-buffer capacity (the Fig. 6b lever)."""
+    results = {}
+    for kib in sizes_kib:
+        config = replace(base_config, ofmap_buffer=kib * KIB)
+        results[kib] = model_energy(layers, config, psum, dataflow).total
+    return results
+
+
+def sweep_psum_bits(
+    layers: List[GemmLayer],
+    bits_options: Sequence[int],
+    dataflow: Dataflow,
+    gs: int = 1,
+    config: AcceleratorConfig = AcceleratorConfig(),
+) -> Dict[int, float]:
+    """Total energy vs stored-PSUM precision (the Fig. 5 x-axis),
+    normalized to the INT32 baseline."""
+    base = model_energy(layers, config, baseline_psum_format(32), dataflow).total
+    results = {}
+    for bits in bits_options:
+        fmt = apsq_psum_format(gs, bits=bits)
+        results[bits] = model_energy(layers, config, fmt, dataflow).total / base
+    return results
+
+
+def sweep_pci(
+    layers: List[GemmLayer],
+    pci_options: Sequence[int],
+    psum: PsumFormat,
+    dataflow: Dataflow,
+    base_config: AcceleratorConfig = AcceleratorConfig(),
+) -> Dict[int, float]:
+    """Total energy vs input-channel parallelism.
+
+    Larger Pci shrinks ``np = ceil(Ci/Pci)`` and with it the number of
+    PSUM accumulation rounds — the hardware lever that trades MAC-array
+    area against PSUM traffic.
+    """
+    results = {}
+    for pci in pci_options:
+        config = replace(base_config, pci=pci)
+        results[pci] = model_energy(layers, config, psum, dataflow).total
+    return results
+
+
+def sweep_sequence_length(
+    workload_fn,
+    seq_lens: Sequence[int],
+    psum: PsumFormat,
+    dataflow: Dataflow,
+    config: AcceleratorConfig = AcceleratorConfig(),
+) -> Dict[int, float]:
+    """Total energy vs input sequence length for a workload factory."""
+    return {
+        seq: model_energy(workload_fn(seq), config, psum, dataflow).total
+        for seq in seq_lens
+    }
+
+
+def format_sweep(results: Dict, label: str, value_fmt: str = "{:.4g}") -> str:
+    """Render a sweep dict as a two-column table."""
+    lines = [f"{label:>12} {'value':>12}"]
+    for key, value in results.items():
+        lines.append(f"{key:>12} {value_fmt.format(value):>12}")
+    return "\n".join(lines)

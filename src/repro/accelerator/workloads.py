@@ -1,0 +1,127 @@
+"""Full-size GEMM workloads of the paper's four evaluation networks.
+
+These describe the *real* models (BERT-Base, Segformer-B0, EfficientViT-B1,
+LLaMA2-7B) — the analytical energy model needs only layer shapes, so unlike
+the accuracy experiments no scale reduction is required.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layers import GemmLayer, conv_as_gemm, validate_workload
+
+
+def bert_base_workload(
+    seq_len: int = 128, include_attention: bool = False
+) -> List[GemmLayer]:
+    """BERT-Base: 12 encoder layers, hidden 768, FFN 3072 (Section IV-A).
+
+    ``include_attention`` adds the dynamic attention GEMMs (Q·Kᵀ and
+    attention·V per head) that Score/Key-stationary accelerators [17, 18]
+    schedule like any other matmul — an extension beyond the paper's
+    projection-only analysis.
+    """
+    h, ffn, layers, heads = 768, 3072, 12, 12
+    head_dim = h // heads
+    per_layer = [
+        GemmLayer("qkv_proj", seq_len, h, 3 * h),
+        GemmLayer("attn_out", seq_len, h, h),
+        GemmLayer("ffn_in", seq_len, h, ffn),
+        GemmLayer("ffn_out", seq_len, ffn, h),
+    ]
+    workload = [g.scaled(layers) for g in per_layer]
+    if include_attention:
+        workload.append(GemmLayer("attn_scores", seq_len, head_dim, seq_len, layers * heads))
+        workload.append(GemmLayer("attn_values", seq_len, seq_len, head_dim, layers * heads))
+    return validate_workload(workload)
+
+
+def segformer_b0_workload(image_size: int = 512) -> List[GemmLayer]:
+    """Segformer-B0 at 512×512: 4 stages, dims (32, 64, 160, 256).
+
+    Tokens per stage: (H/4)², (H/8)², (H/16)², (H/32)² — over 20k tokens in
+    stage 1, which is what blows up the WS PSUM working set (Fig. 6b).
+    Spatial-reduction attention shrinks K/V GEMMs by sr² per stage.
+    """
+    dims = (32, 64, 160, 256)
+    depths = (2, 2, 2, 2)
+    sr = (8, 4, 2, 1)  # spatial reduction ratios
+    ffn_mult = 4
+    strides = (4, 8, 16, 32)
+    layers: List[GemmLayer] = []
+    in_ch = 3
+    for i, (dim, depth, stride) in enumerate(zip(dims, depths, strides)):
+        tokens = (image_size // stride) ** 2
+        kernel = 7 if i == 0 else 3
+        layers.append(
+            conv_as_gemm(f"s{i}_patch_embed", image_size // stride, image_size // stride, in_ch, dim, kernel)
+        )
+        kv_tokens = max(tokens // (sr[i] ** 2), 1)
+        per_block = [
+            GemmLayer(f"s{i}_q_proj", tokens, dim, dim),
+            GemmLayer(f"s{i}_kv_proj", kv_tokens, dim, 2 * dim),
+            GemmLayer(f"s{i}_attn_out", tokens, dim, dim),
+            GemmLayer(f"s{i}_ffn_in", tokens, dim, dim * ffn_mult),
+            GemmLayer(f"s{i}_ffn_out", tokens, dim * ffn_mult, dim),
+        ]
+        layers.extend(g.scaled(depth) for g in per_block)
+        in_ch = dim
+    return validate_workload(layers)
+
+
+def efficientvit_b1_workload(image_size: int = 512) -> List[GemmLayer]:
+    """EfficientViT-B1 at 512×512: conv stem + MBConv/linear-attention stages."""
+    dims = (16, 32, 64, 128, 256)
+    strides = (2, 4, 8, 16, 32)
+    attn_stages = {3, 4}  # linear attention in the last two stages
+    expand = 4
+    layers: List[GemmLayer] = [
+        conv_as_gemm("stem", image_size // 2, image_size // 2, 3, dims[0], 3)
+    ]
+    for i in range(1, len(dims)):
+        side = image_size // strides[i]
+        tokens = side * side
+        dim, prev = dims[i], dims[i - 1]
+        layers.append(conv_as_gemm(f"s{i}_down", side, side, prev, dim, 3))
+        # MBConv: pointwise expand + project (depthwise is register-local).
+        layers.append(GemmLayer(f"s{i}_mb_expand", tokens, dim, dim * expand))
+        layers.append(GemmLayer(f"s{i}_mb_project", tokens, dim * expand, dim))
+        if i in attn_stages:
+            layers.append(GemmLayer(f"s{i}_qkv", tokens, dim, 3 * dim))
+            layers.append(GemmLayer(f"s{i}_attn_out", tokens, dim, dim))
+    return validate_workload(layers)
+
+
+def llama2_7b_workload(seq_len: int = 4096, phase: str = "decode") -> List[GemmLayer]:
+    """LLaMA2-7B: 32 layers, hidden 4096, FFN 11008.
+
+    ``phase='decode'`` models autoregressive generation (M = 1 per step,
+    repeated ``seq_len`` times); ``phase='prefill'`` processes the whole
+    prompt at once (M = seq_len).  Section IV-D evaluates both.
+    """
+    h, ffn, num_layers = 4096, 11008, 32
+    if phase == "decode":
+        # One token at a time: only one output row's PSUMs are ever live,
+        # and stationary weights are still reused across the whole stream.
+        m, psum_m = seq_len, 1
+    elif phase == "prefill":
+        m, psum_m = seq_len, 0  # whole prompt's PSUMs live at once
+    else:
+        raise ValueError(f"phase must be 'decode' or 'prefill', got {phase!r}")
+    per_layer = [
+        GemmLayer("qkv_proj", m, h, 3 * h, psum_m=psum_m),
+        GemmLayer("attn_out", m, h, h, psum_m=psum_m),
+        GemmLayer("gate_proj", m, h, ffn, psum_m=psum_m),
+        GemmLayer("up_proj", m, h, ffn, psum_m=psum_m),
+        GemmLayer("down_proj", m, ffn, h, psum_m=psum_m),
+    ]
+    return validate_workload([g.scaled(num_layers) for g in per_layer])
+
+
+WORKLOADS = {
+    "bert-base": bert_base_workload,
+    "segformer-b0": segformer_b0_workload,
+    "efficientvit-b1": efficientvit_b1_workload,
+    "llama2-7b": llama2_7b_workload,
+}

@@ -1,0 +1,58 @@
+"""Synthetic datasets and metrics replacing GLUE / ADE20K / ZCSR offline."""
+
+from .glue import (
+    GLUE_TASK_NAMES,
+    SEQ_LEN,
+    TASK_SPECS,
+    VOCAB_SIZE,
+    all_glue_tasks,
+    make_glue_task,
+)
+from .metrics import (
+    accuracy,
+    f1_binary,
+    matthews_corr,
+    mean_iou,
+    pearson_corr,
+    spearman_corr,
+)
+from .reasoning import (
+    ZCSR_TASK_NAMES,
+    ZCSR_TASK_SPECS,
+    ZcsrExample,
+    ZcsrTask,
+    all_zcsr_tasks,
+    chain_step,
+    make_lm_corpus,
+    make_zcsr_task,
+    sample_chain,
+)
+from .segmentation import SegmentationSpec, make_segmentation_task
+from .task import TaskData
+
+__all__ = [
+    "TaskData",
+    "make_glue_task",
+    "all_glue_tasks",
+    "GLUE_TASK_NAMES",
+    "TASK_SPECS",
+    "VOCAB_SIZE",
+    "SEQ_LEN",
+    "make_segmentation_task",
+    "SegmentationSpec",
+    "make_zcsr_task",
+    "all_zcsr_tasks",
+    "make_lm_corpus",
+    "sample_chain",
+    "chain_step",
+    "ZcsrTask",
+    "ZcsrExample",
+    "ZCSR_TASK_NAMES",
+    "ZCSR_TASK_SPECS",
+    "accuracy",
+    "f1_binary",
+    "matthews_corr",
+    "pearson_corr",
+    "spearman_corr",
+    "mean_iou",
+]

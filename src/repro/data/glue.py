@@ -1,0 +1,210 @@
+"""Synthetic GLUE suite (substitute for the real benchmark — see DESIGN.md).
+
+The real GLUE tasks cannot be downloaded in this offline environment, so
+each task is replaced by a seeded generator producing the same *kind* of
+problem with a controllable difficulty:
+
+- Pair tasks (QNLI, RTE, MRPC, MNLI): two token segments separated by SEP;
+  the label depends on whether (and which) key token is shared between the
+  segments — solved by cross-segment attention.  Keys are written at two
+  positions per segment so the signal is robust at tiny model scale.
+- CoLA: single-segment acceptability — an ascending key run is intact (1)
+  or permuted (0) — scored with Matthews correlation.
+- STS-B: regression on the fraction of shared key slots (a similarity
+  score in [0, 5]), scored with Pearson correlation.
+
+A per-task ``label_noise`` flips that fraction of labels in *both* splits,
+capping achievable accuracy below 100% so the Baseline-vs-APSQ
+comparisons live on a realistic scale (mirroring the paper's task spread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .metrics import accuracy, matthews_corr, pearson_corr
+from .task import TaskData
+
+# Token-id layout within the vocabulary.
+PAD, CLS, SEP = 0, 1, 2
+KEY_BASE = 3  # key tokens: [KEY_BASE, KEY_BASE + NUM_KEYS)
+NUM_KEYS = 8
+NUM_PAIR_KEYS = 4  # pair tasks draw from the first four keys
+NOISE_BASE = KEY_BASE + NUM_KEYS
+
+VOCAB_SIZE = 64
+SEQ_LEN = 16
+
+
+@dataclass(frozen=True)
+class GlueTaskSpec:
+    """Generator settings for one synthetic GLUE task."""
+
+    name: str
+    num_classes: int
+    metric_name: str
+    label_noise: float
+    regression: bool = False
+    pair: bool = True
+    n_train: int = 512
+    n_eval: int = 256
+    seed: int = 0
+
+
+TASK_SPECS: Dict[str, GlueTaskSpec] = {
+    # label_noise shapes the per-task ceiling so the suite spreads out the
+    # way Table I's baselines do (QNLI easiest ... RTE/CoLA hardest).
+    "QNLI": GlueTaskSpec("QNLI", 2, "accuracy", label_noise=0.06, seed=101),
+    "MNLI": GlueTaskSpec("MNLI", 3, "accuracy", label_noise=0.10, seed=102),
+    "RTE": GlueTaskSpec("RTE", 2, "accuracy", label_noise=0.22, seed=103, n_train=384),
+    "STS-B": GlueTaskSpec("STS-B", 1, "pearson", label_noise=0.0, regression=True, seed=104),
+    "MRPC": GlueTaskSpec("MRPC", 2, "accuracy", label_noise=0.10, seed=105),
+    "CoLA": GlueTaskSpec("CoLA", 2, "matthews", label_noise=0.18, pair=False, seed=106),
+}
+
+GLUE_TASK_NAMES: Tuple[str, ...] = tuple(TASK_SPECS)
+
+_METRICS = {
+    "accuracy": accuracy,
+    "matthews": matthews_corr,
+    "pearson": pearson_corr,
+}
+
+_HALF = (SEQ_LEN - 2) // 2
+
+
+def _noise_tokens(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.integers(NOISE_BASE, VOCAB_SIZE, size=n)
+
+
+def _plant(segment: np.ndarray, rng: np.random.Generator, token: int) -> None:
+    """Write ``token`` at two distinct random positions of ``segment``."""
+    pos = rng.choice(len(segment), size=2, replace=False)
+    segment[pos] = token
+
+
+def _assemble_pair(seg1: np.ndarray, seg2: np.ndarray) -> np.ndarray:
+    seq = np.empty(SEQ_LEN, dtype=np.int64)
+    seq[0] = CLS
+    seq[1 : 1 + _HALF] = seg1
+    seq[1 + _HALF] = SEP
+    seq[2 + _HALF :] = seg2
+    return seq
+
+
+def _make_pair_example(
+    rng: np.random.Generator, num_classes: int
+) -> Tuple[np.ndarray, int]:
+    """Cross-segment key relation encodes the class.
+
+    Binary: label 1 = segments share a key, 0 = different keys.
+    Three-way (MNLI): 0 = different keys, 1 = shared key from the first
+    bucket, 2 = shared key from the second bucket.
+    """
+    seg1 = _noise_tokens(rng, _HALF)
+    seg2 = _noise_tokens(rng, SEQ_LEN - 2 - _HALF)
+    label = int(rng.integers(0, num_classes))
+    if label == 0:
+        k1, k2 = rng.choice(NUM_PAIR_KEYS, size=2, replace=False)
+        _plant(seg1, rng, KEY_BASE + int(k1))
+        _plant(seg2, rng, KEY_BASE + int(k2))
+    else:
+        bucket = NUM_PAIR_KEYS // max(num_classes - 1, 1)
+        key = KEY_BASE + (label - 1) * bucket + int(rng.integers(bucket))
+        _plant(seg1, rng, key)
+        _plant(seg2, rng, key)
+    return _assemble_pair(seg1, seg2), label
+
+
+def _make_cola_example(rng: np.random.Generator) -> Tuple[np.ndarray, int]:
+    """Acceptability: unacceptable sequences carry a violation-marker key.
+
+    Acceptable sequences (label 1) contain only keys from the first half of
+    the key range; unacceptable ones (label 0) additionally carry a single
+    "violation" key from the second half — a local marker the model must
+    spot anywhere in the sentence, the way agreement violations work.
+    """
+    seq = np.empty(SEQ_LEN, dtype=np.int64)
+    seq[0] = CLS
+    body = _noise_tokens(rng, SEQ_LEN - 1)
+    good_key = KEY_BASE + int(rng.integers(NUM_KEYS // 2))
+    _plant(body, rng, good_key)
+    label = int(rng.integers(0, 2))
+    if label == 0:
+        violation = KEY_BASE + NUM_KEYS // 2 + int(rng.integers(NUM_KEYS // 2))
+        body[rng.integers(len(body))] = violation
+    seq[1:] = body
+    return seq, label
+
+
+def _make_stsb_example(rng: np.random.Generator) -> Tuple[np.ndarray, float]:
+    """Similarity regression: score = 5 · (shared key slots / 4).
+
+    Segment 1 carries keys 0-3 (shuffled); segment 2 repeats ``shared`` of
+    them and replaces the rest with keys 4-7.
+    """
+    seg1 = _noise_tokens(rng, _HALF)
+    seg2 = _noise_tokens(rng, SEQ_LEN - 2 - _HALF)
+    shared = int(rng.integers(0, 5))
+    slots = rng.permutation(4)
+    pos1 = rng.choice(_HALF, size=4, replace=False)
+    pos2 = rng.choice(len(seg2), size=4, replace=False)
+    for i, slot in enumerate(slots):
+        seg1[pos1[i]] = KEY_BASE + slot
+        seg2[pos2[i]] = KEY_BASE + slot if i < shared else KEY_BASE + 4 + slot
+    return _assemble_pair(seg1, seg2), 5.0 * shared / 4.0
+
+
+def make_glue_task(name: str, n_train: int = 0, n_eval: int = 0) -> TaskData:
+    """Generate one synthetic GLUE task (deterministic per task name).
+
+    ``n_train``/``n_eval`` override the spec's split sizes when positive
+    (used by the fast test profile).
+    """
+    if name not in TASK_SPECS:
+        raise KeyError(f"unknown GLUE task {name!r}; options: {sorted(TASK_SPECS)}")
+    spec = TASK_SPECS[name]
+    rng = np.random.default_rng(spec.seed)
+
+    def build(n: int):
+        xs: List[np.ndarray] = []
+        ys: List[float] = []
+        for _ in range(n):
+            if spec.regression:
+                x, y = _make_stsb_example(rng)
+            elif not spec.pair:
+                x, y = _make_cola_example(rng)
+            else:
+                x, y = _make_pair_example(rng, spec.num_classes)
+            xs.append(x)
+            ys.append(y)
+        x_arr = np.stack(xs)
+        y_arr = np.asarray(ys, dtype=float if spec.regression else np.int64)
+        if spec.label_noise > 0 and not spec.regression:
+            flip = rng.random(n) < spec.label_noise
+            noise_labels = rng.integers(0, spec.num_classes, size=n)
+            y_arr = np.where(flip, noise_labels, y_arr)
+        return x_arr, y_arr
+
+    train_x, train_y = build(n_train or spec.n_train)
+    eval_x, eval_y = build(n_eval or spec.n_eval)
+    return TaskData(
+        name=name,
+        train_x=train_x,
+        train_y=train_y,
+        eval_x=eval_x,
+        eval_y=eval_y,
+        num_classes=spec.num_classes,
+        metric_name=spec.metric_name,
+        metric_fn=_METRICS[spec.metric_name],
+        regression=spec.regression,
+        extra={"vocab_size": VOCAB_SIZE, "seq_len": SEQ_LEN},
+    )
+
+
+def all_glue_tasks() -> Dict[str, TaskData]:
+    """The full six-task suite of Table I."""
+    return {name: make_glue_task(name) for name in GLUE_TASK_NAMES}

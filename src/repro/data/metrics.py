@@ -1,0 +1,80 @@
+"""Task metrics matching the paper's evaluation protocols.
+
+GLUE tasks use accuracy (QNLI/MNLI/RTE/MRPC), Matthews correlation (CoLA)
+and Pearson correlation (STS-B); segmentation uses mean IoU; the ZCSR
+suite uses multiple-choice accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def accuracy(outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Classification accuracy; ``outputs`` are logits (..., C) or labels."""
+    preds = outputs.argmax(axis=-1) if outputs.ndim > targets.ndim else outputs
+    return float((preds == targets).mean())
+
+
+def f1_binary(outputs: np.ndarray, targets: np.ndarray) -> float:
+    """F1 of the positive class for binary tasks (MRPC's second metric)."""
+    preds = outputs.argmax(axis=-1) if outputs.ndim > targets.ndim else outputs
+    tp = float(((preds == 1) & (targets == 1)).sum())
+    fp = float(((preds == 1) & (targets == 0)).sum())
+    fn = float(((preds == 0) & (targets == 1)).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def matthews_corr(outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Matthews correlation coefficient (CoLA)."""
+    preds = outputs.argmax(axis=-1) if outputs.ndim > targets.ndim else outputs
+    tp = float(((preds == 1) & (targets == 1)).sum())
+    tn = float(((preds == 0) & (targets == 0)).sum())
+    fp = float(((preds == 1) & (targets == 0)).sum())
+    fn = float(((preds == 0) & (targets == 1)).sum())
+    denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denom == 0:
+        return 0.0
+    return float((tp * tn - fp * fn) / denom)
+
+
+def pearson_corr(outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Pearson correlation (STS-B)."""
+    outputs = outputs.reshape(-1)
+    if np.std(outputs) == 0 or np.std(targets) == 0:
+        return 0.0
+    return float(stats.pearsonr(outputs, targets)[0])
+
+
+def spearman_corr(outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Spearman rank correlation (STS-B's second metric)."""
+    outputs = outputs.reshape(-1)
+    if np.std(outputs) == 0 or np.std(targets) == 0:
+        return 0.0
+    return float(stats.spearmanr(outputs, targets)[0])
+
+
+def mean_iou(outputs: np.ndarray, targets: np.ndarray, num_classes: int = 0) -> float:
+    """Mean intersection-over-union (ADE20K metric).
+
+    ``outputs`` are logits (..., C) or label maps; classes absent from both
+    prediction and target are excluded from the mean, as in mmseg.
+    """
+    if num_classes == 0:
+        num_classes = int(outputs.shape[-1]) if outputs.ndim > targets.ndim else int(targets.max()) + 1
+    preds = outputs.argmax(axis=-1) if outputs.ndim > targets.ndim else outputs
+    ious = []
+    for cls in range(num_classes):
+        pred_mask = preds == cls
+        target_mask = targets == cls
+        union = float((pred_mask | target_mask).sum())
+        if union == 0:
+            continue
+        intersection = float((pred_mask & target_mask).sum())
+        ious.append(intersection / union)
+    return float(np.mean(ious)) if ious else 0.0

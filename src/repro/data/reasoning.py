@@ -1,0 +1,181 @@
+"""Synthetic zero-shot commonsense-reasoning (ZCSR) suite for the LLM
+experiments (Table III substitute).
+
+A tiny "language" is defined by a noisy affine Markov chain over the
+vocabulary: ``next = (a·cur + b) mod V`` with probability ``1 - eps``,
+uniform otherwise.  The LLaMA model is pre-trained as a causal LM on chain
+samples; each reasoning task is then *zero-shot* multiple choice — score
+each candidate continuation by conditional log-likelihood
+(:meth:`LlamaTiny.sequence_logprob`) and pick the best, exactly the
+lm-eval-harness protocol the paper uses [29].
+
+Task difficulty is controlled by the chain noise during *candidate
+generation* and the number of choices, yielding a spread of baseline
+accuracies comparable to the paper's seven tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+VOCAB_SIZE = 32
+CHAIN_A, CHAIN_B = 5, 3  # multiplier coprime with VOCAB_SIZE -> full cycle
+
+
+@dataclass(frozen=True)
+class ZcsrTaskSpec:
+    """Settings for one synthetic reasoning task.
+
+    ``distractor`` controls how hard wrong choices are to reject:
+
+    - ``"random"`` — uniform random tokens (easy: every transition is wrong)
+    - ``"shifted"`` — a valid chain started from the wrong predecessor
+      (hard: only the first transition betrays it)
+    - ``"corrupt"`` — the correct continuation with one position replaced
+      (medium)
+    """
+
+    name: str
+    num_choices: int
+    context_len: int
+    completion_len: int
+    chain_eps: float  # noise in the *correct* continuation
+    distractor: str = "random"
+    n_examples: int = 128
+    seed: int = 0
+
+
+# Difficulty ordering mirrors the paper's baseline spread: BoolQ/PIQA easy,
+# Arc-c / OBQA hard (shifted distractors + noisier continuations).
+ZCSR_TASK_SPECS: Dict[str, ZcsrTaskSpec] = {
+    "BoolQ": ZcsrTaskSpec("BoolQ", 2, 8, 3, 0.15, "corrupt", seed=201),
+    "PIQA": ZcsrTaskSpec("PIQA", 2, 8, 3, 0.12, "corrupt", seed=202),
+    "HellaSwag": ZcsrTaskSpec("HellaSwag", 4, 8, 3, 0.15, "corrupt", seed=203),
+    "WinoGrande": ZcsrTaskSpec("WinoGrande", 2, 6, 2, 0.25, "shifted", seed=204),
+    "Arc-e": ZcsrTaskSpec("Arc-e", 4, 8, 3, 0.15, "corrupt", seed=205),
+    "Arc-c": ZcsrTaskSpec("Arc-c", 4, 6, 2, 0.35, "shifted", seed=206),
+    "OBQA": ZcsrTaskSpec("OBQA", 4, 6, 2, 0.40, "shifted", seed=207),
+}
+
+ZCSR_TASK_NAMES: Tuple[str, ...] = tuple(ZCSR_TASK_SPECS)
+
+
+def chain_step(token: np.ndarray) -> np.ndarray:
+    """Deterministic next token of the synthetic language."""
+    return (CHAIN_A * token + CHAIN_B) % VOCAB_SIZE
+
+
+def sample_chain(
+    rng: np.random.Generator, length: int, batch: int, eps: float = 0.05
+) -> np.ndarray:
+    """Sample (batch, length) sequences from the noisy chain."""
+    seqs = np.empty((batch, length), dtype=np.int64)
+    seqs[:, 0] = rng.integers(0, VOCAB_SIZE, size=batch)
+    for t in range(1, length):
+        nxt = chain_step(seqs[:, t - 1])
+        noise = rng.random(batch) < eps
+        random_tokens = rng.integers(0, VOCAB_SIZE, size=batch)
+        seqs[:, t] = np.where(noise, random_tokens, nxt)
+    return seqs
+
+
+def make_lm_corpus(
+    n_sequences: int = 384, seq_len: int = 20, eps: float = 0.05, seed: int = 42
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pre-training corpus: inputs and next-token targets for the causal LM."""
+    rng = np.random.default_rng(seed)
+    seqs = sample_chain(rng, seq_len + 1, n_sequences, eps=eps)
+    return seqs[:, :-1], seqs[:, 1:]
+
+
+@dataclass
+class ZcsrExample:
+    """One multiple-choice example: shared context, candidate completions."""
+
+    context: np.ndarray  # (context_len,)
+    choices: np.ndarray  # (num_choices, completion_len)
+    answer: int
+
+
+@dataclass
+class ZcsrTask:
+    """A full zero-shot task: examples + helpers to score a model."""
+
+    name: str
+    spec: ZcsrTaskSpec
+    examples: List[ZcsrExample]
+
+    def evaluate(self, model) -> float:
+        """Accuracy of likelihood-ranked choices under ``model``.
+
+        ``model`` must expose ``sequence_logprob(tokens, prefix_len)``.
+        """
+        correct = 0
+        for ex in self.examples:
+            num_choices = len(ex.choices)
+            tokens = np.concatenate(
+                [
+                    np.broadcast_to(ex.context, (num_choices, len(ex.context))),
+                    ex.choices,
+                ],
+                axis=1,
+            )
+            scores = model.sequence_logprob(tokens, prefix_len=len(ex.context))
+            if int(scores.argmax()) == ex.answer:
+                correct += 1
+        return correct / len(self.examples)
+
+
+def make_zcsr_task(name: str) -> ZcsrTask:
+    """Generate one reasoning task (deterministic per name)."""
+    if name not in ZCSR_TASK_SPECS:
+        raise KeyError(f"unknown ZCSR task {name!r}; options: {sorted(ZCSR_TASK_SPECS)}")
+    spec = ZCSR_TASK_SPECS[name]
+    rng = np.random.default_rng(spec.seed)
+    examples: List[ZcsrExample] = []
+    for _ in range(spec.n_examples):
+        context = sample_chain(rng, spec.context_len, 1, eps=0.0)[0]
+        # Correct choice: continue the chain (with task-specific noise).
+        correct = np.empty(spec.completion_len, dtype=np.int64)
+        prev = context[-1]
+        for t in range(spec.completion_len):
+            nxt = chain_step(np.asarray(prev))
+            if rng.random() < spec.chain_eps:
+                nxt = rng.integers(0, VOCAB_SIZE)
+            correct[t] = nxt
+            prev = correct[t]
+        # Distractors: wrong continuations of task-specific plausibility.
+        choices = [correct]
+        while len(choices) < spec.num_choices:
+            if spec.distractor == "shifted":
+                # Valid chain from a wrong predecessor: only the first
+                # transition is inconsistent with the context.
+                start = int(rng.integers(0, VOCAB_SIZE))
+                if chain_step(np.asarray(context[-1])) == chain_step(np.asarray(start)):
+                    continue
+                cand = np.empty(spec.completion_len, dtype=np.int64)
+                prev = start
+                for t in range(spec.completion_len):
+                    prev = int(chain_step(np.asarray(prev)))
+                    cand[t] = prev
+            elif spec.distractor == "corrupt":
+                cand = correct.copy()
+                pos = int(rng.integers(spec.completion_len))
+                cand[pos] = int(rng.integers(0, VOCAB_SIZE))
+            else:
+                cand = rng.integers(0, VOCAB_SIZE, size=spec.completion_len)
+            if not any(np.array_equal(cand, c) for c in choices):
+                choices.append(cand)
+        order = rng.permutation(spec.num_choices)
+        choices_arr = np.stack(choices)[order]
+        answer = int(np.where(order == 0)[0][0])
+        examples.append(ZcsrExample(context=context, choices=choices_arr, answer=answer))
+    return ZcsrTask(name=name, spec=spec, examples=examples)
+
+
+def all_zcsr_tasks() -> Dict[str, ZcsrTask]:
+    """The full seven-task suite of Table III."""
+    return {name: make_zcsr_task(name) for name in ZCSR_TASK_NAMES}

@@ -1,0 +1,40 @@
+"""Common task container shared by the GLUE / segmentation / ZCSR suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass
+class TaskData:
+    """A self-contained supervised task: data splits + metric.
+
+    ``metric_fn(model_outputs, targets)`` returns the headline number the
+    paper reports for the task (accuracy, Matthews, Pearson or mIoU).
+    """
+
+    name: str
+    train_x: np.ndarray
+    train_y: np.ndarray
+    eval_x: np.ndarray
+    eval_y: np.ndarray
+    num_classes: int
+    metric_name: str
+    metric_fn: MetricFn
+    regression: bool = False
+    extra: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.train_x) != len(self.train_y):
+            raise ValueError("train split size mismatch")
+        if len(self.eval_x) != len(self.eval_y):
+            raise ValueError("eval split size mismatch")
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        return {"train": len(self.train_x), "eval": len(self.eval_x)}

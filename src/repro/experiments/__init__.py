@@ -1,0 +1,46 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(...) -> dict`` (the data behind the artefact)
+and a formatter that prints the same rows/series the paper reports.
+Accuracy experiments honour the ``REPRO_PROFILE`` env var
+(smoke / fast / full) and cache finished metrics in ``.repro_cache/``.
+"""
+
+from . import cache, fig1, fig5, fig6, table1, table2, table3, table4
+from .profiles import PROFILES, Profile, get_profile
+from .runner import (
+    METHOD_NAMES,
+    evaluate_zcsr,
+    format_table,
+    method_config,
+    pretrain_llama,
+    pretrain_teacher,
+    qat_student,
+    quantized_llama,
+    run_glue_task,
+    run_segmentation,
+)
+
+__all__ = [
+    "fig1",
+    "fig5",
+    "fig6",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "cache",
+    "Profile",
+    "PROFILES",
+    "get_profile",
+    "METHOD_NAMES",
+    "method_config",
+    "run_glue_task",
+    "run_segmentation",
+    "pretrain_teacher",
+    "pretrain_llama",
+    "quantized_llama",
+    "evaluate_zcsr",
+    "qat_student",
+    "format_table",
+]

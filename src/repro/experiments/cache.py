@@ -1,0 +1,55 @@
+"""Tiny JSON metric cache so repeated benchmark runs skip retraining.
+
+Keyed by experiment/task/method/profile.  Disable with ``REPRO_CACHE=0``;
+the cache directory defaults to ``.repro_cache`` under the current working
+directory (override with ``REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _path(key: str) -> Path:
+    safe = key.replace("/", "_").replace(" ", "_").replace("=", "-")
+    return cache_dir() / f"{safe}.json"
+
+
+def load(key: str) -> Optional[float]:
+    if not cache_enabled():
+        return None
+    path = _path(key)
+    if not path.exists():
+        return None
+    try:
+        return float(json.loads(path.read_text())["value"])
+    except (json.JSONDecodeError, KeyError, ValueError):
+        return None
+
+
+def store(key: str, value: float) -> None:
+    if not cache_enabled():
+        return
+    cache_dir().mkdir(parents=True, exist_ok=True)
+    _path(key).write_text(json.dumps({"key": key, "value": float(value)}))
+
+
+def cached(key: str, compute: Callable[[], float]) -> float:
+    """Return the cached value for ``key`` or compute and store it."""
+    hit = load(key)
+    if hit is not None:
+        return hit
+    value = compute()
+    store(key, value)
+    return value

@@ -1,0 +1,77 @@
+"""Terminal bar charts for the reproduced figures.
+
+The paper's figures are matplotlib bar charts; offline and head-less, we
+render the same series as unicode horizontal bars so ``pytest benchmarks/``
+output is directly comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence  # noqa: F401
+
+FULL, PARTIALS = "█", " ▏▎▍▌▋▊▉"
+
+
+def bar(value: float, peak: float, width: int = 40) -> str:
+    """A horizontal bar for ``value`` scaled so ``peak`` fills ``width``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if peak <= 0:
+        return ""
+    fraction = max(min(value / peak, 1.0), 0.0)
+    eighths = round(fraction * width * 8)
+    full, rem = divmod(eighths, 8)
+    return FULL * full + (PARTIALS[rem] if rem else "")
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.3f}",
+    peak: Optional[float] = None,
+) -> str:
+    """Render a labelled horizontal bar chart of ``series``."""
+    if not series:
+        raise ValueError("empty series")
+    peak = peak if peak is not None else max(series.values())
+    label_width = max(len(k) for k in series)
+    lines = []
+    for key, value in series.items():
+        lines.append(
+            f"{key:<{label_width}} {fmt.format(value):>8} {bar(value, peak, width)}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_shares(
+    rows: Mapping[str, Mapping[str, float]],
+    categories: Sequence[str],
+    width: int = 40,
+) -> str:
+    """Render rows of category shares as segmented bars (Fig. 1 style).
+
+    Each row's categories are normalised to that row's total; segments use
+    one letter per category.
+    """
+    letters: Dict[str, str] = {}
+    used = set()
+    for cat in categories:
+        candidates = list(cat) + list(cat.upper()) + list("abcdefghijklmnopqrstuvwxyz")
+        letter = next((ch for ch in candidates if ch not in used), cat[0])
+        letters[cat] = letter
+        used.add(letter)
+    label_width = max(len(k) for k in rows)
+    lines = [
+        "legend: " + ", ".join(f"{letters[c]}={c}" for c in categories),
+    ]
+    for key, values in rows.items():
+        total = sum(values.get(c, 0.0) for c in categories)
+        if total <= 0:
+            lines.append(f"{key:<{label_width}} (empty)")
+            continue
+        segments = []
+        for cat in categories:
+            length = round(width * values.get(cat, 0.0) / total)
+            segments.append(letters[cat] * length)
+        lines.append(f"{key:<{label_width}} |{''.join(segments)[:width]:<{width}}|")
+    return "\n".join(lines)

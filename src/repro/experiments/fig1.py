@@ -1,0 +1,75 @@
+"""Figure 1: energy breakdown of IS/WS/OS dataflows vs PSUM bitwidth.
+
+Reproduces the stacked bars for BERT-Base with 128 input tokens: for each
+dataflow and PSUM precision (INT32/16/8) the per-category energy
+(ifmap / ofmap / weight / op / psum) normalized to the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    baseline_psum_format,
+    bert_base_workload,
+    model_energy,
+)
+
+PSUM_BITS = (32, 16, 8)
+DATAFLOWS = (Dataflow.IS, Dataflow.WS, Dataflow.OS)
+
+
+def run(seq_len: int = 128) -> Dict[str, Dict[str, float]]:
+    """Compute the Fig. 1 data: {"IS/32": {category: energy, ...}, ...}."""
+    config = AcceleratorConfig()
+    workload = bert_base_workload(seq_len)
+    results: Dict[str, Dict[str, float]] = {}
+    for dataflow in DATAFLOWS:
+        for bits in PSUM_BITS:
+            breakdown = model_energy(
+                workload, config, baseline_psum_format(bits), dataflow
+            )
+            entry = breakdown.as_dict()
+            entry["total"] = breakdown.total
+            entry["psum_share"] = breakdown.psum_share
+            results[f"{dataflow.name}/{bits}"] = entry
+    # Normalize to the global maximum, as the figure does.
+    peak = max(v["total"] for v in results.values())
+    for entry in results.values():
+        entry["normalized_total"] = entry["total"] / peak
+    return results
+
+
+def format_table(results: Dict[str, Dict[str, float]]) -> str:
+    lines = [
+        "Fig. 1 — BERT-Base (128 tokens) energy breakdown",
+        f"{'config':<10} {'norm.total':>10} {'psum%':>7}  "
+        f"{'ifmap%':>7} {'weight%':>8} {'ofmap%':>7} {'op%':>6}",
+    ]
+    for key, entry in results.items():
+        total = entry["total"]
+        lines.append(
+            f"{key:<10} {entry['normalized_total']:>10.3f} "
+            f"{100 * entry['psum_share']:>6.1f}%  "
+            f"{100 * entry['ifmap'] / total:>6.1f}% "
+            f"{100 * entry['weight'] / total:>7.1f}% "
+            f"{100 * entry['ofmap'] / total:>6.1f}% "
+            f"{100 * entry['op'] / total:>5.1f}%"
+        )
+    # Segmented bars of the per-category shares (the paper's stacks).
+    from .charts import stacked_shares
+
+    lines.append("")
+    lines.append(
+        stacked_shares(
+            {k: {c: v[c] for c in ("psum", "weight", "ifmap", "ofmap", "op")} for k, v in results.items()},
+            ["psum", "weight", "ifmap", "ofmap", "op"],
+        )
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

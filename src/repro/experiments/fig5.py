@@ -1,0 +1,96 @@
+"""Figure 5: energy vs accuracy across gs for MRPC under WS, INT4/6/8 PSUMs.
+
+Energy comes from the analytical model (BERT-Base workload, WS dataflow);
+accuracy from QAT on the synthetic MRPC task with the PSUM quantizers at
+4, 6 or 8 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    bert_base_workload,
+    model_energy,
+)
+from . import cache
+from .profiles import Profile, get_profile
+from .runner import run_glue_task
+
+PSUM_BITS = (8, 6, 4)
+GS_VALUES = (1, 2, 3, 4)
+
+
+def energy_curve() -> Dict[str, float]:
+    """Normalized WS energy for each (bits, gs) point plus the baseline."""
+    config = AcceleratorConfig()
+    workload = bert_base_workload(128)
+    base = model_energy(workload, config, baseline_psum_format(32), Dataflow.WS).total
+    curve = {"Baseline": 1.0}
+    for bits in PSUM_BITS:
+        for gs in GS_VALUES:
+            fmt = apsq_psum_format(gs, bits=bits)
+            curve[f"INT{bits}/gs={gs}"] = (
+                model_energy(workload, config, fmt, Dataflow.WS).total / base
+            )
+    return curve
+
+
+def accuracy_curve(profile: Optional[Profile] = None) -> Dict[str, float]:
+    """MRPC accuracy for each (bits, gs) point plus the W8A8 baseline."""
+    profile = profile or get_profile()
+    results: Dict[str, float] = {}
+
+    baseline_key = f"fig5/{profile.name}/mrpc/Baseline"
+    hit = cache.load(baseline_key)
+    if hit is None:
+        hit = run_glue_task("MRPC", profile, methods=["Baseline"])["Baseline"]
+        cache.store(baseline_key, hit)
+    results["Baseline"] = hit
+
+    for bits in PSUM_BITS:
+        missing = [
+            gs for gs in GS_VALUES
+            if cache.load(f"fig5/{profile.name}/mrpc/INT{bits}/gs={gs}") is None
+        ]
+        if missing:
+            fresh = run_glue_task(
+                "MRPC", profile, methods=[f"gs={gs}" for gs in missing], psum_bits=bits
+            )
+            for method, value in fresh.items():
+                cache.store(f"fig5/{profile.name}/mrpc/INT{bits}/{method}", value)
+        for gs in GS_VALUES:
+            results[f"INT{bits}/gs={gs}"] = cache.load(
+                f"fig5/{profile.name}/mrpc/INT{bits}/gs={gs}"
+            )
+    return results
+
+
+def run(profile: Optional[Profile] = None) -> Dict[str, Dict[str, float]]:
+    """Fig. 5 data: {point: {"energy":..., "accuracy": ...}}."""
+    energy = energy_curve()
+    accuracy = accuracy_curve(profile)
+    return {
+        point: {"energy": energy.get(point), "accuracy": accuracy.get(point)}
+        for point in energy
+    }
+
+
+def format_table(results: Dict[str, Dict[str, float]]) -> str:
+    lines = [
+        "Fig. 5 — MRPC under WS: energy vs accuracy per PSUM precision",
+        f"{'point':<14} {'norm.energy':>12} {'accuracy':>10}",
+    ]
+    for point, entry in results.items():
+        acc = entry.get("accuracy")
+        acc_str = f"{100 * acc:>9.2f}%" if acc is not None else "      -"
+        lines.append(f"{point:<14} {entry['energy']:>12.3f} {acc_str}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

@@ -1,0 +1,69 @@
+"""Figure 6: normalized energy across gs settings and models, IS and WS.
+
+For each model (BERT-Base, Segformer-B0, EfficientViT-B1) and dataflow,
+energy of INT8 APSQ at gs ∈ {1..4} normalized to the INT32-PSUM baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    bert_base_workload,
+    efficientvit_b1_workload,
+    model_energy,
+    segformer_b0_workload,
+)
+
+MODELS = {
+    "BERT-Base": bert_base_workload,
+    "Segformer-B0": segformer_b0_workload,
+    "EfficientViT-B1": efficientvit_b1_workload,
+}
+GS_VALUES = (1, 2, 3, 4)
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """{"IS/BERT-Base": {"Baseline": 1.0, "gs=1": ..., ...}, ...}"""
+    config = AcceleratorConfig()
+    reference = baseline_psum_format(32)
+    results: Dict[str, Dict[str, float]] = {}
+    for dataflow in (Dataflow.IS, Dataflow.WS):
+        for model_name, workload_fn in MODELS.items():
+            workload = workload_fn()
+            base = model_energy(workload, config, reference, dataflow).total
+            row = {"Baseline": 1.0}
+            for gs in GS_VALUES:
+                energy = model_energy(
+                    workload, config, apsq_psum_format(gs), dataflow
+                ).total
+                row[f"gs={gs}"] = energy / base
+            results[f"{dataflow.name}/{model_name}"] = row
+    return results
+
+
+def format_table(results: Dict[str, Dict[str, float]]) -> str:
+    columns = ["Baseline"] + [f"gs={g}" for g in GS_VALUES]
+    lines = [
+        "Fig. 6 — normalized energy (INT8 APSQ vs INT32 baseline)",
+        f"{'dataflow/model':<24} " + " ".join(f"{c:>9}" for c in columns),
+    ]
+    for key, row in results.items():
+        lines.append(
+            f"{key:<24} " + " ".join(f"{row[c]:>9.3f}" for c in columns)
+        )
+    # Bar-chart rendering of the gs=1 series, mirroring the paper's bars.
+    from .charts import bar_chart
+
+    lines.append("")
+    lines.append("gs=1 energy vs baseline (bars):")
+    lines.append(bar_chart({k: v["gs=1"] for k, v in results.items()}, peak=1.0))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

@@ -1,0 +1,74 @@
+"""Experiment effort profiles.
+
+Accuracy experiments retrain models from scratch, so wall-time is governed
+by split sizes and epochs.  Three profiles are provided:
+
+- ``smoke`` — seconds per experiment; used by the test suite.
+- ``fast`` — the default for ``pytest benchmarks/``; minutes per table.
+- ``full`` — the numbers recorded in EXPERIMENTS.md.
+
+Select with the ``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Effort knobs for the accuracy experiments."""
+
+    name: str
+    # BERT / GLUE
+    bert_train: int
+    bert_eval: int
+    bert_pretrain_epochs: int
+    bert_qat_epochs: int
+    # Segmentation models
+    seg_train: int
+    seg_eval: int
+    seg_pretrain_epochs: int
+    seg_qat_epochs: int
+    # LLaMA / ZCSR
+    lm_corpus: int
+    lm_pretrain_epochs: int
+    lm_qat_epochs: int
+    zcsr_examples: int
+    # Shared optimisation settings
+    pretrain_lr: float = 2e-3
+    qat_lr: float = 5e-4
+    batch_size: int = 32
+    seg_batch_size: int = 8
+
+
+PROFILES: Dict[str, Profile] = {
+    "smoke": Profile(
+        name="smoke",
+        bert_train=96, bert_eval=96, bert_pretrain_epochs=4, bert_qat_epochs=1,
+        seg_train=16, seg_eval=16, seg_pretrain_epochs=2, seg_qat_epochs=1,
+        lm_corpus=96, lm_pretrain_epochs=2, lm_qat_epochs=1, zcsr_examples=24,
+    ),
+    "fast": Profile(
+        name="fast",
+        bert_train=256, bert_eval=256, bert_pretrain_epochs=12, bert_qat_epochs=3,
+        seg_train=64, seg_eval=48, seg_pretrain_epochs=6, seg_qat_epochs=2,
+        lm_corpus=256, lm_pretrain_epochs=8, lm_qat_epochs=2, zcsr_examples=96,
+    ),
+    "full": Profile(
+        name="full",
+        bert_train=512, bert_eval=256, bert_pretrain_epochs=15, bert_qat_epochs=6,
+        seg_train=96, seg_eval=48, seg_pretrain_epochs=8, seg_qat_epochs=4,
+        lm_corpus=384, lm_pretrain_epochs=10, lm_qat_epochs=3, zcsr_examples=128,
+    ),
+}
+
+
+def get_profile(name: str = "") -> Profile:
+    """Resolve a profile by name or the ``REPRO_PROFILE`` env var."""
+    key = name or os.environ.get("REPRO_PROFILE", "fast")
+    if key not in PROFILES:
+        raise KeyError(f"unknown profile {key!r}; options: {sorted(PROFILES)}")
+    return PROFILES[key]

@@ -1,0 +1,239 @@
+"""Shared experiment machinery: pretrain a float teacher, quantize a
+student per method, QAT-finetune with distillation, evaluate.
+
+The "methods" axis matches the columns of Tables I/III:
+``Baseline`` (W8A8, full-precision PSUMs) and ``gs=1..4`` (INT8 APSQ with
+the grouping strategy).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .. import nn
+from ..data import TaskData, make_glue_task, make_lm_corpus, make_segmentation_task
+from ..data.reasoning import ZcsrTask, make_zcsr_task
+from ..models import (
+    BertConfig,
+    BertTiny,
+    EfficientViTConfig,
+    EfficientViTTiny,
+    LlamaConfig,
+    LlamaTiny,
+    SegformerConfig,
+    SegformerTiny,
+)
+from ..quant import (
+    PsumQuantConfig,
+    QATConfig,
+    QATTrainer,
+    apsq_config,
+    baseline_config,
+    evaluate,
+    quantize_model,
+)
+from ..tensor import manual_seed
+from .profiles import Profile
+
+METHOD_NAMES: List[str] = ["Baseline", "gs=1", "gs=2", "gs=3", "gs=4"]
+
+
+def method_config(method: str, pci: int = 8, psum_bits: int = 8) -> PsumQuantConfig:
+    """Map a Table-I column name to a quantization config."""
+    if method == "Baseline":
+        return baseline_config(pci=pci)
+    if method.startswith("gs=") and method[3:].isdigit():
+        return apsq_config(gs=int(method[3:]), pci=pci, psum_bits=psum_bits)
+    raise KeyError(f"unknown method {method!r}; options: {METHOD_NAMES}")
+
+
+def _loss_for(task: TaskData) -> Callable:
+    return nn.mse_loss if task.regression else nn.cross_entropy
+
+
+def _kd_for(task: TaskData) -> Callable:
+    return nn.kd_mse_loss if task.regression else nn.kd_kl_loss
+
+
+# ----------------------------------------------------------------------
+# BERT / GLUE
+# ----------------------------------------------------------------------
+def make_bert(task: TaskData) -> BertTiny:
+    return BertTiny(
+        BertConfig(num_classes=task.num_classes, regression=task.regression)
+    )
+
+
+def pretrain_teacher(
+    model: nn.Module, task: TaskData, epochs: int, lr: float, batch_size: int
+) -> nn.Module:
+    trainer = QATTrainer(
+        model,
+        _loss_for(task),
+        config=QATConfig(epochs=epochs, lr=lr, batch_size=batch_size),
+    )
+    trainer.fit(task.train_x, task.train_y)
+    return model
+
+
+def qat_student(
+    make_model: Callable[[], nn.Module],
+    teacher: nn.Module,
+    task: TaskData,
+    config: PsumQuantConfig,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+) -> float:
+    """Quantize a fresh model, load teacher weights, QAT, return the metric."""
+    student = quantize_model(make_model(), config)
+    student.load_state_dict(teacher.state_dict(), strict=False)
+    trainer = QATTrainer(
+        student,
+        _loss_for(task),
+        teacher=teacher,
+        kd_loss_fn=_kd_for(task),
+        config=QATConfig(epochs=epochs, lr=lr, batch_size=batch_size),
+    )
+    trainer.fit(task.train_x, task.train_y)
+    return evaluate(student, task.eval_x, task.eval_y, task.metric_fn)
+
+
+def run_glue_task(
+    task_name: str,
+    profile: Profile,
+    methods: Optional[List[str]] = None,
+    psum_bits: int = 8,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Baseline + APSQ metrics for one GLUE task (one Table-I row)."""
+    methods = methods or METHOD_NAMES
+    task = make_glue_task(task_name, n_train=profile.bert_train, n_eval=profile.bert_eval)
+    manual_seed(seed)
+    teacher = pretrain_teacher(
+        make_bert(task), task, profile.bert_pretrain_epochs, profile.pretrain_lr, profile.batch_size
+    )
+    results: Dict[str, float] = {}
+    for method in methods:
+        manual_seed(seed + 1)
+        results[method] = qat_student(
+            lambda: make_bert(task),
+            teacher,
+            task,
+            method_config(method, psum_bits=psum_bits),
+            profile.bert_qat_epochs,
+            profile.qat_lr,
+            profile.batch_size,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Segmentation models
+# ----------------------------------------------------------------------
+def make_seg_model(arch: str) -> nn.Module:
+    if arch == "segformer":
+        return SegformerTiny(SegformerConfig())
+    if arch == "efficientvit":
+        return EfficientViTTiny(EfficientViTConfig())
+    raise KeyError(f"unknown segmentation architecture {arch!r}")
+
+
+def run_segmentation(
+    arch: str,
+    profile: Profile,
+    methods: Optional[List[str]] = None,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Baseline + APSQ mIoU for one CV model (one Table-I row)."""
+    methods = methods or METHOD_NAMES
+    from ..data.segmentation import SegmentationSpec
+
+    task = make_segmentation_task(
+        SegmentationSpec(n_train=profile.seg_train, n_eval=profile.seg_eval)
+    )
+    manual_seed(seed)
+    teacher = pretrain_teacher(
+        make_seg_model(arch),
+        task,
+        profile.seg_pretrain_epochs,
+        profile.pretrain_lr,
+        profile.seg_batch_size,
+    )
+    results: Dict[str, float] = {}
+    for method in methods:
+        manual_seed(seed + 1)
+        results[method] = qat_student(
+            lambda: make_seg_model(arch),
+            teacher,
+            task,
+            method_config(method),
+            profile.seg_qat_epochs,
+            profile.qat_lr,
+            profile.seg_batch_size,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# LLaMA / ZCSR
+# ----------------------------------------------------------------------
+def pretrain_llama(profile: Profile, seed: int = 0) -> LlamaTiny:
+    manual_seed(seed)
+    model = LlamaTiny(LlamaConfig())
+    x, y = make_lm_corpus(n_sequences=profile.lm_corpus, seq_len=20)
+    trainer = QATTrainer(
+        model,
+        nn.cross_entropy,
+        config=QATConfig(epochs=profile.lm_pretrain_epochs, lr=3e-3, batch_size=profile.batch_size),
+    )
+    trainer.fit(x, y)
+    return model
+
+
+def quantized_llama(
+    teacher: LlamaTiny, method: str, profile: Profile, seed: int = 0
+) -> LlamaTiny:
+    """Quantize + QAT-finetune the LM on the corpus (LM loss + KD)."""
+    manual_seed(seed + 1)
+    student = quantize_model(LlamaTiny(LlamaConfig()), method_config(method, pci=8))
+    student.load_state_dict(teacher.state_dict(), strict=False)
+    x, y = make_lm_corpus(n_sequences=profile.lm_corpus, seq_len=20)
+    trainer = QATTrainer(
+        student,
+        nn.cross_entropy,
+        teacher=teacher,
+        config=QATConfig(epochs=profile.lm_qat_epochs, lr=profile.qat_lr, batch_size=profile.batch_size),
+    )
+    trainer.fit(x, y)
+    return student
+
+
+def evaluate_zcsr(model: LlamaTiny, task_names: List[str], max_examples: int) -> Dict[str, float]:
+    """Zero-shot accuracy per reasoning task."""
+    model.eval()
+    results = {}
+    for name in task_names:
+        task: ZcsrTask = make_zcsr_task(name)
+        task = ZcsrTask(name=name, spec=task.spec, examples=task.examples[:max_examples])
+        results[name] = task.evaluate(model)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table formatting
+# ----------------------------------------------------------------------
+def format_table(
+    rows: Dict[str, Dict[str, float]], columns: List[str], scale: float = 100.0
+) -> str:
+    """Render a {row: {column: value}} dict the way the paper prints it."""
+    header = ["Task/Model"] + columns
+    widths = [max(len(h), 12) for h in header]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row_name, row in rows.items():
+        cells = [row_name.ljust(widths[0])]
+        for col, width in zip(columns, widths[1:]):
+            value = row.get(col)
+            cells.append(("-" if value is None else f"{value * scale:.2f}").ljust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Table I: accuracy of Baseline vs APSQ (gs=1..4) across models and tasks.
+
+Rows: six GLUE tasks on BERT, plus Segformer and EfficientViT on the
+synthetic ADE20K segmentation task.  Columns: W8A8 Baseline and INT8 APSQ
+with group sizes 1-4 (QAT + knowledge distillation throughout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..data import GLUE_TASK_NAMES
+from . import cache
+from .profiles import Profile, get_profile
+from .runner import METHOD_NAMES, format_table, run_glue_task, run_segmentation
+
+SEG_ARCHS = ("segformer", "efficientvit")
+SEG_ROW_NAMES = {"segformer": "Segformer-B0", "efficientvit": "EfficientViT-B1"}
+
+
+def _cached_row(prefix: str, methods: List[str], compute) -> Dict[str, float]:
+    """Fill one table row, computing only cache-missing methods."""
+    row: Dict[str, float] = {}
+    missing = []
+    for method in methods:
+        hit = cache.load(f"{prefix}/{method}")
+        if hit is None:
+            missing.append(method)
+        else:
+            row[method] = hit
+    if missing:
+        fresh = compute(missing)
+        for method, value in fresh.items():
+            cache.store(f"{prefix}/{method}", value)
+            row[method] = value
+    return row
+
+
+def run(
+    profile: Optional[Profile] = None,
+    glue_tasks: Optional[List[str]] = None,
+    include_segmentation: bool = True,
+    methods: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Compute Table I: {row: {method: metric}}."""
+    profile = profile or get_profile()
+    methods = methods or METHOD_NAMES
+    glue_tasks = glue_tasks if glue_tasks is not None else list(GLUE_TASK_NAMES)
+    rows: Dict[str, Dict[str, float]] = {}
+
+    for task_name in glue_tasks:
+        rows[f"BERT {task_name}"] = _cached_row(
+            f"table1/{profile.name}/bert/{task_name}",
+            methods,
+            lambda missing, t=task_name: run_glue_task(t, profile, methods=missing),
+        )
+
+    if include_segmentation:
+        for arch in SEG_ARCHS:
+            rows[SEG_ROW_NAMES[arch]] = _cached_row(
+                f"table1/{profile.name}/{arch}/ade20k",
+                methods,
+                lambda missing, a=arch: run_segmentation(a, profile, methods=missing),
+            )
+    return rows
+
+
+def summarize(rows: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """The paper's headline: average drop of the best-gs APSQ vs Baseline."""
+    drops = []
+    for row in rows.values():
+        gs_values = [v for k, v in row.items() if k.startswith("gs=")]
+        if gs_values and "Baseline" in row:
+            drops.append(row["Baseline"] - max(gs_values))
+    return {
+        "mean_drop_best_gs": sum(drops) / len(drops) if drops else 0.0,
+        "rows": len(drops),
+    }
+
+
+def render(rows: Dict[str, Dict[str, float]]) -> str:
+    table = format_table(rows, ["Baseline"] + [m for m in METHOD_NAMES if m != "Baseline"])
+    summary = summarize(rows)
+    return (
+        "Table I — accuracy: Baseline (W8A8) vs INT8 APSQ\n"
+        + table
+        + f"\nmean drop at best gs: {100 * summary['mean_drop_best_gs']:.2f} points"
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

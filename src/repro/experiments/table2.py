@@ -1,0 +1,45 @@
+"""Table II: synthesized area of the baseline accelerator, the RAE, and
+the combined design (analytical gate-inventory substitute for Synopsys DC
+— see DESIGN.md)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..accelerator import area_report
+
+
+def run() -> Dict[str, float]:
+    report = area_report()
+    return {
+        "Baseline DNN Accelerator": report.baseline_accelerator,
+        "RAE": report.rae,
+        "DNN Accelerator w/ RAE": report.accelerator_with_rae,
+        "overhead_percent": report.overhead_percent,
+    }
+
+
+PAPER_VALUES = {
+    "Baseline DNN Accelerator": 1_873_408.0,
+    "RAE": 86_410.0,
+    "DNN Accelerator w/ RAE": 1_933_674.0,
+    "overhead_percent": 3.21,
+}
+
+
+def format_table(results: Dict[str, float]) -> str:
+    lines = [
+        "Table II — hardware area (µm², 28 nm-class density model)",
+        f"{'component':<28} {'measured':>12} {'paper':>12}",
+    ]
+    for key in ("Baseline DNN Accelerator", "RAE", "DNN Accelerator w/ RAE"):
+        lines.append(f"{key:<28} {results[key]:>12,.0f} {PAPER_VALUES[key]:>12,.0f}")
+    lines.append(
+        f"{'area overhead':<28} {results['overhead_percent']:>11.2f}% "
+        f"{PAPER_VALUES['overhead_percent']:>11.2f}%"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

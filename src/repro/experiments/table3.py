@@ -1,0 +1,81 @@
+"""Table III: zero-shot commonsense-reasoning accuracy of Baseline vs
+APSQ (gs=1..4) on the tiny LLaMA (Table III substitute — see DESIGN.md).
+
+Pretrains the causal LM on the synthetic chain corpus, quantizes per
+method (W8A8 Baseline, INT8 APSQ) with RoLoRA-style QAT finetuning on the
+LM objective, then scores the seven ZCSR tasks by choice log-likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..data import ZCSR_TASK_NAMES
+from . import cache
+from .profiles import Profile, get_profile
+from .runner import (
+    METHOD_NAMES,
+    evaluate_zcsr,
+    format_table,
+    pretrain_llama,
+    quantized_llama,
+)
+
+
+def run(
+    profile: Optional[Profile] = None,
+    methods: Optional[List[str]] = None,
+    task_names: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Compute Table III: {task: {method: accuracy}} plus a float reference."""
+    profile = profile or get_profile()
+    methods = methods or METHOD_NAMES
+    task_names = task_names or list(ZCSR_TASK_NAMES)
+
+    results: Dict[str, Dict[str, float]] = {m: {} for m in methods}
+    missing = []
+    for method in methods:
+        for task in task_names:
+            hit = cache.load(f"table3/{profile.name}/{method}/{task}")
+            if hit is None:
+                if method not in missing:
+                    missing.append(method)
+            else:
+                results[method][task] = hit
+
+    if missing:
+        teacher = pretrain_llama(profile)
+        for method in missing:
+            model = quantized_llama(teacher, method, profile)
+            scores = evaluate_zcsr(model, task_names, profile.zcsr_examples)
+            for task, value in scores.items():
+                cache.store(f"table3/{profile.name}/{method}/{task}", value)
+                results[method][task] = value
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for task in task_names:
+        rows[task] = {m: results[m].get(task) for m in methods}
+    return rows
+
+
+def summarize(rows: Dict[str, Dict[str, float]]) -> float:
+    """Average accuracy drop of best-gs APSQ vs Baseline (paper: 0.59%)."""
+    drops = []
+    for row in rows.values():
+        gs_vals = [v for k, v in row.items() if k.startswith("gs=") and v is not None]
+        if gs_vals and row.get("Baseline") is not None:
+            drops.append(row["Baseline"] - max(gs_vals))
+    return sum(drops) / len(drops) if drops else 0.0
+
+
+def render(rows: Dict[str, Dict[str, float]]) -> str:
+    table = format_table(rows, METHOD_NAMES)
+    return (
+        "Table III — LLaMA zero-shot common-sense reasoning accuracy\n"
+        + table
+        + f"\nmean drop at best gs: {100 * summarize(rows):.2f} points"
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,74 @@
+"""Table IV: normalized energy of LLaMA2-7B under IS and WS, 4096-token
+sequence, prefill + decode, Po=1 / Pci=32 / Pco=32.
+
+Values are energy relative to the gs=1 APSQ configuration (the paper
+normalizes the row so gs=1 is 1×; the Baseline column then shows how many
+times more energy INT32 PSUMs cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..accelerator import (
+    Dataflow,
+    apsq_psum_format,
+    baseline_psum_format,
+    llama2_7b_workload,
+    llm_config,
+    model_energy,
+)
+
+GS_VALUES = (1, 2, 3, 4)
+
+
+def total_energy(fmt, dataflow: Dataflow, seq_len: int = 4096) -> float:
+    """Prefill + decode energy of LLaMA2-7B at the LLM parallelism."""
+    config = llm_config()
+    decode = llama2_7b_workload(seq_len, "decode")
+    prefill = llama2_7b_workload(seq_len, "prefill")
+    return (
+        model_energy(decode, config, fmt, dataflow).total
+        + model_energy(prefill, config, fmt, dataflow).total
+    )
+
+
+def run(seq_len: int = 4096) -> Dict[str, Dict[str, float]]:
+    """{dataflow: {"Baseline": x, "gs=1": 1.0, ...}} — Table IV layout."""
+    results: Dict[str, Dict[str, float]] = {}
+    for dataflow in (Dataflow.IS, Dataflow.WS):
+        reference = total_energy(apsq_psum_format(1), dataflow, seq_len)
+        row = {
+            "Baseline": total_energy(baseline_psum_format(32), dataflow, seq_len) / reference
+        }
+        for gs in GS_VALUES:
+            row[f"gs={gs}"] = total_energy(apsq_psum_format(gs), dataflow, seq_len) / reference
+        results[dataflow.name] = row
+    return results
+
+
+PAPER_VALUES = {
+    "IS": {"Baseline": 1.02, "gs=1": 1.0, "gs=2": 1.0, "gs=3": 1.0, "gs=4": 1.0},
+    "WS": {"Baseline": 31.7, "gs=1": 1.0, "gs=2": 1.0, "gs=3": 8.42, "gs=4": 8.42},
+}
+
+
+def format_table(results: Dict[str, Dict[str, float]]) -> str:
+    columns = ["Baseline"] + [f"gs={g}" for g in GS_VALUES]
+    lines = [
+        "Table IV — LLaMA2-7B normalized energy (relative to gs=1), seq 4096",
+        f"{'dataflow':<10} " + " ".join(f"{c:>10}" for c in columns),
+    ]
+    for dataflow, row in results.items():
+        lines.append(
+            f"{dataflow:<10} " + " ".join(f"{row[c]:>9.2f}x" for c in columns)
+        )
+        paper = PAPER_VALUES[dataflow]
+        lines.append(
+            f"{'(paper)':<10} " + " ".join(f"{paper[c]:>9.2f}x" for c in columns)
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table(run()))

@@ -1,0 +1,18 @@
+"""Architecture-faithful tiny versions of the paper's four evaluation models."""
+
+from .bert import BertConfig, BertEncoderLayer, BertTiny
+from .efficientvit import EfficientViTConfig, EfficientViTTiny
+from .llama import LlamaConfig, LlamaTiny
+from .segformer import SegformerConfig, SegformerTiny
+
+__all__ = [
+    "BertConfig",
+    "BertTiny",
+    "BertEncoderLayer",
+    "SegformerConfig",
+    "SegformerTiny",
+    "EfficientViTConfig",
+    "EfficientViTTiny",
+    "LlamaConfig",
+    "LlamaTiny",
+]

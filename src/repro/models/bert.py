@@ -1,0 +1,96 @@
+"""Architecture-faithful tiny BERT encoder for the GLUE experiments.
+
+The full BERT-Base of the paper (12 layers, hidden 768, 128 tokens) is
+replicated at reduced width/depth: same block structure (post-LN encoder,
+softmax MHA, GELU FFN with 4x expansion, learned position embeddings,
+[CLS]-token pooling head).  Reduction depths stay large relative to the
+MAC-array ``Pci`` so PSUM tiling exercises multiple tiles per GEMM, which
+is the property APSQ interacts with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, gelu
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Tiny-BERT hyper-parameters (defaults sized for CPU training)."""
+
+    vocab_size: int = 64
+    max_seq_len: int = 16
+    hidden: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_mult: int = 4
+    num_classes: int = 2
+    regression: bool = False
+    dropout: float = 0.0
+
+
+class BertEncoderLayer(nn.Module):
+    """Post-LN transformer encoder block (attention + GELU FFN)."""
+
+    def __init__(self, config: BertConfig) -> None:
+        super().__init__()
+        d = config.hidden
+        self.attention = nn.MultiHeadAttention(d, config.num_heads, dropout=config.dropout)
+        self.attn_norm = nn.LayerNorm(d)
+        self.ffn_in = nn.Linear(d, d * config.ffn_mult)
+        self.ffn_out = nn.Linear(d * config.ffn_mult, d)
+        self.ffn_norm = nn.LayerNorm(d)
+        self.dropout = nn.Dropout(config.dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.attn_norm(x + self.dropout(self.attention(x)))
+        h = self.ffn_out(gelu(self.ffn_in(x)))
+        return self.ffn_norm(x + self.dropout(h))
+
+
+class BertTiny(nn.Module):
+    """BERT encoder with a [CLS] classification (or regression) head.
+
+    ``forward`` takes integer token ids of shape (batch, seq) and returns
+    logits of shape (batch, num_classes) — or (batch, 1) for regression.
+    """
+
+    def __init__(self, config: BertConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.token_embedding = nn.Embedding(config.vocab_size, config.hidden)
+        self.position_embedding = nn.Embedding(config.max_seq_len, config.hidden)
+        self.embed_norm = nn.LayerNorm(config.hidden)
+        self.layers = nn.ModuleList(
+            [BertEncoderLayer(config) for _ in range(config.num_layers)]
+        )
+        self.pooler = nn.Linear(config.hidden, config.hidden)
+        out_dim = 1 if config.regression else config.num_classes
+        self.head = nn.Linear(config.hidden, out_dim)
+
+    def forward(self, token_ids) -> Tensor:
+        ids = token_ids.data if isinstance(token_ids, Tensor) else np.asarray(token_ids)
+        ids = ids.astype(np.int64)
+        if ids.shape[1] > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {ids.shape[1]} exceeds max {self.config.max_seq_len}"
+            )
+        positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+        x = self.token_embedding(ids) + self.position_embedding(positions)
+        x = self.embed_norm(x)
+        for layer in self.layers:
+            x = layer(x)
+        cls = x[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        out = self.head(pooled)
+        if self.config.regression:
+            return out.squeeze(-1)
+        return out
+
+    def extra_repr(self) -> str:
+        c = self.config
+        return f"hidden={c.hidden}, layers={c.num_layers}, heads={c.num_heads}"

@@ -1,0 +1,128 @@
+"""Tiny EfficientViT-B1: convolution + ReLU linear attention for dense
+prediction.
+
+Follows the EfficientViT recipe at small scale: a strided conv stem with
+BatchNorm, stages mixing MBConv-style blocks (pointwise expand -> depthwise
+-> pointwise project) with ReLU **linear attention** blocks (the model's
+signature O(T) attention), and a light segmentation head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, upsample_nearest
+
+
+@dataclass(frozen=True)
+class EfficientViTConfig:
+    """Tiny EfficientViT hyper-parameters."""
+
+    in_channels: int = 3
+    image_size: int = 32
+    stem_dim: int = 16
+    stage_dims: Tuple[int, ...] = (24, 48)
+    num_heads: Tuple[int, ...] = (2, 4)
+    expand: int = 4
+    decoder_dim: int = 32
+    num_classes: int = 5
+
+
+class MBConvBlock(nn.Module):
+    """Inverted-residual conv block: PW expand -> DW 3x3 -> PW project."""
+
+    def __init__(self, dim: int, expand: int) -> None:
+        super().__init__()
+        hidden = dim * expand
+        self.expand_conv = nn.Conv2d(dim, hidden, 1, bias=False)
+        self.bn1 = nn.BatchNorm2d(hidden)
+        self.dwconv = nn.DepthwiseConv2d(hidden, kernel_size=3, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(hidden)
+        self.project_conv = nn.Conv2d(hidden, dim, 1, bias=False)
+        self.bn3 = nn.BatchNorm2d(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.bn1(self.expand_conv(x)).relu()
+        h = self.bn2(self.dwconv(h)).relu()
+        return x + self.bn3(self.project_conv(h))
+
+
+class LinearAttentionBlock(nn.Module):
+    """ReLU linear attention over flattened tokens + pointwise FFN."""
+
+    def __init__(self, dim: int, heads: int, expand: int) -> None:
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim)
+        self.attention = nn.LinearAttention(dim, heads)
+        self.norm2 = nn.LayerNorm(dim)
+        self.ffn_in = nn.Linear(dim, dim * expand)
+        self.ffn_out = nn.Linear(dim * expand, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, c, h, w = x.shape
+        tokens = x.reshape(b, c, h * w).transpose(0, 2, 1)
+        tokens = tokens + self.attention(self.norm1(tokens))
+        tokens = tokens + self.ffn_out(self.ffn_in(self.norm2(tokens)).relu())
+        return tokens.transpose(0, 2, 1).reshape(b, c, h, w)
+
+
+class DownsampleConv(nn.Module):
+    """Strided conv + BN + ReLU stage transition."""
+
+    def __init__(self, in_dim: int, out_dim: int) -> None:
+        super().__init__()
+        self.conv = nn.Conv2d(in_dim, out_dim, 3, stride=2, padding=1, bias=False)
+        self.bn = nn.BatchNorm2d(out_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bn(self.conv(x)).relu()
+
+
+class EfficientViTTiny(nn.Module):
+    """Conv stem + (MBConv, linear attention) stages + segmentation head.
+
+    ``forward`` takes images (batch, C, H, W) and returns logits
+    (batch, H/2, W/2, num_classes), matching :class:`SegformerTiny`.
+    """
+
+    def __init__(self, config: EfficientViTConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.stem = DownsampleConv(config.in_channels, config.stem_dim)
+        self.stages = nn.ModuleList()
+        in_dim = config.stem_dim
+        for dim, heads in zip(config.stage_dims, config.num_heads):
+            self.stages.append(
+                nn.Sequential(
+                    DownsampleConv(in_dim, dim),
+                    MBConvBlock(dim, config.expand),
+                    LinearAttentionBlock(dim, heads, config.expand),
+                )
+            )
+            in_dim = dim
+        # Multi-scale fusion head (EfficientViT's seg head fuses stages).
+        self.head_projs = nn.ModuleList(
+            [nn.Conv2d(config.stem_dim, config.decoder_dim, 1)]
+            + [nn.Conv2d(dim, config.decoder_dim, 1) for dim in config.stage_dims]
+        )
+        self.classifier = nn.Conv2d(config.decoder_dim, config.num_classes, 1)
+
+    def forward(self, images) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(np.asarray(images, dtype=float))
+        feats = [self.stem(x)]  # H/2
+        for stage in self.stages:
+            feats.append(stage(feats[-1]))
+        target = feats[0].shape[-1]
+        fused = None
+        for feat, proj in zip(feats, self.head_projs):
+            up = upsample_nearest(proj(feat), target // feat.shape[-1])
+            fused = up if fused is None else fused + up
+        logits = self.classifier(fused.relu())  # (B, classes, H/2, W/2)
+        return logits.transpose(0, 2, 3, 1)
+
+    def extra_repr(self) -> str:
+        return f"dims={self.config.stage_dims}, classes={self.config.num_classes}"

@@ -1,0 +1,122 @@
+"""Tiny LLaMA-2 decoder for the zero-shot commonsense-reasoning experiments.
+
+Architecture-faithful at reduced scale: pre-RMSNorm decoder blocks, causal
+multi-head attention with rotary position embeddings, SwiGLU feed-forward
+(gate ⊙ SiLU(up) -> down), and a tied-free LM head.  The autoregressive
+decode path (one token at a time) is what makes the paper's LLM energy
+analysis distinctive (Po = 1 in Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, log_softmax, no_grad, silu
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Tiny LLaMA hyper-parameters."""
+
+    vocab_size: int = 32
+    max_seq_len: int = 24
+    hidden: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_mult: int = 2
+    rope_base: float = 10000.0
+
+
+class SwiGLUFFN(nn.Module):
+    """LLaMA feed-forward: ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(self, dim: int, mult: int) -> None:
+        super().__init__()
+        hidden = dim * mult
+        self.gate_proj = nn.Linear(dim, hidden, bias=False)
+        self.up_proj = nn.Linear(dim, hidden, bias=False)
+        self.down_proj = nn.Linear(hidden, dim, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down_proj(silu(self.gate_proj(x)) * self.up_proj(x))
+
+
+class LlamaBlock(nn.Module):
+    """Pre-RMSNorm decoder block: causal RoPE attention + SwiGLU FFN."""
+
+    def __init__(self, config: LlamaConfig) -> None:
+        super().__init__()
+        self.attn_norm = nn.RMSNorm(config.hidden)
+        self.attention = nn.MultiHeadAttention(config.hidden, config.num_heads, causal=True)
+        self.ffn_norm = nn.RMSNorm(config.hidden)
+        self.ffn = SwiGLUFFN(config.hidden, config.ffn_mult)
+
+    def forward(self, x: Tensor, rope) -> Tensor:
+        x = x + self.attention(self.attn_norm(x), rope=rope)
+        return x + self.ffn(self.ffn_norm(x))
+
+
+class LlamaTiny(nn.Module):
+    """Causal LM.  ``forward`` maps token ids (B, T) to logits (B, T, vocab)."""
+
+    def __init__(self, config: LlamaConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.token_embedding = nn.Embedding(config.vocab_size, config.hidden)
+        self.layers = nn.ModuleList([LlamaBlock(config) for _ in range(config.num_layers)])
+        self.final_norm = nn.RMSNorm(config.hidden)
+        self.lm_head = nn.Linear(config.hidden, config.vocab_size, bias=False)
+        head_dim = config.hidden // config.num_heads
+        self._rope = nn.rope_tables(config.max_seq_len, head_dim, base=config.rope_base)
+
+    def forward(self, token_ids) -> Tensor:
+        ids = token_ids.data if isinstance(token_ids, Tensor) else np.asarray(token_ids)
+        ids = ids.astype(np.int64)
+        if ids.shape[1] > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {ids.shape[1]} exceeds max {self.config.max_seq_len}"
+            )
+        x = self.token_embedding(ids)
+        for layer in self.layers:
+            x = layer(x, self._rope)
+        return self.lm_head(self.final_norm(x))
+
+    # ------------------------------------------------------------------
+    # Scoring / generation utilities used by the ZCSR evaluation
+    # ------------------------------------------------------------------
+    def sequence_logprob(self, tokens: np.ndarray, prefix_len: int) -> np.ndarray:
+        """Sum of log p(token_t | tokens_<t) for t >= prefix_len, per batch row.
+
+        This is the multiple-choice scoring rule of the lm-eval harness [29]:
+        each candidate completion is scored by its conditional log-likelihood.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if prefix_len < 1 or prefix_len >= tokens.shape[1]:
+            raise ValueError("prefix_len must leave at least one completion token")
+        with no_grad():
+            logits = self.forward(tokens)
+            logp = log_softmax(logits, axis=-1).data
+        batch = np.arange(tokens.shape[0])[:, None]
+        positions = np.arange(prefix_len - 1, tokens.shape[1] - 1)[None, :]
+        next_tokens = tokens[:, prefix_len:]
+        token_logp = logp[batch, positions, next_tokens]
+        return token_logp.sum(axis=1)
+
+    def greedy_decode(self, prompt: np.ndarray, num_new_tokens: int) -> np.ndarray:
+        """Autoregressively extend ``prompt`` (B, T0) by argmax decoding."""
+        tokens = np.asarray(prompt, dtype=np.int64)
+        for _ in range(num_new_tokens):
+            if tokens.shape[1] >= self.config.max_seq_len:
+                break
+            with no_grad():
+                logits = self.forward(tokens)
+            next_token = logits.data[:, -1, :].argmax(axis=-1, keepdims=True)
+            tokens = np.concatenate([tokens, next_token], axis=1)
+        return tokens
+
+    def extra_repr(self) -> str:
+        c = self.config
+        return f"hidden={c.hidden}, layers={c.num_layers}, heads={c.num_heads}"

@@ -1,0 +1,146 @@
+"""Tiny Segformer-B0: hierarchical transformer for semantic segmentation.
+
+Keeps Segformer's defining pieces at reduced scale: overlapped patch
+embeddings (strided convs), per-stage transformer blocks with vanilla
+softmax attention on flattened tokens, the mix-FFN (Linear -> depthwise
+3x3 conv -> GELU -> Linear), and the all-MLP decode head that fuses
+upsampled multi-stage features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, concat, gelu, upsample_nearest
+
+
+@dataclass(frozen=True)
+class SegformerConfig:
+    """Tiny Segformer hyper-parameters."""
+
+    in_channels: int = 3
+    image_size: int = 32
+    stage_dims: Tuple[int, ...] = (24, 48)
+    stage_blocks: Tuple[int, ...] = (1, 1)
+    num_heads: Tuple[int, ...] = (2, 4)
+    ffn_mult: int = 4
+    decoder_dim: int = 32
+    num_classes: int = 5
+
+
+class MixFFN(nn.Module):
+    """Segformer's FFN: Linear -> DWConv3x3 (positional mixing) -> GELU -> Linear."""
+
+    def __init__(self, dim: int, mult: int) -> None:
+        super().__init__()
+        self.fc1 = nn.Linear(dim, dim * mult)
+        self.dwconv = nn.DepthwiseConv2d(dim * mult, kernel_size=3, padding=1)
+        self.fc2 = nn.Linear(dim * mult, dim)
+
+    def forward(self, x: Tensor, hw: Tuple[int, int]) -> Tensor:
+        h, w = hw
+        b, t, _ = x.shape
+        hidden = self.fc1(x)
+        c = hidden.shape[-1]
+        spatial = hidden.transpose(0, 2, 1).reshape(b, c, h, w)
+        mixed = self.dwconv(spatial).reshape(b, c, t).transpose(0, 2, 1)
+        return self.fc2(gelu(mixed))
+
+
+class SegformerBlock(nn.Module):
+    """Pre-LN transformer block with vanilla attention + mix-FFN."""
+
+    def __init__(self, dim: int, heads: int, ffn_mult: int) -> None:
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim)
+        self.attention = nn.MultiHeadAttention(dim, heads)
+        self.norm2 = nn.LayerNorm(dim)
+        self.ffn = MixFFN(dim, ffn_mult)
+
+    def forward(self, x: Tensor, hw: Tuple[int, int]) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        return x + self.ffn(self.norm2(x), hw)
+
+
+class OverlapPatchEmbed(nn.Module):
+    """Strided conv patch embedding with overlap (k=3, s=2, p=1)."""
+
+    def __init__(self, in_channels: int, dim: int) -> None:
+        super().__init__()
+        self.proj = nn.Conv2d(in_channels, dim, 3, stride=2, padding=1)
+        self.norm = nn.LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tuple[int, int]]:
+        feat = self.proj(x)
+        b, c, h, w = feat.shape
+        tokens = feat.reshape(b, c, h * w).transpose(0, 2, 1)
+        return self.norm(tokens), (h, w)
+
+
+class SegformerTiny(nn.Module):
+    """Hierarchical encoder + all-MLP decode head.
+
+    ``forward`` takes images (batch, C, H, W) and returns per-pixel logits
+    (batch, H/2, W/2, num_classes) — channel-last so losses/metrics index
+    classes on the final axis.
+    """
+
+    def __init__(self, config: SegformerConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.patch_embeds = nn.ModuleList()
+        self.stages = nn.ModuleList()
+        self.stage_norms = nn.ModuleList()
+        in_ch = config.in_channels
+        for dim, blocks, heads in zip(config.stage_dims, config.stage_blocks, config.num_heads):
+            self.patch_embeds.append(OverlapPatchEmbed(in_ch, dim))
+            self.stages.append(
+                nn.ModuleList(
+                    [SegformerBlock(dim, heads, config.ffn_mult) for _ in range(blocks)]
+                )
+            )
+            self.stage_norms.append(nn.LayerNorm(dim))
+            in_ch = dim
+        # All-MLP decoder: unify stage features, fuse, classify.
+        self.decode_mlps = nn.ModuleList(
+            [nn.Linear(dim, config.decoder_dim) for dim in config.stage_dims]
+        )
+        self.fuse = nn.Linear(config.decoder_dim * len(config.stage_dims), config.decoder_dim)
+        self.classifier = nn.Linear(config.decoder_dim, config.num_classes)
+
+    def encode(self, x: Tensor) -> List[Tuple[Tensor, Tuple[int, int]]]:
+        feats = []
+        for embed, stage, norm in zip(self.patch_embeds, self.stages, self.stage_norms):
+            tokens, hw = embed(x)
+            for block in stage:
+                tokens = block(tokens, hw)
+            tokens = norm(tokens)
+            feats.append((tokens, hw))
+            b, t, c = tokens.shape
+            x = tokens.transpose(0, 2, 1).reshape(b, c, *hw)
+        return feats
+
+    def forward(self, images) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(np.asarray(images, dtype=float))
+        feats = self.encode(x)
+        target_hw = feats[0][1]
+        upsampled = []
+        for (tokens, hw), mlp in zip(feats, self.decode_mlps):
+            b, t, _ = tokens.shape
+            proj = mlp(tokens)
+            c = proj.shape[-1]
+            spatial = proj.transpose(0, 2, 1).reshape(b, c, *hw)
+            factor = target_hw[0] // hw[0]
+            upsampled.append(upsample_nearest(spatial, factor))
+        fused = concat(upsampled, axis=1)  # (B, D*num_stages, H1, W1)
+        b, c, h, w = fused.shape
+        tokens = fused.reshape(b, c, h * w).transpose(0, 2, 1)
+        logits = self.classifier(gelu(self.fuse(tokens)))
+        return logits.reshape(b, h, w, self.config.num_classes)
+
+    def extra_repr(self) -> str:
+        return f"dims={self.config.stage_dims}, classes={self.config.num_classes}"

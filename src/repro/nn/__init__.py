@@ -1,0 +1,42 @@
+"""Neural-network substrate: modules, layers, attention, losses."""
+
+from .attention import (
+    LinearAttention,
+    MultiHeadAttention,
+    apply_rope,
+    rope_tables,
+)
+from .container import ModuleList, Sequential
+from .conv import Conv2d, DepthwiseConv2d
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .losses import cross_entropy, kd_kl_loss, kd_mse_loss, mse_loss
+from .module import Module, Parameter
+from .norm import BatchNorm2d, LayerNorm, RMSNorm
+from .serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "LayerNorm",
+    "RMSNorm",
+    "BatchNorm2d",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "MultiHeadAttention",
+    "LinearAttention",
+    "rope_tables",
+    "apply_rope",
+    "cross_entropy",
+    "mse_loss",
+    "kd_kl_loss",
+    "kd_mse_loss",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,140 @@
+"""Attention layers: softmax MHA (BERT/Segformer), ReLU linear attention
+(EfficientViT), and rotary position embeddings (LLaMA).
+
+Every projection is a plain :class:`~repro.nn.Linear`, so the quantization
+surgery in :mod:`repro.quant` can uniformly replace them with PSUM-quantized
+versions — attention projections are GEMMs like any other to the accelerator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, softmax, split, tril_mask
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module
+
+
+def _split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """(B, T, D) -> (B, H, T, D/H)."""
+    b, t, d = x.shape
+    return x.reshape(b, t, num_heads, d // num_heads).transpose(0, 2, 1, 3)
+
+
+def _merge_heads(x: Tensor) -> Tensor:
+    """(B, H, T, dh) -> (B, T, D)."""
+    b, h, t, dh = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product attention with optional causal masking."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        causal: bool = False,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim)
+        self.k_proj = Linear(dim, dim)
+        self.v_proj = Linear(dim, dim)
+        self.out_proj = Linear(dim, dim)
+        self.attn_dropout = Dropout(dropout)
+
+    def forward(
+        self,
+        x: Tensor,
+        attn_mask: Optional[np.ndarray] = None,
+        rope: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> Tensor:
+        b, t, _ = x.shape
+        q = _split_heads(self.q_proj(x), self.num_heads)
+        k = _split_heads(self.k_proj(x), self.num_heads)
+        v = _split_heads(self.v_proj(x), self.num_heads)
+
+        if rope is not None:
+            cos, sin = rope
+            q = apply_rope(q, cos, sin)
+            k = apply_rope(k, cos, sin)
+
+        scale = 1.0 / np.sqrt(self.dim // self.num_heads)
+        scores = (q @ k.swapaxes(-1, -2)) * scale  # (B, H, T, T)
+        if self.causal:
+            scores = scores + Tensor(tril_mask(t))
+        if attn_mask is not None:
+            scores = scores + Tensor(attn_mask)
+        attn = self.attn_dropout(softmax(scores, axis=-1))
+        return self.out_proj(_merge_heads(attn @ v))
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, heads={self.num_heads}, causal={self.causal}"
+
+
+class LinearAttention(Module):
+    """EfficientViT-style ReLU linear attention.
+
+    Computes ``relu(q) (relu(k)^T v) / (relu(q) sum_k relu(k) + eps)`` in
+    O(T·d²) — the "lightweight multi-scale attention" of EfficientViT-B1.
+    """
+
+    def __init__(self, dim: int, num_heads: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.eps = eps
+        self.q_proj = Linear(dim, dim)
+        self.k_proj = Linear(dim, dim)
+        self.v_proj = Linear(dim, dim)
+        self.out_proj = Linear(dim, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        q = _split_heads(self.q_proj(x), self.num_heads).relu()
+        k = _split_heads(self.k_proj(x), self.num_heads).relu()
+        v = _split_heads(self.v_proj(x), self.num_heads)
+
+        kv = k.swapaxes(-1, -2) @ v  # (B, H, dh, dh)
+        numerator = q @ kv  # (B, H, T, dh)
+        k_sum = k.sum(axis=-2, keepdims=True)  # (B, H, 1, dh)
+        denominator = (q * k_sum).sum(axis=-1, keepdims=True) + self.eps
+        return self.out_proj(_merge_heads(numerator / denominator))
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, heads={self.num_heads}"
+
+
+def rope_tables(seq_len: int, head_dim: int, base: float = 10000.0):
+    """Precompute RoPE cos/sin tables of shape (seq_len, head_dim)."""
+    if head_dim % 2:
+        raise ValueError("RoPE head dim must be even")
+    inv_freq = 1.0 / base ** (np.arange(0, head_dim, 2) / head_dim)
+    angles = np.outer(np.arange(seq_len), inv_freq)  # (T, dh/2)
+    cos = np.repeat(angles, 2, axis=-1)
+    return np.cos(cos), np.sin(cos)
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotate (B, H, T, dh) query/key tensors by position-dependent angles."""
+    t = x.shape[-2]
+    cos_t = Tensor(cos[:t])
+    sin_t = Tensor(sin[:t])
+    x1, x2 = split(x.reshape(*x.shape[:-1], x.shape[-1] // 2, 2), 2, axis=-1)
+    x1 = x1.squeeze(-1)
+    x2 = x2.squeeze(-1)
+    # Interleave (-x2, x1) back into the original layout.
+    from ..tensor import stack
+
+    rotated = stack([-x2, x1], axis=-1).reshape(*x.shape)
+    return x * cos_t + rotated * sin_t

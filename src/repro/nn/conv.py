@@ -1,0 +1,106 @@
+"""2-D convolutions implemented as im2col + GEMM.
+
+Expressing convolution as a GEMM is not just an implementation shortcut:
+it is exactly how the analytical accelerator in the paper executes conv
+layers (a ``(N·Ho·Wo) × (Ci·kh·kw) × Co`` matrix multiply), so PSUM tiling
+along the reduction dimension applies uniformly to Linear and Conv2d.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..tensor import Tensor, concat, im2col, split
+from . import init
+from .module import Module, Parameter
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class Conv2d(Module):
+    """NCHW convolution with optional grouping (depthwise when groups == Ci)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        groups: int = 1,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in/out channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.groups = groups
+        kh, kw = self.kernel_size
+        fan_in = (in_channels // groups) * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels // groups, kh, kw), fan_in)
+        )
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        ho = (h + 2 * ph - kh) // sh + 1
+        wo = (w + 2 * pw - kw) // sw + 1
+
+        if self.groups == 1:
+            cols = im2col(x, self.kernel_size, self.stride, self.padding)
+            w_mat = self.weight.reshape(self.out_channels, -1)  # (Co, Ci*kh*kw)
+            out = cols @ w_mat.T  # (N, Ho*Wo, Co)
+        else:
+            x_groups = split(x, self.groups, axis=1)
+            w_groups = split(self.weight, self.groups, axis=0)
+            outs = []
+            for xg, wg in zip(x_groups, w_groups):
+                cols = im2col(xg, self.kernel_size, self.stride, self.padding)
+                outs.append(cols @ wg.reshape(wg.shape[0], -1).T)
+            out = concat(outs, axis=-1)
+
+        if self.bias is not None:
+            out = out + self.bias
+        return out.reshape(n, ho, wo, self.out_channels).transpose(0, 3, 1, 2)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, g={self.groups}"
+        )
+
+
+class DepthwiseConv2d(Conv2d):
+    """Depthwise conv (Segformer's mix-FFN 3x3) — groups == channels."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: IntOrPair = 3,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 1,
+        bias: bool = True,
+    ) -> None:
+        super().__init__(
+            channels,
+            channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=channels,
+            bias=bias,
+        )

@@ -1,0 +1,27 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from ..tensor import random as rng
+from .module import Module
+
+
+class Dropout(Module):
+    """Zero elements with probability ``p`` at train time, scaling by 1/(1-p)."""
+
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (rng.uniform(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

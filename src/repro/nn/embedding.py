@@ -1,0 +1,32 @@
+"""Token/position embedding layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, embedding_lookup
+from . import init
+from .module import Module, Parameter
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, std: float = 0.02) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), std=std))
+
+    def forward(self, indices) -> Tensor:
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        idx = idx.astype(np.int64)
+        if idx.min() < 0 or idx.max() >= self.num_embeddings:
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        return embedding_lookup(self.weight, idx)
+
+    def extra_repr(self) -> str:
+        return f"num={self.num_embeddings}, dim={self.dim}"

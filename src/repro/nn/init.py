@@ -1,0 +1,31 @@
+"""Parameter initialisers (seeded through :mod:`repro.tensor.random`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import random as rng
+
+
+def kaiming_uniform(shape, fan_in: int) -> np.ndarray:
+    """He-uniform init used for Linear/Conv weights."""
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(shape, -bound, bound)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int) -> np.ndarray:
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(shape, -bound, bound)
+
+
+def normal(shape, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal init used for embeddings (BERT-style std=0.02)."""
+    return rng.normal(shape, std=std)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

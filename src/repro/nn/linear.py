@@ -1,0 +1,31 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with weight of shape (out_features, in_features).
+
+    This is the layer the quantization surgery in :mod:`repro.quant` replaces
+    with :class:`~repro.quant.QuantLinear` / :class:`~repro.quant.PsumQuantizedLinear`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), in_features))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"

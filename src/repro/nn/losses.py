@@ -1,0 +1,68 @@
+"""Loss functions: cross-entropy, MSE and the distillation losses used by
+the paper's QAT recipe ("guided by a full-precision teacher model").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, log_softmax, softmax
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` (..., C) and integer ``targets`` (...).
+
+    ``ignore_index`` masks out positions (used for segmentation void pixels).
+    """
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    targets = targets.astype(np.int64)
+    num_classes = logits.shape[-1]
+    logp = log_softmax(logits, axis=-1)
+    flat_logp = logp.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not keep.any():
+            raise ValueError("all targets are ignore_index; loss undefined")
+        safe_targets = np.where(keep, flat_targets, 0)
+        onehot = np.zeros((flat_targets.size, num_classes))
+        onehot[np.arange(flat_targets.size), safe_targets] = keep
+        return -(flat_logp * Tensor(onehot)).sum() / float(keep.sum())
+
+    onehot = np.zeros((flat_targets.size, num_classes))
+    onehot[np.arange(flat_targets.size), flat_targets] = 1.0
+    return -(flat_logp * Tensor(onehot)).sum() / float(flat_targets.size)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error (STS-B regression head)."""
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=float))
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def kd_kl_loss(student_logits: Tensor, teacher_logits: Tensor, temperature: float = 2.0) -> Tensor:
+    """KL(teacher ‖ student) at a softened temperature, scaled by T².
+
+    The teacher side is detached: gradients only flow into the student, as in
+    standard knowledge-distillation QAT.
+    """
+    t = temperature
+    teacher_prob = softmax(teacher_logits.detach() * (1.0 / t), axis=-1)
+    student_logp = log_softmax(student_logits * (1.0 / t), axis=-1)
+    teacher_logp = np.log(np.clip(teacher_prob.data, 1e-12, None))
+    per_elem = teacher_prob * (Tensor(teacher_logp) - student_logp)
+    batch = int(np.prod(student_logits.shape[:-1]))
+    return per_elem.sum() * (t * t / batch)
+
+
+def kd_mse_loss(student_out: Tensor, teacher_out: Tensor) -> Tensor:
+    """Feature/logit-matching MSE distillation (used for regression tasks)."""
+    return mse_loss(student_out, teacher_out.detach())

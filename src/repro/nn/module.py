@@ -1,0 +1,177 @@
+"""Module/Parameter system: the nn.Module analogue for this reproduction.
+
+Modules register parameters and child modules automatically through
+``__setattr__`` and expose recursive iteration (:meth:`Module.parameters`,
+:meth:`Module.named_modules`), train/eval switching and state dicts.  The
+quantization passes in :mod:`repro.quant` rely on :meth:`Module.apply` and
+named-module traversal to swap layers for their quantized counterparts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; registered automatically when set on a Module."""
+
+    __slots__ = ()
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+            self._modules.pop(key, None)
+            self._buffers.pop(key, None)
+        elif isinstance(value, Module):
+            self._modules[key] = value
+            self._parameters.pop(key, None)
+            self._buffers.pop(key, None)
+        object.__setattr__(self, key, value)
+
+    def register_buffer(self, key: str, value: np.ndarray) -> None:
+        """Track non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[key] = value
+        object.__setattr__(self, key, value)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Recursive iteration
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for key, param in self._parameters.items():
+            yield (f"{prefix}{key}", param)
+        for key, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{key}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for key, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{key}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to every submodule (post-order), then to self."""
+        for module in self._modules.values():
+            module.apply(fn)
+        fn(self)
+        return self
+
+    def set_submodule(self, name: str, module: "Module") -> None:
+        """Replace the submodule at dotted path ``name`` (used by quantization surgery)."""
+        parts = name.split(".")
+        parent = self
+        for part in parts[:-1]:
+            parent = parent._modules[part]
+        setattr(parent, parts[-1], module)
+
+    def get_submodule(self, name: str) -> "Module":
+        module = self
+        if name:
+            for part in name.split("."):
+                module = module._modules[part]
+        return module
+
+    # ------------------------------------------------------------------
+    # Mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for key, param in self._parameters.items():
+            state[f"{prefix}{key}"] = param.data.copy()
+        for key, buf in self._buffers.items():
+            state[f"{prefix}{key}"] = np.array(buf, copy=True)
+        for key, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{key}."))
+        return state
+
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], prefix: str = "", strict: bool = True
+    ) -> None:
+        """Load parameters/buffers from ``state``.
+
+        With ``strict=False`` missing keys are skipped — used when loading
+        float weights into a quantized model (quantizer scales are absent).
+        """
+        for key, param in self._parameters.items():
+            full = f"{prefix}{key}"
+            if full not in state:
+                if strict:
+                    raise KeyError(f"missing parameter {full!r} in state dict")
+                continue
+            if state[full].shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {full!r}: "
+                    f"{state[full].shape} vs {param.data.shape}"
+                )
+            param.data = state[full].copy()
+        for key in self._buffers:
+            full = f"{prefix}{key}"
+            if full in state:
+                self.register_buffer(key, state[full].copy())
+        for key, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{key}.", strict=strict)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for key, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({key}): {child}")
+        return "\n".join(lines) + ")"

@@ -1,0 +1,85 @@
+"""Normalisation layers: LayerNorm (BERT/Segformer), RMSNorm (LLaMA),
+BatchNorm2d (EfficientViT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from . import init
+from .module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones(dim))
+        self.bias = Parameter(init.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.weight + self.bias
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, eps={self.eps}"
+
+
+class RMSNorm(Module):
+    """Root-mean-square norm (no mean subtraction), as in LLaMA."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        return x / (ms + self.eps).sqrt() * self.weight
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, eps={self.eps}"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation for NCHW tensors with running statistics."""
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.channels = channels
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones(channels))
+        self.bias = Parameter(init.zeros(channels))
+        self.register_buffer("running_mean", np.zeros(channels))
+        self.register_buffer("running_var", np.ones(channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            with no_grad():
+                m = self.momentum
+                self.register_buffer(
+                    "running_mean",
+                    (1 - m) * self.running_mean + m * mu.data.reshape(-1),
+                )
+                self.register_buffer(
+                    "running_var",
+                    (1 - m) * self.running_var + m * var.data.reshape(-1),
+                )
+        else:
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normed = (x - mu) / (var + self.eps).sqrt()
+        shape = (1, self.channels, 1, 1)
+        return normed * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+    def extra_repr(self) -> str:
+        return f"channels={self.channels}, eps={self.eps}"

@@ -1,0 +1,46 @@
+"""Checkpoint save/load for models (including quantized models).
+
+State dicts are plain ``{name: ndarray}`` mappings, stored as ``.npz``
+archives.  Quantizer calibration flags are restored on load so a
+checkpointed quantized model is immediately usable for inference.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(model: Module, path: PathLike) -> Path:
+    """Write the model's state dict to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    np.savez(path, **state)
+    return path
+
+
+def load_checkpoint(model: Module, path: PathLike, strict: bool = True) -> Module:
+    """Load a ``.npz`` checkpoint into ``model`` in place.
+
+    Marks any LSQ quantizers as calibrated — their scales came from the
+    checkpoint, so re-initialisation from data must not overwrite them.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state, strict=strict)
+    for module in model.modules():
+        if hasattr(module, "_initialized"):
+            module._initialized = True
+    return model

@@ -1,0 +1,18 @@
+"""Optimizers and LR schedulers."""
+
+from .adam import Adam, AdamW
+from .optimizer import Optimizer, clip_grad_norm
+from .scheduler import CosineAnnealingLR, LRScheduler, StepLR, WarmupCosineLR
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "clip_grad_norm",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupCosineLR",
+]

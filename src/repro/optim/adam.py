@@ -1,0 +1,65 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; ``weight_decay`` adds L2 to the gradient."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _decay(self, p: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * p.data
+        return grad
+
+    def _apply_decoupled_decay(self, p: Parameter) -> None:
+        pass
+
+    def step(self) -> None:
+        self._step += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._step
+        bias2 = 1.0 - b2**self._step
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = self._decay(p, p.grad)
+            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1 - b2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            self._apply_decoupled_decay(p)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (applied directly to the weights)."""
+
+    def _decay(self, p: Parameter, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+    def _apply_decoupled_decay(self, p: Parameter) -> None:
+        if self.weight_decay:
+            p.data = p.data * (1.0 - self.lr * self.weight_decay)

@@ -1,0 +1,74 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler; call :meth:`step` once per epoch/iteration."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_step = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.last_step += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        completed = max(self.last_step - 1, 0)
+        return self.base_lr * self.gamma ** (completed // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base LR to ``min_lr`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.t_max = max(t_max, 1)
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.last_step, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup for ``warmup`` steps, then cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup: int,
+        t_max: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        self.warmup = max(warmup, 0)
+        self.t_max = max(t_max, self.warmup + 1)
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        if self.last_step <= self.warmup and self.warmup > 0:
+            return self.base_lr * self.last_step / self.warmup
+        progress = (self.last_step - self.warmup) / (self.t_max - self.warmup)
+        progress = min(progress, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))

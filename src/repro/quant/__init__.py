@@ -1,0 +1,97 @@
+"""Quantization core: LSQ, PSQ, APSQ and QAT (the paper's contribution)."""
+
+from .attention import (
+    PsumQuantizedAttention,
+    PsumQuantizedMatmul,
+    quantize_attention,
+)
+from .functional import (
+    fake_quant_values,
+    lsq_fake_quant,
+    lsq_init_scale,
+    po2_ste,
+    po2_values,
+    quantize_int_values,
+    round_ste,
+)
+from .lsq import LSQQuantizer
+from .observer import MinMaxObserver
+from .psum import (
+    PsumMode,
+    PsumQuantConfig,
+    TiledPsumAccumulator,
+    apsq_config,
+    baseline_config,
+    split_reduction,
+)
+from .qat import QATConfig, QATTrainer, evaluate, iterate_minibatches
+from .qlayers import (
+    PsumQuantizedConv2d,
+    PsumQuantizedLinear,
+    QuantConv2d,
+    QuantLinear,
+)
+from .ptq import calibrate_model, calibration_report, ptq_quantize
+from .spec import (
+    INT4,
+    INT6,
+    INT8,
+    UINT8,
+    QuantSpec,
+    required_psum_bits,
+    storage_psum_bits,
+)
+from .summary import LayerSummary, format_summary, model_summary, summarize_layer
+from .surgery import (
+    psum_accumulators,
+    quantize_model,
+    quantized_layers,
+    reset_psum_stats,
+)
+
+__all__ = [
+    "QuantSpec",
+    "INT4",
+    "INT6",
+    "INT8",
+    "UINT8",
+    "round_ste",
+    "po2_ste",
+    "po2_values",
+    "lsq_fake_quant",
+    "lsq_init_scale",
+    "fake_quant_values",
+    "quantize_int_values",
+    "LSQQuantizer",
+    "MinMaxObserver",
+    "PsumMode",
+    "PsumQuantConfig",
+    "baseline_config",
+    "apsq_config",
+    "TiledPsumAccumulator",
+    "split_reduction",
+    "QuantLinear",
+    "QuantConv2d",
+    "PsumQuantizedLinear",
+    "PsumQuantizedConv2d",
+    "quantize_model",
+    "quantized_layers",
+    "psum_accumulators",
+    "reset_psum_stats",
+    "QATConfig",
+    "QATTrainer",
+    "evaluate",
+    "iterate_minibatches",
+    "LayerSummary",
+    "model_summary",
+    "summarize_layer",
+    "format_summary",
+    "required_psum_bits",
+    "storage_psum_bits",
+    "calibrate_model",
+    "ptq_quantize",
+    "calibration_report",
+    "PsumQuantizedMatmul",
+    "PsumQuantizedAttention",
+    "quantize_attention",
+]

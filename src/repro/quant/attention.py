@@ -1,0 +1,134 @@
+"""PSUM quantization for the attention matmuls (extension).
+
+The paper's analysis covers weight GEMMs; Transformer accelerators also
+schedule the *dynamic* attention matmuls Q·Kᵀ and A·V on the same MAC
+array [17, 18], where the A·V contraction depth equals the sequence
+length — thousands of PSUM rounds for LLMs.  This module extends APSQ to
+those GEMMs:
+
+- :class:`PsumQuantizedMatmul` — a two-operand quantized matmul whose
+  reduction is tiled through :class:`TiledPsumAccumulator`; accumulators
+  are created per observed reduction depth (attention depth varies with
+  sequence length).
+- :class:`PsumQuantizedAttention` — drop-in MultiHeadAttention whose
+  score and context matmuls run through PSUM quantization.
+- :func:`quantize_attention` — surgery that swaps every
+  ``MultiHeadAttention`` in a model.
+
+Softmax stays in float: non-linear operators are out of APSQ's scope
+(the paper cites [25] for those).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.attention import MultiHeadAttention, _merge_heads, _split_heads, apply_rope
+from ..nn.module import Module
+from ..tensor import Tensor, softmax, tril_mask
+from .lsq import LSQQuantizer
+from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator, split_reduction
+
+
+class PsumQuantizedMatmul(Module):
+    """Quantized ``a @ b`` with PSUM-quantized tiled accumulation.
+
+    Both operands are fake-quantized to the config's activation format
+    (they are *activations* — attention has no weights).  The reduction
+    dimension is split into ``ceil(K / Pci)`` tiles; one accumulator is
+    kept per distinct K seen, so the module serves attention at any
+    sequence length.
+    """
+
+    def __init__(self, config: PsumQuantConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.a_quantizer = LSQQuantizer(config.act_spec)
+        self.b_quantizer = LSQQuantizer(config.act_spec)
+        self._accumulators: Dict[int, TiledPsumAccumulator] = {}
+
+    def _accumulator_for(self, num_tiles: int) -> TiledPsumAccumulator:
+        if num_tiles not in self._accumulators:
+            accumulator = TiledPsumAccumulator(num_tiles, self.config)
+            # Register as a submodule so its scales train and checkpoint.
+            setattr(self, f"acc_{num_tiles}", accumulator)
+            self._accumulators[num_tiles] = accumulator
+        return self._accumulators[num_tiles]
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        aq = self.a_quantizer(a)
+        bq = self.b_quantizer(b)
+        k = a.shape[-1]
+        num_tiles = self.config.num_tiles(k)
+        if self.config.mode is PsumMode.BASELINE or num_tiles < self.config.min_tiles:
+            return aq @ bq
+        tiles = split_reduction(aq, bq, self.config.pci)
+        return self._accumulator_for(num_tiles)(tiles)
+
+    def extra_repr(self) -> str:
+        return f"mode={self.config.mode.value}, gs={self.config.gs}, pci={self.config.pci}"
+
+
+class PsumQuantizedAttention(Module):
+    """MultiHeadAttention whose attention matmuls use PSUM quantization.
+
+    Projections are untouched here — :func:`~repro.quant.quantize_model`
+    already replaces them (they are plain ``Linear`` layers).
+    """
+
+    def __init__(self, attention: MultiHeadAttention, config: PsumQuantConfig) -> None:
+        super().__init__()
+        self.dim = attention.dim
+        self.num_heads = attention.num_heads
+        self.causal = attention.causal
+        self.q_proj = attention.q_proj
+        self.k_proj = attention.k_proj
+        self.v_proj = attention.v_proj
+        self.out_proj = attention.out_proj
+        self.attn_dropout = attention.attn_dropout
+        self.score_matmul = PsumQuantizedMatmul(config)
+        self.context_matmul = PsumQuantizedMatmul(config)
+
+    def forward(
+        self,
+        x: Tensor,
+        attn_mask: Optional[np.ndarray] = None,
+        rope=None,
+    ) -> Tensor:
+        b, t, _ = x.shape
+        q = _split_heads(self.q_proj(x), self.num_heads)
+        k = _split_heads(self.k_proj(x), self.num_heads)
+        v = _split_heads(self.v_proj(x), self.num_heads)
+        if rope is not None:
+            cos, sin = rope
+            q = apply_rope(q, cos, sin)
+            k = apply_rope(k, cos, sin)
+
+        scale = 1.0 / np.sqrt(self.dim // self.num_heads)
+        scores = self.score_matmul(q, k.swapaxes(-1, -2)) * scale
+        if self.causal:
+            scores = scores + Tensor(tril_mask(t))
+        if attn_mask is not None:
+            scores = scores + Tensor(attn_mask)
+        attn = self.attn_dropout(softmax(scores, axis=-1))
+        context = self.context_matmul(attn, v)  # reduction depth = seq len
+        return self.out_proj(_merge_heads(context))
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, heads={self.num_heads}, causal={self.causal}"
+
+
+def quantize_attention(model: Module, config: PsumQuantConfig) -> Module:
+    """Swap every ``MultiHeadAttention`` for the PSUM-quantized version."""
+    replacements = [
+        (name, module)
+        for name, module in model.named_modules()
+        if type(module) is MultiHeadAttention
+    ]
+    if not replacements:
+        raise ValueError("model has no MultiHeadAttention layers")
+    for name, module in replacements:
+        model.set_submodule(name, PsumQuantizedAttention(module, config))
+    return model

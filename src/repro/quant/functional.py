@@ -1,0 +1,94 @@
+"""Differentiable quantization primitives.
+
+Implements the straight-through-estimator (STE) ops the paper relies on:
+
+- :func:`round_ste` — round with identity gradient [24]
+- :func:`po2_ste` — snap a positive scale to the nearest power of two,
+  ``2^round(log2 s)``, with identity gradient, so re-scaling becomes a
+  hardware shift (Section II-B)
+- :func:`lsq_fake_quant` — LSQ fake quantization [10] with the learned-step
+  gradient for the scale
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, make_op
+
+SCALE_EPS = 1e-9
+
+
+def round_ste(x: Tensor) -> Tensor:
+    """Round-to-nearest-even forward, identity gradient backward."""
+    return make_op(np.round(x.data), (x,), lambda g: (g,))
+
+
+def po2_values(scale: np.ndarray) -> np.ndarray:
+    """Snap positive scales to the nearest power of two (forward value)."""
+    safe = np.maximum(scale, SCALE_EPS)
+    return 2.0 ** np.round(np.log2(safe))
+
+
+def po2_ste(scale: Tensor) -> Tensor:
+    """Power-of-two projection of a positive scale with STE gradient.
+
+    The paper learns ``2^round(log2 α)`` via STE so the dequantization
+    multiply becomes a shift in the RAE.
+    """
+    return make_op(po2_values(scale.data), (scale,), lambda g: (g,))
+
+
+def fake_quant_values(
+    x: np.ndarray, scale: float, qn: int, qp: int
+) -> np.ndarray:
+    """Plain (non-differentiable) quantize→dequantize used in eval paths."""
+    scale = max(float(scale), SCALE_EPS)
+    return np.clip(np.round(x / scale), qn, qp) * scale
+
+
+def quantize_int_values(x: np.ndarray, scale: float, qn: int, qp: int) -> np.ndarray:
+    """Integer codes for the hardware simulator (no dequantization)."""
+    scale = max(float(scale), SCALE_EPS)
+    return np.clip(np.round(x / scale), qn, qp).astype(np.int64)
+
+
+def lsq_fake_quant(
+    x: Tensor,
+    scale: Tensor,
+    qn: int,
+    qp: int,
+    grad_scale: Optional[float] = None,
+) -> Tensor:
+    """LSQ fake quantization ``s · clip(round(x/s), qn, qp)``.
+
+    Backward follows Esser et al. (LSQ):
+
+    - gradient to ``x`` passes through inside the clipping range, zero outside
+    - gradient to ``s`` is ``(round(v) - v)`` inside the range and the clip
+      bound outside, scaled by ``grad_scale`` (default ``1/sqrt(N·qp)``)
+    """
+    s = max(float(scale.data), SCALE_EPS)
+    v = x.data / s
+    q = np.clip(np.round(v), qn, qp)
+    out_data = q * s
+    if grad_scale is None:
+        grad_scale = 1.0 / np.sqrt(max(x.data.size * qp, 1))
+    gs_val = float(grad_scale)
+
+    def backward(g: np.ndarray):
+        inside = (v >= qn) & (v <= qp)
+        gx = g * inside
+        ds_elem = np.where(v <= qn, qn, np.where(v >= qp, qp, q - v))
+        gscale = np.array((g * ds_elem).sum() * gs_val).reshape(scale.shape)
+        return gx, gscale
+
+    return make_op(out_data, (x, scale), backward)
+
+
+def lsq_init_scale(x: np.ndarray, qp: int) -> float:
+    """LSQ's recommended scale init: ``2·E|x| / sqrt(qp)``."""
+    mean_abs = float(np.abs(x).mean())
+    return max(2.0 * mean_abs / np.sqrt(max(qp, 1)), SCALE_EPS)

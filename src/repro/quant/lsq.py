@@ -1,0 +1,83 @@
+"""Learned Step-size Quantization (LSQ) module.
+
+One :class:`LSQQuantizer` owns a single learnable scale.  The paper uses
+LSQ for weights and activations, and LSQ with a power-of-two-constrained
+scale for PSUMs (so dequantization is a shift in the RAE).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from ..tensor import Tensor
+from .functional import (
+    SCALE_EPS,
+    fake_quant_values,
+    lsq_fake_quant,
+    lsq_init_scale,
+    po2_ste,
+    po2_values,
+    quantize_int_values,
+)
+from .spec import QuantSpec
+
+
+class LSQQuantizer(Module):
+    """Fake-quantizer with a learnable step size.
+
+    Parameters
+    ----------
+    spec:
+        Target integer format (bits / signedness).
+    po2_scale:
+        Constrain the effective scale to powers of two via STE — required
+        for PSUM quantizers so the RAE can rescale with shifts.
+    """
+
+    def __init__(self, spec: QuantSpec, po2_scale: bool = False) -> None:
+        super().__init__()
+        self.spec = spec
+        self.po2_scale = po2_scale
+        self.scale = Parameter(np.array(1.0))
+        self._initialized = False
+
+    def initialize_from(self, data: np.ndarray) -> None:
+        """Calibrate the initial scale from a data sample (LSQ init rule)."""
+        self.scale.data = np.array(lsq_init_scale(data, self.spec.qp))
+        self._initialized = True
+
+    @property
+    def effective_scale(self) -> float:
+        """The scale actually applied (power-of-two snapped when enabled)."""
+        raw = max(float(self.scale.data), SCALE_EPS)
+        if self.po2_scale:
+            return float(po2_values(np.array(raw)))
+        return raw
+
+    @property
+    def shift_amount(self) -> int:
+        """log2 of the effective scale — the RAE's shifter configuration."""
+        if not self.po2_scale:
+            raise ValueError("shift_amount only defined for po2-scale quantizers")
+        return int(np.round(np.log2(self.effective_scale)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self._initialized:
+            self.initialize_from(x.data)
+        if not self.training:
+            return Tensor(
+                fake_quant_values(x.data, self.effective_scale, self.spec.qn, self.spec.qp)
+            )
+        scale = po2_ste(self.scale) if self.po2_scale else self.scale
+        return lsq_fake_quant(x, scale, self.spec.qn, self.spec.qp)
+
+    def quantize_int(self, x: np.ndarray) -> np.ndarray:
+        """Integer codes at the effective scale (for the RAE simulator)."""
+        return quantize_int_values(x, self.effective_scale, self.spec.qn, self.spec.qp)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        return codes.astype(np.float64) * self.effective_scale
+
+    def extra_repr(self) -> str:
+        return f"bits={self.spec.bits}, signed={self.spec.signed}, po2={self.po2_scale}"

@@ -1,0 +1,40 @@
+"""Calibration observers for post-training quantization baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import SCALE_EPS
+from .spec import QuantSpec
+
+
+class MinMaxObserver:
+    """Track the running min/max of observed tensors and derive a scale.
+
+    Used by the min-max calibration path mentioned in Section II-B [9];
+    the learnable LSQ path is the one the paper's experiments use.
+    """
+
+    def __init__(self, spec: QuantSpec) -> None:
+        self.spec = spec
+        self.min_val = np.inf
+        self.max_val = -np.inf
+
+    def observe(self, x: np.ndarray) -> None:
+        self.min_val = min(self.min_val, float(x.min()))
+        self.max_val = max(self.max_val, float(x.max()))
+
+    @property
+    def observed(self) -> bool:
+        return np.isfinite(self.min_val) and np.isfinite(self.max_val)
+
+    def scale(self) -> float:
+        """Symmetric scale covering the observed range."""
+        if not self.observed:
+            raise RuntimeError("observer has seen no data")
+        bound = max(abs(self.min_val), abs(self.max_val))
+        return max(bound / max(abs(self.spec.qn), self.spec.qp), SCALE_EPS)
+
+    def reset(self) -> None:
+        self.min_val = np.inf
+        self.max_val = -np.inf

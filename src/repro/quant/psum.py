@@ -1,0 +1,227 @@
+"""Partial-sum quantization: PSQ, APSQ and the grouping strategy.
+
+This module is the paper's primary contribution.  A GEMM with reduction
+(depth) dimension ``Ci`` is executed tile-by-tile (Eq. 8):
+
+    To = sum_{i=0}^{np-1} Tp_i,     np = ceil(Ci / Pci)
+
+Three PSUM handling modes are provided (``PsumMode``):
+
+- ``BASELINE`` — accumulate in full precision (the INT32-PSUM accelerator).
+- ``PSQ`` — quantize each PSUM tile independently and sum the dequantized
+  tiles at the end, as in the ReRAM PSQ prior work [19, 20].
+- ``APSQ`` — the paper's additive PSUM quantization with grouping
+  (Algorithm 1):  each group of ``gs`` tiles stores ``gs − 1`` plain
+  PSUM-quantized tiles plus one APSQ tile that folds the *previous* group's
+  accumulated value into the quantizer input (Eq. 10).  ``gs = 1`` reduces
+  to pure APSQ where every store is an accumulation.
+
+Every stored value is INT-``k`` (k = ``psum_spec.bits``, INT8 in the main
+experiments) with a learnable power-of-two LSQ scale, so the RAE performs
+dequantization with shifts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.container import ModuleList
+from ..tensor import Tensor
+from .lsq import LSQQuantizer
+from .spec import INT8, QuantSpec
+
+
+class PsumMode(enum.Enum):
+    """How partial sums are stored between tile computations."""
+
+    BASELINE = "baseline"
+    PSQ = "psq"
+    APSQ = "apsq"
+
+
+@dataclass(frozen=True)
+class PsumQuantConfig:
+    """Configuration for PSUM-quantized layers.
+
+    Parameters
+    ----------
+    mode:
+        PSUM handling strategy (see :class:`PsumMode`).
+    gs:
+        Group size for APSQ's grouping strategy (Algorithm 1); ignored for
+        BASELINE/PSQ.
+    pci:
+        Input-channel parallelism ``Pci`` of the MAC array — the reduction
+        tile depth.  ``np = ceil(Ci / Pci)`` PSUM tiles per output.
+    weight_spec / act_spec:
+        Formats for the W8A8 base quantization.
+    psum_spec:
+        Stored-PSUM format (INT8 in the paper's main results).
+    min_tiles:
+        Layers whose reduction depth yields fewer than this many tiles are
+        left un-tiled (a single PSUM fits in registers — OS-like).
+    """
+
+    mode: PsumMode = PsumMode.APSQ
+    gs: int = 2
+    pci: int = 8
+    weight_spec: QuantSpec = field(default_factory=lambda: INT8)
+    act_spec: QuantSpec = field(default_factory=lambda: INT8)
+    psum_spec: QuantSpec = field(default_factory=lambda: INT8)
+    min_tiles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.gs < 1:
+            raise ValueError(f"group size must be >= 1, got {self.gs}")
+        if self.pci < 1:
+            raise ValueError(f"Pci must be >= 1, got {self.pci}")
+
+    def with_mode(self, mode: PsumMode, gs: Optional[int] = None) -> "PsumQuantConfig":
+        return replace(self, mode=mode, gs=self.gs if gs is None else gs)
+
+    def num_tiles(self, ci: int) -> int:
+        """np = ceil(Ci / Pci) (Eq. 8)."""
+        return -(-ci // self.pci)
+
+
+def baseline_config(pci: int = 8) -> PsumQuantConfig:
+    """W8A8 with full-precision PSUM accumulation (the paper's Baseline)."""
+    return PsumQuantConfig(mode=PsumMode.BASELINE, pci=pci)
+
+
+def apsq_config(gs: int, pci: int = 8, psum_bits: int = 8) -> PsumQuantConfig:
+    """W8A8 + INT-k APSQ with group size ``gs``."""
+    return PsumQuantConfig(
+        mode=PsumMode.APSQ, gs=gs, pci=pci, psum_spec=QuantSpec(psum_bits, signed=True)
+    )
+
+
+class TiledPsumAccumulator(Module):
+    """Executes Eq. 8 / Algorithm 1 over a list of PSUM tiles.
+
+    The accumulator owns one power-of-two LSQ quantizer per tile index
+    (the paper's scaling-factor set ``α``) and combines tiles according to
+    the configured :class:`PsumMode`.  It is shared by
+    :class:`PsumQuantizedLinear` and :class:`PsumQuantizedConv2d`.
+    """
+
+    def __init__(self, num_tiles: int, config: PsumQuantConfig) -> None:
+        super().__init__()
+        if num_tiles < 1:
+            raise ValueError("need at least one tile")
+        self.num_tiles = num_tiles
+        self.config = config
+        if config.mode is not PsumMode.BASELINE:
+            self.quantizers = ModuleList(
+                [LSQQuantizer(config.psum_spec, po2_scale=True) for _ in range(num_tiles)]
+            )
+        else:
+            self.quantizers = ModuleList([])
+        # Statistics for the analytical model / tests.
+        self.psum_writes = 0
+        self.psum_reads = 0
+
+    # ------------------------------------------------------------------
+    def forward(self, tiles: List[Tensor]) -> Tensor:
+        if len(tiles) != self.num_tiles:
+            raise ValueError(f"expected {self.num_tiles} tiles, got {len(tiles)}")
+        if self.config.mode is PsumMode.BASELINE:
+            return self._accumulate_baseline(tiles)
+        if self.config.mode is PsumMode.PSQ:
+            return self._accumulate_psq(tiles)
+        return self._accumulate_apsq(tiles)
+
+    def _accumulate_baseline(self, tiles: List[Tensor]) -> Tensor:
+        out = tiles[0]
+        for tile in tiles[1:]:
+            out = out + tile
+        # Full-precision PSUM is written/read once per accumulation step.
+        self.psum_writes += len(tiles) - 1
+        self.psum_reads += len(tiles) - 1
+        return out
+
+    def _accumulate_psq(self, tiles: List[Tensor]) -> Tensor:
+        """Prior-work PSQ: quantize every tile independently, sum at the end."""
+        out = self.quantizers[0](tiles[0])
+        for i, tile in enumerate(tiles[1:], start=1):
+            out = out + self.quantizers[i](tile)
+        self.psum_writes += len(tiles)
+        self.psum_reads += len(tiles)
+        return out
+
+    def _accumulate_apsq(self, tiles: List[Tensor]) -> Tensor:
+        """Algorithm 1: grouped additive PSUM quantization.
+
+        Group starts hold APSQ steps (fold the previous group's dequantized
+        sum into the quantizer input, Eq. 10); other positions store plain
+        PSUM-quantized tiles.  The final tile's quantization yields To.
+        """
+        np_tiles = self.num_tiles
+        gs = self.config.gs
+        if np_tiles == 1:
+            self.psum_writes += 1
+            return self.quantizers[0](tiles[0])
+
+        prev_group_sum: Optional[Tensor] = None
+        for start in range(0, np_tiles, gs):
+            # --- APSQ step at the group boundary (Algorithm 1 lines 4-7).
+            if prev_group_sum is None:
+                ap = self.quantizers[start](tiles[start])  # AP*_0 = Q(Tp_0)
+            else:
+                ap = self.quantizers[start](prev_group_sum + tiles[start])
+            self.psum_writes += 1
+            if start == np_tiles - 1:
+                return ap  # To = AP_{np-1}
+
+            group_stored = [ap]
+            # --- PSQ inside the group (Algorithm 1 lines 8-16).
+            for j in range(start + 1, min(start + gs, np_tiles)):
+                if j < np_tiles - 1:
+                    group_stored.append(self.quantizers[j](tiles[j]))
+                    self.psum_writes += 1
+                else:
+                    # Final output tile (lines 12-14): read the group back,
+                    # accumulate with the last PSUM tile and quantize once.
+                    acc = group_stored[0]
+                    for stored in group_stored[1:]:
+                        acc = acc + stored
+                    self.psum_reads += len(group_stored)
+                    self.psum_writes += 1
+                    return self.quantizers[np_tiles - 1](acc + tiles[j])
+
+            acc = group_stored[0]
+            for stored in group_stored[1:]:
+                acc = acc + stored
+            self.psum_reads += len(group_stored)
+            prev_group_sum = acc
+
+        raise AssertionError("unreachable: loop must return via the final tile")
+
+    def reset_stats(self) -> None:
+        self.psum_writes = 0
+        self.psum_reads = 0
+
+    def extra_repr(self) -> str:
+        return f"tiles={self.num_tiles}, mode={self.config.mode.value}, gs={self.config.gs}"
+
+
+def split_reduction(x: Tensor, w_t: Tensor, pci: int) -> List[Tensor]:
+    """Compute the PSUM tiles ``Tp_i = x[..., i·Pci:(i+1)·Pci] @ Wt[..., i·Pci:(i+1)·Pci, :]``.
+
+    ``w_t`` carries the reduction on its second-to-last axis — a (Ci, Co)
+    transposed weight, or a batched (…, Ci, N) operand for the dynamic
+    attention matmuls.  Uneven tails are allowed (the last tile is thinner).
+    """
+    ci = x.shape[-1]
+    if w_t.shape[-2] != ci:
+        raise ValueError(f"reduction mismatch: x has {ci}, w has {w_t.shape[-2]}")
+    tiles = []
+    for lo in range(0, ci, pci):
+        hi = min(lo + pci, ci)
+        tiles.append(x[..., lo:hi] @ w_t[..., lo:hi, :])
+    return tiles

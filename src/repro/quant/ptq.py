@@ -1,0 +1,88 @@
+"""Post-training quantization (PTQ): min-max calibration without QAT.
+
+The paper's Section II-B notes scales come "either [from] the min-max
+technique [9] or the learnable alternative [10]" and the experiments use
+the learnable LSQ path.  This module implements the min-max path as a
+comparison baseline: calibrate every quantizer from a handful of batches,
+snap PSUM scales to powers of two, and evaluate without any fine-tuning.
+The ``ablation`` benches use it to quantify how much QAT + distillation
+actually buys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+from .lsq import LSQQuantizer
+from .observer import MinMaxObserver
+from .psum import TiledPsumAccumulator
+
+
+def calibrate_model(model: Module, batches: Iterable[np.ndarray]) -> Module:
+    """Run calibration batches through ``model`` and set min-max scales.
+
+    Every :class:`LSQQuantizer` in the model observes the tensors that
+    reach it (via its LSQ init on first touch), then its scale is replaced
+    by the symmetric min-max scale over all calibration batches.
+    """
+    observers = {}
+    quantizers = [m for m in model.modules() if isinstance(m, LSQQuantizer)]
+    if not quantizers:
+        raise ValueError("model has no quantizers to calibrate")
+    for q in quantizers:
+        observers[id(q)] = MinMaxObserver(q.spec)
+        original_forward = q.forward
+
+        def observing_forward(x, _q=q, _orig=original_forward):
+            observers[id(_q)].observe(x.data)
+            return _orig(x)
+
+        q.forward = observing_forward  # type: ignore[method-assign]
+
+    model.eval()
+    with no_grad():
+        for batch in batches:
+            model(batch)
+
+    for q in quantizers:
+        del q.forward  # restore the class method
+        observer = observers[id(q)]
+        if observer.observed:
+            q.scale.data = np.array(observer.scale())
+            q._initialized = True
+    return model
+
+
+def ptq_quantize(model: Module, batches: Iterable[np.ndarray]) -> Module:
+    """One-call PTQ: calibrate quantizers, done (weights untouched).
+
+    The model must already have been through
+    :func:`~repro.quant.surgery.quantize_model`.
+    """
+    return calibrate_model(model, batches)
+
+
+def calibration_report(model: Module) -> dict:
+    """Scales chosen by calibration, grouped by quantizer role."""
+    report = {"weight": [], "activation": [], "psum": []}
+    for name, module in model.named_modules():
+        if isinstance(module, TiledPsumAccumulator):
+            for q in module.quantizers:
+                if q._initialized:
+                    report["psum"].append((name, q.effective_scale))
+        elif isinstance(module, LSQQuantizer) and q_role(name):
+            if module._initialized:
+                report[q_role(name)].append((name, module.effective_scale))
+    return report
+
+
+def q_role(name: str) -> str:
+    if name.endswith("weight_quantizer"):
+        return "weight"
+    if name.endswith("act_quantizer"):
+        return "activation"
+    return ""

@@ -1,0 +1,152 @@
+"""Quantized layers: W8A8 Linear/Conv2d with optional PSUM quantization.
+
+``QuantLinear``/``QuantConv2d`` are the W8A8 baseline layers (full-precision
+PSUM accumulation).  ``PsumQuantizedLinear``/``PsumQuantizedConv2d`` run the
+same GEMM tile-by-tile through a :class:`~repro.quant.psum.TiledPsumAccumulator`,
+modelling an IS/WS accelerator whose stored PSUMs are quantized (PSQ/APSQ).
+"""
+
+from __future__ import annotations
+
+from ..nn.conv import Conv2d
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..tensor import Tensor, im2col
+from .lsq import LSQQuantizer
+from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator, split_reduction
+
+
+class QuantLinear(Module):
+    """W8A8 linear layer (LSQ weight + activation fake-quant)."""
+
+    def __init__(self, linear: Linear, config: PsumQuantConfig) -> None:
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.weight = linear.weight
+        self.bias = linear.bias
+        self.config = config
+        self.weight_quantizer = LSQQuantizer(config.weight_spec)
+        self.act_quantizer = LSQQuantizer(config.act_spec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        xq = self.act_quantizer(x)
+        wq = self.weight_quantizer(self.weight)
+        out = xq @ wq.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, W8A8 baseline-psum"
+
+
+class PsumQuantizedLinear(Module):
+    """W8A8 linear whose PSUM accumulation is quantized (PSQ or APSQ).
+
+    The reduction dimension is split into ``np = ceil(Ci/Pci)`` tiles; the
+    accumulator applies Algorithm 1.  When ``np < config.min_tiles`` the
+    layer falls back to plain W8A8 (a single PSUM tile never leaves the
+    MAC registers, so there is nothing to quantize).
+    """
+
+    def __init__(self, linear: Linear, config: PsumQuantConfig) -> None:
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.weight = linear.weight
+        self.bias = linear.bias
+        self.config = config
+        self.weight_quantizer = LSQQuantizer(config.weight_spec)
+        self.act_quantizer = LSQQuantizer(config.act_spec)
+        self.num_tiles = config.num_tiles(linear.in_features)
+        self.tiled = self.num_tiles >= config.min_tiles and config.mode is not PsumMode.BASELINE
+        self.accumulator = (
+            TiledPsumAccumulator(self.num_tiles, config) if self.tiled else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        xq = self.act_quantizer(x)
+        wq = self.weight_quantizer(self.weight)
+        if not self.tiled:
+            out = xq @ wq.T
+        else:
+            tiles = split_reduction(xq, wq.T, self.config.pci)
+            out = self.accumulator(tiles)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_features}, out={self.out_features}, "
+            f"mode={self.config.mode.value}, gs={self.config.gs}, np={self.num_tiles}"
+        )
+
+
+class QuantConv2d(Module):
+    """W8A8 convolution (im2col GEMM, full-precision PSUMs)."""
+
+    def __init__(self, conv: Conv2d, config: PsumQuantConfig) -> None:
+        super().__init__()
+        if conv.groups != 1:
+            raise ValueError("QuantConv2d supports groups=1; depthwise convs stay float")
+        self.conv_params = conv
+        self.weight = conv.weight
+        self.bias = conv.bias
+        self.config = config
+        self.weight_quantizer = LSQQuantizer(config.weight_spec)
+        self.act_quantizer = LSQQuantizer(config.act_spec)
+
+    def _gemm(self, xq: Tensor, wq: Tensor) -> Tensor:
+        c = self.conv_params
+        cols = im2col(xq, c.kernel_size, c.stride, c.padding)
+        return cols @ wq.reshape(c.out_channels, -1).T
+
+    def forward(self, x: Tensor) -> Tensor:
+        c = self.conv_params
+        n, _, h, w = x.shape
+        kh, kw = c.kernel_size
+        sh, sw = c.stride
+        ph, pw = c.padding
+        ho = (h + 2 * ph - kh) // sh + 1
+        wo = (w + 2 * pw - kw) // sw + 1
+        xq = self.act_quantizer(x)
+        wq = self.weight_quantizer(self.weight)
+        out = self._gemm(xq, wq)
+        if self.bias is not None:
+            out = out + self.bias
+        return out.reshape(n, ho, wo, c.out_channels).transpose(0, 3, 1, 2)
+
+    def extra_repr(self) -> str:
+        c = self.conv_params
+        return f"in={c.in_channels}, out={c.out_channels}, k={c.kernel_size}, W8A8"
+
+
+class PsumQuantizedConv2d(QuantConv2d):
+    """W8A8 convolution with quantized PSUM accumulation.
+
+    The im2col GEMM's reduction depth is ``Ci·kh·kw``; it is tiled in
+    ``Pci``-deep slices exactly like a linear layer, matching how the
+    MAC array of Fig. 2 accumulates convolutions channel-tile by
+    channel-tile.
+    """
+
+    def __init__(self, conv: Conv2d, config: PsumQuantConfig) -> None:
+        super().__init__(conv, config)
+        kh, kw = conv.kernel_size
+        reduction = conv.in_channels * kh * kw
+        self.num_tiles = config.num_tiles(reduction)
+        self.tiled = self.num_tiles >= config.min_tiles and config.mode is not PsumMode.BASELINE
+        self.accumulator = (
+            TiledPsumAccumulator(self.num_tiles, config) if self.tiled else None
+        )
+
+    def _gemm(self, xq: Tensor, wq: Tensor) -> Tensor:
+        c = self.conv_params
+        cols = im2col(xq, c.kernel_size, c.stride, c.padding)
+        w_t = wq.reshape(c.out_channels, -1).T
+        if not self.tiled:
+            return cols @ w_t
+        tiles = split_reduction(cols, w_t, self.config.pci)
+        return self.accumulator(tiles)

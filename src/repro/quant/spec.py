@@ -1,0 +1,61 @@
+"""Quantization format descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """An integer quantization format (Eq. 7 of the paper).
+
+    ``signed`` formats cover ``[-2^(k-1), 2^(k-1) - 1]``; unsigned cover
+    ``[0, 2^k - 1]``.
+    """
+
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits < 2 or self.bits > 32:
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+
+    @property
+    def qn(self) -> int:
+        """Lower clip bound Q_n."""
+        return -(2 ** (self.bits - 1)) if self.signed else 0
+
+    @property
+    def qp(self) -> int:
+        """Upper clip bound Q_p."""
+        return 2 ** (self.bits - 1) - 1 if self.signed else 2**self.bits - 1
+
+    @property
+    def num_levels(self) -> int:
+        return 2**self.bits
+
+
+INT8 = QuantSpec(8, signed=True)
+INT6 = QuantSpec(6, signed=True)
+INT4 = QuantSpec(4, signed=True)
+UINT8 = QuantSpec(8, signed=False)
+
+
+def required_psum_bits(ci: int, w_bits: int = 8, a_bits: int = 8) -> int:
+    """Accumulator width to never overflow a depth-``ci`` reduction.
+
+    Section II-A: a ``w_bits × a_bits`` product needs ``w_bits + a_bits``
+    bits; accumulating ``ci`` of them adds ``ceil(log2 ci)`` carry bits.
+    E.g. BERT-Large's Ci=4096 FFN at W8A8 needs 16 + 12 = 28 bits — hence
+    INT32 storage in byte-addressed memories.
+    """
+    if ci < 1:
+        raise ValueError(f"reduction depth must be >= 1, got {ci}")
+    carry = (ci - 1).bit_length()  # ceil(log2 ci)
+    return w_bits + a_bits + carry
+
+
+def storage_psum_bits(ci: int, w_bits: int = 8, a_bits: int = 8) -> int:
+    """Byte-aligned storage width for the exact accumulator (Sec. II-A)."""
+    exact = required_psum_bits(ci, w_bits, a_bits)
+    return ((exact + 7) // 8) * 8

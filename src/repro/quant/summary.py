@@ -1,0 +1,99 @@
+"""Introspection of quantized models: what did quantization actually do?
+
+``model_summary`` walks a quantized model and reports, per layer, the
+quantization mode, tile count, learned scales and — for PSUM quantizers —
+the shift exponents the RAE would be configured with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from .qlayers import PsumQuantizedConv2d, PsumQuantizedLinear, QuantConv2d, QuantLinear
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """One quantized layer's configuration and learned state."""
+
+    name: str
+    kind: str
+    mode: str
+    gs: Optional[int]
+    num_tiles: Optional[int]
+    weight_scale: Optional[float]
+    act_scale: Optional[float]
+    psum_shift_exponents: Optional[List[int]]
+
+
+def _scale_or_none(quantizer) -> Optional[float]:
+    return quantizer.effective_scale if quantizer._initialized else None
+
+
+def summarize_layer(name: str, module: Module) -> Optional[LayerSummary]:
+    """Summary row for one module, or None if it is not a quantized layer."""
+    if isinstance(module, (PsumQuantizedLinear, PsumQuantizedConv2d)):
+        exponents: Optional[List[int]] = None
+        num_tiles = module.num_tiles if module.tiled else 1
+        if module.tiled and all(q._initialized for q in module.accumulator.quantizers):
+            exponents = [q.shift_amount for q in module.accumulator.quantizers]
+        return LayerSummary(
+            name=name,
+            kind=type(module).__name__,
+            mode=module.config.mode.value,
+            gs=module.config.gs,
+            num_tiles=num_tiles,
+            weight_scale=_scale_or_none(module.weight_quantizer),
+            act_scale=_scale_or_none(module.act_quantizer),
+            psum_shift_exponents=exponents,
+        )
+    if isinstance(module, (QuantLinear, QuantConv2d)):
+        return LayerSummary(
+            name=name,
+            kind=type(module).__name__,
+            mode="baseline",
+            gs=None,
+            num_tiles=None,
+            weight_scale=_scale_or_none(module.weight_quantizer),
+            act_scale=_scale_or_none(module.act_quantizer),
+            psum_shift_exponents=None,
+        )
+    return None
+
+
+def model_summary(model: Module) -> List[LayerSummary]:
+    """Summaries of every quantized layer in the model."""
+    rows = []
+    for name, module in model.named_modules():
+        row = summarize_layer(name, module)
+        if row is not None:
+            rows.append(row)
+    if not rows:
+        raise ValueError("model contains no quantized layers")
+    return rows
+
+
+def format_summary(rows: List[LayerSummary]) -> str:
+    """Render the model summary as an aligned text table."""
+    lines = [
+        f"{'layer':<28} {'kind':<22} {'mode':<9} {'gs':>3} {'np':>4} "
+        f"{'w-scale':>10} {'a-scale':>10}  psum shifts"
+    ]
+    for r in rows:
+        w = f"{r.weight_scale:.2e}" if r.weight_scale is not None else "-"
+        a = f"{r.act_scale:.2e}" if r.act_scale is not None else "-"
+        shifts = "-"
+        if r.psum_shift_exponents is not None:
+            uniq = sorted(set(r.psum_shift_exponents))
+            shifts = ",".join(map(str, uniq[:6])) + ("…" if len(uniq) > 6 else "")
+        lines.append(
+            f"{r.name:<28} {r.kind:<22} {r.mode:<9} "
+            f"{r.gs if r.gs is not None else '-':>3} "
+            f"{r.num_tiles if r.num_tiles is not None else '-':>4} "
+            f"{w:>10} {a:>10}  {shifts}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Model surgery: swap float layers for quantized ones, in place.
+
+``quantize_model`` walks a model and replaces every ``nn.Linear`` with a
+:class:`PsumQuantizedLinear` (or plain :class:`QuantLinear` for BASELINE
+mode) and every dense ``nn.Conv2d`` with the conv equivalents.  Depthwise/
+grouped convolutions are left in float: their reduction depth is ``kh·kw``
+(≤ 9), their PSUMs never leave the MAC registers, and the paper's analysis
+only targets deep-reduction GEMMs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..nn.conv import Conv2d
+from ..nn.linear import Linear
+from ..nn.module import Module
+from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator
+from .qlayers import (
+    PsumQuantizedConv2d,
+    PsumQuantizedLinear,
+    QuantConv2d,
+    QuantLinear,
+)
+
+
+def quantize_model(model: Module, config: PsumQuantConfig) -> Module:
+    """Replace quantizable layers of ``model`` in place; returns the model."""
+    replacements: List[Tuple[str, Module]] = []
+    for name, module in model.named_modules():
+        if isinstance(module, (QuantLinear, QuantConv2d, PsumQuantizedLinear)):
+            raise ValueError(f"module {name!r} is already quantized")
+        if type(module) is Linear:
+            if config.mode is PsumMode.BASELINE:
+                replacements.append((name, QuantLinear(module, config)))
+            else:
+                replacements.append((name, PsumQuantizedLinear(module, config)))
+        elif isinstance(module, Conv2d) and module.groups == 1:
+            if config.mode is PsumMode.BASELINE:
+                replacements.append((name, QuantConv2d(module, config)))
+            else:
+                replacements.append((name, PsumQuantizedConv2d(module, config)))
+    if not replacements:
+        raise ValueError("model has no quantizable Linear/Conv2d layers")
+    for name, new_module in replacements:
+        model.set_submodule(name, new_module)
+    return model
+
+
+def quantized_layers(model: Module) -> Iterator[Tuple[str, Module]]:
+    """Yield (name, layer) for every quantized layer in ``model``."""
+    for name, module in model.named_modules():
+        if isinstance(module, (QuantLinear, QuantConv2d)) or isinstance(
+            module, (PsumQuantizedLinear, PsumQuantizedConv2d)
+        ):
+            yield name, module
+
+
+def psum_accumulators(model: Module) -> Iterator[Tuple[str, TiledPsumAccumulator]]:
+    """Yield every PSUM accumulator (for stats collection / RAE checks)."""
+    for name, module in model.named_modules():
+        if isinstance(module, TiledPsumAccumulator):
+            yield name, module
+
+
+def reset_psum_stats(model: Module) -> None:
+    for _, acc in psum_accumulators(model):
+        acc.reset_stats()

@@ -1,0 +1,35 @@
+"""Bit-accurate functional simulator of the Reconfigurable APSQ Engine."""
+
+from .banks import PsumBank
+from .config import CONFIG_TABLE, RAEModeConfig, mode_for_gs, s2_schedule
+from .engine import INT32_MAX, INT32_MIN, RAEngine, RAEStats, reference_apsq_reduce
+from .integration import (
+    IntegerGemmRunner,
+    layer_scales,
+    shift_exponent_error,
+    shift_exponents,
+)
+from .shifter import ShiftQuantizer, shift_round
+from .timing import RAETiming, reduction_cycles, throughput_report
+
+__all__ = [
+    "PsumBank",
+    "RAEModeConfig",
+    "CONFIG_TABLE",
+    "mode_for_gs",
+    "s2_schedule",
+    "RAEngine",
+    "RAEStats",
+    "reference_apsq_reduce",
+    "ShiftQuantizer",
+    "shift_round",
+    "INT32_MIN",
+    "INT32_MAX",
+    "IntegerGemmRunner",
+    "layer_scales",
+    "shift_exponents",
+    "shift_exponent_error",
+    "RAETiming",
+    "reduction_cycles",
+    "throughput_report",
+]

@@ -1,0 +1,60 @@
+"""PSUM SRAM banks of the RAE (Fig. 2: PSUM Bank0-Bank3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PsumBank:
+    """One INT-k SRAM bank holding quantized PSUM tiles.
+
+    A "word" is a whole lane vector (Po·Pco elements written in parallel);
+    capacity is expressed in tiles.  Reads/writes are counted for the
+    energy cross-checks against the analytical model.
+    """
+
+    def __init__(self, capacity_tiles: int, lanes: int, bits: int = 8) -> None:
+        if capacity_tiles < 1 or lanes < 1:
+            raise ValueError("capacity and lanes must be >= 1")
+        self.capacity_tiles = capacity_tiles
+        self.lanes = lanes
+        self.bits = bits
+        self._qn = -(2 ** (bits - 1))
+        self._qp = 2 ** (bits - 1) - 1
+        self._storage = np.zeros((capacity_tiles, lanes), dtype=np.int64)
+        self._valid = np.zeros(capacity_tiles, dtype=bool)
+        self.reads = 0
+        self.writes = 0
+
+    def write(self, addr: int, codes: np.ndarray) -> None:
+        codes = np.asarray(codes)
+        if codes.shape != (self.lanes,):
+            raise ValueError(f"expected {self.lanes} lanes, got {codes.shape}")
+        if addr < 0 or addr >= self.capacity_tiles:
+            raise IndexError(f"bank address {addr} out of range [0, {self.capacity_tiles})")
+        if codes.min() < self._qn or codes.max() > self._qp:
+            raise OverflowError(
+                f"codes outside INT{self.bits} range "
+                f"[{self._qn}, {self._qp}]: [{codes.min()}, {codes.max()}]"
+            )
+        self._storage[addr] = codes
+        self._valid[addr] = True
+        self.writes += 1
+
+    def read(self, addr: int) -> np.ndarray:
+        if addr < 0 or addr >= self.capacity_tiles:
+            raise IndexError(f"bank address {addr} out of range [0, {self.capacity_tiles})")
+        if not self._valid[addr]:
+            raise ValueError(f"reading uninitialised bank address {addr}")
+        self.reads += 1
+        return self._storage[addr].copy()
+
+    def reset(self) -> None:
+        self._storage[:] = 0
+        self._valid[:] = False
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def access_count(self) -> int:
+        return self.reads + self.writes

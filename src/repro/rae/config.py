@@ -1,0 +1,52 @@
+"""RAE configuration table (Fig. 2): group size -> static encodings.
+
+The static encodings ``s0``/``s1`` configure the bank-select multiplexers
+for a given group size; the dynamic bit ``s2`` switches between plain PSUM
+quantization (0) and the APSQ accumulate step (1) on a per-tile basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RAEModeConfig:
+    """One row of the Fig. 2 config table."""
+
+    gs: int
+    s0: str  # 2-bit bank-select group code
+    s1: Optional[str]  # extra select bit (only meaningful for gs >= 3)
+    active_banks: int  # banks used to hold the group's stored PSUMs
+
+    def s2_for_tile(self, index_in_group: int) -> int:
+        """Dynamic encoding: 1 = APSQ accumulate, 0 = plain PSUM quant.
+
+        The group-start tile performs the APSQ step (folding the previous
+        group); the remaining ``gs - 1`` tiles are plain quantizations.
+        """
+        if not 0 <= index_in_group < self.gs:
+            raise ValueError(f"index {index_in_group} outside group of size {self.gs}")
+        return 1 if index_in_group == 0 else 0
+
+
+# The predefined table of Fig. 2 ("Config. Table"): gs -> (s0, s1).
+CONFIG_TABLE: Dict[int, RAEModeConfig] = {
+    1: RAEModeConfig(gs=1, s0="00", s1=None, active_banks=1),
+    2: RAEModeConfig(gs=2, s0="01", s1=None, active_banks=2),
+    3: RAEModeConfig(gs=3, s0="10", s1="0", active_banks=3),
+    4: RAEModeConfig(gs=4, s0="10", s1="1", active_banks=4),
+}
+
+
+def mode_for_gs(gs: int) -> RAEModeConfig:
+    if gs not in CONFIG_TABLE:
+        raise ValueError(f"RAE supports gs in {sorted(CONFIG_TABLE)}, got {gs}")
+    return CONFIG_TABLE[gs]
+
+
+def s2_schedule(gs: int, num_tiles: int) -> List[int]:
+    """The full dynamic-encoding sequence for a ``num_tiles`` reduction."""
+    mode = mode_for_gs(gs)
+    return [mode.s2_for_tile(i % gs) for i in range(num_tiles)]

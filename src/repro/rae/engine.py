@@ -1,0 +1,207 @@
+"""The Reconfigurable APSQ Engine — a bit-accurate functional simulator.
+
+Models the RAE of Fig. 2: four INT8 PSUM SRAM banks, shift-based
+quantize/dequantize, a two-stage adder pipeline and the controller that
+sequences Algorithm 1 for any supported group size.  The engine operates
+on *integer* PSUM tiles (the INT32 values produced by the INT8 MAC array)
+and per-tile shift exponents (the power-of-two quantizer scales learned in
+QAT).
+
+``RAEngine.reduce(tiles, exponents)`` returns the INT8 output-tile codes
+plus the exponent of the final quantizer, and is verified integer-exactly
+against a direct transcription of Algorithm 1 in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .banks import PsumBank
+from .config import RAEModeConfig, mode_for_gs
+from .shifter import ShiftQuantizer
+
+INT32_MIN, INT32_MAX = -(2**31), 2**31 - 1
+
+
+@dataclass
+class RAEStats:
+    """Activity counters for the energy cross-check against Eq. 2."""
+
+    bank_reads: int = 0
+    bank_writes: int = 0
+    apsq_steps: int = 0
+    psq_steps: int = 0
+    adder_ops: int = 0
+
+    @property
+    def total_bank_accesses(self) -> int:
+        return self.bank_reads + self.bank_writes
+
+
+class RAEngine:
+    """Functional model of the RAE datapath.
+
+    Parameters
+    ----------
+    gs:
+        Group size; selects the config-table row (Fig. 2).
+    lanes:
+        PSUM elements processed in parallel (Po × Pco of the MAC array).
+    bits:
+        Stored-PSUM precision (INT8 in the paper).
+    rounding:
+        Tie-break of the quantizing shifter (see :func:`shift_round`).
+    """
+
+    NUM_BANKS = 4
+
+    def __init__(
+        self,
+        gs: int,
+        lanes: int = 128,
+        bits: int = 8,
+        bank_capacity_tiles: int = 64,
+        rounding: str = "half_even",
+    ) -> None:
+        self.mode: RAEModeConfig = mode_for_gs(gs)
+        self.gs = gs
+        self.lanes = lanes
+        self.quantizer = ShiftQuantizer(bits=bits, rounding=rounding)
+        self.banks = [
+            PsumBank(bank_capacity_tiles, lanes, bits=bits) for _ in range(self.NUM_BANKS)
+        ]
+        self.stats = RAEStats()
+
+    # ------------------------------------------------------------------
+    def _check_int32(self, value: np.ndarray, what: str) -> np.ndarray:
+        if value.min() < INT32_MIN or value.max() > INT32_MAX:
+            raise OverflowError(f"{what} exceeds the 32-bit accumulator range")
+        return value
+
+    def _bank_for(self, index_in_group: int) -> PsumBank:
+        """Bank assignment: group slot i lives in bank i (mod active banks)."""
+        return self.banks[index_in_group % self.mode.active_banks]
+
+    def _read_group(self, stored: List[tuple], addr: int) -> np.ndarray:
+        """Dequantize and sum the stored group via the two-stage adder tree."""
+        acc = np.zeros(self.lanes, dtype=np.int64)
+        for slot, exponent in stored:
+            codes = self._bank_for(slot).read(addr)
+            self.stats.bank_reads += 1
+            acc = acc + self.quantizer.dequantize(codes, exponent)
+            self.stats.adder_ops += 1
+        return self._check_int32(acc, "group accumulation")
+
+    # ------------------------------------------------------------------
+    def reduce(
+        self, tiles: Sequence[np.ndarray], exponents: Sequence[int], addr: int = 0
+    ) -> tuple:
+        """Run Algorithm 1 over integer PSUM tiles.
+
+        ``tiles[i]`` is the INT32 PSUM tile of reduction round ``i``
+        (shape ``(lanes,)``); ``exponents[i]`` the shift of quantizer
+        ``Q_k^i``.  Returns ``(codes, exponent)`` of the output tile To.
+        """
+        tiles = [np.asarray(t, dtype=np.int64) for t in tiles]
+        if len(tiles) != len(exponents):
+            raise ValueError("need one exponent per tile")
+        if not tiles:
+            raise ValueError("empty reduction")
+        for t in tiles:
+            if t.shape != (self.lanes,):
+                raise ValueError(f"tile shape {t.shape} != ({self.lanes},)")
+            self._check_int32(t, "input PSUM tile")
+
+        num_tiles = len(tiles)
+        if num_tiles == 1:
+            codes = self.quantizer.quantize(tiles[0], exponents[0])
+            return codes, exponents[0]
+
+        prev_group_sum = np.zeros(self.lanes, dtype=np.int64)
+        group_stored: List[tuple] = []
+        for i, (tile, exponent) in enumerate(zip(tiles, exponents)):
+            index_in_group = i % self.gs
+            s2 = self.mode.s2_for_tile(index_in_group)
+            is_last = i == num_tiles - 1
+
+            if is_last:
+                # Final output tile: fold everything still outstanding.
+                if s2 == 1:
+                    total = prev_group_sum + tile
+                else:
+                    total = self._read_group(group_stored, addr) + tile
+                self.stats.adder_ops += 1
+                self.stats.apsq_steps += 1
+                codes = self.quantizer.quantize(self._check_int32(total, "APSQ input"), exponent)
+                self._bank_for(index_in_group).write(addr, codes)
+                self.stats.bank_writes += 1
+                return codes, exponent
+
+            if s2 == 1:
+                # APSQ accumulate step (group boundary).
+                value = prev_group_sum + tile
+                self.stats.adder_ops += 1
+                self.stats.apsq_steps += 1
+            else:
+                # Plain PSUM quantization inside the group.
+                value = tile
+                self.stats.psq_steps += 1
+            codes = self.quantizer.quantize(self._check_int32(value, "quantizer input"), exponent)
+            self._bank_for(index_in_group).write(addr, codes)
+            self.stats.bank_writes += 1
+            group_stored.append((index_in_group, exponent))
+
+            if index_in_group == self.gs - 1:
+                # Group complete: read it back for the next APSQ step.
+                prev_group_sum = self._read_group(group_stored, addr)
+                group_stored = []
+
+        raise AssertionError("unreachable: final tile returns inside the loop")
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for bank in self.banks:
+            bank.reset()
+        self.stats = RAEStats()
+
+    @property
+    def bank_stats(self) -> List[dict]:
+        return [{"reads": b.reads, "writes": b.writes} for b in self.banks]
+
+
+def reference_apsq_reduce(
+    tiles: Sequence[np.ndarray],
+    exponents: Sequence[int],
+    gs: int,
+    bits: int = 8,
+    rounding: str = "half_even",
+) -> tuple:
+    """Direct transcription of Algorithm 1 in integer arithmetic.
+
+    Independent of the engine's bank/mux machinery — used to verify the
+    RAE datapath integer-exactly.
+    """
+    q = ShiftQuantizer(bits=bits, rounding=rounding)
+    tiles = [np.asarray(t, dtype=np.int64) for t in tiles]
+    num_tiles = len(tiles)
+    if num_tiles == 1:
+        return q.quantize(tiles[0], exponents[0]), exponents[0]
+
+    prev_sum = np.zeros_like(tiles[0])
+    stored: List[tuple] = []
+    for start in range(0, num_tiles, gs):
+        ap = q.quantize(prev_sum + tiles[start], exponents[start])
+        if start == num_tiles - 1:
+            return ap, exponents[start]
+        stored = [(ap, exponents[start])]
+        for j in range(start + 1, min(start + gs, num_tiles)):
+            if j < num_tiles - 1:
+                stored.append((q.quantize(tiles[j], exponents[j]), exponents[j]))
+            else:
+                acc = sum(q.dequantize(c, e) for c, e in stored)
+                return q.quantize(acc + tiles[j], exponents[j]), exponents[j]
+        prev_sum = sum(q.dequantize(c, e) for c, e in stored)
+    raise AssertionError("unreachable")

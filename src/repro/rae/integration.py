@@ -1,0 +1,184 @@
+"""Integer-only execution of PSUM-quantized layers through the RAE.
+
+This module bridges the algorithm side (:class:`PsumQuantizedLinear`,
+trained with fake quantization) and the hardware side (:class:`RAEngine`):
+it exports a layer's learned scales and integer weights, runs the GEMM
+tile-by-tile in pure integer arithmetic through the engine, and
+dequantizes the result — the datapath a taped-out accelerator with the
+RAE would execute.
+
+Requantization exponents are ``log2(α_i / (s_x · s_w))``: the PSUM scale
+relative to the integer product's LSB weight.  Two modes:
+
+- ``requant="shift"`` — snap the exponent to an integer and use the RAE's
+  barrel shifter.  Exact when the product scale is itself a power of two
+  (achievable by constraining the activation/weight quantizers with
+  ``po2_scale=True``); otherwise it adds a bounded scale mismatch of at
+  most √2, which :func:`shift_exponent_error` reports.
+- ``requant="exact"`` — rescale with a float multiplier per quantizer
+  (models the fixed-point requant multiplier many integer pipelines use
+  instead of a shifter).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..quant.qlayers import PsumQuantizedLinear
+from .engine import RAEngine
+from .shifter import ShiftQuantizer
+
+
+def layer_scales(layer: PsumQuantizedLinear) -> Tuple[float, float, List[float]]:
+    """(activation scale, weight scale, per-tile PSUM scales α)."""
+    if not layer.act_quantizer._initialized or not layer.weight_quantizer._initialized:
+        raise RuntimeError(
+            "layer quantizers are uncalibrated — run at least one forward pass"
+        )
+    s_x = layer.act_quantizer.effective_scale
+    s_w = layer.weight_quantizer.effective_scale
+    alphas = [q.effective_scale for q in layer.accumulator.quantizers] if layer.tiled else []
+    return s_x, s_w, alphas
+
+
+def shift_exponents(layer: PsumQuantizedLinear) -> List[int]:
+    """Integer shift amounts ``round(log2(α_i / (s_x·s_w)))`` per tile."""
+    s_x, s_w, alphas = layer_scales(layer)
+    product_scale = s_x * s_w
+    return [int(np.round(np.log2(alpha / product_scale))) for alpha in alphas]
+
+
+def shift_exponent_error(layer: PsumQuantizedLinear) -> float:
+    """Worst-case scale mismatch factor introduced by exponent snapping.
+
+    Returns ``max_i |log2(α_i / (s_x·s_w)) − round(·)|`` in bits;
+    0 means the shift path is exact.
+    """
+    s_x, s_w, alphas = layer_scales(layer)
+    product_scale = s_x * s_w
+    errs = [
+        abs(np.log2(alpha / product_scale) - np.round(np.log2(alpha / product_scale)))
+        for alpha in alphas
+    ]
+    return float(max(errs)) if errs else 0.0
+
+
+class IntegerGemmRunner:
+    """Run a trained :class:`PsumQuantizedLinear` in integer arithmetic.
+
+    The runner quantizes inputs with the layer's learned activation scale,
+    multiplies integer codes tile-by-tile (the INT8 MAC array), pushes the
+    INT32 PSUM tiles through a fresh :class:`RAEngine` per output row, and
+    dequantizes the INT8 output codes.  ``run`` returns the float output
+    (bias included) — directly comparable with the layer's eval-mode
+    fake-quant forward.
+    """
+
+    def __init__(
+        self,
+        layer: PsumQuantizedLinear,
+        requant: str = "shift",
+        rounding: str = "half_even",
+    ) -> None:
+        if not layer.tiled:
+            raise ValueError(
+                "layer is not PSUM-tiled (single reduction tile); integer "
+                "execution reduces to a plain quantized matmul"
+            )
+        if requant not in ("shift", "exact"):
+            raise ValueError(f"requant must be 'shift' or 'exact', got {requant!r}")
+        self.layer = layer
+        self.requant = requant
+        self.rounding = rounding
+        self.gs = layer.config.gs
+        self.pci = layer.config.pci
+        self.bits = layer.config.psum_spec.bits
+
+    # ------------------------------------------------------------------
+    def integer_tiles(self, x: np.ndarray) -> Tuple[List[np.ndarray], float]:
+        """INT32 PSUM tiles of the GEMM, and the product scale s_x·s_w."""
+        layer = self.layer
+        s_x, s_w, _ = layer_scales(layer)
+        x_codes = layer.act_quantizer.quantize_int(np.asarray(x, dtype=float))
+        w_codes = layer.weight_quantizer.quantize_int(layer.weight.data)  # (Co, Ci)
+        tiles = []
+        ci = layer.in_features
+        for lo in range(0, ci, self.pci):
+            hi = min(lo + self.pci, ci)
+            tiles.append(x_codes[:, lo:hi] @ w_codes[:, lo:hi].T)  # (N, Co) int64
+        return tiles, s_x * s_w
+
+    def _run_shift(self, tiles: List[np.ndarray]) -> np.ndarray:
+        """Integer path: RAEngine with snapped shift exponents."""
+        exponents = shift_exponents(self.layer)
+        n, co = tiles[0].shape
+        out = np.empty((n, co), dtype=np.float64)
+        _, _, alphas = layer_scales(self.layer)
+        product_scale = alphas[-1] / (2.0 ** exponents[-1])
+        for row in range(n):
+            engine = RAEngine(
+                gs=self.gs, lanes=co, bits=self.bits, rounding=self.rounding
+            )
+            codes, exp = engine.reduce([t[row] for t in tiles], exponents)
+            out[row] = codes.astype(np.float64) * (2.0**exp) * product_scale
+        return out
+
+    def _run_exact(self, tiles: List[np.ndarray], product_scale: float) -> np.ndarray:
+        """Fixed-point-multiplier path: float requant per quantizer."""
+        _, _, alphas = layer_scales(self.layer)
+        q = ShiftQuantizer(bits=self.bits, rounding=self.rounding)
+        num_tiles = len(tiles)
+        float_tiles = [t * product_scale for t in tiles]
+
+        def quantize(value, alpha):
+            codes = np.clip(np.round(value / alpha), q.qn, q.qp)
+            return codes * alpha
+
+        if num_tiles == 1:
+            return quantize(float_tiles[0], alphas[0])
+        prev_sum = np.zeros_like(float_tiles[0])
+        stored: List[np.ndarray] = []
+        for start in range(0, num_tiles, self.gs):
+            ap = quantize(prev_sum + float_tiles[start], alphas[start])
+            if start == num_tiles - 1:
+                return ap
+            stored = [ap]
+            for j in range(start + 1, min(start + self.gs, num_tiles)):
+                if j < num_tiles - 1:
+                    stored.append(quantize(float_tiles[j], alphas[j]))
+                else:
+                    return quantize(sum(stored) + float_tiles[j], alphas[j])
+            prev_sum = sum(stored)
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Integer-execute the layer; returns float output incl. bias."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D input (batch, Ci), got shape {x.shape}")
+        tiles, product_scale = self.integer_tiles(x)
+        if self.requant == "shift":
+            out = self._run_shift(tiles)
+        else:
+            out = self._run_exact(tiles, product_scale)
+        if self.layer.bias is not None:
+            out = out + self.layer.bias.data
+        return out
+
+    def compare_with_fake_quant(self, x: np.ndarray) -> dict:
+        """Run both paths; report agreement diagnostics."""
+        from ..tensor import Tensor, no_grad
+
+        self.layer.eval()
+        with no_grad():
+            fake = self.layer(Tensor(np.asarray(x, dtype=float))).data
+        integer = self.run(x)
+        denom = np.abs(fake).mean() + 1e-12
+        return {
+            "max_abs_diff": float(np.abs(fake - integer).max()),
+            "mean_rel_diff": float(np.abs(fake - integer).mean() / denom),
+            "exponent_snap_bits": shift_exponent_error(self.layer),
+        }

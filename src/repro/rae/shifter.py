@@ -1,0 +1,67 @@
+"""Shift-based quantize/dequantize units of the RAE.
+
+Because PSUM scales are constrained to powers of two (Section II-B), the
+RAE rescales with barrel shifters instead of multipliers: quantization is
+an arithmetic right shift with rounding and saturation; dequantization is
+a left shift.  Exponents are the ``log2`` of the quantizer scale relative
+to the integer PSUM's LSB weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def shift_round(x: np.ndarray, exponent: int, rounding: str = "half_even") -> np.ndarray:
+    """Compute ``round(x / 2**exponent)`` in integer arithmetic.
+
+    ``rounding`` selects the tie-break: ``"half_even"`` matches numpy (and
+    the QAT simulation); ``"half_up"`` is the cheap adder-based hardware
+    rounding (add half, shift).  Negative exponents left-shift exactly.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    if exponent <= 0:
+        return x << (-exponent)
+    half = np.int64(1) << (exponent - 1)
+    if rounding == "half_up":
+        return (x + half) >> exponent
+    if rounding == "half_even":
+        shifted = (x + half) >> exponent
+        # Detect exact ties: remainder == half; round down when result odd
+        # would be produced by half-up but even is below.
+        remainder = x & ((np.int64(1) << exponent) - 1)
+        tie = remainder == half
+        make_even = tie & (shifted & 1 == 1) & ((x >> exponent) & 1 == 0)
+        return shifted - make_even.astype(np.int64)
+    raise ValueError(f"unknown rounding mode {rounding!r}")
+
+
+class ShiftQuantizer:
+    """Quantize INT32 PSUMs to INT-k codes with a power-of-two scale.
+
+    ``quantize(x, e)`` returns saturated codes ``clip(round(x / 2^e))``;
+    ``dequantize(codes, e)`` returns ``codes << e``.
+    """
+
+    def __init__(self, bits: int = 8, rounding: str = "half_even") -> None:
+        if not 2 <= bits <= 16:
+            raise ValueError(f"stored-PSUM bits must be in [2, 16], got {bits}")
+        self.bits = bits
+        self.rounding = rounding
+        self.qn = -(2 ** (bits - 1))
+        self.qp = 2 ** (bits - 1) - 1
+
+    def quantize(self, x: np.ndarray, exponent: int) -> np.ndarray:
+        codes = shift_round(x, exponent, self.rounding)
+        return np.clip(codes, self.qn, self.qp)
+
+    def dequantize(self, codes: np.ndarray, exponent: int) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        if exponent >= 0:
+            return codes << exponent
+        return codes >> (-exponent)  # negative exponents are sub-LSB scales
+
+    def saturation_fraction(self, x: np.ndarray, exponent: int) -> float:
+        """Fraction of values clipped at this exponent (diagnostics)."""
+        codes = shift_round(x, exponent, self.rounding)
+        return float(((codes < self.qn) | (codes > self.qp)).mean())

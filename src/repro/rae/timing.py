@@ -1,0 +1,91 @@
+"""Cycle-level timing model of the RAE datapath.
+
+The RAE of Fig. 2 is a short pipeline: bank read → (dequant shift →
+two-stage adder tree) → accumulate → quant shift → bank write.  All four
+banks read in parallel, so a group-boundary APSQ step costs the same bank
+latency regardless of gs; what changes with gs is *how often* the adder
+tree is exercised and how deep it must be.
+
+The model answers the co-design question Table II's area numbers raise:
+does supporting gs=4 cost throughput?  (Answer: no — the tree is two
+stages and fully pipelined, so cycles/tile is constant across gs.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import mode_for_gs
+
+
+@dataclass(frozen=True)
+class RAETiming:
+    """Per-operation latencies in cycles (defaults: single-cycle units,
+    two-stage adder tree as in Fig. 2)."""
+
+    bank_read: int = 1
+    bank_write: int = 1
+    shift: int = 1  # quant or dequant barrel shift
+    adder_stage: int = 1
+    tree_stages: int = 2  # the two-stage pipeline of Fig. 2
+
+    def __post_init__(self) -> None:
+        if min(self.bank_read, self.bank_write, self.shift, self.adder_stage) < 1:
+            raise ValueError("latencies must be >= 1 cycle")
+
+
+def apsq_step_cycles(gs: int, timing: RAETiming = RAETiming()) -> int:
+    """Cycles for one APSQ accumulate step (group boundary, s2 = 1).
+
+    Banks read in parallel (one read latency), dequant shifts run in
+    parallel lanes, then the adder tree (2 pipelined stages for up to 4
+    operands), the accumulate add, the quant shift and the write-back.
+    """
+    mode_for_gs(gs)  # validate
+    return (
+        timing.bank_read
+        + timing.shift  # parallel dequant
+        + timing.tree_stages * timing.adder_stage
+        + timing.adder_stage  # accumulate with the incoming PSUM
+        + timing.shift  # quantize
+        + timing.bank_write
+    )
+
+
+def psq_step_cycles(timing: RAETiming = RAETiming()) -> int:
+    """Cycles for one plain PSUM quantization step (s2 = 0)."""
+    return timing.shift + timing.bank_write
+
+
+def reduction_cycles(
+    num_tiles: int, gs: int, timing: RAETiming = RAETiming(), pipelined: bool = True
+) -> int:
+    """Total RAE cycles to reduce ``num_tiles`` PSUM tiles at group size gs.
+
+    With ``pipelined=True`` (the RAE's design point) consecutive steps
+    overlap and the engine sustains one tile per cycle after the pipeline
+    fills; otherwise steps serialize.
+    """
+    if num_tiles < 1:
+        raise ValueError("need at least one tile")
+    mode = mode_for_gs(gs)
+    boundaries = (num_tiles + mode.gs - 1) // mode.gs  # APSQ steps incl. final
+    plain = num_tiles - boundaries
+    if not pipelined:
+        return boundaries * apsq_step_cycles(gs, timing) + plain * psq_step_cycles(timing)
+    # Pipelined: one new tile per cycle + one pipeline fill of the deepest step.
+    return num_tiles + apsq_step_cycles(gs, timing) - 1
+
+
+def throughput_report(num_tiles: int, timing: RAETiming = RAETiming()) -> dict:
+    """Cycles and cycles/tile for every supported gs, both modes."""
+    report = {}
+    for gs in (1, 2, 3, 4):
+        pipelined = reduction_cycles(num_tiles, gs, timing, pipelined=True)
+        serial = reduction_cycles(num_tiles, gs, timing, pipelined=False)
+        report[gs] = {
+            "pipelined_cycles": pipelined,
+            "serial_cycles": serial,
+            "pipelined_cycles_per_tile": pipelined / num_tiles,
+        }
+    return report

@@ -1,0 +1,60 @@
+"""Numpy-backed reverse-mode autograd engine.
+
+This subpackage is the substrate on which the whole APSQ reproduction is
+built: a :class:`Tensor` with broadcasting arithmetic and hand-written
+backward rules, activation functions, seeded randomness and a numerical
+gradient checker.
+"""
+
+from .autograd import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .functional import erf, gelu, log_softmax, relu, silu, softmax
+from .gradcheck import gradcheck, numerical_grad
+from .ops import (
+    avg_pool2d,
+    concat,
+    embedding_lookup,
+    im2col,
+    maximum,
+    minimum,
+    pad2d,
+    split,
+    stack,
+    tril_mask,
+    upsample_nearest,
+    where,
+)
+from .random import get_generator, manual_seed
+from .tensor import Tensor, as_tensor, make_op, unbroadcast
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "make_op",
+    "unbroadcast",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "silu",
+    "relu",
+    "erf",
+    "concat",
+    "stack",
+    "split",
+    "where",
+    "maximum",
+    "minimum",
+    "pad2d",
+    "im2col",
+    "upsample_nearest",
+    "avg_pool2d",
+    "embedding_lookup",
+    "tril_mask",
+    "manual_seed",
+    "get_generator",
+    "gradcheck",
+    "numerical_grad",
+]

@@ -1,0 +1,51 @@
+"""Global autograd state: gradient enable/disable and graph bookkeeping.
+
+The engine is reverse-mode automatic differentiation over numpy arrays.
+Gradient recording can be suspended with :func:`no_grad`, mirroring the
+familiar ``torch.no_grad()`` idiom::
+
+    with no_grad():
+        logits = model(x)   # no graph is built
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> None:
+    """Globally enable or disable autograd recording."""
+    global _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph construction inside its body."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+@contextlib.contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables graph construction inside its body."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev

@@ -1,0 +1,72 @@
+"""Differentiable activation and normalisation functions."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from .tensor import Tensor, make_op
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray):
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (g - dot),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+
+    def backward(g: np.ndarray):
+        softmax_val = np.exp(out_data)
+        return (g - softmax_val * g.sum(axis=axis, keepdims=True),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def erf(x: Tensor) -> Tensor:
+    """Gauss error function."""
+    out_data = special.erf(x.data)
+
+    def backward(g: np.ndarray):
+        return (g * 2.0 / np.sqrt(np.pi) * np.exp(-x.data**2),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Exact (erf-based) GELU, as used in BERT/Segformer FFNs."""
+    cdf = 0.5 * (1.0 + special.erf(x.data / np.sqrt(2.0)))
+    out_data = x.data * cdf
+
+    def backward(g: np.ndarray):
+        pdf = np.exp(-0.5 * x.data**2) / np.sqrt(2.0 * np.pi)
+        return (g * (cdf + x.data * pdf),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation, used in LLaMA's SwiGLU FFN."""
+    sig = 1.0 / (1.0 + np.exp(-x.data))
+    out_data = x.data * sig
+
+    def backward(g: np.ndarray):
+        return (g * (sig + x.data * sig * (1.0 - sig)),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit (also the feature map of linear attention)."""
+    return x.relu()

@@ -1,0 +1,67 @@
+"""Numerical gradient checking for tests.
+
+``gradcheck`` compares analytic gradients produced by the autograd engine
+against central finite differences.  Used extensively by the test suite to
+validate every primitive op and the custom STE quantizer gradients (where a
+reference gradient function is supplied instead, since STE gradients are
+deliberately *not* the true derivative).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[wrt]``."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn(*inputs).sum().data)
+        flat[i] = orig - eps
+        minus = float(fn(*inputs).sum().data)
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify analytic vs numerical gradients for all inputs requiring grad.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch.
+    """
+    for t in inputs:
+        t.grad = None
+    out = fn(*inputs)
+    out.sum().backward()
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_grad(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            diff = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs diff {diff:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

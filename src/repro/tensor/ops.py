@@ -1,0 +1,202 @@
+"""Free-function tensor operations: joining, selection, padding, im2col.
+
+These complement the methods on :class:`~repro.tensor.Tensor` with
+operations that take several tensors or need specialised backward rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, TensorLike, as_tensor, make_op, unbroadcast
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g: np.ndarray):
+        return tuple(np.split(g, splits, axis=axis))
+
+    return make_op(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        parts = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return make_op(out_data, tensors, backward)
+
+
+def split(tensor: Tensor, sections: int, axis: int = 0) -> List[Tensor]:
+    """Split ``tensor`` into ``sections`` equal chunks along ``axis``."""
+    size = tensor.shape[axis]
+    if size % sections != 0:
+        raise ValueError(f"axis of size {size} not divisible into {sections} sections")
+    chunk = size // sections
+    outs = []
+    for i in range(sections):
+        index = [slice(None)] * tensor.ndim
+        index[axis] = slice(i * chunk, (i + 1) * chunk)
+        outs.append(tensor[tuple(index)])
+    return outs
+
+
+def where(condition: Union[np.ndarray, Tensor], a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise select ``a`` where condition else ``b``; grads route accordingly."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return (
+            unbroadcast(g * cond, a.shape),
+            unbroadcast(g * ~cond, b.shape),
+        )
+
+    return make_op(out_data, (a, b), backward)
+
+
+def maximum(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise maximum; gradient splits evenly at ties."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(g: np.ndarray):
+        a_mask = a.data > b.data
+        tie = a.data == b.data
+        ga = g * (a_mask + 0.5 * tie)
+        gb = g * (~a_mask & ~tie) + g * 0.5 * tie
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return make_op(out_data, (a, b), backward)
+
+
+def minimum(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise minimum; gradient splits evenly at ties."""
+    return -maximum(-as_tensor(a), -as_tensor(b))
+
+
+def pad2d(x: Tensor, padding: Tuple[int, int]) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    widths = [(0, 0)] * (x.ndim - 2) + [(ph, ph), (pw, pw)]
+    out_data = np.pad(x.data, widths)
+
+    def backward(g: np.ndarray):
+        slices = tuple(
+            slice(p[0], g.shape[i] - p[1]) for i, p in enumerate(widths)
+        )
+        return (g[slices],)
+
+    return make_op(out_data, (x,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` at integer ``indices`` (scatter-add backward)."""
+    idx = indices.data.astype(np.int64) if isinstance(indices, Tensor) else np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[idx]
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, idx.reshape(-1), g.reshape(-1, weight.shape[-1]))
+        return (grad,)
+
+    return make_op(out_data, (weight,), backward)
+
+
+def im2col(
+    x: Tensor,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> Tensor:
+    """Unfold an NCHW tensor into convolution columns.
+
+    Returns a tensor of shape ``(N, Ho*Wo, C*kh*kw)`` so a convolution is a
+    single matmul with a ``(C*kh*kw, Co)`` weight matrix — exactly the GEMM
+    the analytical accelerator model (and PSUM tiling) operates on.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    x = pad2d(x, padding)
+    n, c, h, w = x.shape
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+
+    cols = np.empty((n, c, kh, kw, ho, wo), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = x.data[:, :, i : i + ho * sh : sh, j : j + wo * sw : sw]
+    out_data = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, ho * wo, c * kh * kw)
+
+    def backward(g: np.ndarray):
+        g_cols = g.reshape(n, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+        grad = np.zeros((n, c, h, w), dtype=g.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                grad[:, :, i : i + ho * sh : sh, j : j + wo * sw : sw] += g_cols[:, :, i, j]
+        return (grad,)
+
+    return make_op(out_data, (x,), backward)
+
+
+def upsample_nearest(x: Tensor, factor: int) -> Tensor:
+    """Nearest-neighbour upsampling of an NCHW tensor by an integer factor.
+
+    Backward sum-pools gradients over each ``factor × factor`` block.
+    """
+    if factor < 1:
+        raise ValueError(f"upsample factor must be >= 1, got {factor}")
+    if factor == 1:
+        return x
+    n, c, h, w = x.shape
+    out_data = x.data.repeat(factor, axis=2).repeat(factor, axis=3)
+
+    def backward(g: np.ndarray):
+        blocks = g.reshape(n, c, h, factor, w, factor)
+        return (blocks.sum(axis=(3, 5)),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, factor: int) -> Tensor:
+    """Average pooling with a ``factor × factor`` kernel and equal stride."""
+    n, c, h, w = x.shape
+    if h % factor or w % factor:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by {factor}")
+    ho, wo = h // factor, w // factor
+    blocks = x.data.reshape(n, c, ho, factor, wo, factor)
+    out_data = blocks.mean(axis=(3, 5))
+    inv = 1.0 / (factor * factor)
+
+    def backward(g: np.ndarray):
+        g_exp = g[:, :, :, None, :, None] * inv
+        return (np.broadcast_to(g_exp, (n, c, ho, factor, wo, factor)).reshape(n, c, h, w).copy(),)
+
+    return make_op(out_data, (x,), backward)
+
+
+def outer_ones_like(x: Tensor) -> np.ndarray:
+    """Convenience: an all-ones array matching ``x``'s shape (no grad)."""
+    return np.ones_like(x.data)
+
+
+def tril_mask(size: int, dtype=np.float64) -> np.ndarray:
+    """Lower-triangular causal mask of ``-inf`` above the diagonal (no grad)."""
+    mask = np.zeros((size, size), dtype=dtype)
+    mask[np.triu_indices(size, k=1)] = -np.inf
+    return mask

@@ -1,0 +1,38 @@
+"""Seeded randomness for reproducible experiments.
+
+A single module-level :class:`numpy.random.Generator` backs all parameter
+initialisation and synthetic data generation, reset via :func:`manual_seed`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GENERATOR = np.random.default_rng(0)
+
+
+def manual_seed(seed: int) -> None:
+    """Reset the global generator — call at the top of every experiment."""
+    global _GENERATOR
+    _GENERATOR = np.random.default_rng(seed)
+
+
+def get_generator() -> np.random.Generator:
+    """Return the process-wide generator."""
+    return _GENERATOR
+
+
+def normal(shape, std: float = 1.0, mean: float = 0.0) -> np.ndarray:
+    return _GENERATOR.normal(mean, std, size=shape)
+
+
+def uniform(shape, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    return _GENERATOR.uniform(low, high, size=shape)
+
+
+def randint(low: int, high: int, shape) -> np.ndarray:
+    return _GENERATOR.integers(low, high, size=shape)
+
+
+def permutation(n: int) -> np.ndarray:
+    return _GENERATOR.permutation(n)

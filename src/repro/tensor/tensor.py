@@ -1,0 +1,449 @@
+"""Reverse-mode autograd tensor over numpy.
+
+This module provides the :class:`Tensor` class used throughout the APSQ
+reproduction.  It supports the usual broadcasting arithmetic, matrix
+multiplication, reductions, shape manipulation and indexing, each with a
+hand-written backward closure.  The design follows the classic
+"micrograd with ndarrays" pattern: every operation returns a new Tensor
+whose ``_backward`` closure scatters the output gradient back onto its
+parents, and :meth:`Tensor.backward` runs a topological sweep.
+
+Custom-gradient operations (straight-through estimators for quantizers)
+are built with :func:`make_op`, the same primitive used internally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .autograd import is_grad_enabled
+
+Scalar = Union[int, float]
+TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
+
+DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value: TensorLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``, undoing numpy broadcasting.
+
+    Summation happens over the axes that were added or expanded when the
+    forward operation broadcast an operand of ``shape`` up to ``grad.shape``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: TensorLike,
+        requires_grad: bool = False,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def clone(self) -> "Tensor":
+        out = make_op(self.data.copy(), (self,), lambda g: (g,))
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
+            )
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is not None:
+                parent_grads = node._backward(node_grad)
+                for parent, pgrad in zip(node._prev, parent_grads):
+                    if pgrad is None:
+                        continue
+                    if not (parent.requires_grad or parent._backward is not None):
+                        continue
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + pgrad
+                    else:
+                        grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+        return make_op(
+            out_data,
+            (self, other),
+            lambda g: (unbroadcast(g, self.shape), unbroadcast(g, other.shape)),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+        return make_op(
+            out_data,
+            (self, other),
+            lambda g: (unbroadcast(g, self.shape), unbroadcast(-g, other.shape)),
+        )
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+        return make_op(
+            out_data,
+            (self, other),
+            lambda g: (
+                unbroadcast(g * other.data, self.shape),
+                unbroadcast(g * self.data, other.shape),
+            ),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+        return make_op(
+            out_data,
+            (self, other),
+            lambda g: (
+                unbroadcast(g / other.data, self.shape),
+                unbroadcast(-g * self.data / (other.data**2), other.shape),
+            ),
+        )
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        return make_op(-self.data, (self,), lambda g: (-g,))
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+        return make_op(
+            out_data,
+            (self,),
+            lambda g: (g * exponent * self.data ** (exponent - 1),),
+        )
+
+    def __matmul__(self, other: TensorLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                return g * b, g * a
+            if a.ndim == 1:
+                ga = unbroadcast((g[..., None, :] * b).sum(-1), a.shape)
+                gb = a[:, None] * g[..., None, :]
+                return ga, unbroadcast(gb, b.shape)
+            if b.ndim == 1:
+                ga = g[..., :, None] * b
+                gb = (np.swapaxes(a, -1, -2) @ g[..., :, None])[..., 0]
+                return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+            ga = g @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ g
+            return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+        return make_op(out_data, (self, other), backward)
+
+    def __rmatmul__(self, other: TensorLike) -> "Tensor":
+        return as_tensor(other) @ self
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        return make_op(out_data, (self,), lambda g: (g * out_data,))
+
+    def log(self) -> "Tensor":
+        return make_op(np.log(self.data), (self,), lambda g: (g / self.data,))
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        return make_op(out_data, (self,), lambda g: (g * 0.5 / out_data,))
+
+    def abs(self) -> "Tensor":
+        return make_op(np.abs(self.data), (self,), lambda g: (g * np.sign(self.data),))
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        return make_op(out_data, (self,), lambda g: (g * (1.0 - out_data**2),))
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        return make_op(out_data, (self,), lambda g: (g * out_data * (1.0 - out_data),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return make_op(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def clip(self, low: Scalar, high: Scalar) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+        return make_op(out_data, (self,), lambda g: (g * mask,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, self.shape).copy(),)
+            g_exp = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                for a in sorted(axes):
+                    g_exp = np.expand_dims(g_exp, a)
+            return (np.broadcast_to(g_exp, self.shape).copy(),)
+
+        return make_op(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                full = np.broadcast_to(g, self.shape)
+                mask = self.data == self.data.max()
+            else:
+                g_exp = g
+                out_exp = out_data
+                if not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % self.ndim for a in axes)
+                    for a in sorted(axes):
+                        g_exp = np.expand_dims(g_exp, a)
+                        out_exp = np.expand_dims(out_exp, a)
+                full = np.broadcast_to(g_exp, self.shape)
+                mask = self.data == out_exp
+            counts = mask.sum(
+                axis=axis, keepdims=True
+            ) if axis is not None else mask.sum()
+            return (full * mask / counts,)
+
+        return make_op(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -(-self).max(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        return make_op(out_data, (self,), lambda g: (g.reshape(self.shape),))
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        axes = tuple(a % self.ndim for a in axes)
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+        return make_op(out_data, (self,), lambda g: (g.transpose(inverse),))
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        out_data = self.data.swapaxes(a, b)
+        return make_op(out_data, (self,), lambda g: (g.swapaxes(a, b),))
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+        return make_op(out_data, (self,), lambda g: (np.squeeze(g, axis=axis),))
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        return make_op(out_data, (self,), lambda g: (g.reshape(self.shape),))
+
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data.astype(np.int64)
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray):
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            return (grad,)
+
+        return make_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (return plain numpy bool arrays, no grad)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: TensorLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: TensorLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: TensorLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: TensorLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+
+def as_tensor(value: TensorLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def make_op(
+    out_data: np.ndarray,
+    parents: Iterable[Tensor],
+    backward: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
+) -> Tensor:
+    """Create the output tensor of a differentiable operation.
+
+    ``backward`` maps the output gradient to a tuple of parent gradients
+    (``None`` entries are skipped).  When autograd is disabled or no parent
+    requires grad, the graph edge is dropped entirely.
+    """
+    parents = tuple(parents)
+    out = Tensor(out_data)
+    if is_grad_enabled() and any(
+        p.requires_grad or p._backward is not None for p in parents
+    ):
+        out.requires_grad = any(p.requires_grad for p in parents)
+        out._prev = parents
+        out._backward = backward
+    return out

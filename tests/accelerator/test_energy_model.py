@@ -1,0 +1,238 @@
+"""Tests for the analytical energy model (Eqs. 1-6)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    EnergyTable,
+    GemmLayer,
+    PsumFormat,
+    access_counts,
+    apsq_psum_format,
+    baseline_psum_format,
+    conv_as_gemm,
+    layer_energy,
+    llm_config,
+    model_energy,
+    normalized_energy,
+    psum_working_set,
+    total_macs,
+)
+
+
+class TestEnergyTable:
+    def test_defaults_ordered(self):
+        t = EnergyTable()
+        assert t.e_mac < t.e_sram < t.e_dram
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EnergyTable(e_mac=0.0)
+
+    def test_rejects_inverted_hierarchy(self):
+        with pytest.raises(ValueError):
+            EnergyTable(e_mac=10.0, e_sram=5.0, e_dram=160.0)
+
+
+class TestAcceleratorConfig:
+    def test_defaults_match_paper(self):
+        cfg = AcceleratorConfig()
+        assert (cfg.po, cfg.pci, cfg.pco) == (16, 8, 8)
+        assert cfg.ifmap_buffer == 256 * 1024
+        assert cfg.weight_buffer == 128 * 1024
+
+    def test_llm_config(self):
+        cfg = llm_config()
+        assert (cfg.po, cfg.pci, cfg.pco) == (1, 32, 32)
+
+    def test_num_macs(self):
+        assert AcceleratorConfig().num_macs == 16 * 8 * 8
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(po=0)
+
+
+class TestPsumFormat:
+    def test_beta_int32(self):
+        assert baseline_psum_format(32).beta == 4.0
+
+    def test_beta_fractional(self):
+        assert PsumFormat(bits=4).beta == 0.5
+
+    def test_capacity_rounds_to_bytes(self):
+        # Sub-byte PSUMs still occupy a byte in byte-addressed buffers.
+        assert PsumFormat(bits=4, additive=True).capacity_factor == 1.0
+
+    def test_apsq_capacity_scales_with_gs(self):
+        assert apsq_psum_format(gs=3).capacity_factor == 3.0
+        assert apsq_psum_format(gs=1).capacity_factor == 1.0
+
+    def test_apsq_beta_independent_of_gs(self):
+        """Grouping keeps access traffic constant (Sec. III-B)."""
+        assert apsq_psum_format(gs=1).beta == apsq_psum_format(gs=4).beta
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PsumFormat(bits=0)
+        with pytest.raises(ValueError):
+            PsumFormat(group_size=0)
+
+
+class TestGemmLayer:
+    def test_sizes(self):
+        g = GemmLayer("x", 128, 768, 3072)
+        assert g.ifmap_bytes == 128 * 768
+        assert g.weight_bytes == 768 * 3072
+        assert g.ofmap_bytes == 128 * 3072
+        assert g.macs == 128 * 768 * 3072
+
+    def test_conv_as_gemm(self):
+        g = conv_as_gemm("c", 16, 16, 64, 128, kernel=3)
+        assert g.m == 256
+        assert g.ci == 64 * 9
+
+    def test_live_m_default_and_decode(self):
+        assert GemmLayer("x", 64, 8, 8).live_m == 64
+        assert GemmLayer("x", 64, 8, 8, psum_m=1).live_m == 1
+
+    def test_psum_m_validation(self):
+        with pytest.raises(ValueError):
+            GemmLayer("x", 4, 8, 8, psum_m=5)
+
+    def test_scaled_preserves_psum_m(self):
+        g = GemmLayer("x", 64, 8, 8, psum_m=1).scaled(3)
+        assert g.repeats == 3
+        assert g.live_m == 1
+
+    def test_total_macs(self):
+        layers = [GemmLayer("a", 2, 4, 8), GemmLayer("b", 2, 4, 8, repeats=2)]
+        assert total_macs(layers) == 3 * 2 * 4 * 8
+
+
+class TestWorkingSet:
+    CFG = AcceleratorConfig()
+
+    def test_ws_scales_with_m(self):
+        small = GemmLayer("s", 128, 768, 768)
+        big = GemmLayer("b", 16384, 768, 768)
+        f = baseline_psum_format(32)
+        assert psum_working_set(big, self.CFG, f, Dataflow.WS) > psum_working_set(
+            small, self.CFG, f, Dataflow.WS
+        )
+
+    def test_is_scales_with_co(self):
+        f = baseline_psum_format(32)
+        narrow = GemmLayer("n", 128, 768, 64)
+        wide = GemmLayer("w", 128, 768, 4096)
+        assert psum_working_set(wide, self.CFG, f, Dataflow.IS) > psum_working_set(
+            narrow, self.CFG, f, Dataflow.IS
+        )
+
+    def test_os_zero(self):
+        g = GemmLayer("g", 128, 768, 768)
+        assert psum_working_set(g, self.CFG, baseline_psum_format(32), Dataflow.OS) == 0
+
+    def test_decode_live_m(self):
+        g = GemmLayer("g", 4096, 4096, 4096, psum_m=1)
+        f = baseline_psum_format(32)
+        ws = psum_working_set(g, llm_config(), f, Dataflow.WS)
+        assert ws == 4 * 1 * 32  # capacity * live_m * pco
+
+
+class TestAccessCounts:
+    CFG = AcceleratorConfig()
+
+    def test_psum_rounds_formula(self):
+        """N_p = 2(ceil(Ci/Pci) - 1) when the working set fits (Eqs. 3, 5)."""
+        g = GemmLayer("g", 16, 64, 8)  # np = 8
+        for df in (Dataflow.IS, Dataflow.WS):
+            c = access_counts(g, self.CFG, apsq_psum_format(1), df)
+            assert c.psum_sram == 2 * (8 - 1)
+            assert c.psum_dram == 0
+
+    def test_psum_spill_doubles_sram_adds_dram(self):
+        g = GemmLayer("g", 100_000, 64, 8)  # WS working set huge
+        f = baseline_psum_format(32)
+        c = access_counts(g, self.CFG, f, Dataflow.WS)
+        assert c.psum_sram == 4 * (8 - 1)
+        assert c.psum_dram == 2 * (8 - 1)
+
+    def test_is_weight_refetch_when_too_big(self):
+        g = GemmLayer("g", 128, 768, 3072)  # Sw = 2.3 MB > 128 KB
+        c = access_counts(g, self.CFG, baseline_psum_format(32), Dataflow.IS)
+        input_tiles = -(-128 // self.CFG.po)
+        assert c.weight_dram == input_tiles
+        assert c.weight_sram == 2 * input_tiles
+
+    def test_is_weight_fits_single_dram_load(self):
+        g = GemmLayer("g", 128, 64, 64)  # Sw = 4 KB
+        c = access_counts(g, self.CFG, baseline_psum_format(32), Dataflow.IS)
+        assert c.weight_dram == 1
+
+    def test_os_no_psum_traffic_any_precision(self):
+        g = GemmLayer("g", 1000, 4096, 4096)
+        for bits in (8, 16, 32):
+            c = access_counts(g, self.CFG, baseline_psum_format(bits), Dataflow.OS)
+            assert c.psum_sram == 0
+            assert c.psum_dram == 0
+
+    def test_single_tile_reduction_no_psum_traffic(self):
+        g = GemmLayer("g", 16, 8, 8)  # np = 1: accumulates in registers
+        c = access_counts(g, self.CFG, baseline_psum_format(32), Dataflow.WS)
+        assert c.psum_sram == 0
+
+
+class TestLayerEnergy:
+    CFG = AcceleratorConfig()
+
+    def test_components_positive(self):
+        e = layer_energy(
+            GemmLayer("g", 128, 768, 768), self.CFG, baseline_psum_format(32), Dataflow.WS
+        )
+        assert min(e.ifmap, e.weight, e.psum, e.ofmap, e.mac) > 0
+
+    def test_psum_energy_linear_in_beta(self):
+        g = GemmLayer("g", 128, 768, 768)
+        e32 = layer_energy(g, self.CFG, baseline_psum_format(32), Dataflow.WS)
+        e8 = layer_energy(g, self.CFG, baseline_psum_format(8), Dataflow.WS)
+        assert np.isclose(e32.psum, 4 * e8.psum)
+        assert np.isclose(e32.mac, e8.mac)  # MACs unaffected
+
+    def test_repeats_scale_linearly(self):
+        g = GemmLayer("g", 128, 768, 768)
+        e1 = layer_energy(g, self.CFG, baseline_psum_format(32), Dataflow.WS)
+        e3 = layer_energy(g.scaled(3), self.CFG, baseline_psum_format(32), Dataflow.WS)
+        assert np.isclose(e3.total, 3 * e1.total)
+
+    def test_breakdown_addition(self):
+        g = GemmLayer("g", 16, 64, 64)
+        e = layer_energy(g, self.CFG, baseline_psum_format(32), Dataflow.IS)
+        double = e + e
+        assert np.isclose(double.total, 2 * e.total)
+
+    def test_as_dict_keys(self):
+        e = layer_energy(
+            GemmLayer("g", 16, 64, 64), self.CFG, baseline_psum_format(32), Dataflow.IS
+        )
+        assert set(e.as_dict()) == {"ifmap", "weight", "psum", "ofmap", "op"}
+
+    def test_model_energy_sums_layers(self):
+        layers = [GemmLayer("a", 16, 64, 64), GemmLayer("b", 16, 64, 64)]
+        total = model_energy(layers, self.CFG, baseline_psum_format(32), Dataflow.IS)
+        single = layer_energy(layers[0], self.CFG, baseline_psum_format(32), Dataflow.IS)
+        assert np.isclose(total.total, 2 * single.total)
+
+    def test_normalized_energy_identity(self):
+        layers = [GemmLayer("a", 128, 768, 768)]
+        f = baseline_psum_format(32)
+        assert normalized_energy(layers, self.CFG, f, Dataflow.WS, f) == 1.0
+
+    def test_apsq_saves_energy_everywhere(self):
+        layers = [GemmLayer("a", 128, 768, 3072)]
+        ref = baseline_psum_format(32)
+        for df in (Dataflow.IS, Dataflow.WS):
+            ratio = normalized_energy(layers, self.CFG, apsq_psum_format(2), df, ref)
+            assert ratio < 1.0

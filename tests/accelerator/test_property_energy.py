@@ -1,0 +1,102 @@
+"""Property-based tests for the analytical energy model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    GemmLayer,
+    PsumFormat,
+    access_counts,
+    apsq_psum_format,
+    baseline_psum_format,
+    layer_energy,
+    model_energy,
+)
+
+CFG = AcceleratorConfig()
+
+gemm = st.builds(
+    GemmLayer,
+    name=st.just("g"),
+    m=st.integers(1, 20_000),
+    ci=st.integers(1, 4096),
+    co=st.integers(1, 4096),
+)
+
+
+class TestEnergyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(layer=gemm, bits=st.sampled_from([8, 16, 32]))
+    def test_all_components_nonnegative(self, layer, bits):
+        for df in Dataflow:
+            e = layer_energy(layer, CFG, baseline_psum_format(bits), df)
+            assert min(e.ifmap, e.weight, e.psum, e.ofmap, e.mac) >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer=gemm)
+    def test_psum_energy_monotone_in_bits(self, layer):
+        """More PSUM bits never cost less energy."""
+        for df in (Dataflow.IS, Dataflow.WS):
+            energies = [
+                layer_energy(layer, CFG, baseline_psum_format(b), df).psum
+                for b in (8, 16, 32)
+            ]
+            assert energies[0] <= energies[1] <= energies[2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer=gemm, gs=st.integers(1, 4))
+    def test_apsq_never_beats_free_lunch(self, layer, gs):
+        """INT8 APSQ energy <= INT32 baseline, always."""
+        for df in (Dataflow.IS, Dataflow.WS):
+            apsq = layer_energy(layer, CFG, apsq_psum_format(gs), df).total
+            base = layer_energy(layer, CFG, baseline_psum_format(32), df).total
+            assert apsq <= base + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer=gemm, gs_small=st.integers(1, 3))
+    def test_energy_monotone_in_gs(self, layer, gs_small):
+        """Larger groups can only add capacity pressure, never remove it."""
+        for df in (Dataflow.IS, Dataflow.WS):
+            small = layer_energy(layer, CFG, apsq_psum_format(gs_small), df).total
+            big = layer_energy(layer, CFG, apsq_psum_format(gs_small + 1), df).total
+            assert big >= small - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer=gemm)
+    def test_os_total_independent_of_psum_format(self, layer):
+        totals = {
+            bits: layer_energy(layer, CFG, baseline_psum_format(bits), Dataflow.OS).total
+            for bits in (8, 32)
+        }
+        assert np.isclose(totals[8], totals[32])
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(1, 100), co=st.integers(1, 64))
+    def test_shallow_reduction_no_psum_traffic(self, m, co):
+        """Ci <= Pci means one tile: PSUMs never leave the MAC registers."""
+        layer = GemmLayer("g", m, CFG.pci, co)
+        for df in (Dataflow.IS, Dataflow.WS):
+            counts = access_counts(layer, CFG, baseline_psum_format(32), df)
+            assert counts.psum_sram == 0
+            assert counts.psum_dram == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(layer=gemm, repeats=st.integers(1, 8))
+    def test_repeats_linear(self, layer, repeats):
+        one = layer_energy(layer, CFG, baseline_psum_format(32), Dataflow.WS).total
+        many = layer_energy(layer.scaled(repeats), CFG, baseline_psum_format(32), Dataflow.WS).total
+        assert np.isclose(many, repeats * one)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        layers=st.lists(gemm, min_size=1, max_size=5),
+        bits=st.sampled_from([8, 32]),
+    )
+    def test_model_energy_is_sum(self, layers, bits):
+        fmt = baseline_psum_format(bits)
+        total = model_energy(layers, CFG, fmt, Dataflow.IS).total
+        parts = sum(layer_energy(l, CFG, fmt, Dataflow.IS).total for l in layers)
+        assert np.isclose(total, parts)

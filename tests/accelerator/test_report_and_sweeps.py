@@ -1,0 +1,116 @@
+"""Tests for per-layer energy reports and design-space sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    GemmLayer,
+    apsq_psum_format,
+    baseline_psum_format,
+    bert_base_workload,
+    format_report,
+    format_sweep,
+    hotspots,
+    layer_report,
+    llama2_7b_workload,
+    segformer_b0_workload,
+    sweep_ofmap_buffer,
+    sweep_pci,
+    sweep_psum_bits,
+    sweep_sequence_length,
+)
+
+CFG = AcceleratorConfig()
+INT32 = baseline_psum_format(32)
+
+
+class TestLayerReport:
+    def test_one_row_per_layer(self):
+        wl = bert_base_workload(128)
+        rows = layer_report(wl, CFG, INT32, Dataflow.WS)
+        assert len(rows) == len(wl)
+
+    def test_tile_counts(self):
+        wl = bert_base_workload(128)
+        rows = {r.name: r for r in layer_report(wl, CFG, INT32, Dataflow.WS)}
+        assert rows["ffn_out"].num_tiles == 3072 // CFG.pci
+
+    def test_spill_flag_matches_fig6(self):
+        """Segformer stage-1 layers spill under WS/INT32; BERT never does."""
+        seg_rows = layer_report(segformer_b0_workload(), CFG, INT32, Dataflow.WS)
+        assert any(r.psum_spills for r in seg_rows)
+        bert_rows = layer_report(bert_base_workload(), CFG, INT32, Dataflow.WS)
+        assert not any(r.psum_spills for r in bert_rows)
+
+    def test_no_spill_with_apsq_gs1(self):
+        rows = layer_report(
+            segformer_b0_workload(), CFG, apsq_psum_format(1), Dataflow.WS
+        )
+        assert not any(r.psum_spills for r in rows)
+
+    def test_totals_match_model_energy(self):
+        from repro.accelerator import model_energy
+
+        wl = bert_base_workload(128)
+        rows = layer_report(wl, CFG, INT32, Dataflow.IS)
+        total = sum(r.total_energy for r in rows)
+        assert np.isclose(total, model_energy(wl, CFG, INT32, Dataflow.IS).total)
+
+    def test_hotspots_sorted(self):
+        rows = layer_report(bert_base_workload(), CFG, INT32, Dataflow.WS)
+        top = hotspots(rows, top=3)
+        assert len(top) == 3
+        assert top[0].total_energy >= top[1].total_energy >= top[2].total_energy
+
+    def test_hotspots_invalid_top(self):
+        with pytest.raises(ValueError):
+            hotspots([], top=0)
+
+    def test_format_contains_headers(self):
+        rows = layer_report(bert_base_workload(), CFG, INT32, Dataflow.WS)
+        text = format_report(rows, top=2)
+        assert "psum WS" in text
+        assert len(text.splitlines()) == 3
+
+    def test_psum_share_bounded(self):
+        rows = layer_report(bert_base_workload(), CFG, INT32, Dataflow.WS)
+        assert all(0.0 <= r.psum_share <= 1.0 for r in rows)
+
+
+class TestSweeps:
+    def test_ofmap_buffer_monotone(self):
+        wl = segformer_b0_workload()
+        results = sweep_ofmap_buffer(wl, [64, 256, 1024], apsq_psum_format(4), Dataflow.WS)
+        values = list(results.values())
+        assert values[0] >= values[1] >= values[2]
+
+    def test_psum_bits_monotone_and_normalized(self):
+        wl = bert_base_workload()
+        results = sweep_psum_bits(wl, [4, 8, 16, 32], Dataflow.WS)
+        values = list(results.values())
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)  # INT32 == baseline
+
+    def test_pci_reduces_psum_rounds(self):
+        wl = bert_base_workload()
+        results = sweep_pci(wl, [4, 8, 32], INT32, Dataflow.WS)
+        assert results[32] < results[8] < results[4]
+
+    def test_sequence_length_grows_energy(self):
+        results = sweep_sequence_length(
+            lambda s: bert_base_workload(s), [64, 128, 256], INT32, Dataflow.WS
+        )
+        assert results[64] < results[128] < results[256]
+
+    def test_llm_decode_sweep_runs(self):
+        results = sweep_sequence_length(
+            lambda s: llama2_7b_workload(s, "prefill"), [256, 1024], INT32, Dataflow.WS
+        )
+        assert results[256] < results[1024]
+
+    def test_format_sweep(self):
+        text = format_sweep({64: 1.0, 128: 2.0}, "KiB")
+        assert "KiB" in text
+        assert len(text.splitlines()) == 3

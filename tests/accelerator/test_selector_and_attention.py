@@ -1,0 +1,104 @@
+"""Tests for per-layer dataflow selection and attention workloads."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    GemmLayer,
+    baseline_psum_format,
+    bert_base_workload,
+    best_dataflow,
+    dataflow_histogram,
+    layer_energy,
+    llm_config,
+    model_energy,
+    reconfigurable_model_energy,
+    total_macs,
+)
+
+CFG = AcceleratorConfig()
+INT32 = baseline_psum_format(32)
+
+
+class TestBestDataflow:
+    def test_picks_minimum(self):
+        layer = GemmLayer("g", 128, 768, 3072)
+        choice = best_dataflow(layer, CFG, INT32)
+        assert choice.alternatives[choice.dataflow.name] == min(
+            choice.alternatives.values()
+        )
+
+    def test_alternatives_complete(self):
+        choice = best_dataflow(GemmLayer("g", 64, 64, 64), CFG, INT32)
+        assert set(choice.alternatives) == {"IS", "WS", "OS"}
+
+    def test_restricted_candidates(self):
+        layer = GemmLayer("g", 128, 768, 3072)
+        choice = best_dataflow(layer, CFG, INT32, candidates=(Dataflow.IS,))
+        assert choice.dataflow is Dataflow.IS
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            best_dataflow(GemmLayer("g", 4, 4, 4), CFG, INT32, candidates=())
+
+    def test_os_wins_for_deep_reduction_small_operands(self):
+        """Deep reduction with on-chip-resident operands: OS avoids all
+        PSUM traffic without paying DRAM re-streaming."""
+        layer = GemmLayer("g", 64, 4096, 16)  # Sw 64 KiB, Si 256 KiB: both fit
+        choice = best_dataflow(layer, CFG, INT32)
+        assert choice.dataflow is Dataflow.OS
+
+
+class TestReconfigurableEnergy:
+    def test_never_worse_than_fixed(self):
+        workload = bert_base_workload(128)
+        total, _ = reconfigurable_model_energy(workload, CFG, INT32)
+        for df in Dataflow:
+            fixed = model_energy(workload, CFG, INT32, df).total
+            assert total.total <= fixed + 1e-6
+
+    def test_histogram_counts_layers(self):
+        workload = bert_base_workload(128)
+        _, choices = reconfigurable_model_energy(workload, CFG, INT32)
+        histogram = dataflow_histogram(choices)
+        assert sum(histogram.values()) == len(workload)
+
+    def test_equals_sum_of_choices(self):
+        workload = bert_base_workload(128)
+        total, choices = reconfigurable_model_energy(workload, CFG, INT32)
+        assert np.isclose(total.total, sum(c.energy.total for c in choices))
+
+
+class TestAttentionWorkload:
+    def test_flag_adds_attention_gemms(self):
+        plain = bert_base_workload(128)
+        full = bert_base_workload(128, include_attention=True)
+        names = {l.name for l in full} - {l.name for l in plain}
+        assert names == {"attn_scores", "attn_values"}
+
+    def test_attention_macs_match_formula(self):
+        full = bert_base_workload(128, include_attention=True)
+        scores = next(l for l in full if l.name == "attn_scores")
+        # 12 layers x 12 heads of a (seq x head_dim x seq) GEMM.
+        assert scores.macs * scores.repeats == 128 * 64 * 128 * 144
+
+    def test_attention_small_fraction_at_short_seq(self):
+        plain = total_macs(bert_base_workload(128))
+        full = total_macs(bert_base_workload(128, include_attention=True))
+        assert 1.0 < full / plain < 1.2  # ~4% at 128 tokens
+
+    def test_attention_grows_quadratically(self):
+        def attn_macs(seq):
+            wl = bert_base_workload(seq, include_attention=True)
+            return sum(
+                l.macs * l.repeats for l in wl if l.name.startswith("attn_score")
+            )
+
+        assert attn_macs(256) == pytest.approx(4 * attn_macs(128))
+
+    def test_energy_model_accepts_attention_layers(self):
+        wl = bert_base_workload(128, include_attention=True)
+        e = model_energy(wl, CFG, INT32, Dataflow.WS)
+        assert e.total > 0

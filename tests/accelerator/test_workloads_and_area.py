@@ -1,0 +1,191 @@
+"""Tests for the model workloads and the Table II area model — including
+the paper-shape properties the reproduction must preserve."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    AreaModel,
+    Dataflow,
+    apsq_psum_format,
+    area_report,
+    baseline_accelerator_area,
+    baseline_psum_format,
+    bert_base_workload,
+    efficientvit_b1_workload,
+    llama2_7b_workload,
+    llm_config,
+    model_energy,
+    normalized_energy,
+    rae_area,
+    segformer_b0_workload,
+    total_macs,
+)
+
+CFG = AcceleratorConfig()
+INT32 = baseline_psum_format(32)
+
+
+class TestWorkloads:
+    def test_bert_shapes(self):
+        wl = bert_base_workload(128)
+        assert all(layer.repeats == 12 for layer in wl)
+        ffn = next(l for l in wl if l.name == "ffn_in")
+        assert (ffn.m, ffn.ci, ffn.co) == (128, 768, 3072)
+
+    def test_bert_macs_order_of_magnitude(self):
+        # BERT-Base forward ≈ 22 GMACs at 128 tokens (without attention maps).
+        assert 1e10 < total_macs(bert_base_workload(128)) < 5e10
+
+    def test_segformer_has_large_token_counts(self):
+        wl = segformer_b0_workload(512)
+        assert max(l.m for l in wl) == (512 // 4) ** 2  # 16384 tokens
+
+    def test_efficientvit_attention_only_late_stages(self):
+        wl = efficientvit_b1_workload(512)
+        attn = [l for l in wl if "qkv" in l.name]
+        assert len(attn) == 2
+
+    def test_llama_decode_psum_m(self):
+        wl = llama2_7b_workload(4096, "decode")
+        assert all(l.live_m == 1 for l in wl)
+        assert all(l.m == 4096 for l in wl)
+
+    def test_llama_prefill_full_live(self):
+        wl = llama2_7b_workload(4096, "prefill")
+        assert all(l.live_m == 4096 for l in wl)
+
+    def test_llama_invalid_phase(self):
+        with pytest.raises(ValueError):
+            llama2_7b_workload(4096, "training")
+
+    def test_llama_weight_bytes_7b_class(self):
+        wl = llama2_7b_workload(64, "decode")
+        weight_bytes = sum(l.weight_bytes * l.repeats for l in wl)
+        assert 5e9 < weight_bytes < 8e9  # ≈ 6.5 GB of INT8 weights
+
+
+class TestPaperShapes:
+    """The qualitative results the paper reports must hold in the model."""
+
+    def test_fig1_psum_share_grows_with_bits(self):
+        wl = bert_base_workload(128)
+        for df in (Dataflow.IS, Dataflow.WS):
+            shares = [
+                model_energy(wl, CFG, baseline_psum_format(b), df).psum_share
+                for b in (8, 16, 32)
+            ]
+            assert shares[0] < shares[1] < shares[2]
+
+    def test_fig1_ws_psum_share_dominant_at_int32(self):
+        wl = bert_base_workload(128)
+        share = model_energy(wl, CFG, INT32, Dataflow.WS).psum_share
+        assert share > 0.5  # paper: 69%
+
+    def test_fig1_os_insensitive_to_psum_bits(self):
+        wl = bert_base_workload(128)
+        totals = [
+            model_energy(wl, CFG, baseline_psum_format(b), Dataflow.OS).total
+            for b in (8, 16, 32)
+        ]
+        assert np.allclose(totals, totals[0])
+
+    def test_fig6_bert_ws_uniform_50pct_saving(self):
+        wl = bert_base_workload(128)
+        ratios = [
+            normalized_energy(wl, CFG, apsq_psum_format(gs), Dataflow.WS, INT32)
+            for gs in (1, 2, 3, 4)
+        ]
+        assert np.allclose(ratios, ratios[0])  # gs-independent (short tokens)
+        assert 0.4 < ratios[0] < 0.6  # paper: 0.50
+
+    def test_fig6_segformer_ws_crossover_at_gs3(self):
+        wl = segformer_b0_workload(512)
+        r = {
+            gs: normalized_energy(wl, CFG, apsq_psum_format(gs), Dataflow.WS, INT32)
+            for gs in (1, 2, 3, 4)
+        }
+        assert r[1] == r[2] < r[3] == r[4] < 1.0
+        assert r[1] < 0.2  # paper: 87% saving
+        assert 0.25 < r[3] < 0.45  # paper: 66% saving
+
+    def test_fig6_is_savings_gs_independent(self):
+        for wl in (bert_base_workload(), segformer_b0_workload(), efficientvit_b1_workload()):
+            ratios = [
+                normalized_energy(wl, CFG, apsq_psum_format(gs), Dataflow.IS, INT32)
+                for gs in (1, 2, 3, 4)
+            ]
+            assert np.allclose(ratios, ratios[0])
+            assert 0.5 < ratios[0] < 0.9  # paper: 28-42% savings
+
+    def test_table4_ws_order_of_magnitude(self):
+        lcfg = llm_config()
+        wl_d = llama2_7b_workload(4096, "decode")
+        wl_p = llama2_7b_workload(4096, "prefill")
+
+        def total(fmt):
+            return (
+                model_energy(wl_d, lcfg, fmt, Dataflow.WS).total
+                + model_energy(wl_p, lcfg, fmt, Dataflow.WS).total
+            )
+
+        base_over_gs1 = total(INT32) / total(apsq_psum_format(1))
+        assert base_over_gs1 > 10  # paper: 31.7x
+        gs3_over_gs1 = total(apsq_psum_format(3)) / total(apsq_psum_format(1))
+        assert 3 < gs3_over_gs1 < base_over_gs1  # paper: 8.42x
+
+    def test_table4_is_no_benefit(self):
+        lcfg = llm_config()
+        wl_d = llama2_7b_workload(4096, "decode")
+        wl_p = llama2_7b_workload(4096, "prefill")
+
+        def total(fmt):
+            return (
+                model_energy(wl_d, lcfg, fmt, Dataflow.IS).total
+                + model_energy(wl_p, lcfg, fmt, Dataflow.IS).total
+            )
+
+        ratio = total(INT32) / total(apsq_psum_format(1))
+        assert 1.0 <= ratio < 1.2  # paper: 1.02x
+
+    def test_fig5_energy_saturates_below_int8(self):
+        wl = bert_base_workload(128)
+        e = {
+            bits: normalized_energy(wl, CFG, apsq_psum_format(2, bits=bits), Dataflow.WS, INT32)
+            for bits in (4, 6, 8)
+        }
+        assert e[4] < e[6] < e[8]
+        # Savings INT8->INT4 much smaller than INT32->INT8 (paper Fig. 5).
+        assert (e[8] - e[4]) < (1.0 - e[8]) / 2
+
+
+class TestAreaModel:
+    def test_report_relations(self):
+        report = area_report()
+        assert report.rae < 0.1 * report.baseline_accelerator
+        assert report.accelerator_with_rae > report.baseline_accelerator
+        # RAE replaces the old PSUM path: combined < baseline + full RAE.
+        assert report.accelerator_with_rae < report.baseline_accelerator + report.rae
+
+    def test_overhead_few_percent(self):
+        report = area_report()
+        assert 1.0 < report.overhead_percent < 8.0  # paper: 3.21%
+
+    def test_baseline_area_paper_class(self):
+        # Paper: 1,873,408 µm² — same order of magnitude.
+        area = baseline_accelerator_area()
+        assert 1e6 < area < 4e6
+
+    def test_rae_area_paper_class(self):
+        # Paper: 86,410 µm².
+        assert 3e4 < rae_area() < 3e5
+
+    def test_rae_scales_with_lanes(self):
+        small = rae_area(AcceleratorConfig(po=4, pci=8, pco=8))
+        big = rae_area(AcceleratorConfig(po=32, pci=8, pco=8))
+        assert big > small
+
+    def test_custom_density_model(self):
+        dense = AreaModel(sram_bit=0.1)
+        assert baseline_accelerator_area(model=dense) < baseline_accelerator_area()

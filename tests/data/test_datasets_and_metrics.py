@@ -1,0 +1,244 @@
+"""Tests for synthetic datasets and metrics."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.data import glue, reasoning
+
+
+class TestMetrics:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert data.accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_accuracy_from_labels(self):
+        assert data.accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_f1_perfect(self):
+        preds = np.array([1, 0, 1, 0])
+        assert data.f1_binary(preds, preds.copy()) == 1.0
+
+    def test_f1_no_positives(self):
+        assert data.f1_binary(np.zeros(4, dtype=int), np.ones(4, dtype=int)) == 0.0
+
+    def test_matthews_perfect_and_inverted(self):
+        y = np.array([0, 1, 0, 1])
+        assert data.matthews_corr(y, y) == 1.0
+        assert data.matthews_corr(1 - y, y) == -1.0
+
+    def test_matthews_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 2, 2000)
+        targets = rng.integers(0, 2, 2000)
+        assert abs(data.matthews_corr(preds, targets)) < 0.1
+
+    def test_matthews_degenerate(self):
+        assert data.matthews_corr(np.zeros(4, dtype=int), np.zeros(4, dtype=int)) == 0.0
+
+    def test_pearson_linear(self):
+        x = np.linspace(0, 1, 20)
+        assert data.pearson_corr(2 * x + 1, x) == pytest.approx(1.0)
+
+    def test_pearson_constant_output(self):
+        assert data.pearson_corr(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_spearman_monotonic(self):
+        x = np.linspace(0, 1, 20)
+        assert data.spearman_corr(np.exp(x), x) == pytest.approx(1.0)
+
+    def test_miou_perfect(self):
+        mask = np.random.default_rng(1).integers(0, 3, size=(2, 8, 8))
+        assert data.mean_iou(mask, mask, num_classes=3) == 1.0
+
+    def test_miou_from_logits(self):
+        targets = np.array([[0, 1], [1, 0]])
+        logits = np.zeros((2, 2, 2))
+        logits[..., 1] = (targets == 1) * 10.0
+        logits[..., 0] = (targets == 0) * 10.0
+        assert data.mean_iou(logits, targets) == 1.0
+
+    def test_miou_absent_class_excluded(self):
+        preds = np.zeros((4, 4), dtype=int)
+        targets = np.zeros((4, 4), dtype=int)
+        # class 1 and 2 absent everywhere -> mean over class 0 only
+        assert data.mean_iou(preds, targets, num_classes=3) == 1.0
+
+    def test_miou_half_overlap(self):
+        targets = np.zeros((2, 4), dtype=int)
+        targets[:, 2:] = 1
+        preds = np.zeros((2, 4), dtype=int)
+        preds[:, 1:3] = 1
+        # class1: inter 2, union 6 -> 1/3; class0: inter 2, union 6 -> 1/3
+        assert data.mean_iou(preds, targets, num_classes=2) == pytest.approx(1 / 3)
+
+
+class TestGlueTasks:
+    def test_all_tasks_generate(self):
+        tasks = data.all_glue_tasks()
+        assert set(tasks) == set(data.GLUE_TASK_NAMES)
+
+    def test_deterministic(self):
+        t1 = data.make_glue_task("QNLI")
+        t2 = data.make_glue_task("QNLI")
+        assert np.array_equal(t1.train_x, t2.train_x)
+        assert np.array_equal(t1.eval_y, t2.eval_y)
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            data.make_glue_task("SST-2")
+
+    def test_token_range(self):
+        for task in data.all_glue_tasks().values():
+            assert task.train_x.min() >= 0
+            assert task.train_x.max() < data.VOCAB_SIZE
+
+    def test_shapes(self):
+        task = data.make_glue_task("MNLI")
+        assert task.train_x.shape[1] == data.SEQ_LEN
+        assert task.num_classes == 3
+        assert set(np.unique(task.train_y)) <= {0, 1, 2}
+
+    def test_stsb_regression_range(self):
+        task = data.make_glue_task("STS-B")
+        assert task.regression
+        assert task.train_y.min() >= 0.0
+        assert task.train_y.max() <= 5.0
+        assert len(np.unique(task.train_y)) == 5
+
+    def test_cola_uses_matthews(self):
+        task = data.make_glue_task("CoLA")
+        assert task.metric_name == "matthews"
+
+    def test_pair_structure_has_sep(self):
+        task = data.make_glue_task("RTE")
+        assert (task.train_x == glue.SEP).sum(axis=None) >= len(task.train_x)
+        assert (task.train_x[:, 0] == glue.CLS).all()
+
+    def test_pair_label_balance(self):
+        task = data.make_glue_task("QNLI")
+        pos_frac = task.train_y.mean()
+        assert 0.3 < pos_frac < 0.7
+
+    def test_pattern_is_learnable_by_rule(self):
+        """A perfect cross-segment key matcher beats chance despite label noise."""
+        task = data.make_glue_task("QNLI")
+        sep_pos = (data.SEQ_LEN - 2) // 2 + 1
+        correct = 0
+        for x, y in zip(task.eval_x, task.eval_y):
+            seg1 = set(x[1:sep_pos]) & set(range(glue.KEY_BASE, glue.NOISE_BASE))
+            seg2 = set(x[sep_pos + 1 :]) & set(range(glue.KEY_BASE, glue.NOISE_BASE))
+            pred = 1 if seg1 & seg2 else 0
+            correct += pred == y
+        assert correct / len(task.eval_y) > 0.85
+
+    def test_task_sizes(self):
+        task = data.make_glue_task("RTE")
+        assert task.sizes["train"] == 384
+
+    def test_size_overrides(self):
+        task = data.make_glue_task("RTE", n_train=32, n_eval=16)
+        assert task.sizes == {"train": 32, "eval": 16}
+
+
+class TestSegmentationTask:
+    def test_generation_shapes(self):
+        task = data.make_segmentation_task()
+        assert task.train_x.shape[1:] == (3, 32, 32)
+        assert task.train_y.shape[1:] == (16, 16)
+
+    def test_mask_classes_in_range(self):
+        task = data.make_segmentation_task()
+        assert task.train_y.min() >= 0
+        assert task.train_y.max() < task.num_classes
+
+    def test_deterministic(self):
+        t1 = data.make_segmentation_task()
+        t2 = data.make_segmentation_task()
+        assert np.array_equal(t1.train_x, t2.train_x)
+
+    def test_images_correlate_with_masks(self):
+        """Class colours must be recoverable from images (learnable)."""
+        task = data.make_segmentation_task()
+        img = task.train_x[0]
+        mask = task.train_y[0]
+        up_mask = mask.repeat(2, 0).repeat(2, 1)
+        # red channel mean should differ between background and class 1 areas
+        if (up_mask == 1).any():
+            red_fg = img[0][up_mask == 1].mean()
+            red_bg = img[0][up_mask == 0].mean()
+            assert abs(red_fg - red_bg) > 0.2
+
+    def test_background_present(self):
+        task = data.make_segmentation_task()
+        assert (task.train_y == 0).mean() > 0.2
+
+
+class TestReasoningTasks:
+    def test_chain_step_full_cycle(self):
+        seen = set()
+        t = 0
+        for _ in range(reasoning.VOCAB_SIZE):
+            seen.add(t)
+            t = int(reasoning.chain_step(np.asarray(t)))
+        assert len(seen) == reasoning.VOCAB_SIZE
+
+    def test_corpus_shapes(self):
+        x, y = data.make_lm_corpus(n_sequences=10, seq_len=12)
+        assert x.shape == (10, 12)
+        assert y.shape == (10, 12)
+        assert np.array_equal(x[:, 1:], y[:, :-1])
+
+    def test_sample_chain_mostly_follows_rule(self):
+        rng = np.random.default_rng(0)
+        seqs = reasoning.sample_chain(rng, 50, 20, eps=0.1)
+        follows = reasoning.chain_step(seqs[:, :-1]) == seqs[:, 1:]
+        assert 0.8 < follows.mean() < 0.97
+
+    def test_all_tasks_generate(self):
+        tasks = data.all_zcsr_tasks()
+        assert set(tasks) == set(data.ZCSR_TASK_NAMES)
+        assert len(tasks) == 7
+
+    def test_example_structure(self):
+        task = data.make_zcsr_task("HellaSwag")
+        ex = task.examples[0]
+        assert ex.choices.shape == (4, 3)
+        assert 0 <= ex.answer < 4
+
+    def test_answer_positions_shuffled(self):
+        task = data.make_zcsr_task("Arc-e")
+        answers = [ex.answer for ex in task.examples]
+        assert len(set(answers)) > 1
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            data.make_zcsr_task("SQuAD")
+
+    def test_oracle_chain_scorer_beats_chance(self):
+        """An oracle scoring by chain-consistency gets high accuracy."""
+        task = data.make_zcsr_task("PIQA")
+
+        class Oracle:
+            def sequence_logprob(self, tokens, prefix_len):
+                scores = []
+                for row in tokens:
+                    matches = (
+                        reasoning.chain_step(row[prefix_len - 1 : -1]) == row[prefix_len:]
+                    ).sum()
+                    scores.append(float(matches))
+                return np.array(scores)
+
+        acc = task.evaluate(Oracle())
+        assert acc > 0.8
+
+    def test_random_scorer_near_chance(self):
+        task = data.make_zcsr_task("HellaSwag")
+        rng = np.random.default_rng(0)
+
+        class Random:
+            def sequence_logprob(self, tokens, prefix_len):
+                return rng.random(len(tokens))
+
+        acc = task.evaluate(Random())
+        assert 0.1 < acc < 0.45

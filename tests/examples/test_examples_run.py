@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run to completion.
+
+Heavy examples run under the smoke profile with an isolated cache; the
+assertions check for the key output markers, not numbers.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+def run_example(name: str, tmp_path, timeout: int = 420) -> str:
+    env = dict(os.environ)
+    env["REPRO_PROFILE"] = "smoke"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", tmp_path)
+        assert "float teacher accuracy" in out
+        assert "APSQ" in out
+        assert "energy vs INT32-PSUM baseline" in out
+
+    def test_hardware_explorer(self, tmp_path):
+        out = run_example("hardware_explorer.py", tmp_path)
+        assert "Energy landscape" in out
+        assert "Table II" in out
+        assert out.count("vs Algorithm 1: ok") == 4
+
+    def test_nlp_glue(self, tmp_path):
+        out = run_example("nlp_glue_apsq.py", tmp_path)
+        assert "Baseline" in out
+        assert "best APSQ setting" in out
+
+    @pytest.mark.slow
+    def test_semantic_segmentation(self, tmp_path):
+        out = run_example("semantic_segmentation.py", tmp_path)
+        assert "segformer" in out
+        assert "efficientvit" in out
+        assert "PSUM working set" in out
+
+    @pytest.mark.slow
+    def test_llm_reasoning(self, tmp_path):
+        out = run_example("llm_reasoning.py", tmp_path)
+        assert "BoolQ" in out
+        assert "Table IV" in out
+
+    def test_design_space(self, tmp_path):
+        out = run_example("design_space.py", tmp_path)
+        assert "ofmap buffer" in out
+        assert "exact 28 bits" in out
+        assert "decode" in out

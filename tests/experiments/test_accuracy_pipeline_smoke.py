@@ -1,0 +1,89 @@
+"""Smoke tests for the accuracy-experiment pipeline (tiny splits/epochs).
+
+These validate wiring — teacher pretraining, quantization surgery per
+method, QAT with distillation, evaluation, caching — not final numbers
+(the benchmarks do that at the fast/full profiles).
+"""
+
+import pytest
+
+from repro.experiments import (
+    PROFILES,
+    evaluate_zcsr,
+    pretrain_llama,
+    quantized_llama,
+    run_glue_task,
+    run_segmentation,
+    table1,
+    table3,
+)
+
+SMOKE = PROFILES["smoke"]
+
+
+@pytest.fixture(autouse=True)
+def _tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestGluePipeline:
+    def test_two_methods_run(self):
+        results = run_glue_task("QNLI", SMOKE, methods=["Baseline", "gs=2"])
+        assert set(results) == {"Baseline", "gs=2"}
+        for value in results.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_regression_task(self):
+        results = run_glue_task("STS-B", SMOKE, methods=["gs=2"])
+        assert -1.0 <= results["gs=2"] <= 1.0
+
+    def test_matthews_task(self):
+        results = run_glue_task("CoLA", SMOKE, methods=["Baseline"])
+        assert -1.0 <= results["Baseline"] <= 1.0
+
+
+class TestSegmentationPipeline:
+    @pytest.mark.parametrize("arch", ["segformer", "efficientvit"])
+    def test_arch_runs(self, arch):
+        results = run_segmentation(arch, SMOKE, methods=["gs=2"])
+        assert 0.0 <= results["gs=2"] <= 1.0
+
+    def test_unknown_arch(self):
+        with pytest.raises(KeyError):
+            run_segmentation("vit-22b", SMOKE)
+
+
+class TestLlamaPipeline:
+    def test_pretrain_quantize_evaluate(self):
+        teacher = pretrain_llama(SMOKE)
+        student = quantized_llama(teacher, "gs=2", SMOKE)
+        scores = evaluate_zcsr(student, ["BoolQ"], max_examples=SMOKE.zcsr_examples)
+        assert 0.0 <= scores["BoolQ"] <= 1.0
+
+
+class TestTableRunners:
+    def test_table1_subset_and_cache(self):
+        rows = table1.run(
+            profile=SMOKE, glue_tasks=["QNLI"], include_segmentation=False,
+            methods=["Baseline", "gs=2"],
+        )
+        assert "BERT QNLI" in rows
+        # Second call must be a pure cache read (fast) with equal values.
+        again = table1.run(
+            profile=SMOKE, glue_tasks=["QNLI"], include_segmentation=False,
+            methods=["Baseline", "gs=2"],
+        )
+        assert again == rows
+
+    def test_table1_summarize(self):
+        rows = {"r": {"Baseline": 0.9, "gs=1": 0.8, "gs=2": 0.88}}
+        summary = table1.summarize(rows)
+        assert summary["mean_drop_best_gs"] == pytest.approx(0.02)
+
+    def test_table3_subset(self):
+        rows = table3.run(profile=SMOKE, methods=["gs=2"], task_names=["BoolQ"])
+        assert 0.0 <= rows["BoolQ"]["gs=2"] <= 1.0
+
+    def test_table3_summarize(self):
+        rows = {"t": {"Baseline": 0.8, "gs=1": 0.7, "gs=4": 0.79}}
+        assert table3.summarize(rows) == pytest.approx(0.01)

@@ -1,0 +1,99 @@
+"""Tests for the analytical experiments (fig1, fig6, table2, table4)."""
+
+import numpy as np
+
+from repro.experiments import fig1, fig5, fig6, table2, table4
+
+
+class TestFig1:
+    def test_all_configs_present(self):
+        results = fig1.run()
+        assert len(results) == 9  # 3 dataflows x 3 bitwidths
+
+    def test_normalization(self):
+        results = fig1.run()
+        peaks = [v["normalized_total"] for v in results.values()]
+        assert max(peaks) == 1.0
+
+    def test_psum_share_monotone_in_bits(self):
+        results = fig1.run()
+        for df in ("IS", "WS"):
+            assert (
+                results[f"{df}/8"]["psum_share"]
+                < results[f"{df}/16"]["psum_share"]
+                < results[f"{df}/32"]["psum_share"]
+            )
+
+    def test_format_table(self):
+        text = fig1.format_table(fig1.run())
+        assert "WS/32" in text
+        assert "psum%" in text
+
+
+class TestFig6:
+    def test_rows(self):
+        results = fig6.run()
+        assert len(results) == 6  # 2 dataflows x 3 models
+
+    def test_baseline_normalized_to_one(self):
+        for row in fig6.run().values():
+            assert row["Baseline"] == 1.0
+
+    def test_all_apsq_savings(self):
+        for row in fig6.run().values():
+            for gs in (1, 2, 3, 4):
+                assert row[f"gs={gs}"] < 1.0
+
+    def test_format(self):
+        assert "Segformer-B0" in fig6.format_table(fig6.run())
+
+
+class TestFig5Energy:
+    def test_energy_curve_keys(self):
+        curve = fig5.energy_curve()
+        assert "Baseline" in curve
+        assert "INT4/gs=1" in curve
+        assert len(curve) == 13
+
+    def test_energy_ordering(self):
+        curve = fig5.energy_curve()
+        assert curve["INT4/gs=2"] < curve["INT6/gs=2"] < curve["INT8/gs=2"] < 1.0
+
+
+class TestTable2:
+    def test_keys(self):
+        results = table2.run()
+        assert "RAE" in results
+        assert "overhead_percent" in results
+
+    def test_paper_magnitudes(self):
+        results = table2.run()
+        for key, paper in table2.PAPER_VALUES.items():
+            measured = results[key]
+            assert 0.3 * paper < measured < 3 * paper, key
+
+    def test_format_contains_paper_column(self):
+        assert "1,873,408" in table2.format_table(table2.run())
+
+
+class TestTable4:
+    def test_structure(self):
+        results = table4.run()
+        assert set(results) == {"IS", "WS"}
+        assert results["WS"]["gs=1"] == 1.0
+
+    def test_paper_shape(self):
+        results = table4.run()
+        assert results["WS"]["Baseline"] > 10
+        assert 1.0 <= results["IS"]["Baseline"] < 1.2
+        assert results["WS"]["gs=3"] > 3
+
+    def test_short_sequence_smaller_ratio(self):
+        # With a short sequence the prefill PSUMs fit: baseline ratio shrinks.
+        short = table4.run(seq_len=512)
+        long = table4.run(seq_len=4096)
+        assert short["WS"]["Baseline"] < long["WS"]["Baseline"]
+
+    def test_format(self):
+        text = table4.format_table(table4.run())
+        assert "(paper)" in text

@@ -1,0 +1,103 @@
+"""Tests for terminal charts and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import cmd_info, cmd_list, main
+from repro.experiments.charts import bar, bar_chart, stacked_shares
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(1.0, 1.0, width=4) == "████"
+
+    def test_half_bar(self):
+        assert bar(0.5, 1.0, width=4) == "██"
+
+    def test_zero(self):
+        assert bar(0.0, 1.0, width=4) == ""
+
+    def test_partial_blocks(self):
+        out = bar(0.51, 1.0, width=4)
+        assert out.startswith("██")
+        assert len(out) <= 4 + 1
+
+    def test_clamps_over_peak(self):
+        assert bar(2.0, 1.0, width=4) == "████"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar(1.0, 1.0, width=0)
+
+    def test_zero_peak(self):
+        assert bar(1.0, 0.0) == ""
+
+
+class TestBarChart:
+    def test_labels_and_values(self):
+        text = bar_chart({"IS": 0.7, "WS": 0.5})
+        assert "IS" in text
+        assert "0.700" in text
+
+    def test_rows(self):
+        text = bar_chart({"a": 1.0, "b": 0.1, "c": 0.5})
+        assert len(text.splitlines()) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_explicit_peak(self):
+        text = bar_chart({"x": 0.5}, width=4, peak=0.5)
+        assert "████" in text
+
+
+class TestStackedShares:
+    def test_legend_and_rows(self):
+        rows = {"WS/32": {"psum": 0.7, "weight": 0.3}}
+        text = stacked_shares(rows, ["psum", "weight"], width=10)
+        assert "legend" in text
+        assert "p" in text.splitlines()[1]
+
+    def test_share_proportions(self):
+        rows = {"r": {"a": 3.0, "b": 1.0}}
+        line = stacked_shares(rows, ["a", "b"], width=8).splitlines()[1]
+        assert line.count("a") == 6
+        assert line.count("b") == 2
+
+    def test_empty_row(self):
+        text = stacked_shares({"r": {}}, ["a"], width=4)
+        assert "(empty)" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig6" in out
+        assert "smoke" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Po=16" in out
+        assert "APSQ" in out
+
+    def test_run_analytical(self, capsys):
+        assert main(["run", "table4"]) == 0
+        assert "LLaMA2-7B" in capsys.readouterr().out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        assert "psum" in capsys.readouterr().out
+
+    def test_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table9"])
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+
+    def test_helpers_directly(self):
+        assert "profiles" in cmd_list()
+        assert "accelerator" in cmd_info()

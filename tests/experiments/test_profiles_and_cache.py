@@ -1,0 +1,90 @@
+"""Tests for experiment profiles and the metric cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PROFILES, cache, get_profile, method_config
+from repro.quant import PsumMode
+
+
+class TestProfiles:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "fast"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert get_profile().name == "smoke"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert get_profile("full").name == "full"
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("ludicrous")
+
+    def test_effort_ordering(self):
+        smoke, fast, full = PROFILES["smoke"], PROFILES["fast"], PROFILES["full"]
+        assert smoke.bert_train < fast.bert_train <= full.bert_train
+        assert smoke.bert_qat_epochs <= fast.bert_qat_epochs <= full.bert_qat_epochs
+
+
+class TestMethodConfig:
+    def test_baseline(self):
+        cfg = method_config("Baseline")
+        assert cfg.mode is PsumMode.BASELINE
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    def test_gs_methods(self, gs):
+        cfg = method_config(f"gs={gs}")
+        assert cfg.mode is PsumMode.APSQ
+        assert cfg.gs == gs
+
+    def test_psum_bits_forwarded(self):
+        assert method_config("gs=2", psum_bits=4).psum_spec.bits == 4
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            method_config("gs=five")
+
+
+class TestCache:
+    @pytest.fixture(autouse=True)
+    def _tmp_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_CACHE", "1")
+
+    def test_roundtrip(self):
+        cache.store("exp/task/method", 0.75)
+        assert cache.load("exp/task/method") == 0.75
+
+    def test_miss_returns_none(self):
+        assert cache.load("never/stored") is None
+
+    def test_cached_computes_once(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 0.5
+
+        assert cache.cached("k", compute) == 0.5
+        assert cache.cached("k", compute) == 0.5
+        assert len(calls) == 1
+
+    def test_disabled_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        cache.store("k2", 1.0)
+        assert cache.load("k2") is None
+
+    def test_corrupt_entry_ignored(self):
+        cache.store("k3", 1.0)
+        path = cache._path("k3")
+        path.write_text("{not json")
+        assert cache.load("k3") is None
+
+    def test_zero_value_roundtrip(self):
+        """0.0 is a legitimate metric and must not read as a miss."""
+        cache.store("zero", 0.0)
+        assert cache.load("zero") == 0.0

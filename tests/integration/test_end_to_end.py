@@ -1,0 +1,128 @@
+"""End-to-end integration tests across packages.
+
+These exercise the full pipeline the experiments use: data generation ->
+float pretraining -> quantization surgery -> QAT with distillation ->
+evaluation -> hardware cross-checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import make_glue_task
+from repro.models import BertConfig, BertTiny
+from repro.quant import (
+    QATConfig,
+    QATTrainer,
+    apsq_config,
+    evaluate,
+    psum_accumulators,
+    quantize_model,
+    quantized_layers,
+)
+from repro.tensor import Tensor, manual_seed, no_grad
+
+
+@pytest.fixture(scope="module")
+def trained_pair():
+    """A float teacher and an APSQ student fine-tuned on tiny QNLI."""
+    manual_seed(0)
+    task = make_glue_task("QNLI", n_train=128, n_eval=96)
+    teacher = BertTiny(BertConfig(num_classes=2))
+    QATTrainer(
+        teacher, nn.cross_entropy, config=QATConfig(epochs=8, lr=2e-3)
+    ).fit(task.train_x, task.train_y)
+    student = quantize_model(BertTiny(BertConfig(num_classes=2)), apsq_config(gs=2, pci=8))
+    student.load_state_dict(teacher.state_dict(), strict=False)
+    QATTrainer(
+        student, nn.cross_entropy, teacher=teacher, config=QATConfig(epochs=2, lr=5e-4)
+    ).fit(task.train_x, task.train_y)
+    return task, teacher, student
+
+
+class TestQuantizedBertPipeline:
+    def test_student_beats_chance(self, trained_pair):
+        task, _, student = trained_pair
+        acc = evaluate(student, task.eval_x, task.eval_y, task.metric_fn)
+        assert acc > 0.55
+
+    def test_student_tracks_teacher(self, trained_pair):
+        task, teacher, student = trained_pair
+        teacher_acc = evaluate(teacher, task.eval_x, task.eval_y, task.metric_fn)
+        student_acc = evaluate(student, task.eval_x, task.eval_y, task.metric_fn)
+        assert abs(teacher_acc - student_acc) < 0.25
+
+    def test_all_linears_quantized(self, trained_pair):
+        _, _, student = trained_pair
+        names = [n for n, _ in quantized_layers(student)]
+        # qkv/out per attention + 2 FFN per layer + pooler + head
+        assert len(names) >= 2 * 6 + 2
+
+    def test_psum_scales_are_po2_after_training(self, trained_pair):
+        _, _, student = trained_pair
+        for _, acc in psum_accumulators(student):
+            for q in acc.quantizers:
+                log2 = np.log2(q.effective_scale)
+                assert np.isclose(log2, np.round(log2))
+
+    def test_eval_deterministic(self, trained_pair):
+        task, _, student = trained_pair
+        student.eval()
+        with no_grad():
+            out1 = student(task.eval_x[:8]).data
+            out2 = student(task.eval_x[:8]).data
+        assert np.array_equal(out1, out2)
+
+    def test_state_dict_roundtrip_exact(self, trained_pair):
+        task, _, student = trained_pair
+        clone = quantize_model(BertTiny(BertConfig(num_classes=2)), apsq_config(gs=2, pci=8))
+        clone.load_state_dict(student.state_dict())
+        # Mark quantizers as calibrated (scales came from the state dict).
+        for module in clone.modules():
+            if hasattr(module, "_initialized"):
+                module._initialized = True
+        student.eval()
+        clone.eval()
+        with no_grad():
+            expected = student(task.eval_x[:8]).data
+            actual = clone(task.eval_x[:8]).data
+        assert np.allclose(expected, actual)
+
+    def test_psum_write_stats_match_tile_counts(self, trained_pair):
+        task, _, student = trained_pair
+        from repro.quant import reset_psum_stats
+
+        reset_psum_stats(student)
+        student.eval()
+        with no_grad():
+            student(task.eval_x[:4])
+        for _, acc in psum_accumulators(student):
+            # One forward call -> one write round per tile.
+            assert acc.psum_writes == acc.num_tiles
+
+
+class TestFailureInjection:
+    def test_nan_inputs_surface_not_crash(self):
+        model = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        # Token ids must be valid; corrupt an embedding weight instead.
+        model.token_embedding.weight.data[0] = np.nan
+        out = model(np.zeros((1, 4), dtype=np.int64))
+        assert np.isnan(out.data).any()  # NaNs propagate visibly, no crash
+
+    def test_extreme_activations_saturate(self):
+        from repro.quant import LSQQuantizer, INT8
+
+        q = LSQQuantizer(INT8)
+        q.initialize_from(np.ones(8))
+        q.eval()
+        out = q(Tensor(np.array([1e9, -1e9])))
+        bound = 128 * q.effective_scale
+        assert np.abs(out.data).max() <= bound
+
+    def test_mis_sized_state_dict_rejected(self):
+        student = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        bad = student.state_dict()
+        bad["head.weight"] = np.zeros((7, 7))
+        fresh = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        with pytest.raises(ValueError):
+            fresh.load_state_dict(bad)

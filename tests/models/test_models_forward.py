@@ -1,0 +1,187 @@
+"""Shape/behaviour tests for the four tiny models."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BertConfig,
+    BertTiny,
+    EfficientViTConfig,
+    EfficientViTTiny,
+    LlamaConfig,
+    LlamaTiny,
+    SegformerConfig,
+    SegformerTiny,
+)
+from repro.tensor import manual_seed, no_grad
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+class TestBertTiny:
+    def make(self, **kw):
+        return BertTiny(BertConfig(**kw))
+
+    def test_classification_shape(self):
+        model = self.make(num_classes=3)
+        ids = np.random.default_rng(0).integers(0, 64, size=(4, 16))
+        assert model(ids).shape == (4, 3)
+
+    def test_regression_shape(self):
+        model = self.make(regression=True)
+        ids = np.random.default_rng(0).integers(0, 64, size=(4, 16))
+        assert model(ids).shape == (4,)
+
+    def test_shorter_sequences_ok(self):
+        model = self.make()
+        ids = np.random.default_rng(0).integers(0, 64, size=(2, 8))
+        assert model(ids).shape == (2, 2)
+
+    def test_too_long_rejected(self):
+        model = self.make(max_seq_len=8)
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 9), dtype=np.int64))
+
+    def test_gradients_reach_embeddings(self):
+        model = self.make()
+        ids = np.random.default_rng(1).integers(0, 64, size=(2, 16))
+        model(ids).sum().backward()
+        assert model.token_embedding.weight.grad is not None
+        assert model.position_embedding.weight.grad is not None
+
+    def test_order_sensitivity(self):
+        """Position embeddings make output order-dependent."""
+        model = self.make()
+        ids = np.random.default_rng(2).integers(3, 64, size=(1, 16))
+        out1 = model(ids).data
+        out2 = model(ids[:, ::-1]).data
+        assert not np.allclose(out1, out2)
+
+    def test_parameter_count_reasonable(self):
+        model = self.make()
+        assert 10_000 < model.num_parameters() < 500_000
+
+
+class TestSegformerTiny:
+    def test_output_shape(self):
+        model = SegformerTiny(SegformerConfig())
+        imgs = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        assert model(imgs).shape == (2, 16, 16, 5)
+
+    def test_gradients_flow(self):
+        model = SegformerTiny(SegformerConfig(stage_dims=(8, 16), num_heads=(2, 2)))
+        imgs = np.random.default_rng(1).normal(size=(1, 3, 32, 32))
+        model(imgs).sum().backward()
+        assert model.classifier.weight.grad is not None
+        assert model.patch_embeds[0].proj.weight.grad is not None
+
+    def test_has_linear_layers_for_quantization(self):
+        from repro import nn
+
+        model = SegformerTiny(SegformerConfig())
+        linears = [m for m in model.modules() if type(m) is nn.Linear]
+        assert len(linears) >= 8  # attention projections + FFNs + decoder
+
+    def test_mixffn_uses_depthwise(self):
+        from repro import nn
+
+        model = SegformerTiny(SegformerConfig())
+        dws = [m for m in model.modules() if isinstance(m, nn.DepthwiseConv2d)]
+        assert len(dws) == len(model.stages)
+
+
+class TestEfficientViTTiny:
+    def test_output_shape(self):
+        model = EfficientViTTiny(EfficientViTConfig())
+        imgs = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        assert model(imgs).shape == (2, 16, 16, 5)
+
+    def test_uses_linear_attention(self):
+        from repro import nn
+
+        model = EfficientViTTiny(EfficientViTConfig())
+        las = [m for m in model.modules() if isinstance(m, nn.LinearAttention)]
+        assert len(las) == len(model.stages)
+
+    def test_eval_mode_deterministic(self):
+        model = EfficientViTTiny(EfficientViTConfig())
+        imgs = np.random.default_rng(1).normal(size=(1, 3, 32, 32))
+        model(imgs)  # populate BN running stats
+        model.eval()
+        with no_grad():
+            out1 = model(imgs).data
+            out2 = model(imgs).data
+        assert np.allclose(out1, out2)
+
+    def test_gradients_flow(self):
+        model = EfficientViTTiny(EfficientViTConfig(stage_dims=(8, 16), num_heads=(2, 2)))
+        imgs = np.random.default_rng(2).normal(size=(1, 3, 32, 32))
+        model(imgs).sum().backward()
+        assert model.classifier.weight.grad is not None
+
+
+class TestLlamaTiny:
+    def make(self, **kw):
+        return LlamaTiny(LlamaConfig(**kw))
+
+    def test_logits_shape(self):
+        model = self.make()
+        ids = np.random.default_rng(0).integers(0, 32, size=(2, 10))
+        assert model(ids).shape == (2, 10, 32)
+
+    def test_causality(self):
+        model = self.make()
+        ids = np.random.default_rng(1).integers(0, 32, size=(1, 8))
+        out1 = model(ids).data
+        ids2 = ids.copy()
+        ids2[0, -1] = (ids2[0, -1] + 1) % 32
+        out2 = model(ids2).data
+        assert np.allclose(out1[0, :-1], out2[0, :-1])
+        assert not np.allclose(out1[0, -1], out2[0, -1])
+
+    def test_sequence_logprob_basics(self):
+        model = self.make()
+        tokens = np.random.default_rng(2).integers(0, 32, size=(3, 10))
+        lp = model.sequence_logprob(tokens, prefix_len=6)
+        assert lp.shape == (3,)
+        assert (lp < 0).all()
+
+    def test_sequence_logprob_prefix_validation(self):
+        model = self.make()
+        tokens = np.zeros((1, 5), dtype=np.int64)
+        with pytest.raises(ValueError):
+            model.sequence_logprob(tokens, prefix_len=5)
+        with pytest.raises(ValueError):
+            model.sequence_logprob(tokens, prefix_len=0)
+
+    def test_sequence_logprob_matches_manual(self):
+        model = self.make(num_layers=1)
+        tokens = np.random.default_rng(3).integers(0, 32, size=(1, 6))
+        lp = model.sequence_logprob(tokens, prefix_len=3)
+        with no_grad():
+            logits = model(tokens).data
+        log_probs = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        manual = sum(log_probs[0, t - 1, tokens[0, t]] for t in range(3, 6))
+        assert np.isclose(lp[0], manual)
+
+    def test_greedy_decode_extends(self):
+        model = self.make()
+        prompt = np.random.default_rng(4).integers(0, 32, size=(2, 4))
+        out = model.greedy_decode(prompt, 5)
+        assert out.shape == (2, 9)
+        assert np.array_equal(out[:, :4], prompt)
+
+    def test_greedy_decode_respects_max_len(self):
+        model = self.make(max_seq_len=6)
+        prompt = np.zeros((1, 5), dtype=np.int64)
+        out = model.greedy_decode(prompt, 10)
+        assert out.shape[1] == 6
+
+    def test_swiglu_no_biases(self):
+        model = self.make()
+        ffn = model.layers[0].ffn
+        assert ffn.gate_proj.bias is None
+        assert ffn.down_proj.bias is None

@@ -1,0 +1,211 @@
+"""Tests for attention layers, RoPE, and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck, manual_seed, softmax
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(3)
+
+
+def randn(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed + sum(shape)).normal(size=shape), requires_grad=True)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        mha = nn.MultiHeadAttention(16, 4)
+        assert mha(randn(2, 5, 16)).shape == (2, 5, 16)
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_causal_mask_blocks_future(self):
+        mha = nn.MultiHeadAttention(8, 2, causal=True)
+        x = randn(1, 4, 8)
+        out_full = mha(x).data
+        # Perturb the last token: earlier outputs must not change.
+        x2 = Tensor(x.data.copy())
+        x2.data[0, -1] += 10.0
+        out_pert = mha(x2).data
+        assert np.allclose(out_full[0, :-1], out_pert[0, :-1])
+        assert not np.allclose(out_full[0, -1], out_pert[0, -1])
+
+    def test_non_causal_attends_everywhere(self):
+        mha = nn.MultiHeadAttention(8, 2, causal=False)
+        x = randn(1, 4, 8)
+        out_full = mha(x).data
+        x2 = Tensor(x.data.copy())
+        x2.data[0, -1] += 10.0
+        assert not np.allclose(mha(x2).data[0, 0], out_full[0, 0])
+
+    def test_attn_mask_applied(self):
+        mha = nn.MultiHeadAttention(8, 2)
+        x = randn(1, 3, 8)
+        mask = np.zeros((1, 1, 3, 3))
+        mask[..., 2] = -np.inf  # nobody attends to token 2
+        out_masked = mha(x, attn_mask=mask).data
+        x2 = Tensor(x.data.copy())
+        x2.data[0, 2] += 5.0
+        # Token 2 value still reaches its own output via q, but tokens 0-1
+        # must be insensitive to it.
+        out2 = mha(x2, attn_mask=mask).data
+        assert np.allclose(out_masked[0, :2], out2[0, :2])
+
+    def test_grad_flows(self):
+        mha = nn.MultiHeadAttention(8, 2)
+        mha(randn(1, 3, 8)).sum().backward()
+        assert mha.q_proj.weight.grad is not None
+        assert mha.out_proj.weight.grad is not None
+
+
+class TestLinearAttention:
+    def test_output_shape(self):
+        la = nn.LinearAttention(12, 3)
+        assert la(randn(2, 7, 12)).shape == (2, 7, 12)
+
+    def test_matches_quadratic_form(self):
+        """Linear attention should equal explicit relu-kernel attention."""
+        la = nn.LinearAttention(8, 2, eps=1e-9)
+        x = randn(1, 5, 8)
+        out = la(x).data
+
+        # Explicit O(T^2) computation with the same projections.
+        def heads(w, b):
+            y = x.data @ w.T + b
+            return y.reshape(1, 5, 2, 4).transpose(0, 2, 1, 3)
+
+        q = np.maximum(heads(la.q_proj.weight.data, la.q_proj.bias.data), 0)
+        k = np.maximum(heads(la.k_proj.weight.data, la.k_proj.bias.data), 0)
+        v = heads(la.v_proj.weight.data, la.v_proj.bias.data)
+        scores = q @ k.transpose(0, 1, 3, 2)  # (1, 2, 5, 5)
+        ref = (scores @ v) / (scores.sum(-1, keepdims=True) + 1e-9)
+        ref = ref.transpose(0, 2, 1, 3).reshape(1, 5, 8)
+        ref = ref @ la.out_proj.weight.data.T + la.out_proj.bias.data
+        assert np.allclose(out, ref, atol=1e-8)
+
+    def test_grad_flows(self):
+        la = nn.LinearAttention(8, 2)
+        la(randn(1, 4, 8)).sum().backward()
+        assert la.k_proj.weight.grad is not None
+
+
+class TestRoPE:
+    def test_tables_shape(self):
+        cos, sin = nn.rope_tables(10, 8)
+        assert cos.shape == (10, 8)
+        assert sin.shape == (10, 8)
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            nn.rope_tables(4, 7)
+
+    def test_rotation_preserves_norm(self):
+        cos, sin = nn.rope_tables(6, 8)
+        x = randn(1, 2, 6, 8)
+        rotated = nn.apply_rope(x, cos, sin)
+        assert np.allclose(
+            np.linalg.norm(rotated.data, axis=-1),
+            np.linalg.norm(x.data, axis=-1),
+        )
+
+    def test_position_zero_identity(self):
+        cos, sin = nn.rope_tables(4, 8)
+        x = randn(1, 1, 4, 8)
+        rotated = nn.apply_rope(x, cos, sin)
+        assert np.allclose(rotated.data[0, 0, 0], x.data[0, 0, 0])
+
+    def test_relative_property(self):
+        """Dot products of RoPE'd q/k depend only on relative position."""
+        cos, sin = nn.rope_tables(8, 4)
+        rng = np.random.default_rng(0)
+        qv = rng.normal(size=4)
+        kv = rng.normal(size=4)
+        dots = []
+        for offset in range(3):
+            q = np.zeros((1, 1, 8, 4))
+            k = np.zeros((1, 1, 8, 4))
+            q[0, 0, offset + 2] = qv
+            k[0, 0, offset] = kv
+            qr = nn.apply_rope(Tensor(q), cos, sin).data
+            kr = nn.apply_rope(Tensor(k), cos, sin).data
+            dots.append(qr[0, 0, offset + 2] @ kr[0, 0, offset])
+        assert np.allclose(dots[0], dots[1])
+        assert np.allclose(dots[1], dots[2])
+
+    def test_rope_grad(self):
+        cos, sin = nn.rope_tables(3, 4)
+        gradcheck(lambda x: nn.apply_rope(x, cos, sin), [randn(1, 1, 3, 4)])
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert np.isclose(loss.item(), np.log(3))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.eye(3) * 100.0)
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_grad_direction(self):
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        nn.cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0  # pushing up the correct class
+        assert logits.grad[0, 0] > 0
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        targets = np.array([0, 255, 1, 255])
+        loss = nn.cross_entropy(logits, targets, ignore_index=255)
+        ref = nn.cross_entropy(Tensor(logits.data[[0, 2]]), np.array([0, 1]))
+        assert np.isclose(loss.item(), ref.item())
+
+    def test_cross_entropy_all_ignored_raises(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            nn.cross_entropy(logits, np.array([9, 9]), ignore_index=9)
+
+    def test_cross_entropy_gradcheck(self):
+        logits = randn(3, 4)
+        targets = np.array([0, 3, 1])
+        gradcheck(lambda t: nn.cross_entropy(t, targets), [logits])
+
+    def test_mse_loss(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        loss = nn.mse_loss(pred, np.array([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+
+    def test_kd_kl_zero_for_identical(self):
+        logits = randn(4, 5)
+        loss = nn.kd_kl_loss(logits, Tensor(logits.data.copy()))
+        assert abs(loss.item()) < 1e-10
+
+    def test_kd_kl_positive(self):
+        s, t = randn(4, 5, seed=1), randn(4, 5, seed=2)
+        assert nn.kd_kl_loss(s, t).item() > 0
+
+    def test_kd_kl_no_teacher_grad(self):
+        s, t = randn(2, 3, seed=1), randn(2, 3, seed=2)
+        nn.kd_kl_loss(s, t).backward()
+        assert s.grad is not None
+        assert t.grad is None
+
+    def test_kd_mse_detaches_teacher(self):
+        s, t = randn(2, 3, seed=1), randn(2, 3, seed=2)
+        nn.kd_mse_loss(s, t).backward()
+        assert t.grad is None
+
+    def test_kd_kl_matches_manual(self):
+        s, t = randn(2, 4, seed=3), randn(2, 4, seed=4)
+        loss = nn.kd_kl_loss(s, t, temperature=1.0).item()
+        sp = softmax(Tensor(t.data)).data
+        logq = np.log(softmax(Tensor(s.data)).data)
+        manual = (sp * (np.log(sp) - logq)).sum() / 2
+        assert np.isclose(loss, manual)

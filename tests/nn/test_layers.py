@@ -1,0 +1,165 @@
+"""Tests for individual nn layers: Linear, Conv2d, norms, embedding, dropout."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(7)
+
+
+def randn(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed + sum(shape)).normal(size=shape), requires_grad=True)
+
+
+class TestLinear:
+    def test_shape(self):
+        layer = nn.Linear(5, 3)
+        assert layer(randn(2, 5)).shape == (2, 3)
+
+    def test_matches_manual(self):
+        layer = nn.Linear(4, 2)
+        x = randn(3, 4)
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x).data, expected)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_grad_flows_to_weight(self):
+        layer = nn.Linear(3, 2)
+        layer(randn(4, 3)).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_batched_3d_input(self):
+        layer = nn.Linear(6, 4)
+        assert layer(randn(2, 5, 6)).shape == (2, 5, 4)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert conv(randn(2, 3, 8, 8)).shape == (2, 8, 4, 4)
+
+    def test_1x1_conv_equals_linear(self):
+        conv = nn.Conv2d(4, 6, 1, bias=False)
+        x = randn(1, 4, 3, 3)
+        out = conv(x)
+        ref = np.einsum("nchw,oc->nohw", x.data, conv.weight.data[:, :, 0, 0])
+        assert np.allclose(out.data, ref)
+
+    def test_grad_via_gradcheck(self):
+        conv = nn.Conv2d(2, 3, 2, bias=True)
+        x = randn(1, 2, 4, 4)
+        gradcheck(lambda t: conv(t), [x])
+
+    def test_depthwise_groups(self):
+        conv = nn.DepthwiseConv2d(4, kernel_size=3, padding=1)
+        assert conv.groups == 4
+        assert conv(randn(1, 4, 5, 5)).shape == (1, 4, 5, 5)
+
+    def test_depthwise_channel_independence(self):
+        conv = nn.DepthwiseConv2d(2, kernel_size=1, padding=0, bias=False)
+        conv.weight.data[:] = 1.0
+        x = randn(1, 2, 2, 2)
+        out = conv(x)
+        assert np.allclose(out.data, x.data)
+
+    def test_grouped_conv_matches_split_computation(self):
+        conv = nn.Conv2d(4, 4, 1, groups=2, bias=False)
+        x = randn(1, 4, 2, 2)
+        out = conv(x)
+        w = conv.weight.data  # (4, 2, 1, 1)
+        ref_g0 = np.einsum("nchw,oc->nohw", x.data[:, :2], w[:2, :, 0, 0])
+        ref_g1 = np.einsum("nchw,oc->nohw", x.data[:, 2:], w[2:, :, 0, 0])
+        assert np.allclose(out.data, np.concatenate([ref_g0, ref_g1], axis=1))
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+
+class TestNorms:
+    def test_layernorm_zero_mean_unit_var(self):
+        ln = nn.LayerNorm(16)
+        out = ln(randn(4, 16))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_grad(self):
+        ln = nn.LayerNorm(4)
+        gradcheck(lambda x: ln(x), [randn(2, 4)])
+
+    def test_rmsnorm_scale_invariant_direction(self):
+        rn = nn.RMSNorm(8)
+        x = randn(2, 8)
+        assert np.allclose(rn(x).data, rn(x * 10.0).data, atol=1e-4)
+
+    def test_rmsnorm_grad(self):
+        rn = nn.RMSNorm(4)
+        gradcheck(lambda x: rn(x), [randn(3, 4)])
+
+    def test_batchnorm_train_normalizes(self):
+        bn = nn.BatchNorm2d(3)
+        x = randn(4, 3, 5, 5)
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_batchnorm_running_stats_update(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 1.0, size=(8, 2, 4, 4)))
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(size=(8, 2, 4, 4)))
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        bn.train()
+        out_train = bn(x)
+        assert np.allclose(out_eval.data, out_train.data, atol=0.15)
+
+
+class TestEmbeddingDropout:
+    def test_embedding_shape(self):
+        emb = nn.Embedding(10, 4)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_embedding_out_of_range(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_dropout_eval_identity(self):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = randn(10, 10)
+        assert np.allclose(drop(x).data, x.data)
+
+    def test_dropout_train_zeroes_and_scales(self):
+        manual_seed(0)
+        drop = nn.Dropout(0.5)
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        zero_frac = (out == 0).mean()
+        assert 0.4 < zero_frac < 0.6
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_dropout_p0_identity_in_train(self):
+        drop = nn.Dropout(0.0)
+        x = randn(3, 3)
+        assert drop(x) is x

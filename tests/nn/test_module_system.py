@@ -1,0 +1,151 @@
+"""Tests for the Module/Parameter registration system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+class Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3)
+        self.fc2 = nn.Linear(3, 2)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        model = Toy()
+        names = dict(model.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_num_parameters(self):
+        model = Toy()
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_named_modules(self):
+        model = Toy()
+        names = [n for n, _ in model.named_modules()]
+        assert names == ["", "fc1", "fc2"]
+
+    def test_children(self):
+        model = Toy()
+        assert len(list(model.children())) == 2
+
+    def test_reassign_module_replaces(self):
+        model = Toy()
+        model.fc1 = nn.Linear(4, 3, bias=False)
+        assert len(list(model.parameters())) == 3
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = nn.Parameter(np.ones(3))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad
+
+
+class TestModeAndGrad:
+    def test_train_eval_propagates(self):
+        model = Toy()
+        model.eval()
+        assert not model.fc1.training
+        model.train()
+        assert model.fc2.training
+
+    def test_zero_grad(self):
+        model = Toy()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+
+class TestSurgeryHelpers:
+    def test_set_submodule(self):
+        model = Toy()
+        new = nn.Linear(4, 3)
+        model.set_submodule("fc1", new)
+        assert model.fc1 is new
+
+    def test_set_submodule_nested(self):
+        outer = nn.Sequential(Toy())
+        replacement = nn.Linear(3, 2, bias=False)
+        outer.set_submodule("0.fc2", replacement)
+        assert outer[0].fc2 is replacement
+
+    def test_get_submodule(self):
+        model = Toy()
+        assert model.get_submodule("fc1") is model.fc1
+        assert model.get_submodule("") is model
+
+    def test_apply_visits_all(self):
+        model = Toy()
+        visited = []
+        model.apply(lambda m: visited.append(type(m).__name__))
+        assert visited.count("Linear") == 2
+        assert visited[-1] == "Toy"
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    def test_missing_key_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            Toy().load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            Toy().load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state
+
+    def test_state_dict_is_copy(self):
+        model = Toy()
+        state = model.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.allclose(model.fc1.weight.data, 99.0)
+
+
+class TestContainers:
+    def test_sequential_forward(self):
+        seq = nn.Sequential(nn.Linear(4, 8), nn.Linear(8, 2))
+        assert seq(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_sequential_indexing(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Linear(2, 2))
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.Linear)
+
+    def test_modulelist_append_and_iter(self):
+        ml = nn.ModuleList([nn.Linear(2, 2)])
+        ml.append(nn.Linear(2, 3))
+        assert len(ml) == 2
+        assert ml[-1].out_features == 3
+        assert len(list(iter(ml))) == 2
+
+    def test_modulelist_params_registered(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml.parameters())) == 4

@@ -1,0 +1,70 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import BertConfig, BertTiny
+from repro.quant import apsq_config, quantize_model
+from repro.tensor import Tensor, manual_seed, no_grad
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(4)
+
+
+class TestCheckpointRoundtrip:
+    def test_float_model_roundtrip(self, tmp_path):
+        m1 = nn.Sequential(nn.Linear(4, 8), nn.Linear(8, 2))
+        path = nn.save_checkpoint(m1, tmp_path / "model")
+        assert path.suffix == ".npz"
+        m2 = nn.Sequential(nn.Linear(4, 8), nn.Linear(8, 2))
+        nn.load_checkpoint(m2, path)
+        x = Tensor(np.ones((3, 4)))
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    def test_quantized_model_roundtrip_exact(self, tmp_path):
+        model = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2, pci=8))
+        ids = np.random.default_rng(0).integers(0, 64, size=(2, 8))
+        model(ids)  # calibrate quantizers
+        model.eval()
+        with no_grad():
+            expected = model(ids).data
+        path = nn.save_checkpoint(model, tmp_path / "quant.npz")
+
+        fresh = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2, pci=8))
+        nn.load_checkpoint(fresh, path)
+        fresh.eval()
+        with no_grad():
+            actual = fresh(ids).data
+        assert np.allclose(expected, actual)
+
+    def test_quantizers_marked_calibrated(self, tmp_path):
+        model = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        model(np.zeros((1, 4), dtype=np.int64))
+        path = nn.save_checkpoint(model, tmp_path / "m")
+        fresh = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        nn.load_checkpoint(fresh, path)
+        assert fresh.head.act_quantizer._initialized
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            nn.load_checkpoint(nn.Linear(2, 2), tmp_path / "absent.npz")
+
+    def test_strict_false_with_extra_params(self, tmp_path):
+        teacher = BertTiny(BertConfig())
+        path = nn.save_checkpoint(teacher, tmp_path / "t")
+        student = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        nn.load_checkpoint(student, path, strict=False)
+        assert np.allclose(
+            student.token_embedding.weight.data, teacher.token_embedding.weight.data
+        )
+
+    def test_buffers_roundtrip(self, tmp_path):
+        bn = nn.BatchNorm2d(3)
+        bn(Tensor(np.random.default_rng(1).normal(2.0, 1.0, size=(4, 3, 2, 2))))
+        path = nn.save_checkpoint(bn, tmp_path / "bn")
+        fresh = nn.BatchNorm2d(3)
+        nn.load_checkpoint(fresh, path)
+        assert np.allclose(fresh.running_mean, bn.running_mean)

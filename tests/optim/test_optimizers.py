@@ -1,0 +1,164 @@
+"""Tests for optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(11)
+
+
+def quadratic_param(start=5.0):
+    return nn.Parameter(np.array([start]))
+
+
+def loss_of(p):
+    return (p * p).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = quadratic_param()
+            opt = optim.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                loss_of(p).backward()
+                opt.step()
+            losses[momentum] = abs(p.data[0])
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = quadratic_param(1.0)
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        loss_of(p).backward()
+        grad_no_decay = p.grad.copy()
+        opt.step()
+        # With decay the effective step is larger than from the gradient alone.
+        assert p.data[0] < 1.0 - 0.1 * grad_no_decay[0] + 1e-12
+
+    def test_skips_param_without_grad(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=0.1)
+        opt.step()  # no grad yet — must not crash
+        assert p.data[0] == 5.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([quadratic_param()], lr=-1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = optim.Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        p = quadratic_param(1.0)
+        opt = optim.Adam([p], lr=0.1)
+        opt.zero_grad()
+        loss_of(p).backward()
+        opt.step()
+        # First Adam step magnitude ~ lr regardless of gradient scale.
+        assert np.isclose(abs(1.0 - p.data[0]), 0.1, atol=1e-3)
+
+    def test_adamw_decoupled_decay(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = optim.AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        # Zero gradient: m_hat = 0 so only decay acts.
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 * (1 - 0.1 * 0.5))
+
+    def test_adam_l2_vs_adamw_differ(self):
+        p1 = nn.Parameter(np.array([2.0]))
+        p2 = nn.Parameter(np.array([2.0]))
+        o1 = optim.Adam([p1], lr=0.1, weight_decay=0.5)
+        o2 = optim.AdamW([p2], lr=0.1, weight_decay=0.5)
+        for opt, p in ((o1, p1), (o2, p2)):
+            p.grad = np.array([1.0])
+            opt.step()
+        assert not np.isclose(p1.data[0], p2.data[0])
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        p = nn.Parameter(np.array([1.0, 1.0]))
+        p.grad = np.array([3.0, 4.0])
+        norm = optim.clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small(self):
+        p = nn.Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        optim.clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(p.grad[0], 0.5)
+
+    def test_no_grads(self):
+        p = nn.Parameter(np.array([1.0]))
+        assert optim.clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 1.0, 0.1, 0.1])
+
+    def test_cosine_endpoints(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=10, min_lr=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] < 0.03
+        assert lrs[0] > 0.9
+
+    def test_cosine_clamps_past_tmax(self):
+        opt = optim.SGD([quadratic_param()], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=5, min_lr=0.1)
+        for _ in range(10):
+            lr = sched.step()
+        assert np.isclose(lr, 0.1)
+
+    def test_warmup_cosine(self):
+        opt = optim.SGD([quadratic_param()], lr=1.0)
+        sched = optim.WarmupCosineLR(opt, warmup=5, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert np.isclose(lrs[0], 0.2)  # 1/5 through warmup
+        assert np.isclose(lrs[4], 1.0)  # warmup done
+        assert lrs[-1] < 0.05
+
+    def test_scheduler_updates_optimizer(self):
+        opt = optim.SGD([quadratic_param()], lr=1.0)
+        sched = optim.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0  # first step completes at base LR
+        sched.step()
+        assert opt.lr == 0.5

@@ -1,0 +1,132 @@
+"""Tests for the LSQQuantizer module."""
+
+import numpy as np
+import pytest
+
+from repro.quant import INT8, LSQQuantizer, MinMaxObserver, QuantSpec
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+class TestLSQQuantizer:
+    def test_initializes_scale_on_first_forward(self):
+        q = LSQQuantizer(INT8)
+        x = Tensor(np.random.default_rng(0).normal(size=(32,)))
+        q(x)
+        assert q._initialized
+        assert q.scale.data > 0
+
+    def test_quantization_error_small_at_int8(self):
+        q = LSQQuantizer(INT8)
+        x = Tensor(np.random.default_rng(0).normal(size=(1000,)))
+        out = q(x)
+        err = np.abs(out.data - x.data).mean()
+        assert err < 0.05
+
+    def test_lower_bits_higher_error(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1000,)))
+        errors = {}
+        for bits in (4, 8):
+            q = LSQQuantizer(QuantSpec(bits))
+            errors[bits] = np.abs(q(x).data - x.data).mean()
+        assert errors[4] > errors[8]
+
+    def test_scale_receives_gradient(self):
+        q = LSQQuantizer(INT8)
+        x = Tensor(np.random.default_rng(1).normal(size=(64,)), requires_grad=True)
+        q(x).sum().backward()
+        assert q.scale.grad is not None
+
+    def test_po2_effective_scale_is_power_of_two(self):
+        q = LSQQuantizer(INT8, po2_scale=True)
+        q.scale.data = np.array(0.3)
+        q._initialized = True
+        log2 = np.log2(q.effective_scale)
+        assert np.isclose(log2, np.round(log2))
+
+    def test_shift_amount(self):
+        q = LSQQuantizer(INT8, po2_scale=True)
+        q.scale.data = np.array(0.25)
+        q._initialized = True
+        assert q.shift_amount == -2
+
+    def test_shift_amount_rejected_for_float_scale(self):
+        q = LSQQuantizer(INT8)
+        with pytest.raises(ValueError):
+            _ = q.shift_amount
+
+    def test_eval_mode_uses_plain_fake_quant(self):
+        q = LSQQuantizer(INT8)
+        x = Tensor(np.random.default_rng(2).normal(size=(16,)))
+        q(x)  # init
+        q.eval()
+        out = q(x)
+        assert out._backward is None
+
+    def test_po2_output_on_po2_grid(self):
+        q = LSQQuantizer(INT8, po2_scale=True)
+        x = Tensor(np.random.default_rng(3).normal(size=(64,)))
+        out = q(x)
+        s = q.effective_scale
+        codes = out.data / s
+        assert np.allclose(codes, np.round(codes))
+
+    def test_int_roundtrip(self):
+        q = LSQQuantizer(INT8, po2_scale=True)
+        x = np.random.default_rng(4).normal(size=(32,))
+        q(Tensor(x))
+        codes = q.quantize_int(x)
+        deq = q.dequantize(codes)
+        assert np.allclose(deq, q(Tensor(x)).data)
+
+    def test_training_reduces_quant_error(self):
+        """A few LSQ gradient steps on the scale should reduce MSE."""
+        from repro.optim import SGD
+
+        rng = np.random.default_rng(5)
+        x_data = rng.normal(size=(512,))
+        q = LSQQuantizer(QuantSpec(4))
+        q(Tensor(x_data))  # init
+        q.scale.data = q.scale.data * 4.0  # deliberately mis-calibrated
+        opt = SGD([q.scale], lr=0.05)
+
+        def mse():
+            out = q(Tensor(x_data, requires_grad=True))
+            return ((out - Tensor(x_data)) ** 2).mean()
+
+        initial = float(mse().data)
+        for _ in range(60):
+            opt.zero_grad()
+            mse().backward()
+            opt.step()
+        final = float(mse().data)
+        assert final < initial
+
+
+class TestMinMaxObserver:
+    def test_tracks_extremes(self):
+        obs = MinMaxObserver(INT8)
+        obs.observe(np.array([-3.0, 2.0]))
+        obs.observe(np.array([5.0]))
+        assert obs.min_val == -3.0
+        assert obs.max_val == 5.0
+
+    def test_scale_covers_range(self):
+        obs = MinMaxObserver(INT8)
+        obs.observe(np.array([-6.4, 6.35]))
+        s = obs.scale()
+        assert np.isclose(s, 6.4 / 128)
+
+    def test_unobserved_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver(INT8).scale()
+
+    def test_reset(self):
+        obs = MinMaxObserver(INT8)
+        obs.observe(np.array([1.0]))
+        obs.reset()
+        assert not obs.observed

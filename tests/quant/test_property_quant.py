@@ -1,0 +1,119 @@
+"""Property-based tests for quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    PsumMode,
+    PsumQuantConfig,
+    QuantSpec,
+    TiledPsumAccumulator,
+    apsq_config,
+    fake_quant_values,
+    po2_values,
+)
+from repro.tensor import Tensor
+
+
+class TestFakeQuantProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        bits=st.integers(3, 8),
+        scale=st.floats(0.01, 2.0),
+    )
+    def test_idempotent(self, seed, bits, scale):
+        """Quantizing an already-quantized tensor changes nothing."""
+        spec = QuantSpec(bits)
+        x = np.random.default_rng(seed).normal(size=32)
+        once = fake_quant_values(x, scale, spec.qn, spec.qp)
+        twice = fake_quant_values(once, scale, spec.qn, spec.qp)
+        assert np.array_equal(once, twice)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), scale=st.floats(0.01, 1.0))
+    def test_error_bounded_in_range(self, seed, scale):
+        spec = QuantSpec(8)
+        x = np.random.default_rng(seed).normal(size=64)
+        out = fake_quant_values(x, scale, spec.qn, spec.qp)
+        in_range = np.abs(x / scale) < spec.qp
+        assert np.all(np.abs(out[in_range] - x[in_range]) <= scale / 2 + 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), bits=st.integers(3, 8))
+    def test_output_on_grid(self, seed, bits):
+        spec = QuantSpec(bits)
+        scale = 0.13
+        x = np.random.default_rng(seed).normal(size=32) * 3
+        out = fake_quant_values(x, scale, spec.qn, spec.qp)
+        codes = out / scale
+        assert np.allclose(codes, np.round(codes))
+        assert codes.min() >= spec.qn
+        assert codes.max() <= spec.qp
+
+    @settings(max_examples=40, deadline=None)
+    @given(scale=st.floats(1e-6, 1e6))
+    def test_po2_within_sqrt2(self, scale):
+        """Snapping to the nearest power of two moves scale < sqrt(2)x."""
+        snapped = float(po2_values(np.array(scale)))
+        ratio = snapped / scale
+        assert 1 / np.sqrt(2) - 1e-9 <= ratio <= np.sqrt(2) + 1e-9
+
+
+class TestAccumulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gs=st.integers(1, 4),
+        np_tiles=st.integers(1, 12),
+        seed=st.integers(0, 1000),
+    )
+    def test_write_count_invariant(self, gs, np_tiles, seed):
+        """Total PSUM writes equal np for every gs (Sec. III-B)."""
+        rng = np.random.default_rng(seed)
+        tiles = [Tensor(rng.normal(size=(3, 3))) for _ in range(np_tiles)]
+        acc = TiledPsumAccumulator(np_tiles, apsq_config(gs=gs))
+        acc(tiles)
+        assert acc.psum_writes == np_tiles
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gs=st.integers(1, 4),
+        np_tiles=st.integers(2, 10),
+        seed=st.integers(0, 1000),
+    )
+    def test_apsq_bounded_error(self, gs, np_tiles, seed):
+        """APSQ output stays within a few quantization steps of exact."""
+        rng = np.random.default_rng(seed)
+        tiles = [Tensor(rng.normal(size=(4, 4))) for _ in range(np_tiles)]
+        acc = TiledPsumAccumulator(np_tiles, apsq_config(gs=gs))
+        out = acc(tiles)
+        exact = sum(t.data for t in tiles)
+        # Bound: number of quantizations along the path x half-step each.
+        max_scale = max(q.effective_scale for q in acc.quantizers)
+        bound = (np_tiles + 1) * max_scale
+        assert np.abs(out.data - exact).max() <= bound
+
+    @settings(max_examples=25, deadline=None)
+    @given(np_tiles=st.integers(2, 10), seed=st.integers(0, 1000))
+    def test_baseline_is_exact(self, np_tiles, seed):
+        rng = np.random.default_rng(seed)
+        tiles = [Tensor(rng.normal(size=(4, 2))) for _ in range(np_tiles)]
+        cfg = PsumQuantConfig(mode=PsumMode.BASELINE)
+        out = TiledPsumAccumulator(np_tiles, cfg)(tiles)
+        assert np.allclose(out.data, sum(t.data for t in tiles))
+
+    @settings(max_examples=20, deadline=None)
+    @given(np_tiles=st.integers(2, 8), seed=st.integers(0, 1000))
+    def test_gs_ge_np_single_apsq(self, np_tiles, seed):
+        """When gs >= np the whole reduction is one group: exactly one
+        APSQ fold (at the final tile) and np-1 plain quantizations."""
+        rng = np.random.default_rng(seed)
+        tiles = [Tensor(rng.normal(size=(2, 2))) for _ in range(np_tiles)]
+        acc = TiledPsumAccumulator(np_tiles, apsq_config(gs=4))
+        out = acc(tiles)
+        if np_tiles <= 4:
+            q = acc.quantizers
+            stored = [q[i](tiles[i]) for i in range(np_tiles - 1)]
+            expected = q[np_tiles - 1](sum(stored) + tiles[np_tiles - 1])
+            assert np.allclose(out.data, expected.data)

@@ -1,0 +1,273 @@
+"""Tests for PSUM tiling, PSQ, APSQ and the grouping strategy (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    INT8,
+    PsumMode,
+    PsumQuantConfig,
+    PsumQuantizedLinear,
+    TiledPsumAccumulator,
+    apsq_config,
+    baseline_config,
+    split_reduction,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+def make_tiles(np_tiles=6, shape=(4, 5), seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return [Tensor(rng.normal(size=shape) * scale, requires_grad=True) for _ in range(np_tiles)]
+
+
+class TestConfig:
+    def test_num_tiles_ceil(self):
+        cfg = PsumQuantConfig(pci=8)
+        assert cfg.num_tiles(64) == 8
+        assert cfg.num_tiles(65) == 9
+        assert cfg.num_tiles(7) == 1
+
+    def test_invalid_gs(self):
+        with pytest.raises(ValueError):
+            PsumQuantConfig(gs=0)
+
+    def test_invalid_pci(self):
+        with pytest.raises(ValueError):
+            PsumQuantConfig(pci=0)
+
+    def test_with_mode(self):
+        cfg = apsq_config(gs=2)
+        cfg2 = cfg.with_mode(PsumMode.PSQ)
+        assert cfg2.mode is PsumMode.PSQ
+        assert cfg2.gs == 2
+
+    def test_apsq_config_psum_bits(self):
+        cfg = apsq_config(gs=3, psum_bits=6)
+        assert cfg.psum_spec.bits == 6
+
+
+class TestSplitReduction:
+    def test_tiles_sum_to_full_matmul(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(3, 16)))
+        w_t = Tensor(rng.normal(size=(16, 5)))
+        tiles = split_reduction(x, w_t, pci=4)
+        assert len(tiles) == 4
+        total = sum(t.data for t in tiles)
+        assert np.allclose(total, x.data @ w_t.data)
+
+    def test_uneven_tail(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(2, 10)))
+        w_t = Tensor(rng.normal(size=(10, 3)))
+        tiles = split_reduction(x, w_t, pci=4)
+        assert len(tiles) == 3
+        assert np.allclose(sum(t.data for t in tiles), x.data @ w_t.data)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            split_reduction(Tensor(np.ones((2, 8))), Tensor(np.ones((9, 3))), 4)
+
+    def test_3d_input(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(2, 3, 8)))
+        w_t = Tensor(rng.normal(size=(8, 4)))
+        tiles = split_reduction(x, w_t, pci=4)
+        assert tiles[0].shape == (2, 3, 4)
+        assert np.allclose(sum(t.data for t in tiles), x.data @ w_t.data)
+
+
+class TestBaselineAccumulator:
+    def test_exact_sum(self):
+        tiles = make_tiles(5)
+        acc = TiledPsumAccumulator(5, baseline_config())
+        out = acc(tiles)
+        assert np.allclose(out.data, sum(t.data for t in tiles))
+
+    def test_gradient_is_identity(self):
+        tiles = make_tiles(3)
+        acc = TiledPsumAccumulator(3, baseline_config())
+        acc(tiles).sum().backward()
+        for t in tiles:
+            assert np.allclose(t.grad, 1.0)
+
+    def test_wrong_tile_count(self):
+        acc = TiledPsumAccumulator(3, baseline_config())
+        with pytest.raises(ValueError):
+            acc(make_tiles(2))
+
+
+class TestPSQAccumulator:
+    def test_close_to_exact(self):
+        tiles = make_tiles(6, scale=1.0)
+        cfg = PsumQuantConfig(mode=PsumMode.PSQ)
+        acc = TiledPsumAccumulator(6, cfg)
+        out = acc(tiles)
+        exact = sum(t.data for t in tiles)
+        assert np.abs(out.data - exact).mean() < 0.1
+
+    def test_each_tile_quantized_once(self):
+        """PSQ error ≈ sum of independent per-tile errors (one rounding each)."""
+        tiles = make_tiles(4)
+        cfg = PsumQuantConfig(mode=PsumMode.PSQ)
+        acc = TiledPsumAccumulator(4, cfg)
+        out = acc(tiles)
+        per_tile = [acc.quantizers[i](tiles[i]).data for i in range(4)]
+        assert np.allclose(out.data, sum(per_tile))
+
+
+class TestAPSQAccumulator:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("np_tiles", [2, 3, 4, 5, 6, 7, 8])
+    def test_output_close_to_exact_all_configs(self, gs, np_tiles):
+        tiles = make_tiles(np_tiles, seed=gs * 10 + np_tiles)
+        acc = TiledPsumAccumulator(np_tiles, apsq_config(gs=gs))
+        out = acc(tiles)
+        exact = sum(t.data for t in tiles)
+        # INT8 PSUM quantization: small relative error.
+        rel = np.abs(out.data - exact).mean() / (np.abs(exact).mean() + 1e-9)
+        assert rel < 0.25, f"gs={gs}, np={np_tiles}: rel err {rel}"
+
+    def test_single_tile(self):
+        tiles = make_tiles(1)
+        acc = TiledPsumAccumulator(1, apsq_config(gs=2))
+        out = acc(tiles)
+        assert np.abs(out.data - tiles[0].data).mean() < 0.05
+
+    def test_gs1_recursive_structure(self):
+        """With gs=1 every step folds the previous AP (Eq. 10)."""
+        tiles = make_tiles(4, seed=9)
+        acc = TiledPsumAccumulator(4, apsq_config(gs=1))
+        out = acc(tiles)
+        # Manual recursion with the same quantizers.
+        ap = acc.quantizers[0](tiles[0])
+        for i in range(1, 4):
+            ap = acc.quantizers[i](ap + tiles[i])
+        assert np.allclose(out.data, ap.data)
+
+    def test_gs_large_single_apsq_step(self):
+        """gs >= np: one APSQ step at tile 0, the rest PSQ, final fold."""
+        tiles = make_tiles(4, seed=11)
+        acc = TiledPsumAccumulator(4, apsq_config(gs=8))
+        out = acc(tiles)
+        stored = [acc.quantizers[i](tiles[i]) for i in range(3)]
+        expected = acc.quantizers[3](sum(s for s in stored) + tiles[3])
+        assert np.allclose(out.data, expected.data)
+
+    def test_grouping_matches_fig4_walkthrough(self):
+        """gs=3, np=7: APSQ at t0 and t3; final fold at t6 (Fig. 4)."""
+        tiles = make_tiles(7, seed=13)
+        acc = TiledPsumAccumulator(7, apsq_config(gs=3))
+        out = acc(tiles)
+        q = acc.quantizers
+        p0 = q[0](tiles[0])
+        p1 = q[1](tiles[1])
+        p2 = q[2](tiles[2])
+        ap3 = q[3](p0 + p1 + p2 + tiles[3])
+        p4 = q[4](tiles[4])
+        p5 = q[5](tiles[5])
+        to = q[6](ap3 + p4 + p5 + tiles[6])
+        assert np.allclose(out.data, to.data)
+
+    def test_final_tile_on_group_boundary(self):
+        """np=5, gs=2: tile 4 is a group start — To = AP_4 directly."""
+        tiles = make_tiles(5, seed=17)
+        acc = TiledPsumAccumulator(5, apsq_config(gs=2))
+        out = acc(tiles)
+        q = acc.quantizers
+        ap0 = q[0](tiles[0])
+        p1 = q[1](tiles[1])
+        ap2 = q[2](ap0 + p1 + tiles[2])
+        p3 = q[3](tiles[3])
+        to = q[4](ap2 + p3 + tiles[4])
+        assert np.allclose(out.data, to.data)
+
+    def test_gradients_flow_to_all_tiles(self):
+        tiles = make_tiles(6)
+        acc = TiledPsumAccumulator(6, apsq_config(gs=2))
+        acc(tiles).sum().backward()
+        for t in tiles:
+            assert t.grad is not None
+            assert np.abs(t.grad).sum() > 0
+
+    def test_scale_parameters_learnable(self):
+        tiles = make_tiles(4)
+        acc = TiledPsumAccumulator(4, apsq_config(gs=2))
+        acc(tiles).sum().backward()
+        grads = [q.scale.grad for q in acc.quantizers]
+        assert all(g is not None for g in grads)
+
+    def test_gs1_more_rounding_error_than_grouped(self):
+        """The motivation for grouping: repeated rounding hurts (Sec. III-B).
+
+        Averaged over draws, gs=1 (every store re-quantizes the running
+        total) accumulates at least as much error as gs=4.
+        """
+        errs = {1: [], 4: []}
+        for seed in range(10):
+            tiles = make_tiles(8, seed=seed, scale=1.0)
+            exact = sum(t.data for t in tiles)
+            for gs in (1, 4):
+                acc = TiledPsumAccumulator(8, apsq_config(gs=gs))
+                out = acc(tiles)
+                errs[gs].append(np.abs(out.data - exact).mean())
+        assert np.mean(errs[1]) > np.mean(errs[4])
+
+    def test_stats_counting(self):
+        tiles = make_tiles(6)
+        acc = TiledPsumAccumulator(6, apsq_config(gs=2))
+        acc(tiles)
+        # Every tile is written exactly once regardless of gs (Sec. III-B).
+        assert acc.psum_writes == 6
+        acc.reset_stats()
+        assert acc.psum_writes == 0
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    def test_write_count_independent_of_gs(self, gs):
+        """Grouping keeps total memory traffic constant (Sec. III-B)."""
+        tiles = make_tiles(8, seed=gs)
+        acc = TiledPsumAccumulator(8, apsq_config(gs=gs))
+        acc(tiles)
+        assert acc.psum_writes == 8
+
+
+class TestPsumQuantizedLinear:
+    def test_shapes_and_fallback(self):
+        layer = PsumQuantizedLinear(nn.Linear(32, 8), apsq_config(gs=2, pci=8))
+        assert layer.num_tiles == 4
+        assert layer.tiled
+        small = PsumQuantizedLinear(nn.Linear(8, 8), apsq_config(gs=2, pci=8))
+        assert not small.tiled  # single tile -> register-resident PSUM
+
+    def test_forward_close_to_float(self):
+        rng = np.random.default_rng(0)
+        lin = nn.Linear(64, 16)
+        layer = PsumQuantizedLinear(lin, apsq_config(gs=2, pci=8))
+        x = Tensor(rng.normal(size=(4, 64)))
+        out_q = layer(x)
+        out_f = x.data @ lin.weight.data.T + lin.bias.data
+        rel = np.abs(out_q.data - out_f).mean() / np.abs(out_f).mean()
+        assert rel < 0.3
+
+    def test_baseline_mode_uses_untiled_path(self):
+        layer = PsumQuantizedLinear(nn.Linear(64, 8), baseline_config(pci=8))
+        assert not layer.tiled
+
+    def test_gradients_reach_weights(self):
+        layer = PsumQuantizedLinear(nn.Linear(16, 4), apsq_config(gs=2, pci=4))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 16)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert x.grad is not None
+
+    def test_3d_input(self):
+        layer = PsumQuantizedLinear(nn.Linear(16, 4), apsq_config(gs=2, pci=4))
+        out = layer(Tensor(np.random.default_rng(2).normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 4)

@@ -1,0 +1,133 @@
+"""Tests for the PTQ calibration path and the PSUM-overflow analysis."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    apsq_config,
+    calibrate_model,
+    calibration_report,
+    evaluate,
+    ptq_quantize,
+    quantize_model,
+    required_psum_bits,
+    storage_psum_bits,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(8)
+
+
+class TestOverflowAnalysis:
+    def test_paper_example_bert_large(self):
+        """Section II-A: Ci=4096 at W8A8 needs 28 bits -> INT32 storage."""
+        assert required_psum_bits(4096, 8, 8) == 28
+        assert storage_psum_bits(4096, 8, 8) == 32
+
+    def test_depth_one_is_product_width(self):
+        assert required_psum_bits(1, 8, 8) == 16
+
+    def test_monotone_in_depth(self):
+        widths = [required_psum_bits(ci) for ci in (1, 16, 256, 4096)]
+        assert widths == sorted(widths)
+        assert len(set(widths)) == 4
+
+    def test_non_power_of_two_depth(self):
+        assert required_psum_bits(100, 8, 8) == 16 + 7  # ceil(log2 100) = 7
+
+    def test_storage_byte_aligned(self):
+        for ci in (2, 64, 500, 4096):
+            assert storage_psum_bits(ci) % 8 == 0
+            assert storage_psum_bits(ci) >= required_psum_bits(ci)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            required_psum_bits(0)
+
+
+class MLP(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(16, 32)
+        self.fc2 = nn.Linear(32, 4)
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return self.fc2(self.fc1(x).relu())
+
+
+def make_data(n=128, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 16))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+class TestPTQ:
+    def test_calibration_initializes_all_quantizers(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        x, _ = make_data(32)
+        ptq_quantize(model, [x[:16], x[16:]])
+        from repro.quant import LSQQuantizer
+
+        quantizers = [m for m in model.modules() if isinstance(m, LSQQuantizer)]
+        assert all(q._initialized for q in quantizers)
+
+    def test_scales_cover_observed_range(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        x, _ = make_data(64)
+        calibrate_model(model, [x])
+        wq = model.fc1.weight_quantizer
+        w_max = np.abs(model.fc1.weight.data).max()
+        # Min-max scale maps the extreme weight to the clip bound.
+        assert wq.effective_scale * 127 >= w_max * 0.5
+
+    def test_forward_restored_after_calibration(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        x, _ = make_data(16)
+        calibrate_model(model, [x])
+        # The instance-level observing hook must be gone.
+        assert "forward" not in vars(model.fc1.weight_quantizer)
+
+    def test_unquantized_model_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_model(MLP(), [np.zeros((1, 16))])
+
+    def test_ptq_accuracy_reasonable_but_below_qat(self):
+        """PTQ works; QAT with a teacher should do at least as well."""
+        from repro.quant import QATConfig, QATTrainer
+
+        x, y = make_data(128)
+        teacher = MLP()
+        QATTrainer(teacher, nn.cross_entropy, config=QATConfig(epochs=10, lr=5e-3)).fit(x, y)
+        metric = lambda out, t: float((out.argmax(-1) == t).mean())
+        teacher_acc = evaluate(teacher, x, y, metric)
+
+        ptq_model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        ptq_model.load_state_dict(teacher.state_dict(), strict=False)
+        ptq_quantize(ptq_model, [x[:32]])
+        ptq_acc = evaluate(ptq_model, x, y, metric)
+        assert ptq_acc > 0.6  # PTQ alone is serviceable
+        assert ptq_acc <= teacher_acc + 0.05
+
+    def test_calibration_report_groups(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        x, _ = make_data(16)
+        ptq_quantize(model, [x])
+        report = calibration_report(model)
+        assert len(report["weight"]) == 2
+        assert len(report["activation"]) == 2
+        assert len(report["psum"]) == model.fc1.num_tiles + model.fc2.num_tiles
+
+    def test_psum_scales_po2_after_ptq(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        x, _ = make_data(16)
+        ptq_quantize(model, [x])
+        report = calibration_report(model)
+        for _, scale in report["psum"]:
+            log2 = np.log2(scale)
+            assert np.isclose(log2, np.round(log2))

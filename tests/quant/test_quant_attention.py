@@ -1,0 +1,129 @@
+"""Tests for PSUM-quantized attention matmuls (the dynamic-GEMM extension)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import LlamaConfig, LlamaTiny
+from repro.quant import (
+    PsumQuantizedAttention,
+    PsumQuantizedMatmul,
+    apsq_config,
+    baseline_config,
+    quantize_attention,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(6)
+
+
+def randn(*shape, seed=0, scale=1.0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape) * scale, requires_grad=True)
+
+
+class TestPsumQuantizedMatmul:
+    def test_close_to_float(self):
+        mm = PsumQuantizedMatmul(apsq_config(gs=2, pci=8))
+        a, b = randn(2, 4, 32, seed=1), randn(2, 32, 6, seed=2)
+        out = mm(a, b).data
+        ref = a.data @ b.data
+        rel = np.abs(out - ref).mean() / np.abs(ref).mean()
+        assert rel < 0.3
+
+    def test_accumulator_created_per_depth(self):
+        mm = PsumQuantizedMatmul(apsq_config(gs=2, pci=8))
+        mm(randn(1, 2, 16, seed=1), randn(1, 16, 2, seed=2))
+        mm(randn(1, 2, 32, seed=3), randn(1, 32, 2, seed=4))
+        assert set(mm._accumulators) == {2, 4}
+
+    def test_accumulator_reused_for_same_depth(self):
+        mm = PsumQuantizedMatmul(apsq_config(gs=2, pci=8))
+        mm(randn(1, 2, 16, seed=1), randn(1, 16, 2, seed=2))
+        acc = mm._accumulators[2]
+        mm(randn(1, 2, 16, seed=5), randn(1, 16, 2, seed=6))
+        assert mm._accumulators[2] is acc
+
+    def test_shallow_reduction_untiled(self):
+        mm = PsumQuantizedMatmul(apsq_config(gs=2, pci=8))
+        out = mm(randn(1, 2, 8, seed=1), randn(1, 8, 2, seed=2))
+        assert out.shape == (1, 2, 2)
+        assert not mm._accumulators  # single tile: no accumulator built
+
+    def test_baseline_mode_never_tiles(self):
+        mm = PsumQuantizedMatmul(baseline_config(pci=8))
+        mm(randn(1, 2, 64, seed=1), randn(1, 64, 2, seed=2))
+        assert not mm._accumulators
+
+    def test_scales_trainable(self):
+        mm = PsumQuantizedMatmul(apsq_config(gs=2, pci=8))
+        out = mm(randn(1, 2, 16, seed=1), randn(1, 16, 2, seed=2))
+        out.sum().backward()
+        params = list(mm.parameters())
+        assert len(params) >= 2 + 2  # operand scales + psum scales
+        assert mm.a_quantizer.scale.grad is not None
+
+
+class TestPsumQuantizedAttention:
+    def test_output_close_to_float(self):
+        mha = nn.MultiHeadAttention(16, 4)
+        x = randn(2, 24, 16, seed=7, scale=0.5)
+        ref = mha(x).data
+        qattn = PsumQuantizedAttention(mha, apsq_config(gs=2, pci=8))
+        out = qattn(x).data
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+        assert rel < 0.5
+
+    def test_context_matmul_tiled_at_long_seq(self):
+        """The A·V reduction depth equals seq len — tiles at T > Pci."""
+        mha = nn.MultiHeadAttention(16, 4)
+        qattn = PsumQuantizedAttention(mha, apsq_config(gs=2, pci=8))
+        qattn(randn(1, 24, 16, seed=8, scale=0.5))
+        assert 3 in qattn.context_matmul._accumulators  # ceil(24/8)
+
+    def test_causality_preserved(self):
+        mha = nn.MultiHeadAttention(8, 2, causal=True)
+        qattn = PsumQuantizedAttention(mha, apsq_config(gs=2, pci=4))
+        x = randn(1, 12, 8, seed=9, scale=0.5)
+        out1 = qattn(x).data
+        x2 = Tensor(x.data.copy())
+        x2.data[0, -1] += 5.0
+        out2 = qattn(x2).data
+        assert np.allclose(out1[0, :-1], out2[0, :-1], atol=1e-9)
+
+    def test_projections_shared_with_original(self):
+        mha = nn.MultiHeadAttention(8, 2)
+        qattn = PsumQuantizedAttention(mha, apsq_config(gs=2))
+        assert qattn.q_proj is mha.q_proj
+
+
+class TestQuantizeAttentionSurgery:
+    def test_swaps_all_mha(self):
+        model = LlamaTiny(LlamaConfig())
+        quantize_attention(model, apsq_config(gs=2, pci=8))
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert "PsumQuantizedAttention" not in ("",)  # sanity
+        assert kinds.count("PsumQuantizedAttention") == model.config.num_layers
+        assert kinds.count("MultiHeadAttention") == 0
+
+    def test_model_still_runs_with_rope(self):
+        model = LlamaTiny(LlamaConfig())
+        quantize_attention(model, apsq_config(gs=2, pci=8))
+        ids = np.random.default_rng(0).integers(0, 32, size=(2, 12))
+        out = model(ids)
+        assert out.shape == (2, 12, 32)
+
+    def test_no_attention_raises(self):
+        with pytest.raises(ValueError):
+            quantize_attention(nn.Linear(4, 4), apsq_config(gs=2))
+
+    def test_composes_with_quantize_model(self):
+        from repro.quant import quantize_model
+
+        model = LlamaTiny(LlamaConfig(num_layers=1))
+        quantize_model(model, apsq_config(gs=2, pci=8))
+        quantize_attention(model, apsq_config(gs=2, pci=8))
+        ids = np.random.default_rng(1).integers(0, 32, size=(1, 10))
+        assert model(ids).shape == (1, 10, 32)

@@ -1,0 +1,95 @@
+"""Direct tests for QuantConv2d and PsumQuantizedConv2d."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    PsumQuantizedConv2d,
+    QuantConv2d,
+    apsq_config,
+    baseline_config,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(9)
+
+
+def make_input(shape=(2, 4, 8, 8), seed=0, scale=0.5):
+    return Tensor(np.random.default_rng(seed).normal(size=shape) * scale)
+
+
+class TestQuantConv2d:
+    def test_output_shape(self):
+        conv = nn.Conv2d(4, 8, 3, stride=2, padding=1)
+        qconv = QuantConv2d(conv, baseline_config())
+        assert qconv(make_input()).shape == (2, 8, 4, 4)
+
+    def test_close_to_float(self):
+        conv = nn.Conv2d(4, 8, 3, padding=1)
+        x = make_input()
+        ref = conv(x).data
+        qconv = QuantConv2d(conv, baseline_config())
+        out = qconv(x).data
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+        assert rel < 0.1
+
+    def test_grouped_conv_rejected(self):
+        with pytest.raises(ValueError):
+            QuantConv2d(nn.DepthwiseConv2d(4), baseline_config())
+
+    def test_gradients_flow(self):
+        conv = nn.Conv2d(2, 4, 3, padding=1)
+        qconv = QuantConv2d(conv, baseline_config())
+        qconv(make_input((1, 2, 4, 4))).sum().backward()
+        assert qconv.weight.grad is not None
+        assert qconv.weight_quantizer.scale.grad is not None
+
+
+class TestPsumQuantizedConv2d:
+    def test_tile_count_includes_kernel(self):
+        conv = nn.Conv2d(8, 4, 3, padding=1)  # reduction 8*9 = 72
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=2, pci=8))
+        assert qconv.num_tiles == 9
+        assert qconv.tiled
+
+    def test_small_reduction_fallback(self):
+        conv = nn.Conv2d(4, 4, 1)  # reduction 4 < pci
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=2, pci=8))
+        assert not qconv.tiled
+
+    def test_forward_close_to_float(self):
+        conv = nn.Conv2d(4, 8, 3, padding=1)
+        x = make_input()
+        ref = conv(x).data
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=2, pci=8))
+        out = qconv(x).data
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+        assert rel < 0.4
+
+    @pytest.mark.parametrize("gs", [1, 4])
+    def test_all_group_sizes_run(self, gs):
+        conv = nn.Conv2d(4, 4, 3, padding=1)
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=gs, pci=4))
+        assert qconv(make_input((1, 4, 6, 6))).shape == (1, 4, 6, 6)
+
+    def test_accumulator_stats_after_forward(self):
+        conv = nn.Conv2d(4, 4, 3, padding=1)
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=2, pci=4))
+        qconv(make_input((1, 4, 6, 6)))
+        assert qconv.accumulator.psum_writes == qconv.num_tiles
+
+    def test_gradients_reach_psum_scales(self):
+        conv = nn.Conv2d(4, 4, 3, padding=1)
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=2, pci=4))
+        qconv(make_input((1, 4, 6, 6))).sum().backward()
+        grads = [q.scale.grad for q in qconv.accumulator.quantizers]
+        assert all(g is not None for g in grads)
+
+    def test_stride_and_padding_respected(self):
+        conv = nn.Conv2d(4, 6, 3, stride=2, padding=1)
+        qconv = PsumQuantizedConv2d(conv, apsq_config(gs=2, pci=8))
+        assert qconv(make_input()).shape == (2, 6, 4, 4)

@@ -1,0 +1,159 @@
+"""Tests for quantization primitives: specs, STE ops, LSQ fake-quant."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    INT4,
+    INT8,
+    UINT8,
+    QuantSpec,
+    fake_quant_values,
+    lsq_fake_quant,
+    lsq_init_scale,
+    po2_ste,
+    po2_values,
+    quantize_int_values,
+    round_ste,
+)
+from repro.tensor import Tensor
+
+
+class TestQuantSpec:
+    def test_int8_bounds(self):
+        assert INT8.qn == -128
+        assert INT8.qp == 127
+
+    def test_uint8_bounds(self):
+        assert UINT8.qn == 0
+        assert UINT8.qp == 255
+
+    def test_int4_bounds(self):
+        assert INT4.qn == -8
+        assert INT4.qp == 7
+
+    def test_num_levels(self):
+        assert QuantSpec(6).num_levels == 64
+
+    @pytest.mark.parametrize("bits", [0, 1, 33])
+    def test_invalid_bits(self, bits):
+        with pytest.raises(ValueError):
+            QuantSpec(bits)
+
+
+class TestRoundSTE:
+    def test_forward_rounds(self):
+        x = Tensor([1.4, 1.6, -2.5])
+        out = round_ste(x)
+        assert np.allclose(out.data, np.round([1.4, 1.6, -2.5]))
+
+    def test_backward_identity(self):
+        x = Tensor([1.4, 2.7], requires_grad=True)
+        round_ste(x).sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+
+class TestPo2:
+    def test_values_snap_to_powers(self):
+        scales = np.array([0.9, 1.1, 3.0, 0.26])
+        out = po2_values(scales)
+        assert np.allclose(out, [1.0, 1.0, 4.0, 0.25])
+
+    def test_values_handle_tiny(self):
+        assert po2_values(np.array([0.0])) > 0
+
+    def test_ste_forward(self):
+        s = Tensor(np.array(3.0), requires_grad=True)
+        assert po2_ste(s).item() == 4.0
+
+    def test_ste_gradient_identity(self):
+        s = Tensor(np.array(3.0), requires_grad=True)
+        po2_ste(s).backward(np.array(2.0))
+        assert np.isclose(s.grad, 2.0)
+
+    def test_exact_powers_unchanged(self):
+        for v in [0.125, 0.5, 1.0, 2.0, 64.0]:
+            assert po2_values(np.array([v]))[0] == v
+
+
+class TestFakeQuantValues:
+    def test_roundtrip_on_grid(self):
+        # Values already on the quantization grid survive exactly.
+        scale = 0.5
+        x = np.array([-2.0, -0.5, 0.0, 1.5, 3.0])
+        assert np.allclose(fake_quant_values(x, scale, -128, 127), x)
+
+    def test_clipping(self):
+        out = fake_quant_values(np.array([1000.0, -1000.0]), 1.0, -8, 7)
+        assert np.allclose(out, [7.0, -8.0])
+
+    def test_quantize_int_dtype_and_range(self):
+        codes = quantize_int_values(np.linspace(-10, 10, 101), 0.1, -128, 127)
+        assert codes.dtype == np.int64
+        assert codes.min() >= -128
+        assert codes.max() <= 127
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000)
+        scale = 0.05
+        out = fake_quant_values(x, scale, -128, 127)
+        inside = np.abs(x) < 127 * scale
+        assert np.abs(out[inside] - x[inside]).max() <= scale / 2 + 1e-12
+
+
+class TestLSQFakeQuant:
+    def test_forward_matches_plain(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(5, 5)), requires_grad=True)
+        s = Tensor(np.array(0.1), requires_grad=True)
+        out = lsq_fake_quant(x, s, -128, 127)
+        assert np.allclose(out.data, fake_quant_values(x.data, 0.1, -128, 127))
+
+    def test_x_gradient_inside_range(self):
+        x = Tensor([0.5, -0.3], requires_grad=True)
+        s = Tensor(np.array(0.1), requires_grad=True)
+        lsq_fake_quant(x, s, -128, 127).sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+    def test_x_gradient_clipped_outside(self):
+        x = Tensor([100.0, -100.0, 0.1], requires_grad=True)
+        s = Tensor(np.array(0.1), requires_grad=True)
+        lsq_fake_quant(x, s, -8, 7).sum().backward()
+        assert np.allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_scale_gradient_formula(self):
+        # For an in-range value, d out / d s = round(v) - v (with grad_scale=1).
+        x = Tensor([0.26], requires_grad=True)
+        s = Tensor(np.array(0.1), requires_grad=True)
+        lsq_fake_quant(x, s, -128, 127, grad_scale=1.0).sum().backward()
+        v = 0.26 / 0.1
+        assert np.isclose(float(s.grad), np.round(v) - v)
+
+    def test_scale_gradient_at_clip(self):
+        x = Tensor([1e6], requires_grad=True)
+        s = Tensor(np.array(1.0), requires_grad=True)
+        lsq_fake_quant(x, s, -8, 7, grad_scale=1.0).sum().backward()
+        assert np.isclose(float(s.grad), 7.0)
+
+    def test_default_grad_scale(self):
+        x = Tensor(np.full(100, 1e6), requires_grad=True)
+        s = Tensor(np.array(1.0), requires_grad=True)
+        lsq_fake_quant(x, s, -8, 7).sum().backward()
+        expected = 100 * 7.0 / np.sqrt(100 * 7)
+        assert np.isclose(float(s.grad), expected)
+
+    def test_negative_scale_clamped(self):
+        x = Tensor([1.0], requires_grad=True)
+        s = Tensor(np.array(-0.5), requires_grad=True)
+        out = lsq_fake_quant(x, s, -128, 127)
+        assert np.isfinite(out.data).all()
+
+
+class TestLSQInit:
+    def test_init_rule(self):
+        x = np.ones(16) * 3.0
+        assert np.isclose(lsq_init_scale(x, 127), 2 * 3.0 / np.sqrt(127))
+
+    def test_init_positive_for_zero_input(self):
+        assert lsq_init_scale(np.zeros(4), 127) > 0

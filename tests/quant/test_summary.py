@@ -1,0 +1,83 @@
+"""Tests for quantized-model introspection (model_summary)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    apsq_config,
+    baseline_config,
+    format_summary,
+    model_summary,
+    quantize_model,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(2)
+
+
+class MLP(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(32, 16)
+        self.fc2 = nn.Linear(16, 4)
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestModelSummary:
+    def test_rows_per_quantized_layer(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        rows = model_summary(model)
+        assert {r.name for r in rows} == {"fc1", "fc2"}
+
+    def test_uncalibrated_scales_none(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        rows = model_summary(model)
+        assert all(r.weight_scale is None for r in rows)
+        assert all(r.psum_shift_exponents is None for r in rows)
+
+    def test_calibrated_exposes_scales_and_shifts(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        model(np.random.default_rng(0).normal(size=(4, 32)))
+        rows = {r.name: r for r in model_summary(model)}
+        fc1 = rows["fc1"]
+        assert fc1.weight_scale > 0
+        assert fc1.num_tiles == 4
+        assert len(fc1.psum_shift_exponents) == 4
+
+    def test_baseline_mode_rows(self):
+        model = quantize_model(MLP(), baseline_config(pci=8))
+        rows = model_summary(model)
+        assert all(r.mode == "baseline" for r in rows)
+        assert all(r.gs is None for r in rows)
+
+    def test_unquantized_model_rejected(self):
+        with pytest.raises(ValueError):
+            model_summary(MLP())
+
+    def test_format_summary(self):
+        model = quantize_model(MLP(), apsq_config(gs=2, pci=8))
+        model(np.random.default_rng(0).normal(size=(4, 32)))
+        text = format_summary(model_summary(model))
+        assert "fc1" in text
+        assert "apsq" in text
+        assert "psum shifts" in text
+
+    def test_untiled_layer_reports_single_tile(self):
+        class Tiny(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(4, 2)
+
+            def forward(self, x):
+                return self.fc(x)
+
+        model = quantize_model(Tiny(), apsq_config(gs=2, pci=8))
+        rows = model_summary(model)
+        assert rows[0].num_tiles == 1

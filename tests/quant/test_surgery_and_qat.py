@@ -1,0 +1,180 @@
+"""Tests for model surgery (quantize_model) and the QAT trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    PsumMode,
+    PsumQuantizedConv2d,
+    PsumQuantizedLinear,
+    QATConfig,
+    QATTrainer,
+    QuantConv2d,
+    QuantLinear,
+    apsq_config,
+    baseline_config,
+    evaluate,
+    iterate_minibatches,
+    psum_accumulators,
+    quantize_model,
+    quantized_layers,
+    reset_psum_stats,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+class TinyMLP(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(16, 32)
+        self.fc2 = nn.Linear(32, 4)
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return self.fc2(self.fc1(x).relu())
+
+
+class TinyConvNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = nn.Conv2d(4, 8, 3, padding=1)
+        self.dw = nn.DepthwiseConv2d(8)
+        self.head = nn.Linear(8, 2)
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        feat = self.dw(self.conv(x).relu()).mean(axis=(2, 3))
+        return self.head(feat)
+
+
+class TestSurgery:
+    def test_baseline_replaces_with_quant_linear(self):
+        model = quantize_model(TinyMLP(), baseline_config(pci=8))
+        assert isinstance(model.fc1, QuantLinear)
+        assert isinstance(model.fc2, QuantLinear)
+
+    def test_apsq_replaces_with_psum_linear(self):
+        model = quantize_model(TinyMLP(), apsq_config(gs=2, pci=8))
+        assert isinstance(model.fc1, PsumQuantizedLinear)
+        assert model.fc1.num_tiles == 2
+        assert model.fc2.num_tiles == 4
+
+    def test_conv_replacement_skips_depthwise(self):
+        model = quantize_model(TinyConvNet(), apsq_config(gs=2, pci=4))
+        assert isinstance(model.conv, PsumQuantizedConv2d)
+        assert isinstance(model.dw, nn.DepthwiseConv2d)
+        assert not isinstance(model.dw, QuantConv2d)
+
+    def test_double_quantization_rejected(self):
+        model = quantize_model(TinyMLP(), apsq_config(gs=2))
+        with pytest.raises(ValueError):
+            quantize_model(model, apsq_config(gs=2))
+
+    def test_no_quantizable_layers_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_model(nn.LayerNorm(4), apsq_config(gs=2))
+
+    def test_weights_shared_with_original(self):
+        original = TinyMLP()
+        w_before = original.fc1.weight
+        quantize_model(original, apsq_config(gs=2))
+        assert original.fc1.weight is w_before
+
+    def test_quantized_layers_iterator(self):
+        model = quantize_model(TinyConvNet(), apsq_config(gs=2, pci=4))
+        names = [n for n, _ in quantized_layers(model)]
+        assert set(names) == {"conv", "head"}
+
+    def test_psum_accumulators_and_stats(self):
+        model = quantize_model(TinyMLP(), apsq_config(gs=2, pci=8))
+        model(np.random.default_rng(0).normal(size=(2, 16)))
+        accs = dict(psum_accumulators(model))
+        assert len(accs) == 2
+        assert any(a.psum_writes > 0 for a in accs.values())
+        reset_psum_stats(model)
+        assert all(a.psum_writes == 0 for a in accs.values())
+
+    def test_forward_after_surgery_close_to_float(self):
+        float_model = TinyMLP()
+        x = np.random.default_rng(3).normal(size=(8, 16))
+        ref = float_model(x).data
+        state = float_model.state_dict()
+        quantized = quantize_model(TinyMLP(), apsq_config(gs=4, pci=4))
+        # Restore the float weights into the quantized model.
+        quantized.load_state_dict(state, strict=False)
+        out = quantized(x).data
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+        assert rel < 0.5
+
+
+class TestQATTrainer:
+    def _make_data(self, n=64):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(n, 16))
+        y = (x[:, 0] > 0).astype(np.int64) + 2 * (x[:, 1] > 0).astype(np.int64)
+        return x, y
+
+    def test_float_training_improves_accuracy(self):
+        x, y = self._make_data()
+        model = TinyMLP()
+        trainer = QATTrainer(model, nn.cross_entropy, config=QATConfig(epochs=12, lr=5e-3))
+        trainer.fit(x, y)
+        acc = evaluate(model, x, y, lambda out, t: (out.argmax(-1) == t).mean())
+        assert acc > 0.7
+
+    def test_history_recorded(self):
+        x, y = self._make_data(32)
+        trainer = QATTrainer(TinyMLP(), nn.cross_entropy, config=QATConfig(epochs=2))
+        history = trainer.fit(x, y)
+        assert len(history) == 2
+        assert all("loss" in h for h in history)
+
+    def test_loss_decreases(self):
+        x, y = self._make_data()
+        trainer = QATTrainer(TinyMLP(), nn.cross_entropy, config=QATConfig(epochs=8, lr=5e-3))
+        history = trainer.fit(x, y)
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_qat_with_teacher_runs_and_improves(self):
+        x, y = self._make_data()
+        teacher = TinyMLP()
+        QATTrainer(teacher, nn.cross_entropy, config=QATConfig(epochs=12, lr=5e-3)).fit(x, y)
+        student = quantize_model(TinyMLP(), apsq_config(gs=2, pci=8))
+        student.load_state_dict(teacher.state_dict(), strict=False)
+        trainer = QATTrainer(
+            student, nn.cross_entropy, teacher=teacher, config=QATConfig(epochs=6, lr=1e-3)
+        )
+        trainer.fit(x, y)
+        acc = evaluate(student, x, y, lambda out, t: (out.argmax(-1) == t).mean())
+        assert acc > 0.6
+
+    def test_teacher_frozen(self):
+        x, y = self._make_data(32)
+        teacher = TinyMLP()
+        w_before = teacher.fc1.weight.data.copy()
+        student = quantize_model(TinyMLP(), apsq_config(gs=2, pci=8))
+        QATTrainer(
+            student, nn.cross_entropy, teacher=teacher, config=QATConfig(epochs=1)
+        ).fit(x, y)
+        assert np.allclose(teacher.fc1.weight.data, w_before)
+
+    def test_minibatch_iterator_covers_all(self):
+        x = np.arange(10).reshape(10, 1).astype(float)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, batch_size=3, shuffle=True):
+            assert len(bx) == len(by)
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_minibatch_no_shuffle_order(self):
+        x = np.arange(6).reshape(6, 1).astype(float)
+        y = np.arange(6)
+        batches = list(iterate_minibatches(x, y, batch_size=4, shuffle=False))
+        assert batches[0][1].tolist() == [0, 1, 2, 3]

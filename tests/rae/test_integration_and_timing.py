@@ -1,0 +1,153 @@
+"""Tests for integer-only layer execution (quant -> RAE bridge) and the
+RAE timing model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import apsq_config, PsumQuantizedLinear
+from repro.rae import (
+    IntegerGemmRunner,
+    RAETiming,
+    layer_scales,
+    reduction_cycles,
+    shift_exponent_error,
+    shift_exponents,
+    throughput_report,
+)
+from repro.tensor import Tensor, manual_seed
+
+
+def make_layer(gs=2, in_features=32, out_features=8, pci=8, po2_everything=True, seed=0):
+    """A calibrated PsumQuantizedLinear; optionally with po2 scales all round."""
+    manual_seed(seed)
+    layer = PsumQuantizedLinear(nn.Linear(in_features, out_features), apsq_config(gs=gs, pci=pci))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(16, in_features))
+    layer(Tensor(x))  # calibrate all quantizers
+    if po2_everything:
+        layer.act_quantizer.scale.data = np.array(2.0**-4)
+        layer.weight_quantizer.scale.data = np.array(2.0**-5)
+        for i, q in enumerate(layer.accumulator.quantizers):
+            q.scale.data = np.array(2.0 ** (-6 + (i % 2)))
+    return layer
+
+
+class TestLayerExport:
+    def test_scales_extracted(self):
+        layer = make_layer()
+        s_x, s_w, alphas = layer_scales(layer)
+        assert s_x > 0 and s_w > 0
+        assert len(alphas) == layer.num_tiles
+
+    def test_uncalibrated_rejected(self):
+        layer = PsumQuantizedLinear(nn.Linear(16, 4), apsq_config(gs=2, pci=8))
+        with pytest.raises(RuntimeError):
+            layer_scales(layer)
+
+    def test_shift_exponents_integer_for_po2_scales(self):
+        layer = make_layer(po2_everything=True)
+        assert shift_exponent_error(layer) == 0.0
+        exps = shift_exponents(layer)
+        assert all(isinstance(e, int) for e in exps)
+
+    def test_snap_error_bounded_half_bit(self):
+        layer = make_layer(po2_everything=False)
+        assert 0.0 <= shift_exponent_error(layer) <= 0.5
+
+
+class TestIntegerGemmRunner:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    def test_shift_path_matches_fake_quant_exactly(self, gs):
+        """With po2 scales everywhere the integer RAE path is bit-exact."""
+        layer = make_layer(gs=gs, seed=gs)
+        runner = IntegerGemmRunner(layer, requant="shift")
+        rng = np.random.default_rng(gs + 10)
+        x = rng.normal(size=(4, 32)) * 0.5
+        report = runner.compare_with_fake_quant(x)
+        assert report["exponent_snap_bits"] == 0.0
+        assert report["max_abs_diff"] < 1e-9
+
+    def test_exact_path_matches_fake_quant(self):
+        layer = make_layer(gs=2, po2_everything=False, seed=3)
+        runner = IntegerGemmRunner(layer, requant="exact")
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(4, 32)) * 0.5
+        report = runner.compare_with_fake_quant(x)
+        assert report["mean_rel_diff"] < 0.05
+
+    def test_shift_path_bounded_error_free_scales(self):
+        """Without po2 product scales, snapping adds bounded extra error."""
+        layer = make_layer(gs=2, po2_everything=False, seed=4)
+        runner = IntegerGemmRunner(layer, requant="shift")
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(4, 32)) * 0.5
+        report = runner.compare_with_fake_quant(x)
+        assert report["mean_rel_diff"] < 0.5
+
+    def test_untiled_layer_rejected(self):
+        layer = PsumQuantizedLinear(nn.Linear(8, 4), apsq_config(gs=2, pci=8))
+        with pytest.raises(ValueError):
+            IntegerGemmRunner(layer)
+
+    def test_bad_requant_mode(self):
+        with pytest.raises(ValueError):
+            IntegerGemmRunner(make_layer(), requant="approximate")
+
+    def test_input_shape_validated(self):
+        runner = IntegerGemmRunner(make_layer())
+        with pytest.raises(ValueError):
+            runner.run(np.zeros((2, 3, 32)))
+
+    def test_bias_included(self):
+        layer = make_layer(seed=5)
+        layer.bias.data[:] = 10.0
+        runner = IntegerGemmRunner(layer)
+        out = runner.run(np.zeros((1, 32)))
+        assert np.all(np.abs(out - 10.0) < 1.0)
+
+    def test_integer_tiles_are_integers(self):
+        runner = IntegerGemmRunner(make_layer(seed=6))
+        tiles, product_scale = runner.integer_tiles(np.random.default_rng(0).normal(size=(2, 32)))
+        assert len(tiles) == 4
+        for t in tiles:
+            assert t.dtype in (np.int64, np.int32)
+        assert product_scale > 0
+
+
+class TestRAETiming:
+    def test_defaults_valid(self):
+        t = RAETiming()
+        assert t.tree_stages == 2
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            RAETiming(bank_read=0)
+
+    def test_pipelined_one_tile_per_cycle(self):
+        """Sustained throughput is gs-independent (the co-design claim)."""
+        report = throughput_report(num_tiles=1000)
+        for gs in (1, 2, 3, 4):
+            assert report[gs]["pipelined_cycles_per_tile"] < 1.02
+
+    def test_serial_slower_than_pipelined(self):
+        for gs in (1, 2, 3, 4):
+            assert reduction_cycles(64, gs, pipelined=False) > reduction_cycles(
+                64, gs, pipelined=True
+            )
+
+    def test_serial_gs1_most_expensive(self):
+        """gs=1 runs the full APSQ step every tile: worst serial latency."""
+        serial = {gs: reduction_cycles(60, gs, pipelined=False) for gs in (1, 2, 3, 4)}
+        assert serial[1] > serial[2] > serial[4]
+
+    def test_single_tile(self):
+        assert reduction_cycles(1, 4) >= 1
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            reduction_cycles(0, 1)
+
+    def test_invalid_gs(self):
+        with pytest.raises(ValueError):
+            reduction_cycles(8, 5)

@@ -1,0 +1,254 @@
+"""Tests for the RAE functional simulator: shifters, banks, config, engine."""
+
+import numpy as np
+import pytest
+
+from repro.rae import (
+    CONFIG_TABLE,
+    PsumBank,
+    RAEngine,
+    ShiftQuantizer,
+    mode_for_gs,
+    reference_apsq_reduce,
+    s2_schedule,
+    shift_round,
+)
+
+
+class TestShiftRound:
+    def test_positive_exponent(self):
+        assert shift_round(np.array([8]), 2)[0] == 2
+        assert shift_round(np.array([10]), 2)[0] == 2  # 2.5 -> 2 (half-even)
+        assert shift_round(np.array([12]), 2)[0] == 3
+
+    def test_half_even_ties(self):
+        # 6/4 = 1.5 -> 2 (even); 10/4 = 2.5 -> 2 (even)
+        assert shift_round(np.array([6]), 2, "half_even")[0] == 2
+        assert shift_round(np.array([10]), 2, "half_even")[0] == 2
+
+    def test_half_up_ties(self):
+        assert shift_round(np.array([6]), 2, "half_up")[0] == 2
+        assert shift_round(np.array([10]), 2, "half_up")[0] == 3
+
+    def test_matches_numpy_round(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-10_000, 10_000, size=1000)
+        for e in (1, 3, 5):
+            expected = np.round(x / 2**e).astype(np.int64)
+            assert np.array_equal(shift_round(x, e, "half_even"), expected)
+
+    def test_negative_exponent_left_shift(self):
+        assert shift_round(np.array([3]), -2)[0] == 12
+
+    def test_zero_exponent_identity(self):
+        x = np.array([-5, 0, 7])
+        assert np.array_equal(shift_round(x, 0), x)
+
+    def test_negative_values(self):
+        # -10 / 4 = -2.5 -> -2 (half-even, numpy)
+        assert shift_round(np.array([-10]), 2, "half_even")[0] == np.round(-2.5)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            shift_round(np.array([1]), 1, "stochastic")
+
+
+class TestShiftQuantizer:
+    def test_saturation(self):
+        q = ShiftQuantizer(bits=8)
+        codes = q.quantize(np.array([100_000, -100_000]), 2)
+        assert codes[0] == 127
+        assert codes[1] == -128
+
+    def test_roundtrip_exact_on_grid(self):
+        q = ShiftQuantizer(bits=8)
+        x = np.array([-512, -4, 0, 4, 504])
+        assert np.array_equal(q.dequantize(q.quantize(x, 2), 2), x)
+
+    def test_dequantize_shifts(self):
+        q = ShiftQuantizer(bits=8)
+        assert q.dequantize(np.array([3]), 4)[0] == 48
+
+    def test_saturation_fraction(self):
+        q = ShiftQuantizer(bits=8)
+        x = np.array([0, 1000, -1000, 4])
+        assert q.saturation_fraction(x, 0) == 0.5
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ShiftQuantizer(bits=1)
+
+
+class TestPsumBank:
+    def test_write_read_roundtrip(self):
+        bank = PsumBank(4, lanes=8)
+        codes = np.arange(8) - 4
+        bank.write(1, codes)
+        assert np.array_equal(bank.read(1), codes)
+
+    def test_counts_accesses(self):
+        bank = PsumBank(4, lanes=2)
+        bank.write(0, np.zeros(2))
+        bank.read(0)
+        bank.read(0)
+        assert bank.writes == 1
+        assert bank.reads == 2
+        assert bank.access_count == 3
+
+    def test_rejects_out_of_range_codes(self):
+        bank = PsumBank(4, lanes=2, bits=8)
+        with pytest.raises(OverflowError):
+            bank.write(0, np.array([200, 0]))
+
+    def test_rejects_bad_address(self):
+        bank = PsumBank(2, lanes=2)
+        with pytest.raises(IndexError):
+            bank.write(2, np.zeros(2))
+        with pytest.raises(IndexError):
+            bank.read(-1)
+
+    def test_uninitialised_read_rejected(self):
+        bank = PsumBank(2, lanes=2)
+        with pytest.raises(ValueError):
+            bank.read(0)
+
+    def test_wrong_lane_count(self):
+        bank = PsumBank(2, lanes=4)
+        with pytest.raises(ValueError):
+            bank.write(0, np.zeros(3))
+
+    def test_reset(self):
+        bank = PsumBank(2, lanes=2)
+        bank.write(0, np.zeros(2))
+        bank.reset()
+        assert bank.writes == 0
+        with pytest.raises(ValueError):
+            bank.read(0)
+
+
+class TestConfigTable:
+    def test_fig2_encodings(self):
+        assert CONFIG_TABLE[1].s0 == "00"
+        assert CONFIG_TABLE[2].s0 == "01"
+        assert CONFIG_TABLE[3].s0 == "10"
+        assert CONFIG_TABLE[3].s1 == "0"
+        assert CONFIG_TABLE[4].s0 == "10"
+        assert CONFIG_TABLE[4].s1 == "1"
+
+    def test_active_banks_match_gs(self):
+        for gs, mode in CONFIG_TABLE.items():
+            assert mode.active_banks == gs
+
+    def test_unsupported_gs(self):
+        with pytest.raises(ValueError):
+            mode_for_gs(5)
+
+    def test_s2_schedule_gs1_all_apsq(self):
+        assert s2_schedule(1, 5) == [1, 1, 1, 1, 1]
+
+    def test_s2_schedule_gs4(self):
+        # APSQ at every group boundary, PSQ inside (paper Sec. III-C).
+        assert s2_schedule(4, 8) == [1, 0, 0, 0, 1, 0, 0, 0]
+
+    def test_s2_out_of_group(self):
+        with pytest.raises(ValueError):
+            CONFIG_TABLE[2].s2_for_tile(2)
+
+
+def make_tiles(num, lanes=16, seed=0, scale=1000):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-scale, scale, size=lanes) for _ in range(num)]
+
+
+class TestRAEngine:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_tiles", [1, 2, 3, 5, 7, 8, 12])
+    def test_integer_exact_vs_reference(self, gs, num_tiles):
+        """The engine datapath must match Algorithm 1 bit-for-bit."""
+        tiles = make_tiles(num_tiles, seed=gs * 100 + num_tiles)
+        exponents = [4] * num_tiles
+        engine = RAEngine(gs=gs, lanes=16)
+        codes, exp = engine.reduce(tiles, exponents)
+        ref_codes, ref_exp = reference_apsq_reduce(tiles, exponents, gs=gs)
+        assert exp == ref_exp
+        assert np.array_equal(codes, ref_codes)
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    def test_varying_exponents(self, gs):
+        tiles = make_tiles(6, seed=5, scale=20_000)
+        exponents = [5, 6, 6, 7, 7, 8]
+        engine = RAEngine(gs=gs, lanes=16)
+        codes, _ = engine.reduce(tiles, exponents)
+        ref_codes, _ = reference_apsq_reduce(tiles, exponents, gs=gs)
+        assert np.array_equal(codes, ref_codes)
+
+    def test_output_close_to_exact_sum(self):
+        tiles = make_tiles(6, seed=1, scale=1000)
+        exact = sum(tiles)
+        engine = RAEngine(gs=2, lanes=16)
+        codes, exp = engine.reduce(tiles, [6] * 6)
+        approx = codes.astype(np.int64) << exp
+        rel = np.abs(approx - exact).mean() / (np.abs(exact).mean() + 1e-9)
+        assert rel < 0.2
+
+    def test_single_tile(self):
+        engine = RAEngine(gs=4, lanes=16)
+        tiles = make_tiles(1)
+        codes, exp = engine.reduce(tiles, [3])
+        ref, _ = reference_apsq_reduce(tiles, [3], gs=4)
+        assert np.array_equal(codes, ref)
+
+    def test_write_count_equals_num_tiles(self):
+        """One bank write per tile, independent of gs (Sec. III-B)."""
+        for gs in (1, 2, 3, 4):
+            engine = RAEngine(gs=gs, lanes=16)
+            engine.reduce(make_tiles(8, seed=gs), [5] * 8)
+            assert engine.stats.bank_writes == 8
+
+    def test_bank_usage_matches_mode(self):
+        engine = RAEngine(gs=3, lanes=16)
+        engine.reduce(make_tiles(9, seed=2), [5] * 9)
+        used = [i for i, b in enumerate(engine.banks) if b.writes > 0]
+        assert used == [0, 1, 2]  # bank 3 idle in gs=3 mode
+
+    def test_gs1_single_bank(self):
+        engine = RAEngine(gs=1, lanes=16)
+        engine.reduce(make_tiles(6, seed=3), [5] * 6)
+        assert engine.banks[0].writes == 6
+        assert all(b.writes == 0 for b in engine.banks[1:])
+
+    def test_stats_apsq_vs_psq_steps(self):
+        engine = RAEngine(gs=4, lanes=16)
+        engine.reduce(make_tiles(8, seed=4), [5] * 8)
+        # Tiles 0 and 4 are APSQ boundaries; tile 7 is the final fold.
+        assert engine.stats.apsq_steps == 3
+        assert engine.stats.psq_steps == 5
+
+    def test_overflow_detection(self):
+        engine = RAEngine(gs=1, lanes=4)
+        huge = [np.full(4, 2**33)]
+        with pytest.raises(OverflowError):
+            engine.reduce(huge, [0])
+
+    def test_shape_validation(self):
+        engine = RAEngine(gs=2, lanes=8)
+        with pytest.raises(ValueError):
+            engine.reduce([np.zeros(4)], [0])
+        with pytest.raises(ValueError):
+            engine.reduce([np.zeros(8)], [0, 1])
+        with pytest.raises(ValueError):
+            engine.reduce([], [])
+
+    def test_reset(self):
+        engine = RAEngine(gs=2, lanes=16)
+        engine.reduce(make_tiles(4, seed=6), [5] * 4)
+        engine.reset()
+        assert engine.stats.bank_writes == 0
+        assert all(b.access_count == 0 for b in engine.banks)
+
+    def test_half_up_rounding_mode(self):
+        tiles = make_tiles(4, seed=7)
+        e1 = RAEngine(gs=2, lanes=16, rounding="half_up")
+        codes, _ = e1.reduce(tiles, [4] * 4)
+        ref, _ = reference_apsq_reduce(tiles, [4] * 4, gs=2, rounding="half_up")
+        assert np.array_equal(codes, ref)

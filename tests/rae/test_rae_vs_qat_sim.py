@@ -1,0 +1,83 @@
+"""Integration: the RAE hardware datapath must reproduce the QAT-time
+fake-quantized accumulation (TiledPsumAccumulator in eval mode) exactly,
+given the same power-of-two scales.
+
+This is the functional-equivalence property the paper's RTL must satisfy;
+here it connects the algorithm side (repro.quant) to the hardware side
+(repro.rae).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import TiledPsumAccumulator, apsq_config
+from repro.rae import RAEngine, reference_apsq_reduce
+from repro.tensor import Tensor
+
+
+def run_both(tile_values, gs, exponents, lanes):
+    """Run float accumulator and integer RAE on the same data."""
+    np_tiles = len(tile_values)
+    # Float side: tiles are exact float copies of the integers; quantizer
+    # scales pinned to 2^e.
+    acc = TiledPsumAccumulator(np_tiles, apsq_config(gs=gs))
+    for q, e in zip(acc.quantizers, exponents):
+        q.scale.data = np.array(float(2**e))
+        q._initialized = True
+    acc.eval()
+    float_out = acc([Tensor(t.astype(float)) for t in tile_values])
+
+    engine = RAEngine(gs=gs, lanes=lanes)
+    codes, out_exp = engine.reduce(tile_values, exponents)
+    int_out = codes.astype(np.float64) * (2.0**out_exp)
+    return float_out.data, int_out
+
+
+class TestRAEMatchesQATSimulation:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("np_tiles", [2, 4, 5, 7])
+    def test_exact_match(self, gs, np_tiles):
+        rng = np.random.default_rng(gs * 10 + np_tiles)
+        lanes = 16
+        tiles = [rng.integers(-2000, 2000, size=lanes) for _ in range(np_tiles)]
+        exponents = [5] * np_tiles
+        float_out, int_out = run_both(tiles, gs, exponents, lanes)
+        assert np.array_equal(float_out, int_out)
+
+    def test_exact_match_mixed_exponents(self):
+        rng = np.random.default_rng(42)
+        lanes = 8
+        tiles = [rng.integers(-30_000, 30_000, size=lanes) for _ in range(6)]
+        exponents = [7, 8, 8, 9, 9, 10]
+        float_out, int_out = run_both(tiles, 3, exponents, lanes)
+        assert np.array_equal(float_out, int_out)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gs=st.integers(1, 4),
+        np_tiles=st.integers(1, 10),
+        seed=st.integers(0, 1000),
+        exponent=st.integers(2, 10),
+    )
+    def test_property_equivalence(self, gs, np_tiles, seed, exponent):
+        """Property-based: equivalence holds for arbitrary configurations."""
+        rng = np.random.default_rng(seed)
+        lanes = 4
+        tiles = [rng.integers(-5000, 5000, size=lanes) for _ in range(np_tiles)]
+        exponents = [exponent] * np_tiles
+        float_out, int_out = run_both(tiles, gs, exponents, lanes)
+        assert np.array_equal(float_out, int_out)
+
+    @settings(max_examples=20, deadline=None)
+    @given(gs=st.integers(1, 4), np_tiles=st.integers(1, 12), seed=st.integers(0, 100))
+    def test_engine_matches_reference_property(self, gs, np_tiles, seed):
+        rng = np.random.default_rng(seed)
+        tiles = [rng.integers(-10_000, 10_000, size=8) for _ in range(np_tiles)]
+        exponents = list(rng.integers(3, 9, size=np_tiles))
+        engine = RAEngine(gs=gs, lanes=8)
+        codes, exp = engine.reduce(tiles, exponents)
+        ref_codes, ref_exp = reference_apsq_reduce(tiles, exponents, gs=gs)
+        assert exp == ref_exp
+        assert np.array_equal(codes, ref_codes)

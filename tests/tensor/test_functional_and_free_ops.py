@@ -1,0 +1,193 @@
+"""Tests for free-function ops (concat/stack/where/pad/im2col) and activations."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.tensor import (
+    Tensor,
+    concat,
+    embedding_lookup,
+    erf,
+    gelu,
+    gradcheck,
+    im2col,
+    log_softmax,
+    maximum,
+    minimum,
+    pad2d,
+    silu,
+    softmax,
+    split,
+    stack,
+    tril_mask,
+    where,
+)
+
+
+def randn(*shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed + sum(shape))
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestJoining:
+    def test_concat_values(self):
+        a, b = Tensor([[1.0], [2.0]]), Tensor([[3.0], [4.0]])
+        assert np.allclose(concat([a, b], axis=0).data, [[1], [2], [3], [4]])
+
+    def test_concat_grad(self):
+        a, b = randn(2, 3), randn(4, 3)
+        gradcheck(lambda x, y: concat([x, y], axis=0), [a, b])
+
+    def test_concat_axis1_grad(self):
+        a, b = randn(2, 3), randn(2, 5)
+        gradcheck(lambda x, y: concat([x, y], axis=1), [a, b])
+
+    def test_stack_values(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert stack([a, b], axis=0).shape == (2, 2)
+
+    def test_stack_grad(self):
+        a, b = randn(3), randn(3)
+        gradcheck(lambda x, y: stack([x, y], axis=1), [a, b])
+
+    def test_split_roundtrip(self):
+        a = randn(6, 2)
+        parts = split(a, 3, axis=0)
+        assert len(parts) == 3
+        assert np.allclose(concat(parts, axis=0).data, a.data)
+
+    def test_split_grad_flows(self):
+        a = randn(4, 2)
+        parts = split(a, 2, axis=0)
+        (parts[0].sum() + parts[1].sum() * 2.0).backward()
+        assert np.allclose(a.grad[:2], 1.0)
+        assert np.allclose(a.grad[2:], 2.0)
+
+    def test_split_rejects_uneven(self):
+        with pytest.raises(ValueError):
+            split(randn(5, 2), 2, axis=0)
+
+
+class TestSelection:
+    def test_where_values(self):
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        assert np.allclose(out.data, [1.0, 9.0])
+
+    def test_where_grad(self):
+        cond = np.array([[True, False], [False, True]])
+        a, b = randn(2, 2), randn(2, 2)
+        gradcheck(lambda x, y: where(cond, x, y), [a, b])
+
+    def test_where_tensor_condition(self):
+        cond = Tensor([1.0, 0.0])
+        out = where(cond, Tensor([5.0, 5.0]), Tensor([7.0, 7.0]))
+        assert np.allclose(out.data, [5.0, 7.0])
+
+    def test_maximum_values(self):
+        assert np.allclose(maximum(Tensor([1.0, 4.0]), Tensor([3.0, 2.0])).data, [3.0, 4.0])
+
+    def test_maximum_grad_no_ties(self):
+        a, b = Tensor([1.0, 4.0], requires_grad=True), Tensor([3.0, 2.0], requires_grad=True)
+        gradcheck(lambda x, y: maximum(x, y), [a, b])
+
+    def test_maximum_tie_splits(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        maximum(a, b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [0.5])
+
+    def test_minimum(self):
+        assert np.allclose(minimum(Tensor([1.0, 4.0]), Tensor([3.0, 2.0])).data, [1.0, 2.0])
+
+
+class TestPadAndIm2col:
+    def test_pad2d_shape(self):
+        x = randn(1, 2, 3, 3)
+        assert pad2d(x, (1, 2)).shape == (1, 2, 5, 7)
+
+    def test_pad2d_zero_is_identity(self):
+        x = randn(1, 1, 2, 2)
+        assert pad2d(x, (0, 0)) is x
+
+    def test_pad2d_grad(self):
+        x = randn(2, 1, 3, 3)
+        gradcheck(lambda t: pad2d(t, (1, 1)), [x])
+
+    def test_im2col_matches_direct_conv(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        w = rng.normal(size=(3, 2, 2, 2))  # Co, Ci, kh, kw
+        cols = im2col(x, (2, 2), stride=(1, 1))
+        out = cols.data @ w.reshape(3, -1).T  # (1, 9, 3)
+        # Direct convolution reference.
+        ref = np.zeros((1, 3, 3, 3))
+        for co in range(3):
+            for i in range(3):
+                for j in range(3):
+                    ref[0, co, i, j] = (x.data[0, :, i : i + 2, j : j + 2] * w[co]).sum()
+        assert np.allclose(out.reshape(3, 3, 3).transpose(2, 0, 1), ref[0])
+
+    def test_im2col_stride_padding_shape(self):
+        x = randn(2, 3, 8, 8)
+        cols = im2col(x, (3, 3), stride=(2, 2), padding=(1, 1))
+        assert cols.shape == (2, 16, 27)
+
+    def test_im2col_grad(self):
+        x = randn(1, 2, 4, 4)
+        gradcheck(lambda t: im2col(t, (3, 3), stride=(1, 1), padding=(1, 1)), [x])
+
+
+class TestEmbedding:
+    def test_lookup_values(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = embedding_lookup(w, np.array([[0, 3], [1, 1]]))
+        assert out.shape == (2, 2, 3)
+        assert np.allclose(out.data[0, 1], [9.0, 10.0, 11.0])
+
+    def test_lookup_grad_accumulates(self):
+        w = Tensor(np.zeros((4, 2)), requires_grad=True)
+        embedding_lookup(w, np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(w.grad, [[0, 0], [2, 2], [1, 1], [0, 0]])
+
+    def test_lookup_tensor_indices(self):
+        w = Tensor(np.eye(3), requires_grad=True)
+        out = embedding_lookup(w, Tensor([0.0, 2.0]))
+        assert np.allclose(out.data, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestActivations:
+    def test_softmax_sums_to_one(self):
+        x = randn(3, 5)
+        assert np.allclose(softmax(x).data.sum(axis=-1), 1.0)
+
+    def test_softmax_grad(self):
+        gradcheck(lambda x: softmax(x, axis=-1), [randn(2, 4)])
+
+    def test_softmax_stable_large_inputs(self):
+        x = Tensor([[1000.0, 1000.0]])
+        assert np.allclose(softmax(x).data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = randn(2, 6)
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    def test_log_softmax_grad(self):
+        gradcheck(lambda x: log_softmax(x, axis=-1), [randn(3, 4)])
+
+    def test_gelu_values(self):
+        x = randn(5)
+        ref = x.data * 0.5 * (1 + special.erf(x.data / np.sqrt(2)))
+        assert np.allclose(gelu(x).data, ref)
+
+    @pytest.mark.parametrize("fn", [gelu, silu, erf])
+    def test_smooth_activation_grads(self, fn):
+        gradcheck(lambda x: fn(x), [randn(3, 3)])
+
+    def test_tril_mask(self):
+        m = tril_mask(3)
+        assert m[0, 1] == -np.inf
+        assert m[1, 0] == 0.0
+        assert m[2, 2] == 0.0

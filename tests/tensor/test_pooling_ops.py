@@ -1,0 +1,65 @@
+"""Tests for upsample_nearest and avg_pool2d."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, avg_pool2d, gradcheck, upsample_nearest
+
+
+def randn(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestUpsampleNearest:
+    def test_shape(self):
+        x = randn(2, 3, 4, 4)
+        assert upsample_nearest(x, 2).shape == (2, 3, 8, 8)
+
+    def test_values_repeat(self):
+        x = Tensor(np.arange(4.0).reshape(1, 1, 2, 2))
+        out = upsample_nearest(x, 2).data[0, 0]
+        assert np.array_equal(out[:2, :2], np.zeros((2, 2)))
+        assert np.array_equal(out[2:, 2:], np.full((2, 2), 3.0))
+
+    def test_factor_one_identity(self):
+        x = randn(1, 1, 3, 3)
+        assert upsample_nearest(x, 1) is x
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            upsample_nearest(randn(1, 1, 2, 2), 0)
+
+    def test_grad_sums_blocks(self):
+        x = Tensor(np.zeros((1, 1, 2, 2)), requires_grad=True)
+        upsample_nearest(x, 3).sum().backward()
+        assert np.allclose(x.grad, 9.0)
+
+    def test_gradcheck(self):
+        gradcheck(lambda t: upsample_nearest(t, 2), [randn(1, 2, 3, 3)])
+
+
+class TestAvgPool2d:
+    def test_shape(self):
+        assert avg_pool2d(randn(2, 3, 8, 8), 2).shape == (2, 3, 4, 4)
+
+    def test_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2).data[0, 0]
+        assert out[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            avg_pool2d(randn(1, 1, 5, 5), 2)
+
+    def test_grad_uniform(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_gradcheck(self):
+        gradcheck(lambda t: avg_pool2d(t, 2), [randn(1, 2, 4, 4)])
+
+    def test_inverse_of_upsample_on_constants(self):
+        x = randn(1, 2, 3, 3, seed=5)
+        roundtrip = avg_pool2d(upsample_nearest(x, 2), 2)
+        assert np.allclose(roundtrip.data, x.data)

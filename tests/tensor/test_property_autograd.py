@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, gradcheck, softmax
+
+shapes = st.sampled_from([(3,), (2, 3), (4, 1), (2, 3, 2)])
+
+
+def arrays(shape, seed, low=-3.0, high=3.0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=shape)
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_add_commutative(self, shape, seed):
+        a = Tensor(arrays(shape, seed))
+        b = Tensor(arrays(shape, seed + 1))
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_mul_distributes_over_add(self, shape, seed):
+        a = Tensor(arrays(shape, seed))
+        b = Tensor(arrays(shape, seed + 1))
+        c = Tensor(arrays(shape, seed + 2))
+        left = (a * (b + c)).data
+        right = (a * b + a * c).data
+        assert np.allclose(left, right)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), m=st.integers(1, 4), k=st.integers(1, 4), n=st.integers(1, 4))
+    def test_matmul_matches_numpy(self, seed, m, k, n):
+        a = Tensor(arrays((m, k), seed))
+        b = Tensor(arrays((k, n), seed + 1))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_exp_log_roundtrip(self, shape, seed):
+        a = Tensor(arrays(shape, seed, low=0.1, high=5.0))
+        assert np.allclose(a.log().exp().data, a.data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_softmax_simplex(self, shape, seed):
+        a = Tensor(arrays(shape, seed, low=-20, high=20))
+        out = softmax(a, axis=-1).data
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_sum_reshape_invariant(self, shape, seed):
+        a = Tensor(arrays(shape, seed))
+        assert np.isclose(a.sum().item(), a.flatten().sum().item())
+
+
+class TestGradProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_polynomial_gradcheck(self, shape, seed):
+        a = Tensor(arrays(shape, seed), requires_grad=True)
+        gradcheck(lambda x: (x * x + 2.0 * x).sum(), [a])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), m=st.integers(1, 3), k=st.integers(1, 3))
+    def test_matmul_chain_gradcheck(self, seed, m, k):
+        a = Tensor(arrays((m, k), seed), requires_grad=True)
+        b = Tensor(arrays((k, m), seed + 1), requires_grad=True)
+        gradcheck(lambda x, y: (x @ y).tanh(), [a, b])
+
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shapes, seed=st.integers(0, 10_000))
+    def test_linearity_of_gradient(self, shape, seed):
+        """grad of (c * f) == c * grad of f."""
+        data = arrays(shape, seed)
+        a1 = Tensor(data.copy(), requires_grad=True)
+        (a1.tanh().sum() * 3.0).backward()
+        a2 = Tensor(data.copy(), requires_grad=True)
+        a2.tanh().sum().backward()
+        assert np.allclose(a1.grad, 3.0 * a2.grad)

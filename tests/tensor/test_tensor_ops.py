@@ -1,0 +1,288 @@
+"""Unit tests for core Tensor arithmetic, reductions and shape ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck, manual_seed, no_grad
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+def randn(*shape, requires_grad=True):
+    rng = np.random.default_rng(sum(shape) + 7)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_grad(self):
+        a, b = randn(3, 4), randn(3, 4)
+        gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_add_broadcast_grad(self):
+        a, b = randn(3, 4), randn(4)
+        gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_add_scalar(self):
+        a = randn(2, 2)
+        gradcheck(lambda x: x + 3.0, [a])
+
+    def test_sub_grad(self):
+        a, b = randn(2, 3), randn(1, 3)
+        gradcheck(lambda x, y: x - y, [a, b])
+
+    def test_rsub(self):
+        a = randn(3)
+        out = 1.0 - a
+        assert np.allclose(out.data, 1.0 - a.data)
+
+    def test_mul_grad(self):
+        a, b = randn(2, 3), randn(2, 3)
+        gradcheck(lambda x, y: x * y, [a, b])
+
+    def test_mul_broadcast_scalar_tensor(self):
+        a, b = randn(2, 3), Tensor(2.5, requires_grad=True)
+        gradcheck(lambda x, y: x * y, [a, b])
+
+    def test_div_grad(self):
+        a, b = randn(2, 3), Tensor(np.abs(randn(2, 3).data) + 1.0, requires_grad=True)
+        gradcheck(lambda x, y: x / y, [a, b])
+
+    def test_neg(self):
+        a = randn(4)
+        gradcheck(lambda x: -x, [a])
+
+    def test_pow_grad(self):
+        a = Tensor(np.abs(randn(3, 2).data) + 0.5, requires_grad=True)
+        gradcheck(lambda x: x**3, [a])
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = randn(2)
+        with pytest.raises(TypeError):
+            a ** randn(2)  # noqa: B018
+
+
+class TestMatmul:
+    def test_matmul_2d_values(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0, 6.0], [7.0, 8.0]])
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_2d_grad(self):
+        a, b = randn(3, 4), randn(4, 2)
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_batched_grad(self):
+        a, b = randn(2, 3, 4), randn(2, 4, 5)
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_broadcast_batch_grad(self):
+        a, b = randn(2, 3, 4), randn(4, 5)
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_vec_mat(self):
+        a, b = randn(4), randn(4, 3)
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_mat_vec(self):
+        a, b = randn(3, 4), randn(4)
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("fn_name", ["exp", "tanh", "sigmoid", "sqrt", "abs"])
+    def test_unary_grads(self, fn_name):
+        data = np.abs(np.random.default_rng(1).normal(size=(3, 3))) + 0.5
+        a = Tensor(data, requires_grad=True)
+        gradcheck(lambda x: getattr(x, fn_name)(), [a])
+
+    def test_log_grad(self):
+        a = Tensor(np.abs(randn(3, 3).data) + 0.5, requires_grad=True)
+        gradcheck(lambda x: x.log(), [a])
+
+    def test_relu_values(self):
+        a = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(a.relu().data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad_away_from_kink(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        gradcheck(lambda x: x.relu(), [a])
+
+    def test_clip_values(self):
+        a = Tensor([-5.0, 0.0, 5.0])
+        assert np.allclose(a.clip(-1.0, 1.0).data, [-1.0, 0.0, 1.0])
+
+    def test_clip_grad_masks_out_of_range(self):
+        a = Tensor([-5.0, 0.3, 5.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = randn(3, 4)
+        gradcheck(lambda x: x.sum(), [a])
+
+    @pytest.mark.parametrize("axis", [0, 1, -1])
+    @pytest.mark.parametrize("keepdims", [True, False])
+    def test_sum_axis(self, axis, keepdims):
+        a = randn(3, 4)
+        gradcheck(lambda x: x.sum(axis=axis, keepdims=keepdims), [a])
+
+    def test_sum_tuple_axis(self):
+        a = randn(2, 3, 4)
+        gradcheck(lambda x: x.sum(axis=(0, 2)), [a])
+
+    def test_mean_matches_numpy(self):
+        a = randn(3, 4)
+        assert np.allclose(a.mean(axis=1).data, a.data.mean(axis=1))
+
+    def test_mean_grad(self):
+        a = randn(2, 5)
+        gradcheck(lambda x: x.mean(axis=-1), [a])
+
+    def test_var_matches_numpy(self):
+        a = randn(4, 6)
+        assert np.allclose(a.var(axis=1).data, a.data.var(axis=1))
+
+    def test_max_all_values(self):
+        a = randn(3, 3)
+        assert a.max().item() == a.data.max()
+
+    def test_max_axis_grad(self):
+        a = Tensor([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0, 1, 0], [1, 0, 0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([[2.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+    def test_min(self):
+        a = randn(3, 4)
+        assert np.allclose(a.min(axis=0).data, a.data.min(axis=0))
+
+
+class TestShape:
+    def test_reshape_grad(self):
+        a = randn(2, 6)
+        gradcheck(lambda x: x.reshape(3, 4), [a])
+
+    def test_reshape_tuple_arg(self):
+        a = randn(4, 3)
+        assert a.reshape((2, 6)).shape == (2, 6)
+
+    def test_transpose_default(self):
+        a = randn(2, 3, 4)
+        assert a.transpose().shape == (4, 3, 2)
+
+    def test_transpose_grad(self):
+        a = randn(2, 3, 4)
+        gradcheck(lambda x: x.transpose(1, 0, 2), [a])
+
+    def test_transpose_negative_axes(self):
+        a = randn(2, 3, 4)
+        assert a.transpose(0, -1, -2).shape == (2, 4, 3)
+
+    def test_swapaxes_grad(self):
+        a = randn(2, 3, 4)
+        gradcheck(lambda x: x.swapaxes(-1, -2), [a])
+
+    def test_getitem_slice_grad(self):
+        a = randn(4, 5)
+        gradcheck(lambda x: x[1:3, ::2], [a])
+
+    def test_getitem_int_array(self):
+        a = randn(5, 3)
+        idx = np.array([0, 2, 2])
+        a.grad = None
+        a[idx].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[0] = 1.0
+        expected[2] = 2.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_duplicate_indices_accumulate(self):
+        a = Tensor(np.zeros((3, 2)), requires_grad=True)
+        idx = np.array([1, 1])
+        a[idx].sum().backward()
+        assert np.allclose(a.grad, [[0, 0], [2, 2], [0, 0]])
+
+    def test_expand_squeeze(self):
+        a = randn(3, 4)
+        b = a.expand_dims(1)
+        assert b.shape == (3, 1, 4)
+        assert b.squeeze(1).shape == (3, 4)
+
+    def test_flatten(self):
+        a = randn(2, 3)
+        assert a.flatten().shape == (6,)
+
+
+class TestAutogradMechanics:
+    def test_no_grad_blocks_graph(self):
+        a = randn(3)
+        with no_grad():
+            b = a * 2.0
+        assert b._backward is None
+        assert not b.requires_grad
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_shared_subexpression_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * a  # a used twice
+        b.sum().backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_diamond_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 3.0
+        (b + c).sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_backward_requires_scalar(self):
+        a = randn(3)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward()
+
+    def test_backward_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [2.0, 20.0])
+
+    def test_backward_grad_shape_mismatch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward(np.ones((3,)))
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_clone_keeps_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        a.clone().sum().backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_comparison_returns_numpy(self):
+        a, b = Tensor([1.0, 3.0]), Tensor([2.0, 2.0])
+        assert isinstance(a > b, np.ndarray)
+        assert list(a > b) == [False, True]
+
+    def test_repr_contains_flag(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))

@@ -1,0 +1,134 @@
+"""Cross-package edge-case tests collected from review of thin spots."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.data.task import TaskData
+from repro.quant import QATConfig, QATTrainer, evaluate
+from repro.tensor import Tensor, manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(1)
+
+
+class TestSchedulerEdges:
+    def test_warmup_zero_is_pure_cosine(self):
+        opt = optim.SGD([nn.Parameter(np.ones(1))], lr=1.0)
+        sched = optim.WarmupCosineLR(opt, warmup=0, t_max=10)
+        first = sched.step()
+        assert first > 0.9  # no warmup ramp
+
+    def test_cosine_tmax_one(self):
+        opt = optim.SGD([nn.Parameter(np.ones(1))], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=1, min_lr=0.1)
+        assert sched.step() == pytest.approx(0.1)
+
+
+class TestAttentionWithRope:
+    def test_mha_accepts_rope(self):
+        mha = nn.MultiHeadAttention(8, 2, causal=True)
+        rope = nn.rope_tables(6, 4)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 6, 8)))
+        out_plain = mha(x).data
+        out_rope = mha(x, rope=rope).data
+        assert out_rope.shape == out_plain.shape
+        assert not np.allclose(out_plain, out_rope)
+
+    def test_rope_translation_consistency(self):
+        """RoPE'd causal attention at position t sees the same relative
+        geometry regardless of absolute offset of the content."""
+        mha = nn.MultiHeadAttention(8, 2, causal=True)
+        rope = nn.rope_tables(12, 4)
+        rng = np.random.default_rng(1)
+        block = rng.normal(size=(1, 4, 8))
+        x1 = Tensor(block)
+        out1 = mha(x1, rope=rope).data[0, -1]
+        # Same block shifted right by padding with itself in front: the
+        # last token's attention over the final 4 positions has identical
+        # relative offsets, but extra earlier context changes the output —
+        # only check shape/finite here (true invariance needs masking).
+        assert np.isfinite(out1).all()
+
+
+class TestEvaluateBatching:
+    def test_results_independent_of_batch_size(self):
+        model = nn.Sequential(nn.Linear(4, 2))
+
+        class Wrap(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = model
+
+            def forward(self, x):
+                return self.inner(x if isinstance(x, Tensor) else Tensor(x))
+
+        wrap = Wrap()
+        x = np.random.default_rng(2).normal(size=(33, 4))
+        y = np.random.default_rng(3).integers(0, 2, 33)
+        metric = lambda out, t: float((out.argmax(-1) == t).mean())
+        a = evaluate(wrap, x, y, metric, batch_size=8)
+        b = evaluate(wrap, x, y, metric, batch_size=64)
+        assert a == b
+
+
+class TestTaskDataValidation:
+    def test_split_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TaskData(
+                name="bad",
+                train_x=np.zeros((4, 2)),
+                train_y=np.zeros(3),
+                eval_x=np.zeros((2, 2)),
+                eval_y=np.zeros(2),
+                num_classes=2,
+                metric_name="accuracy",
+                metric_fn=lambda o, t: 0.0,
+            )
+
+    def test_eval_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TaskData(
+                name="bad",
+                train_x=np.zeros((4, 2)),
+                train_y=np.zeros(4),
+                eval_x=np.zeros((2, 2)),
+                eval_y=np.zeros(5),
+                num_classes=2,
+                metric_name="accuracy",
+                metric_fn=lambda o, t: 0.0,
+            )
+
+
+class TestQATConfigKnobs:
+    def test_kd_weight_zero_skips_teacher(self):
+        """With kd_weight=0 the teacher is never queried (loss identical
+        to training without a teacher)."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(16, 4))
+        y = rng.integers(0, 2, 16)
+
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(4, 2)
+
+            def forward(self, inp):
+                return self.fc(inp if isinstance(inp, Tensor) else Tensor(inp))
+
+        manual_seed(5)
+        m1 = M()
+        manual_seed(5)
+        m2 = M()
+        t1 = QATTrainer(m1, nn.cross_entropy, config=QATConfig(epochs=1, kd_weight=0.0))
+        manual_seed(6)
+        t1.fit(x, y)
+        teacher = M()
+        t2 = QATTrainer(
+            m2, nn.cross_entropy, teacher=teacher, config=QATConfig(epochs=1, kd_weight=0.0)
+        )
+        manual_seed(6)
+        t2.fit(x, y)
+        assert np.allclose(m1.fc.weight.data, m2.fc.weight.data)
