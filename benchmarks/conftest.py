@@ -6,15 +6,67 @@ written to ``benchmarks/results/`` so a plain ``pytest benchmarks/
 
 Accuracy benchmarks honour ``REPRO_PROFILE`` (smoke/fast/full; default
 fast) and reuse ``.repro_cache`` across runs.
+
+All benchmark tests are registered under the ``slow`` marker, so quick
+local loops can deselect them with ``-m "not slow"`` (CI's tier-1 job
+runs the full suite — the benchmarks replay the committed cache).  The
+harness also emits wall-clock timings to
+``benchmarks/results/timings.json``:
+
+- one entry per benchmark test (``tests``), and
+- one entry per computed experiment cell (``cells``), drained from the
+  parallel executor — the per-(experiment, task, method) trajectory that
+  makes perf regressions visible run over run.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+_TEST_TIMINGS: dict = {}
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test under benchmarks/ as slow."""
+    bench_dir = Path(__file__).parent.resolve()
+    for item in items:
+        try:
+            in_benchmarks = bench_dir in Path(str(item.fspath)).resolve().parents
+        except OSError:
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    _TEST_TIMINGS[item.nodeid] = round(time.perf_counter() - start, 6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write per-test and per-cell wall-clock timings for this run."""
+    if not _TEST_TIMINGS:
+        return
+    try:
+        from repro.experiments.executor import drain_cell_timings
+
+        cells = drain_cell_timings()
+    except ImportError:
+        cells = []
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": 1,
+        "tests": _TEST_TIMINGS,
+        "cells": cells,
+    }
+    (RESULTS_DIR / "timings.json").write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

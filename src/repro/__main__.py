@@ -4,15 +4,20 @@ Commands
 --------
 list
     Show the available experiments and effort profiles.
-run ARTEFACT [--profile NAME]
+run ARTEFACT [--profile NAME] [--jobs N]
     Regenerate one paper artefact (``fig1``, ``fig5``, ``fig6``,
-    ``table1`` … ``table4``) and print it.
-all [--profile NAME]
+    ``table1`` … ``table4``) and print it.  Every artefact name also
+    works as a direct command (``python -m repro table1 --jobs 4``).
+all [--profile NAME] [--jobs N]
     Regenerate everything (the analytical artefacts first, then the
     training-based ones).
 info
     Print the package/version and the configuration of the analytical
     accelerator.
+
+``--jobs N`` shards the training-based experiment grid across N worker
+processes; per-cell seeding keeps the metrics bit-identical to a serial
+run.  The default comes from the ``REPRO_JOBS`` env var (1 = serial).
 """
 
 from __future__ import annotations
@@ -23,17 +28,18 @@ from typing import List, Optional
 
 from . import __version__
 from .experiments import PROFILES, fig1, fig5, fig6, get_profile, table1, table2, table3, table4
+from .experiments.executor import default_jobs
 
 ANALYTICAL = {
-    "fig1": lambda _profile: fig1.format_table(fig1.run()),
-    "fig6": lambda _profile: fig6.format_table(fig6.run()),
-    "table2": lambda _profile: table2.format_table(table2.run()),
-    "table4": lambda _profile: table4.format_table(table4.run()),
+    "fig1": lambda _profile, _jobs: fig1.format_table(fig1.run()),
+    "fig6": lambda _profile, _jobs: fig6.format_table(fig6.run()),
+    "table2": lambda _profile, _jobs: table2.format_table(table2.run()),
+    "table4": lambda _profile, _jobs: table4.format_table(table4.run()),
 }
 TRAINED = {
-    "table1": lambda profile: table1.render(table1.run(profile=profile)),
-    "table3": lambda profile: table3.render(table3.run(profile=profile)),
-    "fig5": lambda profile: fig5.format_table(fig5.run(profile=profile)),
+    "table1": lambda profile, jobs: table1.render(table1.run(profile=profile, jobs=jobs)),
+    "table3": lambda profile, jobs: table3.render(table3.run(profile=profile, jobs=jobs)),
+    "fig5": lambda profile, jobs: fig5.format_table(fig5.run(profile=profile, jobs=jobs)),
 }
 ARTEFACTS = {**ANALYTICAL, **TRAINED}
 
@@ -41,7 +47,7 @@ ARTEFACTS = {**ANALYTICAL, **TRAINED}
 def cmd_list() -> str:
     lines = ["analytical artefacts (instant):"]
     lines.extend(f"  {name}" for name in sorted(ANALYTICAL))
-    lines.append("training-based artefacts (honour --profile):")
+    lines.append("training-based artefacts (honour --profile and --jobs):")
     lines.extend(f"  {name}" for name in sorted(TRAINED))
     lines.append(f"profiles: {', '.join(sorted(PROFILES))} (default: fast)")
     return "\n".join(lines)
@@ -64,6 +70,21 @@ def cmd_info() -> str:
     )
 
 
+def _add_effort_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", default="", help="smoke | fast | full")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="worker processes for the experiment grid (default: REPRO_JOBS or 1)",
+    )
+
+
+def _render(name: str, profile_name: str, jobs: int) -> str:
+    profile = get_profile(profile_name) if name in TRAINED else None
+    return ARTEFACTS[name](profile, max(1, jobs))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -71,9 +92,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("info", help="show package and accelerator configuration")
     run_parser = sub.add_parser("run", help="regenerate one artefact")
     run_parser.add_argument("artefact", choices=sorted(ARTEFACTS))
-    run_parser.add_argument("--profile", default="", help="smoke | fast | full")
+    _add_effort_args(run_parser)
     all_parser = sub.add_parser("all", help="regenerate every artefact")
-    all_parser.add_argument("--profile", default="", help="smoke | fast | full")
+    _add_effort_args(all_parser)
+    for name in sorted(ARTEFACTS):
+        artefact_parser = sub.add_parser(name, help=f"regenerate {name}")
+        _add_effort_args(artefact_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -81,13 +105,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "info":
         print(cmd_info())
     elif args.command == "run":
-        profile = get_profile(args.profile) if args.artefact in TRAINED else None
-        print(ARTEFACTS[args.artefact](profile))
+        print(_render(args.artefact, args.profile, args.jobs))
+    elif args.command in ARTEFACTS:
+        print(_render(args.command, args.profile, args.jobs))
     elif args.command == "all":
         for name in ["fig1", "fig6", "table2", "table4", "table1", "table3", "fig5"]:
-            profile = get_profile(args.profile) if name in TRAINED else None
             print(f"\n===== {name} =====")
-            print(ARTEFACTS[name](profile))
+            print(_render(name, args.profile, args.jobs))
     else:
         parser.print_help()
         return 2

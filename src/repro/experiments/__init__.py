@@ -6,12 +6,16 @@ Accuracy experiments honour the ``REPRO_PROFILE`` env var
 (smoke / fast / full) and cache finished metrics in ``.repro_cache/``.
 """
 
-from . import cache, fig1, fig5, fig6, table1, table2, table3, table4
+from . import cache, executor, fig1, fig5, fig6, store, table1, table2, table3, table4
+from .executor import ExperimentCell, RunReport, run_cells
 from .profiles import PROFILES, Profile, get_profile
 from .runner import (
     METHOD_NAMES,
+    clear_teacher_memo,
     evaluate_zcsr,
     format_table,
+    glue_teacher,
+    llama_teacher,
     method_config,
     pretrain_llama,
     pretrain_teacher,
@@ -19,9 +23,22 @@ from .runner import (
     quantized_llama,
     run_glue_task,
     run_segmentation,
+    segmentation_teacher,
 )
+from .store import ResultStore, get_store
 
 __all__ = [
+    "executor",
+    "store",
+    "ExperimentCell",
+    "RunReport",
+    "run_cells",
+    "ResultStore",
+    "get_store",
+    "clear_teacher_memo",
+    "glue_teacher",
+    "segmentation_teacher",
+    "llama_teacher",
     "fig1",
     "fig5",
     "fig6",

@@ -1,48 +1,48 @@
-"""Tiny JSON metric cache so repeated benchmark runs skip retraining.
+"""Metric cache API, now backed by the hardened :mod:`.store`.
 
-Keyed by experiment/task/method/profile.  Disable with ``REPRO_CACHE=0``;
-the cache directory defaults to ``.repro_cache`` under the current working
-directory (override with ``REPRO_CACHE_DIR``).
+Kept as a thin compatibility layer: callers keyed float metrics by
+experiment/task/method/profile strings, and that interface stays.  The
+underlying files are schema-versioned records with collision-free names
+and atomic writes (see :class:`repro.experiments.store.ResultStore`);
+legacy files written by older versions remain readable.
+
+Disable with ``REPRO_CACHE=0``; the cache directory defaults to
+``.repro_cache`` under the current working directory (override with
+``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Optional
+
+from .store import ResultStore, default_root, store_enabled
 
 
 def cache_enabled() -> bool:
-    return os.environ.get("REPRO_CACHE", "1") != "0"
+    return store_enabled()
 
 
 def cache_dir() -> Path:
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    return default_root()
 
 
 def _path(key: str) -> Path:
-    safe = key.replace("/", "_").replace(" ", "_").replace("=", "-")
-    return cache_dir() / f"{safe}.json"
+    return ResultStore().path_for(key)
 
 
 def load(key: str) -> Optional[float]:
-    if not cache_enabled():
-        return None
-    path = _path(key)
-    if not path.exists():
+    value = ResultStore().load(key)
+    if value is None:
         return None
     try:
-        return float(json.loads(path.read_text())["value"])
-    except (json.JSONDecodeError, KeyError, ValueError):
+        return float(value)
+    except (TypeError, ValueError):
         return None
 
 
-def store(key: str, value: float) -> None:
-    if not cache_enabled():
-        return
-    cache_dir().mkdir(parents=True, exist_ok=True)
-    _path(key).write_text(json.dumps({"key": key, "value": float(value)}))
+def store(key: str, value: float, metadata: Optional[Dict[str, Any]] = None) -> None:
+    ResultStore().store(key, float(value), metadata=metadata)
 
 
 def cached(key: str, compute: Callable[[], float]) -> float:

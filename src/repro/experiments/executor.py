@@ -1,0 +1,246 @@
+"""Parallel sharded experiment execution.
+
+Every training-based artefact decomposes into a grid of independent
+*cells* — one (experiment, task, method) combination each.  This module
+shards the missing cells of that grid across worker processes
+(``concurrent.futures.ProcessPoolExecutor``) while keeping results
+**bit-identical** to a serial run:
+
+- Each cell re-seeds the global generator itself (``manual_seed(seed)``
+  before teacher training, ``manual_seed(seed + 1)`` before QAT — see
+  :mod:`.runner`), so its metric never depends on which process computes
+  it or in which order.
+- Teachers are deterministic functions of ``(task, profile, seed)`` and
+  are memoized per process (:mod:`.runner`), so a worker that handles
+  several methods of the same task trains the teacher once, exactly like
+  the old serial loop did.
+- Workers only *compute*; the parent process writes every finished cell
+  to the :class:`~repro.experiments.store.ResultStore` (atomic,
+  collision-free), so concurrent runs can never corrupt the cache.
+
+``run_cells`` is the single entry point; the table/figure modules build
+their grids with :class:`ExperimentCell` and read the returned mapping.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .profiles import Profile
+from .store import ResultStore, get_store
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One unit of parallel work: a single (experiment, task, method) run.
+
+    ``key`` identifies the cell in the result store and in the mapping
+    returned by :func:`run_cells`.  When ``item_prefix`` is set the cell's
+    computed value must be a dict and each item is stored individually
+    under ``f"{item_prefix}/{name}"`` (used by table3, whose per-method
+    cells score several reasoning tasks at once).
+    """
+
+    key: str
+    kind: str
+    profile: Profile
+    task: str = ""
+    method: str = ""
+    psum_bits: int = 8
+    seed: int = 0
+    tasks: Tuple[str, ...] = ()
+    item_prefix: str = ""
+
+
+def _run_glue_cell(cell: ExperimentCell) -> float:
+    from .runner import run_glue_task
+
+    return run_glue_task(
+        cell.task,
+        cell.profile,
+        methods=[cell.method],
+        psum_bits=cell.psum_bits,
+        seed=cell.seed,
+    )[cell.method]
+
+
+def _run_segmentation_cell(cell: ExperimentCell) -> float:
+    from .runner import run_segmentation
+
+    return run_segmentation(
+        cell.task, cell.profile, methods=[cell.method], seed=cell.seed
+    )[cell.method]
+
+
+def _run_llama_cell(cell: ExperimentCell) -> Dict[str, float]:
+    from .runner import evaluate_zcsr, llama_teacher, quantized_llama
+
+    teacher = llama_teacher(cell.profile, seed=cell.seed)
+    student = quantized_llama(teacher, cell.method, cell.profile, seed=cell.seed)
+    return evaluate_zcsr(student, list(cell.tasks), cell.profile.zcsr_examples)
+
+
+CELL_KINDS: Dict[str, Callable[[ExperimentCell], Any]] = {
+    "glue": _run_glue_cell,
+    "segmentation": _run_segmentation_cell,
+    "llama": _run_llama_cell,
+}
+
+
+def compute_cell(cell: ExperimentCell) -> Any:
+    """Run one cell in the current process (deterministic per cell)."""
+    try:
+        worker = CELL_KINDS[cell.kind]
+    except KeyError:
+        raise KeyError(f"unknown cell kind {cell.kind!r}; options: {sorted(CELL_KINDS)}")
+    return worker(cell)
+
+
+def _compute_cell_timed(cell: ExperimentCell) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    value = compute_cell(cell)
+    return value, time.perf_counter() - start
+
+
+def _init_worker(dtype_name: str) -> None:
+    from ..tensor.tensor import set_default_dtype
+
+    set_default_dtype(dtype_name)
+
+
+# ----------------------------------------------------------------------
+# Timing log (drained by the benchmark harness)
+# ----------------------------------------------------------------------
+
+_CELL_TIMINGS: List[Dict[str, Any]] = []
+
+
+def cell_timings() -> List[Dict[str, Any]]:
+    """Per-cell wall-clock records accumulated in this process."""
+    return list(_CELL_TIMINGS)
+
+
+def drain_cell_timings() -> List[Dict[str, Any]]:
+    records = list(_CELL_TIMINGS)
+    _CELL_TIMINGS.clear()
+    return records
+
+
+# ----------------------------------------------------------------------
+# Sharded execution
+# ----------------------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` env var, default 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class RunReport:
+    """What :func:`run_cells` did: cache hits vs computed cells."""
+
+    hits: int = 0
+    computed: int = 0
+    jobs: int = 1
+    durations: Dict[str, float] = field(default_factory=dict)
+
+
+def run_cells(
+    cells: Sequence[ExperimentCell],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    report: Optional[RunReport] = None,
+) -> Dict[str, Any]:
+    """Resolve every cell, sharding cache-missing ones across processes.
+
+    Returns ``{cell.key: value}``.  Results are identical for any ``jobs``
+    value because each cell's computation is independently seeded.  The
+    parent process performs all store writes.
+    """
+    seen = set()
+    for cell in cells:
+        if cell.key in seen:
+            raise ValueError(f"duplicate cell key {cell.key!r}")
+        seen.add(cell.key)
+
+    store = store if store is not None else get_store()
+    report = report if report is not None else RunReport()
+    report.jobs = jobs
+    results: Dict[str, Any] = {}
+    pending: List[ExperimentCell] = []
+    for cell in cells:
+        hit = None if cell.item_prefix else store.load(cell.key)
+        if hit is None:
+            pending.append(cell)
+        else:
+            results[cell.key] = hit
+            report.hits += 1
+
+    if jobs > 1 and len(pending) > 1:
+        from ..tensor.tensor import default_dtype
+
+        workers = min(jobs, len(pending))
+        # The initializer replicates process-global config in each worker.
+        # Under fork this is redundant; under spawn it is what keeps a
+        # programmatically-set dtype (set_default_dtype without the
+        # REPRO_DTYPE env var) identical between serial and parallel runs.
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(default_dtype().__name__,),
+        ) as pool:
+            futures = {pool.submit(_compute_cell_timed, cell): cell for cell in pending}
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell = futures[future]
+                    value, duration = future.result()
+                    _record(store, cell, value, duration, jobs, results, report)
+    else:
+        for cell in pending:
+            value, duration = _compute_cell_timed(cell)
+            _record(store, cell, value, duration, jobs, results, report)
+    return results
+
+
+def _record(
+    store: ResultStore,
+    cell: ExperimentCell,
+    value: Any,
+    duration: float,
+    jobs: int,
+    results: Dict[str, Any],
+    report: RunReport,
+) -> None:
+    from ..tensor.tensor import default_dtype
+
+    metadata = {
+        "kind": cell.kind,
+        "profile": cell.profile.name,
+        "seed": cell.seed,
+        "duration_s": round(duration, 6),
+        "jobs": jobs,
+        "dtype": str(default_dtype().__name__),
+    }
+    if cell.item_prefix and isinstance(value, dict):
+        for name, item in value.items():
+            store.store(f"{cell.item_prefix}/{name}", item, metadata=metadata)
+    else:
+        store.store(cell.key, value, metadata=metadata)
+    results[cell.key] = value
+    report.computed += 1
+    report.durations[cell.key] = duration
+    _CELL_TIMINGS.append({"key": cell.key, "kind": cell.kind, "duration_s": duration})

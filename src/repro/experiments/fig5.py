@@ -17,9 +17,8 @@ from ..accelerator import (
     bert_base_workload,
     model_energy,
 )
-from . import cache
+from .executor import ExperimentCell, run_cells
 from .profiles import Profile, get_profile
-from .runner import run_glue_task
 
 PSUM_BITS = (8, 6, 4)
 GS_VALUES = (1, 2, 3, 4)
@@ -40,40 +39,42 @@ def energy_curve() -> Dict[str, float]:
     return curve
 
 
-def accuracy_curve(profile: Optional[Profile] = None) -> Dict[str, float]:
+def build_cells(profile: Profile) -> Dict[str, ExperimentCell]:
+    """{curve point: cell} for the MRPC accuracy sweep."""
+    cells = {
+        "Baseline": ExperimentCell(
+            key=f"fig5/{profile.name}/mrpc/Baseline",
+            kind="glue",
+            profile=profile,
+            task="MRPC",
+            method="Baseline",
+        )
+    }
+    for bits in PSUM_BITS:
+        for gs in GS_VALUES:
+            cells[f"INT{bits}/gs={gs}"] = ExperimentCell(
+                key=f"fig5/{profile.name}/mrpc/INT{bits}/gs={gs}",
+                kind="glue",
+                profile=profile,
+                task="MRPC",
+                method=f"gs={gs}",
+                psum_bits=bits,
+            )
+    return cells
+
+
+def accuracy_curve(profile: Optional[Profile] = None, jobs: int = 1) -> Dict[str, float]:
     """MRPC accuracy for each (bits, gs) point plus the W8A8 baseline."""
     profile = profile or get_profile()
-    results: Dict[str, float] = {}
-
-    baseline_key = f"fig5/{profile.name}/mrpc/Baseline"
-    hit = cache.load(baseline_key)
-    if hit is None:
-        hit = run_glue_task("MRPC", profile, methods=["Baseline"])["Baseline"]
-        cache.store(baseline_key, hit)
-    results["Baseline"] = hit
-
-    for bits in PSUM_BITS:
-        missing = [
-            gs for gs in GS_VALUES
-            if cache.load(f"fig5/{profile.name}/mrpc/INT{bits}/gs={gs}") is None
-        ]
-        if missing:
-            fresh = run_glue_task(
-                "MRPC", profile, methods=[f"gs={gs}" for gs in missing], psum_bits=bits
-            )
-            for method, value in fresh.items():
-                cache.store(f"fig5/{profile.name}/mrpc/INT{bits}/{method}", value)
-        for gs in GS_VALUES:
-            results[f"INT{bits}/gs={gs}"] = cache.load(
-                f"fig5/{profile.name}/mrpc/INT{bits}/gs={gs}"
-            )
-    return results
+    cells = build_cells(profile)
+    values = run_cells(list(cells.values()), jobs=jobs)
+    return {point: values[cell.key] for point, cell in cells.items()}
 
 
-def run(profile: Optional[Profile] = None) -> Dict[str, Dict[str, float]]:
+def run(profile: Optional[Profile] = None, jobs: int = 1) -> Dict[str, Dict[str, float]]:
     """Fig. 5 data: {point: {"energy":..., "accuracy": ...}}."""
     energy = energy_curve()
-    accuracy = accuracy_curve(profile)
+    accuracy = accuracy_curve(profile, jobs=jobs)
     return {
         point: {"energy": energy.get(point), "accuracy": accuracy.get(point)}
         for point in energy

@@ -8,7 +8,8 @@ the grouping strategy).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import nn
 from ..data import TaskData, make_glue_task, make_lm_corpus, make_segmentation_task
@@ -36,6 +37,35 @@ from ..tensor import manual_seed
 from .profiles import Profile
 
 METHOD_NAMES: List[str] = ["Baseline", "gs=1", "gs=2", "gs=3", "gs=4"]
+
+# ----------------------------------------------------------------------
+# Teacher memoization
+# ----------------------------------------------------------------------
+# A teacher is a deterministic function of (family, task, profile, seed):
+# training starts from `manual_seed(seed)` and draws every random number
+# from the freshly-reset global generator, so two processes that build the
+# same key produce bit-identical teachers.  Memoizing per process lets a
+# parallel worker that handles several methods of one task train the
+# teacher once — the same sharing the old serial per-row loop had —
+# without affecting results (student QAT re-seeds with `seed + 1`).
+
+_TEACHER_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
+_TEACHER_MEMO_CAP = 8
+
+
+def _memoized_teacher(key: tuple, build: Callable[[], object]) -> object:
+    if key in _TEACHER_MEMO:
+        _TEACHER_MEMO.move_to_end(key)
+        return _TEACHER_MEMO[key]
+    value = build()
+    _TEACHER_MEMO[key] = value
+    while len(_TEACHER_MEMO) > _TEACHER_MEMO_CAP:
+        _TEACHER_MEMO.popitem(last=False)
+    return value
+
+
+def clear_teacher_memo() -> None:
+    _TEACHER_MEMO.clear()
 
 
 def method_config(method: str, pci: int = 8, psum_bits: int = 8) -> PsumQuantConfig:
@@ -99,6 +129,28 @@ def qat_student(
     return evaluate(student, task.eval_x, task.eval_y, task.metric_fn)
 
 
+def glue_teacher(
+    task_name: str, profile: Profile, seed: int = 0
+) -> Tuple[TaskData, nn.Module]:
+    """Task data + pretrained float teacher (memoized per process)."""
+
+    def build() -> Tuple[TaskData, nn.Module]:
+        task = make_glue_task(
+            task_name, n_train=profile.bert_train, n_eval=profile.bert_eval
+        )
+        manual_seed(seed)
+        teacher = pretrain_teacher(
+            make_bert(task),
+            task,
+            profile.bert_pretrain_epochs,
+            profile.pretrain_lr,
+            profile.batch_size,
+        )
+        return task, teacher
+
+    return _memoized_teacher(("glue", task_name, profile, seed), build)
+
+
 def run_glue_task(
     task_name: str,
     profile: Profile,
@@ -108,11 +160,7 @@ def run_glue_task(
 ) -> Dict[str, float]:
     """Baseline + APSQ metrics for one GLUE task (one Table-I row)."""
     methods = methods or METHOD_NAMES
-    task = make_glue_task(task_name, n_train=profile.bert_train, n_eval=profile.bert_eval)
-    manual_seed(seed)
-    teacher = pretrain_teacher(
-        make_bert(task), task, profile.bert_pretrain_epochs, profile.pretrain_lr, profile.batch_size
-    )
+    task, teacher = glue_teacher(task_name, profile, seed=seed)
     results: Dict[str, float] = {}
     for method in methods:
         manual_seed(seed + 1)
@@ -139,6 +187,32 @@ def make_seg_model(arch: str) -> nn.Module:
     raise KeyError(f"unknown segmentation architecture {arch!r}")
 
 
+def segmentation_teacher(
+    arch: str, profile: Profile, seed: int = 0
+) -> Tuple[TaskData, nn.Module]:
+    """Segmentation task data + pretrained teacher (memoized per process)."""
+    if arch not in ("segformer", "efficientvit"):
+        raise KeyError(f"unknown segmentation architecture {arch!r}")
+
+    def build() -> Tuple[TaskData, nn.Module]:
+        from ..data.segmentation import SegmentationSpec
+
+        task = make_segmentation_task(
+            SegmentationSpec(n_train=profile.seg_train, n_eval=profile.seg_eval)
+        )
+        manual_seed(seed)
+        teacher = pretrain_teacher(
+            make_seg_model(arch),
+            task,
+            profile.seg_pretrain_epochs,
+            profile.pretrain_lr,
+            profile.seg_batch_size,
+        )
+        return task, teacher
+
+    return _memoized_teacher(("segmentation", arch, profile, seed), build)
+
+
 def run_segmentation(
     arch: str,
     profile: Profile,
@@ -147,19 +221,7 @@ def run_segmentation(
 ) -> Dict[str, float]:
     """Baseline + APSQ mIoU for one CV model (one Table-I row)."""
     methods = methods or METHOD_NAMES
-    from ..data.segmentation import SegmentationSpec
-
-    task = make_segmentation_task(
-        SegmentationSpec(n_train=profile.seg_train, n_eval=profile.seg_eval)
-    )
-    manual_seed(seed)
-    teacher = pretrain_teacher(
-        make_seg_model(arch),
-        task,
-        profile.seg_pretrain_epochs,
-        profile.pretrain_lr,
-        profile.seg_batch_size,
-    )
+    task, teacher = segmentation_teacher(arch, profile, seed=seed)
     results: Dict[str, float] = {}
     for method in methods:
         manual_seed(seed + 1)
@@ -178,6 +240,13 @@ def run_segmentation(
 # ----------------------------------------------------------------------
 # LLaMA / ZCSR
 # ----------------------------------------------------------------------
+def llama_teacher(profile: Profile, seed: int = 0) -> LlamaTiny:
+    """Pretrained causal-LM teacher (memoized per process)."""
+    return _memoized_teacher(
+        ("llama", profile, seed), lambda: pretrain_llama(profile, seed=seed)
+    )
+
+
 def pretrain_llama(profile: Profile, seed: int = 0) -> LlamaTiny:
     manual_seed(seed)
     model = LlamaTiny(LlamaConfig())

@@ -1,0 +1,174 @@
+"""Hardened experiment result store.
+
+Replaces the ad-hoc JSON metric cache with schema-versioned records:
+
+- **Collision-free keys** — filenames embed a hash of the raw key, so
+  distinct keys can never map to the same file (the legacy sanitizer
+  collapsed ``"gs=1"`` and ``"gs-1"`` onto one path).
+- **Atomic writes** — records land via a temp file + :func:`os.replace`,
+  so a killed run can never leave a half-written record behind.
+- **Schema-versioned records** — each file carries ``schema``, the raw
+  ``key``, the ``value`` (any JSON value, not just a bare float) and a
+  ``metadata`` dict (wall-clock duration, profile, dtype, …).
+- **Corruption is loud** — unreadable records log a warning and read as
+  a miss instead of silently vanishing.
+
+Legacy records written by the old ``cache`` module are still readable:
+on a miss at the hashed path, :meth:`ResultStore.load_record` falls back
+to the legacy sanitized path and accepts the file only if its embedded
+``key`` matches (which also neutralizes legacy collisions).
+
+Environment:
+
+- ``REPRO_CACHE=0`` disables the store entirely.
+- ``REPRO_CACHE_DIR`` overrides the root (default ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+SCHEMA_VERSION = 2
+
+_SAFE_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def default_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def store_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def _slug(key: str) -> str:
+    return "".join(c if c in _SAFE_CHARS else "_" for c in key)
+
+
+def _legacy_slug(key: str) -> str:
+    """The old sanitizer (collision-prone: ``=`` and ``-`` collide)."""
+    return key.replace("/", "_").replace(" ", "_").replace("=", "-")
+
+
+class ResultStore:
+    """Schema-versioned, atomically-written JSON record store."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
+        self.root = Path(root) if root is not None else default_root()
+        self.enabled = store_enabled() if enabled is None else enabled
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Collision-free record path: readable slug + key hash."""
+        digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:10]
+        return self.root / f"{_slug(key)[:120]}.{digest}.json"
+
+    def legacy_path_for(self, key: str) -> Path:
+        return self.root / f"{_legacy_slug(key)}.json"
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def load_record(self, key: str) -> Optional[Dict[str, Any]]:
+        """Full record for ``key`` (normalized to schema v2), or None."""
+        if not self.enabled:
+            return None
+        record = self._read(self.path_for(key), key)
+        if record is not None:
+            return record
+        # Fall back to a legacy file, accepting it only when the embedded
+        # key matches (legacy filenames are not collision-free).
+        legacy = self._read(self.legacy_path_for(key), key)
+        if legacy is not None and legacy.get("key") == key:
+            return legacy
+        return None
+
+    def load(self, key: str) -> Optional[Any]:
+        record = self.load_record(key)
+        return None if record is None else record.get("value")
+
+    def _read(self, path: Path, key: str) -> Optional[Dict[str, Any]]:
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+            if not isinstance(record, dict) or "value" not in record:
+                raise ValueError("record is not an object with a 'value' field")
+        except (OSError, ValueError) as exc:
+            logger.warning("corrupt result record for %r at %s: %s", key, path, exc)
+            return None
+        record.setdefault("schema", 1)
+        record.setdefault("key", key)
+        record.setdefault("metadata", {})
+        return record
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+    def store(self, key: str, value: Any, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically persist a schema-v2 record for ``key``."""
+        if not self.enabled:
+            return
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "value": value,
+            "metadata": dict(metadata or {}),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=final.stem, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def migrate_legacy(self) -> int:
+        """Rewrite legacy (schema-1) files to hashed schema-2 paths.
+
+        Returns the number of migrated records.  Legacy files without an
+        embedded key are skipped (their original key is unrecoverable).
+        """
+        if not self.root.is_dir():
+            return 0
+        migrated = 0
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                logger.warning("skipping unreadable record %s during migration", path)
+                continue
+            if not isinstance(record, dict) or record.get("schema", 1) >= SCHEMA_VERSION:
+                continue
+            key = record.get("key")
+            if not isinstance(key, str) or "value" not in record:
+                continue
+            self.store(key, record["value"], metadata=record.get("metadata"))
+            if self.path_for(key) != path:
+                path.unlink()
+            migrated += 1
+        return migrated
+
+
+def get_store() -> ResultStore:
+    """A store bound to the current environment (cheap to construct)."""
+    return ResultStore()

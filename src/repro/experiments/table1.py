@@ -10,30 +10,46 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..data import GLUE_TASK_NAMES
-from . import cache
+from .executor import ExperimentCell, run_cells
 from .profiles import Profile, get_profile
-from .runner import METHOD_NAMES, format_table, run_glue_task, run_segmentation
+from .runner import METHOD_NAMES, format_table
 
 SEG_ARCHS = ("segformer", "efficientvit")
 SEG_ROW_NAMES = {"segformer": "Segformer-B0", "efficientvit": "EfficientViT-B1"}
 
 
-def _cached_row(prefix: str, methods: List[str], compute) -> Dict[str, float]:
-    """Fill one table row, computing only cache-missing methods."""
-    row: Dict[str, float] = {}
-    missing = []
-    for method in methods:
-        hit = cache.load(f"{prefix}/{method}")
-        if hit is None:
-            missing.append(method)
-        else:
-            row[method] = hit
-    if missing:
-        fresh = compute(missing)
-        for method, value in fresh.items():
-            cache.store(f"{prefix}/{method}", value)
-            row[method] = value
-    return row
+def build_cells(
+    profile: Profile,
+    glue_tasks: List[str],
+    include_segmentation: bool,
+    methods: List[str],
+) -> List[ExperimentCell]:
+    """The (task, method) grid behind Table I, one cell per metric."""
+    cells: List[ExperimentCell] = []
+    for task_name in glue_tasks:
+        for method in methods:
+            cells.append(
+                ExperimentCell(
+                    key=f"table1/{profile.name}/bert/{task_name}/{method}",
+                    kind="glue",
+                    profile=profile,
+                    task=task_name,
+                    method=method,
+                )
+            )
+    if include_segmentation:
+        for arch in SEG_ARCHS:
+            for method in methods:
+                cells.append(
+                    ExperimentCell(
+                        key=f"table1/{profile.name}/{arch}/ade20k/{method}",
+                        kind="segmentation",
+                        profile=profile,
+                        task=arch,
+                        method=method,
+                    )
+                )
+    return cells
 
 
 def run(
@@ -41,27 +57,26 @@ def run(
     glue_tasks: Optional[List[str]] = None,
     include_segmentation: bool = True,
     methods: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
-    """Compute Table I: {row: {method: metric}}."""
+    """Compute Table I: {row: {method: metric}}, sharded over ``jobs``."""
     profile = profile or get_profile()
     methods = methods or METHOD_NAMES
     glue_tasks = glue_tasks if glue_tasks is not None else list(GLUE_TASK_NAMES)
+
+    cells = build_cells(profile, glue_tasks, include_segmentation, methods)
+    values = run_cells(cells, jobs=jobs)
+
     rows: Dict[str, Dict[str, float]] = {}
-
     for task_name in glue_tasks:
-        rows[f"BERT {task_name}"] = _cached_row(
-            f"table1/{profile.name}/bert/{task_name}",
-            methods,
-            lambda missing, t=task_name: run_glue_task(t, profile, methods=missing),
-        )
-
+        rows[f"BERT {task_name}"] = {
+            m: values[f"table1/{profile.name}/bert/{task_name}/{m}"] for m in methods
+        }
     if include_segmentation:
         for arch in SEG_ARCHS:
-            rows[SEG_ROW_NAMES[arch]] = _cached_row(
-                f"table1/{profile.name}/{arch}/ade20k",
-                methods,
-                lambda missing, a=arch: run_segmentation(a, profile, methods=missing),
-            )
+            rows[SEG_ROW_NAMES[arch]] = {
+                m: values[f"table1/{profile.name}/{arch}/ade20k/{m}"] for m in methods
+            }
     return rows
 
 

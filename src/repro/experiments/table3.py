@@ -12,45 +12,53 @@ from typing import Dict, List, Optional
 
 from ..data import ZCSR_TASK_NAMES
 from . import cache
+from .executor import ExperimentCell, run_cells
 from .profiles import Profile, get_profile
-from .runner import (
-    METHOD_NAMES,
-    evaluate_zcsr,
-    format_table,
-    pretrain_llama,
-    quantized_llama,
-)
+from .runner import METHOD_NAMES, format_table
 
 
 def run(
     profile: Optional[Profile] = None,
     methods: Optional[List[str]] = None,
     task_names: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
-    """Compute Table III: {task: {method: accuracy}} plus a float reference."""
+    """Compute Table III: {task: {method: accuracy}}, sharded over ``jobs``.
+
+    One cell per *method* (quantizing + QAT-finetuning the LM dominates;
+    scoring the reasoning tasks rides along), with each task's accuracy
+    stored individually so partial runs and subsets share the cache.
+    """
     profile = profile or get_profile()
     methods = methods or METHOD_NAMES
     task_names = task_names or list(ZCSR_TASK_NAMES)
 
     results: Dict[str, Dict[str, float]] = {m: {} for m in methods}
-    missing = []
+    cells: List[ExperimentCell] = []
     for method in methods:
+        missing = []
         for task in task_names:
             hit = cache.load(f"table3/{profile.name}/{method}/{task}")
             if hit is None:
-                if method not in missing:
-                    missing.append(method)
+                missing.append(task)
             else:
                 results[method][task] = hit
+        if missing:
+            cells.append(
+                ExperimentCell(
+                    key=f"table3/{profile.name}/{method}",
+                    kind="llama",
+                    profile=profile,
+                    method=method,
+                    tasks=tuple(missing),
+                    item_prefix=f"table3/{profile.name}/{method}",
+                )
+            )
 
-    if missing:
-        teacher = pretrain_llama(profile)
-        for method in missing:
-            model = quantized_llama(teacher, method, profile)
-            scores = evaluate_zcsr(model, task_names, profile.zcsr_examples)
-            for task, value in scores.items():
-                cache.store(f"table3/{profile.name}/{method}/{task}", value)
-                results[method][task] = value
+    if cells:
+        values = run_cells(cells, jobs=jobs)
+        for cell in cells:
+            results[cell.method].update(values[cell.key])
 
     rows: Dict[str, Dict[str, float]] = {}
     for task in task_names:

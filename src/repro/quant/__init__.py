@@ -7,7 +7,9 @@ from .attention import (
 )
 from .functional import (
     fake_quant_values,
+    fake_quant_values_batched,
     lsq_fake_quant,
+    lsq_fake_quant_batched,
     lsq_init_scale,
     po2_ste,
     po2_values,
@@ -23,6 +25,7 @@ from .psum import (
     apsq_config,
     baseline_config,
     split_reduction,
+    split_reduction_stacked,
 )
 from .qat import QATConfig, QATTrainer, evaluate, iterate_minibatches
 from .qlayers import (
@@ -59,6 +62,8 @@ __all__ = [
     "po2_ste",
     "po2_values",
     "lsq_fake_quant",
+    "lsq_fake_quant_batched",
+    "fake_quant_values_batched",
     "lsq_init_scale",
     "fake_quant_values",
     "quantize_int_values",
@@ -70,6 +75,7 @@ __all__ = [
     "apsq_config",
     "TiledPsumAccumulator",
     "split_reduction",
+    "split_reduction_stacked",
     "QuantLinear",
     "QuantConv2d",
     "PsumQuantizedLinear",

@@ -29,7 +29,7 @@ from ..nn.attention import MultiHeadAttention, _merge_heads, _split_heads, apply
 from ..nn.module import Module
 from ..tensor import Tensor, softmax, tril_mask
 from .lsq import LSQQuantizer
-from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator, split_reduction
+from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator, split_reduction_stacked
 
 
 class PsumQuantizedMatmul(Module):
@@ -64,7 +64,7 @@ class PsumQuantizedMatmul(Module):
         num_tiles = self.config.num_tiles(k)
         if self.config.mode is PsumMode.BASELINE or num_tiles < self.config.min_tiles:
             return aq @ bq
-        tiles = split_reduction(aq, bq, self.config.pci)
+        tiles = split_reduction_stacked(aq, bq, self.config.pci)
         return self._accumulator_for(num_tiles)(tiles)
 
     def extra_repr(self) -> str:

@@ -88,6 +88,58 @@ def lsq_fake_quant(
     return make_op(out_data, (x, scale), backward)
 
 
+def fake_quant_values_batched(
+    x: np.ndarray, scales: np.ndarray, qn: int, qp: int
+) -> np.ndarray:
+    """Vectorized quantize→dequantize with one scale per leading index.
+
+    ``x`` is a stack of tiles ``(k, …)``; ``scales`` has shape ``(k,)``.
+    Equivalent to applying :func:`fake_quant_values` tile-by-tile, in one
+    batched numpy pass.
+    """
+    s = np.maximum(np.asarray(scales, dtype=x.dtype), SCALE_EPS)
+    s = s.reshape((-1,) + (1,) * (x.ndim - 1))
+    return np.clip(np.round(x / s), qn, qp) * s
+
+
+def lsq_fake_quant_batched(
+    x: Tensor,
+    scales: Tensor,
+    qn: int,
+    qp: int,
+    grad_scale: Optional[float] = None,
+) -> Tensor:
+    """LSQ fake quantization of a tile stack with per-tile learned steps.
+
+    ``x`` has shape ``(k, …)`` and ``scales`` shape ``(k,)`` — tile ``i``
+    is quantized with ``scales[i]``, exactly like ``k`` independent
+    :func:`lsq_fake_quant` calls but in one batched numpy operation.  The
+    per-tile scale gradient matches the scalar op (Esser et al.), with
+    ``grad_scale`` defaulting to ``1/sqrt(tile_elems · qp)``.
+    """
+    k = x.shape[0]
+    if scales.shape != (k,):
+        raise ValueError(f"expected {k} scales, got shape {scales.shape}")
+    s = np.maximum(scales.data, SCALE_EPS).reshape((k,) + (1,) * (x.ndim - 1))
+    v = x.data / s
+    q = np.clip(np.round(v), qn, qp)
+    out_data = q * s
+    if grad_scale is None:
+        tile_elems = max(x.data.size // max(k, 1), 1)
+        grad_scale = 1.0 / np.sqrt(max(tile_elems * qp, 1))
+    gs_val = float(grad_scale)
+    reduce_axes = tuple(range(1, x.data.ndim))
+
+    def backward(g: np.ndarray):
+        inside = (v >= qn) & (v <= qp)
+        gx = g * inside
+        ds_elem = np.where(v <= qn, qn, np.where(v >= qp, qp, q - v))
+        gscales = (g * ds_elem).sum(axis=reduce_axes) * gs_val
+        return gx, gscales.reshape(scales.shape)
+
+    return make_op(out_data, (x, scales), backward)
+
+
 def lsq_init_scale(x: np.ndarray, qp: int) -> float:
     """LSQ's recommended scale init: ``2·E|x| / sqrt(qp)``."""
     mean_abs = float(np.abs(x).mean())

@@ -25,15 +25,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..nn.module import Module
 from ..nn.container import ModuleList
-from ..tensor import Tensor
+from ..tensor import Tensor, concat, make_op, stack
+from .functional import fake_quant_values_batched, lsq_fake_quant_batched, po2_ste
 from .lsq import LSQQuantizer
 from .spec import INT8, QuantSpec
+
+Tiles = Union[Tensor, Sequence[Tensor]]
 
 
 class PsumMode(enum.Enum):
@@ -127,80 +130,181 @@ class TiledPsumAccumulator(Module):
         self.psum_reads = 0
 
     # ------------------------------------------------------------------
-    def forward(self, tiles: List[Tensor]) -> Tensor:
-        if len(tiles) != self.num_tiles:
-            raise ValueError(f"expected {self.num_tiles} tiles, got {len(tiles)}")
+    def forward(self, tiles: Tiles) -> Tensor:
+        """Accumulate a tile stack ``(np, …)`` or a list of tile tensors.
+
+        The stacked form (from :func:`split_reduction_stacked`) is the
+        fast path — every per-tile Python iteration that can be batched
+        runs as one numpy op over the leading tile axis.
+        """
+        if isinstance(tiles, Tensor):
+            stacked = tiles
+            if stacked.shape[0] != self.num_tiles:
+                raise ValueError(
+                    f"expected {self.num_tiles} tiles, got {stacked.shape[0]}"
+                )
+        else:
+            if len(tiles) != self.num_tiles:
+                raise ValueError(f"expected {self.num_tiles} tiles, got {len(tiles)}")
+            stacked = stack(list(tiles), axis=0)
         if self.config.mode is PsumMode.BASELINE:
-            return self._accumulate_baseline(tiles)
+            return self._accumulate_baseline(stacked)
         if self.config.mode is PsumMode.PSQ:
-            return self._accumulate_psq(tiles)
-        return self._accumulate_apsq(tiles)
+            return self._accumulate_psq(stacked)
+        return self._accumulate_apsq(stacked)
 
-    def _accumulate_baseline(self, tiles: List[Tensor]) -> Tensor:
-        out = tiles[0]
-        for tile in tiles[1:]:
-            out = out + tile
+    # ------------------------------------------------------------------
+    # Batched per-tile quantization
+    # ------------------------------------------------------------------
+    def _quantize_indices(self, stacked: Tensor, indices: List[int]) -> Tensor:
+        """Quantize ``stacked[indices]`` with their per-tile LSQ scales.
+
+        One batched fake-quant op replaces ``len(indices)`` sequential
+        quantizer calls; gradients still reach every scale parameter
+        (they are stacked into the graph with :func:`stack`).
+        """
+        sub = stacked if len(indices) == self.num_tiles else stacked[indices]
+        selected = [self.quantizers[i] for i in indices]
+        if any("forward" in vars(q) for q in selected):
+            # Instance-instrumented quantizers (PTQ observers) must see
+            # their inputs — take the per-tile module path.
+            return stack([q(sub[i]) for i, q in enumerate(selected)], axis=0)
+        for quantizer, i in zip(selected, range(len(indices))):
+            if not quantizer._initialized:
+                quantizer.initialize_from(sub.data[i])
+        spec = self.config.psum_spec
+        if not self.training:
+            scales = np.array([q.effective_scale for q in selected])
+            return Tensor(fake_quant_values_batched(sub.data, scales, spec.qn, spec.qp))
+        scales = stack([q.scale for q in selected], axis=0)
+        if selected[0].po2_scale:
+            scales = po2_ste(scales)
+        return lsq_fake_quant_batched(sub, scales, spec.qn, spec.qp)
+
+    # ------------------------------------------------------------------
+    # Accumulation modes
+    # ------------------------------------------------------------------
+    def _accumulate_baseline(self, stacked: Tensor) -> Tensor:
         # Full-precision PSUM is written/read once per accumulation step.
-        self.psum_writes += len(tiles) - 1
-        self.psum_reads += len(tiles) - 1
-        return out
+        self.psum_writes += self.num_tiles - 1
+        self.psum_reads += self.num_tiles - 1
+        return stacked.sum(axis=0)
 
-    def _accumulate_psq(self, tiles: List[Tensor]) -> Tensor:
+    def _accumulate_psq(self, stacked: Tensor) -> Tensor:
         """Prior-work PSQ: quantize every tile independently, sum at the end."""
-        out = self.quantizers[0](tiles[0])
-        for i, tile in enumerate(tiles[1:], start=1):
-            out = out + self.quantizers[i](tile)
-        self.psum_writes += len(tiles)
-        self.psum_reads += len(tiles)
-        return out
+        quantized = self._quantize_indices(stacked, list(range(self.num_tiles)))
+        self.psum_writes += self.num_tiles
+        self.psum_reads += self.num_tiles
+        return quantized.sum(axis=0)
 
-    def _accumulate_apsq(self, tiles: List[Tensor]) -> Tensor:
-        """Algorithm 1: grouped additive PSUM quantization.
+    def _accumulate_apsq(self, stacked: Tensor) -> Tensor:
+        """Algorithm 1: grouped additive PSUM quantization, as one fused op.
 
         Group starts hold APSQ steps (fold the previous group's dequantized
         sum into the quantizer input, Eq. 10); other positions store plain
         PSUM-quantized tiles.  The final tile's quantization yields To.
+
+        The whole accumulation runs as a single autograd node: the forward
+        walk is pure numpy (no per-tile graph construction) and the
+        hand-written backward replays the group chain in reverse, writing
+        one dense gradient for the tile stack and one scalar LSQ-rule
+        gradient per scale — the same values the per-tile op graph would
+        produce, without materializing a zeros-stack per tile access.
         """
         np_tiles = self.num_tiles
         gs = self.config.gs
         if np_tiles == 1:
             self.psum_writes += 1
-            return self.quantizers[0](tiles[0])
+            return self.quantizers[0](stacked[0])
 
-        prev_group_sum: Optional[Tensor] = None
+        spec = self.config.psum_spec
+        qn, qp = spec.qn, spec.qp
+        x = stacked.data
+        quantizers = list(self.quantizers)
+        # Straight-through po2 snapping and the SCALE_EPS clamp happen in
+        # effective_scale; gradients treat the snap as identity (STE).
+        saved_v: dict = {}
+
+        def quantize(i: int, z: np.ndarray) -> np.ndarray:
+            q_mod = quantizers[i]
+            if "forward" in vars(q_mod):
+                # Instance-instrumented quantizer (PTQ observers): route
+                # through the module so the hook sees its input.  Backward
+                # state still follows the STE formula on the same input.
+                out = q_mod(Tensor(z)).data
+                saved_v[i] = (z / q_mod.effective_scale, q_mod.effective_scale)
+                return out
+            if not q_mod._initialized:
+                q_mod.initialize_from(z)
+            s = q_mod.effective_scale
+            v = z / s
+            out = np.clip(np.round(v), qn, qp) * s
+            saved_v[i] = (v, s)
+            return out
+
+        # ---- forward: Algorithm 1 in plain numpy --------------------------
+        plain_of_group: List[range] = []
+        prev: Optional[np.ndarray] = None
+        out: Optional[np.ndarray] = None
+        boundaries: List[int] = []
         for start in range(0, np_tiles, gs):
-            # --- APSQ step at the group boundary (Algorithm 1 lines 4-7).
-            if prev_group_sum is None:
-                ap = self.quantizers[start](tiles[start])  # AP*_0 = Q(Tp_0)
-            else:
-                ap = self.quantizers[start](prev_group_sum + tiles[start])
+            boundaries.append(start)
+            ap = quantize(start, x[start] if prev is None else prev + x[start])
             self.psum_writes += 1
             if start == np_tiles - 1:
-                return ap  # To = AP_{np-1}
+                plain_of_group.append(range(0))
+                out = ap
+                break
+            plain_hi = min(start + gs, np_tiles - 1)
+            plain_of_group.append(range(start + 1, plain_hi))
+            acc = ap
+            for j in plain_of_group[-1]:
+                acc = acc + quantize(j, x[j])
+                self.psum_writes += 1
+            self.psum_reads += 1 + len(plain_of_group[-1])
+            if start < np_tiles - 1 < start + gs:
+                self.psum_writes += 1
+                out = quantize(np_tiles - 1, acc + x[np_tiles - 1])
+                break
+            prev = acc
+        assert out is not None, "loop must produce To via the final tile"
 
-            group_stored = [ap]
-            # --- PSQ inside the group (Algorithm 1 lines 8-16).
-            for j in range(start + 1, min(start + gs, np_tiles)):
-                if j < np_tiles - 1:
-                    group_stored.append(self.quantizers[j](tiles[j]))
-                    self.psum_writes += 1
-                else:
-                    # Final output tile (lines 12-14): read the group back,
-                    # accumulate with the last PSUM tile and quantize once.
-                    acc = group_stored[0]
-                    for stored in group_stored[1:]:
-                        acc = acc + stored
-                    self.psum_reads += len(group_stored)
-                    self.psum_writes += 1
-                    return self.quantizers[np_tiles - 1](acc + tiles[j])
+        # ---- backward: replay the chain in reverse ------------------------
+        grad_scale_factor = 1.0 / np.sqrt(max(x[0].size * qp, 1))
 
-            acc = group_stored[0]
-            for stored in group_stored[1:]:
-                acc = acc + stored
-            self.psum_reads += len(group_stored)
-            prev_group_sum = acc
+        def lsq_grads(i: int, g: np.ndarray):
+            """(input grad, scale grad) of quantizer ``i`` (Esser et al.)."""
+            v, _s = saved_v[i]
+            inside = (v >= qn) & (v <= qp)
+            gz = g * inside
+            ds = np.where(v <= qn, qn, np.where(v >= qp, qp, np.round(v) - v))
+            gscale = (g * ds).sum() * grad_scale_factor
+            return gz, gscale
 
-        raise AssertionError("unreachable: loop must return via the final tile")
+        scales = [q.scale for q in quantizers]
+
+        def backward(g: np.ndarray):
+            grad_tiles = np.empty_like(x)
+            grad_scales = [None] * np_tiles
+            final = np_tiles - 1
+            g_acc, grad_scales[final] = lsq_grads(final, g)
+            grad_tiles[final] = g_acc
+            # When To sits on a group boundary its group is already done.
+            skip = 2 if boundaries[-1] == final else 1
+            groups = range(len(boundaries) - skip, -1, -1)
+            for gi in groups:
+                start = boundaries[gi]
+                for j in plain_of_group[gi]:
+                    grad_tiles[j], grad_scales[j] = lsq_grads(j, g_acc)
+                g_acc, grad_scales[start] = lsq_grads(start, g_acc)
+                grad_tiles[start] = g_acc
+            scale_grads = tuple(
+                np.array(gs_val).reshape(scales[i].shape)
+                for i, gs_val in enumerate(grad_scales)
+            )
+            return (grad_tiles,) + scale_grads
+
+        return make_op(out, [stacked] + scales, backward)
 
     def reset_stats(self) -> None:
         self.psum_writes = 0
@@ -225,3 +329,58 @@ def split_reduction(x: Tensor, w_t: Tensor, pci: int) -> List[Tensor]:
         hi = min(lo + pci, ci)
         tiles.append(x[..., lo:hi] @ w_t[..., lo:hi, :])
     return tiles
+
+
+def _pad_reduction(t: Tensor, pad: int, axis: int) -> Tensor:
+    """Zero-extend ``t`` along ``axis`` (padding lanes contribute 0 MACs)."""
+    shape = list(t.shape)
+    shape[axis] = pad
+    zeros = Tensor(np.zeros(tuple(shape), dtype=t.data.dtype))
+    return concat([t, zeros], axis=axis)
+
+
+def split_reduction_stacked(x: Tensor, w_t: Tensor, pci: int) -> Tensor:
+    """All PSUM tiles of Eq. 8 in one batched matmul: shape ``(np, …)``.
+
+    Equivalent to :func:`split_reduction` followed by stacking on a new
+    leading axis, but the ``np`` per-tile GEMMs run as a single batched
+    numpy matmul — the uneven tail is zero-padded (padding lanes multiply
+    to exactly 0.0, so tile values are unchanged).  This is the hot path
+    for :class:`PsumQuantizedLinear` / :class:`PsumQuantizedConv2d` /
+    the attention matmuls.
+    """
+    ci = x.shape[-1]
+    if w_t.shape[-2] != ci:
+        raise ValueError(f"reduction mismatch: x has {ci}, w has {w_t.shape[-2]}")
+    np_tiles = -(-ci // pci)
+    n_out = w_t.shape[-1]
+    if x.ndim < 2 or np_tiles == 1 or (w_t.ndim > 2 and x.shape[:-2] != w_t.shape[:-2]):
+        # Vector inputs, a single tile, or broadcast batch shapes: the
+        # plain per-tile loop handles every corner numpy would.
+        return stack(split_reduction(x, w_t, pci), axis=0)
+
+    padded = np_tiles * pci
+    if padded != ci:
+        x = _pad_reduction(x, padded - ci, axis=-1)
+        w_t = _pad_reduction(w_t, padded - ci, axis=-2)
+
+    if w_t.ndim == 2:
+        # Static weight: lead both operands with the tile axis and let the
+        # weight broadcast across x's batch dims.  Every per-batch GEMM and
+        # every gradient reduction then has exactly the shapes the per-tile
+        # loop produced, so results (and training trajectories) are
+        # bit-identical to it — just without the Python-level tile loop.
+        x_batch = x.shape[:-1]
+        xr = x.reshape(*x_batch, np_tiles, pci)
+        xr = xr.transpose(len(x_batch), *range(len(x_batch)), len(x_batch) + 1)
+        wr = w_t.reshape(np_tiles, *(1,) * (len(x_batch) - 1), pci, n_out)
+        return xr @ wr
+
+    # Batched operand (attention): identical leading batch shapes, folded
+    # into a single axis next to the tile axis.
+    batch = x.shape[:-2]
+    b = int(np.prod(batch))
+    t = x.shape[-2]
+    xr = x.reshape(b, t, np_tiles, pci).transpose(2, 0, 1, 3)  # (np, b, t, pci)
+    wr = w_t.reshape(b, np_tiles, pci, n_out).transpose(1, 0, 2, 3)  # (np, b, pci, n)
+    return (xr @ wr).reshape(np_tiles, *batch, t, n_out)

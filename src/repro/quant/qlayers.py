@@ -13,7 +13,7 @@ from ..nn.linear import Linear
 from ..nn.module import Module
 from ..tensor import Tensor, im2col
 from .lsq import LSQQuantizer
-from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator, split_reduction
+from .psum import PsumMode, PsumQuantConfig, TiledPsumAccumulator, split_reduction_stacked
 
 
 class QuantLinear(Module):
@@ -71,7 +71,7 @@ class PsumQuantizedLinear(Module):
         if not self.tiled:
             out = xq @ wq.T
         else:
-            tiles = split_reduction(xq, wq.T, self.config.pci)
+            tiles = split_reduction_stacked(xq, wq.T, self.config.pci)
             out = self.accumulator(tiles)
         if self.bias is not None:
             out = out + self.bias
@@ -148,5 +148,5 @@ class PsumQuantizedConv2d(QuantConv2d):
         w_t = wq.reshape(c.out_channels, -1).T
         if not self.tiled:
             return cols @ w_t
-        tiles = split_reduction(cols, w_t, self.config.pci)
+        tiles = split_reduction_stacked(cols, w_t, self.config.pci)
         return self.accumulator(tiles)

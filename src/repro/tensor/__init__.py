@@ -24,13 +24,22 @@ from .ops import (
     where,
 )
 from .random import get_generator, manual_seed
-from .tensor import Tensor, as_tensor, make_op, unbroadcast
+from .tensor import (
+    Tensor,
+    as_tensor,
+    default_dtype,
+    make_op,
+    set_default_dtype,
+    unbroadcast,
+)
 
 __all__ = [
     "Tensor",
     "as_tensor",
     "make_op",
     "unbroadcast",
+    "default_dtype",
+    "set_default_dtype",
     "no_grad",
     "enable_grad",
     "is_grad_enabled",

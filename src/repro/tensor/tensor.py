@@ -14,6 +14,7 @@ are built with :func:`make_op`, the same primitive used internally.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -23,13 +24,53 @@ from .autograd import is_grad_enabled
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
-DEFAULT_DTYPE = np.float64
+_DTYPE_NAMES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "f32": np.float32,
+    "f64": np.float64,
+}
 
 
-def _as_array(value: TensorLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+def _resolve_dtype(name) -> type:
+    if isinstance(name, type) and name in (np.float32, np.float64):
+        return name
+    key = str(name).lower()
+    if key not in _DTYPE_NAMES:
+        raise ValueError(
+            f"unsupported dtype {name!r}; options: float32, float64 "
+            "(set via REPRO_DTYPE or set_default_dtype)"
+        )
+    return _DTYPE_NAMES[key]
+
+
+# float64 stays the default so gradcheck keeps full precision; float32 is
+# the fast path for training/benchmark runs (REPRO_DTYPE=float32).
+DEFAULT_DTYPE = _resolve_dtype(os.environ.get("REPRO_DTYPE", "float64"))
+
+
+def default_dtype() -> type:
+    """The dtype new tensors are created with (float64 unless overridden)."""
+    return DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> type:
+    """Set the process-wide default float dtype; returns the previous one.
+
+    Accepts ``np.float32``/``np.float64`` or their names.  Existing
+    tensors keep their dtype; mixing is safe (numpy promotes), but a
+    whole-run toggle is cheapest set before any tensor is created.
+    """
+    global DEFAULT_DTYPE
+    previous = DEFAULT_DTYPE
+    DEFAULT_DTYPE = _resolve_dtype(dtype)
+    return previous
+
+
+def _as_array(value: TensorLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype or DEFAULT_DTYPE)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -396,10 +437,15 @@ class Tensor:
         if isinstance(index, Tensor):
             index = index.data.astype(np.int64)
         out_data = self.data[index]
+        basic = _is_basic_index(index)
 
         def backward(g: np.ndarray):
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, index, g)
+            grad = np.zeros(self.data.shape, dtype=self.data.dtype)
+            if basic:
+                # Basic indexing never aliases: direct write beats np.add.at.
+                grad[index] = g
+            else:
+                np.add.at(grad, index, g)
             return (grad,)
 
         return make_op(out_data, (self,), backward)
@@ -418,6 +464,14 @@ class Tensor:
 
     def __le__(self, other: TensorLike) -> np.ndarray:
         return self.data <= _as_array(other)
+
+
+def _is_basic_index(index) -> bool:
+    """True for numpy *basic* indexing (ints/slices/ellipsis), which selects
+    each element at most once — its gradient scatter is a plain assignment."""
+    if isinstance(index, tuple):
+        return all(_is_basic_index(i) for i in index)
+    return index is None or index is Ellipsis or isinstance(index, (int, np.integer, slice))
 
 
 def as_tensor(value: TensorLike) -> Tensor:

@@ -1,0 +1,165 @@
+"""Tests for the sharded experiment executor and the hardened result store."""
+
+import json
+import logging
+
+import pytest
+
+from repro.experiments import PROFILES, cache, table1
+from repro.experiments.executor import (
+    CELL_KINDS,
+    ExperimentCell,
+    RunReport,
+    compute_cell,
+    run_cells,
+)
+from repro.experiments.store import ResultStore
+
+SMOKE = PROFILES["smoke"]
+
+
+@pytest.fixture(autouse=True)
+def _tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CACHE", "1")
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_key_collision_regression(self):
+        """``gs=1`` and ``gs-1`` used to sanitize onto the same file."""
+        assert cache._path("table1/gs=1") != cache._path("table1/gs-1")
+        cache.store("table1/gs=1", 0.25)
+        cache.store("table1/gs-1", 0.75)
+        assert cache.load("table1/gs=1") == 0.25
+        assert cache.load("table1/gs-1") == 0.75
+
+    def test_records_are_schema_versioned_with_metadata(self):
+        store = ResultStore()
+        store.store("exp/task/m", 0.5, metadata={"duration_s": 1.25})
+        record = json.loads(store.path_for("exp/task/m").read_text())
+        assert record["schema"] == 2
+        assert record["key"] == "exp/task/m"
+        assert record["value"] == 0.5
+        assert record["metadata"]["duration_s"] == 1.25
+
+    def test_corrupt_record_warns_and_misses(self, caplog):
+        cache.store("k3", 1.0)
+        cache._path("k3").write_text("{not json")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.store"):
+            assert cache.load("k3") is None
+        assert any("corrupt" in r.message for r in caplog.records)
+
+    def test_atomic_write_leaves_no_temp_files(self):
+        store = ResultStore()
+        for i in range(5):
+            store.store(f"key/{i}", float(i))
+        leftovers = list(store.root.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_legacy_record_readable_when_key_matches(self):
+        store = ResultStore()
+        store.root.mkdir(parents=True, exist_ok=True)
+        legacy = store.legacy_path_for("old/gs=1")
+        legacy.write_text(json.dumps({"key": "old/gs=1", "value": 0.5}))
+        assert store.load("old/gs=1") == 0.5
+        # The colliding legacy filename must NOT satisfy the other key.
+        assert store.legacy_path_for("old/gs-1") == legacy
+        assert store.load("old/gs-1") is None
+
+    def test_migrate_legacy_rewrites_records(self):
+        store = ResultStore()
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.legacy_path_for("mig/gs=2").write_text(
+            json.dumps({"key": "mig/gs=2", "value": 0.125})
+        )
+        assert store.migrate_legacy() == 1
+        assert not store.legacy_path_for("mig/gs=2").exists()
+        assert json.loads(store.path_for("mig/gs=2").read_text())["schema"] == 2
+        assert store.load("mig/gs=2") == 0.125
+
+    def test_disabled_store_is_inert(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        store = ResultStore()
+        store.store("k", 1.0)
+        assert store.load("k") is None
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+def _cell(key, **kwargs):
+    defaults = dict(kind="test-square", profile=SMOKE, task="t", method="m")
+    defaults.update(kwargs)
+    return ExperimentCell(key=key, **defaults)
+
+
+@pytest.fixture()
+def _square_kind(monkeypatch):
+    """A cheap deterministic cell kind for machinery tests."""
+    monkeypatch.setitem(CELL_KINDS, "test-square", lambda cell: cell.seed**2)
+    monkeypatch.setitem(
+        CELL_KINDS, "test-dict", lambda cell: {t: float(len(t)) for t in cell.tasks}
+    )
+
+
+class TestRunCells:
+    def test_caches_and_reports(self, _square_kind):
+        cells = [_cell(f"sq/{i}", seed=i) for i in range(4)]
+        report = RunReport()
+        values = run_cells(cells, jobs=1, report=report)
+        assert values == {f"sq/{i}": i**2 for i in range(4)}
+        assert (report.hits, report.computed) == (0, 4)
+
+        again = RunReport()
+        assert run_cells(cells, jobs=1, report=again) == values
+        assert (again.hits, again.computed) == (4, 0)
+
+    def test_parallel_jobs_match_serial(self, _square_kind, tmp_path, monkeypatch):
+        cells = [_cell(f"p/{i}", seed=i) for i in range(5)]
+        serial = run_cells(cells, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-par"))
+        parallel = run_cells(cells, jobs=3)
+        assert parallel == serial
+
+    def test_duplicate_keys_rejected(self, _square_kind):
+        with pytest.raises(ValueError):
+            run_cells([_cell("dup"), _cell("dup")])
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            compute_cell(_cell("x", kind="no-such-kind"))
+
+    def test_item_prefix_stores_per_item(self, _square_kind):
+        cell = _cell("agg", kind="test-dict", tasks=("BoolQ", "PIQA"), item_prefix="agg")
+        values = run_cells([cell], jobs=1)
+        assert values["agg"] == {"BoolQ": 5.0, "PIQA": 4.0}
+        store = ResultStore()
+        assert store.load("agg/BoolQ") == 5.0
+        assert store.load("agg/PIQA") == 4.0
+
+    def test_durations_recorded_in_metadata(self, _square_kind):
+        run_cells([_cell("timed", seed=3)], jobs=1)
+        record = ResultStore().load_record("timed")
+        assert record["metadata"]["duration_s"] >= 0.0
+        assert record["metadata"]["kind"] == "test-square"
+
+
+class TestEndToEndParallelEquality:
+    def test_table1_parallel_metrics_bit_identical_to_serial(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance property: sharding must not change any metric."""
+        kwargs = dict(
+            profile=SMOKE,
+            glue_tasks=["QNLI"],
+            include_segmentation=False,
+            methods=["Baseline", "gs=2"],
+        )
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = table1.run(jobs=1, **kwargs)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        parallel = table1.run(jobs=2, **kwargs)
+        assert parallel == serial  # exact float equality, not approx

@@ -1,0 +1,168 @@
+"""Tests for the vectorized PSUM fast path and the configurable dtype."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import (
+    PsumMode,
+    PsumQuantConfig,
+    PsumQuantizedLinear,
+    TiledPsumAccumulator,
+    apsq_config,
+    baseline_config,
+    split_reduction,
+    split_reduction_stacked,
+)
+from repro.tensor import Tensor, manual_seed, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+class TestSplitReductionStacked:
+    @pytest.mark.parametrize(
+        "x_shape,w_shape,pci",
+        [
+            ((3, 16), (16, 5), 4),     # 2-D, even tiles
+            ((2, 10), (10, 3), 4),     # uneven tail -> zero padding
+            ((2, 3, 8), (8, 4), 4),    # 3-D batch
+            ((2, 4, 5, 12), (12, 6), 4),  # 4-D batch, static weight
+        ],
+    )
+    def test_matches_per_tile_loop_bitwise(self, x_shape, w_shape, pci):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=x_shape))
+        w_t = Tensor(rng.normal(size=w_shape))
+        stacked = split_reduction_stacked(x, w_t, pci)
+        tiles = split_reduction(x, w_t, pci)
+        assert stacked.shape[0] == len(tiles)
+        for i, tile in enumerate(tiles):
+            assert np.array_equal(stacked.data[i], tile.data), f"tile {i}"
+
+    def test_batched_operand_matches_loop(self):
+        """Attention-style dynamic matmul: both operands batched."""
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(2, 3, 5, 16)))
+        b = Tensor(rng.normal(size=(2, 3, 16, 7)))
+        stacked = split_reduction_stacked(a, b, pci=4)
+        tiles = split_reduction(a, b, pci=4)
+        for i, tile in enumerate(tiles):
+            assert np.allclose(stacked.data[i], tile.data)
+
+    def test_gradients_match_per_tile_loop(self):
+        rng = np.random.default_rng(3)
+        x1 = Tensor(rng.normal(size=(4, 10)), requires_grad=True)
+        w1 = Tensor(rng.normal(size=(10, 3)), requires_grad=True)
+        split_reduction_stacked(x1, w1, pci=4).sum().backward()
+
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        w2 = Tensor(w1.data.copy(), requires_grad=True)
+        total = None
+        for tile in split_reduction(x2, w2, pci=4):
+            total = tile.sum() if total is None else total + tile.sum()
+        total.backward()
+
+        assert np.allclose(x1.grad, x2.grad)
+        assert np.allclose(w1.grad, w2.grad)
+
+    def test_reduction_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            split_reduction_stacked(Tensor(np.ones((2, 8))), Tensor(np.ones((9, 3))), 4)
+
+
+class TestAccumulatorStackedInput:
+    @pytest.mark.parametrize("mode", [PsumMode.BASELINE, PsumMode.PSQ, PsumMode.APSQ])
+    def test_stacked_equals_list_input(self, mode):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(6, 4, 5))
+        cfg = PsumQuantConfig(mode=mode, gs=2)
+        acc_list = TiledPsumAccumulator(6, cfg)
+        acc_stack = TiledPsumAccumulator(6, cfg)
+        out_list = acc_list([Tensor(data[i]) for i in range(6)])
+        out_stack = acc_stack(Tensor(data))
+        assert np.allclose(out_list.data, out_stack.data)
+        assert acc_list.psum_writes == acc_stack.psum_writes
+        assert acc_list.psum_reads == acc_stack.psum_reads
+
+    def test_wrong_stack_size_rejected(self):
+        acc = TiledPsumAccumulator(3, baseline_config())
+        with pytest.raises(ValueError):
+            acc(Tensor(np.zeros((2, 4, 4))))
+
+    def test_apsq_eval_mode_matches_training_values(self):
+        """The fused op uses one formula; train/eval must agree numerically."""
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(4, 3, 3))
+        acc = TiledPsumAccumulator(4, apsq_config(gs=2))
+        out_train = acc(Tensor(data))
+        acc.eval()
+        out_eval = acc(Tensor(data))
+        assert np.allclose(out_train.data, out_eval.data)
+
+
+class TestInstrumentedQuantizers:
+    def test_ptq_calibration_observes_psum_quantizers(self):
+        """The fused fast path must not bypass instance-level forward hooks
+        (PTQ's min-max observers patch each quantizer's forward)."""
+        from repro.quant import calibrate_model, quantize_model
+        from repro.models import BertConfig, BertTiny
+        from repro.quant.psum import TiledPsumAccumulator as Acc
+
+        manual_seed(0)
+        model = quantize_model(BertTiny(BertConfig(num_classes=2)), apsq_config(gs=2))
+        batch = np.zeros((4, 16), dtype=np.int64)
+        calibrate_model(model, [batch])
+        psum_quantizers = [
+            q for m in model.modules() if isinstance(m, Acc) for q in m.quantizers
+        ]
+        assert psum_quantizers
+        assert all(q._initialized for q in psum_quantizers)
+
+
+class TestDtypeToggle:
+    @pytest.fixture(autouse=True)
+    def _restore_dtype(self):
+        yield
+        set_default_dtype("float64")
+
+    def test_default_is_float64(self):
+        assert Tensor([1.0]).dtype == np.float64
+
+    def test_set_default_dtype_float32(self):
+        previous = set_default_dtype("float32")
+        assert previous == np.float64
+        assert Tensor([1.0]).dtype == np.float32
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("bfloat16")
+
+    def test_float32_psum_layer_parity(self):
+        """Forward + one training step agree across dtypes within tolerance."""
+        rng = np.random.default_rng(6)
+        x64 = rng.normal(size=(8, 32))
+
+        def run_once():
+            manual_seed(0)
+            layer = PsumQuantizedLinear(nn.Linear(32, 8), apsq_config(gs=2, pci=8))
+            x = Tensor(x64, requires_grad=True)
+            out = layer(x)
+            out.sum().backward()
+            return out.data.copy(), layer.weight.grad.copy()
+
+        out64, grad64 = run_once()
+        assert out64.dtype == np.float64
+        set_default_dtype("float32")
+        out32, grad32 = run_once()
+        assert out32.dtype == np.float32
+        assert np.allclose(out64, out32, atol=1e-3, rtol=1e-3)
+        assert np.allclose(grad64, grad32, atol=1e-3, rtol=1e-3)
+
+    def test_env_var_spelling(self):
+        from repro.tensor.tensor import _resolve_dtype
+
+        assert _resolve_dtype("f32") is np.float32
+        assert _resolve_dtype(np.float64) is np.float64
