@@ -1,0 +1,132 @@
+"""RAE integer-path bench: batched engine vs the scalar per-row oracle.
+
+The hardware-equivalence experiments execute quantized layers integer-only
+through the RAE simulator.  Before the batched datapath, the runner spun
+up a fresh Python engine per output row; this bench records the
+batched-vs-scalar wall-clock per cell in ``benchmarks/results/timings.json``
+and gates the speedup the refactor exists to deliver (≥ 5× on a 64-row
+layer — in practice it is far larger).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+
+from repro import nn
+from repro.experiments.executor import record_cell_timing
+from repro.quant import PsumQuantizedLinear, apsq_config
+from repro.rae import IntegerGemmRunner, reference_apsq_reduce
+from repro.tensor import Tensor, manual_seed
+
+ROWS = 64
+IN_FEATURES = 256
+OUT_FEATURES = 32
+GS = 2
+
+
+def make_calibrated_layer(gs=GS, in_features=IN_FEATURES, out_features=OUT_FEATURES):
+    manual_seed(0)
+    layer = PsumQuantizedLinear(
+        nn.Linear(in_features, out_features), apsq_config(gs=gs, pci=8)
+    )
+    rng = np.random.default_rng(0)
+    layer(Tensor(rng.normal(size=(16, in_features))))  # calibrate quantizers
+    layer.act_quantizer.scale.data = np.array(2.0**-4)
+    layer.weight_quantizer.scale.data = np.array(2.0**-5)
+    for i, q in enumerate(layer.accumulator.quantizers):
+        q.scale.data = np.array(2.0 ** (-6 + (i % 2)))
+    return layer
+
+
+def scalar_oracle_rows(tiles, exponents, gs):
+    """The pre-batching datapath: one scalar Algorithm 1 walk per row."""
+    stacked = np.stack(tiles)  # (num_tiles, N, Co)
+    rows = stacked.shape[1]
+    out = np.empty((rows, stacked.shape[2]), dtype=np.int64)
+    exp = exponents[-1]
+    for row in range(rows):
+        codes, exp = reference_apsq_reduce(list(stacked[:, row]), exponents, gs=gs)
+        out[row] = codes
+    return out, exp
+
+
+def best_of(fn, repeats):
+    """Minimum wall-clock over ``repeats`` runs (robust to CI scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_rae_integer_path_batched_speedup(results_dir):
+    layer = make_calibrated_layer()
+    runner = IntegerGemmRunner(layer, requant="shift")
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(ROWS, IN_FEATURES)) * 0.5
+    tiles, _ = runner.integer_tiles(x)
+    stacked = np.stack(tiles)  # (num_tiles, ROWS, Co)
+    exponents = list(runner.plan.exponents)
+
+    # Symmetric measurement — both sides time only the Algorithm 1
+    # reduction (no GEMM/quantize overhead on either) and take the best of
+    # several repeats so one scheduler stall cannot fail the CI gate.
+    runner.engine.reduce_batch(stacked, exponents)  # warm banks + schedule
+    (batched, t_batched) = best_of(
+        lambda: runner.engine.reduce_batch(stacked, exponents), repeats=5
+    )
+    ((oracle_codes, oracle_exp), t_scalar) = best_of(
+        lambda: scalar_oracle_rows(tiles, exponents, GS), repeats=3
+    )
+
+    # Bit-equality first: speed means nothing if the datapath drifted.
+    codes, exp = batched
+    assert exp == oracle_exp
+    assert np.array_equal(codes, oracle_codes)
+    batched_out = runner.run(x)
+    np.testing.assert_allclose(
+        batched_out - (layer.bias.data if layer.bias is not None else 0.0),
+        codes.astype(np.float64)
+        * (2.0**exp)
+        * (runner.plan.alphas[-1] / 2.0 ** runner.plan.exponents[-1]),
+    )
+
+    # Both cells are genuine wall-clock durations; the (dimensionless)
+    # speedup is derivable from them and lives in the saved report text.
+    speedup = t_scalar / max(t_batched, 1e-9)
+    record_cell_timing(f"rae_integer/{ROWS}rows/batched", "rae", t_batched)
+    record_cell_timing(f"rae_integer/{ROWS}rows/scalar", "rae", t_scalar)
+
+    save_result(
+        results_dir,
+        "rae_integer_path",
+        "RAE integer path — batched engine vs scalar per-row oracle\n"
+        f"layer: {IN_FEATURES}->{OUT_FEATURES}, pci=8 ({layer.num_tiles} tiles), "
+        f"gs={GS}, rows={ROWS}\n"
+        f"scalar  per-row oracle: {t_scalar * 1e3:8.2f} ms\n"
+        f"batched reduce_batch:   {t_batched * 1e3:8.2f} ms\n"
+        f"speedup: {speedup:.1f}x (gate: >= 5x)",
+    )
+    assert speedup >= 5.0, f"batched RAE path only {speedup:.1f}x faster"
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("gs", [1, 2, 3, 4])
+def test_batched_equality_smoke(gs):
+    """One cold batched-equality check per gs (run by the CI smoke job)."""
+    rng = np.random.default_rng(gs)
+    tiles = rng.integers(-20_000, 20_000, size=(7, 5, 16))
+    exponents = list(rng.integers(4, 9, size=7))
+    from repro.rae import RAEngine
+
+    engine = RAEngine(gs=gs, lanes=16)
+    codes, exp = engine.reduce_batch(tiles, exponents)
+    for row in range(5):
+        ref, ref_exp = reference_apsq_reduce(list(tiles[:, row]), exponents, gs=gs)
+        assert exp == ref_exp
+        assert np.array_equal(codes[row], ref)

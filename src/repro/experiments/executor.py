@@ -134,6 +134,17 @@ def drain_cell_timings() -> List[Dict[str, Any]]:
     return records
 
 
+def record_cell_timing(key: str, kind: str, duration_s: float) -> None:
+    """Log an externally-measured cell (microbenchmarks, hardware sims).
+
+    Records land next to the experiment cells in
+    ``benchmarks/results/timings.json`` when the benchmark harness drains
+    the log, giving one per-(experiment, method) wall-clock trajectory for
+    everything the suite times — not only executor-run cells.
+    """
+    _CELL_TIMINGS.append({"key": key, "kind": kind, "duration_s": round(duration_s, 6)})
+
+
 # ----------------------------------------------------------------------
 # Sharded execution
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..nn.module import Module
 from ..nn.container import ModuleList
+from ..rae.schedule import ReductionSchedule, StepKind
 from ..tensor import Tensor, concat, make_op, stack
 from .functional import fake_quant_values_batched, lsq_fake_quant_batched, po2_ste
 from .lsq import LSQQuantizer
@@ -204,6 +205,12 @@ class TiledPsumAccumulator(Module):
         sum into the quantizer input, Eq. 10); other positions store plain
         PSUM-quantized tiles.  The final tile's quantization yields To.
 
+        The control flow is the shared :class:`ReductionSchedule` — the
+        same step plan the RAE simulator executes in integer arithmetic —
+        so the QAT-time fake-quant walk and the hardware datapath cannot
+        drift apart.  PSUM read/write statistics come from the schedule's
+        analytical activity counts.
+
         The whole accumulation runs as a single autograd node: the forward
         walk is pure numpy (no per-tile graph construction) and the
         hand-written backward replays the group chain in reverse, writing
@@ -242,32 +249,28 @@ class TiledPsumAccumulator(Module):
             saved_v[i] = (v, s)
             return out
 
-        # ---- forward: Algorithm 1 in plain numpy --------------------------
-        plain_of_group: List[range] = []
+        # ---- forward: walk the shared schedule in plain numpy -------------
+        schedule = ReductionSchedule.for_reduction(np_tiles, gs)
+        boundaries = list(schedule.group_starts)
+        plain_of_group = list(schedule.plain_of_group)
         prev: Optional[np.ndarray] = None
         out: Optional[np.ndarray] = None
-        boundaries: List[int] = []
-        for start in range(0, np_tiles, gs):
-            boundaries.append(start)
-            ap = quantize(start, x[start] if prev is None else prev + x[start])
-            self.psum_writes += 1
-            if start == np_tiles - 1:
-                plain_of_group.append(range(0))
-                out = ap
+        acc: Optional[np.ndarray] = None
+        for step in schedule.steps:
+            xi = x[step.index]
+            if step.kind is StepKind.FINAL:
+                folded = acc if step.folds_stored else prev
+                out = quantize(step.index, xi if folded is None else folded + xi)
                 break
-            plain_hi = min(start + gs, np_tiles - 1)
-            plain_of_group.append(range(start + 1, plain_hi))
-            acc = ap
-            for j in plain_of_group[-1]:
-                acc = acc + quantize(j, x[j])
-                self.psum_writes += 1
-            self.psum_reads += 1 + len(plain_of_group[-1])
-            if start < np_tiles - 1 < start + gs:
-                self.psum_writes += 1
-                out = quantize(np_tiles - 1, acc + x[np_tiles - 1])
-                break
-            prev = acc
-        assert out is not None, "loop must produce To via the final tile"
+            if step.kind is StepKind.APSQ:
+                acc = quantize(step.index, xi if prev is None else prev + xi)
+            else:  # plain PSUM quantization inside the group
+                acc = acc + quantize(step.index, xi)
+            if step.closes_group:
+                prev = acc
+        assert out is not None, "the schedule must produce To via its FINAL step"
+        self.psum_writes += schedule.activity.bank_writes
+        self.psum_reads += schedule.activity.bank_reads
 
         # ---- backward: replay the chain in reverse ------------------------
         grad_scale_factor = 1.0 / np.sqrt(max(x[0].size * qp, 1))

@@ -5,10 +5,13 @@ from .config import CONFIG_TABLE, RAEModeConfig, mode_for_gs, s2_schedule
 from .engine import INT32_MAX, INT32_MIN, RAEngine, RAEStats, reference_apsq_reduce
 from .integration import (
     IntegerGemmRunner,
+    ScalePlan,
     layer_scales,
+    scale_plan,
     shift_exponent_error,
     shift_exponents,
 )
+from .schedule import ReductionActivity, ReductionSchedule, ReductionStep, StepKind
 from .shifter import ShiftQuantizer, shift_round
 from .timing import RAETiming, reduction_cycles, throughput_report
 
@@ -21,11 +24,17 @@ __all__ = [
     "RAEngine",
     "RAEStats",
     "reference_apsq_reduce",
+    "ReductionSchedule",
+    "ReductionStep",
+    "ReductionActivity",
+    "StepKind",
     "ShiftQuantizer",
     "shift_round",
     "INT32_MIN",
     "INT32_MAX",
     "IntegerGemmRunner",
+    "ScalePlan",
+    "scale_plan",
     "layer_scales",
     "shift_exponents",
     "shift_exponent_error",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 
@@ -9,27 +11,45 @@ class PsumBank:
     """One INT-k SRAM bank holding quantized PSUM tiles.
 
     A "word" is a whole lane vector (Po·Pco elements written in parallel);
-    capacity is expressed in tiles.  Reads/writes are counted for the
-    energy cross-checks against the analytical model.
+    capacity is expressed in tiles.  With ``rows`` set, the bank models
+    the batched datapath: each word is a 2-D ``(rows, lanes)`` block — one
+    independent reduction per row, written in a single call by the
+    vectorized engine.  Reads/writes are counted per word access for the
+    energy cross-checks against the analytical model (a batched access
+    touches ``rows`` logical words; the engine's :class:`RAEStats` account
+    for that via the schedule's analytical counts × rows).
     """
 
-    def __init__(self, capacity_tiles: int, lanes: int, bits: int = 8) -> None:
+    def __init__(
+        self,
+        capacity_tiles: int,
+        lanes: int,
+        bits: int = 8,
+        rows: Optional[int] = None,
+    ) -> None:
         if capacity_tiles < 1 or lanes < 1:
             raise ValueError("capacity and lanes must be >= 1")
+        if rows is not None and rows < 1:
+            raise ValueError("rows must be >= 1 when given")
         self.capacity_tiles = capacity_tiles
         self.lanes = lanes
         self.bits = bits
+        self.rows = rows
         self._qn = -(2 ** (bits - 1))
         self._qp = 2 ** (bits - 1) - 1
-        self._storage = np.zeros((capacity_tiles, lanes), dtype=np.int64)
+        self._storage = np.zeros((capacity_tiles,) + self.word_shape, dtype=np.int64)
         self._valid = np.zeros(capacity_tiles, dtype=bool)
         self.reads = 0
         self.writes = 0
 
+    @property
+    def word_shape(self) -> Tuple[int, ...]:
+        return (self.lanes,) if self.rows is None else (self.rows, self.lanes)
+
     def write(self, addr: int, codes: np.ndarray) -> None:
         codes = np.asarray(codes)
-        if codes.shape != (self.lanes,):
-            raise ValueError(f"expected {self.lanes} lanes, got {codes.shape}")
+        if codes.shape != self.word_shape:
+            raise ValueError(f"expected word shape {self.word_shape}, got {codes.shape}")
         if addr < 0 or addr >= self.capacity_tiles:
             raise IndexError(f"bank address {addr} out of range [0, {self.capacity_tiles})")
         if codes.min() < self._qn or codes.max() > self._qp:

@@ -7,20 +7,33 @@ on *integer* PSUM tiles (the INT32 values produced by the INT8 MAC array)
 and per-tile shift exponents (the power-of-two quantizer scales learned in
 QAT).
 
-``RAEngine.reduce(tiles, exponents)`` returns the INT8 output-tile codes
-plus the exponent of the final quantizer, and is verified integer-exactly
-against a direct transcription of Algorithm 1 in the tests.
+The control flow of Algorithm 1 is not re-encoded here: the engine walks
+the precomputed :class:`~repro.rae.schedule.ReductionSchedule` — the
+repo-wide single source of truth for the reduction — and supplies the
+integer arithmetic.  Two entry points share that walk:
+
+- ``reduce(tiles, exponents)`` — one reduction (a single output row),
+  returning the INT8 output-tile codes plus the final quantizer exponent.
+- ``reduce_batch(tiles, exponents)`` — ``N`` independent reductions at
+  once: ``tiles`` has shape ``(num_tiles, N, lanes)``, the banks store 2-D
+  ``(N, lanes)`` words, and every quantize/dequantize/add runs as one
+  vectorized numpy op across the batch.  Activity statistics come from the
+  schedule's analytical counts × N.
+
+Both are verified integer-exactly against the independent scalar oracle
+:func:`reference_apsq_reduce` in the tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .banks import PsumBank
 from .config import RAEModeConfig, mode_for_gs
+from .schedule import ReductionActivity, ReductionSchedule, StepKind
 from .shifter import ShiftQuantizer
 
 INT32_MIN, INT32_MAX = -(2**31), 2**31 - 1
@@ -39,6 +52,14 @@ class RAEStats:
     @property
     def total_bank_accesses(self) -> int:
         return self.bank_reads + self.bank_writes
+
+    def accumulate(self, activity: ReductionActivity, rows: int = 1) -> None:
+        """Add one schedule's analytical activity, scaled by batch rows."""
+        self.bank_reads += activity.bank_reads * rows
+        self.bank_writes += activity.bank_writes * rows
+        self.apsq_steps += activity.apsq_steps * rows
+        self.psq_steps += activity.psq_steps * rows
+        self.adder_ops += activity.adder_ops * rows
 
 
 class RAEngine:
@@ -69,37 +90,101 @@ class RAEngine:
         self.mode: RAEModeConfig = mode_for_gs(gs)
         self.gs = gs
         self.lanes = lanes
+        self.bits = bits
+        self.bank_capacity_tiles = bank_capacity_tiles
         self.quantizer = ShiftQuantizer(bits=bits, rounding=rounding)
-        self.banks = [
-            PsumBank(bank_capacity_tiles, lanes, bits=bits) for _ in range(self.NUM_BANKS)
-        ]
+        self._rows: Optional[int] = None
+        self.banks = self._make_banks(None)
         self.stats = RAEStats()
 
     # ------------------------------------------------------------------
+    def _make_banks(self, rows: Optional[int]) -> List[PsumBank]:
+        self._rows = rows
+        return [
+            PsumBank(self.bank_capacity_tiles, self.lanes, bits=self.bits, rows=rows)
+            for _ in range(self.NUM_BANKS)
+        ]
+
+    def _ensure_bank_rows(self, rows: Optional[int]) -> None:
+        """Re-shape bank storage when switching between scalar and batch.
+
+        Switching word shape reallocates the SRAM model (and its per-bank
+        access counters); the engine-level ``stats`` keep accumulating.
+        """
+        if rows != self._rows:
+            self.banks = self._make_banks(rows)
+
     def _check_int32(self, value: np.ndarray, what: str) -> np.ndarray:
         if value.min() < INT32_MIN or value.max() > INT32_MAX:
             raise OverflowError(f"{what} exceeds the 32-bit accumulator range")
         return value
 
-    def _bank_for(self, index_in_group: int) -> PsumBank:
-        """Bank assignment: group slot i lives in bank i (mod active banks)."""
-        return self.banks[index_in_group % self.mode.active_banks]
-
-    def _read_group(self, stored: List[tuple], addr: int) -> np.ndarray:
+    def _read_group(self, stored: List[tuple], addr: int, shape: tuple) -> np.ndarray:
         """Dequantize and sum the stored group via the two-stage adder tree."""
-        acc = np.zeros(self.lanes, dtype=np.int64)
-        for slot, exponent in stored:
-            codes = self._bank_for(slot).read(addr)
-            self.stats.bank_reads += 1
+        acc = np.zeros(shape, dtype=np.int64)
+        for bank, exponent in stored:
+            codes = self.banks[bank].read(addr)
             acc = acc + self.quantizer.dequantize(codes, exponent)
-            self.stats.adder_ops += 1
         return self._check_int32(acc, "group accumulation")
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        schedule: ReductionSchedule,
+        tiles: Sequence[np.ndarray],
+        exponents: Sequence[int],
+        addr: int,
+        psq_codes: Optional[dict] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Walk the schedule once; ``tiles[i]`` may be 1-D or 2-D words.
+
+        ``psq_codes`` optionally carries pre-quantized codes for the plain
+        PSQ steps (they have no sequential dependency, so the batched path
+        computes them all in one vectorized shifter call up front).
+        """
+        q = self.quantizer
+        prev: Optional[np.ndarray] = None
+        group_stored: List[tuple] = []
+        for step in schedule.steps:
+            tile = tiles[step.index]
+            exponent = exponents[step.index]
+
+            if step.kind is StepKind.FINAL:
+                if step.folds_stored:
+                    total = self._read_group(group_stored, addr, tile.shape) + tile
+                elif prev is not None:
+                    total = prev + tile
+                else:
+                    total = tile
+                codes = q.quantize(self._check_int32(total, "APSQ input"), exponent)
+                if step.writes_bank:
+                    self.banks[step.bank].write(addr, codes)
+                return codes, exponent
+
+            if step.kind is StepKind.APSQ:
+                value = tile if prev is None else prev + tile
+                codes = q.quantize(self._check_int32(value, "quantizer input"), exponent)
+            elif psq_codes is not None:
+                # Plain in-group quantization, precomputed by the batched
+                # pre-pass (the tile itself was range-checked on entry).
+                codes = psq_codes[step.index]
+            else:
+                codes = q.quantize(self._check_int32(tile, "quantizer input"), exponent)
+            self.banks[step.bank].write(addr, codes)
+            group_stored.append((step.bank, exponent))
+
+            if step.closes_group:
+                # Group complete: read it back for the next APSQ step.
+                prev = self._read_group(group_stored, addr, tile.shape)
+                group_stored = []
+
+        raise AssertionError("unreachable: the FINAL step returns inside the loop")
 
     # ------------------------------------------------------------------
     def reduce(
         self, tiles: Sequence[np.ndarray], exponents: Sequence[int], addr: int = 0
     ) -> tuple:
-        """Run Algorithm 1 over integer PSUM tiles.
+        """Run Algorithm 1 over integer PSUM tiles (one output row).
 
         ``tiles[i]`` is the INT32 PSUM tile of reduction round ``i``
         (shape ``(lanes,)``); ``exponents[i]`` the shift of quantizer
@@ -115,51 +200,55 @@ class RAEngine:
                 raise ValueError(f"tile shape {t.shape} != ({self.lanes},)")
             self._check_int32(t, "input PSUM tile")
 
-        num_tiles = len(tiles)
-        if num_tiles == 1:
-            codes = self.quantizer.quantize(tiles[0], exponents[0])
-            return codes, exponents[0]
+        schedule = ReductionSchedule.for_reduction(len(tiles), self.gs)
+        self._ensure_bank_rows(None)
+        codes, exponent = self._execute(schedule, tiles, exponents, addr)
+        self.stats.accumulate(schedule.activity)
+        return codes, exponent
 
-        prev_group_sum = np.zeros(self.lanes, dtype=np.int64)
-        group_stored: List[tuple] = []
-        for i, (tile, exponent) in enumerate(zip(tiles, exponents)):
-            index_in_group = i % self.gs
-            s2 = self.mode.s2_for_tile(index_in_group)
-            is_last = i == num_tiles - 1
+    def reduce_batch(
+        self, tiles: np.ndarray, exponents: Sequence[int], addr: int = 0
+    ) -> tuple:
+        """Run ``N`` independent reductions at once, vectorized over rows.
 
-            if is_last:
-                # Final output tile: fold everything still outstanding.
-                if s2 == 1:
-                    total = prev_group_sum + tile
-                else:
-                    total = self._read_group(group_stored, addr) + tile
-                self.stats.adder_ops += 1
-                self.stats.apsq_steps += 1
-                codes = self.quantizer.quantize(self._check_int32(total, "APSQ input"), exponent)
-                self._bank_for(index_in_group).write(addr, codes)
-                self.stats.bank_writes += 1
-                return codes, exponent
+        ``tiles`` has shape ``(num_tiles, N, lanes)`` — ``tiles[i, r]`` is
+        reduction round ``i`` of output row ``r``.  All rows share the
+        per-tile exponents (they come from the layer's learned scales, not
+        from the data).  Returns ``(codes, exponent)`` with ``codes`` of
+        shape ``(N, lanes)`` — row ``r`` is bit-identical to
+        ``reduce(tiles[:, r], exponents)``.
+        """
+        tiles = np.asarray(tiles, dtype=np.int64)
+        if tiles.ndim != 3:
+            raise ValueError(
+                f"expected tiles of shape (num_tiles, N, lanes), got {tiles.shape}"
+            )
+        num_tiles, rows, lanes = tiles.shape
+        if lanes != self.lanes:
+            raise ValueError(f"tile lanes {lanes} != engine lanes {self.lanes}")
+        if num_tiles != len(exponents):
+            raise ValueError("need one exponent per tile")
+        if num_tiles == 0:
+            raise ValueError("empty reduction")
+        if rows == 0:
+            # A zero-row batch is a no-op reduction (empty GEMM input).
+            return np.zeros((0, self.lanes), dtype=np.int64), exponents[-1]
+        self._check_int32(tiles, "input PSUM tiles")
 
-            if s2 == 1:
-                # APSQ accumulate step (group boundary).
-                value = prev_group_sum + tile
-                self.stats.adder_ops += 1
-                self.stats.apsq_steps += 1
-            else:
-                # Plain PSUM quantization inside the group.
-                value = tile
-                self.stats.psq_steps += 1
-            codes = self.quantizer.quantize(self._check_int32(value, "quantizer input"), exponent)
-            self._bank_for(index_in_group).write(addr, codes)
-            self.stats.bank_writes += 1
-            group_stored.append((index_in_group, exponent))
-
-            if index_in_group == self.gs - 1:
-                # Group complete: read it back for the next APSQ step.
-                prev_group_sum = self._read_group(group_stored, addr)
-                group_stored = []
-
-        raise AssertionError("unreachable: final tile returns inside the loop")
+        schedule = ReductionSchedule.for_reduction(num_tiles, self.gs)
+        self._ensure_bank_rows(rows)
+        # All plain PSQ steps are independent of the group chain: quantize
+        # the whole sub-stack in one array-exponent shifter call.
+        psq_codes: Optional[dict] = None
+        psq_indices = schedule.psq_indices
+        if psq_indices:
+            idx = np.asarray(psq_indices)
+            exps = np.asarray([exponents[i] for i in psq_indices]).reshape(-1, 1, 1)
+            stack_codes = self.quantizer.quantize(tiles[idx], exps)
+            psq_codes = {i: stack_codes[k] for k, i in enumerate(psq_indices)}
+        codes, exponent = self._execute(schedule, tiles, exponents, addr, psq_codes)
+        self.stats.accumulate(schedule.activity, rows=rows)
+        return codes, exponent
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -181,8 +270,9 @@ def reference_apsq_reduce(
 ) -> tuple:
     """Direct transcription of Algorithm 1 in integer arithmetic.
 
-    Independent of the engine's bank/mux machinery — used to verify the
-    RAE datapath integer-exactly.
+    Deliberately independent of both the engine's bank/mux machinery *and*
+    the shared :class:`ReductionSchedule` — this scalar walk is the oracle
+    the schedule-driven datapaths are verified against integer-exactly.
     """
     q = ShiftQuantizer(bits=bits, rounding=rounding)
     tiles = [np.asarray(t, dtype=np.int64) for t in tiles]

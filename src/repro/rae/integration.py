@@ -18,20 +18,29 @@ relative to the integer product's LSB weight.  Two modes:
 - ``requant="exact"`` — rescale with a float multiplier per quantizer
   (models the fixed-point requant multiplier many integer pipelines use
   instead of a shifter).
+
+The runner executes all ``N`` output rows of a layer through **one**
+batched engine (``RAEngine.reduce_batch``) rather than a fresh Python
+engine per row; both requant modes drive their arithmetic off the shared
+:class:`~repro.rae.schedule.ReductionSchedule`.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
 
-from ..quant.qlayers import PsumQuantizedLinear
 from .engine import RAEngine
+from .schedule import ReductionSchedule, StepKind
 from .shifter import ShiftQuantizer
 
+if TYPE_CHECKING:  # imported lazily to keep repro.rae importable on its own
+    from ..quant.qlayers import PsumQuantizedLinear
 
-def layer_scales(layer: PsumQuantizedLinear) -> Tuple[float, float, List[float]]:
+
+def layer_scales(layer: "PsumQuantizedLinear") -> Tuple[float, float, List[float]]:
     """(activation scale, weight scale, per-tile PSUM scales α)."""
     if not layer.act_quantizer._initialized or not layer.weight_quantizer._initialized:
         raise RuntimeError(
@@ -43,26 +52,56 @@ def layer_scales(layer: PsumQuantizedLinear) -> Tuple[float, float, List[float]]
     return s_x, s_w, alphas
 
 
-def shift_exponents(layer: PsumQuantizedLinear) -> List[int]:
-    """Integer shift amounts ``round(log2(α_i / (s_x·s_w)))`` per tile."""
+@dataclass(frozen=True)
+class ScalePlan:
+    """A layer's requantization constants, computed once and threaded through.
+
+    ``log2_ratios[i]`` is ``log2(α_i / (s_x·s_w))`` — the exact shift the
+    hardware would need; ``exponents[i]`` its integer snap.  The runner
+    derives the plan once per distinct scale set (it re-reads the cheap
+    effective scales on every access and recomputes the log2s only when
+    they changed, so a layer that keeps training between runs is handled
+    transparently).
+    """
+
+    product_scale: float
+    alphas: Tuple[float, ...]
+    log2_ratios: Tuple[float, ...]
+    exponents: Tuple[int, ...]
+
+    @property
+    def snap_error_bits(self) -> float:
+        """Worst-case ``|log2 ratio − round(·)|`` over the tiles (bits)."""
+        errs = [abs(r - e) for r, e in zip(self.log2_ratios, self.exponents)]
+        return float(max(errs)) if errs else 0.0
+
+
+def scale_plan(layer: "PsumQuantizedLinear") -> ScalePlan:
+    """Compute every requantization constant from the layer's scales once."""
     s_x, s_w, alphas = layer_scales(layer)
     product_scale = s_x * s_w
-    return [int(np.round(np.log2(alpha / product_scale))) for alpha in alphas]
+    log2_ratios = tuple(float(np.log2(alpha / product_scale)) for alpha in alphas)
+    exponents = tuple(int(np.round(r)) for r in log2_ratios)
+    return ScalePlan(
+        product_scale=product_scale,
+        alphas=tuple(alphas),
+        log2_ratios=log2_ratios,
+        exponents=exponents,
+    )
 
 
-def shift_exponent_error(layer: PsumQuantizedLinear) -> float:
+def shift_exponents(layer: "PsumQuantizedLinear") -> List[int]:
+    """Integer shift amounts ``round(log2(α_i / (s_x·s_w)))`` per tile."""
+    return list(scale_plan(layer).exponents)
+
+
+def shift_exponent_error(layer: "PsumQuantizedLinear") -> float:
     """Worst-case scale mismatch factor introduced by exponent snapping.
 
     Returns ``max_i |log2(α_i / (s_x·s_w)) − round(·)|`` in bits;
     0 means the shift path is exact.
     """
-    s_x, s_w, alphas = layer_scales(layer)
-    product_scale = s_x * s_w
-    errs = [
-        abs(np.log2(alpha / product_scale) - np.round(np.log2(alpha / product_scale)))
-        for alpha in alphas
-    ]
-    return float(max(errs)) if errs else 0.0
+    return scale_plan(layer).snap_error_bits
 
 
 class IntegerGemmRunner:
@@ -70,15 +109,15 @@ class IntegerGemmRunner:
 
     The runner quantizes inputs with the layer's learned activation scale,
     multiplies integer codes tile-by-tile (the INT8 MAC array), pushes the
-    INT32 PSUM tiles through a fresh :class:`RAEngine` per output row, and
-    dequantizes the INT8 output codes.  ``run`` returns the float output
-    (bias included) — directly comparable with the layer's eval-mode
-    fake-quant forward.
+    stacked INT32 PSUM tiles of *all* output rows through one batched
+    :class:`RAEngine`, and dequantizes the INT8 output codes.  ``run``
+    returns the float output (bias included) — directly comparable with
+    the layer's eval-mode fake-quant forward.
     """
 
     def __init__(
         self,
-        layer: PsumQuantizedLinear,
+        layer: "PsumQuantizedLinear",
         requant: str = "shift",
         rounding: str = "half_even",
     ) -> None:
@@ -95,12 +134,51 @@ class IntegerGemmRunner:
         self.gs = layer.config.gs
         self.pci = layer.config.pci
         self.bits = layer.config.psum_spec.bits
+        self._engine: RAEngine | None = None
+        self._plan: ScalePlan | None = None
+        self._plan_key: tuple | None = None
+
+    @property
+    def engine(self) -> RAEngine:
+        """One engine per layer, reused across runs, built on first use.
+
+        Lazy so that ``requant="exact"`` (a pure float-requant walk) keeps
+        working for QAT group sizes beyond the Fig. 2 hardware table —
+        only the shift path needs the RAE and its gs validation.
+        """
+        if self._engine is None:
+            self._engine = RAEngine(
+                gs=self.gs,
+                lanes=self.layer.out_features,
+                bits=self.bits,
+                rounding=self.rounding,
+            )
+        return self._engine
 
     # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ScalePlan:
+        """The layer's :class:`ScalePlan` for its *current* scales.
+
+        Reading the effective scales is cheap; the log2/snap computation
+        reruns only when they actually changed, so a stale plan can never
+        be applied to codes quantized with newer scales.
+        """
+        key = layer_scales(self.layer)
+        key = (key[0], key[1], tuple(key[2]))
+        if self._plan is None or self._plan_key != key:
+            self._plan = scale_plan(self.layer)
+            self._plan_key = key
+        return self._plan
+
+    def refresh_scales(self) -> ScalePlan:
+        """Force-recompute the plan (kept for explicit-control callers)."""
+        self._plan = None
+        return self.plan
+
     def integer_tiles(self, x: np.ndarray) -> Tuple[List[np.ndarray], float]:
         """INT32 PSUM tiles of the GEMM, and the product scale s_x·s_w."""
         layer = self.layer
-        s_x, s_w, _ = layer_scales(layer)
         x_codes = layer.act_quantizer.quantize_int(np.asarray(x, dtype=float))
         w_codes = layer.weight_quantizer.quantize_int(layer.weight.data)  # (Co, Ci)
         tiles = []
@@ -108,50 +186,48 @@ class IntegerGemmRunner:
         for lo in range(0, ci, self.pci):
             hi = min(lo + self.pci, ci)
             tiles.append(x_codes[:, lo:hi] @ w_codes[:, lo:hi].T)  # (N, Co) int64
-        return tiles, s_x * s_w
+        return tiles, self.plan.product_scale
 
-    def _run_shift(self, tiles: List[np.ndarray]) -> np.ndarray:
-        """Integer path: RAEngine with snapped shift exponents."""
-        exponents = shift_exponents(self.layer)
-        n, co = tiles[0].shape
-        out = np.empty((n, co), dtype=np.float64)
-        _, _, alphas = layer_scales(self.layer)
-        product_scale = alphas[-1] / (2.0 ** exponents[-1])
-        for row in range(n):
-            engine = RAEngine(
-                gs=self.gs, lanes=co, bits=self.bits, rounding=self.rounding
-            )
-            codes, exp = engine.reduce([t[row] for t in tiles], exponents)
-            out[row] = codes.astype(np.float64) * (2.0**exp) * product_scale
-        return out
+    def _run_shift(self, tiles: List[np.ndarray], plan: ScalePlan) -> np.ndarray:
+        """Integer path: one batched RAEngine with snapped shift exponents."""
+        stacked = np.stack(tiles)  # (num_tiles, N, Co)
+        codes, exp = self.engine.reduce_batch(stacked, list(plan.exponents))
+        out_scale = plan.alphas[-1] / (2.0 ** plan.exponents[-1])
+        return codes.astype(np.float64) * (2.0**exp) * out_scale
 
-    def _run_exact(self, tiles: List[np.ndarray], product_scale: float) -> np.ndarray:
-        """Fixed-point-multiplier path: float requant per quantizer."""
-        _, _, alphas = layer_scales(self.layer)
+    def _run_exact(self, tiles: List[np.ndarray], plan: ScalePlan) -> np.ndarray:
+        """Fixed-point-multiplier path: a schedule walk with float requant."""
         q = ShiftQuantizer(bits=self.bits, rounding=self.rounding)
-        num_tiles = len(tiles)
-        float_tiles = [t * product_scale for t in tiles]
+        alphas = plan.alphas
+        float_tiles = [t * plan.product_scale for t in tiles]
+        schedule = ReductionSchedule.for_reduction(len(tiles), self.gs)
 
         def quantize(value, alpha):
             codes = np.clip(np.round(value / alpha), q.qn, q.qp)
             return codes * alpha
 
-        if num_tiles == 1:
-            return quantize(float_tiles[0], alphas[0])
-        prev_sum = np.zeros_like(float_tiles[0])
+        prev = None
         stored: List[np.ndarray] = []
-        for start in range(0, num_tiles, self.gs):
-            ap = quantize(prev_sum + float_tiles[start], alphas[start])
-            if start == num_tiles - 1:
-                return ap
-            stored = [ap]
-            for j in range(start + 1, min(start + self.gs, num_tiles)):
-                if j < num_tiles - 1:
-                    stored.append(quantize(float_tiles[j], alphas[j]))
+        for step in schedule.steps:
+            tile = float_tiles[step.index]
+            alpha = alphas[step.index]
+            if step.kind is StepKind.FINAL:
+                if step.folds_stored:
+                    acc = sum(stored)
+                elif prev is not None:
+                    acc = prev
                 else:
-                    return quantize(sum(stored) + float_tiles[j], alphas[j])
-            prev_sum = sum(stored)
-        raise AssertionError("unreachable")
+                    acc = 0.0
+                return quantize(acc + tile, alpha)
+            if step.kind is StepKind.APSQ:
+                value = tile if prev is None else prev + tile
+            else:
+                value = tile
+            stored.append(quantize(value, alpha))
+            if step.closes_group:
+                prev = sum(stored)
+                stored = []
+        raise AssertionError("unreachable: the FINAL step returns inside the loop")
 
     # ------------------------------------------------------------------
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -159,11 +235,11 @@ class IntegerGemmRunner:
         x = np.asarray(x, dtype=float)
         if x.ndim != 2:
             raise ValueError(f"expected 2-D input (batch, Ci), got shape {x.shape}")
-        tiles, product_scale = self.integer_tiles(x)
+        tiles, _ = self.integer_tiles(x)
         if self.requant == "shift":
-            out = self._run_shift(tiles)
+            out = self._run_shift(tiles, self.plan)
         else:
-            out = self._run_exact(tiles, product_scale)
+            out = self._run_exact(tiles, self.plan)
         if self.layer.bias is not None:
             out = out + self.layer.bias.data
         return out
@@ -180,5 +256,5 @@ class IntegerGemmRunner:
         return {
             "max_abs_diff": float(np.abs(fake - integer).max()),
             "mean_rel_diff": float(np.abs(fake - integer).mean() / denom),
-            "exponent_snap_bits": shift_exponent_error(self.layer),
+            "exponent_snap_bits": self.plan.snap_error_bits,
         }

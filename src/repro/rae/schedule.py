@@ -1,0 +1,236 @@
+"""The precomputed reduction schedule — single source of truth for Algorithm 1.
+
+The paper's group-wise partial-sum reduction (Algorithm 1 / Eq. 10) used to
+be transcribed independently by every consumer: the bit-accurate
+:class:`~repro.rae.engine.RAEngine`, its scalar reference, the integer GEMM
+runner's fixed-point path and the fused QAT accumulator in
+``repro.quant.psum``.  :class:`ReductionSchedule` replaces those four
+control-flow copies with one precomputed per-tile step plan:
+
+- the *kind* of each step (plain in-group PSQ quantization, APSQ
+  group-boundary accumulate, or the final fold that produces To),
+- the bank slot each stored tile occupies (Fig. 2 bank-select),
+- the group structure (which steps close a group and trigger the
+  read-back through the adder tree), and
+- the analytical activity counts (bank reads/writes, adder operations,
+  APSQ/PSQ step tallies) that the energy model's Eq. 2 consumes.
+
+Consumers walk ``schedule.steps`` and substitute their own arithmetic
+(integer shifts, float fake-quant, autograd ops); the *control flow* is
+decided exactly once, here.  Schedules are immutable and cached, so the
+per-layer cost of planning a reduction is paid once per
+``(num_tiles, gs)`` pair per process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from .config import CONFIG_TABLE, RAEModeConfig
+
+
+class StepKind(enum.Enum):
+    """What the RAE does with one incoming PSUM tile (the s2 encoding)."""
+
+    PSQ = "psq"  # plain in-group PSUM quantization (s2 = 0)
+    APSQ = "apsq"  # group-boundary accumulate (s2 = 1, Eq. 10)
+    FINAL = "final"  # fold everything outstanding into To
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """One tile's step in Algorithm 1.
+
+    ``bank`` is the PSUM bank slot the (quantized) tile is written to;
+    ``folds_stored`` marks a final step that must first read the current
+    partial group back from the banks (the final tile landed mid-group);
+    ``closes_group`` marks a step after which the completed group is read
+    back through the adder tree to seed the next APSQ accumulate.
+    """
+
+    index: int
+    kind: StepKind
+    index_in_group: int
+    group: int
+    bank: int
+    writes_bank: bool = True
+    folds_stored: bool = False
+    closes_group: bool = False
+
+    @property
+    def s2(self) -> int:
+        """The dynamic config bit of Fig. 2 (1 = accumulate, 0 = plain).
+
+        Position-based, matching the config table: a final fold that lands
+        mid-group carries s2 = 0 — that is what tells the controller to
+        read the partial group back from the banks before folding.
+        """
+        return 1 if self.index_in_group == 0 else 0
+
+
+@dataclass(frozen=True)
+class ReductionActivity:
+    """Analytical per-reduction activity counts (one output row).
+
+    These are the quantities Eq. 2's PSUM term prices: every tile is
+    written once regardless of ``gs`` (the Sec. III-B claim) and every
+    stored tile is read back exactly once — either when its group
+    completes or by the final fold — so a ``num_tiles``-deep reduction
+    costs ``num_tiles`` writes and ``num_tiles − 1`` reads.
+    """
+
+    bank_reads: int
+    bank_writes: int
+    apsq_steps: int
+    psq_steps: int
+    adder_ops: int
+
+    @property
+    def total_bank_accesses(self) -> int:
+        return self.bank_reads + self.bank_writes
+
+
+class ReductionSchedule:
+    """The full step plan of Algorithm 1 for ``(num_tiles, gs)``.
+
+    Besides ``steps`` the schedule exposes the group structure the fused
+    QAT accumulator's hand-written backward replays (``group_starts`` /
+    ``plain_of_group``, mirroring the loop bounds of the original
+    transcription) and the :class:`ReductionActivity` totals.
+    """
+
+    def __init__(self, num_tiles: int, gs: int) -> None:
+        if num_tiles < 1:
+            raise ValueError(f"need at least one tile, got {num_tiles}")
+        if gs < 1:
+            raise ValueError(f"group size must be >= 1, got {gs}")
+        self.num_tiles = num_tiles
+        self.gs = gs
+        # Algorithm 1 is defined for any gs; the Fig. 2 config table only
+        # covers the group sizes the RAE hardware implements.  Consumers
+        # that model the hardware (RAEngine) validate gs themselves; the
+        # QAT accumulator may schedule larger groups.
+        self.mode: Optional[RAEModeConfig] = CONFIG_TABLE.get(gs)
+        self.active_banks: int = self.mode.active_banks if self.mode else gs
+        self.steps: Tuple[ReductionStep, ...] = tuple(self._build_steps())
+        self.group_starts: Tuple[int, ...] = tuple(range(0, num_tiles, gs))
+        self.plain_of_group: Tuple[range, ...] = tuple(
+            range(0)
+            if start == num_tiles - 1
+            else range(start + 1, min(start + gs, num_tiles - 1))
+            for start in self.group_starts
+        )
+        self.activity: ReductionActivity = self._derive_activity()
+
+    # ------------------------------------------------------------------
+    def _build_steps(self) -> List[ReductionStep]:
+        num_tiles, gs = self.num_tiles, self.gs
+        if num_tiles == 1:
+            # A single tile is quantized straight to To: no PSUM storage,
+            # no adder activity (matches the engine's direct path).
+            return [
+                ReductionStep(
+                    index=0,
+                    kind=StepKind.FINAL,
+                    index_in_group=0,
+                    group=0,
+                    bank=0,
+                    writes_bank=False,
+                )
+            ]
+        steps: List[ReductionStep] = []
+        for i in range(num_tiles):
+            index_in_group = i % gs
+            bank = index_in_group % self.active_banks
+            group = i // gs
+            if i == num_tiles - 1:
+                steps.append(
+                    ReductionStep(
+                        index=i,
+                        kind=StepKind.FINAL,
+                        index_in_group=index_in_group,
+                        group=group,
+                        bank=bank,
+                        folds_stored=index_in_group != 0,
+                    )
+                )
+            else:
+                kind = StepKind.APSQ if index_in_group == 0 else StepKind.PSQ
+                steps.append(
+                    ReductionStep(
+                        index=i,
+                        kind=kind,
+                        index_in_group=index_in_group,
+                        group=group,
+                        bank=bank,
+                        closes_group=index_in_group == gs - 1,
+                    )
+                )
+        return steps
+
+    def _derive_activity(self) -> ReductionActivity:
+        reads = writes = apsq = psq = adders = 0
+        stored = 0
+        if self.num_tiles > 1:
+            for step in self.steps:
+                if step.kind is StepKind.FINAL:
+                    if step.folds_stored:
+                        reads += stored
+                        adders += stored
+                    adders += 1
+                    apsq += 1
+                    if step.writes_bank:
+                        writes += 1
+                    break
+                if step.kind is StepKind.APSQ:
+                    adders += 1
+                    apsq += 1
+                else:
+                    psq += 1
+                writes += 1
+                stored += 1
+                if step.closes_group:
+                    reads += stored
+                    adders += stored
+                    stored = 0
+        return ReductionActivity(
+            bank_reads=reads,
+            bank_writes=writes,
+            apsq_steps=apsq,
+            psq_steps=psq,
+            adder_ops=adders,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_starts)
+
+    @property
+    def psq_indices(self) -> Tuple[int, ...]:
+        """Tile indices quantized independently (no sequential dependency)."""
+        return tuple(s.index for s in self.steps if s.kind is StepKind.PSQ)
+
+    def s2_sequence(self) -> List[int]:
+        """The dynamic-encoding sequence (compatible with ``s2_schedule``)."""
+        return [1 if i % self.gs == 0 else 0 for i in range(self.num_tiles)]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        a = self.activity
+        return (
+            f"ReductionSchedule(num_tiles={self.num_tiles}, gs={self.gs}, "
+            f"groups={self.num_groups}, reads={a.bank_reads}, writes={a.bank_writes})"
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    @lru_cache(maxsize=512)
+    def for_reduction(num_tiles: int, gs: int) -> "ReductionSchedule":
+        """Cached factory — the way consumers should obtain schedules."""
+        return ReductionSchedule(num_tiles, gs)

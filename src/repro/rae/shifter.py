@@ -12,35 +12,62 @@ from __future__ import annotations
 import numpy as np
 
 
-def shift_round(x: np.ndarray, exponent: int, rounding: str = "half_even") -> np.ndarray:
+def shift_round(x: np.ndarray, exponent, rounding: str = "half_even") -> np.ndarray:
     """Compute ``round(x / 2**exponent)`` in integer arithmetic.
 
     ``rounding`` selects the tie-break: ``"half_even"`` matches numpy (and
     the QAT simulation); ``"half_up"`` is the cheap adder-based hardware
     rounding (add half, shift).  Negative exponents left-shift exactly.
+
+    ``exponent`` may be a scalar or an integer array broadcastable against
+    ``x`` — the array form shifts every element by its own amount in one
+    vectorized pass (used to quantize a whole stack of PSUM tiles, each
+    with its own learned power-of-two scale, in a single call).
     """
     x = np.asarray(x, dtype=np.int64)
-    if exponent <= 0:
-        return x << (-exponent)
-    half = np.int64(1) << (exponent - 1)
-    if rounding == "half_up":
-        return (x + half) >> exponent
+    e = np.asarray(exponent, dtype=np.int64)
+    if e.ndim == 0:
+        exponent = int(e)
+        if exponent <= 0:
+            return x << (-exponent)
+        half = np.int64(1) << (exponent - 1)
+        if rounding == "half_up":
+            return (x + half) >> exponent
+        if rounding == "half_even":
+            shifted = (x + half) >> exponent
+            # Detect exact ties: remainder == half; round down when result odd
+            # would be produced by half-up but even is below.
+            remainder = x & ((np.int64(1) << exponent) - 1)
+            tie = remainder == half
+            make_even = tie & (shifted & 1 == 1) & ((x >> exponent) & 1 == 0)
+            return shifted - make_even.astype(np.int64)
+        raise ValueError(f"unknown rounding mode {rounding!r}")
+
+    if rounding not in ("half_up", "half_even"):
+        raise ValueError(f"unknown rounding mode {rounding!r}")
+    # Vectorized per-element exponents: compute the right-shift rounding on
+    # clamped non-negative amounts, the exact left shift separately, and
+    # select per element.  Bit-identical to the scalar path above.
+    e_pos = np.maximum(e, 0)
+    left = x << np.maximum(-e, 0)
+    half = np.where(e_pos > 0, np.int64(1) << np.maximum(e_pos - 1, 0), np.int64(0))
+    shifted = (x + half) >> e_pos
     if rounding == "half_even":
-        shifted = (x + half) >> exponent
-        # Detect exact ties: remainder == half; round down when result odd
-        # would be produced by half-up but even is below.
-        remainder = x & ((np.int64(1) << exponent) - 1)
-        tie = remainder == half
-        make_even = tie & (shifted & 1 == 1) & ((x >> exponent) & 1 == 0)
-        return shifted - make_even.astype(np.int64)
-    raise ValueError(f"unknown rounding mode {rounding!r}")
+        remainder = x & ((np.int64(1) << e_pos) - 1)
+        tie = (remainder == half) & (e_pos > 0)
+        make_even = tie & (shifted & 1 == 1) & ((x >> e_pos) & 1 == 0)
+        shifted = shifted - make_even.astype(np.int64)
+    return np.where(e <= 0, left, shifted)
 
 
 class ShiftQuantizer:
     """Quantize INT32 PSUMs to INT-k codes with a power-of-two scale.
 
     ``quantize(x, e)`` returns saturated codes ``clip(round(x / 2^e))``;
-    ``dequantize(codes, e)`` returns ``codes << e``.
+    ``dequantize(codes, e)`` returns ``codes << e``.  Both are fully
+    vectorized: ``x`` may carry arbitrary leading axes (a ``(rows, lanes)``
+    batch, or a ``(tiles, rows, lanes)`` stack) and ``e`` may be an array
+    broadcastable against it for per-tile exponents.
     """
 
     def __init__(self, bits: int = 8, rounding: str = "half_even") -> None:
@@ -55,11 +82,15 @@ class ShiftQuantizer:
         codes = shift_round(x, exponent, self.rounding)
         return np.clip(codes, self.qn, self.qp)
 
-    def dequantize(self, codes: np.ndarray, exponent: int) -> np.ndarray:
+    def dequantize(self, codes: np.ndarray, exponent) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
-        if exponent >= 0:
-            return codes << exponent
-        return codes >> (-exponent)  # negative exponents are sub-LSB scales
+        e = np.asarray(exponent, dtype=np.int64)
+        if e.ndim == 0:
+            exponent = int(e)
+            if exponent >= 0:
+                return codes << exponent
+            return codes >> (-exponent)  # negative exponents are sub-LSB scales
+        return np.where(e >= 0, codes << np.maximum(e, 0), codes >> np.maximum(-e, 0))
 
     def saturation_fraction(self, x: np.ndarray, exponent: int) -> float:
         """Fraction of values clipped at this exponent (diagnostics)."""

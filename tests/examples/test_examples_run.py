@@ -40,7 +40,9 @@ class TestExamples:
         out = run_example("hardware_explorer.py", tmp_path)
         assert "Energy landscape" in out
         assert "Table II" in out
-        assert out.count("vs Algorithm 1: ok") == 4
+        # Four scalar gs sweeps plus the batched reduce_batch scenario.
+        assert out.count("vs Algorithm 1: ok") == 5
+        assert "reduce_batch: 32 rows in one pass" in out
 
     def test_nlp_glue(self, tmp_path):
         out = run_example("nlp_glue_apsq.py", tmp_path)

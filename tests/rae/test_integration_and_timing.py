@@ -106,6 +106,33 @@ class TestIntegerGemmRunner:
         out = runner.run(np.zeros((1, 32)))
         assert np.all(np.abs(out - 10.0) < 1.0)
 
+    def test_exact_path_supports_large_qat_gs(self):
+        """requant='exact' never touches the RAE, so gs beyond the Fig. 2
+        hardware table (QAT-only group sizes) must keep working."""
+        layer = make_layer(gs=8, seed=8)
+        runner = IntegerGemmRunner(layer, requant="exact")
+        out = runner.run(np.random.default_rng(8).normal(size=(3, 32)) * 0.5)
+        assert out.shape == (3, 8)
+        with pytest.raises(ValueError):
+            IntegerGemmRunner(layer, requant="shift").engine  # hardware path rejects
+
+    def test_plan_tracks_scale_changes(self):
+        """The cached ScalePlan must refresh when the layer keeps training."""
+        layer = make_layer(seed=7)
+        runner = IntegerGemmRunner(layer)
+        first = runner.plan
+        assert runner.plan is first  # unchanged scales -> cached object
+        layer.act_quantizer.scale.data = np.array(2.0**-3)
+        second = runner.plan
+        assert second is not first
+        assert second.product_scale == pytest.approx(2.0**-3 * 2.0**-5)
+        # And the run output reflects the *new* scales end-to-end.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 32)) * 0.5
+        report = runner.compare_with_fake_quant(x)
+        assert report["exponent_snap_bits"] == 0.0
+        assert report["max_abs_diff"] < 1e-9
+
     def test_integer_tiles_are_integers(self):
         runner = IntegerGemmRunner(make_layer(seed=6))
         tiles, product_scale = runner.integer_tiles(np.random.default_rng(0).normal(size=(2, 32)))

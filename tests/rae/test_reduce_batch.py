@@ -1,0 +1,186 @@
+"""Property-style coverage for the batched RAE datapath.
+
+``RAEngine.reduce_batch`` must be integer-exact against the scalar
+``reference_apsq_reduce`` oracle row-by-row for every supported group
+size, both rounding modes, ragged last groups and a range of batch sizes,
+and its activity statistics must equal the schedule's analytical counts
+scaled by the number of rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rae import (
+    PsumBank,
+    RAEngine,
+    ReductionSchedule,
+    ShiftQuantizer,
+    reference_apsq_reduce,
+    shift_round,
+)
+
+LANES = 16
+
+
+def make_batch(num_tiles, rows, lanes=LANES, seed=0, scale=20_000):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-scale, scale, size=(num_tiles, rows, lanes))
+
+
+class TestReduceBatchEquality:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("rounding", ["half_even", "half_up"])
+    @pytest.mark.parametrize("num_tiles", [1, 2, 3, 5, 7, 9, 12])
+    @pytest.mark.parametrize("rows", [1, 7, 64])
+    def test_rowwise_integer_exact(self, gs, rounding, num_tiles, rows):
+        """Every row of the batch matches the scalar oracle bit-for-bit.
+
+        ``num_tiles`` values not divisible by ``gs`` exercise ragged last
+        groups (the final fold reads a partial group).
+        """
+        tiles = make_batch(num_tiles, rows, seed=gs * 1000 + num_tiles * 10 + rows)
+        rng = np.random.default_rng(num_tiles)
+        exponents = list(rng.integers(4, 9, size=num_tiles))
+        engine = RAEngine(gs=gs, lanes=LANES, rounding=rounding)
+        codes, exp = engine.reduce_batch(tiles, exponents)
+        assert codes.shape == (rows, LANES)
+        assert exp == exponents[-1]
+        for row in range(rows):
+            ref, ref_exp = reference_apsq_reduce(
+                list(tiles[:, row]), exponents, gs=gs, rounding=rounding
+            )
+            assert ref_exp == exp
+            assert np.array_equal(codes[row], ref), f"row {row} diverged"
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    def test_batch_matches_scalar_reduce(self, gs):
+        """reduce_batch(tiles)[r] == reduce(tiles[:, r]) on the same engine."""
+        tiles = make_batch(6, 5, seed=gs)
+        exponents = [5, 6, 6, 7, 7, 8]
+        batch_engine = RAEngine(gs=gs, lanes=LANES)
+        codes, _ = batch_engine.reduce_batch(tiles, exponents)
+        for row in range(5):
+            scalar_engine = RAEngine(gs=gs, lanes=LANES)
+            scalar_codes, _ = scalar_engine.reduce(list(tiles[:, row]), exponents)
+            assert np.array_equal(codes[row], scalar_codes)
+
+    def test_negative_exponents(self):
+        """Sub-LSB scales left-shift exactly in both paths."""
+        tiles = make_batch(4, 3, seed=9, scale=50)
+        exponents = [-1, 0, 1, 2]
+        engine = RAEngine(gs=2, lanes=LANES)
+        codes, _ = engine.reduce_batch(tiles, exponents)
+        for row in range(3):
+            ref, _ = reference_apsq_reduce(list(tiles[:, row]), exponents, gs=2)
+            assert np.array_equal(codes[row], ref)
+
+
+class TestReduceBatchStats:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_tiles", [2, 5, 8])
+    @pytest.mark.parametrize("rows", [1, 7, 64])
+    def test_stats_are_schedule_times_rows(self, gs, num_tiles, rows):
+        engine = RAEngine(gs=gs, lanes=LANES)
+        engine.reduce_batch(make_batch(num_tiles, rows, seed=3), [5] * num_tiles)
+        activity = ReductionSchedule.for_reduction(num_tiles, gs).activity
+        assert engine.stats.bank_writes == activity.bank_writes * rows
+        assert engine.stats.bank_reads == activity.bank_reads * rows
+        assert engine.stats.apsq_steps == activity.apsq_steps * rows
+        assert engine.stats.psq_steps == activity.psq_steps * rows
+        assert engine.stats.adder_ops == activity.adder_ops * rows
+
+    def test_stats_accumulate_across_calls(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        engine.reduce_batch(make_batch(4, 3, seed=1), [5] * 4)
+        engine.reduce_batch(make_batch(4, 3, seed=2), [5] * 4)
+        activity = ReductionSchedule.for_reduction(4, 2).activity
+        assert engine.stats.bank_writes == activity.bank_writes * 6
+
+
+class TestReduceBatchValidation:
+    def test_wrong_rank(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        with pytest.raises(ValueError):
+            engine.reduce_batch(np.zeros((4, LANES)), [0] * 4)
+
+    def test_wrong_lanes(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        with pytest.raises(ValueError):
+            engine.reduce_batch(np.zeros((4, 2, LANES + 1)), [0] * 4)
+
+    def test_exponent_count(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        with pytest.raises(ValueError):
+            engine.reduce_batch(np.zeros((4, 2, LANES)), [0] * 3)
+
+    def test_zero_rows_is_noop(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        codes, exp = engine.reduce_batch(np.zeros((4, 0, LANES)), [5, 5, 5, 6])
+        assert codes.shape == (0, LANES)
+        assert exp == 6
+        assert engine.stats.bank_writes == 0
+
+    def test_overflow_detected(self):
+        engine = RAEngine(gs=1, lanes=LANES)
+        with pytest.raises(OverflowError):
+            engine.reduce_batch(np.full((1, 2, LANES), 2**33), [0])
+
+    def test_scalar_and_batch_interleave(self):
+        """Switching word shapes reallocates banks but keeps computing."""
+        engine = RAEngine(gs=2, lanes=LANES)
+        tiles = make_batch(4, 3, seed=4)
+        codes_b, _ = engine.reduce_batch(tiles, [5] * 4)
+        codes_s, _ = engine.reduce(list(tiles[:, 0]), [5] * 4)
+        assert np.array_equal(codes_b[0], codes_s)
+        codes_b2, _ = engine.reduce_batch(tiles, [5] * 4)
+        assert np.array_equal(codes_b2, codes_b)
+
+
+class TestBatchedBank:
+    def test_2d_word_roundtrip(self):
+        bank = PsumBank(4, lanes=8, rows=3)
+        codes = np.arange(24).reshape(3, 8) - 12
+        bank.write(1, codes)
+        assert np.array_equal(bank.read(1), codes)
+        assert bank.word_shape == (3, 8)
+
+    def test_wrong_word_shape_rejected(self):
+        bank = PsumBank(4, lanes=8, rows=3)
+        with pytest.raises(ValueError):
+            bank.write(0, np.zeros(8))
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            PsumBank(4, lanes=8, rows=0)
+
+
+class TestVectorizedShifter:
+    @pytest.mark.parametrize("rounding", ["half_even", "half_up"])
+    def test_array_exponents_match_scalar(self, rounding):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-100_000, 100_000, size=(6, 5, 8))
+        exps = np.array([-2, 0, 1, 3, 5, 8]).reshape(6, 1, 1)
+        vec = shift_round(x, exps, rounding)
+        for i, e in enumerate([-2, 0, 1, 3, 5, 8]):
+            assert np.array_equal(vec[i], shift_round(x[i], e, rounding))
+
+    def test_array_exponent_bad_mode(self):
+        with pytest.raises(ValueError):
+            shift_round(np.zeros(4), np.zeros(4, dtype=int), "stochastic")
+
+    def test_quantizer_stack(self):
+        q = ShiftQuantizer(bits=8)
+        rng = np.random.default_rng(1)
+        x = rng.integers(-50_000, 50_000, size=(3, 4, 8))
+        exps = np.array([4, 6, 9]).reshape(3, 1, 1)
+        stacked = q.quantize(x, exps)
+        for i, e in enumerate([4, 6, 9]):
+            assert np.array_equal(stacked[i], q.quantize(x[i], e))
+
+    def test_dequantize_array_exponents(self):
+        q = ShiftQuantizer(bits=8)
+        codes = np.array([[3, -3], [5, -5]])
+        exps = np.array([[2], [-1]])
+        out = q.dequantize(codes, exps)
+        assert np.array_equal(out[0], q.dequantize(codes[0], 2))
+        assert np.array_equal(out[1], q.dequantize(codes[1], -1))

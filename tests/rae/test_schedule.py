@@ -1,0 +1,166 @@
+"""Tests for the shared ReductionSchedule — the single source of truth for
+Algorithm 1's control flow and its analytical activity counts."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, Dataflow, access_counts, apsq_psum_format
+from repro.accelerator.layers import GemmLayer
+from repro.rae import (
+    RAEngine,
+    ReductionSchedule,
+    StepKind,
+    reference_apsq_reduce,
+    s2_schedule,
+)
+
+
+class TestScheduleStructure:
+    def test_single_tile_has_no_activity(self):
+        sched = ReductionSchedule.for_reduction(1, 4)
+        assert len(sched) == 1
+        step = sched.steps[0]
+        assert step.kind is StepKind.FINAL
+        assert not step.writes_bank
+        assert sched.activity.total_bank_accesses == 0
+        assert sched.activity.adder_ops == 0
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_tiles", [2, 3, 5, 7, 8, 12])
+    def test_one_step_per_tile(self, gs, num_tiles):
+        sched = ReductionSchedule.for_reduction(num_tiles, gs)
+        assert [s.index for s in sched.steps] == list(range(num_tiles))
+        assert sched.steps[-1].kind is StepKind.FINAL
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    def test_s2_sequence_matches_config_table(self, gs):
+        sched = ReductionSchedule.for_reduction(9, gs)
+        assert sched.s2_sequence() == s2_schedule(gs, 9)
+        # The per-step view must agree with the sequence view.
+        assert [s.s2 for s in sched.steps] == s2_schedule(gs, 9)
+
+    def test_group_structure_gs3_np7(self):
+        """Fig. 4 walkthrough: APSQ at t0/t3/t6, final fold at t6."""
+        sched = ReductionSchedule.for_reduction(7, 3)
+        kinds = [s.kind for s in sched.steps]
+        assert kinds[0] is StepKind.APSQ
+        assert kinds[3] is StepKind.APSQ
+        assert kinds[6] is StepKind.FINAL
+        assert not sched.steps[6].folds_stored  # t6 is a group boundary
+        assert sched.group_starts == (0, 3, 6)
+        assert [list(r) for r in sched.plain_of_group] == [[1, 2], [4, 5], []]
+
+    def test_final_mid_group_folds_stored(self):
+        sched = ReductionSchedule.for_reduction(8, 4)
+        final = sched.steps[-1]
+        assert final.folds_stored  # t7 sits at slot 3 of the second group
+        assert sched.steps[3].closes_group
+        assert not sched.steps[7].closes_group
+
+    def test_bank_assignment_within_active_banks(self):
+        for gs in (1, 2, 3, 4):
+            sched = ReductionSchedule.for_reduction(10, gs)
+            assert all(0 <= s.bank < gs for s in sched.steps)
+
+    def test_large_gs_allowed_for_qat(self):
+        """The QAT accumulator schedules groups beyond the Fig. 2 table."""
+        sched = ReductionSchedule.for_reduction(4, 8)
+        assert sched.mode is None
+        assert [s.kind for s in sched.steps[:3]] == [
+            StepKind.APSQ,
+            StepKind.PSQ,
+            StepKind.PSQ,
+        ]
+        assert sched.steps[3].folds_stored
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ReductionSchedule(0, 2)
+        with pytest.raises(ValueError):
+            ReductionSchedule(4, 0)
+
+    def test_factory_caches(self):
+        a = ReductionSchedule.for_reduction(6, 2)
+        b = ReductionSchedule.for_reduction(6, 2)
+        assert a is b
+
+
+class TestScheduleActivity:
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_tiles", [2, 3, 5, 7, 8, 12])
+    def test_writes_once_per_tile_reads_all_but_final(self, gs, num_tiles):
+        """Sec. III-B: one write per tile regardless of gs; every stored
+        tile is read back exactly once."""
+        activity = ReductionSchedule.for_reduction(num_tiles, gs).activity
+        assert activity.bank_writes == num_tiles
+        assert activity.bank_reads == num_tiles - 1
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_tiles", [2, 5, 8, 12])
+    def test_activity_matches_engine_stats(self, gs, num_tiles):
+        """The analytical counts equal what the datapath actually does."""
+        rng = np.random.default_rng(gs * 17 + num_tiles)
+        tiles = [rng.integers(-1000, 1000, size=8) for _ in range(num_tiles)]
+        engine = RAEngine(gs=gs, lanes=8)
+        engine.reduce(tiles, [5] * num_tiles)
+        activity = ReductionSchedule.for_reduction(num_tiles, gs).activity
+        assert engine.stats.bank_writes == activity.bank_writes
+        assert engine.stats.bank_reads == activity.bank_reads
+        assert engine.stats.apsq_steps == activity.apsq_steps
+        assert engine.stats.psq_steps == activity.psq_steps
+        assert engine.stats.adder_ops == activity.adder_ops
+        # The per-bank SRAM counters agree with the schedule totals too.
+        assert sum(b.writes for b in engine.banks) == activity.bank_writes
+        assert sum(b.reads for b in engine.banks) == activity.bank_reads
+
+    def test_apsq_psq_split(self):
+        activity = ReductionSchedule.for_reduction(8, 4).activity
+        assert activity.apsq_steps == 3  # t0, t4 boundaries + t7 final fold
+        assert activity.psq_steps == 5
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("ci", [16, 64, 120])
+    def test_cross_check_against_eq2_access_model(self, gs, ci):
+        """Eq. 2's PSUM traffic accounting and the schedule must agree.
+
+        The analytical model prices ``2·(np − 1)`` PSUM access rounds per
+        reduction (np − 1 stores + np − 1 loads; the final quantized tile
+        is the ofmap write, priced separately).  The schedule's activity
+        is exactly that: writes = np (incl. the To write), reads = np − 1.
+        """
+        config = AcceleratorConfig()
+        layer = GemmLayer("probe", m=config.po, ci=ci, co=config.pco)
+        counts = access_counts(layer, config, apsq_psum_format(gs), Dataflow.WS)
+        np_tiles = -(-ci // config.pci)
+        activity = ReductionSchedule.for_reduction(np_tiles, gs).activity
+        assert counts.psum_sram == 2 * (np_tiles - 1)
+        assert activity.bank_writes - 1 + activity.bank_reads == counts.psum_sram
+        # One bank access per tile per round is gs-independent — the
+        # property that makes APSQ's traffic β·baseline in Eq. 2.
+        assert activity.total_bank_accesses == 2 * np_tiles - 1
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_tiles", [1, 2, 5, 9])
+    def test_schedule_walk_reproduces_reference(self, gs, num_tiles):
+        """A minimal schedule walk is the reference oracle, integer-exactly."""
+        from repro.rae import ShiftQuantizer
+
+        rng = np.random.default_rng(num_tiles * 7 + gs)
+        tiles = [rng.integers(-4000, 4000, size=8) for _ in range(num_tiles)]
+        exponents = list(rng.integers(3, 8, size=num_tiles))
+        q = ShiftQuantizer()
+        sched = ReductionSchedule.for_reduction(num_tiles, gs)
+        prev, stored, out = None, [], None
+        for step in sched.steps:
+            t, e = tiles[step.index], exponents[step.index]
+            if step.kind is StepKind.FINAL:
+                acc = sum(c << ce for c, ce in stored) if step.folds_stored else prev
+                out = q.quantize(t if acc is None else acc + t, e)
+                break
+            value = t if step.kind is StepKind.PSQ or prev is None else prev + t
+            stored.append((q.quantize(value, e), e))
+            if step.closes_group:
+                prev = sum(c << ce for c, ce in stored)
+                stored = []
+        ref, _ = reference_apsq_reduce(tiles, exponents, gs=gs)
+        assert np.array_equal(out, ref)

@@ -1,0 +1,106 @@
+"""Regression: the strided-view im2col must be bit-identical to the
+original Python window-loop implementation, forward and backward."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, im2col, set_default_dtype
+
+
+def im2col_loop_reference(x_data, kernel_size, stride, padding):
+    """The original window-loop transcription (forward + VJP), kept here
+    as the oracle for the vectorized implementation."""
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    x_pad = np.pad(x_data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    n, c, h, w = x_pad.shape
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+
+    cols = np.empty((n, c, kh, kw, ho, wo), dtype=x_pad.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = x_pad[:, :, i : i + ho * sh : sh, j : j + wo * sw : sw]
+    out = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, ho * wo, c * kh * kw)
+
+    def vjp(g):
+        g_cols = g.reshape(n, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+        grad = np.zeros((n, c, h, w), dtype=g.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                grad[:, :, i : i + ho * sh : sh, j : j + wo * sw : sw] += g_cols[:, :, i, j]
+        return grad
+
+    return out, vjp
+
+
+CASES = [
+    # (n, c, h, w), kernel, stride, padding
+    ((2, 3, 8, 8), (3, 3), (1, 1), (0, 0)),
+    ((2, 3, 8, 8), (3, 3), (1, 1), (1, 1)),  # overlapping + padding
+    ((1, 4, 9, 7), (3, 2), (2, 1), (0, 1)),  # asymmetric everything
+    ((3, 2, 6, 6), (2, 2), (2, 2), (0, 0)),  # non-overlapping windows
+    ((1, 1, 5, 5), (5, 5), (1, 1), (0, 0)),  # whole-image kernel
+    ((2, 2, 7, 7), (1, 1), (1, 1), (0, 0)),  # 1x1 conv
+    ((1, 3, 10, 10), (3, 3), (3, 3), (2, 2)),  # stride > 1 with padding
+]
+
+
+class TestIm2colBitIdentical:
+    @pytest.mark.parametrize("shape,kernel,stride,padding", CASES)
+    def test_forward_bit_identical(self, shape, kernel, stride, padding):
+        rng = np.random.default_rng(hash((shape, kernel)) % 2**31)
+        x_data = rng.normal(size=shape)
+        ref, _ = im2col_loop_reference(x_data, kernel, stride, padding)
+        out = im2col(Tensor(x_data), kernel, stride, padding)
+        assert out.data.shape == ref.shape
+        assert np.array_equal(out.data, ref)
+
+    @pytest.mark.parametrize("shape,kernel,stride,padding", CASES)
+    def test_backward_bit_identical(self, shape, kernel, stride, padding):
+        """The scatter-add accumulates overlapping-window gradients in the
+        same order as the loop, so even float rounding is identical."""
+        rng = np.random.default_rng(hash((shape, stride)) % 2**31)
+        x_data = rng.normal(size=shape)
+        ref_out, vjp = im2col_loop_reference(x_data, kernel, stride, padding)
+        g = rng.normal(size=ref_out.shape)
+
+        x = Tensor(x_data, requires_grad=True)
+        out = im2col(x, kernel, stride, padding)
+        out.backward(g)
+
+        ref_grad_padded = vjp(g)
+        # The reference VJP is w.r.t. the padded input; strip the padding
+        # the same way pad2d's backward does.
+        ph, pw = padding
+        h, w = shape[2], shape[3]
+        ref_grad = ref_grad_padded[:, :, ph : ph + h, pw : pw + w]
+        assert np.array_equal(x.grad, ref_grad)
+
+    def test_float32_backward_bit_identical(self):
+        """Accumulation-order equivalence must hold in float32 too, where
+        rounding differences would be visible immediately."""
+        rng = np.random.default_rng(7)
+        x_data = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        ref_out, vjp = im2col_loop_reference(x_data, (3, 3), (1, 1), (0, 0))
+        g = rng.normal(size=ref_out.shape).astype(np.float32)
+
+        set_default_dtype("float32")
+        try:
+            x = Tensor(x_data, requires_grad=True)
+            out = im2col(x, (3, 3), (1, 1), (0, 0))
+            assert out.data.dtype == np.float32
+            out.backward(g)
+            assert x.grad.dtype == np.float32
+            assert np.array_equal(x.grad, vjp(g))
+        finally:
+            set_default_dtype("float64")
+
+    def test_forward_does_not_alias_input(self):
+        """The output must own its data (no aliasing of the input view)."""
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 6, 6)))
+        out = im2col(x, (3, 3))
+        assert not np.shares_memory(out.data, x.data)
+        x.data[:] = 0.0
+        assert out.data.any()  # mutating x after the fact can't change out
