@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Fail when hot-path cells of ``timings.json`` regressed over the baseline.
+
+Thin CLI over :mod:`repro.experiments.timings`: compares the current
+``benchmarks/results/timings.json`` (e.g. freshly rewritten by a
+``pytest benchmarks/`` run) against the committed baseline from git —
+or an explicit ``--baseline`` file — and exits non-zero when any cell
+that took ≥ 5 ms in the baseline got slower than ``--threshold``× (1.5×
+by default).  ``python -m repro timings --check`` is the same check.
+
+Usage:
+    PYTHONPATH=src python benchmarks/check_regressions.py
+    PYTHONPATH=src python benchmarks/check_regressions.py --threshold 2.0 \
+        --baseline old_timings.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.experiments.timings import DEFAULT_THRESHOLD, TIMINGS_PATH, check_timings
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path(__file__).resolve().parent / "results" / "timings.json",
+        help="timings payload to check (default: benchmarks/results/timings.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline payload (default: committed {TIMINGS_PATH} from git)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fail when current/baseline exceeds this ratio (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+    return check_timings(
+        current_path=args.current, baseline_path=args.baseline, threshold=args.threshold
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,17 +11,21 @@ All benchmark tests are registered under the ``slow`` marker, so quick
 local loops can deselect them with ``-m "not slow"`` (CI's tier-1 job
 runs the full suite — the benchmarks replay the committed cache).  The
 harness also emits wall-clock timings to
-``benchmarks/results/timings.json``:
+``benchmarks/results/timings.json`` (schema 2, see
+:mod:`repro.experiments.timings`):
 
 - one entry per benchmark test (``tests``), and
-- one entry per computed experiment cell (``cells``), drained from the
-  parallel executor — the per-(experiment, task, method) trajectory that
-  makes perf regressions visible run over run.
+- one median per timed cell key (``cells``), drained from the parallel
+  executor — the per-(experiment, task, method) trajectory that makes
+  perf regressions visible run over run.
+
+Keys are sorted and durations carry fixed rounding, so re-runs only touch
+lines whose timing genuinely moved.  ``python -m repro timings --check``
+compares a fresh run against the committed file.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -56,17 +60,14 @@ def pytest_sessionfinish(session, exitstatus):
         return
     try:
         from repro.experiments.executor import drain_cell_timings
+        from repro.experiments.timings import build_payload, dump_payload
 
         cells = drain_cell_timings()
     except ImportError:
-        cells = []
+        return
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "schema": 1,
-        "tests": _TEST_TIMINGS,
-        "cells": cells,
-    }
-    (RESULTS_DIR / "timings.json").write_text(json.dumps(payload, indent=2) + "\n")
+    payload = build_payload(_TEST_TIMINGS, cells)
+    (RESULTS_DIR / "timings.json").write_text(dump_payload(payload))
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,6 @@
 """Hardware scenario: explore the analytical accelerator and drive the RAE.
 
-Three parts:
+Parts:
 
 1. Energy landscape — per-dataflow breakdown for BERT-Base (Fig. 1 data)
    and the buffer-size sensitivity of the Fig. 6b crossover.
@@ -8,6 +8,10 @@ Three parts:
 3. RAE in action — feed integer PSUM tiles through the bit-accurate
    Reconfigurable APSQ Engine at every supported group size and verify it
    against the Algorithm-1 reference transcription.
+4. Per-layer drill-down and integer-only inference for a single layer.
+5. Model-wide integer execution planner — build one plan over a quantized
+   BERT, run the whole model's hardware-equivalence pass as a handful of
+   grouped batched reductions, and time it against per-layer runners.
 
 Runs in seconds; purely analytical + integer simulation (no training).
 """
@@ -142,9 +146,55 @@ def integer_inference():
     print(format_summary(model_summary(Wrapper(layer))))
 
 
+def model_wide_planner():
+    print("\n=== 6. Model-wide integer execution planner ===")
+    import time
+
+    from repro.models import BertConfig, BertTiny
+    from repro.quant import apsq_config, quantize_model
+    from repro.rae import IntegerExecutionPlan, capture_layer_inputs
+    from repro.tensor import manual_seed
+
+    manual_seed(0)
+    model = quantize_model(BertTiny(BertConfig(num_classes=2)), apsq_config(gs=2, pci=8))
+    tokens = np.random.default_rng(0).integers(0, 64, size=(2, 16))
+    model(tokens)  # calibrate every quantizer
+    model.eval()
+
+    # Build once: group layers by reduction shape, one shared engine each.
+    plan = IntegerExecutionPlan.from_model(model)
+    print(plan)
+    for shape, names in plan.groups.items():
+        print(
+            f"  shape (np={shape.num_tiles}, gs={shape.gs}, lanes={shape.lanes}): "
+            f"{len(names)} layers -> 1 shared engine"
+        )
+
+    # Run many: the whole model's integer pass is one reduce_batch per shape.
+    inputs = capture_layer_inputs(model, plan.layer_names, tokens)
+    t0 = time.perf_counter()
+    outputs = plan.run_model(inputs)
+    elapsed = time.perf_counter() - t0
+    report = plan.compare_with_fake_quant(inputs)
+    worst = max(v["mean_rel_diff"] for v in report.values())
+
+    t0 = time.perf_counter()
+    for name in plan.layer_names:
+        x = inputs[name].reshape(-1, inputs[name].shape[-1])
+        IntegerGemmRunner(model.get_submodule(name)).run(x)
+    per_layer = time.perf_counter() - t0
+    print(
+        f"integer pass over {len(outputs)} layers: {elapsed * 1e3:.1f} ms planner "
+        f"vs {per_layer * 1e3:.1f} ms per-layer runners "
+        f"({per_layer / max(elapsed, 1e-9):.1f}x)"
+    )
+    print(f"worst mean-relative diff vs fake-quant forward: {worst:.3f}")
+
+
 if __name__ == "__main__":
     energy_landscape()
     area_accounting()
     drive_rae()
     drill_down()
     integer_inference()
+    model_wide_planner()

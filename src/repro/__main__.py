@@ -11,6 +11,10 @@ run ARTEFACT [--profile NAME] [--jobs N]
 all [--profile NAME] [--jobs N]
     Regenerate everything (the analytical artefacts first, then the
     training-based ones).
+timings [--check] [--baseline PATH] [--threshold X]
+    Summarize ``benchmarks/results/timings.json``; with ``--check``,
+    compare its cells against the committed baseline and exit non-zero
+    on hot-path regressions (> threshold×, default 1.5).
 info
     Print the package/version and the configuration of the analytical
     accelerator.
@@ -93,6 +97,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser = sub.add_parser("run", help="regenerate one artefact")
     run_parser.add_argument("artefact", choices=sorted(ARTEFACTS))
     _add_effort_args(run_parser)
+    timings_parser = sub.add_parser(
+        "timings", help="summarize benchmark timings; --check gates regressions"
+    )
+    timings_parser.add_argument(
+        "--check", action="store_true", help="exit non-zero on hot-path regressions"
+    )
+    timings_parser.add_argument(
+        "--current", default="benchmarks/results/timings.json", help="payload to check"
+    )
+    timings_parser.add_argument(
+        "--baseline", default="", help="baseline payload (default: committed file)"
+    )
+    timings_parser.add_argument(
+        "--threshold", type=float, default=1.5, help="regression ratio gate (default 1.5)"
+    )
     all_parser = sub.add_parser("all", help="regenerate every artefact")
     _add_effort_args(all_parser)
     for name in sorted(ARTEFACTS):
@@ -102,6 +121,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         print(cmd_list())
+    elif args.command == "timings":
+        from pathlib import Path
+
+        from .experiments.timings import check_timings
+
+        return check_timings(
+            current_path=Path(args.current),
+            baseline_path=Path(args.baseline) if args.baseline else None,
+            threshold=args.threshold,
+            check=args.check,
+        )
     elif args.command == "info":
         print(cmd_info())
     elif args.command == "run":

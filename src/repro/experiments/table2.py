@@ -23,7 +23,9 @@ def verify_rae_datapath(rows: int = 8, num_tiles: int = 6, lanes: int = 16) -> D
 
     One batched reduction per supported group size; every row must match
     the reference integer-exactly for the synthesized-area claims to be
-    about a correct datapath.
+    about a correct datapath.  A per-row exponent matrix (each row its own
+    learned shifts — the planner's cross-layer batching form) is checked
+    the same way.
     """
     results: Dict[str, bool] = {}
     for gs in (1, 2, 3, 4):
@@ -36,8 +38,38 @@ def verify_rae_datapath(rows: int = 8, num_tiles: int = 6, lanes: int = 16) -> D
         for row in range(rows):
             ref, ref_exp = reference_apsq_reduce(list(tiles[:, row]), exponents, gs=gs)
             ok = ok and exp == ref_exp and bool(np.array_equal(codes[row], ref))
+        # Per-row exponent vectors: the same batch where every row carries
+        # its own shifts must still match the oracle row by row.
+        matrix = rng.integers(4, 9, size=(num_tiles, rows))
+        vec_codes, _ = RAEngine(gs=gs, lanes=lanes).reduce_batch(tiles, matrix)
+        for row in range(rows):
+            ref, _ = reference_apsq_reduce(list(tiles[:, row]), list(matrix[:, row]), gs=gs)
+            ok = ok and bool(np.array_equal(vec_codes[row], ref))
         results[f"gs={gs}"] = ok
     return results
+
+
+def verify_model_datapath(gs: int = 2) -> bool:
+    """Model-level sign-off: one planner pass over a quantized BERT.
+
+    Builds the integer execution planner over every PSUM-quantized layer of
+    a calibrated tiny BERT and checks the grouped batched passes (per-row
+    exponent matrices, shared engines, cached weight codes) bit-for-bit
+    against a per-layer :class:`IntegerGemmRunner` drive of the same
+    captured activations.
+    """
+    from ..models import BertConfig, BertTiny
+    from ..quant import apsq_config, quantize_model
+    from ..rae import verify_against_per_layer
+    from ..tensor import manual_seed
+
+    manual_seed(0)
+    model = quantize_model(BertTiny(BertConfig(num_classes=2)), apsq_config(gs=gs, pci=8))
+    tokens = np.random.default_rng(0).integers(0, 64, size=(2, 16))
+    model(tokens)  # calibrate every quantizer
+    model.eval()
+    results = verify_against_per_layer(model, tokens)
+    return bool(results) and all(results.values())
 
 
 def run() -> Dict[str, float]:
@@ -49,6 +81,7 @@ def run() -> Dict[str, float]:
         "DNN Accelerator w/ RAE": report.accelerator_with_rae,
         "overhead_percent": report.overhead_percent,
         "rae_datapath_ok": float(all(datapath.values())),
+        "planner_model_ok": float(verify_model_datapath()),
     }
 
 
@@ -74,6 +107,9 @@ def format_table(results: Dict[str, float]) -> str:
     if "rae_datapath_ok" in results:
         verdict = "bit-exact" if results["rae_datapath_ok"] else "MISMATCH"
         lines.append(f"RAE datapath vs Algorithm 1 (batched, gs=1..4): {verdict}")
+    if "planner_model_ok" in results:
+        verdict = "bit-exact" if results["planner_model_ok"] else "MISMATCH"
+        lines.append(f"Model-wide planner vs per-layer runners (BERT): {verdict}")
     return "\n".join(lines)
 
 

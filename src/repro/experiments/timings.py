@@ -1,0 +1,217 @@
+"""Stable wall-clock records and hot-path regression checks.
+
+``benchmarks/results/timings.json`` is the repo's perf trajectory: the
+benchmark harness writes one entry per benchmark test and one per timed
+cell on every run.  Two problems this module solves:
+
+- **Churn.**  Raw float durations re-serialized in harness order produced
+  ~90-line diffs on every re-run.  Schema 2 stores *per-cell medians* with
+  fixed rounding under sorted keys, so a re-run only touches lines whose
+  timing genuinely moved past the rounding grain.
+- **Silent regressions.**  :func:`compare` diffs a current timings payload
+  against the committed baseline and reports hot-path cells that slowed
+  down past a threshold (default 1.5×).  ``python -m repro timings
+  --check`` (or ``benchmarks/check_regressions.py``) runs it from the
+  command line and exits non-zero on regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Durations are rounded to this many decimals (0.1 ms grain) before they
+#: are written or compared — the noise floor of the suite's fast cells.
+ROUND_DECIMALS = 4
+
+#: Cells faster than this (seconds) are skipped by the regression check:
+#: at sub-5ms scale the scheduler, not the code, decides the number.
+MIN_COMPARE_SECONDS = 0.005
+
+DEFAULT_THRESHOLD = 1.5
+
+TIMINGS_PATH = Path("benchmarks/results/timings.json")
+
+
+def round_duration(seconds: float) -> float:
+    return round(float(seconds), ROUND_DECIMALS)
+
+
+def build_payload(tests: Dict[str, float], cells: Sequence[dict]) -> dict:
+    """The schema-2 timings payload: sorted keys, medians, fixed rounding.
+
+    ``cells`` are raw ``{key, kind, duration_s}`` records (one per timed
+    run, possibly several per key); each key stores the median of its runs.
+    """
+    grouped: Dict[str, List[float]] = {}
+    kinds: Dict[str, str] = {}
+    for record in cells:
+        grouped.setdefault(record["key"], []).append(float(record["duration_s"]))
+        kinds[record["key"]] = record.get("kind", "")
+    return {
+        "schema": 2,
+        "tests": {key: round_duration(tests[key]) for key in sorted(tests)},
+        "cells": {
+            key: {
+                "kind": kinds[key],
+                "median_s": round_duration(statistics.median(durations)),
+                "runs": len(durations),
+            }
+            for key, durations in sorted(grouped.items())
+        },
+    }
+
+
+def dump_payload(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def cell_medians(payload: dict) -> Dict[str, float]:
+    """``{cell key: median seconds}`` from a schema-1 or schema-2 payload."""
+    cells = payload.get("cells", {})
+    if isinstance(cells, dict):  # schema 2
+        return {key: float(value["median_s"]) for key, value in cells.items()}
+    grouped: Dict[str, List[float]] = {}  # schema 1: a flat record list
+    for record in cells:
+        grouped.setdefault(record["key"], []).append(float(record["duration_s"]))
+    return {key: statistics.median(values) for key, values in grouped.items()}
+
+
+@dataclass(frozen=True)
+class Regression:
+    key: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_s / max(self.baseline_s, 1e-12)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.key}: {self.baseline_s * 1e3:.1f} ms -> "
+            f"{self.current_s * 1e3:.1f} ms ({self.ratio:.2f}x)"
+        )
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = MIN_COMPARE_SECONDS,
+) -> List[Regression]:
+    """Hot-path cells of ``current`` that regressed past ``threshold``×.
+
+    Only cells present in both payloads and at least ``min_seconds`` slow
+    in the baseline are compared — fast cells are scheduler noise, new
+    cells have no baseline to regress from.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    base = cell_medians(baseline)
+    cur = cell_medians(current)
+    regressions = [
+        Regression(key, base[key], cur[key])
+        for key in sorted(base.keys() & cur.keys())
+        if base[key] >= min_seconds and cur[key] > base[key] * threshold
+    ]
+    return regressions
+
+
+def missing_hot_cells(
+    baseline: dict, current: dict, min_seconds: float = MIN_COMPARE_SECONDS
+) -> List[str]:
+    """Baseline hot-path cells absent from ``current``.
+
+    A partial benchmark run (the harness rewrites ``timings.json`` on
+    *every* pytest session, however narrow) drops cells; without this
+    list a regression in any dropped cell would silently pass the check,
+    so the report names what was not compared.
+    """
+    base = cell_medians(baseline)
+    cur = cell_medians(current)
+    return sorted(k for k, v in base.items() if v >= min_seconds and k not in cur)
+
+
+def load_timings(path: Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def load_committed_baseline(path: Path = TIMINGS_PATH) -> Optional[dict]:
+    """The committed version of ``timings.json`` (via ``git show``)."""
+    try:
+        cwd = Path(path).resolve().parent
+        root = Path(
+            subprocess.run(
+                ["git", "rev-parse", "--show-toplevel"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=cwd,
+            ).stdout.strip()
+        )
+        relative = Path(path).resolve().relative_to(root)
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{relative.as_posix()}"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=cwd,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError, ValueError):
+        return None
+    return json.loads(blob)
+
+
+def format_report(
+    current: dict,
+    regressions: List[Regression],
+    threshold: float,
+    missing: Optional[List[str]] = None,
+) -> str:
+    medians = cell_medians(current)
+    lines = [f"timings: {len(medians)} cells, {len(current.get('tests', {}))} tests"]
+    for key in sorted(medians, key=medians.get, reverse=True)[:10]:
+        lines.append(f"  {medians[key] * 1e3:9.1f} ms  {key}")
+    if missing:
+        lines.append(
+            f"WARNING: {len(missing)} baseline hot-path cells absent from this "
+            "run (partial benchmark session?) — NOT compared:"
+        )
+        lines.extend(f"  {key}" for key in missing)
+    if regressions:
+        lines.append(f"REGRESSIONS (> {threshold:.2f}x over baseline):")
+        lines.extend(f"  {r}" for r in regressions)
+    else:
+        lines.append(f"no hot-path regressions among compared cells (threshold {threshold:.2f}x)")
+    return "\n".join(lines)
+
+
+def check_timings(
+    current_path: Path = TIMINGS_PATH,
+    baseline_path: Optional[Path] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    check: bool = True,
+) -> int:
+    """CLI body shared by ``python -m repro timings`` and the script.
+
+    Returns the process exit code: 1 when ``check`` is set and a hot-path
+    cell regressed, 0 otherwise (including "no baseline to compare").
+    """
+    current = load_timings(current_path)
+    if baseline_path is not None:
+        baseline = load_timings(baseline_path)
+    else:
+        baseline = load_committed_baseline(Path(current_path))
+    if baseline is None:
+        print(format_report(current, [], threshold))
+        print("no committed baseline found — nothing to compare against")
+        return 0
+    regressions = compare(baseline, current, threshold=threshold)
+    missing = missing_hot_cells(baseline, current)
+    print(format_report(current, regressions, threshold, missing))
+    return 1 if (check and regressions) else 0

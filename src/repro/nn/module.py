@@ -18,12 +18,40 @@ from ..tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A trainable tensor; registered automatically when set on a Module."""
+    """A trainable tensor; registered automatically when set on a Module.
 
-    __slots__ = ()
+    Parameters carry a monotonically increasing ``version`` counter that is
+    bumped every time ``.data`` is rebound (the way every optimizer step and
+    ``load_state_dict`` update parameters).  Derived caches — e.g. the
+    integer execution planner's quantized weight codes — key on it to know
+    when a parameter changed without fingerprinting the array contents.
+    In-place mutation of the array (``p.data[:] = ...``) bypasses the
+    counter; call :meth:`bump_version` after doing that.
+    """
+
+    __slots__ = ("_version",)
 
     def __init__(self, data, name: str = "") -> None:
+        self._version = 0
         super().__init__(data, requires_grad=True, name=name)
+
+    @property
+    def data(self) -> np.ndarray:
+        return Tensor.data.__get__(self)
+
+    @data.setter
+    def data(self, value) -> None:
+        Tensor.data.__set__(self, value)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of ``.data`` rebinds (cache-invalidation key)."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Signal an in-place mutation of ``.data`` to version-keyed caches."""
+        self._version += 1
 
 
 class Module:

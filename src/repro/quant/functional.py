@@ -49,10 +49,21 @@ def fake_quant_values(
     return np.clip(np.round(x / scale), qn, qp) * scale
 
 
+def quantize_code_values(x: np.ndarray, scale: float, qn: int, qp: int) -> np.ndarray:
+    """Saturated integer codes as float64 (no cast).
+
+    The integer execution planner keeps codes in float64 so the PSUM-tile
+    GEMMs run through BLAS — exact, since INT8-range codes and their
+    ``Pci``-deep products sit far below 2^53 — without paying two dtype
+    round-trips per layer per pass.
+    """
+    scale = max(float(scale), SCALE_EPS)
+    return np.clip(np.round(x / scale), qn, qp)
+
+
 def quantize_int_values(x: np.ndarray, scale: float, qn: int, qp: int) -> np.ndarray:
     """Integer codes for the hardware simulator (no dequantization)."""
-    scale = max(float(scale), SCALE_EPS)
-    return np.clip(np.round(x / scale), qn, qp).astype(np.int64)
+    return quantize_code_values(x, scale, qn, qp).astype(np.int64)
 
 
 def lsq_fake_quant(

@@ -40,6 +40,130 @@ from .spec import INT8, QuantSpec
 Tiles = Union[Tensor, Sequence[Tensor]]
 
 
+def _apsq_grad_replay(
+    g: np.ndarray,
+    v_stack: np.ndarray,
+    schedule: ReductionSchedule,
+    qn: int,
+    qp: int,
+    grad_scale_factor: float,
+):
+    """Reference backward: replay the APSQ group chain tile by tile.
+
+    The original hand-written backward of the fused accumulator op — one
+    Python iteration per group and per plain tile, each applying the LSQ
+    gradient rule (Esser et al.) to the saved quantizer inputs ``v_stack``.
+    Doubles as the oracle the vectorized pass is regression-tested against
+    bit-for-bit, and as the cache-friendly route for large stacks (see
+    ``_APSQ_FUSED_MAX_ELEMENTS``): working tile-by-tile keeps every
+    temporary inside the cache, which beats full-stack streaming once the
+    stack outgrows it.
+    """
+    np_tiles = schedule.num_tiles
+    boundaries = list(schedule.group_starts)
+    plain_of_group = list(schedule.plain_of_group)
+
+    def lsq_grads(i: int, gg: np.ndarray):
+        v = v_stack[i]
+        inside = (v >= qn) & (v <= qp)
+        gz = gg * inside
+        ds = np.where(v <= qn, qn, np.where(v >= qp, qp, np.round(v) - v))
+        gscale = (gg * ds).sum() * grad_scale_factor
+        return gz, gscale
+
+    grad_tiles = np.empty_like(v_stack, dtype=g.dtype)
+    grad_scales = [None] * np_tiles
+    final = np_tiles - 1
+    g_acc, grad_scales[final] = lsq_grads(final, g)
+    grad_tiles[final] = g_acc
+    # When To sits on a group boundary its group is already done.
+    skip = 2 if boundaries[-1] == final else 1
+    for gi in range(len(boundaries) - skip, -1, -1):
+        start = boundaries[gi]
+        for j in plain_of_group[gi]:
+            grad_tiles[j], grad_scales[j] = lsq_grads(j, g_acc)
+        g_acc, grad_scales[start] = lsq_grads(start, g_acc)
+        grad_tiles[start] = g_acc
+    return grad_tiles, grad_scales
+
+
+def _apsq_grad_pass(
+    g: np.ndarray,
+    v_stack: np.ndarray,
+    schedule: ReductionSchedule,
+    qn: int,
+    qp: int,
+    grad_scale_factor: float,
+):
+    """Vectorized backward of the fused APSQ accumulator op.
+
+    The group chain's gradient is a cumulative product of LSQ clip masks:
+    walking groups last-to-first, the running gradient picks up the APSQ
+    step's inside-range mask at every group boundary, and all tiles of a
+    group (its start and its plain stores) see the running gradient of the
+    groups after it.  So instead of replaying the chain tile by tile, this
+    pass computes every mask and LSQ step-size derivative in one fused
+    sweep over the stacked quantizer inputs, builds the per-group running
+    gradients with a single ``cumprod`` over the boundary masks, and gathers
+    them per tile.  Multiplication order matches the replay exactly, so
+    gradients are bit-identical (regression-tested against
+    :func:`_apsq_grad_replay`).
+    """
+    np_tiles = schedule.num_tiles
+    gs = schedule.gs
+    final = np_tiles - 1
+    inside = (v_stack >= qn) & (v_stack <= qp)
+    ds = np.where(v_stack <= qn, qn, np.where(v_stack >= qp, qp, np.round(v_stack) - v_stack))
+
+    # Group starts that carry a chain APSQ step (a final tile sitting on a
+    # boundary is the output quantizer, handled by the seed term).
+    starts = [b for b in schedule.group_starts if b != final]
+    seed = (g * inside[final])[None]
+    if len(starts) > 1:
+        # Boundary masks in reverse group order: the chain entry for group
+        # gi is seed · Π of the masks of every later group's APSQ step.
+        masks = inside[np.array(starts[:0:-1])]
+        chain = np.cumprod(np.concatenate([seed, masks], axis=0), axis=0)
+    else:
+        chain = seed
+
+    g_in = np.empty((np_tiles,) + g.shape, dtype=g.dtype)
+    if final:
+        idx = len(starts) - 1 - (np.arange(final) // gs)
+        g_in[:final] = chain[idx]
+    g_in[final] = g
+    grad_tiles = g_in * inside
+    # One fused reduction for every scale: row r of the reshape is the
+    # contiguous (g · ∂s) block of quantizer r, so the per-row pairwise
+    # sum is bit-identical to summing each tile's array on its own.
+    grad_scales = (g_in * ds).reshape(np_tiles, -1).sum(axis=1) * grad_scale_factor
+    return grad_tiles, grad_scales
+
+
+#: Stack sizes (elements) up to which the fused pass beats the replay.
+#: Small tiles are dominated by numpy call overhead — the fused pass cuts
+#: ~10 calls per tile to ~10 per stack (3–8× measured).  Past the cache
+#: footprint the fused pass streams full-stack temporaries through every
+#: op while the replay works tile-by-tile in cache, so the replay wins
+#: (~3× at 64k-element stacks).  Both are bit-identical; this only picks
+#: the faster route.
+_APSQ_FUSED_MAX_ELEMENTS = 16384
+
+
+def _apsq_backward(
+    g: np.ndarray,
+    v_stack: np.ndarray,
+    schedule: ReductionSchedule,
+    qn: int,
+    qp: int,
+    grad_scale_factor: float,
+):
+    """Backward of the fused APSQ op: fused pass or replay, by stack size."""
+    if v_stack.size <= _APSQ_FUSED_MAX_ELEMENTS:
+        return _apsq_grad_pass(g, v_stack, schedule, qn, qp, grad_scale_factor)
+    return _apsq_grad_replay(g, v_stack, schedule, qn, qp, grad_scale_factor)
+
+
 class PsumMode(enum.Enum):
     """How partial sums are stored between tile computations."""
 
@@ -212,11 +336,17 @@ class TiledPsumAccumulator(Module):
         analytical activity counts.
 
         The whole accumulation runs as a single autograd node: the forward
-        walk is pure numpy (no per-tile graph construction) and the
-        hand-written backward replays the group chain in reverse, writing
-        one dense gradient for the tile stack and one scalar LSQ-rule
-        gradient per scale — the same values the per-tile op graph would
-        produce, without materializing a zeros-stack per tile access.
+        walk is pure numpy (no per-tile graph construction, quantizer
+        inputs written straight into one stacked array) and the
+        hand-written backward runs :func:`_apsq_backward` — for small
+        stacks one fused vectorized LSQ-gradient sweep
+        (:func:`_apsq_grad_pass`: masks and step-size derivatives for
+        every tile at once, a single ``cumprod`` over the group-boundary
+        masks), for cache-exceeding stacks the tile-local replay
+        (:func:`_apsq_grad_replay`) — writing one dense gradient for the
+        tile stack and one scalar LSQ-rule gradient per scale.  Both
+        routes are bit-identical to each other and to what the per-tile
+        op graph would produce (``tests/quant/test_psum_backward.py``).
         """
         np_tiles = self.num_tiles
         gs = self.config.gs
@@ -230,7 +360,9 @@ class TiledPsumAccumulator(Module):
         quantizers = list(self.quantizers)
         # Straight-through po2 snapping and the SCALE_EPS clamp happen in
         # effective_scale; gradients treat the snap as identity (STE).
-        saved_v: dict = {}
+        # Quantizer inputs (scaled) are written straight into one stacked
+        # array — the backward's fused LSQ pass consumes it as-is.
+        v_stack = np.empty_like(x)
 
         def quantize(i: int, z: np.ndarray) -> np.ndarray:
             q_mod = quantizers[i]
@@ -239,20 +371,16 @@ class TiledPsumAccumulator(Module):
                 # through the module so the hook sees its input.  Backward
                 # state still follows the STE formula on the same input.
                 out = q_mod(Tensor(z)).data
-                saved_v[i] = (z / q_mod.effective_scale, q_mod.effective_scale)
+                v_stack[i] = z / q_mod.effective_scale
                 return out
             if not q_mod._initialized:
                 q_mod.initialize_from(z)
             s = q_mod.effective_scale
-            v = z / s
-            out = np.clip(np.round(v), qn, qp) * s
-            saved_v[i] = (v, s)
-            return out
+            v = np.divide(z, s, out=v_stack[i])
+            return np.clip(np.round(v), qn, qp) * s
 
         # ---- forward: walk the shared schedule in plain numpy -------------
         schedule = ReductionSchedule.for_reduction(np_tiles, gs)
-        boundaries = list(schedule.group_starts)
-        plain_of_group = list(schedule.plain_of_group)
         prev: Optional[np.ndarray] = None
         out: Optional[np.ndarray] = None
         acc: Optional[np.ndarray] = None
@@ -272,35 +400,14 @@ class TiledPsumAccumulator(Module):
         self.psum_writes += schedule.activity.bank_writes
         self.psum_reads += schedule.activity.bank_reads
 
-        # ---- backward: replay the chain in reverse ------------------------
+        # ---- backward: one fused vectorized LSQ-gradient pass -------------
         grad_scale_factor = 1.0 / np.sqrt(max(x[0].size * qp, 1))
-
-        def lsq_grads(i: int, g: np.ndarray):
-            """(input grad, scale grad) of quantizer ``i`` (Esser et al.)."""
-            v, _s = saved_v[i]
-            inside = (v >= qn) & (v <= qp)
-            gz = g * inside
-            ds = np.where(v <= qn, qn, np.where(v >= qp, qp, np.round(v) - v))
-            gscale = (g * ds).sum() * grad_scale_factor
-            return gz, gscale
-
         scales = [q.scale for q in quantizers]
 
         def backward(g: np.ndarray):
-            grad_tiles = np.empty_like(x)
-            grad_scales = [None] * np_tiles
-            final = np_tiles - 1
-            g_acc, grad_scales[final] = lsq_grads(final, g)
-            grad_tiles[final] = g_acc
-            # When To sits on a group boundary its group is already done.
-            skip = 2 if boundaries[-1] == final else 1
-            groups = range(len(boundaries) - skip, -1, -1)
-            for gi in groups:
-                start = boundaries[gi]
-                for j in plain_of_group[gi]:
-                    grad_tiles[j], grad_scales[j] = lsq_grads(j, g_acc)
-                g_acc, grad_scales[start] = lsq_grads(start, g_acc)
-                grad_tiles[start] = g_acc
+            grad_tiles, grad_scales = _apsq_backward(
+                g, v_stack, schedule, qn, qp, grad_scale_factor
+            )
             scale_grads = tuple(
                 np.array(gs_val).reshape(scales[i].shape)
                 for i, gs_val in enumerate(grad_scales)

@@ -11,6 +11,13 @@ from .integration import (
     shift_exponent_error,
     shift_exponents,
 )
+from .planner import (
+    IntegerExecutionPlan,
+    PlannedLayer,
+    ReductionShape,
+    capture_layer_inputs,
+    verify_against_per_layer,
+)
 from .schedule import ReductionActivity, ReductionSchedule, ReductionStep, StepKind
 from .shifter import ShiftQuantizer, shift_round
 from .timing import RAETiming, reduction_cycles, throughput_report
@@ -33,6 +40,11 @@ __all__ = [
     "INT32_MIN",
     "INT32_MAX",
     "IntegerGemmRunner",
+    "IntegerExecutionPlan",
+    "PlannedLayer",
+    "ReductionShape",
+    "capture_layer_inputs",
+    "verify_against_per_layer",
     "ScalePlan",
     "scale_plan",
     "layer_scales",

@@ -46,13 +46,17 @@ class PsumBank:
     def word_shape(self) -> Tuple[int, ...]:
         return (self.lanes,) if self.rows is None else (self.rows, self.lanes)
 
-    def write(self, addr: int, codes: np.ndarray) -> None:
+    def write(self, addr: int, codes: np.ndarray, check: bool = True) -> None:
+        """Store one word.  ``check=False`` skips the range re-validation —
+        for writers whose codes provably fit (the engine's shift quantizer
+        saturates to the same INT-k range), so the hot loop does not pay a
+        full min/max scan per stored word."""
         codes = np.asarray(codes)
         if codes.shape != self.word_shape:
             raise ValueError(f"expected word shape {self.word_shape}, got {codes.shape}")
         if addr < 0 or addr >= self.capacity_tiles:
             raise IndexError(f"bank address {addr} out of range [0, {self.capacity_tiles})")
-        if codes.min() < self._qn or codes.max() > self._qp:
+        if check and (codes.min() < self._qn or codes.max() > self._qp):
             raise OverflowError(
                 f"codes outside INT{self.bits} range "
                 f"[{self._qn}, {self._qp}]: [{codes.min()}, {codes.max()}]"
@@ -61,13 +65,40 @@ class PsumBank:
         self._valid[addr] = True
         self.writes += 1
 
-    def read(self, addr: int) -> np.ndarray:
+    def read(self, addr: int, copy: bool = True) -> np.ndarray:
+        """Read one word.  ``copy=False`` returns the storage view directly —
+        for readers that only feed it into fresh-array arithmetic (the
+        engine's adder tree), skipping a defensive copy per access."""
         if addr < 0 or addr >= self.capacity_tiles:
             raise IndexError(f"bank address {addr} out of range [0, {self.capacity_tiles})")
         if not self._valid[addr]:
             raise ValueError(f"reading uninitialised bank address {addr}")
         self.reads += 1
-        return self._storage[addr].copy()
+        word = self._storage[addr]
+        return word.copy() if copy else word
+
+    def resize_rows(self, rows: Optional[int]) -> None:
+        """Re-shape word storage for a new batch width — grow *or* shrink.
+
+        Switching between scalar words (``rows=None``), a wider batch and a
+        narrower batch reallocates the SRAM model to exactly the requested
+        shape, so an engine shared across layer groups of different sizes
+        never holds peak-size int32 words for the whole run.  Stored words
+        are invalidated (a reduction never reads across batch shapes) but
+        the access counters survive — they feed the energy cross-checks.
+        """
+        if rows is not None and rows < 1:
+            raise ValueError("rows must be >= 1 when given")
+        if rows == self.rows:
+            return
+        self.rows = rows
+        self._storage = np.zeros((self.capacity_tiles,) + self.word_shape, dtype=np.int64)
+        self._valid[:] = False
+
+    @property
+    def storage_nbytes(self) -> int:
+        """Bytes currently held by the word storage (capacity diagnostics)."""
+        return int(self._storage.nbytes)
 
     def reset(self) -> None:
         self._storage[:] = 0

@@ -17,8 +17,10 @@ integer arithmetic.  Two entry points share that walk:
 - ``reduce_batch(tiles, exponents)`` — ``N`` independent reductions at
   once: ``tiles`` has shape ``(num_tiles, N, lanes)``, the banks store 2-D
   ``(N, lanes)`` words, and every quantize/dequantize/add runs as one
-  vectorized numpy op across the batch.  Activity statistics come from the
-  schedule's analytical counts × N.
+  vectorized numpy op across the batch.  Exponents may be scalars shared
+  by all rows or per-row vectors (each row its own learned shifts — the
+  per-channel / multi-layer-planner form).  Activity statistics come from
+  the schedule's analytical counts × N.
 
 Both are verified integer-exactly against the independent scalar oracle
 :func:`reference_apsq_reduce` in the tests.
@@ -106,43 +108,85 @@ class RAEngine:
         ]
 
     def _ensure_bank_rows(self, rows: Optional[int]) -> None:
-        """Re-shape bank storage when switching between scalar and batch.
+        """Re-shape bank storage to exactly ``rows`` words — grow or shrink.
 
-        Switching word shape reallocates the SRAM model (and its per-bank
-        access counters); the engine-level ``stats`` keep accumulating.
+        A planner-shared engine serves layer groups of different batch
+        widths back to back; resizing (rather than rebuilding) the banks
+        frees peak-size int32 words as soon as a smaller group runs, and
+        keeps every per-bank access counter accumulating across shapes.
         """
         if rows != self._rows:
-            self.banks = self._make_banks(rows)
+            self._rows = rows
+            for bank in self.banks:
+                bank.resize_rows(rows)
 
     def _check_int32(self, value: np.ndarray, what: str) -> np.ndarray:
         if value.min() < INT32_MIN or value.max() > INT32_MAX:
             raise OverflowError(f"{what} exceeds the 32-bit accumulator range")
         return value
 
-    def _read_group(self, stored: List[tuple], addr: int, shape: tuple) -> np.ndarray:
+    def _read_group(
+        self, stored: List[tuple], addr: int, shape: tuple, dequantize=None
+    ) -> np.ndarray:
         """Dequantize and sum the stored group via the two-stage adder tree."""
+        dequantize = dequantize or self.quantizer.dequantize
         acc = np.zeros(shape, dtype=np.int64)
         for bank, exponent in stored:
-            codes = self.banks[bank].read(addr)
-            acc = acc + self.quantizer.dequantize(codes, exponent)
+            # copy=False: dequantize's shift allocates a fresh array anyway.
+            codes = self.banks[bank].read(addr, copy=False)
+            acc = acc + dequantize(codes, exponent)
         return self._check_int32(acc, "group accumulation")
+
+    def _shift_ops(self, exponents: Sequence, rows: int):
+        """(quantize, dequantize) callables that handle per-row exponents.
+
+        Scalar exponents go straight to the shifter.  Per-row ``(rows,)``
+        vectors are materialized once per call as full ``(rows, lanes)``
+        exponent words: every subsequent shifter op then runs the fastest
+        same-shape ufunc loop instead of re-expanding a column broadcast —
+        bit-identical to the scalar form row by row, and roughly as fast.
+        """
+        q = self.quantizer
+        if all(np.isscalar(e) for e in exponents):
+            return q.quantize, q.dequantize
+        full = {
+            id(e): np.ascontiguousarray(np.broadcast_to(e[:, None], (rows, self.lanes)))
+            for e in exponents
+            if not np.isscalar(e)
+        }
+
+        def quantize(value, e):
+            return q.quantize(value, e if np.isscalar(e) else full[id(e)])
+
+        def dequantize(codes, e):
+            return q.dequantize(codes, e if np.isscalar(e) else full[id(e)])
+
+        return quantize, dequantize
 
     # ------------------------------------------------------------------
     def _execute(
         self,
         schedule: ReductionSchedule,
         tiles: Sequence[np.ndarray],
-        exponents: Sequence[int],
+        exponents: Sequence,
         addr: int,
         psq_codes: Optional[dict] = None,
+        shift_ops: Optional[tuple] = None,
     ) -> Tuple[np.ndarray, int]:
         """Walk the schedule once; ``tiles[i]`` may be 1-D or 2-D words.
 
         ``psq_codes`` optionally carries pre-quantized codes for the plain
         PSQ steps (they have no sequential dependency, so the batched path
         computes them all in one vectorized shifter call up front).
+
+        ``exponents[i]`` is a scalar shift or a per-row ``(rows,)`` vector;
+        ``shift_ops`` (from :meth:`_shift_ops`) supplies the quantize /
+        dequantize callables that know how to apply either form.
         """
-        q = self.quantizer
+        quantize, dequantize = shift_ops or (
+            self.quantizer.quantize,
+            self.quantizer.dequantize,
+        )
         prev: Optional[np.ndarray] = None
         group_stored: List[tuple] = []
         for step in schedule.steps:
@@ -151,31 +195,31 @@ class RAEngine:
 
             if step.kind is StepKind.FINAL:
                 if step.folds_stored:
-                    total = self._read_group(group_stored, addr, tile.shape) + tile
+                    total = self._read_group(group_stored, addr, tile.shape, dequantize) + tile
                 elif prev is not None:
                     total = prev + tile
                 else:
                     total = tile
-                codes = q.quantize(self._check_int32(total, "APSQ input"), exponent)
+                codes = quantize(self._check_int32(total, "APSQ input"), exponent)
                 if step.writes_bank:
-                    self.banks[step.bank].write(addr, codes)
+                    self.banks[step.bank].write(addr, codes, check=False)
                 return codes, exponent
 
             if step.kind is StepKind.APSQ:
                 value = tile if prev is None else prev + tile
-                codes = q.quantize(self._check_int32(value, "quantizer input"), exponent)
+                codes = quantize(self._check_int32(value, "quantizer input"), exponent)
             elif psq_codes is not None:
                 # Plain in-group quantization, precomputed by the batched
                 # pre-pass (the tile itself was range-checked on entry).
                 codes = psq_codes[step.index]
             else:
-                codes = q.quantize(self._check_int32(tile, "quantizer input"), exponent)
-            self.banks[step.bank].write(addr, codes)
+                codes = quantize(self._check_int32(tile, "quantizer input"), exponent)
+            self.banks[step.bank].write(addr, codes, check=False)
             group_stored.append((step.bank, exponent))
 
             if step.closes_group:
                 # Group complete: read it back for the next APSQ step.
-                prev = self._read_group(group_stored, addr, tile.shape)
+                prev = self._read_group(group_stored, addr, tile.shape, dequantize)
                 group_stored = []
 
         raise AssertionError("unreachable: the FINAL step returns inside the loop")
@@ -206,17 +250,50 @@ class RAEngine:
         self.stats.accumulate(schedule.activity)
         return codes, exponent
 
-    def reduce_batch(
-        self, tiles: np.ndarray, exponents: Sequence[int], addr: int = 0
-    ) -> tuple:
+    @staticmethod
+    def _normalize_batch_exponents(exponents, num_tiles: int, rows: int) -> list:
+        """Per-tile exponents as scalars or per-row ``(rows,)`` vectors.
+
+        Accepts a sequence of ``num_tiles`` entries (each a scalar or an
+        ``(rows,)`` vector) or a full ``(num_tiles, rows)`` matrix — the
+        form the model planner builds when one batched pass carries rows
+        of several layers, each with its own learned shifts.
+        """
+        if isinstance(exponents, np.ndarray) and exponents.ndim == 2:
+            if exponents.shape != (num_tiles, rows):
+                raise ValueError(
+                    f"exponent matrix shape {exponents.shape} != ({num_tiles}, {rows})"
+                )
+            matrix = exponents.astype(np.int64)
+            return [matrix[i] for i in range(num_tiles)]
+        if len(exponents) != num_tiles:
+            raise ValueError("need one exponent per tile")
+        out: list = []
+        for e in exponents:
+            a = np.asarray(e)
+            if a.ndim == 0:
+                out.append(int(a))
+            elif a.shape == (rows,):
+                out.append(a.astype(np.int64))
+            else:
+                raise ValueError(
+                    f"per-tile exponent must be a scalar or ({rows},) vector, "
+                    f"got shape {a.shape}"
+                )
+        return out
+
+    def reduce_batch(self, tiles: np.ndarray, exponents, addr: int = 0) -> tuple:
         """Run ``N`` independent reductions at once, vectorized over rows.
 
         ``tiles`` has shape ``(num_tiles, N, lanes)`` — ``tiles[i, r]`` is
-        reduction round ``i`` of output row ``r``.  All rows share the
-        per-tile exponents (they come from the layer's learned scales, not
-        from the data).  Returns ``(codes, exponent)`` with ``codes`` of
-        shape ``(N, lanes)`` — row ``r`` is bit-identical to
-        ``reduce(tiles[:, r], exponents)``.
+        reduction round ``i`` of output row ``r``.  ``exponents`` is one
+        shift per tile — a scalar when every row shares the layer's learned
+        scale, or a per-row ``(N,)`` vector (equivalently a full
+        ``(num_tiles, N)`` matrix) when rows carry different scales:
+        per-channel PSUM quantizers, or one planner pass batching several
+        layers of the same reduction shape.  Returns ``(codes, exponent)``
+        with ``codes`` of shape ``(N, lanes)`` — row ``r`` is bit-identical
+        to ``reduce(tiles[:, r], exponents[:, r])``.
         """
         tiles = np.asarray(tiles, dtype=np.int64)
         if tiles.ndim != 3:
@@ -226,29 +303,34 @@ class RAEngine:
         num_tiles, rows, lanes = tiles.shape
         if lanes != self.lanes:
             raise ValueError(f"tile lanes {lanes} != engine lanes {self.lanes}")
-        if num_tiles != len(exponents):
-            raise ValueError("need one exponent per tile")
         if num_tiles == 0:
             raise ValueError("empty reduction")
+        exps = self._normalize_batch_exponents(exponents, num_tiles, rows)
         if rows == 0:
             # A zero-row batch is a no-op reduction (empty GEMM input).
-            return np.zeros((0, self.lanes), dtype=np.int64), exponents[-1]
+            return np.zeros((0, self.lanes), dtype=np.int64), exps[-1]
         self._check_int32(tiles, "input PSUM tiles")
 
         schedule = ReductionSchedule.for_reduction(num_tiles, self.gs)
         self._ensure_bank_rows(rows)
+        shift_ops = self._shift_ops(exps, rows)
         # All plain PSQ steps are independent of the group chain: quantize
-        # the whole sub-stack in one array-exponent shifter call.
+        # the whole sub-stack up front — one stacked array-exponent shifter
+        # call for shared scalars, per-tile segmented calls otherwise.
         psq_codes: Optional[dict] = None
         psq_indices = schedule.psq_indices
         if psq_indices:
-            idx = np.asarray(psq_indices)
-            exps = np.asarray([exponents[i] for i in psq_indices]).reshape(-1, 1, 1)
-            stack_codes = self.quantizer.quantize(tiles[idx], exps)
-            psq_codes = {i: stack_codes[k] for k, i in enumerate(psq_indices)}
-        codes, exponent = self._execute(schedule, tiles, exponents, addr, psq_codes)
+            if all(np.isscalar(exps[i]) for i in psq_indices):
+                idx = np.asarray(psq_indices)
+                stack_exps = np.asarray([exps[i] for i in psq_indices]).reshape(-1, 1, 1)
+                stack_codes = self.quantizer.quantize(tiles[idx], stack_exps)
+                psq_codes = {i: stack_codes[k] for k, i in enumerate(psq_indices)}
+            else:
+                quantize = shift_ops[0]
+                psq_codes = {i: quantize(tiles[i], exps[i]) for i in psq_indices}
+        codes, _ = self._execute(schedule, tiles, exps, addr, psq_codes, shift_ops)
         self.stats.accumulate(schedule.activity, rows=rows)
-        return codes, exponent
+        return codes, exps[-1]
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

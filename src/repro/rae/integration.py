@@ -22,7 +22,11 @@ relative to the integer product's LSB weight.  Two modes:
 The runner executes all ``N`` output rows of a layer through **one**
 batched engine (``RAEngine.reduce_batch``) rather than a fresh Python
 engine per row; both requant modes drive their arithmetic off the shared
-:class:`~repro.rae.schedule.ReductionSchedule`.
+:class:`~repro.rae.schedule.ReductionSchedule`.  Since the model-wide
+planner landed (:mod:`repro.rae.planner`), the runner is a thin per-layer
+view onto an :class:`~repro.rae.planner.IntegerExecutionPlan` — the plan
+owns the engines (shared across layers of one reduction shape), the
+version-keyed weight-code cache and the :class:`ScalePlan`s.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from .shifter import ShiftQuantizer
 
 if TYPE_CHECKING:  # imported lazily to keep repro.rae importable on its own
     from ..quant.qlayers import PsumQuantizedLinear
+    from .planner import IntegerExecutionPlan
 
 
 def layer_scales(layer: "PsumQuantizedLinear") -> Tuple[float, float, List[float]]:
@@ -107,10 +112,12 @@ def shift_exponent_error(layer: "PsumQuantizedLinear") -> float:
 class IntegerGemmRunner:
     """Run a trained :class:`PsumQuantizedLinear` in integer arithmetic.
 
-    The runner quantizes inputs with the layer's learned activation scale,
-    multiplies integer codes tile-by-tile (the INT8 MAC array), pushes the
-    stacked INT32 PSUM tiles of *all* output rows through one batched
-    :class:`RAEngine`, and dequantizes the INT8 output codes.  ``run``
+    The runner is a thin per-layer view onto an
+    :class:`~repro.rae.planner.IntegerExecutionPlan`: the plan owns the
+    batched :class:`RAEngine` (shared by every layer of the same reduction
+    shape when the plan spans a model), the cached weight codes and the
+    :class:`ScalePlan`.  A standalone runner builds a private single-layer
+    plan, so the historical construction keeps working unchanged.  ``run``
     returns the float output (bias included) — directly comparable with
     the layer's eval-mode fake-quant forward.
     """
@@ -120,6 +127,8 @@ class IntegerGemmRunner:
         layer: "PsumQuantizedLinear",
         requant: str = "shift",
         rounding: str = "half_even",
+        plan: "IntegerExecutionPlan | None" = None,
+        layer_name: str = "layer",
     ) -> None:
         if not layer.tiled:
             raise ValueError(
@@ -128,32 +137,35 @@ class IntegerGemmRunner:
             )
         if requant not in ("shift", "exact"):
             raise ValueError(f"requant must be 'shift' or 'exact', got {requant!r}")
+        from .planner import IntegerExecutionPlan
+
         self.layer = layer
         self.requant = requant
         self.rounding = rounding
         self.gs = layer.config.gs
         self.pci = layer.config.pci
         self.bits = layer.config.psum_spec.bits
-        self._engine: RAEngine | None = None
-        self._plan: ScalePlan | None = None
-        self._plan_key: tuple | None = None
+        if plan is None:
+            plan = IntegerExecutionPlan([(layer_name, layer)], rounding=rounding)
+        elif plan.entry(layer_name).layer is not layer:
+            raise ValueError(f"plan entry {layer_name!r} does not hold this layer")
+        self._exec = plan
+        self._name = layer_name
+
+    @property
+    def execution_plan(self) -> "IntegerExecutionPlan":
+        """The shared (or private single-layer) plan this runner views."""
+        return self._exec
 
     @property
     def engine(self) -> RAEngine:
-        """One engine per layer, reused across runs, built on first use.
+        """The shape group's shared engine, built on first use.
 
         Lazy so that ``requant="exact"`` (a pure float-requant walk) keeps
         working for QAT group sizes beyond the Fig. 2 hardware table —
         only the shift path needs the RAE and its gs validation.
         """
-        if self._engine is None:
-            self._engine = RAEngine(
-                gs=self.gs,
-                lanes=self.layer.out_features,
-                bits=self.bits,
-                rounding=self.rounding,
-            )
-        return self._engine
+        return self._exec.engine_for(self._exec.entry(self._name).shape)
 
     # ------------------------------------------------------------------
     @property
@@ -164,36 +176,20 @@ class IntegerGemmRunner:
         reruns only when they actually changed, so a stale plan can never
         be applied to codes quantized with newer scales.
         """
-        key = layer_scales(self.layer)
-        key = (key[0], key[1], tuple(key[2]))
-        if self._plan is None or self._plan_key != key:
-            self._plan = scale_plan(self.layer)
-            self._plan_key = key
-        return self._plan
+        return self._exec.scale_plan_for(self._name)
 
     def refresh_scales(self) -> ScalePlan:
         """Force-recompute the plan (kept for explicit-control callers)."""
-        self._plan = None
-        return self.plan
+        return self._exec.refresh_scales(self._name)
 
     def integer_tiles(self, x: np.ndarray) -> Tuple[List[np.ndarray], float]:
-        """INT32 PSUM tiles of the GEMM, and the product scale s_x·s_w."""
-        layer = self.layer
-        x_codes = layer.act_quantizer.quantize_int(np.asarray(x, dtype=float))
-        w_codes = layer.weight_quantizer.quantize_int(layer.weight.data)  # (Co, Ci)
-        tiles = []
-        ci = layer.in_features
-        for lo in range(0, ci, self.pci):
-            hi = min(lo + self.pci, ci)
-            tiles.append(x_codes[:, lo:hi] @ w_codes[:, lo:hi].T)  # (N, Co) int64
-        return tiles, self.plan.product_scale
+        """INT32 PSUM tiles of the GEMM, and the product scale s_x·s_w.
 
-    def _run_shift(self, tiles: List[np.ndarray], plan: ScalePlan) -> np.ndarray:
-        """Integer path: one batched RAEngine with snapped shift exponents."""
-        stacked = np.stack(tiles)  # (num_tiles, N, Co)
-        codes, exp = self.engine.reduce_batch(stacked, list(plan.exponents))
-        out_scale = plan.alphas[-1] / (2.0 ** plan.exponents[-1])
-        return codes.astype(np.float64) * (2.0**exp) * out_scale
+        Weight codes come from the plan's version-keyed cache, so repeated
+        sweeps over a static layer quantize the weight exactly once.
+        """
+        stacked, _ = self._exec.integer_tiles(self._name, np.asarray(x, dtype=float))
+        return [stacked[i] for i in range(stacked.shape[0])], self.plan.product_scale
 
     def _run_exact(self, tiles: List[np.ndarray], plan: ScalePlan) -> np.ndarray:
         """Fixed-point-multiplier path: a schedule walk with float requant."""
@@ -235,11 +231,10 @@ class IntegerGemmRunner:
         x = np.asarray(x, dtype=float)
         if x.ndim != 2:
             raise ValueError(f"expected 2-D input (batch, Ci), got shape {x.shape}")
-        tiles, _ = self.integer_tiles(x)
         if self.requant == "shift":
-            out = self._run_shift(tiles, self.plan)
-        else:
-            out = self._run_exact(tiles, self.plan)
+            return self._exec.run_layer(self._name, x)
+        tiles, _ = self.integer_tiles(x)
+        out = self._run_exact(tiles, self.plan)
         if self.layer.bias is not None:
             out = out + self.layer.bias.data
         return out

@@ -1,0 +1,524 @@
+"""Model-wide integer execution planner: one batched RAE pass per shape.
+
+Hardware-equivalence runs (the table2/table3 datapath sign-offs, the
+``compare_with_fake_quant`` sweeps) used to drive one
+:class:`~repro.rae.integration.IntegerGemmRunner` per layer: every layer
+paid its own Python schedule walk through a private engine and re-quantized
+its weight codes on every call.  The planner turns that into a *model-wide*
+plan:
+
+- **Group by reduction shape.**  Every tiled ``PsumQuantizedLinear`` /
+  ``PsumQuantizedConv2d`` is keyed by ``(num_tiles, gs, lanes, bits)``;
+  layers sharing a key share one batched :class:`RAEngine`, so a whole
+  model's integer pass is a handful of ``reduce_batch`` calls — the rows of
+  all layers in a group are concatenated and pushed through Algorithm 1
+  together, with a per-row exponent matrix carrying each layer's learned
+  shifts.
+- **Cache weight codes.**  A layer's quantized weight codes are a pure
+  function of ``(weight, weight scale)``; the plan caches them keyed on the
+  :class:`~repro.nn.module.Parameter` version counter plus the effective
+  scale, so repeated sweeps stop re-quantizing static weights while QAT
+  updates (which bump the version) still invalidate correctly.
+- **Stay bit-identical.**  Row ``r`` of a grouped pass equals the
+  single-layer runner output bit-for-bit: per-row exponent vectors take the
+  exact same vectorized-shifter branch that is property-tested against the
+  scalar Algorithm 1 oracle, and dequantization reuses each layer's own
+  scalar requant constants.
+
+:class:`IntegerGemmRunner` is now a thin per-layer view onto one of these
+plans (a standalone runner builds a private single-layer plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .engine import RAEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nn.module import Module
+    from .integration import ScalePlan
+
+
+@dataclass(frozen=True)
+class ReductionShape:
+    """The grouping key: layers with equal keys share one batched engine."""
+
+    num_tiles: int
+    gs: int
+    lanes: int
+    bits: int
+
+
+class PlannedLayer:
+    """One layer's slot in a plan: shape key plus per-layer caches."""
+
+    __slots__ = (
+        "name", "layer", "kind", "shape",
+        "_w_codes", "_w_operand", "_w_key", "_plan", "_plan_key",
+    )
+
+    def __init__(self, name: str, layer, kind: str, shape: ReductionShape) -> None:
+        self.name = name
+        self.layer = layer
+        self.kind = kind  # "linear" | "conv"
+        self.shape = shape
+        self._w_codes: Optional[np.ndarray] = None
+        self._w_operand: Optional[np.ndarray] = None
+        self._w_key: Optional[tuple] = None
+        self._plan = None
+        self._plan_key: Optional[tuple] = None
+
+
+def _layer_entry(name: str, layer) -> PlannedLayer:
+    from ..quant.qlayers import PsumQuantizedConv2d, PsumQuantizedLinear
+
+    if isinstance(layer, PsumQuantizedConv2d):
+        kind, lanes = "conv", layer.conv_params.out_channels
+    elif isinstance(layer, PsumQuantizedLinear):
+        kind, lanes = "linear", layer.out_features
+    else:
+        raise TypeError(
+            f"layer {name!r} is not a PSUM-quantized Linear/Conv2d: {type(layer).__name__}"
+        )
+    if not layer.tiled:
+        raise ValueError(
+            f"layer {name!r} is not PSUM-tiled (single reduction tile); "
+            "integer execution reduces to a plain quantized matmul"
+        )
+    shape = ReductionShape(
+        num_tiles=layer.num_tiles,
+        gs=layer.config.gs,
+        lanes=lanes,
+        bits=layer.config.psum_spec.bits,
+    )
+    return PlannedLayer(name, layer, kind, shape)
+
+
+class IntegerExecutionPlan:
+    """Shared integer-execution state for a set of quantized layers.
+
+    Build once (:meth:`from_model` or the constructor), run many times:
+    engines are constructed lazily per reduction shape and reused, weight
+    codes are cached per layer, and :meth:`run_model` executes every layer
+    of a shape group in a single ``reduce_batch`` call.
+    """
+
+    def __init__(self, named_layers, rounding: str = "half_even") -> None:
+        self.rounding = rounding
+        self._entries: Dict[str, PlannedLayer] = {}
+        self._groups: Dict[ReductionShape, List[str]] = {}
+        self._engines: Dict[ReductionShape, RAEngine] = {}
+        self._exp_cache: Dict[ReductionShape, tuple] = {}
+        for name, layer in named_layers:
+            if name in self._entries:
+                raise ValueError(f"duplicate layer name {name!r}")
+            entry = _layer_entry(name, layer)
+            self._entries[name] = entry
+            self._groups.setdefault(entry.shape, []).append(name)
+
+    @classmethod
+    def from_model(cls, model: "Module", rounding: str = "half_even") -> "IntegerExecutionPlan":
+        """Walk ``model`` and plan every tiled PSUM-quantized Linear/Conv2d."""
+        from ..quant.qlayers import PsumQuantizedConv2d, PsumQuantizedLinear
+
+        layers = [
+            (name, module)
+            for name, module in model.named_modules()
+            if isinstance(module, (PsumQuantizedLinear, PsumQuantizedConv2d))
+            and getattr(module, "tiled", False)
+        ]
+        if not layers:
+            raise ValueError("model has no tiled PSUM-quantized layers to plan")
+        return cls(layers, rounding=rounding)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    @property
+    def groups(self) -> Dict[ReductionShape, Tuple[str, ...]]:
+        """Reduction-shape groups: one shared engine per key."""
+        return {shape: tuple(names) for shape, names in self._groups.items()}
+
+    def entry(self, name: str) -> PlannedLayer:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"layer {name!r} is not part of this plan") from None
+
+    def engine_for(self, shape: ReductionShape) -> RAEngine:
+        """The shared batched engine of one reduction-shape group (lazy)."""
+        engine = self._engines.get(shape)
+        if engine is None:
+            engine = RAEngine(
+                gs=shape.gs, lanes=shape.lanes, bits=shape.bits, rounding=self.rounding
+            )
+            self._engines[shape] = engine
+        return engine
+
+    def stats(self) -> Dict[ReductionShape, dict]:
+        """Per-shape activity counters of the engines built so far."""
+        return {
+            shape: {
+                "bank_reads": engine.stats.bank_reads,
+                "bank_writes": engine.stats.bank_writes,
+                "apsq_steps": engine.stats.apsq_steps,
+                "psq_steps": engine.stats.psq_steps,
+                "adder_ops": engine.stats.adder_ops,
+            }
+            for shape, engine in self._engines.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Per-layer constants (cached)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scale_versions(layer) -> tuple:
+        """Version counters of every scale Parameter feeding the ScalePlan.
+
+        Integer reads instead of recomputing (po2-snapped) effective scales
+        on every access — a QAT step rebinds the scale arrays and bumps the
+        versions, so staleness is impossible while steady-state sweeps pay
+        nothing.
+        """
+        return (
+            layer.act_quantizer.scale.version,
+            layer.weight_quantizer.scale.version,
+            tuple(q.scale.version for q in layer.accumulator.quantizers),
+        )
+
+    def scale_plan_for(self, name: str) -> "ScalePlan":
+        """The layer's requantization constants, recomputed only on change."""
+        from .integration import scale_plan
+
+        entry = self.entry(name)
+        key = self._scale_versions(entry.layer)
+        if entry._plan is None or entry._plan_key != key:
+            entry._plan = scale_plan(entry.layer)
+            entry._plan_key = key
+        return entry._plan
+
+    def refresh_scales(self, name: str) -> "ScalePlan":
+        """Force-recompute one layer's plan (explicit-control callers)."""
+        entry = self.entry(name)
+        entry._plan = None
+        return self.scale_plan_for(name)
+
+    def weight_codes(self, name: str) -> np.ndarray:
+        """The layer's integer weight codes, cached until the weight changes.
+
+        The cache keys on the weight Parameter's version counter (bumped by
+        every optimizer step / state-dict load) and the weight quantizer's
+        effective scale, so QAT invalidates it and static-weight sweeps pay
+        the quantization exactly once.
+        """
+        entry = self.entry(name)
+        layer = entry.layer
+        weight = layer.weight
+        key = (weight.version, layer.weight_quantizer.scale.version)
+        if entry._w_codes is None or entry._w_key != key:
+            codes = layer.weight_quantizer.quantize_int(weight.data)
+            if entry.kind == "conv":
+                codes = codes.reshape(layer.conv_params.out_channels, -1)
+            entry._w_codes = np.asarray(codes, dtype=np.int64)
+            entry._w_operand = None
+            entry._w_key = key
+        return entry._w_codes
+
+    def _weight_operand(self, name: str) -> np.ndarray:
+        """Cached batched-GEMM weight operand ``(num_tiles, pci, lanes)``.
+
+        Float64 on purpose: INT8×INT8 products accumulated over one
+        ``pci``-deep tile stay far below 2^53, so a BLAS float64 matmul is
+        integer-exact and much faster than numpy's generic int64 loops.
+        The reduction tail is zero-padded (padding lanes contribute 0).
+        """
+        entry = self.entry(name)
+        self.weight_codes(name)  # refresh the underlying code cache
+        if entry._w_operand is None:
+            num_tiles, lanes = entry.shape.num_tiles, entry.shape.lanes
+            pci = entry.layer.config.pci
+            codes = entry._w_codes
+            padded = num_tiles * pci
+            if padded != codes.shape[1]:
+                codes = np.concatenate(
+                    [codes, np.zeros((lanes, padded - codes.shape[1]), dtype=np.int64)],
+                    axis=1,
+                )
+            entry._w_operand = (
+                codes.reshape(lanes, num_tiles, pci).transpose(1, 2, 0).astype(np.float64)
+            )
+        return entry._w_operand
+
+    # ------------------------------------------------------------------
+    # Integer tile construction
+    # ------------------------------------------------------------------
+    def _gemm_rows(self, entry: PlannedLayer, x: np.ndarray) -> Tuple[np.ndarray, tuple]:
+        """Quantized GEMM-row codes ``(rows, Ci_red)`` and the output shape.
+
+        Codes are float64 on purpose (integer-exact: INT8 codes are far
+        below 2^53) so the tile GEMM runs through BLAS without dtype
+        round-trips.  Linear layers flatten their leading batch dims;
+        convolutions gather im2col columns over the activation codes, so
+        the planner executes the very GEMM the MAC array of Fig. 2 sees.
+        """
+        from ..quant.functional import quantize_code_values
+
+        layer = entry.layer
+        act = layer.act_quantizer
+        x = np.asarray(x, dtype=float)
+        if entry.kind == "linear":
+            if x.ndim < 2:
+                raise ValueError(f"expected at least 2-D input, got shape {x.shape}")
+            if x.shape[-1] != layer.in_features:
+                raise ValueError(
+                    f"layer {entry.name!r}: input features {x.shape[-1]} != {layer.in_features}"
+                )
+            codes = quantize_code_values(
+                x.reshape(-1, layer.in_features),
+                act.effective_scale, act.spec.qn, act.spec.qp,
+            )
+            return codes, x.shape[:-1] + (layer.out_features,)
+        # conv: quantize the image, then gather integer im2col columns.
+        from ..tensor import im2col
+        from ..tensor.tensor import Tensor
+
+        c = layer.conv_params
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D conv input (N, C, H, W), got shape {x.shape}")
+        n, _, h, w = x.shape
+        kh, kw = c.kernel_size
+        sh, sw = c.stride
+        ph, pw = c.padding
+        ho = (h + 2 * ph - kh) // sh + 1
+        wo = (w + 2 * pw - kw) // sw + 1
+        codes = quantize_code_values(x, act.effective_scale, act.spec.qn, act.spec.qp)
+        cols = im2col(Tensor(codes), c.kernel_size, c.stride, c.padding)
+        return cols.data.reshape(n * ho * wo, -1), (n, ho, wo, c.out_channels)
+
+    def _tile_matmul(self, entry: PlannedLayer, rows: np.ndarray) -> np.ndarray:
+        """Float64 PSUM tiles ``(num_tiles, n, lanes)`` from GEMM-row codes.
+
+        All ``num_tiles`` per-tile GEMMs run as a single batched BLAS
+        matmul — integer-exact at these magnitudes (see
+        :meth:`_weight_operand`) and far faster than numpy's int64 loops;
+        an uneven reduction tail is zero-padded (padding lanes multiply to
+        exactly 0, the integer analogue of
+        :func:`~repro.quant.psum.split_reduction_stacked`).
+        """
+        wr = self._weight_operand(entry.name)  # (T, pci, lanes) float64
+        num_tiles = entry.shape.num_tiles
+        pci = entry.layer.config.pci
+        n, ci = rows.shape
+        padded = num_tiles * pci
+        if padded != ci:
+            rows = np.concatenate(
+                [rows, np.zeros((n, padded - ci), dtype=rows.dtype)], axis=1
+            )
+        xr = rows.reshape(n, num_tiles, pci).transpose(1, 0, 2)  # (T, n, pci)
+        return xr @ wr
+
+    def integer_tiles(self, name: str, x: np.ndarray) -> Tuple[np.ndarray, tuple]:
+        """Stacked INT32 PSUM tiles ``(num_tiles, rows, lanes)`` for ``x``."""
+        entry = self.entry(name)
+        rows, out_shape = self._gemm_rows(entry, x)
+        return self._tile_matmul(entry, rows).astype(np.int64), out_shape
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _dequantize(
+        self, entry: PlannedLayer, codes: np.ndarray, out_shape: tuple, plan=None
+    ) -> np.ndarray:
+        plan = plan or self.scale_plan_for(entry.name)
+        out_scale = plan.alphas[-1] / (2.0 ** plan.exponents[-1])
+        out = codes.astype(np.float64) * (2.0 ** plan.exponents[-1]) * out_scale
+        layer = entry.layer
+        if layer.bias is not None:
+            out = out + layer.bias.data
+        out = out.reshape(out_shape)
+        if entry.kind == "conv":
+            out = out.transpose(0, 3, 1, 2)  # (N, Ho, Wo, Co) -> (N, Co, Ho, Wo)
+        return out
+
+    def run_layer(self, name: str, x: np.ndarray) -> np.ndarray:
+        """Integer-execute one layer through its group's shared engine."""
+        entry = self.entry(name)
+        tiles, out_shape = self.integer_tiles(name, x)
+        plan = self.scale_plan_for(name)
+        engine = self.engine_for(entry.shape)
+        codes, _ = engine.reduce_batch(tiles, list(plan.exponents))
+        return self._dequantize(entry, codes, out_shape)
+
+    def run_model(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Integer-execute every layer present in ``inputs``.
+
+        One ``reduce_batch`` per reduction shape: the rows of all layers in
+        a group are concatenated and reduced together under a per-row
+        exponent matrix, then split back and dequantized with each layer's
+        own requant constants.  Outputs are bit-identical to running each
+        layer through its own :class:`IntegerGemmRunner`.
+        """
+        unknown = [name for name in inputs if name not in self._entries]
+        if unknown:
+            raise KeyError(f"inputs for unplanned layers: {sorted(unknown)}")
+        outputs: Dict[str, np.ndarray] = {}
+        for shape, names in self._groups.items():
+            present = [n for n in names if n in inputs]
+            if not present:
+                continue
+            prepared = []
+            for n in present:
+                entry = self.entry(n)
+                rows, out_shape = self._gemm_rows(entry, inputs[n])
+                prepared.append((entry, rows, out_shape, self.scale_plan_for(n)))
+            row_counts = tuple(rows.shape[0] for _, rows, _, _ in prepared)
+            # Fill the group batch in place: the float64 tile matmul
+            # cast-assigns into the int64 slice (exact — integer-valued).
+            batched = np.empty(
+                (shape.num_tiles, sum(row_counts), shape.lanes), dtype=np.int64
+            )
+            offset = 0
+            for (entry, rows, _, _), count in zip(prepared, row_counts):
+                batched[:, offset : offset + count] = self._tile_matmul(entry, rows)
+                offset += count
+            exponents = self._group_exponents(
+                shape, tuple(p for _, _, _, p in prepared), row_counts
+            )
+            engine = self.engine_for(shape)
+            codes, _ = engine.reduce_batch(batched, exponents)
+            offset = 0
+            for (entry, _, out_shape, plan), count in zip(prepared, row_counts):
+                outputs[entry.name] = self._dequantize(
+                    entry, codes[offset : offset + count], out_shape, plan
+                )
+                offset += count
+        return outputs
+
+    def _group_exponents(
+        self, shape: ReductionShape, plans: tuple, row_counts: tuple
+    ) -> np.ndarray:
+        """The group's per-row exponent matrix ``(num_tiles, ΣN)``, cached.
+
+        Steady-state sweeps hit the cache: it stays valid while every
+        layer's (itself version-cached) :class:`ScalePlan` object and the
+        row layout are unchanged, so the matrix is rebuilt only after a
+        QAT step or a batch-size change.
+        """
+        cached = self._exp_cache.get(shape)
+        if (
+            cached is not None
+            and cached[1] == row_counts
+            and len(cached[0]) == len(plans)
+            and all(a is b for a, b in zip(cached[0], plans))
+        ):
+            return cached[2]
+        matrix = np.concatenate(
+            [
+                np.broadcast_to(
+                    np.asarray(plan.exponents, dtype=np.int64)[:, None],
+                    (shape.num_tiles, rows),
+                )
+                for plan, rows in zip(plans, row_counts)
+            ],
+            axis=1,
+        )
+        self._exp_cache[shape] = (plans, row_counts, matrix)
+        return matrix
+
+    def compare_with_fake_quant(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, dict]:
+        """Model-level agreement report: integer plan vs fake-quant forward."""
+        from ..tensor import no_grad
+        from ..tensor.tensor import Tensor
+
+        integer = self.run_model(inputs)
+        report: Dict[str, dict] = {}
+        for name, out in integer.items():
+            layer = self.entry(name).layer
+            was_training = layer.training
+            layer.eval()
+            with no_grad():
+                fake = layer(Tensor(np.asarray(inputs[name], dtype=float))).data
+            if was_training:
+                layer.train()
+            denom = np.abs(fake).mean() + 1e-12
+            report[name] = {
+                "max_abs_diff": float(np.abs(fake - out).max()),
+                "mean_rel_diff": float(np.abs(fake - out).mean() / denom),
+                "exponent_snap_bits": self.scale_plan_for(name).snap_error_bits,
+            }
+        return report
+
+    def runner(self, name: str, requant: str = "shift"):
+        """A thin per-layer :class:`IntegerGemmRunner` view onto this plan."""
+        from .integration import IntegerGemmRunner
+
+        return IntegerGemmRunner(self.entry(name).layer, requant=requant,
+                                 rounding=self.rounding, plan=self, layer_name=name)
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegerExecutionPlan(layers={len(self._entries)}, "
+            f"groups={len(self._groups)}, rounding={self.rounding!r})"
+        )
+
+
+def verify_against_per_layer(model: "Module", *args, rounding: str = "half_even") -> Dict[str, bool]:
+    """Bit-equality of one model-wide planner pass vs per-layer execution.
+
+    Runs ``model(*args)`` once to capture every planned layer's activations,
+    executes them through a shared :class:`IntegerExecutionPlan` (grouped
+    batched passes, per-row exponent matrices), and compares each layer's
+    output bit-for-bit against a fresh single-layer plan — the exact
+    datapath a standalone :class:`~repro.rae.IntegerGemmRunner` drives.
+    Returns ``{layer name: matched}``; the shared recipe behind the
+    table2/table3 sign-offs and the CI smoke check.
+    """
+    plan = IntegerExecutionPlan.from_model(model, rounding=rounding)
+    inputs = capture_layer_inputs(model, plan.layer_names, *args)
+    outputs = plan.run_model(inputs)
+    results: Dict[str, bool] = {}
+    for name in plan.layer_names:
+        single = IntegerExecutionPlan([(name, plan.entry(name).layer)], rounding=rounding)
+        reference = single.run_layer(name, inputs[name])
+        results[name] = bool(np.array_equal(outputs[name], reference))
+    return results
+
+
+def capture_layer_inputs(model: "Module", names, *args, **kwargs) -> Dict[str, np.ndarray]:
+    """Run ``model(*args)`` once, recording each named layer's input array.
+
+    The captured dict feeds :meth:`IntegerExecutionPlan.run_model` /
+    :meth:`compare_with_fake_quant`: it holds the activations each planned
+    layer would see inside the full model, so the hardware-equivalence
+    sweep exercises realistic ranges instead of synthetic inputs.
+    """
+    from ..tensor import no_grad
+    from ..tensor.tensor import Tensor
+
+    captures: Dict[str, np.ndarray] = {}
+    layers = [(name, model.get_submodule(name)) for name in names]
+    patched: List["Module"] = []
+    try:
+        for name, layer in layers:
+            original = type(layer).forward
+
+            def recording_forward(x, _name=name, _layer=layer, _original=original):
+                captures[_name] = np.array(x.data if isinstance(x, Tensor) else x, dtype=float)
+                return _original(_layer, x)
+
+            layer.__dict__["forward"] = recording_forward
+            patched.append(layer)
+        with no_grad():
+            model(*args, **kwargs)
+    finally:
+        for layer in patched:
+            layer.__dict__.pop("forward", None)
+    return captures

@@ -35,16 +35,29 @@ def shift_round(x: np.ndarray, exponent, rounding: str = "half_even") -> np.ndar
             return (x + half) >> exponent
         if rounding == "half_even":
             shifted = (x + half) >> exponent
-            # Detect exact ties: remainder == half; round down when result odd
-            # would be produced by half-up but even is below.
+            # Detect exact ties: remainder == half.  At a tie the half-up
+            # result is floor+1 exactly, so "result is odd" already implies
+            # "floor is even" — round down to the even floor.
             remainder = x & ((np.int64(1) << exponent) - 1)
             tie = remainder == half
-            make_even = tie & (shifted & 1 == 1) & ((x >> exponent) & 1 == 0)
+            make_even = tie & (shifted & 1 == 1)
             return shifted - make_even.astype(np.int64)
         raise ValueError(f"unknown rounding mode {rounding!r}")
 
     if rounding not in ("half_up", "half_even"):
         raise ValueError(f"unknown rounding mode {rounding!r}")
+    if e.size and (e > 0).all():
+        # Every element is a true right shift (the common case: learned
+        # PSUM scales sit above the product LSB) — skip the left-shift
+        # lane and the per-element select entirely.
+        half = np.int64(1) << (e - 1)
+        shifted = (x + half) >> e
+        if rounding == "half_even":
+            remainder = x & ((np.int64(1) << e) - 1)
+            tie = remainder == half
+            make_even = tie & (shifted & 1 == 1)
+            shifted = shifted - make_even.astype(np.int64)
+        return shifted
     # Vectorized per-element exponents: compute the right-shift rounding on
     # clamped non-negative amounts, the exact left shift separately, and
     # select per element.  Bit-identical to the scalar path above.
@@ -55,7 +68,7 @@ def shift_round(x: np.ndarray, exponent, rounding: str = "half_even") -> np.ndar
     if rounding == "half_even":
         remainder = x & ((np.int64(1) << e_pos) - 1)
         tie = (remainder == half) & (e_pos > 0)
-        make_even = tie & (shifted & 1 == 1) & ((x >> e_pos) & 1 == 0)
+        make_even = tie & (shifted & 1 == 1)
         shifted = shifted - make_even.astype(np.int64)
     return np.where(e <= 0, left, shifted)
 
@@ -78,9 +91,18 @@ class ShiftQuantizer:
         self.qn = -(2 ** (bits - 1))
         self.qp = 2 ** (bits - 1) - 1
 
-    def quantize(self, x: np.ndarray, exponent: int) -> np.ndarray:
+    def quantize(self, x: np.ndarray, exponent) -> np.ndarray:
+        """Saturated codes ``clip(round(x / 2^e))``; ``e`` scalar or array.
+
+        Array exponents broadcast against ``x`` — a ``(T, 1, 1)`` stack of
+        per-tile shifts, or a per-row ``(N, 1)`` column for batches whose
+        rows carry their own learned scales (per-channel PSUM quantizers,
+        or several layers sharing one batched engine pass).
+        """
         codes = shift_round(x, exponent, self.rounding)
-        return np.clip(codes, self.qn, self.qp)
+        # Raw ufuncs: np.clip's dispatch overhead is measurable at the
+        # per-step call rate of the batched engine walk.
+        return np.minimum(np.maximum(codes, self.qn), self.qp)
 
     def dequantize(self, codes: np.ndarray, exponent) -> np.ndarray:
         codes = np.asarray(codes, dtype=np.int64)
@@ -90,6 +112,10 @@ class ShiftQuantizer:
             if exponent >= 0:
                 return codes << exponent
             return codes >> (-exponent)  # negative exponents are sub-LSB scales
+        if e.size and (e >= 0).all():
+            return codes << e
+        if e.size and (e <= 0).all():
+            return codes >> (-e)  # sub-LSB scales right-shift exactly
         return np.where(e >= 0, codes << np.maximum(e, 0), codes >> np.maximum(-e, 0))
 
     def saturation_fraction(self, x: np.ndarray, exponent: int) -> float:

@@ -43,6 +43,10 @@ class TestExamples:
         # Four scalar gs sweeps plus the batched reduce_batch scenario.
         assert out.count("vs Algorithm 1: ok") == 5
         assert "reduce_batch: 32 rows in one pass" in out
+        # The model-wide planner section runs and groups layers.
+        assert "Model-wide integer execution planner" in out
+        assert "-> 1 shared engine" in out
+        assert "worst mean-relative diff" in out
 
     def test_nlp_glue(self, tmp_path):
         out = run_example("nlp_glue_apsq.py", tmp_path)

@@ -1,0 +1,84 @@
+"""Tests for the stable timings payload and the regression checker."""
+
+import json
+
+import pytest
+
+from repro.experiments.timings import (
+    Regression,
+    build_payload,
+    cell_medians,
+    compare,
+    dump_payload,
+    missing_hot_cells,
+    round_duration,
+)
+
+
+def cells(**keys):
+    return {
+        "schema": 2,
+        "tests": {},
+        "cells": {
+            key: {"kind": "x", "median_s": value, "runs": 1}
+            for key, value in keys.items()
+        },
+    }
+
+
+class TestBuildPayload:
+    def test_medians_and_sorted_keys(self):
+        records = [
+            {"key": "b", "kind": "x", "duration_s": 0.03},
+            {"key": "a", "kind": "y", "duration_s": 0.2},
+            {"key": "b", "kind": "x", "duration_s": 0.01},
+            {"key": "b", "kind": "x", "duration_s": 0.02},
+        ]
+        payload = build_payload({"t2": 1.23456789, "t1": 0.5}, records)
+        assert payload["schema"] == 2
+        assert list(payload["cells"]) == ["a", "b"]
+        assert payload["cells"]["b"] == {"kind": "x", "median_s": 0.02, "runs": 3}
+        assert list(payload["tests"]) == ["t1", "t2"]
+        assert payload["tests"]["t2"] == round_duration(1.23456789)
+
+    def test_dump_is_stable(self):
+        payload = build_payload({"t": 0.1}, [{"key": "a", "kind": "x", "duration_s": 0.5}])
+        text = dump_payload(payload)
+        assert text == dump_payload(json.loads(text))
+        assert text.endswith("\n")
+
+    def test_schema1_cells_still_readable(self):
+        payload = {
+            "schema": 1,
+            "cells": [
+                {"key": "a", "kind": "x", "duration_s": 0.1},
+                {"key": "a", "kind": "x", "duration_s": 0.3},
+            ],
+        }
+        assert cell_medians(payload) == {"a": 0.2}
+
+
+class TestCompare:
+    def test_flags_hot_path_regression(self):
+        regressions = compare(cells(hot=0.010, cold=0.001), cells(hot=0.020, cold=0.010))
+        assert [r.key for r in regressions] == ["hot"]  # cold is below the floor
+        assert regressions[0].ratio == pytest.approx(2.0)
+
+    def test_within_threshold_passes(self):
+        assert compare(cells(hot=0.010), cells(hot=0.014)) == []
+
+    def test_speedup_passes(self):
+        assert compare(cells(hot=0.010), cells(hot=0.002)) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare(cells(a=0.01), cells(a=0.01), threshold=1.0)
+
+    def test_missing_hot_cells_reported(self):
+        """Cells dropped by a partial run must be surfaced, not skipped."""
+        missing = missing_hot_cells(cells(hot=0.010, tiny=0.001), cells(other=0.010))
+        assert missing == ["hot"]
+
+    def test_regression_str_readable(self):
+        text = str(Regression("k", 0.010, 0.020))
+        assert "k" in text and "2.00x" in text

@@ -1,0 +1,146 @@
+"""The fused APSQ accumulator's vectorized backward vs the replay oracle.
+
+The accumulator's hand-written backward used to replay the group chain in
+a per-group Python loop; it is now a single fused LSQ-gradient pass
+(:func:`repro.quant.psum._apsq_grad_pass`).  The replay loop is kept as
+:func:`repro.quant.psum._apsq_grad_replay` and these tests pin the two
+bit-for-bit across group sizes, tile counts (ragged groups included),
+boundary-final layouts and dtypes — plus against the gradients of the
+plain per-tile autograd graph built from the same quantizers.
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.quant import TiledPsumAccumulator, apsq_config
+from repro.quant.psum import _apsq_grad_pass, _apsq_grad_replay
+from repro.rae import ReductionSchedule
+from repro.tensor import Tensor, manual_seed, set_default_dtype
+
+QN, QP = -128, 127
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    manual_seed(0)
+
+
+class TestGradPassBitIdentity:
+    @pytest.mark.parametrize(
+        "gs,np_tiles",
+        list(product([1, 2, 3, 4, 8], [2, 3, 4, 5, 6, 7, 8, 9, 12])),
+    )
+    def test_matches_replay_loop(self, gs, np_tiles):
+        """Every (gs, np) layout: vectorized == replay, bit for bit.
+
+        Inputs deliberately straddle the clip range so the inside-range
+        masks (the chain's cumprod terms) carry real zeros.
+        """
+        rng = np.random.default_rng(gs * 100 + np_tiles)
+        shape = (4, 5)
+        v_stack = rng.normal(size=(np_tiles,) + shape) * 100
+        g = rng.normal(size=shape)
+        factor = 1.0 / np.sqrt(shape[0] * shape[1] * QP)
+        schedule = ReductionSchedule.for_reduction(np_tiles, gs)
+        tiles_vec, scales_vec = _apsq_grad_pass(g, v_stack, schedule, QN, QP, factor)
+        tiles_ref, scales_ref = _apsq_grad_replay(g, v_stack, schedule, QN, QP, factor)
+        assert np.array_equal(tiles_vec, tiles_ref)
+        for a, b in zip(scales_vec, scales_ref):
+            assert np.float64(a) == np.float64(b)
+
+    def test_all_inside_range(self):
+        """No clipping anywhere: the chain masks are all ones."""
+        rng = np.random.default_rng(0)
+        v_stack = rng.uniform(-1, 1, size=(6, 3, 3))
+        g = rng.normal(size=(3, 3))
+        schedule = ReductionSchedule.for_reduction(6, 2)
+        factor = 0.1
+        tiles_vec, scales_vec = _apsq_grad_pass(g, v_stack, schedule, QN, QP, factor)
+        tiles_ref, scales_ref = _apsq_grad_replay(g, v_stack, schedule, QN, QP, factor)
+        assert np.array_equal(tiles_vec, tiles_ref)
+        assert scales_vec == pytest.approx(scales_ref, abs=0)
+
+    def test_float32_bit_identity(self):
+        rng = np.random.default_rng(1)
+        v_stack = (rng.normal(size=(5, 2, 4)) * 100).astype(np.float32)
+        g = rng.normal(size=(2, 4)).astype(np.float32)
+        schedule = ReductionSchedule.for_reduction(5, 2)
+        tiles_vec, scales_vec = _apsq_grad_pass(g, v_stack, schedule, QN, QP, 0.5)
+        tiles_ref, scales_ref = _apsq_grad_replay(g, v_stack, schedule, QN, QP, 0.5)
+        assert tiles_vec.dtype == np.float32
+        assert np.array_equal(tiles_vec, tiles_ref)
+        for a, b in zip(scales_vec, scales_ref):
+            assert np.float64(a) == np.float64(b)
+
+
+class TestAccumulatorGradsVsOpGraph:
+    """The fused op's gradients equal a per-tile autograd construction."""
+
+    @pytest.mark.parametrize("gs,np_tiles", [(1, 4), (2, 5), (2, 6), (3, 7), (4, 6)])
+    def test_tile_and_scale_grads_match_manual_graph(self, gs, np_tiles):
+        rng = np.random.default_rng(gs * 10 + np_tiles)
+        data = rng.normal(size=(np_tiles, 4, 3))
+
+        manual_seed(7)
+        acc = TiledPsumAccumulator(np_tiles, apsq_config(gs=gs))
+        stacked = Tensor(data.copy(), requires_grad=True)
+        acc(stacked).sum().backward()
+
+        # Re-walk Algorithm 1 with the very same (calibrated) quantizers
+        # as a plain per-tile op graph.
+        tiles = [Tensor(data[i].copy(), requires_grad=True) for i in range(np_tiles)]
+        q = list(acc.quantizers)
+        for quantizer in q:
+            quantizer.scale.grad = None
+        schedule = ReductionSchedule.for_reduction(np_tiles, gs)
+        prev = None
+        acc_t = None
+        out = None
+        for step in schedule.steps:
+            xi = tiles[step.index]
+            if step.kind.value == "final":
+                folded = acc_t if step.folds_stored else prev
+                out = q[step.index](xi if folded is None else folded + xi)
+                break
+            if step.kind.value == "apsq":
+                acc_t = q[step.index](xi if prev is None else prev + xi)
+            else:
+                acc_t = acc_t + q[step.index](xi)
+            if step.closes_group:
+                prev = acc_t
+        out.sum().backward()
+
+        for i in range(np_tiles):
+            assert np.array_equal(stacked.grad[i], tiles[i].grad), f"tile {i}"
+        # Scale grads: the manual graph accumulated fresh grads on the same
+        # scale parameters; the fused op produced them in one pass earlier,
+        # so compare against the replay-derived values via a fresh run.
+        manual_seed(7)
+        acc2 = TiledPsumAccumulator(np_tiles, apsq_config(gs=gs))
+        stacked2 = Tensor(data.copy(), requires_grad=True)
+        acc2(stacked2).sum().backward()
+        for q1, q2 in zip(acc.quantizers, acc2.quantizers):
+            assert np.array_equal(q1.scale.grad, q2.scale.grad)
+
+    def test_gradients_deterministic_across_dtypes(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(4, 3, 3))
+
+        def run():
+            manual_seed(0)
+            acc = TiledPsumAccumulator(4, apsq_config(gs=2))
+            stacked = Tensor(np.asarray(data, dtype=None), requires_grad=True)
+            acc(stacked).sum().backward()
+            return stacked.grad, [q.scale.grad for q in acc.quantizers]
+
+        g64, s64 = run()
+        set_default_dtype("float32")
+        try:
+            g32, s32 = run()
+        finally:
+            set_default_dtype("float64")
+        assert np.allclose(g64, g32, atol=1e-3)
+        for a, b in zip(s64, s32):
+            assert np.allclose(a, b, atol=1e-3)

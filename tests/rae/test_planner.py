@@ -1,0 +1,282 @@
+"""Tests for the model-wide integer execution planner."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import BertConfig, BertTiny
+from repro.quant import PsumQuantizedLinear, apsq_config, quantize_model
+from repro.quant.qlayers import PsumQuantizedConv2d
+from repro.rae import (
+    IntegerExecutionPlan,
+    IntegerGemmRunner,
+    ReductionShape,
+    capture_layer_inputs,
+    verify_against_per_layer,
+)
+from repro.tensor import Tensor, manual_seed, no_grad
+
+
+def make_linear(in_features=32, out_features=8, gs=2, seed=0, po2=True):
+    manual_seed(seed)
+    layer = PsumQuantizedLinear(
+        nn.Linear(in_features, out_features), apsq_config(gs=gs, pci=8)
+    )
+    rng = np.random.default_rng(seed)
+    layer(Tensor(rng.normal(size=(8, in_features))))
+    if po2:
+        layer.act_quantizer.scale.data = np.array(2.0**-4)
+        layer.weight_quantizer.scale.data = np.array(2.0**-5)
+        for i, q in enumerate(layer.accumulator.quantizers):
+            q.scale.data = np.array(2.0 ** (-6 + (i % 2)))
+    layer.eval()
+    return layer
+
+
+def make_quantized_bert(num_layers=2, hidden=64, gs=2, seed=0):
+    manual_seed(seed)
+    config = BertConfig(num_classes=2, num_layers=num_layers, hidden=hidden)
+    model = quantize_model(BertTiny(config), apsq_config(gs=gs, pci=8))
+    tokens = np.random.default_rng(seed).integers(0, config.vocab_size, size=(2, 16))
+    model(tokens)
+    model.eval()
+    return model, tokens
+
+
+class TestPlanConstruction:
+    def test_groups_by_reduction_shape(self):
+        model, _ = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        assert len(plan.layer_names) == 14
+        groups = plan.groups
+        assert len(groups) == 4
+        # q/k/v/out of both blocks plus the pooler share one shape.
+        big = groups[ReductionShape(num_tiles=8, gs=2, lanes=64, bits=8)]
+        assert len(big) == 9
+
+    def test_shared_engine_per_group(self):
+        model, _ = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        shape = ReductionShape(num_tiles=8, gs=2, lanes=64, bits=8)
+        assert plan.engine_for(shape) is plan.engine_for(shape)
+        other = ReductionShape(num_tiles=32, gs=2, lanes=64, bits=8)
+        assert plan.engine_for(shape) is not plan.engine_for(other)
+
+    def test_untiled_layer_rejected(self):
+        layer = PsumQuantizedLinear(nn.Linear(8, 4), apsq_config(gs=2, pci=8))
+        with pytest.raises(ValueError):
+            IntegerExecutionPlan([("small", layer)])
+
+    def test_duplicate_name_rejected(self):
+        layer = make_linear()
+        with pytest.raises(ValueError):
+            IntegerExecutionPlan([("a", layer), ("a", layer)])
+
+    def test_model_without_quantized_layers_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerExecutionPlan.from_model(nn.Linear(8, 4))
+
+    def test_unknown_layer_name(self):
+        plan = IntegerExecutionPlan([("layer", make_linear())])
+        with pytest.raises(KeyError):
+            plan.entry("other")
+        with pytest.raises(KeyError):
+            plan.run_model({"other": np.zeros((2, 32))})
+
+
+class TestModelExecution:
+    def test_bit_identical_to_per_layer_runners(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        inputs = capture_layer_inputs(model, plan.layer_names, tokens)
+        outputs = plan.run_model(inputs)
+        for name in plan.layer_names:
+            runner = IntegerGemmRunner(model.get_submodule(name))
+            x = inputs[name].reshape(-1, inputs[name].shape[-1])
+            reference = runner.run(x)
+            assert np.array_equal(outputs[name].reshape(reference.shape), reference), name
+
+    def test_verify_against_per_layer_helper(self):
+        """The shared sign-off recipe reports every layer bit-exact."""
+        model, tokens = make_quantized_bert()
+        results = verify_against_per_layer(model, tokens)
+        plan = IntegerExecutionPlan.from_model(model)
+        assert set(results) == set(plan.layer_names)
+        assert all(results.values())
+
+    def test_partial_inputs_run_partially(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        inputs = capture_layer_inputs(model, plan.layer_names, tokens)
+        subset = dict(list(inputs.items())[:3])
+        outputs = plan.run_model(subset)
+        assert set(outputs) == set(subset)
+
+    def test_linear_output_shape_preserved(self):
+        layer = make_linear()
+        plan = IntegerExecutionPlan([("layer", layer)])
+        out = plan.run_model({"layer": np.random.default_rng(0).normal(size=(2, 5, 32))})
+        assert out["layer"].shape == (2, 5, 8)
+
+    def test_repeated_runs_are_deterministic(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        inputs = capture_layer_inputs(model, plan.layer_names, tokens)
+        first = plan.run_model(inputs)
+        second = plan.run_model(inputs)
+        for name, value in first.items():
+            assert np.array_equal(value, second[name])
+
+    def test_compare_with_fake_quant_po2_exact(self):
+        layer = make_linear()
+        plan = IntegerExecutionPlan([("layer", layer)])
+        x = np.random.default_rng(3).normal(size=(4, 32)) * 0.5
+        report = plan.compare_with_fake_quant({"layer": x})
+        assert report["layer"]["exponent_snap_bits"] == 0.0
+        assert report["layer"]["max_abs_diff"] < 1e-9
+
+
+class TestConvExecution:
+    def make_conv(self, seed=0):
+        manual_seed(seed)
+        conv = PsumQuantizedConv2d(
+            nn.Conv2d(8, 6, 3, stride=1, padding=1), apsq_config(gs=2, pci=8)
+        )
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 8, 6, 6))
+        conv(Tensor(x))
+        conv.act_quantizer.scale.data = np.array(2.0**-4)
+        conv.weight_quantizer.scale.data = np.array(2.0**-5)
+        for i, q in enumerate(conv.accumulator.quantizers):
+            q.scale.data = np.array(2.0 ** (-6 + (i % 2)))
+        conv.eval()
+        return conv, x
+
+    def test_conv_matches_fake_quant(self):
+        conv, x = self.make_conv()
+        plan = IntegerExecutionPlan([("conv", conv)])
+        out = plan.run_model({"conv": x})["conv"]
+        with no_grad():
+            fake = conv(Tensor(x)).data
+        assert out.shape == fake.shape
+        assert np.abs(out - fake).max() < 1e-9
+
+    def test_conv_groups_by_out_channels(self):
+        conv, _ = self.make_conv()
+        plan = IntegerExecutionPlan([("conv", conv)])
+        (shape,) = plan.groups
+        assert shape.lanes == 6
+        assert shape.num_tiles == conv.num_tiles
+
+    def test_conv_rejects_non_4d_input(self):
+        conv, _ = self.make_conv()
+        plan = IntegerExecutionPlan([("conv", conv)])
+        with pytest.raises(ValueError):
+            plan.run_model({"conv": np.zeros((8, 6, 6))})
+
+
+class TestWeightCodeCache:
+    def test_cache_hit_is_same_object(self):
+        plan = IntegerExecutionPlan([("layer", make_linear())])
+        first = plan.weight_codes("layer")
+        assert plan.weight_codes("layer") is first
+
+    def test_weight_rebind_invalidates(self):
+        layer = make_linear()
+        plan = IntegerExecutionPlan([("layer", layer)])
+        first = plan.weight_codes("layer")
+        layer.weight.data = layer.weight.data * 2.0  # bumps the version
+        second = plan.weight_codes("layer")
+        assert second is not first
+        assert not np.array_equal(first, second)
+
+    def test_inplace_mutation_with_bump(self):
+        layer = make_linear()
+        plan = IntegerExecutionPlan([("layer", layer)])
+        first = plan.weight_codes("layer")
+        layer.weight.data[:] = layer.weight.data * 2.0
+        layer.weight.bump_version()
+        assert plan.weight_codes("layer") is not first
+
+    def test_weight_scale_change_invalidates(self):
+        layer = make_linear()
+        plan = IntegerExecutionPlan([("layer", layer)])
+        first = plan.weight_codes("layer")
+        layer.weight_quantizer.scale.data = np.array(2.0**-3)
+        assert plan.weight_codes("layer") is not first
+
+    def test_qat_step_keeps_runner_correct(self):
+        """End-to-end: after a parameter update the plan output tracks it."""
+        layer = make_linear()
+        runner = IntegerGemmRunner(layer)
+        x = np.random.default_rng(5).normal(size=(4, 32)) * 0.5
+        before = runner.run(x)
+        layer.weight.data = layer.weight.data + 0.25
+        after = runner.run(x)
+        assert not np.array_equal(before, after)
+        report = runner.compare_with_fake_quant(x)
+        assert report["max_abs_diff"] < 1e-9
+
+
+class TestScalePlanCache:
+    def test_plan_object_cached(self):
+        plan = IntegerExecutionPlan([("layer", make_linear())])
+        assert plan.scale_plan_for("layer") is plan.scale_plan_for("layer")
+
+    def test_scale_rebind_invalidates(self):
+        layer = make_linear()
+        plan = IntegerExecutionPlan([("layer", layer)])
+        first = plan.scale_plan_for("layer")
+        layer.act_quantizer.scale.data = np.array(2.0**-3)
+        second = plan.scale_plan_for("layer")
+        assert second is not first
+        assert second.product_scale == pytest.approx(2.0**-3 * 2.0**-5)
+
+
+class TestRunnerView:
+    def test_runner_from_plan_shares_engine(self):
+        model, _ = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        names = plan.groups[ReductionShape(num_tiles=8, gs=2, lanes=64, bits=8)][:2]
+        runners = [plan.runner(n) for n in names]
+        assert runners[0].engine is runners[1].engine
+        assert runners[0].execution_plan is plan
+
+    def test_standalone_runner_builds_private_plan(self):
+        layer = make_linear()
+        a, b = IntegerGemmRunner(layer), IntegerGemmRunner(layer)
+        assert a.execution_plan is not b.execution_plan
+        assert a.engine is not b.engine
+
+    def test_runner_rejects_mismatched_plan_entry(self):
+        plan = IntegerExecutionPlan([("layer", make_linear(seed=1))])
+        with pytest.raises(ValueError):
+            IntegerGemmRunner(make_linear(seed=2), plan=plan, layer_name="layer")
+
+
+class TestCaptureInputs:
+    def test_captures_every_planned_layer(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        inputs = capture_layer_inputs(model, plan.layer_names, tokens)
+        assert set(inputs) == set(plan.layer_names)
+        for name, x in inputs.items():
+            layer = model.get_submodule(name)
+            assert x.shape[-1] == layer.in_features
+
+    def test_forward_restored_after_capture(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        capture_layer_inputs(model, plan.layer_names, tokens)
+        for name in plan.layer_names:
+            assert "forward" not in vars(model.get_submodule(name))
+
+    def test_restored_on_forward_error(self):
+        model, _ = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        with pytest.raises(ValueError):
+            capture_layer_inputs(
+                model, plan.layer_names, np.zeros((1, 999), dtype=np.int64)
+            )
+        for name in plan.layer_names:
+            assert "forward" not in vars(model.get_submodule(name))

@@ -75,6 +75,129 @@ class TestReduceBatchEquality:
             assert np.array_equal(codes[row], ref)
 
 
+class TestPerRowExponents:
+    """Per-row exponent vectors: the per-channel / planner batching form.
+
+    A batched reduction where every row carries its own shifts must equal
+    the scalar oracle driven row by row with that row's exponent column —
+    across group sizes, both rounding modes, ragged last groups, negative
+    (sub-LSB) exponents, and both accepted input forms.
+    """
+
+    @pytest.mark.parametrize("gs", [1, 2, 3, 4])
+    @pytest.mark.parametrize("rounding", ["half_even", "half_up"])
+    @pytest.mark.parametrize("num_tiles", [1, 2, 3, 5, 7, 9])
+    @pytest.mark.parametrize("rows", [1, 7, 33])
+    def test_matrix_matches_per_row_scalar_reduce(self, gs, rounding, num_tiles, rows):
+        tiles = make_batch(num_tiles, rows, seed=gs * 777 + num_tiles * 13 + rows)
+        rng = np.random.default_rng(num_tiles * 31 + rows)
+        matrix = rng.integers(3, 10, size=(num_tiles, rows))
+        engine = RAEngine(gs=gs, lanes=LANES, rounding=rounding)
+        codes, exp = engine.reduce_batch(tiles, matrix)
+        assert np.array_equal(exp, matrix[-1])
+        for row in range(rows):
+            ref, ref_exp = reference_apsq_reduce(
+                list(tiles[:, row]), list(matrix[:, row]), gs=gs, rounding=rounding
+            )
+            assert ref_exp == matrix[-1, row]
+            assert np.array_equal(codes[row], ref), f"row {row} diverged"
+
+    @pytest.mark.parametrize("rounding", ["half_even", "half_up"])
+    def test_negative_per_row_exponents(self, rounding):
+        """Sub-LSB scales in a per-row matrix left-shift exactly."""
+        tiles = make_batch(5, 6, seed=42, scale=60)
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(-3, 4, size=(5, 6))
+        engine = RAEngine(gs=2, lanes=LANES, rounding=rounding)
+        codes, _ = engine.reduce_batch(tiles, matrix)
+        for row in range(6):
+            ref, _ = reference_apsq_reduce(
+                list(tiles[:, row]), list(matrix[:, row]), gs=2, rounding=rounding
+            )
+            assert np.array_equal(codes[row], ref)
+
+    def test_mixed_scalar_and_vector_entries(self):
+        """A list mixing shared scalars and per-row vectors is accepted."""
+        tiles = make_batch(4, 5, seed=11)
+        rng = np.random.default_rng(11)
+        vector = rng.integers(4, 9, size=5)
+        exponents = [6, vector, 7, 5]
+        engine = RAEngine(gs=2, lanes=LANES)
+        codes, exp = engine.reduce_batch(tiles, exponents)
+        assert exp == 5
+        for row in range(5):
+            per_row = [6, int(vector[row]), 7, 5]
+            ref, _ = reference_apsq_reduce(list(tiles[:, row]), per_row, gs=2)
+            assert np.array_equal(codes[row], ref)
+
+    def test_constant_vector_equals_scalar(self):
+        """A constant per-row vector is bit-identical to the scalar form."""
+        tiles = make_batch(6, 9, seed=5)
+        exponents = [5, 6, 6, 7, 7, 8]
+        matrix = np.broadcast_to(np.asarray(exponents)[:, None], (6, 9))
+        scalar_codes, scalar_exp = RAEngine(gs=3, lanes=LANES).reduce_batch(
+            tiles, exponents
+        )
+        vector_codes, vector_exp = RAEngine(gs=3, lanes=LANES).reduce_batch(
+            tiles, matrix
+        )
+        assert np.array_equal(scalar_codes, vector_codes)
+        assert np.all(vector_exp == scalar_exp)
+
+    def test_bad_matrix_shape_rejected(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        with pytest.raises(ValueError):
+            engine.reduce_batch(np.zeros((4, 3, LANES)), np.zeros((4, 5), dtype=int))
+
+    def test_bad_vector_length_rejected(self):
+        engine = RAEngine(gs=2, lanes=LANES)
+        exponents = [5, 5, 5, np.zeros(7, dtype=int)]  # rows is 3
+        with pytest.raises(ValueError):
+            engine.reduce_batch(np.zeros((4, 3, LANES)), exponents)
+
+    def test_stats_unaffected_by_exponent_form(self):
+        tiles = make_batch(6, 8, seed=2)
+        matrix = np.full((6, 8), 5, dtype=np.int64)
+        engine = RAEngine(gs=2, lanes=LANES)
+        engine.reduce_batch(tiles, matrix)
+        activity = ReductionSchedule.for_reduction(6, 2).activity
+        assert engine.stats.bank_writes == activity.bank_writes * 8
+
+
+class TestBankRowResize:
+    def test_banks_shrink_after_smaller_batch(self):
+        """A shared engine must release peak-size words (planner reuse)."""
+        engine = RAEngine(gs=2, lanes=LANES)
+        engine.reduce_batch(make_batch(4, 64, seed=1), [5] * 4)
+        peak = sum(b.storage_nbytes for b in engine.banks)
+        engine.reduce_batch(make_batch(4, 2, seed=2), [5] * 4)
+        small = sum(b.storage_nbytes for b in engine.banks)
+        assert small < peak
+        assert small == peak // 32  # 64 rows -> 2 rows
+
+    def test_resize_preserves_access_counters(self):
+        """Bank counters feed the energy cross-check; resizing keeps them."""
+        engine = RAEngine(gs=2, lanes=LANES)
+        engine.reduce_batch(make_batch(4, 8, seed=3), [5] * 4)
+        writes_before = [b.writes for b in engine.banks]
+        assert sum(writes_before) > 0
+        engine.reduce_batch(make_batch(4, 2, seed=4), [5] * 4)
+        for bank, before in zip(engine.banks, writes_before):
+            assert bank.writes >= before
+
+    def test_resize_invalidates_stored_words(self):
+        bank = PsumBank(4, lanes=8, rows=3)
+        bank.write(0, np.zeros((3, 8)))
+        bank.resize_rows(5)
+        with pytest.raises(ValueError):
+            bank.read(0)
+
+    def test_resize_rejects_zero_rows(self):
+        bank = PsumBank(4, lanes=8, rows=3)
+        with pytest.raises(ValueError):
+            bank.resize_rows(0)
+
+
 class TestReduceBatchStats:
     @pytest.mark.parametrize("gs", [1, 2, 3, 4])
     @pytest.mark.parametrize("num_tiles", [2, 5, 8])
