@@ -60,14 +60,14 @@ def pytest_sessionfinish(session, exitstatus):
         return
     try:
         from repro.experiments.executor import drain_cell_timings
-        from repro.experiments.timings import build_payload, dump_payload
+        from repro.experiments.timings import build_payload, write_payload
 
         cells = drain_cell_timings()
     except ImportError:
         return
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = build_payload(_TEST_TIMINGS, cells)
-    (RESULTS_DIR / "timings.json").write_text(dump_payload(payload))
+    write_payload(RESULTS_DIR / "timings.json", payload)
 
 
 @pytest.fixture(scope="session")

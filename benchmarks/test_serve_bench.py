@@ -1,0 +1,95 @@
+"""Serving-layer bench: micro-batched dispatch vs batch-size-1 dispatch.
+
+The serving subsystem exists to amortize the per-pass fixed costs of the
+integer datapath (schedule walks, quantize calls, dispatch overhead)
+across coalesced requests.  This bench drives the BERT endpoint with the
+same byte-identical request burst under both policies, verifies the
+responses are bit-identical (speed means nothing if the datapath
+drifted), records both wall-clocks as cells in
+``benchmarks/results/timings.json``, and gates the >= 3x throughput the
+subsystem exists to deliver.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+
+from repro.serve import (
+    BatchPolicy,
+    InferenceService,
+    bench_microbatch_speedup,
+    clear_endpoint_memo,
+    default_registry,
+)
+
+GATE_REQUESTS = 96
+GATE_MAX_BATCH = 24
+
+
+def _response_bits(result):
+    for attr in ("logits", "logprobs"):
+        if hasattr(result, attr):
+            return getattr(result, attr)
+    raise AssertionError(f"no raw output on {type(result).__name__}")
+
+
+def test_serve_microbatch_speedup(results_dir):
+    result = bench_microbatch_speedup(
+        family="bert",
+        requests=GATE_REQUESTS,
+        max_batch=GATE_MAX_BATCH,
+        workers=1,
+        repeats=3,
+    )
+    save_result(
+        results_dir,
+        "serve_microbatch",
+        "repro.serve — micro-batched vs batch-size-1 dispatch (BERT endpoint)\n"
+        f"requests={result['requests']}, max_batch={result['max_batch']}, "
+        f"mean coalesced batch {result['mean_coalesced_batch']:.1f}\n"
+        f"batch-size-1 dispatch: {result['t_batch1_s'] * 1e3:8.2f} ms "
+        f"({result['throughput_batch1_rps']:8.1f} req/s)\n"
+        f"micro-batched:         {result['t_microbatch_s'] * 1e3:8.2f} ms "
+        f"({result['throughput_microbatch_rps']:8.1f} req/s)\n"
+        f"speedup: {result['speedup']:.1f}x (gate: >= 3x)",
+    )
+    # bench_microbatch_speedup already asserted bit-identity between the
+    # two dispatch modes before returning any number.
+    assert result["speedup"] >= 3.0, (
+        f"micro-batched serving only {result['speedup']:.1f}x faster"
+    )
+
+
+@pytest.mark.smoke
+def test_serve_smoke_mixed_burst_determinism():
+    """Cold-cache serve smoke (run by the CI smoke job).
+
+    Boots the three-scenario service in-process from a cold endpoint
+    memo, pushes a small mixed-scenario burst (BERT endpoint included)
+    through two workers, and asserts the determinism invariant: every
+    coalesced response is bit-identical to the sequential single-request
+    oracle.
+    """
+    clear_endpoint_memo()
+    registry = default_registry()
+    rng = np.random.default_rng(0)
+    burst = [
+        (name, registry.get(name).synth_request(rng))
+        for _ in range(3)
+        for name in registry.names
+    ]
+    with InferenceService(
+        registry, policy=BatchPolicy(max_batch=4, max_delay_s=0.002), workers=2
+    ) as service:
+        futures = [service.submit(name, request) for name, request in burst]
+        responses = [future.result(120.0) for future in futures]
+    assert all(response.endpoint == name for (name, _), response in zip(burst, responses))
+    for (name, request), response in zip(burst, responses):
+        single = registry.get(name).serve_one(request)
+        assert np.array_equal(
+            _response_bits(response.result), _response_bits(single)
+        ), f"endpoint {name}: coalesced response drifted from the sequential oracle"
+    snapshot = service.metrics.snapshot()
+    assert snapshot["completed"] == len(burst)
+    assert snapshot["failed"] == 0

@@ -12,6 +12,10 @@ Parts:
 5. Model-wide integer execution planner — build one plan over a quantized
    BERT, run the whole model's hardware-equivalence pass as a handful of
    grouped batched reductions, and time it against per-layer runners.
+6. Request-level serving — pin the planner behind a `repro.serve`
+   endpoint, push a burst of classification requests through the
+   micro-batching service, and check the coalesced responses are
+   bit-identical to sequential single-request dispatch.
 
 Runs in seconds; purely analytical + integer simulation (no training).
 """
@@ -191,6 +195,42 @@ def model_wide_planner():
     print(f"worst mean-relative diff vs fake-quant forward: {worst:.3f}")
 
 
+def request_level_serving():
+    print("\n=== 6. Request-level serving (repro.serve) ===")
+    import time
+
+    from repro.serve import BatchPolicy, EndpointRegistry, InferenceService, build_endpoint
+
+    endpoint = build_endpoint("bert")
+    registry = EndpointRegistry()
+    registry.register(endpoint)
+    print(endpoint)
+
+    rng = np.random.default_rng(0)
+    requests = [endpoint.synth_request(rng) for _ in range(16)]
+    service = InferenceService(
+        registry, policy=BatchPolicy(max_batch=8, max_delay_s=0.002)
+    ).start()
+    try:
+        t0 = time.perf_counter()
+        futures = [service.submit("bert", r) for r in requests]
+        responses = [f.result() for f in futures]
+        elapsed = time.perf_counter() - t0
+    finally:
+        metrics = service.drain()
+    sizes = sorted({r.timing.batch_size for r in responses})
+    matches = all(
+        np.array_equal(resp.result.logits, endpoint.serve_one(req).logits)
+        for req, resp in zip(requests, responses)
+    )
+    stats = metrics["endpoints"]["bert"]
+    print(
+        f"served {metrics['completed']} requests in {elapsed * 1e3:.1f} ms "
+        f"({stats['batches']} coalesced batches, sizes {sizes})"
+    )
+    print(f"micro-batched == sequential single-request dispatch: {'ok' if matches else 'MISMATCH'}")
+
+
 if __name__ == "__main__":
     energy_landscape()
     area_accounting()
@@ -198,3 +238,4 @@ if __name__ == "__main__":
     drill_down()
     integer_inference()
     model_wide_planner()
+    request_level_serving()

@@ -15,6 +15,11 @@ timings [--check] [--baseline PATH] [--threshold X]
     Summarize ``benchmarks/results/timings.json``; with ``--check``,
     compare its cells against the committed baseline and exit non-zero
     on hot-path regressions (> threshold×, default 1.5).
+serve-bench [--requests N] [--max-batch B] [--workers W] [--mode open|closed]
+    Boot the micro-batching integer-inference service in-process, run the
+    BERT micro-batch-vs-batch-1 gate plus a mixed-scenario load phase,
+    print the throughput/latency report and merge the measured cells into
+    ``benchmarks/results/timings.json`` (``--no-record`` skips the merge).
 info
     Print the package/version and the configuration of the analytical
     accelerator.
@@ -112,6 +117,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     timings_parser.add_argument(
         "--threshold", type=float, default=1.5, help="regression ratio gate (default 1.5)"
     )
+    serve_parser = sub.add_parser(
+        "serve-bench", help="benchmark the micro-batching integer-inference service"
+    )
+    serve_parser.add_argument(
+        "--families",
+        default="bert,llama,segformer",
+        help="comma-separated endpoint families for the mixed load phase",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=60, help="mixed-load request count"
+    )
+    serve_parser.add_argument(
+        "--gate-requests", type=int, default=96, help="burst size for the BERT gate"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=24, help="micro-batch coalescing cap"
+    )
+    serve_parser.add_argument(
+        "--max-delay-ms", type=float, default=2.0, help="coalescing latency bound"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="serve worker threads (mixed phase)"
+    )
+    serve_parser.add_argument(
+        "--mode", choices=["closed", "open"], default="closed", help="arrival pattern"
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=16, help="closed-loop outstanding requests"
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=300.0, help="open-loop arrival rate (req/s)"
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--timings",
+        default="benchmarks/results/timings.json",
+        help="timings payload to merge the measured cells into",
+    )
+    serve_parser.add_argument(
+        "--no-record", action="store_true", help="do not touch the timings payload"
+    )
     all_parser = sub.add_parser("all", help="regenerate every artefact")
     _add_effort_args(all_parser)
     for name in sorted(ARTEFACTS):
@@ -132,6 +178,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             threshold=args.threshold,
             check=args.check,
         )
+    elif args.command == "serve-bench":
+        from pathlib import Path
+
+        from .serve import format_bench_report, serve_bench
+
+        result = serve_bench(
+            families=tuple(f for f in args.families.split(",") if f),
+            requests=args.requests,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+            workers=args.workers,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            rate_hz=args.rate,
+            seed=args.seed,
+            gate_requests=args.gate_requests,
+            timings_path=None if args.no_record else Path(args.timings),
+        )
+        print(format_bench_report(result))
     elif args.command == "info":
         print(cmd_info())
     elif args.command == "run":

@@ -25,6 +25,7 @@ their grids with :class:`ExperimentCell` and read the returned mapping.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -119,18 +120,28 @@ def _init_worker(dtype_name: str) -> None:
 # ----------------------------------------------------------------------
 # Timing log (drained by the benchmark harness)
 # ----------------------------------------------------------------------
+# The log is written from whatever thread happens to finish a timed unit:
+# the pytest session thread, the parallel executor's completion loop, and
+# — since the serving layer landed — concurrent serve worker threads.  A
+# single lock keeps the record list coherent; the downstream file write
+# uses the same atomic-replace discipline as the result store (see
+# :func:`repro.experiments.timings.write_payload`), so concurrent
+# processes can never leave a torn ``timings.json`` behind.
 
 _CELL_TIMINGS: List[Dict[str, Any]] = []
+_CELL_TIMINGS_LOCK = threading.Lock()
 
 
 def cell_timings() -> List[Dict[str, Any]]:
     """Per-cell wall-clock records accumulated in this process."""
-    return list(_CELL_TIMINGS)
+    with _CELL_TIMINGS_LOCK:
+        return list(_CELL_TIMINGS)
 
 
 def drain_cell_timings() -> List[Dict[str, Any]]:
-    records = list(_CELL_TIMINGS)
-    _CELL_TIMINGS.clear()
+    with _CELL_TIMINGS_LOCK:
+        records = list(_CELL_TIMINGS)
+        _CELL_TIMINGS.clear()
     return records
 
 
@@ -140,9 +151,12 @@ def record_cell_timing(key: str, kind: str, duration_s: float) -> None:
     Records land next to the experiment cells in
     ``benchmarks/results/timings.json`` when the benchmark harness drains
     the log, giving one per-(experiment, method) wall-clock trajectory for
-    everything the suite times — not only executor-run cells.
+    everything the suite times — not only executor-run cells.  Safe to
+    call from concurrent serve workers.
     """
-    _CELL_TIMINGS.append({"key": key, "kind": kind, "duration_s": round(duration_s, 6)})
+    record = {"key": key, "kind": kind, "duration_s": round(duration_s, 6)}
+    with _CELL_TIMINGS_LOCK:
+        _CELL_TIMINGS.append(record)
 
 
 # ----------------------------------------------------------------------
@@ -254,4 +268,4 @@ def _record(
     results[cell.key] = value
     report.computed += 1
     report.durations[cell.key] = duration
-    _CELL_TIMINGS.append({"key": cell.key, "kind": cell.kind, "duration_s": duration})
+    record_cell_timing(cell.key, cell.kind, duration)

@@ -18,8 +18,10 @@ cell on every run.  Two problems this module solves:
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import subprocess
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -68,6 +70,62 @@ def build_payload(tests: Dict[str, float], cells: Sequence[dict]) -> dict:
 
 def dump_payload(payload: dict) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_payload(path: Path, payload: dict) -> None:
+    """Atomically write a timings payload (temp file + :func:`os.replace`).
+
+    The same discipline as :mod:`repro.experiments.store`: serve-bench
+    runs, benchmark sessions and sharded experiments may all write
+    ``timings.json``; a crash or a concurrent writer can lose the race but
+    can never leave a torn file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.stem, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(dump_payload(payload))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def merge_cells_into(
+    path: Path, cells: Sequence[dict], tests: Optional[Dict[str, float]] = None
+) -> dict:
+    """Merge fresh cell records into an on-disk payload, atomically.
+
+    Used by writers outside the benchmark harness (``repro serve-bench``):
+    existing cells/tests are preserved, keys present in ``cells`` are
+    replaced with this run's medians.  An unreadable or missing file
+    degrades to a fresh payload.  Returns the merged payload.
+    """
+    path = Path(path)
+    try:
+        existing = load_timings(path)
+        if not isinstance(existing, dict):
+            raise ValueError("payload is not an object")
+    except (OSError, ValueError):
+        existing = {}
+    fresh = build_payload(dict(tests or {}), cells)
+    old_cells = existing.get("cells", {})
+    merged_cells = dict(old_cells if isinstance(old_cells, dict) else {})
+    merged_cells.update(fresh["cells"])
+    old_tests = existing.get("tests", {})
+    merged_tests = dict(old_tests if isinstance(old_tests, dict) else {})
+    merged_tests.update(fresh["tests"])
+    payload = {
+        "schema": 2,
+        "tests": {key: merged_tests[key] for key in sorted(merged_tests)},
+        "cells": {key: merged_cells[key] for key in sorted(merged_cells)},
+    }
+    write_payload(path, payload)
+    return payload
 
 
 def cell_medians(payload: dict) -> Dict[str, float]:

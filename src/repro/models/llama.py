@@ -105,6 +105,18 @@ class LlamaTiny(nn.Module):
         token_logp = logp[batch, positions, next_tokens]
         return token_logp.sum(axis=1)
 
+    def next_token_logprobs(self, tokens: np.ndarray) -> np.ndarray:
+        """Log p(next token | prompt) per batch row: (B, vocab).
+
+        The single-step scoring primitive behind the serving layer's
+        LLM endpoint (and the inner step of :meth:`greedy_decode`).
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        with no_grad():
+            logits = self.forward(tokens)
+            logp = log_softmax(logits, axis=-1).data
+        return logp[:, -1, :]
+
     def greedy_decode(self, prompt: np.ndarray, num_new_tokens: int) -> np.ndarray:
         """Autoregressively extend ``prompt`` (B, T0) by argmax decoding."""
         tokens = np.asarray(prompt, dtype=np.int64)

@@ -16,6 +16,7 @@ from .planner import (
     PlannedLayer,
     ReductionShape,
     capture_layer_inputs,
+    integer_execution,
     verify_against_per_layer,
 )
 from .schedule import ReductionActivity, ReductionSchedule, ReductionStep, StepKind
@@ -44,6 +45,7 @@ __all__ = [
     "PlannedLayer",
     "ReductionShape",
     "capture_layer_inputs",
+    "integer_execution",
     "verify_against_per_layer",
     "ScalePlan",
     "scale_plan",

@@ -31,8 +31,10 @@ plans (a standalone runner builds a private single-layer plan).
 
 from __future__ import annotations
 
+import hashlib
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +61,7 @@ class PlannedLayer:
     __slots__ = (
         "name", "layer", "kind", "shape",
         "_w_codes", "_w_operand", "_w_key", "_plan", "_plan_key",
+        "_act_key", "_act_rows", "_act_shape",
     )
 
     def __init__(self, name: str, layer, kind: str, shape: ReductionShape) -> None:
@@ -71,6 +74,9 @@ class PlannedLayer:
         self._w_key: Optional[tuple] = None
         self._plan = None
         self._plan_key: Optional[tuple] = None
+        self._act_key: Optional[tuple] = None
+        self._act_rows: Optional[np.ndarray] = None
+        self._act_shape: Optional[tuple] = None
 
 
 def _layer_entry(name: str, layer) -> PlannedLayer:
@@ -113,6 +119,13 @@ class IntegerExecutionPlan:
         self._groups: Dict[ReductionShape, List[str]] = {}
         self._engines: Dict[ReductionShape, RAEngine] = {}
         self._exp_cache: Dict[ReductionShape, tuple] = {}
+        #: When False, ``_gemm_rows`` skips the digest + retention
+        #: entirely — the serving layer disables it (every coalesced
+        #: batch is fresh, so hashing would be pure overhead and the
+        #: cache would pin the largest batch's rows per layer).
+        self.cache_activations = True
+        self.act_cache_hits = 0
+        self.act_cache_misses = 0
         for name, layer in named_layers:
             if name in self._entries:
                 raise ValueError(f"duplicate layer name {name!r}")
@@ -175,6 +188,10 @@ class IntegerExecutionPlan:
             }
             for shape, engine in self._engines.items()
         }
+
+    def act_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the per-layer activation-code cache."""
+        return {"hits": self.act_cache_hits, "misses": self.act_cache_misses}
 
     # ------------------------------------------------------------------
     # Per-layer constants (cached)
@@ -262,6 +279,38 @@ class IntegerExecutionPlan:
     # ------------------------------------------------------------------
     def _gemm_rows(self, entry: PlannedLayer, x: np.ndarray) -> Tuple[np.ndarray, tuple]:
         """Quantized GEMM-row codes ``(rows, Ci_red)`` and the output shape.
+
+        The result is cached one-deep per layer, keyed on a content digest
+        of the input plus the activation quantizer's scale version — the
+        companion of the :class:`~repro.nn.module.Parameter`-version weight
+        -code cache.  A requant-mode sweep (``shift`` then ``exact``) or a
+        repeated hardware-equivalence pass over the same captured
+        activations quantizes (and, for convs, im2col-gathers) each input
+        exactly once; a QAT step bumps the scale version and invalidates.
+        ``cache_activations = False`` bypasses the cache entirely.
+        """
+        x = np.ascontiguousarray(x, dtype=float)
+        if not self.cache_activations:
+            return self._gemm_rows_uncached(entry, x)
+        key = (
+            hashlib.sha1(x).digest(),
+            x.shape,
+            entry.layer.act_quantizer.scale.version,
+        )
+        if entry._act_key == key and entry._act_rows is not None:
+            self.act_cache_hits += 1
+            return entry._act_rows, entry._act_shape
+        rows, out_shape = self._gemm_rows_uncached(entry, x)
+        self.act_cache_misses += 1
+        entry._act_key = key
+        entry._act_rows = rows
+        entry._act_shape = out_shape
+        return rows, out_shape
+
+    def _gemm_rows_uncached(
+        self, entry: PlannedLayer, x: np.ndarray
+    ) -> Tuple[np.ndarray, tuple]:
+        """Compute the quantized GEMM-row codes (cache body of ``_gemm_rows``).
 
         Codes are float64 on purpose (integer-exact: INT8 codes are far
         below 2^53) so the tile GEMM runs through BLAS without dtype
@@ -468,6 +517,53 @@ class IntegerExecutionPlan:
             f"IntegerExecutionPlan(layers={len(self._entries)}, "
             f"groups={len(self._groups)}, rounding={self.rounding!r})"
         )
+
+
+@contextmanager
+def integer_execution(
+    model: "Module",
+    plan: Optional[IntegerExecutionPlan] = None,
+    rounding: str = "half_even",
+) -> Iterator[IntegerExecutionPlan]:
+    """Route every planned layer of ``model`` through the integer datapath.
+
+    Inside the context, calling ``model(x)`` executes each tiled
+    PSUM-quantized layer via :meth:`IntegerExecutionPlan.run_layer` — the
+    shared per-shape engines, version-cached weight codes and per-row
+    exponent shifts — while every other op (embeddings, norms, attention
+    glue) stays in float.  One model call is therefore a whole-network
+    integer-inference pass, and because the engine reduction is bit-exact
+    per row, a batch of B stacked inputs returns each row bit-identical
+    to B single-input calls (the invariant :mod:`repro.serve` builds its
+    micro-batching on).
+
+    Inference-only: planned layers return constant tensors inside the
+    context, so no gradients flow through them.  Pass a pinned ``plan`` to
+    reuse caches across calls (serving); by default a fresh plan is built.
+    """
+    from ..tensor.tensor import Tensor
+
+    if plan is None:
+        plan = IntegerExecutionPlan.from_model(model, rounding=rounding)
+    patched: List["Module"] = []
+    try:
+        for name in plan.layer_names:
+            layer = model.get_submodule(name)
+            if layer is not plan.entry(name).layer:
+                raise ValueError(
+                    f"plan entry {name!r} does not hold the model's layer"
+                )
+
+            def planned_forward(x, _name=name, _plan=plan):
+                arr = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=float)
+                return Tensor(_plan.run_layer(_name, arr))
+
+            layer.__dict__["forward"] = planned_forward
+            patched.append(layer)
+        yield plan
+    finally:
+        for layer in patched:
+            layer.__dict__.pop("forward", None)
 
 
 def verify_against_per_layer(model: "Module", *args, rounding: str = "half_even") -> Dict[str, bool]:

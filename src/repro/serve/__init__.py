@@ -1,0 +1,84 @@
+"""`repro.serve` — a micro-batching integer-inference service.
+
+The serving layer turns the build-once/run-many design of
+:class:`~repro.rae.planner.IntegerExecutionPlan` into a request-level
+workload:
+
+- :mod:`~repro.serve.endpoint` pins one quantized model + integer
+  execution plan per :class:`ModelEndpoint` (BERT GLUE classification,
+  tiny-LLaMA next-token scoring, SegFormer segmentation) and executes
+  whole request batches through the planner's shared per-shape engines.
+- :mod:`~repro.serve.batcher` coalesces queued requests per endpoint and
+  payload shape under a max-batch/max-latency policy.
+- :mod:`~repro.serve.service` runs the dispatch loop across worker
+  threads with backpressure, per-request metrics and a graceful drain.
+- :mod:`~repro.serve.loadgen` / :mod:`~repro.serve.bench` generate
+  synthetic closed- and open-loop traffic and record throughput/latency
+  cells into ``benchmarks/results/timings.json``.
+
+The load-bearing invariant (property-tested in ``tests/serve``): any
+coalescing of N requests returns responses **bit-identical** to N
+sequential single-request passes — the batched-vs-scalar oracle
+discipline of the RAE datapath, applied at the service layer.
+"""
+
+from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
+from .bench import bench_microbatch_speedup, format_bench_report, serve_bench
+from .endpoint import (
+    SCENARIOS,
+    EndpointRegistry,
+    ModelEndpoint,
+    build_endpoint,
+    clear_endpoint_memo,
+    default_registry,
+)
+from .loadgen import LoadSpec, build_requests, run_load
+from .metrics import ServiceMetrics
+from .service import (
+    BackpressureError,
+    InferenceService,
+    ServeFuture,
+    ServiceClosedError,
+)
+from .types import (
+    ClassificationRequest,
+    ClassificationResponse,
+    ScoringRequest,
+    ScoringResponse,
+    SegmentationRequest,
+    SegmentationResponse,
+    ServeResponse,
+    ServeTiming,
+)
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "MicroBatcher",
+    "PendingRequest",
+    "SCENARIOS",
+    "EndpointRegistry",
+    "ModelEndpoint",
+    "build_endpoint",
+    "clear_endpoint_memo",
+    "default_registry",
+    "LoadSpec",
+    "build_requests",
+    "run_load",
+    "ServiceMetrics",
+    "BackpressureError",
+    "InferenceService",
+    "ServeFuture",
+    "ServiceClosedError",
+    "ClassificationRequest",
+    "ClassificationResponse",
+    "ScoringRequest",
+    "ScoringResponse",
+    "SegmentationRequest",
+    "SegmentationResponse",
+    "ServeResponse",
+    "ServeTiming",
+    "bench_microbatch_speedup",
+    "format_bench_report",
+    "serve_bench",
+]

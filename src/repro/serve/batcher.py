@@ -1,0 +1,145 @@
+"""Request coalescing: key-partitioned FIFO queues under a batch policy.
+
+The :class:`MicroBatcher` holds pending requests in one FIFO deque per
+coalescing key — ``(endpoint, payload shape)``, since only same-shape
+payloads of one model can stack into a single planner pass.  A queue
+becomes *ready* when it holds a full batch (``max_batch``) or its oldest
+request has waited ``max_delay_s`` (the classic size-or-timeout
+micro-batching policy); ``pop_ready`` always serves the ready queue whose
+head request is oldest, so dispatch stays FIFO-fair across keys.
+
+The batcher is a pure data structure — no locks, no threads.  The
+service serializes access under its own condition variable, which keeps
+the coalescing decisions deterministic and directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When does a partially-filled queue dispatch?
+
+    ``max_batch`` caps the coalesced batch size; ``max_delay_s`` bounds
+    how long the oldest request may wait for co-riders.  ``max_batch=1``
+    degenerates to sequential single-request dispatch (the baseline the
+    serve bench compares against).
+    """
+
+    max_batch: int = 16
+    max_delay_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {self.max_delay_s}")
+
+
+@dataclass(eq=False)
+class PendingRequest:
+    """One queued request: payload + identity + completion slot."""
+
+    request_id: int
+    endpoint: str
+    payload: np.ndarray
+    enqueued_at: float
+    future: object = None
+
+
+@dataclass(eq=False)
+class Batch:
+    """A coalesced dispatch unit: same endpoint, same payload shape."""
+
+    key: tuple
+    endpoint: str
+    requests: List[PendingRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class MicroBatcher:
+    """Key-partitioned FIFO queues with the size-or-timeout ready rule."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self._queues: "OrderedDict[tuple, Deque[PendingRequest]]" = OrderedDict()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    def put(self, key: tuple, pending: PendingRequest) -> int:
+        """Enqueue under ``key``; returns the total queued depth."""
+        self._queues.setdefault(key, deque()).append(pending)
+        self._depth += 1
+        return self._depth
+
+    def depth(self) -> int:
+        """Total requests currently queued (all keys)."""
+        return self._depth
+
+    def key_depths(self) -> dict:
+        return {key: len(q) for key, q in self._queues.items() if q}
+
+    # ------------------------------------------------------------------
+    def _ready(self, queue: Deque[PendingRequest], now: float, flush: bool) -> bool:
+        if not queue:
+            return False
+        if flush or len(queue) >= self.policy.max_batch:
+            return True
+        return (now - queue[0].enqueued_at) >= self.policy.max_delay_s
+
+    def pop_ready(self, now: float, flush: bool = False) -> Optional[Batch]:
+        """Dispatch the ready queue with the oldest head, if any.
+
+        With ``flush=True`` every non-empty queue is ready (graceful
+        drain).  Pops at most ``max_batch`` requests; a queue holding more
+        stays ready for the next call.
+        """
+        best_key = None
+        best_head = None
+        for key, queue in self._queues.items():
+            if not self._ready(queue, now, flush):
+                continue
+            head = queue[0].enqueued_at
+            if best_head is None or head < best_head:
+                best_key, best_head = key, head
+        if best_key is None:
+            return None
+        queue = self._queues[best_key]
+        batch = Batch(key=best_key, endpoint=best_key[0])
+        while queue and len(batch.requests) < self.policy.max_batch:
+            batch.requests.append(queue.popleft())
+        if not queue:
+            del self._queues[best_key]
+        self._depth -= len(batch.requests)
+        return batch
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """Earliest moment some queue becomes ready; ``now`` if one is.
+
+        ``None`` means nothing is queued — the dispatch loop can sleep
+        until the next enqueue wakes it.
+        """
+        deadline: Optional[float] = None
+        for queue in self._queues.values():
+            if not queue:
+                continue
+            if len(queue) >= self.policy.max_batch:
+                return now
+            candidate = queue[0].enqueued_at + self.policy.max_delay_s
+            if deadline is None or candidate < deadline:
+                deadline = candidate
+        return deadline
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(depth={self._depth}, "
+            f"keys={len(self.key_depths())}, policy={self.policy})"
+        )

@@ -1,0 +1,248 @@
+"""`repro serve-bench`: throughput/latency measurement of the serving layer.
+
+Two phases:
+
+1. **The micro-batching gate** (:func:`bench_microbatch_speedup`) — the
+   same byte-identical burst of requests is served twice through the BERT
+   endpoint: once under the micro-batching policy and once with
+   ``max_batch=1`` (sequential dispatch).  Responses are checked
+   bit-identical between the two modes before any number is reported, and
+   both wall-clocks land as cells in ``benchmarks/results/timings.json``
+   via :func:`~repro.experiments.executor.record_cell_timing` — the same
+   trajectory the RAE benches feed.
+2. **A mixed-scenario load phase** (:func:`serve_bench`) — closed- or
+   open-loop traffic over all three scenario endpoints, reported with
+   latency percentiles from the service metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..experiments.executor import cell_timings, record_cell_timing
+from .batcher import BatchPolicy
+from .endpoint import EndpointRegistry, build_endpoint, default_registry
+from .loadgen import LoadSpec, build_requests, run_load
+from .service import InferenceService
+
+
+def _timed_run(
+    registry: EndpointRegistry,
+    stream,
+    policy: BatchPolicy,
+    workers: int,
+) -> tuple:
+    """Serve one burst; returns (wall seconds, responses in submit order)."""
+    service = InferenceService(
+        registry,
+        policy=policy,
+        workers=workers,
+        queue_limit=max(len(stream), 1),
+        block_on_full=True,
+    ).start()
+    try:
+        started = time.monotonic()
+        futures = [service.submit(name, request) for name, request in stream]
+        responses = [future.result() for future in futures]
+        wall_s = time.monotonic() - started
+    finally:
+        service.drain()
+    return wall_s, responses
+
+
+def _response_bits(response) -> np.ndarray:
+    result = response.result
+    for attr in ("logits", "logprobs"):
+        if hasattr(result, attr):
+            return getattr(result, attr)
+    raise TypeError(f"response payload {type(result).__name__} has no raw output")
+
+
+def bench_microbatch_speedup(
+    family: str = "bert",
+    requests: int = 96,
+    max_batch: int = 16,
+    max_delay_s: float = 0.002,
+    workers: int = 1,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Micro-batched vs batch-size-1 dispatch on one endpoint.
+
+    Serves the same deterministic burst under both policies (best wall
+    clock of ``repeats`` runs each, robust to scheduler noise), asserts
+    the responses are bit-identical, records both cells, and returns the
+    measured throughput numbers.
+    """
+    endpoint = build_endpoint(family, seed=seed)
+    registry = EndpointRegistry()
+    registry.register(endpoint)
+    spec = LoadSpec(requests=requests, mix=((family, 1.0),), seed=seed)
+    stream = build_requests(registry, spec)
+    endpoint.warmup(seed=seed)
+
+    micro_policy = BatchPolicy(max_batch=max_batch, max_delay_s=max_delay_s)
+    single_policy = BatchPolicy(max_batch=1, max_delay_s=0.0)
+
+    t_micro = float("inf")
+    t_single = float("inf")
+    micro_responses = single_responses = None
+    for _ in range(repeats):
+        wall, responses = _timed_run(registry, stream, micro_policy, workers)
+        if wall < t_micro:
+            t_micro, micro_responses = wall, responses
+    for _ in range(repeats):
+        wall, responses = _timed_run(registry, stream, single_policy, workers)
+        if wall < t_single:
+            t_single, single_responses = wall, responses
+
+    # Bit-equality before speed: micro-batched serving must return the
+    # exact bits sequential single-request serving does.
+    for micro, single in zip(micro_responses, single_responses):
+        if not np.array_equal(_response_bits(micro), _response_bits(single)):
+            raise AssertionError(
+                f"micro-batched response for request {micro.request_id} is not "
+                "bit-identical to single-request dispatch"
+            )
+
+    record_cell_timing(f"serve/{family}/microbatch", "serve", t_micro)
+    record_cell_timing(f"serve/{family}/batch1", "serve", t_single)
+    mean_batch = float(
+        np.mean([r.timing.batch_size for r in micro_responses])
+    )
+    return {
+        "family": family,
+        "requests": requests,
+        "max_batch": max_batch,
+        "workers": workers,
+        "t_microbatch_s": t_micro,
+        "t_batch1_s": t_single,
+        "speedup": t_single / max(t_micro, 1e-9),
+        "throughput_microbatch_rps": requests / max(t_micro, 1e-9),
+        "throughput_batch1_rps": requests / max(t_single, 1e-9),
+        "mean_coalesced_batch": mean_batch,
+    }
+
+
+def run_mixed_load(
+    registry: EndpointRegistry,
+    spec: LoadSpec,
+    policy: Optional[BatchPolicy] = None,
+    workers: int = 1,
+) -> Dict[str, object]:
+    """One load phase over ``registry`` with full metrics attached."""
+    service = InferenceService(
+        registry,
+        policy=policy or BatchPolicy(),
+        workers=workers,
+        queue_limit=max(spec.requests, 64),
+        block_on_full=(spec.mode == "closed"),
+        record_timings=True,
+    ).start()
+    try:
+        report = run_load(service, spec)
+    finally:
+        metrics = service.drain()
+    report = dict(report)
+    report.pop("responses", None)  # the CLI report keeps numbers, not arrays
+    report["metrics"] = metrics
+    return report
+
+
+def serve_bench(
+    families: Sequence[str] = ("bert", "llama", "segformer"),
+    requests: int = 60,
+    max_batch: int = 16,
+    max_delay_s: float = 0.002,
+    workers: int = 2,
+    mode: str = "closed",
+    concurrency: int = 16,
+    rate_hz: float = 300.0,
+    seed: int = 0,
+    gate_requests: int = 96,
+    timings_path: Optional[Path] = None,
+) -> Dict[str, object]:
+    """The full serve-bench: micro-batch gate + mixed-scenario load.
+
+    When ``timings_path`` is given (the CLI default), this run's cells
+    are atomically merged into that payload — concurrent benchmark
+    sessions can race on the file without corrupting it.  Only cells
+    recorded during this call are merged; the process-global timing log
+    is left intact for whoever else drains it (the benchmark harness).
+    """
+    already_recorded = len(cell_timings())
+    gate = bench_microbatch_speedup(
+        family="bert",
+        requests=gate_requests,
+        max_batch=max_batch,
+        max_delay_s=max_delay_s,
+        workers=1,
+        seed=seed,
+    )
+    registry = default_registry(families=families, seed=seed)
+    mix = tuple((name, 1.0) for name in registry.names)
+    spec = LoadSpec(
+        requests=requests,
+        mix=mix,
+        mode=mode,
+        concurrency=concurrency,
+        rate_hz=rate_hz,
+        seed=seed,
+    )
+    mixed = run_mixed_load(
+        registry,
+        spec,
+        policy=BatchPolicy(max_batch=max_batch, max_delay_s=max_delay_s),
+        workers=workers,
+    )
+    record_cell_timing(f"serve/mixed/{mode}", "serve", float(mixed["wall_s"]))
+    result: Dict[str, object] = {"gate": gate, "mixed": mixed}
+    if timings_path is not None:
+        from ..experiments.timings import merge_cells_into
+
+        # The log is append-only between drains, so the records past the
+        # starting offset are exactly this bench's cells.
+        merge_cells_into(Path(timings_path), cell_timings()[already_recorded:])
+    return result
+
+
+def format_bench_report(result: Dict[str, object]) -> str:
+    """Human-readable serve-bench report (what the CLI prints)."""
+    gate = result["gate"]
+    mixed = result["mixed"]
+    metrics = mixed["metrics"]
+    lines = [
+        "serve-bench — micro-batching integer-inference service",
+        "",
+        f"[gate] endpoint={gate['family']} requests={gate['requests']} "
+        f"max_batch={gate['max_batch']}",
+        f"  batch-size-1 dispatch: {gate['t_batch1_s'] * 1e3:9.1f} ms "
+        f"({gate['throughput_batch1_rps']:8.1f} req/s)",
+        f"  micro-batched:         {gate['t_microbatch_s'] * 1e3:9.1f} ms "
+        f"({gate['throughput_microbatch_rps']:8.1f} req/s)",
+        f"  speedup: {gate['speedup']:.1f}x "
+        f"(mean coalesced batch {gate['mean_coalesced_batch']:.1f})",
+        "",
+        f"[mixed] mode={mixed['mode']} submitted={mixed['submitted']} "
+        f"completed={mixed['completed']} rejected={mixed['rejected']} "
+        f"wall={float(mixed['wall_s']) * 1e3:.1f} ms "
+        f"({mixed['throughput_rps']:.1f} req/s)",
+    ]
+    for name, stats in metrics["endpoints"].items():
+        latency = stats["latency"]
+        lines.append(
+            f"  {name:<10} n={stats['requests']:<4} "
+            f"p50={latency['p50_s'] * 1e3:7.1f} ms  "
+            f"p95={latency['p95_s'] * 1e3:7.1f} ms  "
+            f"p99={latency['p99_s'] * 1e3:7.1f} ms  "
+            f"batch={stats['mean_batch']:.1f}"
+        )
+    lines.append(
+        f"  peak queue depth {metrics['peak_queue_depth']}, "
+        f"failed {metrics['failed']}"
+    )
+    return "\n".join(lines)

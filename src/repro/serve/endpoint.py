@@ -1,0 +1,330 @@
+"""Model endpoints: one pinned quantized model + integer plan per scenario.
+
+A :class:`ModelEndpoint` is the serving unit: it holds a calibrated,
+quantized model, builds its :class:`~repro.rae.planner.IntegerExecutionPlan`
+exactly once, and executes whole request batches through the plan —
+:func:`~repro.rae.planner.integer_execution` routes every tiled
+PSUM-quantized layer through the shared per-shape engines while the float
+glue (embeddings, norms, attention) runs batched numpy.  Plan caches
+(weight codes, scale plans, activation codes) are
+``Parameter.version``-checked, so a pinned plan revalidates itself across
+calls instead of being rebuilt.
+
+Endpoint construction follows the executor's determinism idioms
+(:mod:`repro.experiments.executor`): a builder is a pure function of
+``(family, seed, gs, rounding)`` — ``manual_seed(seed)`` before the model
+is built, a seeded rng for the calibration batch — and is memoized per
+process, exactly like the experiment runner's teachers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..models import (
+    BertConfig,
+    BertTiny,
+    LlamaConfig,
+    LlamaTiny,
+    SegformerConfig,
+    SegformerTiny,
+)
+from ..rae.planner import IntegerExecutionPlan, integer_execution
+from .types import (
+    ClassificationRequest,
+    ClassificationResponse,
+    ScoringRequest,
+    ScoringResponse,
+    SegmentationRequest,
+    SegmentationResponse,
+)
+
+#: scenario name -> request dataclass
+SCENARIOS: Dict[str, type] = {
+    "classification": ClassificationRequest,
+    "scoring": ScoringRequest,
+    "segmentation": SegmentationRequest,
+}
+
+
+class ModelEndpoint:
+    """One served model: quantize/load once, pin the plan, serve batches.
+
+    ``infer_batch`` is the only compute entry point: it stacks same-shape
+    request payloads into one batch, runs a single integer-datapath
+    forward under the endpoint lock (plan engines are stateful), and
+    splits the batch back into per-request responses.  Because every
+    planned layer reduces through the bit-exact batched engine and every
+    float glue op works row-wise, the response for request *i* is
+    bit-identical whether it was served alone or coalesced — the
+    invariant the micro-batcher relies on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scenario: str,
+        model,
+        request_shape: Tuple[int, ...],
+        rounding: str = "half_even",
+    ) -> None:
+        if scenario not in SCENARIOS:
+            raise KeyError(f"unknown scenario {scenario!r}; options: {sorted(SCENARIOS)}")
+        self.name = name
+        self.scenario = scenario
+        self.model = model
+        self.request_shape = tuple(request_shape)
+        model.eval()
+        self.plan = IntegerExecutionPlan.from_model(model, rounding=rounding)
+        # Served batches are always fresh, so content-hashing activations
+        # would be pure overhead (and would pin the largest coalesced
+        # batch's row codes per layer for the endpoint's lifetime).
+        self.plan.cache_activations = False
+        # Engines and the layer patching are stateful: one batch at a time.
+        self.lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    @property
+    def request_type(self) -> type:
+        return SCENARIOS[self.scenario]
+
+    def request_payload(self, request) -> np.ndarray:
+        """Validate a request and return its normalized payload array."""
+        if not isinstance(request, self.request_type):
+            raise TypeError(
+                f"endpoint {self.name!r} ({self.scenario}) expects "
+                f"{self.request_type.__name__}, got {type(request).__name__}"
+            )
+        if self.scenario == "segmentation":
+            image = np.asarray(request.image, dtype=float)
+            channels = self.model.config.in_channels
+            if image.ndim != 3 or image.shape[0] != channels:
+                raise ValueError(
+                    f"endpoint {self.name!r}: expected image (C={channels}, H, W), "
+                    f"got shape {image.shape}"
+                )
+            return image
+        tokens = np.asarray(request.tokens, dtype=np.int64)
+        max_len = self.model.config.max_seq_len
+        if tokens.ndim != 1 or not 1 <= tokens.shape[0] <= max_len:
+            raise ValueError(
+                f"endpoint {self.name!r}: expected 1-D tokens of length 1..{max_len}, "
+                f"got shape {tokens.shape}"
+            )
+        vocab = self.model.config.vocab_size
+        if tokens.min() < 0 or tokens.max() >= vocab:
+            raise ValueError(f"endpoint {self.name!r}: token ids outside [0, {vocab})")
+        return tokens
+
+    def coalesce_key(self, payload: np.ndarray) -> tuple:
+        """Batching key: only same-endpoint, same-shape payloads stack."""
+        return (self.name, payload.shape)
+
+    def synth_request(self, rng: np.random.Generator):
+        """A deterministic synthetic request (load generator / warmup)."""
+        if self.scenario == "segmentation":
+            return SegmentationRequest(image=rng.normal(size=self.request_shape))
+        tokens = rng.integers(0, self.model.config.vocab_size, size=self.request_shape)
+        return self.request_type(tokens=tokens)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def infer_batch(self, payloads: Sequence[np.ndarray]) -> List[object]:
+        """Serve a coalesced batch through one integer-datapath forward."""
+        if not payloads:
+            return []
+        shapes = {tuple(p.shape) for p in payloads}
+        if len(shapes) > 1:
+            raise ValueError(f"cannot stack mixed payload shapes: {sorted(shapes)}")
+        batch = np.stack(payloads)
+        from ..tensor import no_grad
+        from ..tensor.tensor import Tensor
+
+        with self.lock, integer_execution(self.model, self.plan):
+            if self.scenario == "scoring":
+                logprobs = self.model.next_token_logprobs(batch)
+                return [
+                    ScoringResponse(logprobs=row, top_token=int(row.argmax()))
+                    for row in logprobs
+                ]
+            with no_grad():
+                if self.scenario == "segmentation":
+                    logits = self.model(Tensor(batch)).data
+                    return [
+                        SegmentationResponse(
+                            logits=row, class_map=row.argmax(axis=-1)
+                        )
+                        for row in logits
+                    ]
+                logits = self.model(batch).data
+                return [
+                    ClassificationResponse(logits=row, label=int(row.argmax()))
+                    for row in logits
+                ]
+
+    def serve_one(self, request) -> object:
+        """Single-request convenience path (the determinism oracle)."""
+        return self.infer_batch([self.request_payload(request)])[0]
+
+    def warmup(self, seed: int = 0) -> None:
+        """Populate the plan's weight-code/scale caches with one batch."""
+        rng = np.random.default_rng(seed)
+        self.serve_one(self.synth_request(rng))
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelEndpoint({self.name!r}, scenario={self.scenario!r}, "
+            f"layers={len(self.plan.layer_names)}, groups={len(self.plan.groups)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class EndpointRegistry:
+    """Named endpoints the service can route requests to."""
+
+    def __init__(self) -> None:
+        self._endpoints: "OrderedDict[str, ModelEndpoint]" = OrderedDict()
+
+    def register(self, endpoint: ModelEndpoint) -> ModelEndpoint:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"duplicate endpoint name {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+        return endpoint
+
+    def get(self, name: str) -> ModelEndpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown endpoint {name!r}; registered: {sorted(self._endpoints)}"
+            ) from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._endpoints)
+
+    def __iter__(self) -> Iterator[ModelEndpoint]:
+        return iter(self._endpoints.values())
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+
+# ----------------------------------------------------------------------
+# Deterministic, memoized endpoint builders (the teacher-memo idiom)
+# ----------------------------------------------------------------------
+
+
+def _quantized(model_ctor: Callable[[], object], calibrate, gs: int):
+    from ..quant import apsq_config, quantize_model
+
+    model = quantize_model(model_ctor(), apsq_config(gs=gs, pci=8))
+    calibrate(model)
+    model.eval()
+    return model
+
+
+def _build_bert(seed: int, gs: int):
+    from ..tensor import manual_seed
+
+    manual_seed(seed)
+    config = BertConfig(num_classes=2, num_layers=2, hidden=64, max_seq_len=16)
+    rng = np.random.default_rng(seed)
+
+    def calibrate(model):
+        model(rng.integers(0, config.vocab_size, size=(8, 8)))
+
+    return _quantized(lambda: BertTiny(config), calibrate, gs), "classification", (8,)
+
+
+def _build_llama(seed: int, gs: int):
+    from ..tensor import manual_seed
+
+    manual_seed(seed)
+    config = LlamaConfig()
+    rng = np.random.default_rng(seed)
+
+    def calibrate(model):
+        model(rng.integers(0, config.vocab_size, size=(4, 12)))
+
+    return _quantized(lambda: LlamaTiny(config), calibrate, gs), "scoring", (12,)
+
+
+def _build_segformer(seed: int, gs: int):
+    from ..tensor import manual_seed
+    from ..tensor.tensor import Tensor
+
+    manual_seed(seed)
+    config = SegformerConfig()
+    rng = np.random.default_rng(seed)
+
+    def calibrate(model):
+        model(Tensor(rng.normal(size=(2, config.in_channels, 16, 16))))
+
+    return (
+        _quantized(lambda: SegformerTiny(config), calibrate, gs),
+        "segmentation",
+        (config.in_channels, 16, 16),
+    )
+
+
+FAMILIES: Dict[str, Callable[[int, int], tuple]] = {
+    "bert": _build_bert,
+    "llama": _build_llama,
+    "segformer": _build_segformer,
+}
+
+_ENDPOINT_MEMO: "OrderedDict[tuple, ModelEndpoint]" = OrderedDict()
+_ENDPOINT_MEMO_CAP = 6
+
+
+def clear_endpoint_memo() -> None:
+    _ENDPOINT_MEMO.clear()
+
+
+def build_endpoint(
+    family: str, seed: int = 0, gs: int = 2, rounding: str = "half_even"
+) -> ModelEndpoint:
+    """A calibrated endpoint for one model family (memoized per process).
+
+    Deterministic per key: ``manual_seed(seed)`` before construction and a
+    seeded rng for the calibration batch, so any process (or serve
+    worker) building the same key pins an identical model and plan.
+    """
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        raise KeyError(f"unknown endpoint family {family!r}; options: {sorted(FAMILIES)}")
+    key = (family, seed, gs, rounding)
+    if key in _ENDPOINT_MEMO:
+        _ENDPOINT_MEMO.move_to_end(key)
+        return _ENDPOINT_MEMO[key]
+    model, scenario, request_shape = builder(seed, gs)
+    endpoint = ModelEndpoint(family, scenario, model, request_shape, rounding=rounding)
+    _ENDPOINT_MEMO[key] = endpoint
+    while len(_ENDPOINT_MEMO) > _ENDPOINT_MEMO_CAP:
+        _ENDPOINT_MEMO.popitem(last=False)
+    return endpoint
+
+
+def default_registry(
+    families: Sequence[str] = ("bert", "llama", "segformer"),
+    seed: int = 0,
+    gs: int = 2,
+) -> EndpointRegistry:
+    """The three-scenario registry the CLI and the benches serve from."""
+    registry = EndpointRegistry()
+    for family in families:
+        registry.register(build_endpoint(family, seed=seed, gs=gs))
+    return registry

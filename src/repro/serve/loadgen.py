@@ -1,0 +1,135 @@
+"""Synthetic load generation: seeded request streams, two arrival models.
+
+- **Closed loop** — a fixed population of ``concurrency`` logical clients;
+  each submits, waits for its response, then submits again.  Throughput
+  is demand-matched, so this mode measures service capacity.
+- **Open loop** — requests arrive on a Poisson process at ``rate_hz``
+  regardless of completions (the arrival pattern of real user traffic);
+  when the queue saturates, backpressure rejections are counted rather
+  than hidden.
+
+Streams are deterministic per ``seed``: the request mix and every payload
+come from one seeded generator, so two runs (or two dispatch policies)
+serve the exact same byte-identical requests — which is what lets the
+benches compare micro-batched against sequential dispatch.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .endpoint import EndpointRegistry
+from .service import BackpressureError, InferenceService, ServeFuture
+from .types import ServeResponse
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load-generation run: how many requests, from where, how fast."""
+
+    requests: int = 64
+    mix: Tuple[Tuple[str, float], ...] = (("bert", 1.0),)
+    mode: str = "closed"  # "closed" | "open"
+    concurrency: int = 8  # closed loop: outstanding requests
+    rate_hz: float = 200.0  # open loop: mean arrival rate
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be > 0, got {self.rate_hz}")
+        if not self.mix or any(weight <= 0 for _, weight in self.mix):
+            raise ValueError(f"mix needs positive weights, got {self.mix!r}")
+
+
+def build_requests(
+    registry: EndpointRegistry, spec: LoadSpec
+) -> List[Tuple[str, object]]:
+    """The deterministic request stream for ``spec``: (endpoint, request)."""
+    rng = np.random.default_rng(spec.seed)
+    names = [name for name, _ in spec.mix]
+    weights = np.array([weight for _, weight in spec.mix], dtype=float)
+    weights = weights / weights.sum()
+    stream: List[Tuple[str, object]] = []
+    for _ in range(spec.requests):
+        name = names[int(rng.choice(len(names), p=weights))]
+        stream.append((name, registry.get(name).synth_request(rng)))
+    return stream
+
+
+def _await_all(futures: Sequence[ServeFuture]) -> List[Optional[ServeResponse]]:
+    """Resolve every future; a rejected one reads as ``None``."""
+    responses: List[Optional[ServeResponse]] = []
+    for future in futures:
+        try:
+            responses.append(future.result())
+        except Exception:
+            responses.append(None)
+    return responses
+
+
+def run_load(
+    service: InferenceService,
+    spec: LoadSpec,
+    stream: Optional[List[Tuple[str, object]]] = None,
+) -> Dict[str, object]:
+    """Drive ``service`` with ``spec``'s request stream; report throughput.
+
+    The service must already be started; it is *not* drained here, so a
+    caller can layer several load phases before one graceful shutdown.
+    Returns wall-clock, completion/rejection counts, throughput, and the
+    responses in submission order (``None`` for rejected requests).
+    """
+    stream = build_requests(service.registry, spec) if stream is None else stream
+    futures: List[Optional[ServeFuture]] = []
+    rejected = 0
+    started = time.monotonic()
+    if spec.mode == "closed":
+        outstanding: "deque[ServeFuture]" = deque()
+        for name, request in stream:
+            if len(outstanding) >= spec.concurrency:
+                try:
+                    outstanding.popleft().result()  # pacing only; _await_all
+                except Exception:  # re-collects every outcome below
+                    pass
+            future = service.submit(name, request)
+            outstanding.append(future)
+            futures.append(future)
+    else:
+        rng = np.random.default_rng(spec.seed + 1)
+        next_arrival = started
+        for name, request in stream:
+            next_arrival += float(rng.exponential(1.0 / spec.rate_hz))
+            delay = next_arrival - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                futures.append(service.submit(name, request))
+            except BackpressureError:
+                rejected += 1
+                futures.append(None)
+    resolved = iter(_await_all([f for f in futures if f is not None]))
+    responses: List[Optional[ServeResponse]] = [
+        None if future is None else next(resolved) for future in futures
+    ]
+    wall_s = time.monotonic() - started
+    completed = sum(1 for r in responses if r is not None)
+    return {
+        "mode": spec.mode,
+        "wall_s": wall_s,
+        "submitted": len(stream),
+        "completed": completed,
+        "rejected": rejected,
+        "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
+        "responses": responses,
+    }

@@ -1,0 +1,126 @@
+"""Service metrics: per-request latency, queue depth, batch occupancy.
+
+A single thread-safe accumulator shared by the dispatch loop and the
+submit path.  ``snapshot()`` reduces the raw records to the numbers a
+serving benchmark reads: throughput, latency percentiles (p50/p95/p99),
+queue-wait and service-time means, mean coalesced batch size, peak queue
+depth and rejection counts — overall and per endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def _summary(latencies: List[float]) -> Dict[str, float]:
+    return {
+        "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p50_s": percentile(latencies, 50),
+        "p95_s": percentile(latencies, 95),
+        "p99_s": percentile(latencies, 99),
+        "max_s": max(latencies) if latencies else 0.0,
+    }
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator for the serving layer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency: Dict[str, List[float]] = {}
+        self._queue_wait: Dict[str, List[float]] = {}
+        self._service: Dict[str, List[float]] = {}
+        self._batch_sizes: Dict[str, List[int]] = {}
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.peak_queue_depth = 0
+        self._first_submit: Optional[float] = None
+        self._last_complete: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def on_submit(self, depth: int, now: float) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.peak_queue_depth = max(self.peak_queue_depth, depth)
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def on_failure(self, batch_size: int) -> None:
+        with self._lock:
+            self.failed += batch_size
+
+    def on_batch(self, endpoint: str, batch_size: int, service_s: float) -> None:
+        with self._lock:
+            self._batch_sizes.setdefault(endpoint, []).append(batch_size)
+            self._service.setdefault(endpoint, []).append(service_s)
+
+    def on_complete(
+        self, endpoint: str, queue_s: float, latency_s: float, now: float
+    ) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latency.setdefault(endpoint, []).append(latency_s)
+            self._queue_wait.setdefault(endpoint, []).append(queue_s)
+            if self._last_complete is None or now > self._last_complete:
+                self._last_complete = now
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Aggregate view; safe to call while the service is running."""
+        with self._lock:
+            wall_s = 0.0
+            if self._first_submit is not None and self._last_complete is not None:
+                wall_s = max(0.0, self._last_complete - self._first_submit)
+            endpoints = {}
+            for name in sorted(self._latency):
+                latencies = self._latency[name]
+                sizes = self._batch_sizes.get(name, [])
+                endpoints[name] = {
+                    "requests": len(latencies),
+                    "latency": _summary(latencies),
+                    "mean_queue_s": (
+                        sum(self._queue_wait[name]) / len(self._queue_wait[name])
+                        if self._queue_wait.get(name)
+                        else 0.0
+                    ),
+                    "batches": len(sizes),
+                    "mean_batch": sum(sizes) / len(sizes) if sizes else 0.0,
+                    "mean_service_s": (
+                        sum(self._service[name]) / len(self._service[name])
+                        if self._service.get(name)
+                        else 0.0
+                    ),
+                }
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "peak_queue_depth": self.peak_queue_depth,
+                "wall_s": wall_s,
+                "throughput_rps": (self.completed / wall_s) if wall_s > 0 else 0.0,
+                "endpoints": endpoints,
+            }

@@ -1,0 +1,276 @@
+"""The inference service: submit → coalesce → dispatch → respond.
+
+``InferenceService`` owns a :class:`~repro.serve.batcher.MicroBatcher`
+and a pool of worker threads.  ``submit`` validates the request against
+its endpoint, enqueues it (with backpressure once ``queue_limit``
+requests are pending — reject by default, optionally block) and returns
+a :class:`ServeFuture`.  Workers pull coalesced batches under one
+condition variable — sleeping exactly until the earliest batch deadline —
+and execute them through the endpoint's pinned integer execution plan;
+endpoints serialize on their own lock, so multiple workers overlap
+*across* endpoints while each plan's stateful engines stay single-writer.
+
+Shutdown is graceful by default: :meth:`drain` stops intake, flushes
+every queue through the normal dispatch path (partial batches included),
+joins the workers and returns the final metrics snapshot.  :meth:`abort`
+rejects whatever is still queued instead.
+
+Determinism: dispatch order and coalescing change *which* requests share
+a batch, never the bits of a response — the endpoint invariant
+(``tests/serve/test_determinism.py``) makes any interleaving equivalent
+to sequential single-request serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
+from .endpoint import EndpointRegistry
+from .metrics import ServiceMetrics
+from .types import ServeResponse, ServeTiming
+
+
+class BackpressureError(RuntimeError):
+    """The queue is full and the service was asked not to block."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is draining or closed and takes no new requests."""
+
+
+class ServeFuture:
+    """Completion slot for one request (event-based, thread-safe)."""
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[ServeResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: ServeResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class InferenceService:
+    """Micro-batching front-end over a registry of model endpoints."""
+
+    def __init__(
+        self,
+        registry: EndpointRegistry,
+        policy: Optional[BatchPolicy] = None,
+        workers: int = 1,
+        queue_limit: int = 256,
+        block_on_full: bool = False,
+        record_timings: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.registry = registry
+        self.policy = policy or BatchPolicy()
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.block_on_full = block_on_full
+        self.record_timings = record_timings
+        self.metrics = ServiceMetrics()
+        self._batcher = MicroBatcher(self.policy)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._state = "new"
+        self._next_id = 0
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        with self._lock:
+            if self._state != "new":
+                raise RuntimeError(f"cannot start a {self._state} service")
+            self._state = "running"
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self) -> dict:
+        """Graceful shutdown: flush every queue, join workers.
+
+        Returns the final metrics snapshot.  Safe to call more than once.
+        """
+        with self._lock:
+            if self._state == "running":
+                self._state = "draining"
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        for thread in self._threads:
+            thread.join()
+        with self._lock:
+            self._state = "closed"
+            self._not_full.notify_all()
+        return self.metrics.snapshot()
+
+    def abort(self) -> dict:
+        """Hard shutdown: reject everything still queued, join workers."""
+        with self._lock:
+            self._state = "closed"
+            rejected: List[PendingRequest] = []
+            while True:
+                batch = self._batcher.pop_ready(time.monotonic(), flush=True)
+                if batch is None:
+                    break
+                rejected.extend(batch.requests)
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        for pending in rejected:
+            pending.future._reject(ServiceClosedError("service aborted"))
+        for thread in self._threads:
+            thread.join()
+        return self.metrics.snapshot()
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, endpoint_name: str, request) -> ServeFuture:
+        """Validate, enqueue, and return the request's future.
+
+        Raises :class:`BackpressureError` when the queue is full (or
+        blocks for space when ``block_on_full``), and
+        :class:`ServiceClosedError` once draining has begun.
+        """
+        endpoint = self.registry.get(endpoint_name)
+        payload = endpoint.request_payload(request)  # validate outside the lock
+        key = endpoint.coalesce_key(payload)
+        future = ServeFuture()
+        with self._lock:
+            while True:
+                if self._state != "running":
+                    raise ServiceClosedError(f"service is {self._state}")
+                if self._batcher.depth() < self.queue_limit:
+                    break
+                if not self.block_on_full:
+                    self.metrics.on_reject()
+                    raise BackpressureError(
+                        f"queue full ({self.queue_limit} pending requests)"
+                    )
+                self._not_full.wait()
+            now = time.monotonic()
+            pending = PendingRequest(
+                request_id=self._next_id,
+                endpoint=endpoint_name,
+                payload=payload,
+                enqueued_at=now,
+                future=future,
+            )
+            self._next_id += 1
+            depth = self._batcher.put(key, pending)
+            self.metrics.on_submit(depth, now)
+            self._not_empty.notify()
+        return future
+
+    def serve(self, endpoint_name: str, request, timeout: Optional[float] = None) -> ServeResponse:
+        """Submit and wait — the synchronous convenience path."""
+        return self.submit(endpoint_name, request).result(timeout)
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._batcher.depth()
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                batch = None
+                while True:
+                    if self._state == "closed":
+                        return
+                    flush = self._state == "draining"
+                    batch = self._batcher.pop_ready(time.monotonic(), flush=flush)
+                    if batch is not None:
+                        break
+                    if flush:
+                        return  # draining and nothing left to do
+                    deadline = self._batcher.next_deadline(time.monotonic())
+                    timeout = None
+                    if deadline is not None:
+                        timeout = max(0.0, deadline - time.monotonic())
+                    self._not_empty.wait(timeout)
+                if self._batcher.depth() > 0:
+                    self._not_empty.notify()  # more work may already be ready
+                self._not_full.notify()
+            self._execute(batch)
+
+    def _execute(self, batch: Batch) -> None:
+        endpoint = self.registry.get(batch.endpoint)
+        started = time.monotonic()
+        try:
+            results = endpoint.infer_batch([p.payload for p in batch.requests])
+        except BaseException as error:  # reject the whole batch, keep serving
+            self.metrics.on_failure(len(batch.requests))
+            for pending in batch.requests:
+                pending.future._reject(error)
+            return
+        done = time.monotonic()
+        service_s = done - started
+        if self.record_timings:
+            from ..experiments.executor import record_cell_timing
+
+            record_cell_timing(f"serve/{batch.endpoint}/batch", "serve", service_s)
+        self.metrics.on_batch(batch.endpoint, len(batch.requests), service_s)
+        for pending, result in zip(batch.requests, results):
+            timing = ServeTiming(
+                queue_s=started - pending.enqueued_at,
+                service_s=service_s,
+                latency_s=done - pending.enqueued_at,
+                batch_size=len(batch.requests),
+            )
+            self.metrics.on_complete(
+                batch.endpoint, timing.queue_s, timing.latency_s, done
+            )
+            pending.future._resolve(
+                ServeResponse(
+                    request_id=pending.request_id,
+                    endpoint=batch.endpoint,
+                    result=result,
+                    timing=timing,
+                )
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceService(endpoints={list(self.registry.names)}, "
+            f"workers={self.workers}, policy={self.policy}, state={self._state!r})"
+        )

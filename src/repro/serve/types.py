@@ -1,0 +1,88 @@
+"""Typed request/response dataclasses of the serving layer.
+
+One request/response pair per scenario family the paper's evaluation
+models cover (Tables I/III): BERT GLUE classification, tiny-LLaMA
+next-token scoring, and SegFormer semantic segmentation.  Requests carry
+raw model inputs (token ids / images); responses carry the integer
+datapath's raw outputs plus the scenario's decoded summary, so bit-level
+comparisons and human-readable results are both one attribute away.
+
+``ServeResponse`` is the service envelope: it wraps the scenario payload
+with the request identity and a :class:`ServeTiming` record (queue wait,
+batch service time, end-to-end latency, coalesced batch size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# The dataclasses hold numpy arrays, so default equality would be
+# ambiguous (`==` broadcasts); identity semantics are what a request
+# envelope wants anyway.
+
+
+@dataclass(frozen=True, eq=False)
+class ClassificationRequest:
+    """GLUE-style classification: token ids ``(seq_len,)``."""
+
+    tokens: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class ClassificationResponse:
+    """Class logits ``(num_classes,)`` and the argmax label."""
+
+    logits: np.ndarray
+    label: int
+
+
+@dataclass(frozen=True, eq=False)
+class ScoringRequest:
+    """Causal-LM next-token scoring: prompt token ids ``(seq_len,)``."""
+
+    tokens: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class ScoringResponse:
+    """Next-token log-probabilities ``(vocab,)`` and the greedy token."""
+
+    logprobs: np.ndarray
+    top_token: int
+
+
+@dataclass(frozen=True, eq=False)
+class SegmentationRequest:
+    """Semantic segmentation: one image ``(C, H, W)``."""
+
+    image: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class SegmentationResponse:
+    """Per-pixel logits ``(H', W', classes)`` and the argmax class map."""
+
+    logits: np.ndarray
+    class_map: np.ndarray
+
+
+@dataclass(frozen=True)
+class ServeTiming:
+    """Per-request timing facts, filled in by the dispatch loop."""
+
+    queue_s: float
+    service_s: float
+    latency_s: float
+    batch_size: int
+
+
+@dataclass(frozen=True, eq=False)
+class ServeResponse:
+    """The service envelope: scenario payload + identity + timing."""
+
+    request_id: int
+    endpoint: str
+    result: object
+    timing: ServeTiming

@@ -1,4 +1,4 @@
-"""Global autograd state: gradient enable/disable and graph bookkeeping.
+"""Autograd state: gradient enable/disable and graph bookkeeping.
 
 The engine is reverse-mode automatic differentiation over numpy arrays.
 Gradient recording can be suspended with :func:`no_grad`, mirroring the
@@ -6,46 +6,56 @@ familiar ``torch.no_grad()`` idiom::
 
     with no_grad():
         logits = model(x)   # no graph is built
+
+Grad mode is **thread-local** (as in PyTorch): each thread starts with
+recording enabled and ``no_grad``/``enable_grad`` only affect the thread
+that entered them.  A process-global flag would race under the serving
+layer's worker threads — two overlapping ``no_grad`` contexts could
+save/restore each other's state and leave recording disabled for the
+whole process.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterator
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    enabled = True  # class attribute = per-thread default
+
+
+_MODE = _GradMode()
 
 
 def is_grad_enabled() -> bool:
-    """Return True when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    """Return True when operations record the autograd graph (this thread)."""
+    return _MODE.enabled
 
 
 def set_grad_enabled(mode: bool) -> None:
-    """Globally enable or disable autograd recording."""
-    global _GRAD_ENABLED
-    _GRAD_ENABLED = bool(mode)
+    """Enable or disable autograd recording for the current thread."""
+    _MODE.enabled = bool(mode)
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
     """Context manager that disables graph construction inside its body."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    prev = _MODE.enabled
+    _MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _MODE.enabled = prev
 
 
 @contextlib.contextmanager
 def enable_grad() -> Iterator[None]:
     """Context manager that re-enables graph construction inside its body."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    prev = _MODE.enabled
+    _MODE.enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _MODE.enabled = prev

@@ -45,6 +45,8 @@ class TestExamples:
         assert "reduce_batch: 32 rows in one pass" in out
         # The model-wide planner section runs and groups layers.
         assert "Model-wide integer execution planner" in out
+        # The serving section coalesces a burst bit-identically.
+        assert "micro-batched == sequential single-request dispatch: ok" in out
         assert "-> 1 shared engine" in out
         assert "worst mean-relative diff" in out
 

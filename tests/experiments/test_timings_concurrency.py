@@ -1,0 +1,112 @@
+"""Concurrent-writer discipline for cell timings (serving PR).
+
+Serve workers and sharded experiments can now both feed the timing log
+and the ``timings.json`` payload; these tests pin the two guarantees:
+the in-process record list survives concurrent appends, and the on-disk
+payload is written atomically / merged rather than clobbered.
+"""
+
+import json
+import threading
+
+from repro.experiments.executor import drain_cell_timings, record_cell_timing
+from repro.experiments.timings import (
+    build_payload,
+    load_timings,
+    merge_cells_into,
+    write_payload,
+)
+
+
+class TestConcurrentRecords:
+    def test_parallel_recorders_lose_nothing(self):
+        drain_cell_timings()  # isolate from other tests
+        threads = [
+            threading.Thread(
+                target=lambda worker=w: [
+                    record_cell_timing(f"serve/w{worker}/{i}", "serve", 0.001)
+                    for i in range(50)
+                ]
+            )
+            for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = drain_cell_timings()
+        assert len(records) == 8 * 50
+        assert len({record["key"] for record in records}) == 8 * 50
+
+
+class TestAtomicWrite:
+    def test_write_payload_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "timings.json"
+        payload = build_payload({"t": 0.5}, [{"key": "a", "kind": "x", "duration_s": 0.1}])
+        write_payload(path, payload)
+        assert load_timings(path) == payload
+        leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_concurrent_writers_leave_valid_json(self, tmp_path):
+        path = tmp_path / "timings.json"
+
+        def writer(worker):
+            for i in range(20):
+                payload = build_payload(
+                    {}, [{"key": f"w{worker}", "kind": "x", "duration_s": i * 0.001}]
+                )
+                write_payload(path, payload)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Whichever writer won, the file parses and carries schema 2.
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+
+
+class TestMergeCells:
+    def test_merge_preserves_and_overwrites(self, tmp_path):
+        path = tmp_path / "timings.json"
+        write_payload(
+            path,
+            build_payload(
+                {"old_test": 1.0},
+                [
+                    {"key": "keep", "kind": "x", "duration_s": 0.5},
+                    {"key": "update", "kind": "x", "duration_s": 0.5},
+                ],
+            ),
+        )
+        merged = merge_cells_into(
+            path,
+            [
+                {"key": "update", "kind": "serve", "duration_s": 0.25},
+                {"key": "new", "kind": "serve", "duration_s": 0.1},
+            ],
+        )
+        assert set(merged["cells"]) == {"keep", "update", "new"}
+        assert merged["cells"]["keep"]["median_s"] == 0.5
+        assert merged["cells"]["update"]["median_s"] == 0.25
+        assert merged["cells"]["update"]["kind"] == "serve"
+        assert merged["tests"] == {"old_test": 1.0}
+        assert load_timings(path) == merged
+
+    def test_merge_into_missing_file(self, tmp_path):
+        path = tmp_path / "absent.json"
+        merged = merge_cells_into(
+            path, [{"key": "a", "kind": "serve", "duration_s": 0.2}]
+        )
+        assert set(merged["cells"]) == {"a"}
+        assert load_timings(path) == merged
+
+    def test_merge_over_corrupt_file(self, tmp_path):
+        path = tmp_path / "timings.json"
+        path.write_text("{not json")
+        merged = merge_cells_into(
+            path, [{"key": "a", "kind": "serve", "duration_s": 0.2}]
+        )
+        assert set(merged["cells"]) == {"a"}  # degrades to a fresh payload

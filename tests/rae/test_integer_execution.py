@@ -1,0 +1,158 @@
+"""integer_execution context + the activation-code cache (serving PR)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import BertConfig, BertTiny
+from repro.quant import PsumQuantizedLinear, apsq_config, quantize_model
+from repro.rae import IntegerExecutionPlan, integer_execution
+from repro.tensor import Tensor, manual_seed, no_grad
+
+
+@pytest.fixture(scope="module")
+def bert():
+    manual_seed(0)
+    config = BertConfig(num_classes=2, num_layers=1, hidden=32, max_seq_len=16)
+    model = quantize_model(BertTiny(config), apsq_config(gs=2, pci=8))
+    tokens = np.random.default_rng(0).integers(0, config.vocab_size, size=(4, 8))
+    model(tokens)  # calibrate
+    model.eval()
+    return model, tokens
+
+
+def make_layer(seed=0, in_features=64, out_features=8):
+    manual_seed(seed)
+    layer = PsumQuantizedLinear(
+        nn.Linear(in_features, out_features), apsq_config(gs=2, pci=8)
+    )
+    layer(Tensor(np.random.default_rng(seed).normal(size=(4, in_features))))
+    layer.eval()
+    return layer
+
+
+class TestIntegerExecutionContext:
+    def test_forward_is_batch_invariant(self, bert):
+        model, tokens = bert
+        with integer_execution(model) as plan:
+            batched = model(tokens).data
+            singles = [model(tokens[i : i + 1]).data for i in range(tokens.shape[0])]
+        assert len(plan.layer_names) > 0
+        for i, single in enumerate(singles):
+            assert np.array_equal(batched[i : i + 1], single)
+
+    def test_patch_restored_after_context(self, bert):
+        model, tokens = bert
+        with no_grad():
+            before = model(tokens).data
+        with integer_execution(model):
+            integer = model(tokens).data
+        with no_grad():
+            after = model(tokens).data
+        assert np.array_equal(before, after)  # fake-quant path restored
+        # The integer datapath is a genuinely different computation
+        # (shift-requantized) — byte equality with fake-quant would mean
+        # the patch never took effect.
+        assert integer.shape == before.shape
+
+    def test_planned_layer_routes_through_plan(self):
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        x = np.random.default_rng(1).normal(size=(5, 64))
+        expected = plan.run_layer("fc", x)
+
+        class Wrapper(nn.Module):
+            def __init__(self, inner):
+                super().__init__()
+                self.fc = inner
+
+            def forward(self, t):
+                return self.fc(t)
+
+        model = Wrapper(layer)
+        model.eval()
+        with integer_execution(model, plan):
+            out = model(Tensor(x)).data
+        assert np.array_equal(out, expected)
+
+    def test_foreign_plan_rejected(self, bert):
+        model, _ = bert
+        other = IntegerExecutionPlan([("fc", make_layer(seed=3))])
+        with pytest.raises(KeyError):
+            with integer_execution(model, other):
+                pass  # pragma: no cover
+
+    def test_pinned_plan_reuses_weight_codes(self, bert):
+        model, tokens = bert
+        plan = IntegerExecutionPlan.from_model(model)
+        with integer_execution(model, plan) as bound:
+            assert bound is plan
+            model(tokens)
+        name = plan.layer_names[0]
+        codes = plan.weight_codes(name)
+        with integer_execution(model, plan):
+            model(tokens)
+        assert plan.weight_codes(name) is codes  # version-checked, not rebuilt
+
+
+class TestActivationCodeCache:
+    def test_repeat_input_hits(self):
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        x = np.random.default_rng(2).normal(size=(6, 64))
+        first = plan.run_layer("fc", x)
+        assert plan.act_cache_stats() == {"hits": 0, "misses": 1}
+        second = plan.run_layer("fc", x)
+        assert plan.act_cache_stats() == {"hits": 1, "misses": 1}
+        assert np.array_equal(first, second)
+
+    def test_different_input_misses(self):
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        rng = np.random.default_rng(3)
+        plan.run_layer("fc", rng.normal(size=(6, 64)))
+        plan.run_layer("fc", rng.normal(size=(6, 64)))
+        assert plan.act_cache_stats() == {"hits": 0, "misses": 2}
+
+    def test_scale_bump_invalidates(self):
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        x = np.random.default_rng(4).normal(size=(6, 64))
+        plan.run_layer("fc", x)
+        layer.act_quantizer.scale.data = layer.act_quantizer.scale.data * 2.0
+        plan.run_layer("fc", x)
+        assert plan.act_cache_stats()["misses"] == 2  # version key changed
+
+    def test_requant_mode_sweep_quantizes_once(self):
+        """The satellite's target: shift → exact sweeps share the codes."""
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        x = np.random.default_rng(5).normal(size=(6, 64))
+        shift_runner = plan.runner("fc", requant="shift")
+        exact_runner = plan.runner("fc", requant="exact")
+        shift_out = shift_runner.run(x)
+        exact_out = exact_runner.run(x)
+        stats = plan.act_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] >= 1
+        assert shift_out.shape == exact_out.shape
+
+    def test_bypass_flag_skips_cache(self):
+        """Serving endpoints disable the cache — no digests, no retention."""
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        plan.cache_activations = False
+        x = np.random.default_rng(8).normal(size=(6, 64))
+        first = plan.run_layer("fc", x)
+        second = plan.run_layer("fc", x)
+        assert plan.act_cache_stats() == {"hits": 0, "misses": 0}
+        assert plan.entry("fc")._act_rows is None  # nothing retained
+        assert np.array_equal(first, second)
+
+    def test_cached_rows_bit_identical_to_fresh_plan(self):
+        layer = make_layer()
+        plan = IntegerExecutionPlan([("fc", layer)])
+        x = np.random.default_rng(6).normal(size=(6, 64))
+        plan.run_layer("fc", x)
+        cached = plan.run_layer("fc", x)  # served from the cache
+        fresh = IntegerExecutionPlan([("fc", layer)]).run_layer("fc", x)
+        assert np.array_equal(cached, fresh)

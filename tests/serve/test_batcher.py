@@ -1,0 +1,116 @@
+"""MicroBatcher unit tests: size-or-timeout readiness, FIFO fairness."""
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchPolicy, MicroBatcher, PendingRequest
+
+
+def pending(i, endpoint="bert", t=0.0, shape=(4,)):
+    return PendingRequest(
+        request_id=i, endpoint=endpoint, payload=np.zeros(shape), enqueued_at=t
+    )
+
+
+def key(endpoint="bert", shape=(4,)):
+    return (endpoint, shape)
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_delay_s=-1.0)
+
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch >= 1 and policy.max_delay_s >= 0
+
+
+class TestReadiness:
+    def test_not_ready_before_deadline_or_fill(self):
+        b = MicroBatcher(BatchPolicy(max_batch=4, max_delay_s=0.010))
+        b.put(key(), pending(0, t=1.0))
+        assert b.pop_ready(now=1.005) is None
+        assert b.depth() == 1
+
+    def test_full_batch_dispatches_immediately(self):
+        b = MicroBatcher(BatchPolicy(max_batch=3, max_delay_s=10.0))
+        for i in range(3):
+            b.put(key(), pending(i, t=1.0))
+        batch = b.pop_ready(now=1.0)
+        assert batch is not None
+        assert [p.request_id for p in batch.requests] == [0, 1, 2]
+        assert b.depth() == 0
+
+    def test_max_delay_expiry_dispatches_partial(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=0.010))
+        b.put(key(), pending(0, t=1.0))
+        b.put(key(), pending(1, t=1.002))
+        batch = b.pop_ready(now=1.011)
+        assert batch is not None and len(batch) == 2
+
+    def test_overfull_queue_leaves_remainder_ready(self):
+        b = MicroBatcher(BatchPolicy(max_batch=2, max_delay_s=10.0))
+        for i in range(5):
+            b.put(key(), pending(i, t=1.0))
+        first = b.pop_ready(now=1.0)
+        second = b.pop_ready(now=1.0)
+        assert [p.request_id for p in first.requests] == [0, 1]
+        assert [p.request_id for p in second.requests] == [2, 3]
+        assert b.depth() == 1
+        assert b.pop_ready(now=1.0) is None  # remainder not full, not expired
+
+    def test_flush_dispatches_everything(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=10.0))
+        b.put(key(), pending(0, t=1.0))
+        b.put(key("llama", (2,)), pending(1, endpoint="llama", t=2.0, shape=(2,)))
+        batches = []
+        while True:
+            batch = b.pop_ready(now=2.0, flush=True)
+            if batch is None:
+                break
+            batches.append(batch)
+        assert len(batches) == 2 and b.depth() == 0
+
+
+class TestFairnessAndKeys:
+    def test_oldest_head_dispatches_first(self):
+        b = MicroBatcher(BatchPolicy(max_batch=2, max_delay_s=0.0))
+        b.put(key("llama", (2,)), pending(0, endpoint="llama", t=2.0, shape=(2,)))
+        b.put(key("bert"), pending(1, t=1.0))
+        batch = b.pop_ready(now=3.0)
+        assert batch.endpoint == "bert"  # older head wins despite insertion order
+
+    def test_shapes_never_mix(self):
+        b = MicroBatcher(BatchPolicy(max_batch=4, max_delay_s=0.0))
+        b.put(key(shape=(4,)), pending(0, t=1.0))
+        b.put(key(shape=(6,)), pending(1, t=1.0, shape=(6,)))
+        first = b.pop_ready(now=1.0)
+        second = b.pop_ready(now=1.0)
+        assert len(first) == 1 and len(second) == 1
+        assert first.key != second.key
+
+    def test_key_depths(self):
+        b = MicroBatcher(BatchPolicy())
+        b.put(key(), pending(0, t=0.0))
+        b.put(key(), pending(1, t=0.0))
+        assert b.key_depths() == {key(): 2}
+
+
+class TestNextDeadline:
+    def test_empty_is_none(self):
+        b = MicroBatcher(BatchPolicy())
+        assert b.next_deadline(now=0.0) is None
+
+    def test_full_queue_is_now(self):
+        b = MicroBatcher(BatchPolicy(max_batch=1, max_delay_s=10.0))
+        b.put(key(), pending(0, t=5.0))
+        assert b.next_deadline(now=7.0) == 7.0
+
+    def test_earliest_expiry_wins(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=0.010))
+        b.put(key("bert"), pending(0, t=1.0))
+        b.put(key("llama", (2,)), pending(1, endpoint="llama", t=0.5, shape=(2,)))
+        assert b.next_deadline(now=0.5) == pytest.approx(0.510)

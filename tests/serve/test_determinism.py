@@ -1,0 +1,107 @@
+"""The serving layer's load-bearing invariant, as a property test.
+
+Any interleaving and any coalescing of N requests must return responses
+**bit-identical** to N sequential single-request passes — across all
+three scenario families.  This is the batched-vs-scalar oracle
+discipline of ``tests/rae/test_reduce_batch.py`` lifted to the service
+layer: the oracle is ``ModelEndpoint.serve_one``, the system under test
+is whatever batches the :class:`MicroBatcher` decides to form.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import BatchPolicy, MicroBatcher, PendingRequest, build_endpoint
+
+FAMILIES = ("bert", "llama", "segformer")
+
+
+def response_bits(result):
+    for attr in ("logits", "logprobs"):
+        if hasattr(result, attr):
+            return getattr(result, attr)
+    raise AssertionError(f"no raw output on {type(result).__name__}")
+
+
+def coalesced_responses(requests, max_batch, order):
+    """Serve ``requests`` through MicroBatcher-formed batches in ``order``."""
+    batcher = MicroBatcher(BatchPolicy(max_batch=max_batch, max_delay_s=0.0))
+    for position, index in enumerate(order):
+        family, request = requests[index]
+        endpoint = build_endpoint(family)
+        payload = endpoint.request_payload(request)
+        batcher.put(
+            endpoint.coalesce_key(payload),
+            PendingRequest(
+                request_id=index,
+                endpoint=family,
+                payload=payload,
+                enqueued_at=float(position),
+            ),
+        )
+    outputs = {}
+    while True:
+        batch = batcher.pop_ready(now=float("inf"), flush=True)
+        if batch is None:
+            break
+        results = build_endpoint(batch.endpoint).infer_batch(
+            [pending.payload for pending in batch.requests]
+        )
+        for pending, result in zip(batch.requests, results):
+            outputs[pending.request_id] = result
+    return outputs
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    families=st.lists(st.sampled_from(FAMILIES), min_size=1, max_size=5),
+    payload_seed=st.integers(min_value=0, max_value=10_000),
+    max_batch=st.integers(min_value=1, max_value=4),
+    order_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_any_coalescing_matches_sequential(families, payload_seed, max_batch, order_seed):
+    rng = np.random.default_rng(payload_seed)
+    requests = [
+        (family, build_endpoint(family).synth_request(rng)) for family in families
+    ]
+    sequential = [
+        build_endpoint(family).serve_one(request) for family, request in requests
+    ]
+    order = np.random.default_rng(order_seed).permutation(len(requests))
+    outputs = coalesced_responses(requests, max_batch, order)
+    assert set(outputs) == set(range(len(requests)))
+    for index, single in enumerate(sequential):
+        assert np.array_equal(
+            response_bits(outputs[index]), response_bits(single)
+        ), f"request {index} ({requests[index][0]}) drifted under coalescing"
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_full_batch_matches_sequential_per_family(family):
+    """Fixed-seed sanity anchor: one full batch per scenario family."""
+    endpoint = build_endpoint(family)
+    rng = np.random.default_rng(42)
+    requests = [endpoint.synth_request(rng) for _ in range(5)]
+    payloads = [endpoint.request_payload(r) for r in requests]
+    batched = endpoint.infer_batch(payloads)
+    for request, coalesced in zip(requests, batched):
+        single = endpoint.serve_one(request)
+        assert np.array_equal(response_bits(coalesced), response_bits(single))
+
+
+def test_segmentation_class_maps_match_under_batching():
+    """The decoded summary (argmax class map) is batch-invariant too."""
+    endpoint = build_endpoint("segformer")
+    rng = np.random.default_rng(7)
+    requests = [endpoint.synth_request(rng) for _ in range(3)]
+    payloads = [endpoint.request_payload(r) for r in requests]
+    batched = endpoint.infer_batch(payloads)
+    for request, coalesced in zip(requests, batched):
+        single = endpoint.serve_one(request)
+        assert np.array_equal(coalesced.class_map, single.class_map)

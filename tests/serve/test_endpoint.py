@@ -1,0 +1,145 @@
+"""ModelEndpoint tests: validation, pinned-plan reuse, scenario outputs."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ClassificationRequest,
+    ClassificationResponse,
+    EndpointRegistry,
+    ScoringRequest,
+    ScoringResponse,
+    SegmentationRequest,
+    SegmentationResponse,
+    build_endpoint,
+    clear_endpoint_memo,
+    default_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestBuilders:
+    def test_memoized_per_process(self):
+        first = build_endpoint("bert", seed=0)
+        again = build_endpoint("bert", seed=0)
+        assert first is again
+        assert build_endpoint("bert", seed=1) is not first
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown endpoint family"):
+            build_endpoint("resnet")
+
+    def test_clear_memo_rebuilds(self):
+        first = build_endpoint("bert", seed=0)
+        clear_endpoint_memo()
+        rebuilt = build_endpoint("bert", seed=0)
+        assert rebuilt is not first
+
+    def test_deterministic_rebuild_serves_identical_bits(self):
+        request = build_endpoint("bert", seed=0).synth_request(
+            np.random.default_rng(7)
+        )
+        first = build_endpoint("bert", seed=0).serve_one(request)
+        clear_endpoint_memo()
+        rebuilt = build_endpoint("bert", seed=0).serve_one(request)
+        assert np.array_equal(first.logits, rebuilt.logits)
+
+
+class TestValidation:
+    def test_wrong_request_type(self, registry):
+        with pytest.raises(TypeError, match="expects ClassificationRequest"):
+            registry.get("bert").request_payload(ScoringRequest(tokens=np.arange(4)))
+
+    def test_token_shape_and_vocab(self, registry):
+        bert = registry.get("bert")
+        with pytest.raises(ValueError, match="1-D tokens"):
+            bert.request_payload(ClassificationRequest(tokens=np.zeros((2, 4), dtype=int)))
+        with pytest.raises(ValueError, match="token ids outside"):
+            bert.request_payload(ClassificationRequest(tokens=np.array([0, 10_000])))
+
+    def test_image_channels(self, registry):
+        seg = registry.get("segformer")
+        with pytest.raises(ValueError, match="expected image"):
+            seg.request_payload(SegmentationRequest(image=np.zeros((1, 8, 8))))
+
+    def test_mixed_shapes_do_not_stack(self, registry):
+        bert = registry.get("bert")
+        with pytest.raises(ValueError, match="mixed payload shapes"):
+            bert.infer_batch([np.zeros(4, dtype=np.int64), np.zeros(6, dtype=np.int64)])
+
+    def test_coalesce_key_separates_shapes(self, registry):
+        bert = registry.get("bert")
+        a = bert.coalesce_key(np.zeros(4, dtype=np.int64))
+        b = bert.coalesce_key(np.zeros(6, dtype=np.int64))
+        assert a != b and a[0] == b[0] == "bert"
+
+
+class TestScenarioOutputs:
+    def test_classification(self, registry):
+        endpoint = registry.get("bert")
+        response = endpoint.serve_one(endpoint.synth_request(np.random.default_rng(0)))
+        assert isinstance(response, ClassificationResponse)
+        assert response.logits.shape == (2,)
+        assert response.label == int(response.logits.argmax())
+
+    def test_scoring(self, registry):
+        endpoint = registry.get("llama")
+        response = endpoint.serve_one(endpoint.synth_request(np.random.default_rng(0)))
+        assert isinstance(response, ScoringResponse)
+        vocab = endpoint.model.config.vocab_size
+        assert response.logprobs.shape == (vocab,)
+        assert response.top_token == int(response.logprobs.argmax())
+        # log-probabilities: sum of exp is 1
+        assert np.isclose(np.exp(response.logprobs).sum(), 1.0)
+
+    def test_segmentation(self, registry):
+        endpoint = registry.get("segformer")
+        response = endpoint.serve_one(endpoint.synth_request(np.random.default_rng(0)))
+        assert isinstance(response, SegmentationResponse)
+        assert response.logits.ndim == 3
+        assert response.class_map.shape == response.logits.shape[:2]
+        assert np.array_equal(response.class_map, response.logits.argmax(axis=-1))
+
+
+class TestPinnedPlan:
+    def test_plan_survives_across_calls(self, registry):
+        endpoint = registry.get("bert")
+        plan = endpoint.plan
+        rng = np.random.default_rng(1)
+        endpoint.serve_one(endpoint.synth_request(rng))
+        endpoint.serve_one(endpoint.synth_request(rng))
+        assert endpoint.plan is plan  # pinned, never rebuilt
+
+    def test_weight_codes_cached_by_version(self, registry):
+        endpoint = registry.get("bert")
+        name = endpoint.plan.layer_names[0]
+        codes = endpoint.plan.weight_codes(name)
+        assert endpoint.plan.weight_codes(name) is codes  # cache hit
+        layer = endpoint.plan.entry(name).layer
+        layer.weight.data = layer.weight.data.copy()  # version bump
+        assert endpoint.plan.weight_codes(name) is not codes  # revalidated
+
+    def test_conv_layers_planned_for_segformer(self, registry):
+        plan = registry.get("segformer").plan
+        kinds = {plan.entry(name).kind for name in plan.layer_names}
+        assert kinds == {"linear", "conv"}
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = EndpointRegistry()
+        registry.register(build_endpoint("bert"))
+        with pytest.raises(ValueError, match="duplicate endpoint"):
+            registry.register(build_endpoint("bert"))
+
+    def test_unknown_endpoint(self, registry):
+        with pytest.raises(KeyError, match="unknown endpoint"):
+            registry.get("missing")
+
+    def test_iteration_and_names(self, registry):
+        assert registry.names == ("bert", "llama", "segformer")
+        assert len(list(registry)) == len(registry) == 3

@@ -1,0 +1,123 @@
+"""Load generator + serve-bench tests (small, deterministic workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    EndpointRegistry,
+    InferenceService,
+    LoadSpec,
+    bench_microbatch_speedup,
+    build_endpoint,
+    build_requests,
+    format_bench_report,
+    run_load,
+    serve_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def bert_registry():
+    registry = EndpointRegistry()
+    registry.register(build_endpoint("bert"))
+    return registry
+
+
+class TestLoadSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"requests": 0},
+            {"mode": "bursty"},
+            {"concurrency": 0},
+            {"rate_hz": 0.0},
+            {"mix": ()},
+            {"mix": (("bert", -1.0),)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadSpec(**kwargs)
+
+
+class TestBuildRequests:
+    def test_deterministic_per_seed(self, bert_registry):
+        spec = LoadSpec(requests=6, mix=(("bert", 1.0),), seed=11)
+        first = build_requests(bert_registry, spec)
+        second = build_requests(bert_registry, spec)
+        assert [name for name, _ in first] == [name for name, _ in second]
+        for (_, a), (_, b) in zip(first, second):
+            assert np.array_equal(a.tokens, b.tokens)
+
+    def test_mix_restricts_endpoints(self, bert_registry):
+        spec = LoadSpec(requests=10, mix=(("bert", 1.0),), seed=0)
+        assert {name for name, _ in build_requests(bert_registry, spec)} == {"bert"}
+
+
+class TestRunLoad:
+    def test_closed_loop_completes_all(self, bert_registry):
+        spec = LoadSpec(requests=8, mix=(("bert", 1.0),), mode="closed", concurrency=4)
+        service = InferenceService(
+            bert_registry, policy=BatchPolicy(max_batch=4, max_delay_s=0.002)
+        ).start()
+        try:
+            report = run_load(service, spec)
+        finally:
+            service.drain()
+        assert report["mode"] == "closed"
+        assert report["completed"] == report["submitted"] == 8
+        assert report["rejected"] == 0
+        assert report["throughput_rps"] > 0
+        assert all(response is not None for response in report["responses"])
+
+    def test_open_loop_counts_rejections(self, bert_registry):
+        spec = LoadSpec(
+            requests=16, mix=(("bert", 1.0),), mode="open", rate_hz=50_000.0, seed=1
+        )
+        service = InferenceService(
+            bert_registry,
+            policy=BatchPolicy(max_batch=2, max_delay_s=0.0),
+            queue_limit=1,
+            block_on_full=False,
+        ).start()
+        try:
+            report = run_load(service, spec)
+        finally:
+            service.drain()
+        assert report["completed"] + report["rejected"] == 16
+        nones = sum(1 for response in report["responses"] if response is None)
+        assert nones == report["rejected"]
+
+
+class TestBench:
+    def test_microbatch_speedup_small(self):
+        result = bench_microbatch_speedup(
+            family="bert", requests=8, max_batch=4, repeats=1
+        )
+        assert result["t_batch1_s"] > 0 and result["t_microbatch_s"] > 0
+        assert result["mean_coalesced_batch"] >= 1.0
+        assert result["speedup"] == pytest.approx(
+            result["t_batch1_s"] / result["t_microbatch_s"], rel=1e-6
+        )
+
+    def test_serve_bench_report_and_merge(self, tmp_path):
+        timings = tmp_path / "timings.json"
+        result = serve_bench(
+            families=("bert",),
+            requests=6,
+            gate_requests=6,
+            max_batch=4,
+            workers=1,
+            mode="closed",
+            concurrency=4,
+            timings_path=timings,
+        )
+        report = format_bench_report(result)
+        assert "speedup" in report and "p95" in report
+        from repro.experiments.timings import load_timings
+
+        payload = load_timings(timings)
+        assert "serve/bert/microbatch" in payload["cells"]
+        assert "serve/bert/batch1" in payload["cells"]
+        assert "serve/mixed/closed" in payload["cells"]

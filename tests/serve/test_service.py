@@ -1,0 +1,271 @@
+"""InferenceService tests: dispatch, backpressure, drain, failures."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BackpressureError,
+    BatchPolicy,
+    EndpointRegistry,
+    InferenceService,
+    ServiceClosedError,
+    default_registry,
+)
+
+
+def response_bits(result):
+    for attr in ("logits", "logprobs"):
+        if hasattr(result, attr):
+            return getattr(result, attr)
+    raise AssertionError(f"no raw output on {type(result).__name__}")
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class StubEndpoint:
+    """Duck-typed endpoint whose inference can be blocked or made to fail."""
+
+    def __init__(self, name="stub", fail=False):
+        self.name = name
+        self.fail = fail
+        self.release = threading.Event()
+        self.release.set()
+        self.calls = []
+        self.lock = threading.RLock()
+
+    def request_payload(self, request):
+        return np.asarray(request, dtype=float)
+
+    def coalesce_key(self, payload):
+        return (self.name, payload.shape)
+
+    def infer_batch(self, payloads):
+        self.release.wait(5.0)
+        if self.fail:
+            raise RuntimeError("stub inference failure")
+        self.calls.append(len(payloads))
+        return [float(p.sum()) for p in payloads]
+
+
+def stub_registry(**kwargs):
+    registry = EndpointRegistry()
+    endpoint = StubEndpoint(**kwargs)
+    registry.register(endpoint)
+    return registry, endpoint
+
+
+class TestDispatch:
+    def test_burst_equals_sequential_oracle(self, registry):
+        endpoint = registry.get("bert")
+        rng = np.random.default_rng(0)
+        requests = [endpoint.synth_request(rng) for _ in range(10)]
+        with InferenceService(
+            registry, policy=BatchPolicy(max_batch=4, max_delay_s=0.002)
+        ) as service:
+            futures = [service.submit("bert", r) for r in requests]
+            responses = [f.result(30.0) for f in futures]
+        for request, response in zip(requests, responses):
+            single = endpoint.serve_one(request)
+            assert np.array_equal(response.result.logits, single.logits)
+
+    def test_multi_worker_mixed_scenarios(self, registry):
+        rng = np.random.default_rng(1)
+        requests = [
+            (name, registry.get(name).synth_request(rng))
+            for name in ("bert", "llama", "segformer")
+            for _ in range(3)
+        ]
+        with InferenceService(
+            registry, policy=BatchPolicy(max_batch=4, max_delay_s=0.002), workers=3
+        ) as service:
+            futures = [service.submit(name, r) for name, r in requests]
+            responses = [f.result(60.0) for f in futures]
+        for (name, request), response in zip(requests, responses):
+            assert response.endpoint == name
+            single = registry.get(name).serve_one(request)
+            assert np.array_equal(
+                response_bits(response.result), response_bits(single)
+            )
+
+    def test_request_ids_and_timing_fields(self, registry):
+        endpoint = registry.get("bert")
+        rng = np.random.default_rng(2)
+        with InferenceService(registry) as service:
+            response = service.serve("bert", endpoint.synth_request(rng), timeout=30.0)
+        assert response.timing.batch_size >= 1
+        assert response.timing.latency_s >= response.timing.queue_s >= 0.0
+
+    def test_coalescing_happens(self, registry):
+        """A burst under a generous delay coalesces into few batches."""
+        endpoint = registry.get("bert")
+        rng = np.random.default_rng(3)
+        requests = [endpoint.synth_request(rng) for _ in range(8)]
+        service = InferenceService(
+            registry, policy=BatchPolicy(max_batch=8, max_delay_s=0.200)
+        ).start()
+        try:
+            futures = [service.submit("bert", r) for r in requests]
+            responses = [f.result(30.0) for f in futures]
+        finally:
+            metrics = service.drain()
+        assert max(r.timing.batch_size for r in responses) >= 2
+        stats = metrics["endpoints"]["bert"]
+        assert stats["batches"] < len(requests)
+
+
+class TestBackpressure:
+    def test_queue_full_rejects(self):
+        registry, endpoint = stub_registry()
+        endpoint.release.clear()  # park the worker mid-batch
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            queue_limit=2,
+        ).start()
+        try:
+            service.submit("stub", [1.0])  # picked up by the worker
+            time.sleep(0.05)  # the worker is now blocked inside infer_batch
+            service.submit("stub", [2.0])
+            service.submit("stub", [3.0])
+            with pytest.raises(BackpressureError):
+                service.submit("stub", [4.0])
+            assert service.metrics.rejected == 1
+        finally:
+            endpoint.release.set()
+            service.drain()
+
+    def test_block_on_full_waits_for_space(self):
+        registry, endpoint = stub_registry()
+        endpoint.release.clear()
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            queue_limit=1,
+            block_on_full=True,
+        ).start()
+        try:
+            first = service.submit("stub", [1.0])
+            time.sleep(0.05)
+            second = service.submit("stub", [2.0])  # fills the queue
+            unblocked = []
+
+            def blocked_submit():
+                unblocked.append(service.submit("stub", [3.0]))
+
+            thread = threading.Thread(target=blocked_submit)
+            thread.start()
+            time.sleep(0.05)
+            assert not unblocked  # still waiting for queue space
+            endpoint.release.set()
+            thread.join(5.0)
+            assert unblocked
+            assert first.result(5.0).result == 1.0
+            assert second.result(5.0).result == 2.0
+            assert unblocked[0].result(5.0).result == 3.0
+        finally:
+            endpoint.release.set()
+            service.drain()
+
+
+class TestShutdown:
+    def test_drain_flushes_partial_batches(self):
+        """Queued requests under a huge delay still complete on drain."""
+        registry, _ = stub_registry()
+        service = InferenceService(
+            registry, policy=BatchPolicy(max_batch=64, max_delay_s=60.0)
+        ).start()
+        futures = [service.submit("stub", [float(i)]) for i in range(5)]
+        metrics = service.drain()
+        assert [f.result(5.0).result for f in futures] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert metrics["completed"] == 5
+
+    def test_submit_after_drain_raises(self, registry):
+        endpoint = registry.get("bert")
+        request = endpoint.synth_request(np.random.default_rng(5))
+        service = InferenceService(registry).start()
+        service.drain()
+        with pytest.raises(ServiceClosedError):
+            service.submit("bert", request)
+
+    def test_drain_idempotent(self, registry):
+        service = InferenceService(registry).start()
+        service.drain()
+        assert service.drain()["completed"] == 0
+
+    def test_abort_rejects_queued(self):
+        registry, endpoint = stub_registry()
+        endpoint.release.clear()
+        service = InferenceService(
+            registry, policy=BatchPolicy(max_batch=1, max_delay_s=0.0), queue_limit=8
+        ).start()
+        in_flight = service.submit("stub", [1.0])
+        time.sleep(0.05)  # the worker is now blocked inside infer_batch
+        queued = [service.submit("stub", [2.0]), service.submit("stub", [3.0])]
+        # Abort while the worker is parked: the queued requests are
+        # rejected before the in-flight batch can come back for them.
+        aborter = threading.Thread(target=service.abort)
+        aborter.start()
+        for future in queued:
+            with pytest.raises(ServiceClosedError):
+                future.result(5.0)
+        endpoint.release.set()
+        aborter.join(5.0)
+        assert not aborter.is_alive()
+        in_flight.result(5.0)  # the batch already executing completes
+
+    def test_invalid_construction(self, registry):
+        with pytest.raises(ValueError):
+            InferenceService(registry, workers=0)
+        with pytest.raises(ValueError):
+            InferenceService(registry, queue_limit=0)
+
+
+class TestFailures:
+    def test_batch_failure_rejects_requests_and_service_survives(self):
+        registry, endpoint = stub_registry(fail=True)
+        service = InferenceService(
+            registry, policy=BatchPolicy(max_batch=2, max_delay_s=0.0)
+        ).start()
+        try:
+            future = service.submit("stub", [1.0])
+            with pytest.raises(RuntimeError, match="stub inference failure"):
+                future.result(5.0)
+            endpoint.fail = False
+            ok = service.submit("stub", [2.0]).result(5.0)
+            assert ok.result == 2.0
+            assert service.metrics.failed == 1
+        finally:
+            service.drain()
+
+    def test_invalid_request_rejected_at_submit(self, registry):
+        with InferenceService(registry) as service:
+            with pytest.raises(TypeError):
+                service.submit("bert", object())
+            assert service.queue_depth() == 0
+
+
+class TestMetrics:
+    def test_snapshot_counts(self, registry):
+        endpoint = registry.get("bert")
+        rng = np.random.default_rng(4)
+        with InferenceService(
+            registry, policy=BatchPolicy(max_batch=4, max_delay_s=0.002)
+        ) as service:
+            futures = [
+                service.submit("bert", endpoint.synth_request(rng)) for _ in range(6)
+            ]
+            for future in futures:
+                future.result(30.0)
+            snapshot = service.metrics.snapshot()
+        assert snapshot["submitted"] == snapshot["completed"] == 6
+        assert snapshot["throughput_rps"] > 0
+        bert_stats = snapshot["endpoints"]["bert"]
+        assert bert_stats["requests"] == 6
+        assert bert_stats["latency"]["p95_s"] >= bert_stats["latency"]["p50_s"]
+        assert bert_stats["mean_batch"] >= 1.0

@@ -1,0 +1,99 @@
+"""Grad mode must be thread-local (serving-layer regression test).
+
+Before the serving PR, ``no_grad`` saved/restored one process-global
+flag.  Two worker threads whose contexts overlap could interleave as
+A-enter, B-enter (saving "disabled" as its previous state), A-exit,
+B-exit — leaving gradient recording disabled for the entire process and
+every later training/autograd test failing nondeterministically.  These
+tests pin the thread-local semantics that make concurrent inference
+workers safe.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor.autograd import enable_grad, is_grad_enabled, set_grad_enabled
+
+
+def test_no_grad_in_worker_does_not_leak_to_main():
+    inside = threading.Event()
+    release = threading.Event()
+    seen = {}
+
+    def worker():
+        with no_grad():
+            seen["worker"] = is_grad_enabled()
+            inside.set()
+            release.wait(5.0)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    assert inside.wait(5.0)
+    assert is_grad_enabled()  # the worker's no_grad is invisible here
+    x = Tensor(np.ones(3), requires_grad=True)
+    assert (x * 2.0).requires_grad  # the main thread still records graphs
+    release.set()
+    thread.join(5.0)
+    assert seen["worker"] is False
+
+
+def test_overlapping_no_grad_exits_cannot_disable_process():
+    """The exact interleaving that poisoned the old global flag."""
+    a_inside = threading.Event()
+    b_inside = threading.Event()
+    a_done = threading.Event()
+
+    def worker_a():
+        with no_grad():
+            a_inside.set()
+            b_inside.wait(5.0)  # hold until B is inside its own no_grad
+        a_done.set()
+
+    def worker_b():
+        a_inside.wait(5.0)
+        with no_grad():
+            b_inside.set()
+            a_done.wait(5.0)  # exit strictly after A exited
+
+    threads = [threading.Thread(target=worker_a), threading.Thread(target=worker_b)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(5.0)
+    assert is_grad_enabled()  # the old global flag ended False here
+
+
+def test_each_thread_starts_enabled():
+    states = {}
+
+    def probe():
+        states["fresh"] = is_grad_enabled()
+
+    with no_grad():  # main thread disabled while the probe runs
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join(5.0)
+    assert states["fresh"] is True
+
+
+def test_set_grad_enabled_is_per_thread():
+    try:
+        set_grad_enabled(False)
+        assert not is_grad_enabled()
+        states = {}
+        thread = threading.Thread(target=lambda: states.update(t=is_grad_enabled()))
+        thread.start()
+        thread.join(5.0)
+        assert states["t"] is True
+    finally:
+        set_grad_enabled(True)
+
+
+def test_enable_grad_restores_on_exit():
+    with no_grad():
+        with enable_grad():
+            assert is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
