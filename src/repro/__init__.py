@@ -11,6 +11,8 @@ Full reproduction of the DAC 2025 paper, built from scratch on numpy:
 - :mod:`repro.accelerator` — PSUM-precision-aware analytical energy model
 - :mod:`repro.rae` — bit-accurate Reconfigurable APSQ Engine simulator
 - :mod:`repro.experiments` — one module per paper table/figure
+- :mod:`repro.serve` — micro-batching integer-inference service
+- :mod:`repro.artifacts` — compiled integer-model artifacts + registry
 """
 
 __version__ = "0.1.0"

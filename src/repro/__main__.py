@@ -20,6 +20,17 @@ serve-bench [--requests N] [--max-batch B] [--workers W] [--mode open|closed]
     BERT micro-batch-vs-batch-1 gate plus a mixed-scenario load phase,
     print the throughput/latency report and merge the measured cells into
     ``benchmarks/results/timings.json`` (``--no-record`` skips the merge).
+    With ``--from-artifact`` the endpoints cold-start from compiled
+    artifacts (compiled on demand into the registry), and
+    ``--process-workers N`` serves the mixed phase from N artifact-backed
+    worker processes.
+compile FAMILY [--gs G] [--seed S] [--registry DIR]
+    Build + calibrate one endpoint family, compile it to a
+    content-addressed artifact (weight codes, scale plans, shift
+    exponents, quantizer state) and store it in the artifact registry.
+artifacts {list | inspect REF | gc [--keep REF,...]}
+    Inspect or garbage-collect the artifact registry (``REF`` is a digest
+    or unique digest prefix).
 info
     Print the package/version and the configuration of the analytical
     accelerator.
@@ -158,6 +169,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_parser.add_argument(
         "--no-record", action="store_true", help="do not touch the timings payload"
     )
+    serve_parser.add_argument(
+        "--from-artifact",
+        action="store_true",
+        help="cold-start the endpoints from compiled artifacts",
+    )
+    serve_parser.add_argument(
+        "--registry", default="", help="artifact registry root (default: REPRO_ARTIFACTS_DIR)"
+    )
+    serve_parser.add_argument(
+        "--process-workers",
+        type=int,
+        default=0,
+        help="serve the mixed phase from N artifact-backed worker processes",
+    )
+    compile_parser = sub.add_parser(
+        "compile", help="compile one endpoint family to a content-addressed artifact"
+    )
+    compile_parser.add_argument("family", help="endpoint family (bert | llama | segformer)")
+    compile_parser.add_argument("--gs", type=int, default=2, help="APSQ group size")
+    compile_parser.add_argument("--seed", type=int, default=0)
+    compile_parser.add_argument("--rounding", default="half_even")
+    compile_parser.add_argument(
+        "--registry", default="", help="artifact registry root (default: REPRO_ARTIFACTS_DIR)"
+    )
+    artifacts_parser = sub.add_parser(
+        "artifacts", help="list / inspect / gc the artifact registry"
+    )
+    artifacts_parser.add_argument("verb", choices=["list", "inspect", "gc"])
+    artifacts_parser.add_argument(
+        "ref", nargs="?", default="", help="digest or unique prefix (inspect)"
+    )
+    artifacts_parser.add_argument(
+        "--registry", default="", help="artifact registry root (default: REPRO_ARTIFACTS_DIR)"
+    )
+    artifacts_parser.add_argument(
+        "--keep", default="", help="gc: comma-separated digests/prefixes to keep"
+    )
     all_parser = sub.add_parser("all", help="regenerate every artefact")
     _add_effort_args(all_parser)
     for name in sorted(ARTEFACTS):
@@ -195,8 +243,54 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             gate_requests=args.gate_requests,
             timings_path=None if args.no_record else Path(args.timings),
+            from_artifact=args.from_artifact or args.process_workers > 0,
+            artifact_root=Path(args.registry) if args.registry else None,
+            process_workers=args.process_workers,
         )
         print(format_bench_report(result))
+    elif args.command == "compile":
+        from pathlib import Path
+
+        from .artifacts import ArtifactRegistry, compile_into
+
+        registry = ArtifactRegistry(Path(args.registry) if args.registry else None)
+        path = compile_into(
+            registry, args.family, seed=args.seed, gs=args.gs, rounding=args.rounding
+        )
+        manifest = registry.inspect(path.name)
+        print(f"compiled {args.family} (gs={args.gs}, seed={args.seed})")
+        print(f"  digest: {manifest['digest']}")
+        print(f"  path:   {path}")
+        print(f"  layers: {len(manifest['plan']['layers'])}")
+    elif args.command == "artifacts":
+        import json as _json
+        from pathlib import Path
+
+        from .artifacts import ArtifactRegistry
+
+        registry = ArtifactRegistry(Path(args.registry) if args.registry else None)
+        if args.verb == "list":
+            records = registry.list()
+            if not records:
+                print(f"no artifacts under {registry.root}")
+            for record in records:
+                meta = record["meta"]
+                print(
+                    f"{record['digest'][:16]}  family={meta.get('family', '?'):<10} "
+                    f"gs={meta.get('gs', '?')} seed={meta.get('seed', '?')} "
+                    f"layers={record['layers']}"
+                )
+        elif args.verb == "inspect":
+            if not args.ref:
+                print("artifacts inspect needs a digest (or unique prefix)")
+                return 2
+            print(_json.dumps(registry.inspect(args.ref), indent=2, sort_keys=True))
+        else:  # gc
+            keep = [ref for ref in args.keep.split(",") if ref] or None
+            removed = registry.gc(keep=keep)
+            print(f"removed {len(removed)} artifact(s)")
+            for digest in removed:
+                print(f"  {digest[:16]}")
     elif args.command == "info":
         print(cmd_info())
     elif args.command == "run":

@@ -1,0 +1,65 @@
+"""`repro.artifacts` — compiled integer-model artifacts.
+
+The paper's end state is that a calibrated model *is* a fixed integer
+program: weight codes, per-tile PSUM scales and shift exponents, a
+reduction schedule.  This package makes that program a first-class,
+portable object:
+
+- :mod:`~repro.artifacts.format` — ``compile_model`` captures a model +
+  :class:`~repro.rae.planner.IntegerExecutionPlan` into a schema-
+  versioned, content-addressed ``manifest.json`` + ``arrays.npz``
+  artifact (atomic writes); ``read_artifact`` / ``restore_into`` load it
+  back bit-identical with **no calibration or re-quantization pass**.
+- :mod:`~repro.artifacts.registry` — a hash-keyed directory layout with
+  ``put`` / ``list`` / ``inspect`` / ``gc``.
+- :mod:`~repro.artifacts.endpoints` — ``compile_endpoint`` /
+  ``load_endpoint`` wire the serve layer's model families through the
+  pipeline, giving millisecond endpoint cold-starts (the prerequisite
+  for process-level serve workers, :mod:`repro.serve.workers`).
+
+CLI: ``python -m repro compile <family>`` and
+``python -m repro artifacts list|inspect|gc``.
+"""
+
+from .endpoints import (
+    compile_endpoint,
+    compile_into,
+    endpoint_meta,
+    ensure_artifact,
+    load_endpoint,
+)
+from .format import (
+    ARTIFACT_SCHEMA,
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactSchemaError,
+    CompiledArtifact,
+    compile_model,
+    content_digest,
+    read_artifact,
+    read_manifest,
+    restore_into,
+    write_artifact,
+)
+from .registry import ArtifactRegistry, default_root
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactRegistry",
+    "ArtifactSchemaError",
+    "CompiledArtifact",
+    "compile_endpoint",
+    "compile_into",
+    "compile_model",
+    "content_digest",
+    "default_root",
+    "endpoint_meta",
+    "ensure_artifact",
+    "load_endpoint",
+    "read_artifact",
+    "read_manifest",
+    "restore_into",
+    "write_artifact",
+]

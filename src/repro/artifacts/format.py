@@ -1,0 +1,394 @@
+"""Compiled integer-model artifacts: schema-versioned, content-addressed.
+
+A calibrated quantized model plus its
+:class:`~repro.rae.planner.IntegerExecutionPlan` compiles down to a fixed
+integer program — weight codes, per-tile PSUM scales and shift exponents,
+quantizer scales, reduction-shape groups.  :func:`compile_model` captures
+all of it as one **artifact**: a directory holding
+
+- ``manifest.json`` — schema version, content digest, endpoint metadata
+  (family, scenario, seed, gs, rounding, request shape, model config),
+  quantizer calibration flags, parameter version counters, and the plan's
+  layer/group topology;
+- ``arrays.npz`` — the model state dict (``state/<param>``) plus every
+  layer's exported plan state (``plan/<layer>/<field>``).
+
+The digest is a SHA-256 over the canonical manifest (minus volatile
+fields) *and the raw bytes of every array*, so the artifact is
+content-addressed end to end: two compiles of the same calibrated model
+produce the same digest, and any flipped byte — manifest or tensor — is
+detected on read.  Writes are atomic (temp dir + ``os.replace``, the
+:mod:`repro.experiments.store` discipline), so a killed compile can never
+leave a half-written artifact behind.
+
+:func:`restore_into` (and the endpoint-level
+:func:`~repro.artifacts.endpoints.load_endpoint`) reconstructs a
+ready-to-serve model + plan from an artifact **without any calibration or re-quantization pass**: the state
+dict restores weights and quantizer scales, calibration flags are applied
+from the manifest, and the planner's caches are seeded via
+:meth:`~repro.rae.planner.IntegerExecutionPlan.import_state` — bit-
+identical to the freshly compiled model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+ARTIFACT_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Manifest fields excluded from the content digest: they may legitimately
+#: differ between two compiles of identical content.  The array index is
+#: excluded because it is a *packing* detail — the digest hashes the
+#: unpacked arrays themselves, so a tampered index still fails
+#: verification (the bytes it resolves to no longer hash to the digest).
+VOLATILE_FIELDS = ("digest", "created_s", "arrays_index")
+
+#: Packed arrays are aligned to this many bytes inside the payload, so
+#: every unpacked array is a properly aligned zero-copy view.
+PACK_ALIGN = 64
+
+
+class ArtifactError(RuntimeError):
+    """Base class for artifact read/write failures."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """The artifact is unreadable or its content does not match its digest."""
+
+
+class ArtifactSchemaError(ArtifactError):
+    """The artifact was written by an incompatible schema version."""
+
+
+# ----------------------------------------------------------------------
+# Digest
+# ----------------------------------------------------------------------
+
+
+def _canonical_manifest(manifest: Mapping[str, Any]) -> bytes:
+    stable = {k: v for k, v in manifest.items() if k not in VOLATILE_FIELDS}
+    return json.dumps(stable, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def content_digest(manifest: Mapping[str, Any], arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over the canonical manifest and every array's raw bytes.
+
+    Hashing array contents directly (name, dtype, shape, bytes) rather
+    than the ``.npz`` container keeps the digest independent of zip
+    metadata while still detecting any flipped tensor byte.
+    """
+    h = hashlib.sha256()
+    h.update(_canonical_manifest(manifest))
+    for name in sorted(arrays):
+        # np.asarray, not ascontiguousarray: the latter promotes 0-d
+        # scalars (LSQ scales) to shape (1,).  tobytes() always yields
+        # C-order bytes, contiguous or not.
+        value = np.asarray(arrays[name])
+        h.update(name.encode("utf-8"))
+        h.update(str(value.dtype.str).encode("ascii"))
+        h.update(repr(value.shape).encode("ascii"))
+        h.update(value.tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The artifact object
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """An in-memory artifact: manifest dict + named arrays."""
+
+    manifest: Dict[str, Any]
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def digest(self) -> str:
+        return self.manifest["digest"]
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        return self.manifest["meta"]
+
+    def summary(self) -> str:
+        meta = self.meta
+        plan = self.manifest.get("plan", {})
+        return (
+            f"{self.digest[:12]}  family={meta.get('family', '?'):<10} "
+            f"gs={meta.get('gs', '?')} seed={meta.get('seed', '?')} "
+            f"layers={len(plan.get('layers', []))} arrays={len(self.arrays)}"
+        )
+
+
+def compile_model(model, plan, meta: Mapping[str, Any]) -> CompiledArtifact:
+    """Capture a calibrated model + integer plan as a portable artifact.
+
+    ``meta`` is endpoint metadata (family, scenario, seed, gs, request
+    shape, model config …) stored verbatim under ``manifest["meta"]`` —
+    it must be JSON-serializable.  The model's state dict and the plan's
+    exported per-layer state (weight codes, scale plans, shift exponents)
+    become the array payload; quantizer calibration flags and parameter
+    version counters ride in the manifest so the loader can restore the
+    full cache-consistency picture.
+    """
+    from ..quant.state import calibration_flags, parameter_versions
+
+    arrays: Dict[str, np.ndarray] = {}
+    for key, value in model.state_dict().items():
+        arrays[f"state/{key}"] = np.asarray(value)
+    for layer_name, layer_state in plan.export_state().items():
+        for field_name, value in layer_state.items():
+            arrays[f"plan/{layer_name}/{field_name}"] = np.asarray(value)
+    manifest: Dict[str, Any] = {
+        "schema": ARTIFACT_SCHEMA,
+        "meta": dict(meta),
+        "model": {
+            "calibration": calibration_flags(model),
+            "versions": parameter_versions(model),
+            "num_parameters": int(model.num_parameters()),
+        },
+        "plan": {
+            "rounding": plan.rounding,
+            "layers": list(plan.layer_names),
+            "groups": [
+                {
+                    "num_tiles": shape.num_tiles,
+                    "gs": shape.gs,
+                    "lanes": shape.lanes,
+                    "bits": shape.bits,
+                    "layers": list(names),
+                }
+                for shape, names in plan.groups.items()
+            ],
+        },
+        "created_s": round(time.time(), 3),
+    }
+    manifest["digest"] = content_digest(manifest, arrays)
+    return CompiledArtifact(manifest=manifest, arrays=arrays)
+
+
+# ----------------------------------------------------------------------
+# Payload packing
+# ----------------------------------------------------------------------
+# ``.npz`` costs ~50 µs of zip + header parsing per member; a compiled
+# model has hundreds of (mostly tiny) arrays, which would put the member
+# walk — not the I/O — at the top of the cold-start profile.  So the
+# archive holds ONE member: every array's raw bytes concatenated at
+# 64-byte alignment, with the (name → dtype/shape/offset) index in the
+# manifest.  Loading is a single zip read plus zero-copy views.
+
+
+def _pack_arrays(arrays: Mapping[str, np.ndarray]) -> Tuple[np.ndarray, list]:
+    index = []
+    chunks = []
+    offset = 0
+    for name in sorted(arrays):
+        value = np.asarray(arrays[name])  # keep 0-d ranks (see content_digest)
+        pad = -offset % PACK_ALIGN
+        if pad:
+            chunks.append(b"\x00" * pad)
+            offset += pad
+        raw = value.tobytes()
+        index.append(
+            {
+                "name": name,
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+                "offset": offset,
+                "nbytes": len(raw),
+            }
+        )
+        chunks.append(raw)
+        offset += len(raw)
+    payload = np.frombuffer(b"".join(chunks), dtype=np.uint8)
+    return payload, index
+
+
+def _unpack_arrays(payload: np.ndarray, index: list) -> Dict[str, np.ndarray]:
+    payload = np.ascontiguousarray(payload, dtype=np.uint8)
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        for entry in index:
+            start = int(entry["offset"])
+            stop = start + int(entry["nbytes"])
+            raw = payload[start:stop]
+            if raw.nbytes != int(entry["nbytes"]):
+                raise ValueError(f"array {entry['name']!r} extends past the payload")
+            arrays[entry["name"]] = raw.view(np.dtype(entry["dtype"])).reshape(
+                tuple(entry["shape"])
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorruptError(f"malformed array index: {exc}") from exc
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# Disk round-trip
+# ----------------------------------------------------------------------
+
+
+def write_artifact(artifact: CompiledArtifact, path: PathLike) -> Path:
+    """Write ``artifact`` to the directory ``path``, atomically.
+
+    The manifest and array archive are staged in a temp directory next to
+    the target and moved into place with one ``os.replace``.  An existing
+    *valid* artifact at ``path`` is only ever replaced by identical
+    content (the digest matches — content addressing makes the write
+    idempotent); a different valid artifact raises :class:`ArtifactError`.
+    A corrupt or partial occupant (truncated payload, unreadable
+    manifest) is **repaired**: the fresh copy replaces it, so a damaged
+    registry slot heals on the next compile instead of failing forever.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = Path(tempfile.mkdtemp(dir=path.parent, prefix=f".{path.name}."))
+    try:
+        payload, index = _pack_arrays(artifact.arrays)
+        manifest = dict(artifact.manifest)
+        manifest["arrays_index"] = index
+        (staging / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        with open(staging / ARRAYS_NAME, "wb") as handle:
+            np.savez(handle, payload=payload)
+        try:
+            os.replace(staging, path)
+        except OSError:
+            # The target exists (os.replace cannot clobber a non-empty
+            # directory).  Fully verify the occupant — manifest AND
+            # payload — so a corrupt slot gets repaired rather than
+            # shadowing every future write of the same digest.
+            try:
+                existing = read_artifact(path)
+            except ArtifactError:
+                existing = None
+            if existing is not None:
+                if existing.digest != artifact.digest:
+                    raise ArtifactError(
+                        f"refusing to overwrite {path}: existing artifact digest "
+                        f"{existing.digest[:12]} != {artifact.digest[:12]}"
+                    )
+                shutil.rmtree(staging)  # identical content already in place
+            else:
+                if path.is_dir():
+                    shutil.rmtree(path)
+                else:
+                    path.unlink()
+                os.replace(staging, path)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return path
+
+
+def read_manifest(path: PathLike) -> Dict[str, Any]:
+    """The manifest of the artifact at ``path`` (schema-checked, cheap)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ArtifactError(f"no artifact at {path} (missing {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ArtifactCorruptError(f"unreadable manifest at {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict) or "digest" not in manifest:
+        raise ArtifactCorruptError(f"manifest at {manifest_path} is not an artifact manifest")
+    schema = manifest.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ArtifactSchemaError(
+            f"artifact at {path} has schema {schema!r}; this build reads schema "
+            f"{ARTIFACT_SCHEMA} (recompile the artifact)"
+        )
+    return manifest
+
+
+def read_artifact(path: PathLike, verify: bool = True) -> CompiledArtifact:
+    """Read an artifact directory back; verifies the content digest."""
+    path = Path(path)
+    manifest = read_manifest(path)
+    try:
+        with np.load(path / ARRAYS_NAME, allow_pickle=False) as archive:
+            payload = archive["payload"]
+    except FileNotFoundError as exc:
+        raise ArtifactError(f"artifact at {path} is missing {ARRAYS_NAME}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile, KeyError) as exc:
+        raise ArtifactCorruptError(f"unreadable array archive at {path}: {exc}") from exc
+    arrays = _unpack_arrays(payload, manifest.get("arrays_index", []))
+    if verify:
+        expected = manifest["digest"]
+        actual = content_digest(manifest, arrays)
+        if actual != expected:
+            raise ArtifactCorruptError(
+                f"artifact at {path} failed digest verification: manifest says "
+                f"{expected[:12]}, content hashes to {actual[:12]}"
+            )
+    return CompiledArtifact(manifest=manifest, arrays=arrays)
+
+
+# ----------------------------------------------------------------------
+# Model + plan reconstruction
+# ----------------------------------------------------------------------
+
+
+def split_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Dict[str, np.ndarray]]]:
+    """Split the flat array namespace into (state dict, per-layer plan state)."""
+    state: Dict[str, np.ndarray] = {}
+    plan_state: Dict[str, Dict[str, np.ndarray]] = {}
+    for key, value in arrays.items():
+        if key.startswith("state/"):
+            state[key[len("state/"):]] = value
+        elif key.startswith("plan/"):
+            layer_name, _, field_name = key[len("plan/"):].rpartition("/")
+            plan_state.setdefault(layer_name, {})[field_name] = value
+        else:
+            raise ArtifactCorruptError(f"array {key!r} is outside the state/plan namespaces")
+    return state, plan_state
+
+
+def restore_into(model, artifact: CompiledArtifact):
+    """Load an artifact into a freshly *constructed* (uncalibrated) model.
+
+    Returns the ready-to-run :class:`IntegerExecutionPlan`.  No forward
+    pass, calibration, or re-quantization happens: the state dict restores
+    every parameter and buffer (quantizer scales included), the manifest's
+    calibration flags and version counters are applied, and the planner's
+    weight-code / scale-plan caches are seeded from the exported arrays.
+    """
+    from ..quant.state import apply_calibration_flags, restore_parameter_versions
+    from ..rae.planner import IntegerExecutionPlan
+
+    state, plan_state = split_arrays(artifact.arrays)
+    model.load_state_dict(state, strict=True)
+    apply_calibration_flags(model, artifact.manifest["model"]["calibration"])
+    restore_parameter_versions(model, artifact.manifest["model"]["versions"])
+    model.eval()
+    plan = IntegerExecutionPlan.from_model(
+        model, rounding=artifact.manifest["plan"]["rounding"]
+    )
+    expected_layers = list(artifact.manifest["plan"]["layers"])
+    if list(plan.layer_names) != expected_layers:
+        raise ArtifactError(
+            "planned layers do not match the artifact: model has "
+            f"{list(plan.layer_names)}, artifact recorded {expected_layers}"
+        )
+    plan.import_state(plan_state)
+    return plan

@@ -1,0 +1,161 @@
+"""Hash-keyed artifact registry: ``put`` / ``list`` / ``inspect`` / ``gc``.
+
+A registry is a directory of artifact directories named by content
+digest::
+
+    .repro_artifacts/
+      3f9a.../            # sha256 prefix-addressed
+        manifest.json
+        arrays.npz
+
+``put`` is idempotent (content addressing: recompiling identical content
+lands on the same digest), references resolve by full digest or unique
+prefix, and ``gc`` keeps the newest artifact per endpoint key — the
+store-side companion of the compile → store → load pipeline in
+:mod:`repro.artifacts.format`.
+
+Environment:
+
+- ``REPRO_ARTIFACTS_DIR`` overrides the root (default ``.repro_artifacts``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .format import (
+    MANIFEST_NAME,
+    ArtifactError,
+    CompiledArtifact,
+    read_manifest,
+    write_artifact,
+)
+
+#: Digests are long; directory names keep a recognizable prefix.
+DIR_DIGEST_CHARS = 16
+
+
+def default_root() -> Path:
+    return Path(os.environ.get("REPRO_ARTIFACTS_DIR", ".repro_artifacts"))
+
+
+class ArtifactRegistry:
+    """Content-addressed directory layout over compiled artifacts."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_root()
+
+    # ------------------------------------------------------------------
+    # Paths and resolution
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:DIR_DIGEST_CHARS]
+
+    def _entries(self) -> List[Tuple[str, Path, Dict[str, Any]]]:
+        """(digest, path, manifest) for every readable artifact, sorted."""
+        if not self.root.is_dir():
+            return []
+        entries = []
+        for path in sorted(self.root.iterdir()):
+            if not path.is_dir() or not (path / MANIFEST_NAME).exists():
+                continue
+            try:
+                manifest = read_manifest(path)
+            except ArtifactError:
+                # Unreadable/foreign entries are invisible to list/resolve;
+                # a re-put of the same digest repairs a corrupt slot
+                # (write_artifact fully verifies the occupant).
+                continue
+            entries.append((manifest["digest"], path, manifest))
+        return entries
+
+    def resolve(self, ref: str) -> Path:
+        """The artifact path for a digest or unique digest prefix."""
+        if not ref:
+            raise KeyError("empty artifact reference")
+        matches = [
+            (digest, path)
+            for digest, path, _ in self._entries()
+            if digest.startswith(ref)
+        ]
+        if not matches:
+            raise KeyError(f"no artifact matching {ref!r} under {self.root}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous artifact reference {ref!r}: matches "
+                f"{sorted(d[:DIR_DIGEST_CHARS] for d, _ in matches)}"
+            )
+        return matches[0][1]
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def put(self, artifact: CompiledArtifact) -> Path:
+        """Store ``artifact`` under its digest (idempotent) and return its path."""
+        return write_artifact(artifact, self.path_for(artifact.digest))
+
+    def list(self) -> List[Dict[str, Any]]:
+        """One summary record per stored artifact (newest first)."""
+        records = [
+            {
+                "digest": digest,
+                "path": str(path),
+                "created_s": float(manifest.get("created_s", 0.0)),
+                "meta": dict(manifest.get("meta", {})),
+                "layers": len(manifest.get("plan", {}).get("layers", [])),
+            }
+            for digest, path, manifest in self._entries()
+        ]
+        records.sort(key=lambda r: (-r["created_s"], r["digest"]))
+        return records
+
+    def inspect(self, ref: str) -> Dict[str, Any]:
+        """The full manifest of one artifact, resolved by digest prefix."""
+        return read_manifest(self.resolve(ref))
+
+    def endpoint_key(self, manifest_meta: Dict[str, Any]) -> tuple:
+        """The identity gc groups by: one artifact kept per served endpoint."""
+        return (
+            manifest_meta.get("family"),
+            manifest_meta.get("gs"),
+            manifest_meta.get("seed"),
+            manifest_meta.get("rounding"),
+        )
+
+    def gc(self, keep: Optional[Sequence[str]] = None) -> List[str]:
+        """Remove stale artifacts; returns the digests removed.
+
+        With ``keep`` (digests or unique prefixes), everything else goes.
+        Without it, the newest artifact per endpoint key — (family, gs,
+        seed, rounding) — survives and older recompiles are dropped.
+        """
+        entries = self._entries()
+        if keep is not None:
+            kept_paths = {self.resolve(ref) for ref in keep}
+            doomed = [(d, p) for d, p, _ in entries if p not in kept_paths]
+        else:
+            newest: Dict[tuple, float] = {}
+            for _, _, manifest in entries:
+                key = self.endpoint_key(manifest.get("meta", {}))
+                created = float(manifest.get("created_s", 0.0))
+                newest[key] = max(newest.get(key, created), created)
+            doomed = [
+                (digest, path)
+                for digest, path, manifest in entries
+                if float(manifest.get("created_s", 0.0))
+                < newest[self.endpoint_key(manifest.get("meta", {}))]
+            ]
+        removed = []
+        for digest, path in doomed:
+            shutil.rmtree(path)
+            removed.append(digest)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __repr__(self) -> str:
+        return f"ArtifactRegistry(root={str(self.root)!r}, artifacts={len(self)})"

@@ -145,6 +145,17 @@ def drain_cell_timings() -> List[Dict[str, Any]]:
     return records
 
 
+def restore_cell_timings(records: List[Dict[str, Any]]) -> None:
+    """Re-append previously drained records (in front of newer ones).
+
+    For callers that must temporarily isolate the log (tests, nested
+    harnesses): drain, work, restore — without silently discarding the
+    session's accumulated perf-trajectory cells.
+    """
+    with _CELL_TIMINGS_LOCK:
+        _CELL_TIMINGS[:0] = list(records)
+
+
 def record_cell_timing(key: str, kind: str, duration_s: float) -> None:
     """Log an externally-measured cell (microbenchmarks, hardware sims).
 

@@ -31,8 +31,13 @@ def save_checkpoint(model: Module, path: PathLike) -> Path:
 def load_checkpoint(model: Module, path: PathLike, strict: bool = True) -> Module:
     """Load a ``.npz`` checkpoint into ``model`` in place.
 
-    Marks any LSQ quantizers as calibrated — their scales came from the
+    Marks a quantizer as calibrated only when its own parameters were
+    actually present in the archive — those scales came from the
     checkpoint, so re-initialisation from data must not overwrite them.
+    Under a ``strict=False`` partial load (float weights into a quantized
+    model) the quantizers whose scales were absent keep their calibration
+    state, so they still initialize from the first batch they see instead
+    of silently serving the default scale.
     """
     path = Path(path)
     if not path.exists():
@@ -40,7 +45,11 @@ def load_checkpoint(model: Module, path: PathLike, strict: bool = True) -> Modul
     with np.load(path) as archive:
         state = {key: archive[key] for key in archive.files}
     model.load_state_dict(state, strict=strict)
-    for module in model.modules():
-        if hasattr(module, "_initialized"):
+    for name, module in model.named_modules():
+        if not hasattr(module, "_initialized"):
+            continue
+        prefix = f"{name}." if name else ""
+        own = [f"{prefix}{key}" for key in module._parameters]
+        if own and all(key in state for key in own):
             module._initialized = True
     return model

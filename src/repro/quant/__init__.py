@@ -35,6 +35,12 @@ from .qlayers import (
     QuantLinear,
 )
 from .ptq import calibrate_model, calibration_report, ptq_quantize
+from .state import (
+    apply_calibration_flags,
+    calibration_flags,
+    parameter_versions,
+    restore_parameter_versions,
+)
 from .spec import (
     INT4,
     INT6,
@@ -97,6 +103,10 @@ __all__ = [
     "calibrate_model",
     "ptq_quantize",
     "calibration_report",
+    "apply_calibration_flags",
+    "calibration_flags",
+    "parameter_versions",
+    "restore_parameter_versions",
     "PsumQuantizedMatmul",
     "PsumQuantizedAttention",
     "quantize_attention",

@@ -1,0 +1,64 @@
+"""Quantizer state round-trips: calibration flags and parameter versions.
+
+A calibrated quantized model carries state outside its ``state_dict``:
+every :class:`~repro.quant.lsq.LSQQuantizer` has an ``_initialized``
+calibration flag (an uncalibrated quantizer re-derives its scale from the
+first batch it sees — exactly what a restored model must *not* do), and
+every :class:`~repro.nn.module.Parameter` has a monotonic ``version``
+counter that derived caches (the planner's weight/activation code caches)
+key on.  The artifact format persists both so a loaded model is
+bit-identical to the compiled one without any calibration pass; these
+helpers are the single place that walks a model for them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from .lsq import LSQQuantizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nn.module import Module
+
+
+def calibration_flags(model: "Module") -> Dict[str, bool]:
+    """``{module name: calibrated}`` for every LSQ quantizer in ``model``."""
+    return {
+        name: bool(module._initialized)
+        for name, module in model.named_modules()
+        if isinstance(module, LSQQuantizer)
+    }
+
+
+def apply_calibration_flags(model: "Module", flags: Dict[str, bool]) -> None:
+    """Restore quantizer calibration flags captured by :func:`calibration_flags`.
+
+    Unknown module names raise — a flag that lands nowhere means the model
+    architecture does not match the state being restored.
+    """
+    for name, calibrated in flags.items():
+        module = model.get_submodule(name)
+        if not isinstance(module, LSQQuantizer):
+            raise TypeError(
+                f"module {name!r} is not an LSQQuantizer: {type(module).__name__}"
+            )
+        module._initialized = bool(calibrated)
+
+
+def parameter_versions(model: "Module") -> Dict[str, int]:
+    """``{parameter name: version}`` — the cache-invalidation counters."""
+    return {name: param.version for name, param in model.named_parameters()}
+
+
+def restore_parameter_versions(model: "Module", versions: Dict[str, int]) -> None:
+    """Fast-forward parameter version counters to at least ``versions``.
+
+    Versions only ever move forward: a counter already past the recorded
+    value (e.g. bumped by the state-dict load that preceded this call) is
+    left alone, so version-keyed caches built *after* the load stay valid
+    while anything keyed on a pre-load version can never read as fresh.
+    """
+    for name, param in model.named_parameters():
+        recorded = versions.get(name)
+        if recorded is not None and recorded > param.version:
+            param._version = int(recorded)

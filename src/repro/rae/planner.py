@@ -482,6 +482,77 @@ class IntegerExecutionPlan:
         self._exp_cache[shape] = (plans, row_counts, matrix)
         return matrix
 
+    # ------------------------------------------------------------------
+    # Artifact export/import
+    # ------------------------------------------------------------------
+    def export_layer_state(self, name: str) -> Dict[str, np.ndarray]:
+        """One layer's derived integer state as plain arrays (artifact compile).
+
+        Forces the weight-code and :class:`ScalePlan` caches and returns
+        everything a loader needs to skip re-deriving them: the quantized
+        weight codes, the per-tile PSUM scales, their exact log2 ratios and
+        integer shift exponents, and the product scale.  Pure data — no
+        engine or Parameter references — so the dict round-trips through
+        ``.npz`` archives and process boundaries.
+        """
+        plan = self.scale_plan_for(name)
+        return {
+            "weight_codes": np.asarray(self.weight_codes(name), dtype=np.int64),
+            "alphas": np.asarray(plan.alphas, dtype=np.float64),
+            "log2_ratios": np.asarray(plan.log2_ratios, dtype=np.float64),
+            "exponents": np.asarray(plan.exponents, dtype=np.int64),
+            "product_scale": np.asarray(plan.product_scale, dtype=np.float64),
+        }
+
+    def import_layer_state(self, name: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Seed one layer's caches from :meth:`export_layer_state` arrays.
+
+        The imported codes and plan are keyed to the layer's *live*
+        parameter versions: they describe exactly the weights and scales
+        the enclosing state-dict load just installed, and any later rebind
+        (an optimizer step, another load) bumps the versions and
+        invalidates them — so a loaded plan can never serve stale codes.
+        No quantization pass runs here; that is the point.
+        """
+        from .integration import ScalePlan
+
+        entry = self.entry(name)
+        layer = entry.layer
+        codes = np.asarray(arrays["weight_codes"], dtype=np.int64)
+        if codes.ndim != 2 or codes.shape[0] != entry.shape.lanes:
+            raise ValueError(
+                f"layer {name!r}: imported weight codes have shape {codes.shape}, "
+                f"expected ({entry.shape.lanes}, reduction)"
+            )
+        exponents = np.asarray(arrays["exponents"], dtype=np.int64)
+        if exponents.shape != (entry.shape.num_tiles,):
+            raise ValueError(
+                f"layer {name!r}: imported exponents have shape {exponents.shape}, "
+                f"expected ({entry.shape.num_tiles},)"
+            )
+        entry._w_codes = codes
+        entry._w_operand = None
+        entry._w_key = (layer.weight.version, layer.weight_quantizer.scale.version)
+        entry._plan = ScalePlan(
+            product_scale=float(np.asarray(arrays["product_scale"])),
+            alphas=tuple(float(a) for a in np.asarray(arrays["alphas"])),
+            log2_ratios=tuple(float(r) for r in np.asarray(arrays["log2_ratios"])),
+            exponents=tuple(int(e) for e in exponents),
+        )
+        entry._plan_key = self._scale_versions(layer)
+
+    def export_state(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Every layer's exported state, keyed by layer name."""
+        return {name: self.export_layer_state(name) for name in self._entries}
+
+    def import_state(self, state: Mapping[str, Mapping[str, np.ndarray]]) -> None:
+        """Seed every layer's caches from an :meth:`export_state` mapping."""
+        unknown = [name for name in state if name not in self._entries]
+        if unknown:
+            raise KeyError(f"imported state for unplanned layers: {sorted(unknown)}")
+        for name, arrays in state.items():
+            self.import_layer_state(name, arrays)
+
     def compare_with_fake_quant(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, dict]:
         """Model-level agreement report: integer plan vs fake-quant forward."""
         from ..tensor import no_grad

@@ -15,6 +15,11 @@ workload:
 - :mod:`~repro.serve.loadgen` / :mod:`~repro.serve.bench` generate
   synthetic closed- and open-loop traffic and record throughput/latency
   cells into ``benchmarks/results/timings.json``.
+- :mod:`~repro.serve.workers` scales past the GIL: process-level workers
+  cold-start their endpoints from compiled artifacts
+  (:mod:`repro.artifacts`) in milliseconds, the parent keeps only
+  manifest-backed validation stubs, and dispatch routes coalesced
+  batches to the worker pool.
 
 The load-bearing invariant (property-tested in ``tests/serve``): any
 coalescing of N requests returns responses **bit-identical** to N
@@ -23,14 +28,22 @@ discipline of the RAE datapath, applied at the service layer.
 """
 
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
-from .bench import bench_microbatch_speedup, format_bench_report, serve_bench
+from .bench import (
+    bench_artifact_cold_start,
+    bench_microbatch_speedup,
+    format_bench_report,
+    serve_bench,
+)
 from .endpoint import (
+    FAMILIES,
     SCENARIOS,
     EndpointRegistry,
+    FamilySpec,
     ModelEndpoint,
     build_endpoint,
     clear_endpoint_memo,
     default_registry,
+    family_spec,
 )
 from .loadgen import LoadSpec, build_requests, run_load
 from .metrics import ServiceMetrics
@@ -39,6 +52,13 @@ from .service import (
     InferenceService,
     ServeFuture,
     ServiceClosedError,
+)
+from .workers import (
+    ArtifactEndpointStub,
+    ProcessEndpointPool,
+    describe_artifacts,
+    process_service,
+    stub_registry,
 )
 from .types import (
     ClassificationRequest,
@@ -49,19 +69,28 @@ from .types import (
     SegmentationResponse,
     ServeResponse,
     ServeTiming,
+    raw_output,
 )
 
 __all__ = [
+    "ArtifactEndpointStub",
     "Batch",
     "BatchPolicy",
     "MicroBatcher",
     "PendingRequest",
+    "ProcessEndpointPool",
+    "FAMILIES",
+    "FamilySpec",
     "SCENARIOS",
     "EndpointRegistry",
     "ModelEndpoint",
     "build_endpoint",
     "clear_endpoint_memo",
     "default_registry",
+    "describe_artifacts",
+    "family_spec",
+    "process_service",
+    "stub_registry",
     "LoadSpec",
     "build_requests",
     "run_load",
@@ -78,6 +107,8 @@ __all__ = [
     "SegmentationResponse",
     "ServeResponse",
     "ServeTiming",
+    "raw_output",
+    "bench_artifact_cold_start",
     "bench_microbatch_speedup",
     "format_bench_report",
     "serve_bench",

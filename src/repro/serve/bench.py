@@ -13,6 +13,11 @@ Two phases:
 2. **A mixed-scenario load phase** (:func:`serve_bench`) — closed- or
    open-loop traffic over all three scenario endpoints, reported with
    latency percentiles from the service metrics.
+3. **Artifact cold-start cells** (:func:`bench_artifact_cold_start`,
+   enabled via ``from_artifact``) — rebuild+recalibrate vs
+   :func:`~repro.artifacts.load_endpoint` per family, bit-equality
+   asserted before any number is reported; with ``process_workers`` the
+   mixed phase is served by an artifact-backed worker-process pool.
 """
 
 from __future__ import annotations
@@ -25,9 +30,10 @@ import numpy as np
 
 from ..experiments.executor import cell_timings, record_cell_timing
 from .batcher import BatchPolicy
-from .endpoint import EndpointRegistry, build_endpoint, default_registry
+from .endpoint import EndpointRegistry, build_endpoint, clear_endpoint_memo, default_registry
 from .loadgen import LoadSpec, build_requests, run_load
 from .service import InferenceService
+from .types import raw_output
 
 
 def _timed_run(
@@ -55,11 +61,7 @@ def _timed_run(
 
 
 def _response_bits(response) -> np.ndarray:
-    result = response.result
-    for attr in ("logits", "logprobs"):
-        if hasattr(result, attr):
-            return getattr(result, attr)
-    raise TypeError(f"response payload {type(result).__name__} has no raw output")
+    return raw_output(response.result)
 
 
 def bench_microbatch_speedup(
@@ -128,6 +130,98 @@ def bench_microbatch_speedup(
     }
 
 
+def bench_artifact_cold_start(
+    family: str,
+    registry_root: Optional[Path] = None,
+    seed: int = 0,
+    gs: int = 2,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Rebuild+recalibrate vs artifact cold-start for one endpoint family.
+
+    Compiles the family into the artifact registry (idempotent), then
+    measures ready-to-serve time both ways — a full build+calibrate+
+    weight-quantize pass against :func:`~repro.artifacts.load_endpoint` —
+    best of ``repeats`` each, asserts the loaded endpoint serves bits
+    identical to the rebuilt one, and records both cells.
+    """
+    from ..artifacts import ArtifactRegistry, ensure_artifact, load_endpoint
+
+    registry = ArtifactRegistry(registry_root)
+    started = time.monotonic()
+    path = ensure_artifact(registry, family, seed=seed, gs=gs)
+    t_compile = time.monotonic() - started
+
+    def warm_codes(endpoint):
+        for name in endpoint.plan.layer_names:
+            endpoint.plan.weight_codes(name)
+            endpoint.plan.scale_plan_for(name)
+        return endpoint
+
+    t_rebuild = t_load = float("inf")
+    rebuilt = loaded = None
+    for _ in range(repeats):
+        clear_endpoint_memo()
+        started = time.monotonic()
+        endpoint = warm_codes(build_endpoint(family, seed=seed, gs=gs))
+        t_rebuild = min(t_rebuild, time.monotonic() - started)
+        rebuilt = endpoint
+    for _ in range(repeats):
+        started = time.monotonic()
+        endpoint = load_endpoint(path)
+        t_load = min(t_load, time.monotonic() - started)
+        loaded = endpoint
+
+    request = rebuilt.synth_request(np.random.default_rng(seed))
+    if not np.array_equal(
+        raw_output(rebuilt.serve_one(request)), raw_output(loaded.serve_one(request))
+    ):
+        raise AssertionError(
+            f"artifact-loaded {family!r} endpoint is not bit-identical to the "
+            "rebuilt one"
+        )
+
+    record_cell_timing(f"artifact/{family}/rebuild", "artifact", t_rebuild)
+    record_cell_timing(f"artifact/{family}/load", "artifact", t_load)
+    return {
+        "family": family,
+        "path": str(path),
+        "t_compile_s": t_compile,
+        "t_rebuild_s": t_rebuild,
+        "t_load_s": t_load,
+        "speedup": t_rebuild / max(t_load, 1e-9),
+    }
+
+
+def artifact_paths_for(
+    families: Sequence[str],
+    registry_root: Optional[Path] = None,
+    seed: int = 0,
+    gs: int = 2,
+) -> Dict[str, Path]:
+    """Artifact paths per family, compiling whatever the registry lacks."""
+    from ..artifacts import ArtifactRegistry, ensure_artifact
+
+    registry = ArtifactRegistry(registry_root)
+    return {
+        family: ensure_artifact(registry, family, seed=seed, gs=gs)
+        for family in families
+    }
+
+
+def _drive_load(service: InferenceService, spec: LoadSpec) -> Dict[str, object]:
+    """Start → load → drain one service; attach the metrics snapshot."""
+    service.start()
+    try:
+        report = run_load(service, spec)
+    finally:
+        metrics = service.drain()
+    report = dict(report)
+    report.pop("responses", None)  # the CLI report keeps numbers, not arrays
+    report["metrics"] = metrics
+    return report
+
+
 def run_mixed_load(
     registry: EndpointRegistry,
     spec: LoadSpec,
@@ -142,15 +236,29 @@ def run_mixed_load(
         queue_limit=max(spec.requests, 64),
         block_on_full=(spec.mode == "closed"),
         record_timings=True,
-    ).start()
-    try:
-        report = run_load(service, spec)
-    finally:
-        metrics = service.drain()
-    report = dict(report)
-    report.pop("responses", None)  # the CLI report keeps numbers, not arrays
-    report["metrics"] = metrics
-    return report
+    )
+    return _drive_load(service, spec)
+
+
+def run_mixed_load_process(
+    artifacts: Dict[str, Path],
+    spec: LoadSpec,
+    policy: Optional[BatchPolicy] = None,
+    processes: int = 2,
+) -> Dict[str, object]:
+    """The mixed phase served by artifact-backed process workers."""
+    from .workers import process_service
+
+    service = process_service(
+        artifacts,
+        policy=policy or BatchPolicy(),
+        processes=processes,
+        queue_limit=max(spec.requests, 64),
+        block_on_full=(spec.mode == "closed"),
+        record_timings=True,
+    )
+    service.process_pool.warmup()
+    return _drive_load(service, spec)
 
 
 def serve_bench(
@@ -165,8 +273,17 @@ def serve_bench(
     seed: int = 0,
     gate_requests: int = 96,
     timings_path: Optional[Path] = None,
+    from_artifact: bool = False,
+    artifact_root: Optional[Path] = None,
+    process_workers: int = 0,
 ) -> Dict[str, object]:
     """The full serve-bench: micro-batch gate + mixed-scenario load.
+
+    With ``from_artifact`` the endpoints of the mixed phase cold-start
+    from compiled artifacts (compiling whatever the registry at
+    ``artifact_root`` lacks), the per-family rebuild-vs-load cells are
+    recorded, and ``process_workers > 0`` serves the mixed phase from an
+    artifact-backed worker-process pool instead of in-process threads.
 
     When ``timings_path`` is given (the CLI default), this run's cells
     are atomically merged into that payload — concurrent benchmark
@@ -174,6 +291,8 @@ def serve_bench(
     recorded during this call are merged; the process-global timing log
     is left intact for whoever else drains it (the benchmark harness).
     """
+    if process_workers and not from_artifact:
+        raise ValueError("process_workers requires from_artifact=True")
     already_recorded = len(cell_timings())
     gate = bench_microbatch_speedup(
         family="bert",
@@ -183,8 +302,7 @@ def serve_bench(
         workers=1,
         seed=seed,
     )
-    registry = default_registry(families=families, seed=seed)
-    mix = tuple((name, 1.0) for name in registry.names)
+    mix = tuple((name, 1.0) for name in families)
     spec = LoadSpec(
         requests=requests,
         mix=mix,
@@ -193,14 +311,34 @@ def serve_bench(
         rate_hz=rate_hz,
         seed=seed,
     )
-    mixed = run_mixed_load(
-        registry,
-        spec,
-        policy=BatchPolicy(max_batch=max_batch, max_delay_s=max_delay_s),
-        workers=workers,
-    )
+    policy = BatchPolicy(max_batch=max_batch, max_delay_s=max_delay_s)
+    artifact_report: Optional[Dict[str, object]] = None
+    if from_artifact:
+        artifact_report = {
+            family: bench_artifact_cold_start(
+                family, registry_root=artifact_root, seed=seed
+            )
+            for family in families
+        }
+        artifacts = artifact_paths_for(families, registry_root=artifact_root, seed=seed)
+        if process_workers:
+            mixed = run_mixed_load_process(
+                artifacts, spec, policy=policy, processes=process_workers
+            )
+        else:
+            from ..artifacts import load_endpoint
+
+            registry = EndpointRegistry()
+            for family, path in artifacts.items():
+                registry.register(load_endpoint(path, name=family))
+            mixed = run_mixed_load(registry, spec, policy=policy, workers=workers)
+    else:
+        registry = default_registry(families=families, seed=seed)
+        mixed = run_mixed_load(registry, spec, policy=policy, workers=workers)
     record_cell_timing(f"serve/mixed/{mode}", "serve", float(mixed["wall_s"]))
     result: Dict[str, object] = {"gate": gate, "mixed": mixed}
+    if artifact_report is not None:
+        result["artifacts"] = artifact_report
     if timings_path is not None:
         from ..experiments.timings import merge_cells_into
 
@@ -218,6 +356,17 @@ def format_bench_report(result: Dict[str, object]) -> str:
     lines = [
         "serve-bench — micro-batching integer-inference service",
         "",
+    ]
+    if "artifacts" in result:
+        lines.append("[artifacts] cold-start vs rebuild+recalibrate")
+        for family, report in result["artifacts"].items():
+            lines.append(
+                f"  {family:<10} rebuild={report['t_rebuild_s'] * 1e3:7.1f} ms  "
+                f"load={report['t_load_s'] * 1e3:6.1f} ms  "
+                f"({report['speedup']:.1f}x faster)"
+            )
+        lines.append("")
+    lines += [
         f"[gate] endpoint={gate['family']} requests={gate['requests']} "
         f"max_batch={gate['max_batch']}",
         f"  batch-size-1 dispatch: {gate['t_batch1_s'] * 1e3:9.1f} ms "

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,59 @@ SCENARIOS: Dict[str, type] = {
 }
 
 
+def normalize_payload(
+    name: str,
+    scenario: str,
+    request,
+    *,
+    in_channels: int = 0,
+    max_seq_len: int = 0,
+    vocab_size: int = 0,
+) -> np.ndarray:
+    """Validate a request against its scenario limits; return the payload.
+
+    Shared by :class:`ModelEndpoint` (limits read off the pinned model's
+    config) and the artifact-backed stubs of :mod:`repro.serve.workers`
+    (limits read off the artifact manifest) — both front doors apply the
+    exact same validation.
+    """
+    request_type = SCENARIOS[scenario]
+    if not isinstance(request, request_type):
+        raise TypeError(
+            f"endpoint {name!r} ({scenario}) expects "
+            f"{request_type.__name__}, got {type(request).__name__}"
+        )
+    if scenario == "segmentation":
+        image = np.asarray(request.image, dtype=float)
+        if image.ndim != 3 or image.shape[0] != in_channels:
+            raise ValueError(
+                f"endpoint {name!r}: expected image (C={in_channels}, H, W), "
+                f"got shape {image.shape}"
+            )
+        return image
+    tokens = np.asarray(request.tokens, dtype=np.int64)
+    if tokens.ndim != 1 or not 1 <= tokens.shape[0] <= max_seq_len:
+        raise ValueError(
+            f"endpoint {name!r}: expected 1-D tokens of length 1..{max_seq_len}, "
+            f"got shape {tokens.shape}"
+        )
+    if tokens.min() < 0 or tokens.max() >= vocab_size:
+        raise ValueError(f"endpoint {name!r}: token ids outside [0, {vocab_size})")
+    return tokens
+
+
+def synth_request(
+    scenario: str,
+    request_shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    vocab_size: int = 0,
+):
+    """A deterministic synthetic request (load generator / warmup)."""
+    if scenario == "segmentation":
+        return SegmentationRequest(image=rng.normal(size=request_shape))
+    return SCENARIOS[scenario](tokens=rng.integers(0, vocab_size, size=request_shape))
+
+
 class ModelEndpoint:
     """One served model: quantize/load once, pin the plan, serve batches.
 
@@ -71,19 +124,34 @@ class ModelEndpoint:
         model,
         request_shape: Tuple[int, ...],
         rounding: str = "half_even",
+        plan: IntegerExecutionPlan | None = None,
+        cache_activations: object = False,
     ) -> None:
         if scenario not in SCENARIOS:
             raise KeyError(f"unknown scenario {scenario!r}; options: {sorted(SCENARIOS)}")
+        if cache_activations not in (False, "digest"):
+            raise ValueError(
+                f"cache_activations must be False or 'digest', got {cache_activations!r}"
+            )
         self.name = name
         self.scenario = scenario
         self.model = model
         self.request_shape = tuple(request_shape)
         model.eval()
-        self.plan = IntegerExecutionPlan.from_model(model, rounding=rounding)
-        # Served batches are always fresh, so content-hashing activations
-        # would be pure overhead (and would pin the largest coalesced
-        # batch's row codes per layer for the endpoint's lifetime).
-        self.plan.cache_activations = False
+        # An artifact loader passes a pre-seeded plan (imported weight
+        # codes and scale plans); the default path builds a fresh one.
+        self.plan = plan if plan is not None else IntegerExecutionPlan.from_model(
+            model, rounding=rounding
+        )
+        self.cache_activations = cache_activations
+        # By default served batches are treated as always-fresh, so
+        # content-hashing activations would be pure overhead (and would
+        # pin the largest coalesced batch's row codes per layer for the
+        # endpoint's lifetime).  ``cache_activations="digest"`` opts into
+        # the planner's digest-keyed one-deep cache for traffic with
+        # repeated identical requests; hit rates surface in the serve
+        # metrics snapshot.
+        self.plan.cache_activations = cache_activations == "digest"
         # Engines and the layer patching are stateful: one batch at a time.
         self.lock = threading.RLock()
 
@@ -96,31 +164,15 @@ class ModelEndpoint:
 
     def request_payload(self, request) -> np.ndarray:
         """Validate a request and return its normalized payload array."""
-        if not isinstance(request, self.request_type):
-            raise TypeError(
-                f"endpoint {self.name!r} ({self.scenario}) expects "
-                f"{self.request_type.__name__}, got {type(request).__name__}"
-            )
-        if self.scenario == "segmentation":
-            image = np.asarray(request.image, dtype=float)
-            channels = self.model.config.in_channels
-            if image.ndim != 3 or image.shape[0] != channels:
-                raise ValueError(
-                    f"endpoint {self.name!r}: expected image (C={channels}, H, W), "
-                    f"got shape {image.shape}"
-                )
-            return image
-        tokens = np.asarray(request.tokens, dtype=np.int64)
-        max_len = self.model.config.max_seq_len
-        if tokens.ndim != 1 or not 1 <= tokens.shape[0] <= max_len:
-            raise ValueError(
-                f"endpoint {self.name!r}: expected 1-D tokens of length 1..{max_len}, "
-                f"got shape {tokens.shape}"
-            )
-        vocab = self.model.config.vocab_size
-        if tokens.min() < 0 or tokens.max() >= vocab:
-            raise ValueError(f"endpoint {self.name!r}: token ids outside [0, {vocab})")
-        return tokens
+        config = self.model.config
+        return normalize_payload(
+            self.name,
+            self.scenario,
+            request,
+            in_channels=getattr(config, "in_channels", 0),
+            max_seq_len=getattr(config, "max_seq_len", 0),
+            vocab_size=getattr(config, "vocab_size", 0),
+        )
 
     def coalesce_key(self, payload: np.ndarray) -> tuple:
         """Batching key: only same-endpoint, same-shape payloads stack."""
@@ -128,10 +180,16 @@ class ModelEndpoint:
 
     def synth_request(self, rng: np.random.Generator):
         """A deterministic synthetic request (load generator / warmup)."""
-        if self.scenario == "segmentation":
-            return SegmentationRequest(image=rng.normal(size=self.request_shape))
-        tokens = rng.integers(0, self.model.config.vocab_size, size=self.request_shape)
-        return self.request_type(tokens=tokens)
+        return synth_request(
+            self.scenario,
+            self.request_shape,
+            rng,
+            vocab_size=getattr(self.model.config, "vocab_size", 0),
+        )
+
+    def act_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the opt-in activation-code cache."""
+        return self.plan.act_cache_stats()
 
     # ------------------------------------------------------------------
     # Inference
@@ -222,68 +280,114 @@ class EndpointRegistry:
 
 
 # ----------------------------------------------------------------------
-# Deterministic, memoized endpoint builders (the teacher-memo idiom)
+# Family specs: architecture vs calibration, split on purpose
 # ----------------------------------------------------------------------
+# The artifact pipeline (:mod:`repro.artifacts`) needs to rebuild a
+# family's *architecture* without re-running its calibration — state
+# dict, quantizer scales and calibration flags come from the compiled
+# artifact.  So each family is a spec with three separable pieces:
+# config construction, (uncalibrated) quantized-model construction, and
+# the seeded calibration pass.  ``build_endpoint`` composes all three;
+# ``load_endpoint`` composes only the first two.
 
 
-def _quantized(model_ctor: Callable[[], object], calibrate, gs: int):
-    from ..quant import apsq_config, quantize_model
+class FamilySpec:
+    """One servable model family: how to build, quantize and calibrate it."""
 
-    model = quantize_model(model_ctor(), apsq_config(gs=gs, pci=8))
-    calibrate(model)
-    model.eval()
-    return model
+    def __init__(
+        self,
+        name: str,
+        scenario: str,
+        config_cls: type,
+        model_cls: type,
+        request_shape: Callable[[object], Tuple[int, ...]],
+        calibrate: Callable[[object, object, np.random.Generator], None],
+        config_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.scenario = scenario
+        self.config_cls = config_cls
+        self.model_cls = model_cls
+        self._request_shape = request_shape
+        self._calibrate = calibrate
+        self.config_kwargs = dict(config_kwargs or {})
+
+    def make_config(self, overrides: Optional[Dict[str, object]] = None):
+        """The family's model config; ``overrides`` come from a manifest.
+
+        JSON round-trips turn tuples into lists, so list-valued overrides
+        are normalized back to tuples (dataclass fields like Segformer's
+        ``stage_dims`` are declared as tuples).
+        """
+        kwargs = dict(self.config_kwargs)
+        for key, value in (overrides or {}).items():
+            kwargs[key] = tuple(value) if isinstance(value, list) else value
+        return self.config_cls(**kwargs)
+
+    def build_model(self, config, gs: int):
+        """The *uncalibrated* quantized model for ``config``."""
+        from ..quant import apsq_config, quantize_model
+
+        return quantize_model(self.model_cls(config), apsq_config(gs=gs, pci=8))
+
+    def calibrate(self, model, config, rng: np.random.Generator) -> None:
+        """Run the family's deterministic calibration batch through ``model``."""
+        self._calibrate(model, config, rng)
+
+    def request_shape(self, config) -> Tuple[int, ...]:
+        return tuple(self._request_shape(config))
 
 
-def _build_bert(seed: int, gs: int):
-    from ..tensor import manual_seed
+def _calibrate_tokens(batch: Tuple[int, int]):
+    def calibrate(model, config, rng):
+        model(rng.integers(0, config.vocab_size, size=batch))
 
-    manual_seed(seed)
-    config = BertConfig(num_classes=2, num_layers=2, hidden=64, max_seq_len=16)
-    rng = np.random.default_rng(seed)
-
-    def calibrate(model):
-        model(rng.integers(0, config.vocab_size, size=(8, 8)))
-
-    return _quantized(lambda: BertTiny(config), calibrate, gs), "classification", (8,)
+    return calibrate
 
 
-def _build_llama(seed: int, gs: int):
-    from ..tensor import manual_seed
-
-    manual_seed(seed)
-    config = LlamaConfig()
-    rng = np.random.default_rng(seed)
-
-    def calibrate(model):
-        model(rng.integers(0, config.vocab_size, size=(4, 12)))
-
-    return _quantized(lambda: LlamaTiny(config), calibrate, gs), "scoring", (12,)
-
-
-def _build_segformer(seed: int, gs: int):
-    from ..tensor import manual_seed
+def _calibrate_images(model, config, rng):
     from ..tensor.tensor import Tensor
 
-    manual_seed(seed)
-    config = SegformerConfig()
-    rng = np.random.default_rng(seed)
+    model(Tensor(rng.normal(size=(2, config.in_channels, 16, 16))))
 
-    def calibrate(model):
-        model(Tensor(rng.normal(size=(2, config.in_channels, 16, 16))))
 
-    return (
-        _quantized(lambda: SegformerTiny(config), calibrate, gs),
+FAMILIES: Dict[str, FamilySpec] = {
+    "bert": FamilySpec(
+        "bert",
+        "classification",
+        BertConfig,
+        BertTiny,
+        request_shape=lambda config: (8,),
+        calibrate=_calibrate_tokens((8, 8)),
+        config_kwargs=dict(num_classes=2, num_layers=2, hidden=64, max_seq_len=16),
+    ),
+    "llama": FamilySpec(
+        "llama",
+        "scoring",
+        LlamaConfig,
+        LlamaTiny,
+        request_shape=lambda config: (12,),
+        calibrate=_calibrate_tokens((4, 12)),
+    ),
+    "segformer": FamilySpec(
+        "segformer",
         "segmentation",
-        (config.in_channels, 16, 16),
-    )
-
-
-FAMILIES: Dict[str, Callable[[int, int], tuple]] = {
-    "bert": _build_bert,
-    "llama": _build_llama,
-    "segformer": _build_segformer,
+        SegformerConfig,
+        SegformerTiny,
+        request_shape=lambda config: (config.in_channels, 16, 16),
+        calibrate=_calibrate_images,
+    ),
 }
+
+
+def family_spec(family: str) -> FamilySpec:
+    try:
+        return FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown endpoint family {family!r}; options: {sorted(FAMILIES)}"
+        ) from None
+
 
 _ENDPOINT_MEMO: "OrderedDict[tuple, ModelEndpoint]" = OrderedDict()
 _ENDPOINT_MEMO_CAP = 6
@@ -302,16 +406,21 @@ def build_endpoint(
     seeded rng for the calibration batch, so any process (or serve
     worker) building the same key pins an identical model and plan.
     """
-    try:
-        builder = FAMILIES[family]
-    except KeyError:
-        raise KeyError(f"unknown endpoint family {family!r}; options: {sorted(FAMILIES)}")
+    from ..tensor import manual_seed
+
+    spec = family_spec(family)
     key = (family, seed, gs, rounding)
     if key in _ENDPOINT_MEMO:
         _ENDPOINT_MEMO.move_to_end(key)
         return _ENDPOINT_MEMO[key]
-    model, scenario, request_shape = builder(seed, gs)
-    endpoint = ModelEndpoint(family, scenario, model, request_shape, rounding=rounding)
+    manual_seed(seed)
+    config = spec.make_config()
+    model = spec.build_model(config, gs)
+    spec.calibrate(model, config, np.random.default_rng(seed))
+    model.eval()
+    endpoint = ModelEndpoint(
+        family, spec.scenario, model, spec.request_shape(config), rounding=rounding
+    )
     _ENDPOINT_MEMO[key] = endpoint
     while len(_ENDPOINT_MEMO) > _ENDPOINT_MEMO_CAP:
         _ENDPOINT_MEMO.popitem(last=False)

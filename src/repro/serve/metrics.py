@@ -55,6 +55,7 @@ class ServiceMetrics:
         self.peak_queue_depth = 0
         self._first_submit: Optional[float] = None
         self._last_complete: Optional[float] = None
+        self._act_cache: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     def on_submit(self, depth: int, now: float) -> None:
@@ -76,6 +77,20 @@ class ServiceMetrics:
         with self._lock:
             self._batch_sizes.setdefault(endpoint, []).append(batch_size)
             self._service.setdefault(endpoint, []).append(service_s)
+
+    def on_act_cache(self, endpoint: str, stats: Dict[str, int]) -> None:
+        """Record the endpoint's *cumulative* activation-cache counters.
+
+        The planner's hit/miss counters are lifetime totals, so the
+        dispatch loop reports them after each batch and the latest
+        observation wins (opt-in endpoints only —
+        ``cache_activations="digest"``).
+        """
+        with self._lock:
+            self._act_cache[endpoint] = {
+                "hits": int(stats.get("hits", 0)),
+                "misses": int(stats.get("misses", 0)),
+            }
 
     def on_complete(
         self, endpoint: str, queue_s: float, latency_s: float, now: float
@@ -114,6 +129,14 @@ class ServiceMetrics:
                         else 0.0
                     ),
                 }
+                cache = self._act_cache.get(name)
+                if cache is not None:
+                    total = cache["hits"] + cache["misses"]
+                    endpoints[name]["act_cache"] = {
+                        "hits": cache["hits"],
+                        "misses": cache["misses"],
+                        "hit_rate": (cache["hits"] / total) if total else 0.0,
+                    }
             return {
                 "submitted": self.submitted,
                 "completed": self.completed,

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .endpoint import EndpointRegistry
@@ -82,6 +82,7 @@ class InferenceService:
         queue_limit: int = 256,
         block_on_full: bool = False,
         record_timings: bool = False,
+        dispatcher: Optional[Callable[[str, List[object]], list]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -93,6 +94,11 @@ class InferenceService:
         self.queue_limit = queue_limit
         self.block_on_full = block_on_full
         self.record_timings = record_timings
+        #: ``dispatcher(endpoint_name, payloads) -> results`` replaces the
+        #: in-process ``endpoint.infer_batch`` execution — the hook
+        #: process-level workers plug into (the registry then only needs
+        #: validation stubs, see :mod:`repro.serve.workers`).
+        self.dispatcher = dispatcher
         self.metrics = ServiceMetrics()
         self._batcher = MicroBatcher(self.policy)
         self._lock = threading.Lock()
@@ -101,6 +107,7 @@ class InferenceService:
         self._state = "new"
         self._next_id = 0
         self._threads: List[threading.Thread] = []
+        self._shutdown_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -118,6 +125,15 @@ class InferenceService:
             self._threads.append(thread)
         return self
 
+    def on_shutdown(self, hook: Callable[[], None]) -> None:
+        """Register a callback to run after drain/abort joins the workers."""
+        self._shutdown_hooks.append(hook)
+
+    def _run_shutdown_hooks(self) -> None:
+        hooks, self._shutdown_hooks = self._shutdown_hooks, []
+        for hook in hooks:
+            hook()
+
     def drain(self) -> dict:
         """Graceful shutdown: flush every queue, join workers.
 
@@ -133,6 +149,7 @@ class InferenceService:
         with self._lock:
             self._state = "closed"
             self._not_full.notify_all()
+        self._run_shutdown_hooks()
         return self.metrics.snapshot()
 
     def abort(self) -> dict:
@@ -151,6 +168,7 @@ class InferenceService:
             pending.future._reject(ServiceClosedError("service aborted"))
         for thread in self._threads:
             thread.join()
+        self._run_shutdown_hooks()
         return self.metrics.snapshot()
 
     def __enter__(self) -> "InferenceService":
@@ -237,7 +255,20 @@ class InferenceService:
         endpoint = self.registry.get(batch.endpoint)
         started = time.monotonic()
         try:
-            results = endpoint.infer_batch([p.payload for p in batch.requests])
+            payloads = [p.payload for p in batch.requests]
+            if self.dispatcher is not None:
+                results = self.dispatcher(batch.endpoint, payloads)
+            else:
+                results = endpoint.infer_batch(payloads)
+            results = list(results)
+            if len(results) != len(payloads):
+                # A short result list would silently drop the trailing
+                # requests in the zip below — their futures would hang
+                # forever.  Reject the whole batch loudly instead.
+                raise RuntimeError(
+                    f"endpoint {batch.endpoint!r} returned {len(results)} results "
+                    f"for a batch of {len(payloads)} requests"
+                )
         except BaseException as error:  # reject the whole batch, keep serving
             self.metrics.on_failure(len(batch.requests))
             for pending in batch.requests:
@@ -245,6 +276,8 @@ class InferenceService:
             return
         done = time.monotonic()
         service_s = done - started
+        if getattr(endpoint, "cache_activations", False):
+            self.metrics.on_act_cache(batch.endpoint, endpoint.act_cache_stats())
         if self.record_timings:
             from ..experiments.executor import record_cell_timing
 

@@ -7,7 +7,9 @@ raw model inputs (token ids / images); responses carry the integer
 datapath's raw outputs plus the scenario's decoded summary, so bit-level
 comparisons and human-readable results are both one attribute away.
 
-``ServeResponse`` is the service envelope: it wraps the scenario payload
+:func:`raw_output` maps any scenario response to its raw output array
+(the bits every equality oracle compares).  ``ServeResponse`` is the
+service envelope: it wraps the scenario payload
 with the request identity and a :class:`ServeTiming` record (queue wait,
 batch service time, end-to-end latency, coalesced batch size).
 """
@@ -66,6 +68,20 @@ class SegmentationResponse:
 
     logits: np.ndarray
     class_map: np.ndarray
+
+
+def raw_output(result) -> np.ndarray:
+    """The raw integer-datapath output array of a scenario response.
+
+    The single place that knows which attribute carries the bits
+    (``logits`` for classification/segmentation, ``logprobs`` for
+    scoring) — bit-equality checks across benches and tests all route
+    through here.
+    """
+    for attr in ("logits", "logprobs"):
+        if hasattr(result, attr):
+            return getattr(result, attr)
+    raise TypeError(f"response payload {type(result).__name__} has no raw output")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,278 @@
+"""Process-level serve workers: artifact-backed multi-core dispatch.
+
+Thread workers overlap endpoints but share one GIL and one set of plan
+engines; true multi-core serving needs *process* workers — which were
+pointless while an endpoint cold-start meant seconds of rebuild and
+recalibration per process.  Compiled artifacts (:mod:`repro.artifacts`)
+remove that wall: each worker process reconstructs its endpoints from the
+artifact in milliseconds, bit-identical to the parent's.
+
+Pieces:
+
+- :class:`ArtifactEndpointStub` — the parent-side face of an endpoint.
+  It validates requests and coalesces batches from the artifact
+  *manifest* alone (scenario, request shape, config limits) without ever
+  building the model, so the parent process stays light.
+- :class:`ProcessEndpointPool` — a ``ProcessPoolExecutor`` following the
+  experiment executor's spawn discipline
+  (:mod:`repro.experiments.executor`): an initializer replicates the
+  tensor dtype and loads every artifact into a per-process endpoint
+  registry; submitted batches run a plain ``infer_batch`` in whichever
+  worker picks them up.  Because artifact loads are deterministic and
+  the engine reduction is bit-exact, *which* process serves a batch can
+  never change the bits.
+- :func:`process_service` — an :class:`InferenceService` whose registry
+  holds stubs and whose dispatcher routes every coalesced batch to the
+  pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .batcher import BatchPolicy
+from .endpoint import SCENARIOS, EndpointRegistry, normalize_payload, synth_request
+from .service import InferenceService
+
+PathLike = Union[str, Path]
+
+# ----------------------------------------------------------------------
+# Worker-process state
+# ----------------------------------------------------------------------
+# One endpoint registry per worker process, built by the pool initializer
+# (the executor's per-process-memo idiom: load once, serve many).
+
+_WORKER_ENDPOINTS: Dict[str, object] = {}
+
+
+def _init_worker(
+    artifact_paths: Dict[str, str],
+    dtype_name: str,
+    cache_activations: object,
+    barrier=None,
+) -> None:
+    from ..artifacts import load_endpoint
+    from ..tensor.tensor import set_default_dtype
+
+    set_default_dtype(dtype_name)
+    _WORKER_ENDPOINTS.clear()
+    for name, path in artifact_paths.items():
+        _WORKER_ENDPOINTS[name] = load_endpoint(
+            path, name=name, cache_activations=cache_activations
+        )
+    if barrier is not None:
+        # All pool processes spawn together on the first submit, and each
+        # runs this initializer exactly once — so waiting here means no
+        # worker serves a task until EVERY worker has its endpoints
+        # loaded (the contract warmup() promises).  A worker that died
+        # during init breaks the barrier; the survivors proceed rather
+        # than hang.
+        try:
+            barrier.wait(timeout=120.0)
+        except threading.BrokenBarrierError:  # pragma: no cover - degraded start
+            pass
+
+
+def _worker_infer(endpoint_name: str, payloads: List[np.ndarray]) -> list:
+    return _WORKER_ENDPOINTS[endpoint_name].infer_batch(payloads)
+
+
+def _worker_ready() -> bool:
+    return bool(_WORKER_ENDPOINTS)
+
+
+# ----------------------------------------------------------------------
+# Parent-side stubs
+# ----------------------------------------------------------------------
+
+
+class ArtifactEndpointStub:
+    """Request validation + coalescing for an endpoint that lives elsewhere.
+
+    Quacks like :class:`~repro.serve.endpoint.ModelEndpoint` for the
+    service's intake path (``request_payload`` / ``coalesce_key`` /
+    ``synth_request``) using only the artifact manifest; actual inference
+    must be dispatched to a :class:`ProcessEndpointPool`.
+    """
+
+    def __init__(self, name: str, path: PathLike) -> None:
+        from ..artifacts import read_manifest
+
+        self.name = name
+        self.path = Path(path)
+        manifest = read_manifest(self.path)
+        meta = manifest["meta"]
+        self.scenario = meta["scenario"]
+        if self.scenario not in SCENARIOS:
+            raise KeyError(f"unknown scenario {self.scenario!r} in artifact {path}")
+        self.request_shape = tuple(meta["request_shape"])
+        self.digest = manifest["digest"]
+        config = meta.get("config", {})
+        self._in_channels = int(config.get("in_channels", 0))
+        self._max_seq_len = int(config.get("max_seq_len", 0))
+        self._vocab_size = int(config.get("vocab_size", 0))
+
+    @property
+    def request_type(self) -> type:
+        return SCENARIOS[self.scenario]
+
+    def request_payload(self, request) -> np.ndarray:
+        return normalize_payload(
+            self.name,
+            self.scenario,
+            request,
+            in_channels=self._in_channels,
+            max_seq_len=self._max_seq_len,
+            vocab_size=self._vocab_size,
+        )
+
+    def coalesce_key(self, payload: np.ndarray) -> tuple:
+        return (self.name, payload.shape)
+
+    def synth_request(self, rng: np.random.Generator):
+        return synth_request(
+            self.scenario, self.request_shape, rng, vocab_size=self._vocab_size
+        )
+
+    def infer_batch(self, payloads):  # pragma: no cover - guard rail
+        raise RuntimeError(
+            f"endpoint {self.name!r} is an artifact stub; dispatch its batches "
+            "through a ProcessEndpointPool (see process_service)"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactEndpointStub({self.name!r}, scenario={self.scenario!r}, "
+            f"digest={self.digest[:12]!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+
+
+class ProcessEndpointPool:
+    """Worker processes serving batches from artifact-loaded endpoints."""
+
+    def __init__(
+        self,
+        artifacts: Mapping[str, PathLike],
+        processes: int = 2,
+        cache_activations: object = False,
+    ) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if not artifacts:
+            raise ValueError("at least one endpoint artifact is required")
+        from ..tensor.tensor import default_dtype
+
+        self.artifacts = {name: Path(path) for name, path in artifacts.items()}
+        self.processes = processes
+        # The executor discipline: workers replicate process-global config
+        # through the initializer (identical under fork, required under
+        # spawn), then memoize their loaded endpoints for the pool's life.
+        # The barrier (inherited at process creation) makes worker start
+        # all-or-nothing: no process serves until every process loaded.
+        barrier = multiprocessing.Barrier(processes) if processes > 1 else None
+        self._pool = ProcessPoolExecutor(
+            max_workers=processes,
+            initializer=_init_worker,
+            initargs=(
+                {name: str(path) for name, path in self.artifacts.items()},
+                default_dtype().__name__,
+                cache_activations,
+                barrier,
+            ),
+        )
+
+    def warmup(self) -> None:
+        """Block until every worker process has loaded its endpoints.
+
+        One round-trip suffices: the initializer barrier means the first
+        task can only run once all ``processes`` workers finished loading.
+        """
+        self._pool.submit(_worker_ready).result()
+
+    def infer_batch(self, endpoint_name: str, payloads: Sequence[np.ndarray]) -> list:
+        """Serve one coalesced batch in whichever worker is free (blocking)."""
+        if endpoint_name not in self.artifacts:
+            raise KeyError(f"no artifact for endpoint {endpoint_name!r}")
+        return self._pool.submit(_worker_infer, endpoint_name, list(payloads)).result()
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessEndpointPool":
+        self.warmup()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessEndpointPool(endpoints={sorted(self.artifacts)}, "
+            f"processes={self.processes})"
+        )
+
+
+def stub_registry(artifacts: Mapping[str, PathLike]) -> EndpointRegistry:
+    """A registry of manifest-backed stubs (no models in this process)."""
+    registry = EndpointRegistry()
+    for name, path in artifacts.items():
+        registry.register(ArtifactEndpointStub(name, path))
+    return registry
+
+
+def process_service(
+    artifacts: Mapping[str, PathLike],
+    policy: Optional[BatchPolicy] = None,
+    processes: int = 2,
+    dispatch_threads: Optional[int] = None,
+    cache_activations: object = False,
+    **service_kwargs,
+) -> InferenceService:
+    """An :class:`InferenceService` served entirely by process workers.
+
+    The returned service owns a :class:`ProcessEndpointPool`; its
+    dispatcher sends every coalesced batch to the pool, so the parent
+    process never builds a model.  ``dispatch_threads`` (default: one per
+    worker process, so every process can stay busy) are the in-process
+    threads that shepherd batches to the pool and resolve futures.  The
+    pool shuts down when the service drains or aborts.
+    """
+    pool = ProcessEndpointPool(
+        artifacts, processes=processes, cache_activations=cache_activations
+    )
+    service = InferenceService(
+        stub_registry(artifacts),
+        policy=policy,
+        workers=dispatch_threads or processes,
+        dispatcher=pool.infer_batch,
+        **service_kwargs,
+    )
+    service.on_shutdown(pool.shutdown)
+    service.process_pool = pool
+    return service
+
+
+def describe_artifacts(artifacts: Mapping[str, PathLike]) -> str:
+    """One line per endpoint artifact (CLI/report helper)."""
+    from ..artifacts import read_manifest
+
+    lines = []
+    for name, path in sorted(artifacts.items()):
+        manifest = read_manifest(path)
+        meta = manifest["meta"]
+        lines.append(
+            f"{name}: digest={manifest['digest'][:12]} scenario={meta['scenario']} "
+            f"gs={meta['gs']} seed={meta['seed']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Artifact format tests: round-trip, content addressing, error paths."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ARTIFACT_SCHEMA,
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactSchemaError,
+    compile_endpoint,
+    content_digest,
+    load_endpoint,
+    read_artifact,
+    read_manifest,
+    write_artifact,
+)
+from repro.artifacts.format import ARRAYS_NAME, MANIFEST_NAME, _pack_arrays, _unpack_arrays
+from repro.serve import build_endpoint
+
+
+@pytest.fixture(scope="module")
+def bert_artifact():
+    return compile_endpoint("bert")
+
+
+@pytest.fixture()
+def stored(bert_artifact, tmp_path):
+    path = tmp_path / "bert-artifact"
+    write_artifact(bert_artifact, path)
+    return path
+
+
+class TestPacking:
+    def test_round_trip_preserves_dtype_shape_rank(self):
+        arrays = {
+            "scalar": np.array(1.5),
+            "flag": np.array(True),
+            "matrix": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "floats": np.linspace(0, 1, 7, dtype=np.float32),
+        }
+        payload, index = _pack_arrays(arrays)
+        # The index must survive a JSON round-trip (it lives in the manifest).
+        out = _unpack_arrays(payload, json.loads(json.dumps(index)))
+        assert set(out) == set(arrays)
+        for name, value in arrays.items():
+            assert out[name].dtype == value.dtype
+            assert out[name].shape == value.shape
+            assert np.array_equal(out[name], value)
+
+    def test_offsets_are_aligned(self):
+        arrays = {"a": np.array(1.0), "b": np.arange(3), "c": np.array(2.0)}
+        _, index = _pack_arrays(arrays)
+        for entry in index:
+            assert entry["offset"] % 64 == 0
+
+    def test_truncated_payload_is_detected(self):
+        arrays = {"a": np.arange(100, dtype=np.float64)}
+        payload, index = _pack_arrays(arrays)
+        with pytest.raises(ArtifactCorruptError):
+            _unpack_arrays(payload[:50], index)
+
+
+class TestDigest:
+    def test_digest_is_content_addressed(self, bert_artifact):
+        again = compile_endpoint("bert")
+        assert again.digest == bert_artifact.digest
+
+    def test_digest_changes_with_content(self, bert_artifact):
+        arrays = dict(bert_artifact.arrays)
+        key = sorted(arrays)[0]
+        arrays[key] = np.asarray(arrays[key]).copy()
+        arrays[key].reshape(-1)[...] = 123
+        assert content_digest(bert_artifact.manifest, arrays) != bert_artifact.digest
+
+    def test_volatile_fields_do_not_affect_digest(self, bert_artifact):
+        manifest = dict(bert_artifact.manifest)
+        manifest["created_s"] = 0.0
+        assert content_digest(manifest, bert_artifact.arrays) == bert_artifact.digest
+
+    def test_different_seed_different_digest(self, bert_artifact):
+        other = compile_endpoint("bert", seed=1)
+        assert other.digest != bert_artifact.digest
+
+
+class TestDiskRoundTrip:
+    def test_write_read_round_trip(self, bert_artifact, stored):
+        loaded = read_artifact(stored)
+        assert loaded.digest == bert_artifact.digest
+        assert set(loaded.arrays) == set(bert_artifact.arrays)
+        for name, value in bert_artifact.arrays.items():
+            assert np.array_equal(loaded.arrays[name], np.asarray(value))
+
+    def test_write_is_idempotent(self, bert_artifact, stored):
+        write_artifact(bert_artifact, stored)  # same digest: no-op, no raise
+
+    def test_write_refuses_mismatched_overwrite(self, stored):
+        other = compile_endpoint("bert", seed=1)
+        with pytest.raises(ArtifactError):
+            write_artifact(other, stored)
+
+    def test_write_repairs_corrupt_occupant(self, bert_artifact, stored):
+        """A truncated payload must not brick the slot: re-writing the
+        same digest replaces the corrupt occupant instead of treating the
+        stale (but digest-matching) manifest as 'already stored'."""
+        arrays_path = stored / ARRAYS_NAME
+        raw = arrays_path.read_bytes()
+        arrays_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(stored)
+        write_artifact(bert_artifact, stored)  # heals the slot
+        assert read_artifact(stored).digest == bert_artifact.digest
+
+    def test_write_repairs_unreadable_manifest(self, bert_artifact, stored):
+        (stored / MANIFEST_NAME).write_text("{not json")
+        write_artifact(bert_artifact, stored)
+        assert read_artifact(stored).digest == bert_artifact.digest
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            read_manifest(tmp_path / "nope")
+
+    def test_truncated_manifest_is_corrupt(self, stored):
+        manifest_path = stored / MANIFEST_NAME
+        manifest_path.write_text(manifest_path.read_text()[: len(manifest_path.read_text()) // 2])
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(stored)
+
+    def test_truncated_arrays_is_corrupt(self, stored):
+        arrays_path = stored / ARRAYS_NAME
+        raw = arrays_path.read_bytes()
+        arrays_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(stored)
+
+    def test_flipped_tensor_byte_fails_digest(self, stored):
+        arrays_path = stored / ARRAYS_NAME
+        raw = bytearray(arrays_path.read_bytes())
+        # Flip one byte deep inside the payload member (past zip headers).
+        raw[len(raw) // 2] ^= 0xFF
+        arrays_path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(stored)
+
+    def test_schema_mismatch(self, stored):
+        manifest_path = stored / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = ARTIFACT_SCHEMA + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactSchemaError):
+            read_artifact(stored)
+
+    def test_tampered_meta_fails_digest(self, stored):
+        manifest_path = stored / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["meta"]["seed"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError):
+            read_artifact(stored)
+
+
+class TestLoadedEndpoint:
+    def test_no_calibration_pass_on_load(self, stored):
+        endpoint = load_endpoint(stored)
+        # Every quantizer arrives calibrated; serving runs no init.
+        from repro.quant import LSQQuantizer
+
+        for _, module in endpoint.model.named_modules():
+            if isinstance(module, LSQQuantizer):
+                assert module._initialized
+
+    def test_planner_caches_arrive_warm(self, stored):
+        endpoint = load_endpoint(stored)
+        for name in endpoint.plan.layer_names:
+            entry = endpoint.plan.entry(name)
+            assert entry._w_codes is not None
+            assert entry._plan is not None
+            # ... and the keys match the live parameter versions, so the
+            # first request recomputes nothing.
+            assert entry._w_key == (
+                entry.layer.weight.version,
+                entry.layer.weight_quantizer.scale.version,
+            )
+
+    def test_loaded_weight_codes_match_recomputed(self, stored):
+        endpoint = load_endpoint(stored)
+        plan = endpoint.plan
+        for name in plan.layer_names:
+            imported = plan.entry(name)._w_codes
+            layer = plan.entry(name).layer
+            recomputed = layer.weight_quantizer.quantize_int(layer.weight.data)
+            if plan.entry(name).kind == "conv":
+                recomputed = recomputed.reshape(layer.conv_params.out_channels, -1)
+            assert np.array_equal(imported, recomputed.astype(np.int64))
+
+    def test_serves_bit_identical_to_fresh_build(self, stored):
+        fresh = build_endpoint("bert")
+        loaded = load_endpoint(stored)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            request = fresh.synth_request(rng)
+            assert np.array_equal(
+                fresh.serve_one(request).logits, loaded.serve_one(request).logits
+            )

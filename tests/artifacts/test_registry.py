@@ -1,0 +1,102 @@
+"""Artifact registry tests: put / list / inspect / gc / resolution."""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactRegistry,
+    compile_endpoint,
+    compile_into,
+    ensure_artifact,
+)
+from repro.artifacts.format import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return {
+        "bert0": compile_endpoint("bert", seed=0),
+        "bert1": compile_endpoint("bert", seed=1),
+    }
+
+
+class TestRegistry:
+    def test_put_and_list(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        records = registry.list()
+        assert len(records) == 2 == len(registry)
+        digests = {record["digest"] for record in records}
+        assert digests == {artifacts["bert0"].digest, artifacts["bert1"].digest}
+        assert all(record["meta"]["family"] == "bert" for record in records)
+
+    def test_put_is_idempotent(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        first = registry.put(artifacts["bert0"])
+        second = registry.put(artifacts["bert0"])
+        assert first == second
+        assert len(registry) == 1
+
+    def test_resolve_by_prefix(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.put(artifacts["bert0"])
+        assert registry.resolve(artifacts["bert0"].digest[:8]) == path
+        assert registry.resolve(artifacts["bert0"].digest) == path
+
+    def test_resolve_unknown_and_empty(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        with pytest.raises(KeyError):
+            registry.resolve("deadbeef")
+        with pytest.raises(KeyError):
+            registry.resolve("")
+
+    def test_inspect_returns_manifest(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        manifest = registry.inspect(artifacts["bert0"].digest[:10])
+        assert manifest["digest"] == artifacts["bert0"].digest
+        assert manifest["meta"]["seed"] == 0
+
+    def test_gc_keep_list(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        removed = registry.gc(keep=[artifacts["bert0"].digest[:10]])
+        assert removed == [artifacts["bert1"].digest]
+        assert len(registry) == 1
+        assert registry.resolve(artifacts["bert0"].digest[:10]).is_dir()
+
+    def test_gc_default_keeps_newest_per_endpoint(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        path = registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        # Age bert0's recompile timestamp, then plant a newer duplicate
+        # endpoint key with a different digest (as a code change would).
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["created_s"] -= 1000.0
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        removed = registry.gc()
+        assert removed == []  # distinct endpoint keys (different seeds): both stay
+        # Same key, newer copy wins:
+        newer = json.loads((path / MANIFEST_NAME).read_text())
+        newer["created_s"] += 5000.0
+        newer["digest"] = "f" * 64
+        clone = tmp_path / ("f" * 16)
+        clone.mkdir()
+        (clone / MANIFEST_NAME).write_text(json.dumps(newer))
+        removed = registry.gc()
+        assert removed == [artifacts["bert0"].digest]
+
+    def test_ensure_artifact_compiles_once(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        first = ensure_artifact(registry, "bert", seed=0)
+        second = ensure_artifact(registry, "bert", seed=0)
+        assert first == second
+        assert len(registry) == 1
+
+    def test_compile_into_returns_registry_path(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        path = compile_into(registry, "bert", seed=0)
+        assert path == registry.path_for(artifacts["bert0"].digest)

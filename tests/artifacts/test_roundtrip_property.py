@@ -1,0 +1,96 @@
+"""Property test: artifact-loaded endpoints are bit-identical to fresh ones.
+
+For every scenario family, any request served from an endpoint that was
+compiled → stored → loaded must return the exact bits the freshly built
+(and calibrated) endpoint returns — and the per-layer integer runners
+derived from the loaded plan must agree with the fresh ones across both
+requant modes (``shift`` and ``exact``).  Endpoints and artifacts are
+built once per family and reused across examples; only the requests vary.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import compile_endpoint, load_endpoint, write_artifact
+from repro.serve import build_endpoint
+
+FAMILIES = ("bert", "llama", "segformer")
+
+_PAIRS = {}
+
+
+@pytest.fixture(scope="module")
+def endpoint_pairs(tmp_path_factory):
+    """{family: (fresh endpoint, artifact-loaded endpoint)}, built lazily."""
+
+    def get(family):
+        if family not in _PAIRS:
+            fresh = build_endpoint(family)
+            path = tmp_path_factory.mktemp("artifacts") / family
+            write_artifact(compile_endpoint(family), path)
+            _PAIRS[family] = (fresh, load_endpoint(path))
+        return _PAIRS[family]
+
+    yield get
+    _PAIRS.clear()
+
+
+def response_bits(result):
+    for attr in ("logits", "logprobs"):
+        if hasattr(result, attr):
+            return getattr(result, attr)
+    raise AssertionError(f"no raw output on {type(result).__name__}")
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(
+    family=st.sampled_from(FAMILIES),
+    payload_seed=st.integers(min_value=0, max_value=10_000),
+    batch=st.integers(min_value=1, max_value=3),
+)
+def test_loaded_endpoint_serves_identical_bits(endpoint_pairs, family, payload_seed, batch):
+    fresh, loaded = endpoint_pairs(family)
+    rng = np.random.default_rng(payload_seed)
+    requests = [fresh.synth_request(rng) for _ in range(batch)]
+    payloads = [fresh.request_payload(r) for r in requests]
+    fresh_out = fresh.infer_batch(payloads)
+    loaded_out = loaded.infer_batch(payloads)
+    for a, b in zip(fresh_out, loaded_out):
+        assert np.array_equal(response_bits(a), response_bits(b))
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(
+    family=st.sampled_from(FAMILIES),
+    requant=st.sampled_from(["shift", "exact"]),
+    input_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_loaded_runners_agree_across_requant_modes(endpoint_pairs, family, requant, input_seed):
+    """Layer-level check: the loaded plan's runners match fresh ones."""
+    fresh, loaded = endpoint_pairs(family)
+    name = fresh.plan.layer_names[input_seed % len(fresh.plan.layer_names)]
+    layer = fresh.plan.entry(name).layer
+    in_features = getattr(layer, "in_features", None)
+    if in_features is None:  # conv layers: run_layer covers them; runners are 2-D
+        c = layer.conv_params
+        kh, kw = c.kernel_size
+        in_features = c.in_channels * kh * kw
+        x = np.random.default_rng(input_seed).normal(size=(2, c.in_channels, 8, 8))
+        a = fresh.plan.run_layer(name, x)
+        b = loaded.plan.run_layer(name, x)
+        assert np.array_equal(a, b)
+        return
+    x = np.random.default_rng(input_seed).normal(size=(3, in_features))
+    a = fresh.plan.runner(name, requant=requant).run(x)
+    b = loaded.plan.runner(name, requant=requant).run(x)
+    assert np.array_equal(a, b)

@@ -98,11 +98,22 @@ def _cell(key, **kwargs):
 
 @pytest.fixture()
 def _square_kind(monkeypatch):
-    """A cheap deterministic cell kind for machinery tests."""
+    """A cheap deterministic cell kind for machinery tests.
+
+    Also isolates the process-global timing log: the toy cells these
+    tests run through ``run_cells`` must not leak into the session's
+    ``timings.json`` trajectory (the real records are put back).
+    """
+    from repro.experiments.executor import drain_cell_timings, restore_cell_timings
+
     monkeypatch.setitem(CELL_KINDS, "test-square", lambda cell: cell.seed**2)
     monkeypatch.setitem(
         CELL_KINDS, "test-dict", lambda cell: {t: float(len(t)) for t in cell.tasks}
     )
+    saved = drain_cell_timings()
+    yield
+    drain_cell_timings()  # discard the toy records
+    restore_cell_timings(saved)
 
 
 class TestRunCells:

@@ -9,7 +9,11 @@ payload is written atomically / merged rather than clobbered.
 import json
 import threading
 
-from repro.experiments.executor import drain_cell_timings, record_cell_timing
+from repro.experiments.executor import (
+    drain_cell_timings,
+    record_cell_timing,
+    restore_cell_timings,
+)
 from repro.experiments.timings import (
     build_payload,
     load_timings,
@@ -20,21 +24,27 @@ from repro.experiments.timings import (
 
 class TestConcurrentRecords:
     def test_parallel_recorders_lose_nothing(self):
-        drain_cell_timings()  # isolate from other tests
-        threads = [
-            threading.Thread(
-                target=lambda worker=w: [
-                    record_cell_timing(f"serve/w{worker}/{i}", "serve", 0.001)
-                    for i in range(50)
-                ]
-            )
-            for w in range(8)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        records = drain_cell_timings()
+        # Isolate from the session's real records — and put them back, so
+        # a full-suite run still writes the benchmark cells recorded
+        # before this test into timings.json at session finish.
+        saved = drain_cell_timings()
+        try:
+            threads = [
+                threading.Thread(
+                    target=lambda worker=w: [
+                        record_cell_timing(f"serve/w{worker}/{i}", "serve", 0.001)
+                        for i in range(50)
+                    ]
+                )
+                for w in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            records = drain_cell_timings()
+        finally:
+            restore_cell_timings(saved)
         assert len(records) == 8 * 50
         assert len({record["key"] for record in records}) == 8 * 50
 

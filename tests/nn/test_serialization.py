@@ -68,3 +68,80 @@ class TestCheckpointRoundtrip:
         fresh = nn.BatchNorm2d(3)
         nn.load_checkpoint(fresh, path)
         assert np.allclose(fresh.running_mean, bn.running_mean)
+
+
+class TestPartialLoadCalibration:
+    def test_partial_load_does_not_mark_absent_quantizers(self, tmp_path):
+        """A float checkpoint loaded with strict=False must leave the
+        quantizers uncalibrated — their scales were never in the archive,
+        so marking them initialized would silently serve the default scale."""
+        teacher = BertTiny(BertConfig())
+        path = nn.save_checkpoint(teacher, tmp_path / "float")
+        student = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        nn.load_checkpoint(student, path, strict=False)
+        assert not student.head.act_quantizer._initialized
+        assert not student.head.weight_quantizer._initialized
+
+    def test_partial_load_still_initializes_from_first_batch(self, tmp_path):
+        teacher = BertTiny(BertConfig())
+        path = nn.save_checkpoint(teacher, tmp_path / "float")
+        student = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        nn.load_checkpoint(student, path, strict=False)
+        default_scale = float(student.head.act_quantizer.scale.data)
+        student(np.random.default_rng(0).integers(0, 64, size=(2, 8)))
+        assert student.head.act_quantizer._initialized
+        assert float(student.head.act_quantizer.scale.data) != default_scale
+
+    def test_full_quantized_load_marks_all_quantizers(self, tmp_path):
+        from repro.quant.state import calibration_flags
+
+        model = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        model(np.zeros((1, 4), dtype=np.int64))
+        path = nn.save_checkpoint(model, tmp_path / "full")
+        fresh = quantize_model(BertTiny(BertConfig()), apsq_config(gs=2))
+        nn.load_checkpoint(fresh, path)
+        assert all(calibration_flags(fresh).values())
+
+
+class TestVersionBumpOnLoad:
+    def test_load_state_dict_bumps_parameter_versions(self, tmp_path):
+        model = nn.Linear(4, 2)
+        path = nn.save_checkpoint(model, tmp_path / "m")
+        before = model.weight.version
+        nn.load_checkpoint(model, path)
+        assert model.weight.version > before
+
+    def test_load_over_live_plan_invalidates_weight_codes(self, tmp_path):
+        """Loading a checkpoint over a model with a live execution plan
+        must force the planner to requantize: the version bump means the
+        cache can never serve codes for the pre-load weights."""
+        from repro.rae import IntegerExecutionPlan
+        from repro.tensor import manual_seed
+
+        manual_seed(0)
+        model = quantize_model(
+            BertTiny(BertConfig(num_layers=1)), apsq_config(gs=2, pci=8)
+        )
+        ids = np.random.default_rng(0).integers(0, 64, size=(2, 8))
+        model(ids)
+        model.eval()
+        plan = IntegerExecutionPlan.from_model(model)
+        name = plan.layer_names[0]
+        stale_codes = plan.weight_codes(name)
+
+        # A second, differently-initialized model provides genuinely new
+        # weights; loading it over the live plan must recompute codes.
+        manual_seed(1)
+        other = quantize_model(
+            BertTiny(BertConfig(num_layers=1)), apsq_config(gs=2, pci=8)
+        )
+        other(ids)
+        path = nn.save_checkpoint(other, tmp_path / "other")
+        nn.load_checkpoint(model, path)
+
+        fresh_codes = plan.weight_codes(name)
+        assert fresh_codes is not stale_codes
+        assert not np.array_equal(fresh_codes, stale_codes)
+        # And they match what a from-scratch plan derives for the loaded weights.
+        reference = IntegerExecutionPlan.from_model(model).weight_codes(name)
+        assert np.array_equal(fresh_codes, reference)

@@ -1,0 +1,71 @@
+"""Quantizer state round-trip helpers (calibration flags, versions)."""
+
+import numpy as np
+import pytest
+
+from repro.models import BertConfig, BertTiny
+from repro.quant import apsq_config, quantize_model
+from repro.quant.state import (
+    apply_calibration_flags,
+    calibration_flags,
+    parameter_versions,
+    restore_parameter_versions,
+)
+from repro.tensor import manual_seed
+
+
+def make_model(calibrated=True):
+    manual_seed(0)
+    model = quantize_model(BertTiny(BertConfig(num_layers=1)), apsq_config(gs=2))
+    if calibrated:
+        model(np.random.default_rng(0).integers(0, 64, size=(2, 8)))
+    return model
+
+
+class TestCalibrationFlags:
+    def test_flags_reflect_calibration(self):
+        assert not any(calibration_flags(make_model(calibrated=False)).values())
+        assert all(calibration_flags(make_model(calibrated=True)).values())
+
+    def test_flags_round_trip(self):
+        source = make_model(calibrated=True)
+        target = make_model(calibrated=False)
+        apply_calibration_flags(target, calibration_flags(source))
+        assert calibration_flags(target) == calibration_flags(source)
+
+    def test_unknown_module_raises(self):
+        model = make_model(calibrated=False)
+        with pytest.raises((KeyError, AttributeError)):
+            apply_calibration_flags(model, {"not.a.module": True})
+
+    def test_non_quantizer_target_raises(self):
+        model = make_model(calibrated=False)
+        with pytest.raises(TypeError):
+            apply_calibration_flags(model, {"head": True})
+
+
+class TestParameterVersions:
+    def test_versions_snapshot(self):
+        model = make_model()
+        versions = parameter_versions(model)
+        assert versions  # every parameter accounted for
+        assert all(isinstance(v, int) for v in versions.values())
+
+    def test_restore_fast_forwards_only(self):
+        model = make_model()
+        versions = {name: v + 10 for name, v in parameter_versions(model).items()}
+        restore_parameter_versions(model, versions)
+        assert parameter_versions(model) == versions
+        # Regressing is refused: lower recorded versions leave counters alone.
+        restore_parameter_versions(model, {name: 0 for name in versions})
+        assert parameter_versions(model) == versions
+
+    def test_restored_versions_still_invalidate_on_rebind(self):
+        model = make_model()
+        restore_parameter_versions(
+            model, {name: v + 5 for name, v in parameter_versions(model).items()}
+        )
+        param = next(iter(model.parameters()))
+        before = param.version
+        param.data = param.data.copy()
+        assert param.version == before + 1

@@ -280,3 +280,74 @@ class TestCaptureInputs:
             )
         for name in plan.layer_names:
             assert "forward" not in vars(model.get_submodule(name))
+
+
+class TestExportImport:
+    """Artifact hooks: exported plan state reloads without requantization."""
+
+    def test_export_state_covers_every_layer(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        state = plan.export_state()
+        assert set(state) == set(plan.layer_names)
+        for name, arrays in state.items():
+            entry = plan.entry(name)
+            assert arrays["weight_codes"].shape[0] == entry.shape.lanes
+            assert arrays["exponents"].shape == (entry.shape.num_tiles,)
+            assert arrays["alphas"].shape == (entry.shape.num_tiles,)
+
+    def test_import_seeds_caches_without_quantization(self):
+        model, tokens = make_quantized_bert()
+        source = IntegerExecutionPlan.from_model(model)
+        state = source.export_state()
+        target = IntegerExecutionPlan.from_model(model)
+        target.import_state(state)
+        for name in target.layer_names:
+            entry = target.entry(name)
+            assert np.array_equal(entry._w_codes, source.weight_codes(name))
+            assert entry._plan_key is not None
+        # Imported caches are *live-keyed*: the first run reuses them.
+        inputs = capture_layer_inputs(model, target.layer_names, tokens)
+        name = target.layer_names[0]
+        imported_codes = target.entry(name)._w_codes
+        target.run_layer(name, inputs[name])
+        assert target.entry(name)._w_codes is imported_codes
+
+    def test_imported_plan_is_bit_identical(self):
+        model, tokens = make_quantized_bert()
+        source = IntegerExecutionPlan.from_model(model)
+        inputs = capture_layer_inputs(model, source.layer_names, tokens)
+        expected = source.run_model(inputs)
+        target = IntegerExecutionPlan.from_model(model)
+        target.import_state(source.export_state())
+        actual = target.run_model(inputs)
+        for name in source.layer_names:
+            assert np.array_equal(expected[name], actual[name])
+
+    def test_import_invalidates_on_later_weight_change(self):
+        model, tokens = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        state = plan.export_state()
+        name = plan.layer_names[0]
+        layer = plan.entry(name).layer
+        plan.import_state(state)
+        imported = plan.entry(name)._w_codes
+        layer.weight.data = layer.weight.data * 0.5  # bumps the version
+        fresh = plan.weight_codes(name)
+        assert fresh is not imported
+
+    def test_import_rejects_unknown_layers_and_bad_shapes(self):
+        model, _ = make_quantized_bert()
+        plan = IntegerExecutionPlan.from_model(model)
+        state = plan.export_state()
+        with pytest.raises(KeyError):
+            plan.import_state({"nope": next(iter(state.values()))})
+        name = plan.layer_names[0]
+        bad = dict(state[name])
+        bad["weight_codes"] = bad["weight_codes"][:1]
+        with pytest.raises(ValueError):
+            plan.import_layer_state(name, bad)
+        bad = dict(state[name])
+        bad["exponents"] = bad["exponents"][:1]
+        with pytest.raises(ValueError):
+            plan.import_layer_state(name, bad)

@@ -1,0 +1,94 @@
+"""Endpoint opt-in activation-code cache and its serve-metrics counters."""
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchPolicy, InferenceService, EndpointRegistry, build_endpoint
+from repro.serve.endpoint import ModelEndpoint
+
+
+def digest_endpoint(family="bert", seed=0):
+    # A fresh plan on the shared model: the memoized endpoint's own plan
+    # must keep its cache disabled (other tests rely on the default).
+    base = build_endpoint(family, seed=seed)
+    return ModelEndpoint(
+        f"{family}-cached",
+        base.scenario,
+        base.model,
+        base.request_shape,
+        cache_activations="digest",
+    )
+
+
+class TestEndpointOptIn:
+    def test_default_endpoint_disables_the_cache(self):
+        endpoint = build_endpoint("bert")
+        assert endpoint.cache_activations is False
+        assert endpoint.plan.cache_activations is False
+
+    def test_invalid_mode_rejected(self):
+        base = build_endpoint("bert")
+        with pytest.raises(ValueError):
+            ModelEndpoint(
+                "x", base.scenario, base.model, base.request_shape,
+                cache_activations="always",
+            )
+
+    def test_digest_mode_hits_on_repeated_identical_requests(self):
+        endpoint = digest_endpoint()
+        assert endpoint.plan.cache_activations is True
+        rng = np.random.default_rng(0)
+        request = endpoint.synth_request(rng)
+        first = endpoint.serve_one(request)
+        before = endpoint.act_cache_stats()
+        second = endpoint.serve_one(request)
+        after = endpoint.act_cache_stats()
+        assert np.array_equal(first.logits, second.logits)
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_distinct_requests_miss(self):
+        endpoint = digest_endpoint()
+        rng = np.random.default_rng(1)
+        endpoint.serve_one(endpoint.synth_request(rng))
+        before = endpoint.act_cache_stats()
+        endpoint.serve_one(endpoint.synth_request(rng))
+        after = endpoint.act_cache_stats()
+        assert after["misses"] > before["misses"]
+
+
+class TestServeMetricsHitRate:
+    def test_snapshot_reports_hit_rate(self):
+        endpoint = digest_endpoint()
+        registry = EndpointRegistry()
+        registry.register(endpoint)
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            workers=1,
+        ).start()
+        try:
+            rng = np.random.default_rng(2)
+            request = endpoint.synth_request(rng)
+            for _ in range(3):  # identical request: the repeat traffic case
+                service.serve(endpoint.name, request, timeout=30)
+        finally:
+            metrics = service.drain()
+        stats = metrics["endpoints"][endpoint.name]["act_cache"]
+        # First pass misses every layer; the two repeats hit every layer.
+        layers = len(endpoint.plan.layer_names)
+        assert stats["hits"] == 2 * layers
+        assert stats["misses"] == layers
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_default_endpoint_reports_no_cache_block(self):
+        endpoint = build_endpoint("bert")
+        registry = EndpointRegistry()
+        registry.register(endpoint)
+        service = InferenceService(registry, workers=1).start()
+        try:
+            rng = np.random.default_rng(3)
+            service.serve("bert", endpoint.synth_request(rng), timeout=30)
+        finally:
+            metrics = service.drain()
+        assert "act_cache" not in metrics["endpoints"]["bert"]

@@ -121,3 +121,31 @@ class TestBench:
         assert "serve/bert/microbatch" in payload["cells"]
         assert "serve/bert/batch1" in payload["cells"]
         assert "serve/mixed/closed" in payload["cells"]
+
+    def test_serve_bench_from_artifact_records_cold_start(self, tmp_path):
+        timings = tmp_path / "timings.json"
+        result = serve_bench(
+            families=("bert",),
+            requests=6,
+            gate_requests=6,
+            max_batch=4,
+            workers=1,
+            mode="closed",
+            concurrency=4,
+            timings_path=timings,
+            from_artifact=True,
+            artifact_root=tmp_path / "registry",
+        )
+        assert "artifacts" in result
+        assert result["artifacts"]["bert"]["speedup"] > 0
+        report = format_bench_report(result)
+        assert "cold-start" in report
+        from repro.experiments.timings import load_timings
+
+        payload = load_timings(timings)
+        assert "artifact/bert/rebuild" in payload["cells"]
+        assert "artifact/bert/load" in payload["cells"]
+
+    def test_process_workers_require_artifacts(self):
+        with pytest.raises(ValueError):
+            serve_bench(families=("bert",), process_workers=2, from_artifact=False)

@@ -1,0 +1,125 @@
+"""Process-level serve workers: stubs, pool dispatch, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import compile_endpoint, write_artifact
+from repro.serve import (
+    ArtifactEndpointStub,
+    BatchPolicy,
+    ProcessEndpointPool,
+    build_endpoint,
+    describe_artifacts,
+    process_service,
+    stub_registry,
+)
+from repro.serve.types import ClassificationRequest, ScoringRequest
+from repro.serve.types import raw_output as response_bits
+
+
+@pytest.fixture(scope="module")
+def artifact_paths(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-artifacts")
+    paths = {}
+    for family in ("bert", "llama"):
+        path = root / family
+        write_artifact(compile_endpoint(family), path)
+        paths[family] = path
+    return paths
+
+
+class TestArtifactEndpointStub:
+    def test_validates_like_the_real_endpoint(self, artifact_paths):
+        stub = ArtifactEndpointStub("bert", artifact_paths["bert"])
+        real = build_endpoint("bert")
+        rng = np.random.default_rng(0)
+        request = stub.synth_request(rng)
+        assert isinstance(request, ClassificationRequest)
+        assert np.array_equal(stub.request_payload(request), real.request_payload(request))
+        assert stub.coalesce_key(stub.request_payload(request)) == real.coalesce_key(
+            real.request_payload(request)
+        )
+
+    def test_rejects_bad_requests(self, artifact_paths):
+        stub = ArtifactEndpointStub("bert", artifact_paths["bert"])
+        with pytest.raises(TypeError):
+            stub.request_payload(ScoringRequest(tokens=np.array([1, 2, 3])))
+        with pytest.raises(ValueError):
+            stub.request_payload(ClassificationRequest(tokens=np.array([10_000])))
+
+    def test_infer_batch_refuses(self, artifact_paths):
+        stub = ArtifactEndpointStub("bert", artifact_paths["bert"])
+        with pytest.raises(RuntimeError):
+            stub.infer_batch([np.zeros(8, dtype=np.int64)])
+
+    def test_stub_registry_and_describe(self, artifact_paths):
+        registry = stub_registry(artifact_paths)
+        assert set(registry.names) == {"bert", "llama"}
+        text = describe_artifacts(artifact_paths)
+        assert "bert" in text and "digest=" in text
+
+
+class TestProcessEndpointPool:
+    def test_pool_serves_bit_identical_batches(self, artifact_paths):
+        rng = np.random.default_rng(3)
+        oracle = build_endpoint("bert")
+        payloads = [
+            oracle.request_payload(oracle.synth_request(rng)) for _ in range(4)
+        ]
+        with ProcessEndpointPool(artifact_paths, processes=2) as pool:
+            served = pool.infer_batch("bert", payloads)
+        expected = oracle.infer_batch(payloads)
+        for a, b in zip(served, expected):
+            assert np.array_equal(response_bits(a), response_bits(b))
+
+    def test_unknown_endpoint(self, artifact_paths):
+        pool = ProcessEndpointPool(artifact_paths, processes=1)
+        try:
+            with pytest.raises(KeyError):
+                pool.infer_batch("segformer", [])
+        finally:
+            pool.shutdown()
+
+    def test_rejects_bad_configuration(self, artifact_paths):
+        with pytest.raises(ValueError):
+            ProcessEndpointPool(artifact_paths, processes=0)
+        with pytest.raises(ValueError):
+            ProcessEndpointPool({}, processes=1)
+
+
+class TestProcessService:
+    def test_mixed_traffic_matches_sequential_oracle(self, artifact_paths):
+        """The serve determinism invariant, across process boundaries."""
+        service = process_service(
+            artifact_paths,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            processes=2,
+            queue_limit=64,
+            block_on_full=True,
+        )
+        service.process_pool.warmup()
+        rng = np.random.default_rng(17)
+        stream = []
+        for i in range(10):
+            name = ("bert", "llama")[i % 2]
+            stream.append((name, service.registry.get(name).synth_request(rng)))
+        service.start()
+        try:
+            futures = [service.submit(name, request) for name, request in stream]
+            responses = [future.result(timeout=60) for future in futures]
+        finally:
+            metrics = service.drain()
+        assert metrics["completed"] == len(stream)
+        for (name, request), response in zip(stream, responses):
+            single = build_endpoint(name).serve_one(request)
+            assert np.array_equal(
+                response_bits(response.result), response_bits(single)
+            ), f"{name} response drifted across the process boundary"
+
+    def test_parent_registry_holds_only_stubs(self, artifact_paths):
+        service = process_service(artifact_paths, processes=1)
+        try:
+            for endpoint in service.registry:
+                assert isinstance(endpoint, ArtifactEndpointStub)
+        finally:
+            service.process_pool.shutdown()

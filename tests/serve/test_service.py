@@ -249,6 +249,38 @@ class TestFailures:
                 service.submit("bert", object())
             assert service.queue_depth() == 0
 
+    def test_short_result_list_rejects_whole_batch(self):
+        """A dispatcher/endpoint returning fewer results than requests
+        must reject the batch — not leave the tail futures hanging."""
+        registry, _ = stub_registry()
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.01),
+            dispatcher=lambda endpoint, payloads: payloads[:-1],  # drops one
+        ).start()
+        try:
+            futures = [service.submit("stub", [float(i)]) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match=r"returned \d+ results"):
+                    future.result(5.0)
+            assert service.metrics.failed == 3
+        finally:
+            service.drain()
+
+    def test_dispatcher_replaces_endpoint_execution(self):
+        registry, endpoint = stub_registry()
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=2, max_delay_s=0.0),
+            dispatcher=lambda name, payloads: [f"{name}:{p.sum()}" for p in payloads],
+        ).start()
+        try:
+            result = service.submit("stub", [2.0, 3.0]).result(5.0)
+            assert result.result == "stub:5.0"
+            assert endpoint.calls == []  # endpoint.infer_batch never ran
+        finally:
+            service.drain()
+
 
 class TestMetrics:
     def test_snapshot_counts(self, registry):
