@@ -19,6 +19,7 @@ from repro.serve import (
     BatchPolicy,
     InferenceService,
     bench_microbatch_speedup,
+    bench_supervised_recovery,
     clear_endpoint_memo,
     default_registry,
 )
@@ -59,6 +60,61 @@ def test_serve_microbatch_speedup(results_dir):
     assert result["speedup"] >= 3.0, (
         f"micro-batched serving only {result['speedup']:.1f}x faster"
     )
+
+
+def test_supervised_recovery_p99(results_dir, tmp_path):
+    """Kill-9 recovery through the supervised fleet stays near steady state.
+
+    Serves the same burst through a supervised pool twice — undisturbed,
+    and with a busy worker SIGKILLed mid-burst (in-flight batch replayed,
+    victim respawned from its artifact).  The bench itself asserts the
+    chaos properties (zero lost requests, responses bit-identical to the
+    in-process oracle) before reporting; this gate holds the recovery
+    p99 within 2x the steady-state p99 and lands both cells in
+    ``timings.json`` (``serve/supervised/steady|recovery``).
+    """
+    result = bench_supervised_recovery(
+        family="bert",
+        requests=48,
+        nodes=2,
+        registry_root=tmp_path / "registry",
+        repeats=2,
+    )
+    save_result(
+        results_dir,
+        "serve_supervised_recovery",
+        "repro.serve — supervised fleet: steady-state vs kill-9 recovery (BERT)\n"
+        f"requests={result['requests']}, nodes={result['nodes']}, "
+        f"killed={result['killed_node']}\n"
+        f"steady p99:   {result['steady_p99_s'] * 1e3:8.2f} ms\n"
+        f"recovery p99: {result['recovery_p99_s'] * 1e3:8.2f} ms\n"
+        f"ratio: {result['recovery_ratio']:.2f}x (gate: <= 2x)",
+    )
+    assert result["recovery_ratio"] <= 2.0, (
+        f"recovery p99 {result['recovery_ratio']:.2f}x steady-state p99"
+    )
+
+
+@pytest.mark.smoke
+def test_supervised_chaos_smoke(tmp_path):
+    """Cold-cache supervised chaos smoke (run by the CI chaos job).
+
+    Boots a supervised two-node pool from freshly compiled artifacts,
+    SIGKILLs a worker mid-burst, and asserts the chaos property: zero
+    lost requests, every response bit-identical to the in-process
+    oracle.  ``bench_supervised_recovery`` raises on any violation; one
+    repeat keeps the smoke fast.
+    """
+    clear_endpoint_memo()
+    result = bench_supervised_recovery(
+        family="bert",
+        requests=24,
+        nodes=2,
+        registry_root=tmp_path / "registry",
+        repeats=1,
+    )
+    assert result["killed_node"] is not None
+    assert result["recovery_p99_s"] > 0.0
 
 
 @pytest.mark.smoke

@@ -31,6 +31,16 @@ compile FAMILY [--gs G] [--seed S] [--registry DIR]
 artifacts {list | inspect REF | gc [--keep REF,...]}
     Inspect or garbage-collect the artifact registry (``REF`` is a digest
     or unique digest prefix).
+serve-admin {status | drain NODE | deploy REF | rollback}
+    Administer a supervised serve fleet booted from the registry's deploy
+    pointers (``--families``, ``--nodes``).  ``status`` probes each
+    endpoint and prints node health + routes; ``drain NODE`` gracefully
+    stops one named node; ``deploy REF`` runs a canary-verified rolling
+    deploy of a new artifact digest (``--canary-fraction``,
+    ``--canary-batches``) and promotes the registry pointer;
+    ``rollback`` swaps current/previous pointers and rolls the fleet
+    back.  A canary digest mismatch aborts the deploy (exit 1) with the
+    incumbent untouched.
 info
     Print the package/version and the configuration of the analytical
     accelerator.
@@ -206,6 +216,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     artifacts_parser.add_argument(
         "--keep", default="", help="gc: comma-separated digests/prefixes to keep"
     )
+    admin_parser = sub.add_parser(
+        "serve-admin", help="administer a supervised serve fleet (status/drain/deploy/rollback)"
+    )
+    admin_parser.add_argument("verb", choices=["status", "drain", "deploy", "rollback"])
+    admin_parser.add_argument(
+        "ref", nargs="?", default="", help="deploy: digest or prefix; drain: node name"
+    )
+    admin_parser.add_argument(
+        "--families",
+        default="bert",
+        help="comma-separated endpoint families the fleet serves",
+    )
+    admin_parser.add_argument(
+        "--endpoint", default="", help="deploy/rollback target endpoint (default: first family)"
+    )
+    admin_parser.add_argument("--nodes", type=int, default=2, help="fleet size")
+    admin_parser.add_argument(
+        "--registry", default="", help="artifact registry root (default: REPRO_ARTIFACTS_DIR)"
+    )
+    admin_parser.add_argument(
+        "--canary-fraction", type=float, default=0.25, help="live-traffic canary share"
+    )
+    admin_parser.add_argument(
+        "--canary-batches", type=int, default=4, help="synthetic canary probe batches"
+    )
+    admin_parser.add_argument(
+        "--probes", type=int, default=2, help="status: probe batches per endpoint"
+    )
     all_parser = sub.add_parser("all", help="regenerate every artefact")
     _add_effort_args(all_parser)
     for name in sorted(ARTEFACTS):
@@ -291,6 +329,66 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"removed {len(removed)} artifact(s)")
             for digest in removed:
                 print(f"  {digest[:16]}")
+    elif args.command == "serve-admin":
+        import json as _json
+        from pathlib import Path
+
+        import numpy as np
+
+        from .artifacts import ArtifactRegistry
+        from .serve.supervisor import (
+            CanaryMismatchError,
+            SupervisorError,
+            format_status,
+            supervisor_from_registry,
+        )
+        from .serve.workers import ArtifactEndpointStub
+
+        registry = ArtifactRegistry(Path(args.registry) if args.registry else None)
+        families = tuple(f for f in args.families.split(",") if f)
+        endpoint = args.endpoint or families[0]
+        supervisor = supervisor_from_registry(
+            families=families, registry=registry, nodes=args.nodes
+        ).start()
+        try:
+            if args.verb == "status":
+                rng = np.random.default_rng(0)
+                for name, path in supervisor.artifact_paths().items():
+                    stub = ArtifactEndpointStub(name, path)
+                    for _ in range(max(0, args.probes)):
+                        supervisor.dispatch(
+                            name, [stub.request_payload(stub.synth_request(rng))]
+                        )
+                print(format_status(supervisor.status()))
+            elif args.verb == "drain":
+                if not args.ref:
+                    print(f"serve-admin drain needs a node name: {supervisor.node_names()}")
+                    return 2
+                supervisor.drain_node(args.ref)
+                print(format_status(supervisor.status()))
+            elif args.verb == "deploy":
+                if not args.ref:
+                    print("serve-admin deploy needs an artifact digest (or unique prefix)")
+                    return 2
+                report = supervisor.deploy(
+                    endpoint,
+                    args.ref,
+                    canary_fraction=args.canary_fraction,
+                    canary_batches=args.canary_batches,
+                )
+                print(_json.dumps(report, indent=2, sort_keys=True))
+            else:  # rollback
+                report = supervisor.rollback(endpoint)
+                print(_json.dumps(report, indent=2, sort_keys=True))
+        except CanaryMismatchError as error:
+            print(f"deploy aborted: {error}")
+            print("incumbent still serving; registry pointer unchanged")
+            return 1
+        except (SupervisorError, KeyError) as error:
+            print(f"serve-admin {args.verb} failed: {error}")
+            return 1
+        finally:
+            supervisor.stop()
     elif args.command == "info":
         print(cmd_info())
     elif args.command == "run":

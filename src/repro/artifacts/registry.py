@@ -14,6 +14,13 @@ prefix, and ``gc`` keeps the newest artifact per endpoint key — the
 store-side companion of the compile → store → load pipeline in
 :mod:`repro.artifacts.format`.
 
+Deploy pointers: ``pointers.json`` at the registry root maps endpoint →
+``{"current": digest, "previous": digest}``.  The serve supervisor's
+rolling deploys promote by ``set_pointer`` and roll back by
+``swap_pointer`` — both O(1) pointer writes, since content addressing
+keeps old and new artifacts coexisting.  ``gc`` never removes a
+pointer-referenced digest.
+
 Environment:
 
 - ``REPRO_ARTIFACTS_DIR`` overrides the root (default ``.repro_artifacts``).
@@ -21,6 +28,7 @@ Environment:
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 from pathlib import Path
@@ -36,6 +44,10 @@ from .format import (
 
 #: Digests are long; directory names keep a recognizable prefix.
 DIR_DIGEST_CHARS = 16
+
+#: Route pointers (endpoint → current/previous digest) live beside the
+#: artifact directories.
+POINTERS_NAME = "pointers.json"
 
 
 def default_root() -> Path:
@@ -116,6 +128,65 @@ class ArtifactRegistry:
         """The full manifest of one artifact, resolved by digest prefix."""
         return read_manifest(self.resolve(ref))
 
+    # ------------------------------------------------------------------
+    # Deploy pointers
+    # ------------------------------------------------------------------
+    @property
+    def pointers_path(self) -> Path:
+        return self.root / POINTERS_NAME
+
+    def pointers(self) -> Dict[str, Dict[str, Optional[str]]]:
+        """All route pointers: endpoint → {"current", "previous"}."""
+        path = self.pointers_path
+        if not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ArtifactError(f"unreadable pointers file {path}: {error}") from error
+        if not isinstance(data, dict):
+            raise ArtifactError(f"pointers file {path} is not a mapping")
+        return data
+
+    def pointer(self, endpoint: str) -> Optional[Dict[str, Optional[str]]]:
+        """This endpoint's pointer record, or ``None`` if never set."""
+        return self.pointers().get(endpoint)
+
+    def _write_pointers(self, pointers: Dict[str, Dict[str, Optional[str]]]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.pointers_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(pointers, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.pointers_path)
+
+    def set_pointer(self, endpoint: str, digest: str) -> Dict[str, Optional[str]]:
+        """Promote ``digest`` to current (previous becomes the rollback)."""
+        resolved = read_manifest(self.resolve(digest))["digest"]
+        pointers = self.pointers()
+        record = pointers.get(endpoint, {"current": None, "previous": None})
+        if record.get("current") != resolved:
+            record = {"current": resolved, "previous": record.get("current")}
+            pointers[endpoint] = record
+            self._write_pointers(pointers)
+        return record
+
+    def swap_pointer(self, endpoint: str) -> Dict[str, Optional[str]]:
+        """Instant rollback: exchange current and previous for ``endpoint``."""
+        pointers = self.pointers()
+        record = pointers.get(endpoint)
+        if record is None or not record.get("previous"):
+            raise KeyError(f"no previous digest recorded for endpoint {endpoint!r}")
+        record = {"current": record["previous"], "previous": record["current"]}
+        pointers[endpoint] = record
+        self._write_pointers(pointers)
+        return record
+
+    def resolve_pointer(self, endpoint: str) -> Path:
+        """The artifact path an endpoint's current pointer designates."""
+        record = self.pointer(endpoint)
+        if record is None or not record.get("current"):
+            raise KeyError(f"no pointer set for endpoint {endpoint!r}")
+        return self.resolve(record["current"])
+
     def endpoint_key(self, manifest_meta: Dict[str, Any]) -> tuple:
         """The identity gc groups by: one artifact kept per served endpoint."""
         return (
@@ -131,11 +202,21 @@ class ArtifactRegistry:
         With ``keep`` (digests or unique prefixes), everything else goes.
         Without it, the newest artifact per endpoint key — (family, gs,
         seed, rounding) — survives and older recompiles are dropped.
+        Digests referenced by a deploy pointer (current *or* previous —
+        previous is the rollback target) are never removed.
         """
         entries = self._entries()
+        pinned = {
+            digest
+            for record in self.pointers().values()
+            for digest in (record.get("current"), record.get("previous"))
+            if digest
+        }
         if keep is not None:
             kept_paths = {self.resolve(ref) for ref in keep}
-            doomed = [(d, p) for d, p, _ in entries if p not in kept_paths]
+            doomed = [
+                (d, p) for d, p, _ in entries if p not in kept_paths and d not in pinned
+            ]
         else:
             newest: Dict[tuple, float] = {}
             for _, _, manifest in entries:
@@ -145,7 +226,8 @@ class ArtifactRegistry:
             doomed = [
                 (digest, path)
                 for digest, path, manifest in entries
-                if float(manifest.get("created_s", 0.0))
+                if digest not in pinned
+                and float(manifest.get("created_s", 0.0))
                 < newest[self.endpoint_key(manifest.get("meta", {}))]
             ]
         removed = []

@@ -20,6 +20,10 @@ workload:
   (:mod:`repro.artifacts`) in milliseconds, the parent keeps only
   manifest-backed validation stubs, and dispatch routes coalesced
   batches to the worker pool.
+- :mod:`~repro.serve.supervisor` makes the fleet operable: named worker
+  nodes pinned to artifact digests, heartbeat-watched, with in-flight
+  batch replay on crash, backoff + circuit breaker on repeated failure,
+  and canary-verified rolling deploys with instant rollback.
 
 The load-bearing invariant (property-tested in ``tests/serve``): any
 coalescing of N requests returns responses **bit-identical** to N
@@ -31,6 +35,7 @@ from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .bench import (
     bench_artifact_cold_start,
     bench_microbatch_speedup,
+    bench_supervised_recovery,
     format_bench_report,
     serve_bench,
 )
@@ -52,6 +57,16 @@ from .service import (
     InferenceService,
     ServeFuture,
     ServiceClosedError,
+)
+from .supervisor import (
+    CanaryMismatchError,
+    FleetUnavailableError,
+    ServeSupervisor,
+    SupervisorError,
+    WorkerNode,
+    response_digest,
+    supervised_service,
+    supervisor_from_registry,
 )
 from .workers import (
     ArtifactEndpointStub,
@@ -99,6 +114,14 @@ __all__ = [
     "InferenceService",
     "ServeFuture",
     "ServiceClosedError",
+    "CanaryMismatchError",
+    "FleetUnavailableError",
+    "ServeSupervisor",
+    "SupervisorError",
+    "WorkerNode",
+    "response_digest",
+    "supervised_service",
+    "supervisor_from_registry",
     "ClassificationRequest",
     "ClassificationResponse",
     "ScoringRequest",
@@ -110,6 +133,7 @@ __all__ = [
     "raw_output",
     "bench_artifact_cold_start",
     "bench_microbatch_speedup",
+    "bench_supervised_recovery",
     "format_bench_report",
     "serve_bench",
 ]

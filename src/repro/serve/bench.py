@@ -193,6 +193,100 @@ def bench_artifact_cold_start(
     }
 
 
+def bench_supervised_recovery(
+    family: str = "bert",
+    requests: int = 48,
+    nodes: int = 2,
+    max_batch: int = 8,
+    max_delay_s: float = 0.002,
+    seed: int = 0,
+    repeats: int = 2,
+    registry_root: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Steady-state vs kill-9-recovery p99 through a supervised fleet.
+
+    Serves the same deterministic burst twice through a fresh supervised
+    pool: once undisturbed, once with a busy worker SIGKILLed mid-burst
+    (its in-flight batch replays on a surviving node while the watchdog
+    respawns the victim).  Before any number is reported the chaos
+    properties are asserted — **zero lost requests** and every response
+    bit-identical to the in-process oracle.  Records the
+    ``serve/supervised/steady`` and ``serve/supervised/recovery`` p99
+    cells (best of ``repeats``, robust to scheduler noise); the benchmark
+    gate holds recovery within 2x steady.
+    """
+    from .supervisor import ServeSupervisor, supervised_service
+
+    artifacts = artifact_paths_for([family], registry_root=registry_root, seed=seed)
+    oracle = build_endpoint(family, seed=seed)
+    rng = np.random.default_rng(seed)
+    stream = [oracle.synth_request(rng) for _ in range(requests)]
+    expected = [raw_output(oracle.serve_one(request)) for request in stream]
+    policy = BatchPolicy(max_batch=max_batch, max_delay_s=max_delay_s)
+
+    def one_burst(chaos: bool) -> Dict[str, object]:
+        supervisor = ServeSupervisor(artifacts, nodes=nodes, backoff_base_s=0.01)
+        service = supervised_service(
+            supervisor,
+            policy=policy,
+            queue_limit=max(requests, 1),
+            block_on_full=True,
+            shutdown_supervisor=True,
+        ).start()
+        killed = None
+        try:
+            futures = [service.submit(family, request) for request in stream]
+            if chaos:
+                # Kill whichever node is serving a batch right now, so the
+                # crash is mid-flight and the replay path must run; if the
+                # burst somehow finished first, kill an idle node anyway.
+                deadline = time.monotonic() + 5.0
+                while killed is None and time.monotonic() < deadline:
+                    busy = supervisor.busy_nodes()
+                    if busy:
+                        killed = busy[0]
+                    elif all(f.done() for f in futures):
+                        killed = supervisor.node_names()[0]
+                    else:
+                        time.sleep(0.0005)
+                if killed is None:
+                    killed = supervisor.node_names()[0]
+                supervisor.kill_node(killed)
+            responses = [future.result(timeout=120.0) for future in futures]
+        finally:
+            metrics = service.drain()
+        if metrics["completed"] != requests:  # pragma: no cover - chaos gate
+            raise AssertionError(
+                f"lost requests: {metrics['completed']}/{requests} completed "
+                f"(chaos={chaos}, killed={killed})"
+            )
+        for index, (response, bits) in enumerate(zip(responses, expected)):
+            if not np.array_equal(raw_output(response.result), bits):
+                raise AssertionError(
+                    f"response {index} is not bit-identical to the in-process "
+                    f"oracle (chaos={chaos}, killed={killed})"
+                )
+        return {
+            "p99_s": metrics["endpoints"][family]["latency"]["p99_s"],
+            "wall_s": metrics["wall_s"],
+            "killed": killed,
+        }
+
+    steady = min((one_burst(False) for _ in range(repeats)), key=lambda r: r["p99_s"])
+    recovery = min((one_burst(True) for _ in range(repeats)), key=lambda r: r["p99_s"])
+    record_cell_timing("serve/supervised/steady", "serve", steady["p99_s"])
+    record_cell_timing("serve/supervised/recovery", "serve", recovery["p99_s"])
+    return {
+        "family": family,
+        "requests": requests,
+        "nodes": nodes,
+        "steady_p99_s": steady["p99_s"],
+        "recovery_p99_s": recovery["p99_s"],
+        "recovery_ratio": recovery["p99_s"] / max(steady["p99_s"], 1e-9),
+        "killed_node": recovery["killed"],
+    }
+
+
 def artifact_paths_for(
     families: Sequence[str],
     registry_root: Optional[Path] = None,

@@ -99,6 +99,10 @@ class InferenceService:
         #: process-level workers plug into (the registry then only needs
         #: validation stubs, see :mod:`repro.serve.workers`).
         self.dispatcher = dispatcher
+        #: Set by :func:`repro.serve.supervisor.supervised_service` when the
+        #: dispatcher routes through a supervised fleet; ``status()`` folds
+        #: its node health into the service snapshot.
+        self.supervisor = None
         self.metrics = ServiceMetrics()
         self._batcher = MicroBatcher(self.policy)
         self._lock = threading.Lock()
@@ -224,6 +228,26 @@ class InferenceService:
     def queue_depth(self) -> int:
         with self._lock:
             return self._batcher.depth()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def status(self) -> dict:
+        """Live operational snapshot (what ``serve-admin status`` renders).
+
+        Combines the service's own state/queue/metrics with the
+        supervised fleet's node health when a supervisor is attached.
+        """
+        report = {
+            "state": self.state,
+            "queue_depth": self.queue_depth(),
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.supervisor is not None:
+            report["fleet"] = self.supervisor.status()
+        return report
 
     # ------------------------------------------------------------------
     # Dispatch loop

@@ -1,0 +1,1170 @@
+"""Supervised serve fleet: named workers, health-checked restarts, deploys.
+
+``ProcessEndpointPool`` (PR 5) proved that artifact-backed worker
+processes serve bit-identical traffic — but a ``ProcessPoolExecutor``
+has no failure story: one ``kill -9`` raises ``BrokenProcessPool`` on
+every outstanding future and wedges the pool for good.  This module is
+the supervision layer on top of the same artifact cold-start economics
+(the proactor/actor discipline: long-lived named workers, watchdog
+monitoring, restart-on-failure):
+
+- :class:`WorkerNode` — one **named** worker process pinned to an
+  artifact digest per endpoint, talking over its own duplex pipe.  The
+  node's serve loop doubles as its health signal: it emits a heartbeat
+  whenever it is idle and able to serve, so a crashed *or wedged* worker
+  goes silent and the watchdog notices.
+- :class:`ServeSupervisor` — owns the fleet.  Dispatch claims a free
+  node (round-robin per endpoint), and when a node dies mid-batch the
+  pipe EOF surfaces immediately: the in-flight batch is **re-queued and
+  replayed** on a surviving or respawned node.  Requests are idempotent
+  integer programs, so replay is safe and bit-identical — the chaos
+  property ``tests/serve/test_supervisor.py`` and the CI chaos job pin.
+  Failed nodes respawn from their artifacts (~ms) under bounded
+  exponential backoff; a node that fails ``circuit_threshold`` times
+  without an intervening successful batch trips its **circuit breaker**
+  and stays down until :meth:`ServeSupervisor.reset_node`.
+- **Rolling artifact deploys** — :meth:`ServeSupervisor.deploy` drains
+  one node, restarts it on the new digest (the canary), routes a
+  deterministic fraction of live traffic to it *mirrored* against an
+  incumbent (response digests compared before anything is trusted), runs
+  seeded synthetic canary probes, then promotes node by node.  Content
+  addressing makes old and new coexist, so promotion and
+  :meth:`ServeSupervisor.rollback` are registry pointer swaps
+  (:meth:`~repro.artifacts.registry.ArtifactRegistry.set_pointer`).
+
+CLI: ``python -m repro serve-admin status|drain|deploy <digest>|rollback``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .batcher import BatchPolicy
+from .metrics import percentile
+from .service import InferenceService
+from .types import raw_output
+
+PathLike = Union[str, Path]
+
+#: Node lifecycle states.  ``starting`` → ``ready`` ⇄ (``draining`` →)
+#: ``stopped``; any detected failure lands in ``failed`` (watchdog will
+#: respawn) or ``broken`` (circuit breaker tripped; manual reset only).
+NODE_STATES = ("starting", "ready", "draining", "stopped", "failed", "broken")
+
+
+class SupervisorError(RuntimeError):
+    """Base class for supervision failures."""
+
+
+class FleetUnavailableError(SupervisorError):
+    """No live or respawnable node can serve the endpoint."""
+
+
+class CanaryMismatchError(SupervisorError):
+    """A canary response's digest diverged from the incumbent's."""
+
+
+class NodeFailure(SupervisorError):
+    """Internal: the node serving a batch died, wedged, or went away."""
+
+
+def response_digest(results: Sequence[object]) -> str:
+    """SHA-256 over the raw output bytes of a batch of responses.
+
+    The canary comparator: two artifacts serving the same requests are
+    interchangeable exactly when these digests match (same discipline as
+    the artifact content digest — bytes, not floats-with-tolerance).
+    """
+    h = hashlib.sha256()
+    for result in results:
+        value = np.asarray(raw_output(result))
+        h.update(str(value.dtype.str).encode("ascii"))
+        h.update(repr(value.shape).encode("ascii"))
+        h.update(value.tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker-process main loop
+# ----------------------------------------------------------------------
+
+
+def _node_main(
+    conn,
+    name: str,
+    assignments: Dict[str, str],
+    dtype_name: str,
+    heartbeat_s: float,
+    cache_activations: object = False,
+) -> None:
+    """Serve loop of one worker node (runs in the child process).
+
+    Loads every assigned endpoint from its artifact, reports ``ready``
+    with the loaded digests, then serves ``infer`` commands.  Heartbeats
+    are sent *from the serve loop itself* — not a side thread — so a
+    wedged loop stops beating and the parent watchdog can tell "alive
+    but unable to serve" from "idle".
+    """
+    from ..artifacts import read_manifest
+    from .workers import load_worker_endpoints
+
+    try:
+        endpoints = load_worker_endpoints(
+            assignments, dtype_name, cache_activations=cache_activations
+        )
+        digests = {ep: read_manifest(path)["digest"] for ep, path in assignments.items()}
+        conn.send(("ready", digests))
+    except BaseException as error:  # pragma: no cover - load failure path
+        try:
+            conn.send(("load-error", f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    while True:
+        try:
+            if not conn.poll(heartbeat_s):
+                conn.send(("hb",))
+                continue
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        op = message[0]
+        if op == "stop":
+            return
+        if op == "stall":
+            # Chaos hook (tests/CLI only): wedge the serve loop without
+            # killing the process — heartbeats stop, the watchdog must
+            # notice.  A real wedge (runaway batch, deadlock) looks
+            # exactly like this from the parent's side.
+            time.sleep(float(message[1]))
+            continue
+        if op == "infer":
+            _, task_id, endpoint_name, payloads = message
+            try:
+                results = endpoints[endpoint_name].infer_batch(payloads)
+            except BaseException as error:
+                conn.send(("error", task_id, f"{type(error).__name__}: {error}"))
+                continue
+            conn.send(("result", task_id, results))
+
+
+# ----------------------------------------------------------------------
+# Parent-side node record
+# ----------------------------------------------------------------------
+
+
+class ArtifactPin:
+    """One endpoint's pinned artifact: path + expected content digest."""
+
+    __slots__ = ("path", "digest")
+
+    def __init__(self, path: PathLike, digest: str) -> None:
+        self.path = Path(path)
+        self.digest = digest
+
+    def __repr__(self) -> str:
+        return f"ArtifactPin({self.path.name!r}, {self.digest[:12]!r})"
+
+
+class WorkerNode:
+    """Parent-side record of one named worker process."""
+
+    def __init__(self, name: str, assignments: Dict[str, ArtifactPin]) -> None:
+        self.name = name
+        self.assignments = assignments
+        self.process = None
+        self.conn = None
+        self.state = "stopped"
+        self.busy = False
+        self.last_seen = 0.0
+        self.started_at = 0.0
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.backoff_until = 0.0
+        self.last_error: Optional[str] = None
+        self.send_lock = threading.Lock()
+        #: per-endpoint service seconds (bounded) — the health/latency
+        #: trail ``status()`` summarizes and the admin plane will reuse.
+        self.service_times: Dict[str, deque] = {}
+        self.batches_served = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def record_service(self, endpoint: str, seconds: float) -> None:
+        self.service_times.setdefault(endpoint, deque(maxlen=256)).append(seconds)
+        self.batches_served += 1
+
+    def __repr__(self) -> str:
+        return f"WorkerNode({self.name!r}, state={self.state!r}, pid={self.pid})"
+
+
+class RouteState:
+    """Per-endpoint routing: the digest pointer plus any staged canary."""
+
+    def __init__(self, endpoint: str, current: ArtifactPin, previous: Optional[str]) -> None:
+        self.endpoint = endpoint
+        self.current = current
+        self.previous = previous  # digest only; path resolves via registry
+        self.canary: Optional[ArtifactPin] = None
+        self.canary_fraction = 0.0
+        self.canary_node: Optional[str] = None
+        self.served = 0
+        self.canary_served = 0
+        self.canary_matches = 0
+        self.canary_mismatches = 0
+        self.rr = 0  # round-robin cursor
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+
+class ServeSupervisor:
+    """Named worker nodes + watchdog + routing + rolling deploys.
+
+    ``assignments`` maps endpoint name → artifact path; every node loads
+    every endpoint (uniform fleet), each pinned to the artifact's content
+    digest.  ``registry`` (optional) enables deploy-by-ref and persists
+    route pointers across runs.
+    """
+
+    def __init__(
+        self,
+        assignments: Mapping[str, PathLike],
+        nodes: int = 2,
+        node_names: Optional[Sequence[str]] = None,
+        registry=None,
+        heartbeat_interval_s: float = 0.05,
+        heartbeat_timeout_s: float = 1.0,
+        monitor_poll_s: float = 0.02,
+        batch_timeout_s: float = 60.0,
+        start_timeout_s: float = 60.0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        circuit_threshold: int = 5,
+        max_replays: int = 8,
+        cache_activations: object = False,
+    ) -> None:
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if not assignments:
+            raise ValueError("at least one endpoint artifact is required")
+        from ..artifacts import read_manifest
+        from ..tensor.tensor import default_dtype
+
+        names = list(node_names) if node_names else [f"node-{i}" for i in range(nodes)]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate node names: {names}")
+        self.registry = registry
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.monitor_poll_s = monitor_poll_s
+        self.batch_timeout_s = batch_timeout_s
+        self.start_timeout_s = start_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.circuit_threshold = circuit_threshold
+        self.max_replays = max_replays
+        self.cache_activations = cache_activations
+        self._dtype_name = default_dtype().__name__
+        self._ctx = multiprocessing.get_context()
+
+        pins: Dict[str, ArtifactPin] = {}
+        self._routes: Dict[str, RouteState] = {}
+        for endpoint, path in assignments.items():
+            manifest = read_manifest(path)
+            pins[endpoint] = ArtifactPin(path, manifest["digest"])
+            previous = None
+            if registry is not None:
+                pointer = registry.pointer(endpoint)
+                if pointer is not None:
+                    previous = pointer.get("previous")
+            self._routes[endpoint] = RouteState(endpoint, pins[endpoint], previous)
+        self._nodes: Dict[str, WorkerNode] = {
+            name: WorkerNode(name, dict(pins)) for name in names
+        }
+        self._cond = threading.Condition()
+        self._next_task = 0
+        self._running = False
+        self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, wait_ready: bool = True) -> "ServeSupervisor":
+        with self._cond:
+            if self._running:
+                raise RuntimeError("supervisor already running")
+            self._running = True
+            for node in self._nodes.values():
+                self._spawn(node)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-supervisor", daemon=True
+        )
+        self._monitor.start()
+        if wait_ready:
+            self.wait_ready()
+        return self
+
+    def wait_ready(self, timeout: Optional[float] = None) -> None:
+        """Block until every non-broken node reports ready."""
+        deadline = time.monotonic() + (timeout or self.start_timeout_s)
+        with self._cond:
+            while True:
+                states = {n.state for n in self._nodes.values()}
+                if states <= {"ready", "broken", "stopped"}:
+                    if "ready" not in states:
+                        raise FleetUnavailableError("no node came up ready")
+                    return
+                if time.monotonic() > deadline:
+                    raise SupervisorError(f"fleet not ready before timeout: {states}")
+                self._cond.wait(0.05)
+
+    def stop(self) -> None:
+        with self._cond:
+            self._running = False
+            nodes = list(self._nodes.values())
+            self._cond.notify_all()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+        for node in nodes:
+            self._stop_node_process(node)
+        with self._cond:
+            for node in nodes:
+                if node.state != "broken":
+                    node.state = "stopped"
+            self._cond.notify_all()
+
+    def __enter__(self) -> "ServeSupervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Spawning and failure handling (callers hold self._cond unless noted)
+    # ------------------------------------------------------------------
+    def _spawn(self, node: WorkerNode) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_node_main,
+            name=f"serve-{node.name}",
+            args=(
+                child_conn,
+                node.name,
+                {ep: str(pin.path) for ep, pin in node.assignments.items()},
+                self._dtype_name,
+                self.heartbeat_interval_s,
+                self.cache_activations,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # Close the parent's copy of the child end: the child must hold
+        # the only handle, so its death (even SIGKILL) surfaces as an
+        # immediate EOF on our end instead of a silent forever-poll.
+        child_conn.close()
+        node.process = process
+        node.conn = parent_conn
+        node.state = "starting"
+        node.busy = False
+        node.started_at = time.monotonic()
+        node.last_seen = node.started_at
+
+    def _stop_node_process(self, node: WorkerNode) -> None:
+        """Politely stop a node's process; escalate to kill (no lock needed)."""
+        process, conn = node.process, node.conn
+        if process is None:
+            return
+        if process.is_alive():
+            try:
+                with node.send_lock:
+                    conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        if conn is not None:
+            conn.close()
+
+    def _mark_failed(self, node: WorkerNode, reason: str) -> None:
+        """Record a node failure and arm the respawn backoff / breaker."""
+        if node.state in ("stopped", "broken", "failed"):
+            return
+        node.state = "failed"
+        node.busy = False
+        node.consecutive_failures += 1
+        node.last_error = reason
+        backoff = min(
+            self.backoff_base_s * (2.0 ** (node.consecutive_failures - 1)),
+            self.backoff_max_s,
+        )
+        node.backoff_until = time.monotonic() + backoff
+        if node.consecutive_failures >= self.circuit_threshold:
+            node.state = "broken"
+        process = node.process
+        if process is not None and process.is_alive():
+            process.kill()
+        self._cond.notify_all()
+
+    def _drain_idle_conn(self, node: WorkerNode) -> None:
+        """Pull heartbeats (and stale replies) off an idle node's pipe."""
+        conn = node.conn
+        try:
+            while conn.poll(0):
+                message = conn.recv()
+                node.last_seen = time.monotonic()
+                if message[0] == "load-error":
+                    self._mark_failed(node, message[1])
+                    return
+        except (EOFError, OSError):
+            self._mark_failed(node, "pipe closed")
+
+    def _monitor_loop(self) -> None:
+        """The watchdog: liveness, heartbeat expiry, ready waits, respawns."""
+        while True:
+            with self._cond:
+                if not self._running:
+                    return
+                now = time.monotonic()
+                for node in self._nodes.values():
+                    if node.state == "starting":
+                        self._check_starting(node, now)
+                    elif node.state in ("ready", "draining") and not node.busy:
+                        self._check_idle(node, now)
+                    if node.state == "failed" and now >= node.backoff_until:
+                        old = node.process
+                        node.restarts += 1
+                        self._spawn(node)
+                        if old is not None:
+                            old.join(timeout=0)
+                self._cond.wait(self.monitor_poll_s)
+
+    def _check_starting(self, node: WorkerNode, now: float) -> None:
+        conn = node.conn
+        try:
+            while conn.poll(0):
+                message = conn.recv()
+                node.last_seen = now
+                if message[0] == "ready":
+                    digests = message[1]
+                    expected = {ep: pin.digest for ep, pin in node.assignments.items()}
+                    if digests != expected:
+                        self._mark_failed(
+                            node, f"digest mismatch: loaded {digests}, pinned {expected}"
+                        )
+                        return
+                    node.state = "ready"
+                    self._cond.notify_all()
+                    return
+                if message[0] == "load-error":
+                    self._mark_failed(node, message[1])
+                    return
+        except (EOFError, OSError):
+            self._mark_failed(node, "died during startup")
+            return
+        if not node.process.is_alive():
+            self._mark_failed(node, "died during startup")
+        elif now - node.started_at > self.start_timeout_s:
+            self._mark_failed(node, "startup timed out")
+
+    def _check_idle(self, node: WorkerNode, now: float) -> None:
+        self._drain_idle_conn(node)
+        if node.state not in ("ready", "draining"):
+            return
+        if not node.process.is_alive():
+            self._mark_failed(node, "process died while idle")
+        elif now - node.last_seen > self.heartbeat_timeout_s:
+            self._mark_failed(
+                node,
+                f"heartbeat expired ({now - node.last_seen:.2f}s > "
+                f"{self.heartbeat_timeout_s:.2f}s)",
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch: claim a node, run, replay on failure
+    # ------------------------------------------------------------------
+    def dispatch(self, endpoint: str, payloads: List[np.ndarray]) -> list:
+        """Serve one coalesced batch; replays transparently on node loss.
+
+        The entry point :func:`supervised_service` plugs into
+        :class:`~repro.serve.service.InferenceService` as its dispatcher.
+        Thread-safe; each claimed node serves one batch at a time.
+        """
+        replays = 0
+        while True:
+            node, role = self._claim_node(endpoint)
+            try:
+                results = self._run_on_node(node, endpoint, payloads)
+            except NodeFailure as failure:
+                with self._cond:
+                    self._mark_failed(node, str(failure))
+                replays += 1
+                if replays > self.max_replays:
+                    raise FleetUnavailableError(
+                        f"batch for {endpoint!r} failed after {replays} replays: {failure}"
+                    ) from failure
+                continue  # re-queue: identical integer program, identical bits
+            except BaseException:
+                self._release_node(node, ok=False)
+                raise
+            if role == "canary":
+                return self._verify_canary(node, endpoint, payloads, results)
+            self._release_node(node, ok=True)
+            return results
+
+    def _eligible(self, node: WorkerNode, endpoint: str, digest: str) -> bool:
+        pin = node.assignments.get(endpoint)
+        return (
+            pin is not None
+            and pin.digest == digest
+            and node.state == "ready"
+            and not node.busy
+        )
+
+    def _claim_node(
+        self, endpoint: str, allow_canary: bool = True, exclude: Tuple[str, ...] = ()
+    ) -> Tuple[WorkerNode, str]:
+        with self._cond:
+            if endpoint not in self._routes:
+                raise KeyError(f"no route for endpoint {endpoint!r}")
+            while True:
+                if not self._running:
+                    raise SupervisorError("supervisor is stopped")
+                route = self._routes[endpoint]
+                role = "primary"
+                pool = [
+                    n
+                    for n in self._nodes.values()
+                    if n.name not in exclude
+                    and self._eligible(n, endpoint, route.current.digest)
+                ]
+                if (
+                    allow_canary
+                    and route.canary is not None
+                    and route.canary_served < route.canary_fraction * (route.served + 1)
+                ):
+                    canary_pool = [
+                        n
+                        for n in self._nodes.values()
+                        if n.name not in exclude
+                        and self._eligible(n, endpoint, route.canary.digest)
+                    ]
+                    if canary_pool:
+                        pool, role = canary_pool, "canary"
+                if pool:
+                    node = pool[route.rr % len(pool)]
+                    route.rr += 1
+                    route.served += 1
+                    if role == "canary":
+                        route.canary_served += 1
+                    node.busy = True
+                    return node, role
+                viable = [
+                    n
+                    for n in self._nodes.values()
+                    if n.name not in exclude
+                    and n.state in ("starting", "ready", "failed")
+                    and any(
+                        pin.digest in (route.current.digest, getattr(route.canary, "digest", None))
+                        for ep, pin in n.assignments.items()
+                        if ep == endpoint
+                    )
+                ]
+                if not viable:
+                    raise FleetUnavailableError(
+                        f"no live or respawnable node serves {endpoint!r} "
+                        f"(states: { {n.name: n.state for n in self._nodes.values()} })"
+                    )
+                self._cond.wait(0.05)
+
+    def _release_node(self, node: WorkerNode, ok: bool) -> None:
+        with self._cond:
+            node.busy = False
+            if ok:
+                node.consecutive_failures = 0
+            self._cond.notify_all()
+
+    def _run_on_node(
+        self, node: WorkerNode, endpoint: str, payloads: List[np.ndarray]
+    ) -> list:
+        """One batch on one claimed node; raises :class:`NodeFailure` on loss.
+
+        While a node is busy, its claiming thread is the only pipe
+        reader (the watchdog skips busy nodes), so heartbeats emitted
+        mid-wait are consumed here and still refresh ``last_seen``.
+        """
+        with self._cond:
+            task_id = self._next_task
+            self._next_task += 1
+        conn = node.conn
+        try:
+            with node.send_lock:
+                conn.send(("infer", task_id, endpoint, payloads))
+        except (BrokenPipeError, OSError) as error:
+            raise NodeFailure(f"send failed: {error}") from error
+        deadline = time.monotonic() + self.batch_timeout_s
+        started = time.monotonic()
+        while True:
+            try:
+                if not conn.poll(0.05):
+                    if not node.process.is_alive():
+                        raise NodeFailure("process died mid-batch")
+                    if time.monotonic() > deadline:
+                        raise NodeFailure(
+                            f"batch timed out after {self.batch_timeout_s:.1f}s"
+                        )
+                    continue
+                message = conn.recv()
+            except (EOFError, OSError) as error:
+                raise NodeFailure(f"pipe closed mid-batch: {error}") from error
+            node.last_seen = time.monotonic()
+            op = message[0]
+            if op == "hb":
+                continue
+            if op == "result" and message[1] == task_id:
+                node.record_service(endpoint, time.monotonic() - started)
+                return message[2]
+            if op == "error" and message[1] == task_id:
+                # An application error (bad payload reached a worker) is
+                # not a node failure: the node stays up, the batch fails.
+                self._release_node(node, ok=True)
+                raise SupervisorError(f"endpoint {endpoint!r} raised: {message[2]}")
+
+    def _verify_canary(
+        self,
+        canary_node: WorkerNode,
+        endpoint: str,
+        payloads: List[np.ndarray],
+        canary_results: list,
+    ) -> list:
+        """Mirror a canary-served batch on an incumbent and compare digests.
+
+        The caller always receives incumbent-equivalent bits: on a match
+        the canary results *are* byte-identical, on a mismatch the
+        incumbent's results are returned and the canary stage is rolled
+        back — a bad deploy can never leak divergent responses.
+        """
+        self._release_node(canary_node, ok=True)
+        mirror_node, _ = self._claim_node(
+            endpoint, allow_canary=False, exclude=(canary_node.name,)
+        )
+        try:
+            mirror_results = self._run_on_node(mirror_node, endpoint, payloads)
+        except NodeFailure as failure:
+            with self._cond:
+                self._mark_failed(mirror_node, str(failure))
+            return self.dispatch(endpoint, payloads)  # replay path, no verdict
+        self._release_node(mirror_node, ok=True)
+        with self._cond:
+            route = self._routes.get(endpoint)
+            matched = response_digest(canary_results) == response_digest(mirror_results)
+            if route is not None and route.canary is not None:
+                if matched:
+                    route.canary_matches += 1
+                else:
+                    route.canary_mismatches += 1
+        if not matched:
+            self.rollback(endpoint)
+            return mirror_results
+        return canary_results
+
+    # ------------------------------------------------------------------
+    # Node admin: drain / restart / reset
+    # ------------------------------------------------------------------
+    def drain_node(self, name: str, timeout: float = 30.0) -> None:
+        """Stop routing to a node, wait out its in-flight batch, stop it."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            node = self._node(name)
+            if node.state not in ("ready", "starting"):
+                raise SupervisorError(f"cannot drain node in state {node.state!r}")
+            node.state = "draining"
+            while node.busy:
+                if time.monotonic() > deadline:
+                    raise SupervisorError(f"drain of {name!r} timed out")
+                self._cond.wait(0.05)
+        self._stop_node_process(node)
+        with self._cond:
+            if node.state == "draining":
+                node.state = "stopped"
+            self._cond.notify_all()
+
+    def restart_node(
+        self, name: str, repin: Optional[Mapping[str, ArtifactPin]] = None
+    ) -> None:
+        """Respawn a stopped/drained node, optionally on new artifact pins."""
+        with self._cond:
+            node = self._node(name)
+            if node.state not in ("stopped", "broken", "failed"):
+                raise SupervisorError(f"cannot restart node in state {node.state!r}")
+            if repin:
+                node.assignments = {**node.assignments, **dict(repin)}
+            node.consecutive_failures = 0
+            node.restarts += 1
+            self._spawn(node)
+
+    def reset_node(self, name: str) -> None:
+        """Clear a tripped circuit breaker and respawn the node."""
+        with self._cond:
+            node = self._node(name)
+            if node.state != "broken":
+                raise SupervisorError(f"node {name!r} is {node.state!r}, not broken")
+            node.state = "failed"
+            node.consecutive_failures = 0
+            node.backoff_until = 0.0
+            self._cond.notify_all()
+
+    def stall_node(self, name: str, seconds: float) -> None:
+        """Chaos hook: wedge a node's serve loop (heartbeats stop)."""
+        with self._cond:
+            node = self._node(name)
+            if node.state != "ready" or node.busy:
+                raise SupervisorError(f"can only stall an idle ready node, {name!r} is busy/{node.state}")
+        with node.send_lock:
+            node.conn.send(("stall", float(seconds)))
+
+    def kill_node(self, name: str) -> int:
+        """Chaos hook: SIGKILL a node's process outright; returns the pid."""
+        node = self._node(name)
+        pid = node.pid
+        if pid is None:
+            raise SupervisorError(f"node {name!r} has no process")
+        os.kill(pid, 9)
+        return pid
+
+    def _node(self, name: str) -> WorkerNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown node {name!r}; fleet: {sorted(self._nodes)}"
+            ) from None
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def busy_nodes(self) -> List[str]:
+        with self._cond:
+            return [n.name for n in self._nodes.values() if n.busy]
+
+    def artifact_paths(self) -> Dict[str, Path]:
+        """endpoint → current artifact path (the stubs' source of truth)."""
+        return {ep: route.current.path for ep, route in self._routes.items()}
+
+    # ------------------------------------------------------------------
+    # Rolling deploys
+    # ------------------------------------------------------------------
+    def _resolve_pin(self, endpoint: str, ref: PathLike) -> ArtifactPin:
+        """An :class:`ArtifactPin` for a digest ref (via registry) or path."""
+        from ..artifacts import read_manifest
+
+        path = Path(ref)
+        if not (path / "manifest.json").exists() and self.registry is not None:
+            path = self.registry.resolve(str(ref))
+        manifest = read_manifest(path)
+        meta = manifest["meta"]
+        route = self._routes[endpoint]
+        current_meta = read_manifest(route.current.path)["meta"]
+        for field in ("family", "scenario", "request_shape"):
+            if meta.get(field) != current_meta.get(field):
+                raise SupervisorError(
+                    f"artifact {manifest['digest'][:12]} is not deployable to "
+                    f"{endpoint!r}: {field} {meta.get(field)!r} != "
+                    f"{current_meta.get(field)!r}"
+                )
+        return ArtifactPin(path, manifest["digest"])
+
+    def stage_canary(
+        self, endpoint: str, ref: PathLike, canary_fraction: float = 0.25
+    ) -> str:
+        """Restart one node on the new digest and start canary routing.
+
+        Returns the canary node's name.  Live traffic starts flowing to
+        the canary at ``canary_fraction`` (deterministic token-bucket
+        split), every canary batch mirrored against an incumbent.
+        """
+        if not 0.0 < canary_fraction <= 1.0:
+            raise ValueError(f"canary_fraction must be in (0, 1], got {canary_fraction}")
+        pin = self._resolve_pin(endpoint, ref)
+        route = self._routes[endpoint]
+        if route.canary is not None:
+            raise SupervisorError(
+                f"a canary for {endpoint!r} is already staged ({route.canary.digest[:12]})"
+            )
+        with self._cond:
+            ready = [n.name for n in self._nodes.values() if n.state == "ready"]
+        if len(ready) < 2:
+            raise SupervisorError(
+                f"rolling deploy needs >= 2 ready nodes, have {len(ready)}"
+            )
+        canary_name = ready[0]
+        self.drain_node(canary_name)
+        self.restart_node(canary_name, repin={endpoint: pin})
+        self.wait_ready()
+        with self._cond:
+            route.canary = pin
+            route.canary_fraction = canary_fraction
+            route.canary_node = canary_name
+            route.canary_served = 0
+            route.canary_matches = 0
+            route.canary_mismatches = 0
+        return canary_name
+
+    def run_canary_probes(
+        self, endpoint: str, batches: int = 4, seed: int = 0
+    ) -> Dict[str, int]:
+        """Seeded synthetic batches through canary AND incumbent; compare.
+
+        Raises :class:`CanaryMismatchError` (after rolling the canary
+        back) on the first digest divergence.
+        """
+        from .workers import ArtifactEndpointStub
+
+        route = self._routes[endpoint]
+        if route.canary is None:
+            raise SupervisorError(f"no canary staged for {endpoint!r}")
+        stub = ArtifactEndpointStub(endpoint, route.canary.path)
+        rng = np.random.default_rng(seed)
+        matches = 0
+        for _ in range(batches):
+            payloads = [stub.request_payload(stub.synth_request(rng))]
+            canary_node = self._claim_pinned(endpoint, route.canary.digest)
+            try:
+                new_results = self._run_on_node(canary_node, endpoint, payloads)
+            finally:
+                self._release_node(canary_node, ok=True)
+            incumbent = self._claim_pinned(endpoint, route.current.digest)
+            try:
+                old_results = self._run_on_node(incumbent, endpoint, payloads)
+            finally:
+                self._release_node(incumbent, ok=True)
+            if response_digest(new_results) != response_digest(old_results):
+                canary_digest = route.canary.digest
+                with self._cond:
+                    route.canary_mismatches += 1
+                self.rollback(endpoint)
+                raise CanaryMismatchError(
+                    f"canary {canary_digest[:12]} diverged from incumbent "
+                    f"{route.current.digest[:12]} on {endpoint!r} after "
+                    f"{matches} matching probes"
+                )
+            matches += 1
+            with self._cond:
+                route.canary_matches += 1
+        return {"probes": batches, "matches": matches, "mismatches": 0}
+
+    def _claim_pinned(self, endpoint: str, digest: str) -> WorkerNode:
+        """Claim any ready node whose pin for ``endpoint`` is ``digest``."""
+        deadline = time.monotonic() + self.batch_timeout_s
+        with self._cond:
+            while True:
+                pool = [
+                    n for n in self._nodes.values() if self._eligible(n, endpoint, digest)
+                ]
+                if pool:
+                    pool[0].busy = True
+                    return pool[0]
+                if time.monotonic() > deadline:
+                    raise FleetUnavailableError(
+                        f"no ready node pinned to {digest[:12]} for {endpoint!r}"
+                    )
+                self._cond.wait(0.05)
+
+    def promote(self, endpoint: str) -> Dict[str, object]:
+        """Roll every remaining node to the canary digest; swap pointers."""
+        route = self._routes[endpoint]
+        if route.canary is None:
+            raise SupervisorError(f"no canary staged for {endpoint!r}")
+        new_pin = route.canary
+        rolled = []
+        for name in list(self._nodes):
+            node = self._nodes[name]
+            if node.assignments.get(endpoint, new_pin).digest == new_pin.digest:
+                continue
+            self.drain_node(name)
+            self.restart_node(name, repin={endpoint: new_pin})
+            self.wait_ready()
+            rolled.append(name)
+        with self._cond:
+            route.previous = route.current.digest
+            route.current = new_pin
+            route.canary = None
+            route.canary_fraction = 0.0
+            route.canary_node = None
+        if self.registry is not None:
+            self.registry.set_pointer(endpoint, new_pin.digest)
+        return {
+            "endpoint": endpoint,
+            "digest": new_pin.digest,
+            "previous": route.previous,
+            "rolled_nodes": rolled,
+            "canary_matches": route.canary_matches,
+            "canary_mismatches": route.canary_mismatches,
+        }
+
+    def deploy(
+        self,
+        endpoint: str,
+        ref: PathLike,
+        canary_fraction: float = 0.25,
+        canary_batches: int = 4,
+        seed: int = 0,
+    ) -> Dict[str, object]:
+        """The full rolling deploy: stage → probe → promote.
+
+        Drains one node onto the new digest, compares ``canary_batches``
+        seeded probe batches (plus whatever live traffic the canary
+        fraction routes meanwhile) digest-for-digest against the
+        incumbent, then rolls the rest of the fleet one node at a time.
+        Any mismatch rolls the canary back and raises
+        :class:`CanaryMismatchError` — the incumbent never stopped
+        serving, so the failed deploy is invisible to callers.
+        """
+        canary_name = self.stage_canary(endpoint, ref, canary_fraction)
+        probe = self.run_canary_probes(endpoint, batches=canary_batches, seed=seed)
+        report = self.promote(endpoint)
+        report["canary_node"] = canary_name
+        report["probes"] = probe["probes"]
+        return report
+
+    def rollback(self, endpoint: str) -> Dict[str, object]:
+        """Instant rollback: staged canary is unstaged, else pointer swap."""
+        route = self._routes[endpoint]
+        with self._cond:
+            staged = route.canary is not None
+            canary_pin = route.canary
+            canary_node = route.canary_node
+            route.canary = None
+            route.canary_fraction = 0.0
+            route.canary_node = None
+        if staged:
+            # Un-stage: put the canary node back on the incumbent digest.
+            for name, node in self._nodes.items():
+                if canary_node is not None and name != canary_node:
+                    continue
+                if node.assignments.get(endpoint) is None:
+                    continue
+                if canary_pin and node.assignments[endpoint].digest != canary_pin.digest:
+                    continue
+                try:
+                    self.drain_node(name)
+                except SupervisorError:
+                    pass  # already failed/stopped; restart_node repins anyway
+                self.restart_node(name, repin={endpoint: route.current})
+            self.wait_ready()
+            return {"endpoint": endpoint, "unstaged": True, "digest": route.current.digest}
+        if route.previous is None:
+            raise SupervisorError(f"no previous digest recorded for {endpoint!r}")
+        if self.registry is None:
+            raise SupervisorError("rollback across digests needs a registry")
+        previous_path = self.registry.resolve(route.previous)
+        pin = ArtifactPin(previous_path, route.previous)
+        for name in list(self._nodes):
+            node = self._nodes[name]
+            if node.assignments.get(endpoint, pin).digest == pin.digest:
+                continue
+            self.drain_node(name)
+            self.restart_node(name, repin={endpoint: pin})
+            self.wait_ready()
+        with self._cond:
+            route.previous = route.current.digest
+            route.current = pin
+        self.registry.swap_pointer(endpoint)
+        return {"endpoint": endpoint, "unstaged": False, "digest": pin.digest}
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Fleet health: per-node state + per-endpoint latency and routes."""
+        with self._cond:
+            now = time.monotonic()
+            nodes = {}
+            for node in self._nodes.values():
+                latency = {}
+                for endpoint, times in node.service_times.items():
+                    values = list(times)
+                    latency[endpoint] = {
+                        "batches": len(values),
+                        "p50_s": percentile(values, 50),
+                        "p95_s": percentile(values, 95),
+                    }
+                nodes[node.name] = {
+                    "state": node.state,
+                    "pid": node.pid,
+                    "busy": node.busy,
+                    "restarts": node.restarts,
+                    "consecutive_failures": node.consecutive_failures,
+                    "last_seen_age_s": max(0.0, now - node.last_seen),
+                    "last_error": node.last_error,
+                    "batches_served": node.batches_served,
+                    "endpoints": {
+                        ep: pin.digest[:12] for ep, pin in node.assignments.items()
+                    },
+                    "latency": latency,
+                }
+            routes = {}
+            for endpoint, route in self._routes.items():
+                routes[endpoint] = {
+                    "current": route.current.digest,
+                    "previous": route.previous,
+                    "canary": route.canary.digest if route.canary else None,
+                    "canary_node": route.canary_node,
+                    "canary_fraction": route.canary_fraction,
+                    "served": route.served,
+                    "canary_served": route.canary_served,
+                    "canary_matches": route.canary_matches,
+                    "canary_mismatches": route.canary_mismatches,
+                }
+            return {"running": self._running, "nodes": nodes, "routes": routes}
+
+    def __repr__(self) -> str:
+        with self._cond:
+            states = {n.name: n.state for n in self._nodes.values()}
+        return f"ServeSupervisor(nodes={states}, endpoints={sorted(self._routes)})"
+
+
+# ----------------------------------------------------------------------
+# Wiring: supervisor-backed InferenceService, registry boot
+# ----------------------------------------------------------------------
+
+
+def supervisor_from_registry(
+    families: Sequence[str] = ("bert", "llama", "segformer"),
+    registry=None,
+    nodes: int = 2,
+    seed: int = 0,
+    gs: int = 2,
+    **kwargs,
+) -> ServeSupervisor:
+    """A fleet over registry pointers, compiling whatever is missing.
+
+    Each family routes to its registry pointer when one is set (so a
+    promoted deploy survives restarts); otherwise the artifact is
+    compiled/located and the pointer initialized — deploys from here on
+    are pointer swaps.
+    """
+    from ..artifacts import ArtifactRegistry, ensure_artifact, read_manifest
+
+    registry = registry if registry is not None else ArtifactRegistry()
+    assignments: Dict[str, Path] = {}
+    for family in families:
+        pointer = registry.pointer(family)
+        if pointer is not None:
+            try:
+                assignments[family] = registry.resolve(pointer["current"])
+                continue
+            except KeyError:
+                pass  # pointer target was gc'd/removed; fall through
+        path = ensure_artifact(registry, family, seed=seed, gs=gs)
+        registry.set_pointer(family, read_manifest(path)["digest"])
+        assignments[family] = path
+    return ServeSupervisor(assignments, nodes=nodes, registry=registry, **kwargs)
+
+
+def supervised_service(
+    supervisor_or_assignments,
+    policy: Optional[BatchPolicy] = None,
+    nodes: int = 2,
+    dispatch_threads: Optional[int] = None,
+    shutdown_supervisor: Optional[bool] = None,
+    **service_kwargs,
+) -> InferenceService:
+    """An :class:`InferenceService` dispatching through a supervised fleet.
+
+    Accepts either a running/unstarted :class:`ServeSupervisor` or a
+    plain ``{endpoint: artifact path}`` mapping (a fleet of ``nodes``
+    workers is built and owned by the service).  The parent keeps only
+    manifest-backed stubs; every coalesced batch routes through
+    :meth:`ServeSupervisor.dispatch`, so crashed workers replay instead
+    of failing requests.
+    """
+    from .workers import stub_registry
+
+    if isinstance(supervisor_or_assignments, ServeSupervisor):
+        supervisor = supervisor_or_assignments
+        owns = False if shutdown_supervisor is None else shutdown_supervisor
+    else:
+        supervisor = ServeSupervisor(supervisor_or_assignments, nodes=nodes)
+        owns = True if shutdown_supervisor is None else shutdown_supervisor
+    if not supervisor._running:
+        supervisor.start()
+    service = InferenceService(
+        stub_registry(supervisor.artifact_paths()),
+        policy=policy,
+        workers=dispatch_threads or len(supervisor.node_names()),
+        dispatcher=supervisor.dispatch,
+        **service_kwargs,
+    )
+    service.supervisor = supervisor
+    if owns:
+        service.on_shutdown(supervisor.stop)
+    return service
+
+
+def format_status(status: Dict[str, object]) -> str:
+    """Human-readable fleet status (what ``serve-admin status`` prints)."""
+    lines = [f"fleet: {'running' if status['running'] else 'stopped'}"]
+    lines.append("nodes:")
+    for name, node in status["nodes"].items():
+        lines.append(
+            f"  {name:<10} {node['state']:<9} pid={node['pid']} "
+            f"restarts={node['restarts']} failures={node['consecutive_failures']} "
+            f"served={node['batches_served']} "
+            f"hb_age={node['last_seen_age_s'] * 1e3:6.0f} ms"
+        )
+        for endpoint, digest in node["endpoints"].items():
+            latency = node["latency"].get(endpoint)
+            tail = (
+                f" p50={latency['p50_s'] * 1e3:6.1f} ms p95={latency['p95_s'] * 1e3:6.1f} ms"
+                if latency
+                else ""
+            )
+            lines.append(f"    {endpoint:<12} @{digest}{tail}")
+        if node["last_error"]:
+            lines.append(f"    last error: {node['last_error']}")
+    lines.append("routes:")
+    for endpoint, route in status["routes"].items():
+        lines.append(
+            f"  {endpoint:<12} current={route['current'][:12]} "
+            f"previous={(route['previous'] or '-')[:12]} served={route['served']}"
+        )
+        if route["canary"]:
+            lines.append(
+                f"    canary {route['canary'][:12]} on {route['canary_node']} "
+                f"fraction={route['canary_fraction']:.2f} "
+                f"matches={route['canary_matches']} mismatches={route['canary_mismatches']}"
+            )
+    return "\n".join(lines)
+
+
+#: Re-exported for the CLI / tests that want the raw hook.
+__all__ = [
+    "ArtifactPin",
+    "CanaryMismatchError",
+    "FleetUnavailableError",
+    "NodeFailure",
+    "RouteState",
+    "ServeSupervisor",
+    "SupervisorError",
+    "WorkerNode",
+    "format_status",
+    "response_digest",
+    "supervised_service",
+    "supervisor_from_registry",
+]

@@ -51,21 +51,41 @@ PathLike = Union[str, Path]
 _WORKER_ENDPOINTS: Dict[str, object] = {}
 
 
+def load_worker_endpoints(
+    artifact_paths: Mapping[str, PathLike],
+    dtype_name: str,
+    cache_activations: object = False,
+) -> Dict[str, object]:
+    """Replicate dtype config and load every artifact into live endpoints.
+
+    The one worker-side bootstrap, shared by the anonymous pool
+    initializer below and the supervised node loop
+    (:mod:`repro.serve.supervisor`): set the process-global tensor dtype
+    first (identical under fork, required under spawn), then reconstruct
+    each endpoint from its artifact.
+    """
+    from ..artifacts import load_endpoint
+    from ..tensor.tensor import set_default_dtype
+
+    set_default_dtype(dtype_name)
+    return {
+        name: load_endpoint(path, name=name, cache_activations=cache_activations)
+        for name, path in artifact_paths.items()
+    }
+
+
 def _init_worker(
     artifact_paths: Dict[str, str],
     dtype_name: str,
     cache_activations: object,
     barrier=None,
 ) -> None:
-    from ..artifacts import load_endpoint
-    from ..tensor.tensor import set_default_dtype
-
-    set_default_dtype(dtype_name)
     _WORKER_ENDPOINTS.clear()
-    for name, path in artifact_paths.items():
-        _WORKER_ENDPOINTS[name] = load_endpoint(
-            path, name=name, cache_activations=cache_activations
+    _WORKER_ENDPOINTS.update(
+        load_worker_endpoints(
+            artifact_paths, dtype_name, cache_activations=cache_activations
         )
+    )
     if barrier is not None:
         # All pool processes spawn together on the first submit, and each
         # runs this initializer exactly once — so waiting here means no
@@ -139,6 +159,24 @@ class ArtifactEndpointStub:
         return synth_request(
             self.scenario, self.request_shape, rng, vocab_size=self._vocab_size
         )
+
+    def repoint(self, path: PathLike) -> None:
+        """Re-read manifest facts from a new artifact of the same shape.
+
+        Supports rolling deploys: the supervisor only promotes artifacts
+        whose family/scenario/request shape match the incumbent, so a
+        stub can follow the digest swap without rebuilding the registry.
+        """
+        replacement = ArtifactEndpointStub(self.name, path)
+        if (
+            replacement.scenario != self.scenario
+            or replacement.request_shape != self.request_shape
+        ):
+            raise ValueError(
+                f"cannot repoint {self.name!r}: artifact at {path} has "
+                f"scenario={replacement.scenario!r} shape={replacement.request_shape}"
+            )
+        self.__dict__.update(replacement.__dict__)
 
     def infer_batch(self, payloads):  # pragma: no cover - guard rail
         raise RuntimeError(

@@ -100,3 +100,75 @@ class TestRegistry:
         registry = ArtifactRegistry(tmp_path)
         path = compile_into(registry, "bert", seed=0)
         assert path == registry.path_for(artifacts["bert0"].digest)
+
+
+class TestDeployPointers:
+    def test_set_and_read_pointer(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        record = registry.set_pointer("bert", artifacts["bert0"].digest)
+        assert record == {"current": artifacts["bert0"].digest, "previous": None}
+        assert registry.pointer("bert") == record
+        assert registry.pointers() == {"bert": record}
+        assert registry.resolve_pointer("bert") == registry.path_for(
+            artifacts["bert0"].digest
+        )
+
+    def test_set_pointer_accepts_prefix_and_tracks_previous(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        registry.set_pointer("bert", artifacts["bert0"].digest[:10])
+        record = registry.set_pointer("bert", artifacts["bert1"].digest)
+        assert record["current"] == artifacts["bert1"].digest
+        assert record["previous"] == artifacts["bert0"].digest
+
+    def test_set_pointer_same_digest_is_a_noop(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        registry.set_pointer("bert", artifacts["bert0"].digest)
+        registry.set_pointer("bert", artifacts["bert1"].digest)
+        record = registry.set_pointer("bert", artifacts["bert1"].digest)
+        # Re-promoting the current digest must not clobber the rollback.
+        assert record["previous"] == artifacts["bert0"].digest
+
+    def test_swap_pointer_rolls_back_and_forth(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        registry.set_pointer("bert", artifacts["bert0"].digest)
+        registry.set_pointer("bert", artifacts["bert1"].digest)
+        swapped = registry.swap_pointer("bert")
+        assert swapped["current"] == artifacts["bert0"].digest
+        assert swapped["previous"] == artifacts["bert1"].digest
+        assert registry.swap_pointer("bert")["current"] == artifacts["bert1"].digest
+
+    def test_swap_and_resolve_without_pointer_raise(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        with pytest.raises(KeyError):
+            registry.swap_pointer("bert")
+        with pytest.raises(KeyError):
+            registry.resolve_pointer("bert")
+        registry.set_pointer("bert", artifacts["bert0"].digest)
+        with pytest.raises(KeyError):
+            registry.swap_pointer("bert")  # still no previous
+
+    def test_set_pointer_requires_stored_artifact(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        with pytest.raises(KeyError):
+            registry.set_pointer("bert", "deadbeef")
+
+    def test_gc_protects_pointer_digests(self, tmp_path, artifacts):
+        registry = ArtifactRegistry(tmp_path)
+        registry.put(artifacts["bert0"])
+        registry.put(artifacts["bert1"])
+        registry.set_pointer("bert", artifacts["bert0"].digest)
+        registry.set_pointer("bert", artifacts["bert1"].digest)
+        # keep= asks to drop everything but bert1, but bert0 is the
+        # rollback target (previous) — both survive.
+        removed = registry.gc(keep=[artifacts["bert1"].digest])
+        assert removed == []
+        assert len(registry) == 2
+

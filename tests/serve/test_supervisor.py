@@ -1,0 +1,446 @@
+"""Supervised serve fleet: crash replay, heartbeats, breakers, deploys.
+
+The chaos discipline mirrors the RAE oracle discipline: after every
+failure we inject — SIGKILL mid-batch, wedged serve loop, repeated
+crashes, divergent canary — the served bits must equal the in-process
+oracle's, and no request may be lost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import ArtifactRegistry, compile_endpoint, read_manifest
+from repro.serve import (
+    BatchPolicy,
+    CanaryMismatchError,
+    ServeSupervisor,
+    SupervisorError,
+    build_endpoint,
+    response_digest,
+    supervised_service,
+)
+from repro.serve.supervisor import FleetUnavailableError, format_status
+from repro.serve.types import raw_output as response_bits
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    """A registry holding bert seed-0/seed-1 (same shapes, different bits)
+    and llama seed-0."""
+    registry = ArtifactRegistry(tmp_path_factory.mktemp("supervised-registry"))
+    for family, seed in (("bert", 0), ("bert", 1), ("llama", 0)):
+        registry.put(compile_endpoint(family, seed=seed))
+    return registry
+
+
+def digest_of(registry, family, seed):
+    for record in registry.list():
+        if record["meta"]["family"] == family and record["meta"]["seed"] == seed:
+            return record["digest"]
+    raise KeyError((family, seed))
+
+
+@pytest.fixture(scope="module")
+def artifact_paths(registry):
+    return {
+        "bert": registry.resolve(digest_of(registry, "bert", 0)),
+        "llama": registry.resolve(digest_of(registry, "llama", 0)),
+    }
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def oracle_burst(family, count, seed=0):
+    """(requests, expected raw outputs) from the in-process oracle."""
+    oracle = build_endpoint(family, seed=0)
+    rng = np.random.default_rng(seed)
+    requests = [oracle.synth_request(rng) for _ in range(count)]
+    expected = [response_bits(oracle.serve_one(request)) for request in requests]
+    return requests, expected
+
+
+class TestFleetLifecycle:
+    def test_named_nodes_report_ready_with_pinned_digests(self, artifact_paths, registry):
+        with ServeSupervisor(
+            artifact_paths, node_names=("alpha", "beta")
+        ) as supervisor:
+            status = supervisor.status()
+            assert set(status["nodes"]) == {"alpha", "beta"}
+            expected = digest_of(registry, "bert", 0)[:12]
+            for node in status["nodes"].values():
+                assert node["state"] == "ready"
+                assert node["endpoints"]["bert"] == expected
+            assert "alpha" in format_status(status)
+
+    def test_rejects_bad_configuration(self, artifact_paths):
+        with pytest.raises(ValueError):
+            ServeSupervisor(artifact_paths, nodes=0)
+        with pytest.raises(ValueError):
+            ServeSupervisor({})
+        with pytest.raises(ValueError):
+            ServeSupervisor(artifact_paths, node_names=("a", "a"))
+
+    def test_dispatch_unknown_endpoint(self, artifact_paths):
+        with ServeSupervisor(artifact_paths, nodes=1) as supervisor:
+            with pytest.raises(KeyError):
+                supervisor.dispatch("segformer", [])
+
+    def test_latency_tracked_per_node_and_endpoint(self, artifact_paths):
+        requests, expected = oracle_burst("bert", 2)
+        oracle = build_endpoint("bert")
+        with ServeSupervisor(artifact_paths, nodes=1) as supervisor:
+            payloads = [oracle.request_payload(r) for r in requests]
+            results = supervisor.dispatch("bert", payloads)
+            node = supervisor.status()["nodes"]["node-0"]
+            assert node["batches_served"] == 1
+            assert node["latency"]["bert"]["p50_s"] > 0.0
+        for result, bits in zip(results, expected):
+            assert np.array_equal(response_bits(result), bits)
+
+
+class TestCrashRecovery:
+    def test_kill9_mid_batch_replays_bit_identical(self, artifact_paths):
+        """The chaos property: a worker SIGKILLed while serving loses
+        nothing, and every response matches the in-process oracle."""
+        requests, expected = oracle_burst("bert", 16, seed=3)
+        supervisor = ServeSupervisor(artifact_paths, nodes=2, backoff_base_s=0.01)
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            queue_limit=64,
+            block_on_full=True,
+            shutdown_supervisor=True,
+        ).start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            assert wait_until(lambda: supervisor.busy_nodes(), timeout=30.0)
+            busy = supervisor.busy_nodes()
+            victim = busy[0] if busy else supervisor.node_names()[0]
+            supervisor.kill_node(victim)
+            responses = [future.result(timeout=120.0) for future in futures]
+        finally:
+            metrics = service.drain()
+        assert metrics["completed"] == len(requests)  # zero lost requests
+        assert metrics["failed"] == 0
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+
+    def test_killed_node_respawns_and_serves_again(self, artifact_paths):
+        with ServeSupervisor(
+            artifact_paths, nodes=1, backoff_base_s=0.01
+        ) as supervisor:
+            pid = supervisor.status()["nodes"]["node-0"]["pid"]
+            supervisor.kill_node("node-0")
+            assert wait_until(
+                lambda: supervisor.status()["nodes"]["node-0"]["state"] == "ready"
+                and supervisor.status()["nodes"]["node-0"]["pid"] != pid
+            )
+            node = supervisor.status()["nodes"]["node-0"]
+            assert node["restarts"] == 1
+            assert node["last_error"]  # "pipe closed" or "process died while idle"
+            requests, expected = oracle_burst("bert", 1, seed=5)
+            oracle = build_endpoint("bert")
+            results = supervisor.dispatch(
+                "bert", [oracle.request_payload(requests[0])]
+            )
+            assert np.array_equal(response_bits(results[0]), expected[0])
+
+    def test_heartbeat_expiry_detected_and_restarted(self, artifact_paths):
+        """A wedged (not dead) serve loop stops heartbeating; the watchdog
+        must restart it."""
+        with ServeSupervisor(
+            artifact_paths,
+            nodes=1,
+            heartbeat_interval_s=0.02,
+            heartbeat_timeout_s=0.25,
+            backoff_base_s=0.01,
+        ) as supervisor:
+            supervisor.stall_node("node-0", seconds=2.0)
+            assert wait_until(
+                lambda: supervisor.status()["nodes"]["node-0"]["restarts"] >= 1
+            )
+            assert wait_until(
+                lambda: supervisor.status()["nodes"]["node-0"]["state"] == "ready"
+            )
+            assert "heartbeat expired" in supervisor.status()["nodes"]["node-0"]["last_error"]
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_and_resets(self, artifact_paths):
+        supervisor = ServeSupervisor(
+            artifact_paths,
+            nodes=1,
+            circuit_threshold=3,
+            backoff_base_s=0.01,
+            backoff_max_s=0.05,
+        ).start()
+        try:
+            for failures in range(1, 4):
+                assert wait_until(
+                    lambda: supervisor.status()["nodes"]["node-0"]["state"]
+                    in ("ready", "broken")
+                )
+                if supervisor.status()["nodes"]["node-0"]["state"] == "broken":
+                    break
+                supervisor.kill_node("node-0")
+                # Wait for the watchdog to register THIS failure before the
+                # next kill, or we'd re-kill an already-dead pid.
+                assert wait_until(
+                    lambda: supervisor.status()["nodes"]["node-0"][
+                        "consecutive_failures"
+                    ]
+                    >= failures
+                )
+            assert wait_until(
+                lambda: supervisor.status()["nodes"]["node-0"]["state"] == "broken"
+            )
+            assert (
+                supervisor.status()["nodes"]["node-0"]["consecutive_failures"] >= 3
+            )
+            # A broken single-node fleet cannot serve.
+            with pytest.raises(FleetUnavailableError):
+                supervisor.dispatch("bert", [np.zeros(32, dtype=np.int64)])
+            # Manual reset clears the breaker and respawns.
+            supervisor.reset_node("node-0")
+            assert wait_until(
+                lambda: supervisor.status()["nodes"]["node-0"]["state"] == "ready"
+            )
+            requests, expected = oracle_burst("bert", 1, seed=9)
+            oracle = build_endpoint("bert")
+            results = supervisor.dispatch("bert", [oracle.request_payload(requests[0])])
+            assert np.array_equal(response_bits(results[0]), expected[0])
+        finally:
+            supervisor.stop()
+
+    def test_reset_requires_broken_state(self, artifact_paths):
+        with ServeSupervisor(artifact_paths, nodes=1) as supervisor:
+            with pytest.raises(SupervisorError):
+                supervisor.reset_node("node-0")
+
+    def test_successful_batch_resets_failure_count(self, artifact_paths):
+        with ServeSupervisor(
+            artifact_paths, nodes=1, circuit_threshold=2, backoff_base_s=0.01
+        ) as supervisor:
+            supervisor.kill_node("node-0")
+            assert wait_until(
+                lambda: supervisor.status()["nodes"]["node-0"]["state"] == "ready"
+            )
+            requests, _ = oracle_burst("bert", 1)
+            oracle = build_endpoint("bert")
+            supervisor.dispatch("bert", [oracle.request_payload(requests[0])])
+            assert (
+                supervisor.status()["nodes"]["node-0"]["consecutive_failures"] == 0
+            )
+
+
+class TestRollingDeploys:
+    def make_fleet(self, registry, **kwargs):
+        path = registry.resolve(digest_of(registry, "bert", 0))
+        registry.set_pointer("bert", digest_of(registry, "bert", 0))
+        return ServeSupervisor({"bert": path}, nodes=2, registry=registry, **kwargs)
+
+    def test_same_digest_deploy_promotes_with_zero_mismatches(self, registry):
+        """A recompiled same-version artifact lands on the same digest
+        (content addressing) and must promote cleanly."""
+        d0 = digest_of(registry, "bert", 0)
+        with self.make_fleet(registry) as supervisor:
+            report = supervisor.deploy(
+                "bert", d0, canary_fraction=0.5, canary_batches=2
+            )
+            assert report["digest"] == d0
+            assert report["canary_mismatches"] == 0
+            assert report["probes"] == 2
+
+    def test_canary_mismatch_rolls_back(self, registry):
+        d0 = digest_of(registry, "bert", 0)
+        d1 = digest_of(registry, "bert", 1)
+        with self.make_fleet(registry) as supervisor:
+            with pytest.raises(CanaryMismatchError):
+                supervisor.deploy("bert", d1, canary_fraction=0.5, canary_batches=2)
+            status = supervisor.status()
+            route = status["routes"]["bert"]
+            assert route["current"] == d0
+            assert route["canary"] is None
+            assert route["canary_mismatches"] >= 1
+            for node in status["nodes"].values():
+                assert node["endpoints"]["bert"] == d0[:12]
+        assert registry.pointer("bert")["current"] == d0  # pointer untouched
+
+    def test_promote_and_pointer_rollback(self, registry):
+        d0 = digest_of(registry, "bert", 0)
+        d1 = digest_of(registry, "bert", 1)
+        with self.make_fleet(registry) as supervisor:
+            supervisor.stage_canary("bert", d1, canary_fraction=0.5)
+            report = supervisor.promote("bert")  # skip probes: forced promote
+            assert report["digest"] == d1
+            assert registry.pointer("bert") == {"current": d1, "previous": d0}
+            status = supervisor.status()
+            assert all(
+                node["endpoints"]["bert"] == d1[:12]
+                for node in status["nodes"].values()
+            )
+            rollback = supervisor.rollback("bert")
+            assert rollback["digest"] == d0
+            assert registry.pointer("bert")["current"] == d0
+            status = supervisor.status()
+            assert all(
+                node["endpoints"]["bert"] == d0[:12]
+                for node in status["nodes"].values()
+            )
+
+    def test_live_canary_traffic_mirrors_and_counts(self, registry):
+        d0 = digest_of(registry, "bert", 0)
+        requests, expected = oracle_burst("bert", 6, seed=11)
+        oracle = build_endpoint("bert")
+        with self.make_fleet(registry) as supervisor:
+            supervisor.stage_canary("bert", d0, canary_fraction=1.0)
+            for request, bits in zip(requests, expected):
+                results = supervisor.dispatch(
+                    "bert", [oracle.request_payload(request)]
+                )
+                assert np.array_equal(response_bits(results[0]), bits)
+            route = supervisor.status()["routes"]["bert"]
+            assert route["canary_served"] >= 1
+            assert route["canary_matches"] >= 1
+            assert route["canary_mismatches"] == 0
+
+    def test_live_canary_mismatch_serves_incumbent_bits(self, registry):
+        """A diverging canary must auto-rollback and the caller must still
+        receive the incumbent's bits — deploys can't change responses."""
+        d1 = digest_of(registry, "bert", 1)
+        requests, expected = oracle_burst("bert", 2, seed=13)
+        oracle = build_endpoint("bert")
+        with self.make_fleet(registry) as supervisor:
+            supervisor.stage_canary("bert", d1, canary_fraction=1.0)
+            results = supervisor.dispatch(
+                "bert", [oracle.request_payload(requests[0])]
+            )
+            assert np.array_equal(response_bits(results[0]), expected[0])
+            route = supervisor.status()["routes"]["bert"]
+            assert route["canary"] is None  # auto-rolled back
+            assert route["canary_mismatches"] == 1
+
+    def test_deploy_rejects_incompatible_artifact(self, registry, artifact_paths):
+        llama_digest = digest_of(registry, "llama", 0)
+        with self.make_fleet(registry) as supervisor:
+            with pytest.raises(SupervisorError):
+                supervisor.stage_canary("bert", llama_digest)
+
+    def test_stage_canary_needs_two_nodes(self, registry):
+        path = registry.resolve(digest_of(registry, "bert", 0))
+        with ServeSupervisor({"bert": path}, nodes=1, registry=registry) as supervisor:
+            with pytest.raises(SupervisorError):
+                supervisor.stage_canary("bert", digest_of(registry, "bert", 0))
+
+    def test_drain_then_restart_node(self, registry):
+        with self.make_fleet(registry) as supervisor:
+            supervisor.drain_node("node-0")
+            assert supervisor.status()["nodes"]["node-0"]["state"] == "stopped"
+            supervisor.restart_node("node-0")
+            supervisor.wait_ready()
+            assert supervisor.status()["nodes"]["node-0"]["state"] == "ready"
+
+
+class TestResponseDigest:
+    def test_digest_separates_bits_not_layout(self):
+        from repro.serve.types import ClassificationResponse
+
+        a = ClassificationResponse(logits=np.arange(4, dtype=np.int64), label=3)
+        b = ClassificationResponse(logits=np.arange(4, dtype=np.int64), label=3)
+        c = ClassificationResponse(logits=np.arange(1, 5, dtype=np.int64), label=3)
+        assert response_digest([a]) == response_digest([b])
+        assert response_digest([a]) != response_digest([c])
+        assert response_digest([a, b]) != response_digest([a])
+
+
+class TestChaosSweep:
+    """Hypothesis sweep: crash timing × endpoint family, replay must stay
+    bit-identical with zero lost requests."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(
+        family=st.sampled_from(["bert", "llama"]),
+        kill_after=st.integers(min_value=0, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_crash_timing_sweep(self, artifact_paths, family, kill_after, seed):
+        requests, expected = oracle_burst(family, 8, seed=seed)
+        supervisor = ServeSupervisor(artifact_paths, nodes=2, backoff_base_s=0.01)
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=3, max_delay_s=0.001),
+            queue_limit=32,
+            block_on_full=True,
+            shutdown_supervisor=True,
+        ).start()
+        try:
+            futures = []
+            for index, request in enumerate(requests):
+                futures.append(service.submit(family, request))
+                if index == kill_after:
+                    # Prefer a mid-batch kill; fall back to any node.
+                    busy = supervisor.busy_nodes()
+                    victim = busy[0] if busy else supervisor.node_names()[0]
+                    supervisor.kill_node(victim)
+            responses = [future.result(timeout=120.0) for future in futures]
+        finally:
+            metrics = service.drain()
+        assert metrics["completed"] == len(requests)
+        assert metrics["failed"] == 0
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+
+
+class TestSupervisedService:
+    def test_service_status_includes_fleet(self, artifact_paths):
+        service = supervised_service(
+            dict(artifact_paths), nodes=1, policy=BatchPolicy(max_batch=2)
+        ).start()
+        try:
+            status = service.status()
+            assert status["state"] == "running"
+            assert set(status["fleet"]["nodes"]) == {"node-0"}
+        finally:
+            service.drain()
+        # Owned supervisor is stopped by the drain's shutdown hook.
+        assert service.supervisor._running is False
+
+    def test_mixed_traffic_matches_oracle(self, artifact_paths):
+        service = supervised_service(
+            dict(artifact_paths),
+            nodes=2,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            queue_limit=64,
+            block_on_full=True,
+        ).start()
+        rng = np.random.default_rng(17)
+        stream = []
+        for i in range(10):
+            name = ("bert", "llama")[i % 2]
+            stream.append((name, service.registry.get(name).synth_request(rng)))
+        try:
+            futures = [service.submit(name, request) for name, request in stream]
+            responses = [future.result(timeout=120.0) for future in futures]
+        finally:
+            metrics = service.drain()
+        assert metrics["completed"] == len(stream)
+        for (name, request), response in zip(stream, responses):
+            single = build_endpoint(name).serve_one(request)
+            assert np.array_equal(
+                response_bits(response.result), response_bits(single)
+            ), f"{name} drifted through the supervised fleet"
