@@ -18,8 +18,10 @@ from conftest import save_result
 from repro.serve import (
     BatchPolicy,
     InferenceService,
+    bench_engine_pool,
     bench_microbatch_speedup,
     bench_supervised_recovery,
+    bench_zero_copy_dataplane,
     clear_endpoint_memo,
     default_registry,
 )
@@ -59,6 +61,75 @@ def test_serve_microbatch_speedup(results_dir):
     # two dispatch modes before returning any number.
     assert result["speedup"] >= 3.0, (
         f"micro-batched serving only {result['speedup']:.1f}x faster"
+    )
+
+
+def test_zero_copy_dataplane_speedup(results_dir, tmp_path):
+    """The zero-copy dataplane gate: >= 3x pre-PR process-worker throughput.
+
+    Serves the same seeded open-loop Poisson mixed-scenario stream
+    (variable-length LLaMA scoring traffic, BERT and SegFormer riding
+    along) through artifact-backed process workers twice:
+
+    - **pipe**: the pre-PR dataplane — exact-shape coalescing keys over
+      the pickled executor pipe, pinned at its singleton-fragmentation
+      operating point (``max_batch=1``), which is what variable-length
+      scoring traffic degenerated to before bucketed coalescing existed
+      (the process-level analogue of the committed ``batch1`` cells).
+    - **shm**: bucketed padded coalescing through the shared-memory
+      arena, descriptors-only over the pipe.
+
+    The bench asserts zero lost requests and bit-identity against the
+    in-process oracle for every response of every run before reporting;
+    this gate then requires >= 3x throughput at equal-or-better p99 and
+    lands the ``serve/dataplane/pipe|shm`` cells in ``timings.json``.
+    """
+    result = bench_zero_copy_dataplane(registry_root=tmp_path / "registry")
+    pipe, shm = result["pipe"], result["shm"]
+    save_result(
+        results_dir,
+        "serve_zero_copy_dataplane",
+        "repro.serve — zero-copy dataplane vs pre-PR pickle pipe (mixed stream)\n"
+        f"requests={result['requests']}, processes={result['processes']}, "
+        f"shm mean batch {shm['mean_batch']:.1f}\n"
+        f"pipe (pre-PR): {pipe['throughput_rps']:8.1f} req/s  "
+        f"p99 {pipe['p99_s'] * 1e3:8.1f} ms\n"
+        f"shm (zero-copy): {shm['throughput_rps']:8.1f} req/s  "
+        f"p99 {shm['p99_s'] * 1e3:8.1f} ms\n"
+        f"speedup: {result['speedup']:.1f}x (gate: >= 3x), "
+        f"p99 ratio: {result['p99_ratio']:.2f} (gate: <= 1)",
+    )
+    assert result["speedup"] >= 3.0, (
+        f"zero-copy dataplane only {result['speedup']:.1f}x the pre-PR throughput"
+    )
+    assert shm["p99_s"] <= pipe["p99_s"], (
+        f"zero-copy p99 {shm['p99_s']:.3f}s worse than pre-PR {pipe['p99_s']:.3f}s"
+    )
+
+
+def test_engine_pool_cells(results_dir):
+    """Engine-pool concurrency cells: N threads through 1 vs N clones.
+
+    ``bench_engine_pool`` asserts every concurrent response bit-identical
+    to the sequential oracle before reporting, then records the
+    ``serve/pool/locked|pooled`` cells.  The speedup itself is
+    hardware-bound (clone overlap needs idle cores; single-core CI
+    measures ~1x), so the gate here is a generous floor that catches a
+    pool that *serializes worse* than the single shared engine, not a
+    parallelism target.
+    """
+    result = bench_engine_pool(repeats=3)
+    save_result(
+        results_dir,
+        "serve_engine_pool",
+        "repro.serve — engine pool: 4 threads through 1 vs 4 plan clones (LLaMA)\n"
+        f"requests={result['requests']}, pool_size={result['pool_size']}\n"
+        f"locked (1 clone):  {result['t_locked_s'] * 1e3:8.2f} ms\n"
+        f"pooled (4 clones): {result['t_pooled_s'] * 1e3:8.2f} ms\n"
+        f"speedup: {result['speedup']:.2f}x (floor: >= 0.5x)",
+    )
+    assert result["speedup"] >= 0.5, (
+        f"engine pool {1 / result['speedup']:.1f}x slower than the shared engine"
     )
 
 

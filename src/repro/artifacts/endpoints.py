@@ -69,6 +69,7 @@ def load_endpoint(
     path: PathLike,
     name: Optional[str] = None,
     cache_activations: object = False,
+    engine_pool: Optional[int] = None,
 ):
     """A ready-to-serve :class:`ModelEndpoint` from an artifact directory.
 
@@ -99,6 +100,7 @@ def load_endpoint(
         rounding=meta.get("rounding", "half_even"),
         plan=plan,
         cache_activations=cache_activations,
+        engine_pool=engine_pool,
     )
 
 

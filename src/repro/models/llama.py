@@ -10,6 +10,7 @@ analysis distinctive (Po = 1 in Table IV).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -105,17 +106,35 @@ class LlamaTiny(nn.Module):
         token_logp = logp[batch, positions, next_tokens]
         return token_logp.sum(axis=1)
 
-    def next_token_logprobs(self, tokens: np.ndarray) -> np.ndarray:
+    def next_token_logprobs(
+        self, tokens: np.ndarray, lengths: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Log p(next token | prompt) per batch row: (B, vocab).
 
         The single-step scoring primitive behind the serving layer's
         LLM endpoint (and the inner step of :meth:`greedy_decode`).
+
+        ``lengths`` (per-row true prompt lengths) supports right-padded
+        batches: row ``b``'s logprobs are read at position
+        ``lengths[b] - 1`` instead of the last column.  Causal attention
+        plus the pad-invariant softmax guarantee those bits equal the
+        unpadded single-row pass — the serve layer's bucketed-coalescing
+        invariant.
         """
         tokens = np.asarray(tokens, dtype=np.int64)
         with no_grad():
             logits = self.forward(tokens)
             logp = log_softmax(logits, axis=-1).data
-        return logp[:, -1, :]
+        if lengths is None:
+            return logp[:, -1, :]
+        positions = np.asarray(lengths, dtype=np.int64) - 1
+        if positions.shape != (tokens.shape[0],):
+            raise ValueError(
+                f"lengths must be (batch,) = ({tokens.shape[0]},), got {positions.shape}"
+            )
+        if positions.min() < 0 or positions.max() >= tokens.shape[1]:
+            raise ValueError("lengths must be in 1..seq_len")
+        return logp[np.arange(tokens.shape[0]), positions, :]
 
     def greedy_decode(self, prompt: np.ndarray, num_new_tokens: int) -> np.ndarray:
         """Autoregressively extend ``prompt`` (B, T0) by argmax decoding."""

@@ -74,7 +74,12 @@ class MultiHeadAttention(Module):
             scores = scores + Tensor(tril_mask(t))
         if attn_mask is not None:
             scores = scores + Tensor(attn_mask)
-        attn = self.attn_dropout(softmax(scores, axis=-1))
+        # Causal rows end in a masked tail whose exp is exactly 0; the
+        # pad-invariant denominator makes each row's softmax independent
+        # of how long that tail is, so right-padding a sequence cannot
+        # perturb the bits of its real positions (repro.serve buckets
+        # variable-length scoring traffic on exactly this property).
+        attn = self.attn_dropout(softmax(scores, axis=-1, pad_invariant=self.causal))
         return self.out_proj(_merge_heads(attn @ v))
 
     def extra_repr(self) -> str:

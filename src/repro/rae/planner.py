@@ -553,6 +553,52 @@ class IntegerExecutionPlan:
         for name, arrays in state.items():
             self.import_layer_state(name, arrays)
 
+    def clone_for_serving(self, n: int) -> List["IntegerExecutionPlan"]:
+        """``n`` independent execution clones sharing the compile-time state.
+
+        Post-compile, a plan's weight codes, GEMM weight operands and
+        :class:`ScalePlan` requant constants are immutable — pure
+        functions of frozen parameters (and, for artifact-loaded plans,
+        views into the artifact's single aligned npz member).  The
+        *mutable* state is per-execution: engines (PsumBank occupancy,
+        activity counters), the exponent-matrix cache, and activation
+        caches.  So a serving pool can run N batches of the same
+        endpoint concurrently on N clones that share every read-only
+        array by reference and own nothing but fresh engines and empty
+        caches — same memory footprint as one plan, N-way concurrency.
+
+        The source plan's caches are forced first, so every clone sees
+        identical (and identically keyed) codes; clones are created with
+        ``cache_activations=False`` (served batches are always fresh).
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        for name in self._entries:
+            self.weight_codes(name)
+            self._weight_operand(name)
+            self.scale_plan_for(name)
+        clones: List[IntegerExecutionPlan] = []
+        for _ in range(n):
+            clone = IntegerExecutionPlan.__new__(IntegerExecutionPlan)
+            clone.rounding = self.rounding
+            clone._entries = {}
+            clone._groups = {shape: list(names) for shape, names in self._groups.items()}
+            clone._engines = {}
+            clone._exp_cache = {}
+            clone.cache_activations = False
+            clone.act_cache_hits = 0
+            clone.act_cache_misses = 0
+            for name, src in self._entries.items():
+                twin = PlannedLayer(name, src.layer, src.kind, src.shape)
+                twin._w_codes = src._w_codes
+                twin._w_operand = src._w_operand
+                twin._w_key = src._w_key
+                twin._plan = src._plan
+                twin._plan_key = src._plan_key
+                clone._entries[name] = twin
+            clones.append(clone)
+        return clones
+
     def compare_with_fake_quant(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, dict]:
         """Model-level agreement report: integer plan vs fake-quant forward."""
         from ..tensor import no_grad

@@ -20,6 +20,10 @@ workload:
   (:mod:`repro.artifacts`) in milliseconds, the parent keeps only
   manifest-backed validation stubs, and dispatch routes coalesced
   batches to the worker pool.
+- :mod:`~repro.serve.shm` is the zero-copy dataplane under both process
+  transports: request/response tensors live in a shared-memory slot
+  arena and only digest-verified descriptors cross the pipes
+  (``REPRO_SHM=0`` restores the pickle path).
 - :mod:`~repro.serve.supervisor` makes the fleet operable: named worker
   nodes pinned to artifact digests, heartbeat-watched, with in-flight
   batch replay on crash, backoff + circuit breaker on repeated failure,
@@ -34,8 +38,10 @@ discipline of the RAE datapath, applied at the service layer.
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .bench import (
     bench_artifact_cold_start,
+    bench_engine_pool,
     bench_microbatch_speedup,
     bench_supervised_recovery,
+    bench_zero_copy_dataplane,
     format_bench_report,
     serve_bench,
 )
@@ -43,15 +49,26 @@ from .endpoint import (
     FAMILIES,
     SCENARIOS,
     EndpointRegistry,
+    EnginePool,
     FamilySpec,
     ModelEndpoint,
     build_endpoint,
     clear_endpoint_memo,
     default_registry,
     family_spec,
+    length_bucket,
 )
 from .loadgen import LoadSpec, build_requests, run_load
 from .metrics import ServiceMetrics
+from .shm import (
+    ArenaExhaustedError,
+    ShmArena,
+    ShmError,
+    ShmIntegrityError,
+    SlotDescriptor,
+    SlotOverflowError,
+    shm_enabled,
+)
 from .service import (
     BackpressureError,
     InferenceService,
@@ -98,7 +115,16 @@ __all__ = [
     "FamilySpec",
     "SCENARIOS",
     "EndpointRegistry",
+    "EnginePool",
     "ModelEndpoint",
+    "ArenaExhaustedError",
+    "ShmArena",
+    "ShmError",
+    "ShmIntegrityError",
+    "SlotDescriptor",
+    "SlotOverflowError",
+    "shm_enabled",
+    "length_bucket",
     "build_endpoint",
     "clear_endpoint_memo",
     "default_registry",
@@ -132,7 +158,9 @@ __all__ = [
     "ServeTiming",
     "raw_output",
     "bench_artifact_cold_start",
+    "bench_engine_pool",
     "bench_microbatch_speedup",
+    "bench_zero_copy_dataplane",
     "bench_supervised_recovery",
     "format_bench_report",
     "serve_bench",

@@ -1,12 +1,23 @@
 """Request coalescing: key-partitioned FIFO queues under a batch policy.
 
 The :class:`MicroBatcher` holds pending requests in one FIFO deque per
-coalescing key — ``(endpoint, payload shape)``, since only same-shape
-payloads of one model can stack into a single planner pass.  A queue
-becomes *ready* when it holds a full batch (``max_batch``) or its oldest
-request has waited ``max_delay_s`` (the classic size-or-timeout
-micro-batching policy); ``pop_ready`` always serves the ready queue whose
-head request is oldest, so dispatch stays FIFO-fair across keys.
+coalescing key — ``(endpoint, payload shape)`` or ``(endpoint,
+("bucket", length))`` for bucketed scoring traffic, since only payloads
+that can stack (exactly or after in-bucket padding) may share a planner
+pass.  A queue becomes *ready* when it holds a full batch (``max_batch``)
+or its oldest request has waited ``max_delay_s`` (the classic
+size-or-timeout micro-batching policy); ``pop_ready`` always serves the
+ready queue whose head request is oldest, so dispatch stays FIFO-fair
+across keys.
+
+Readiness is tracked by two lazy-deletion min-heaps ordered by head
+enqueue time — one over every non-empty queue, one over full queues — so
+``pop_ready`` and ``next_deadline`` are O(log keys) amortized instead of
+the O(keys) linear scan they replaced (bucketed variable-length traffic
+multiplies live keys, which made that scan a per-dispatch tax).  Heap
+entries are invalidated by *head change*: each entry pins the head
+timestamp it saw, and any pop moves the head, so stale entries fail the
+comparison and are discarded on the next peek.
 
 The batcher is a pure data structure — no locks, no threads.  The
 service serializes access under its own condition variable, which keeps
@@ -15,9 +26,10 @@ the coalescing decisions deterministic and directly unit-testable.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,7 +67,7 @@ class PendingRequest:
 
 @dataclass(eq=False)
 class Batch:
-    """A coalesced dispatch unit: same endpoint, same payload shape."""
+    """A coalesced dispatch unit: same endpoint, same coalescing key."""
 
     key: tuple
     endpoint: str
@@ -70,14 +82,58 @@ class MicroBatcher:
 
     def __init__(self, policy: Optional[BatchPolicy] = None) -> None:
         self.policy = policy or BatchPolicy()
-        self._queues: "OrderedDict[tuple, Deque[PendingRequest]]" = OrderedDict()
+        self._queues: Dict[tuple, Deque[PendingRequest]] = {}
         self._depth = 0
+        # Lazy-deletion heaps of (head_enqueued_at, seq, key).  ``seq`` is
+        # a strictly increasing push counter: it breaks timestamp ties
+        # deterministically AND keeps heterogeneous keys (shape tuples vs
+        # ("bucket", n)) out of the comparison entirely.
+        self._heads: List[Tuple[float, int, tuple]] = []
+        self._full: List[Tuple[float, int, tuple]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, heap: List[Tuple[float, int, tuple]], key: tuple) -> None:
+        heapq.heappush(heap, (self._queues[key][0].enqueued_at, self._seq, key))
+        self._seq += 1
+
+    def _peek(
+        self, heap: List[Tuple[float, int, tuple]], full: bool = False
+    ) -> Optional[Tuple[float, tuple]]:
+        """Top live entry, discarding stale ones (head moved or queue gone).
+
+        An entry is live while its queue still has the pinned head
+        timestamp.  Ties make that test too weak for the full heap —
+        different requests can share a timestamp, so a post-pop remainder
+        can impersonate the pinned head — hence full-heap entries also
+        re-check the actual length (a queue only shrinks by popping, and
+        every pop that leaves a full backlog re-registers it, so
+        discarding a short entry never loses a full queue).
+        """
+        while heap:
+            head_at, _, key = heap[0]
+            queue = self._queues.get(key)
+            if (
+                queue
+                and queue[0].enqueued_at == head_at
+                and (not full or len(queue) >= self.policy.max_batch)
+            ):
+                return head_at, key
+            heapq.heappop(heap)
+        return None
 
     # ------------------------------------------------------------------
     def put(self, key: tuple, pending: PendingRequest) -> int:
         """Enqueue under ``key``; returns the total queued depth."""
-        self._queues.setdefault(key, deque()).append(pending)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = deque()
+        queue.append(pending)
         self._depth += 1
+        if len(queue) == 1:
+            self._push(self._heads, key)
+        if len(queue) == self.policy.max_batch:
+            self._push(self._full, key)
         return self._depth
 
     def depth(self) -> int:
@@ -88,36 +144,47 @@ class MicroBatcher:
         return {key: len(q) for key, q in self._queues.items() if q}
 
     # ------------------------------------------------------------------
-    def _ready(self, queue: Deque[PendingRequest], now: float, flush: bool) -> bool:
-        if not queue:
-            return False
-        if flush or len(queue) >= self.policy.max_batch:
-            return True
-        return (now - queue[0].enqueued_at) >= self.policy.max_delay_s
-
     def pop_ready(self, now: float, flush: bool = False) -> Optional[Batch]:
         """Dispatch the ready queue with the oldest head, if any.
 
         With ``flush=True`` every non-empty queue is ready (graceful
         drain).  Pops at most ``max_batch`` requests; a queue holding more
         stays ready for the next call.
+
+        FIFO fairness falls out of the heap order: the global oldest head
+        is served whenever it is ready, and when it is not (young + below
+        ``max_batch``) no *older* head can be ready either, so serving
+        the oldest *full* queue is exactly the original oldest-ready-head
+        rule.
         """
-        best_key = None
-        best_head = None
-        for key, queue in self._queues.items():
-            if not self._ready(queue, now, flush):
-                continue
-            head = queue[0].enqueued_at
-            if best_head is None or head < best_head:
-                best_key, best_head = key, head
-        if best_key is None:
+        top = self._peek(self._heads)
+        if top is None:
             return None
-        queue = self._queues[best_key]
-        batch = Batch(key=best_key, endpoint=best_key[0])
+        head_at, key = top
+        if (
+            flush
+            or (now - head_at) >= self.policy.max_delay_s
+            or len(self._queues[key]) >= self.policy.max_batch
+        ):
+            return self._pop_from(key)
+        full_top = self._peek(self._full, full=True)
+        if full_top is not None:
+            return self._pop_from(full_top[1])
+        return None
+
+    def _pop_from(self, key: tuple) -> Batch:
+        queue = self._queues[key]
+        batch = Batch(key=key, endpoint=key[0])
         while queue and len(batch.requests) < self.policy.max_batch:
             batch.requests.append(queue.popleft())
-        if not queue:
-            del self._queues[best_key]
+        if queue:
+            # The survivors got a new head: re-register it (and its
+            # fullness, if the backlog still tops a whole batch).
+            self._push(self._heads, key)
+            if len(queue) >= self.policy.max_batch:
+                self._push(self._full, key)
+        else:
+            del self._queues[key]
         self._depth -= len(batch.requests)
         return batch
 
@@ -127,16 +194,12 @@ class MicroBatcher:
         ``None`` means nothing is queued — the dispatch loop can sleep
         until the next enqueue wakes it.
         """
-        deadline: Optional[float] = None
-        for queue in self._queues.values():
-            if not queue:
-                continue
-            if len(queue) >= self.policy.max_batch:
-                return now
-            candidate = queue[0].enqueued_at + self.policy.max_delay_s
-            if deadline is None or candidate < deadline:
-                deadline = candidate
-        return deadline
+        if self._peek(self._full, full=True) is not None:
+            return now
+        top = self._peek(self._heads)
+        if top is None:
+            return None
+        return top[0] + self.policy.max_delay_s
 
     def __repr__(self) -> str:
         return (

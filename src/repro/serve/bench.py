@@ -22,7 +22,10 @@ Two phases:
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
@@ -34,6 +37,25 @@ from .endpoint import EndpointRegistry, build_endpoint, clear_endpoint_memo, def
 from .loadgen import LoadSpec, build_requests, run_load
 from .service import InferenceService
 from .types import raw_output
+
+
+@contextmanager
+def _env(overrides: Dict[str, Optional[str]]):
+    """Temporarily set/unset environment knobs (None unsets)."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    for key, value in overrides.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def _timed_run(
@@ -284,6 +306,211 @@ def bench_supervised_recovery(
         "recovery_p99_s": recovery["p99_s"],
         "recovery_ratio": recovery["p99_s"] / max(steady["p99_s"], 1e-9),
         "killed_node": recovery["killed"],
+    }
+
+
+def bench_engine_pool(
+    family: str = "llama",
+    threads: int = 4,
+    batches_per_thread: int = 5,
+    pool_size: int = 4,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Same-endpoint concurrency: one shared engine vs an N-clone pool.
+
+    ``threads`` workers hammer one endpoint with pre-built variable-length
+    batches; under ``engine_pool=1`` they serialize on the single clone's
+    checkout queue (the pre-pool RLock behaviour), under ``pool_size``
+    clones they overlap.  Every response is asserted bit-identical to the
+    sequential oracle before any number is reported; records the
+    ``serve/pool/locked`` and ``serve/pool/pooled`` cells (best of
+    ``repeats``).
+    """
+    endpoint = build_endpoint(family, seed=seed)
+    rng = np.random.default_rng(seed)
+    max_len = getattr(endpoint.model.config, "max_seq_len", 0) or 8
+    shares = []
+    for _ in range(threads):
+        batches = []
+        for _ in range(batches_per_thread):
+            lengths = rng.integers(1, max_len + 1, size=4)
+            batches.append(
+                [
+                    endpoint.request_payload(endpoint.synth_request(rng, length=int(n)))
+                    for n in lengths
+                ]
+            )
+        shares.append(batches)
+    expected = [
+        [raw_output(endpoint.infer_batch([p])[0]) for batch in share for p in batch]
+        for share in shares
+    ]
+
+    def hammer(size: int) -> float:
+        endpoint.resize_engine_pool(size)
+        endpoint.warmup(seed=seed)
+        best = float("inf")
+        for _ in range(repeats):
+            outputs = [None] * threads
+            barrier = threading.Barrier(threads + 1)
+
+            def run(index: int) -> None:
+                barrier.wait()
+                outputs[index] = [
+                    result
+                    for batch in shares[index]
+                    for result in endpoint.infer_batch(batch)
+                ]
+
+            pool = [
+                threading.Thread(target=run, args=(index,)) for index in range(threads)
+            ]
+            for thread in pool:
+                thread.start()
+            barrier.wait()
+            started = time.monotonic()
+            for thread in pool:
+                thread.join()
+            best = min(best, time.monotonic() - started)
+            for share_out, share_expected in zip(outputs, expected):
+                for got, bits in zip(share_out, share_expected):
+                    if not np.array_equal(raw_output(got), bits):
+                        raise AssertionError(
+                            f"engine_pool={size}: concurrent response is not "
+                            "bit-identical to the sequential oracle"
+                        )
+        return best
+
+    try:
+        t_locked = hammer(1)
+        t_pooled = hammer(pool_size)
+    finally:
+        endpoint.resize_engine_pool(1)
+    record_cell_timing("serve/pool/locked", "serve", t_locked)
+    record_cell_timing("serve/pool/pooled", "serve", t_pooled)
+    total = threads * batches_per_thread * 4
+    return {
+        "family": family,
+        "threads": threads,
+        "requests": total,
+        "pool_size": pool_size,
+        "t_locked_s": t_locked,
+        "t_pooled_s": t_pooled,
+        "speedup": t_locked / max(t_pooled, 1e-9),
+    }
+
+
+def bench_zero_copy_dataplane(
+    requests: int = 144,
+    max_batch: int = 24,
+    max_delay_s: float = 0.002,
+    processes: int = 1,
+    rate_hz: float = 4000.0,
+    seed: int = 0,
+    repeats: int = 3,
+    registry_root: Optional[Path] = None,
+) -> Dict[str, object]:
+    """The headline dataplane gate: pre-PR process serving vs zero-copy.
+
+    Both runs serve the *same* seeded open-loop Poisson stream — a mixed
+    scoring-heavy burst with variable sequence lengths — through an
+    artifact-backed process pool:
+
+    - **pipe** (the pre-PR dataplane): exact-shape coalescing keys
+      (``REPRO_BUCKETING=0``) over the pickled executor pipe, pinned at
+      its fragmentation operating point with ``max_batch=1``.  Pre-PR,
+      variable-length scoring traffic fragmented into singleton
+      exact-shape batches at serving rates (no two concurrent requests
+      shared a length); the ``max_batch=1`` policy measures that floor
+      deterministically instead of leaving it to arrival luck, exactly
+      as the committed ``serve/*/batch1`` cells do for micro-batching.
+    - **shm**: the zero-copy stack — bucketed padded coalescing into the
+      shared-memory arena, descriptors-only over the pipe.
+
+    Every response of every run is asserted bit-identical to the
+    in-process oracle before any number is reported, so the speedup can
+    never come from drifted bits.  Records the ``serve/dataplane/pipe``
+    and ``serve/dataplane/shm`` cells (best of ``repeats``).
+    """
+    from .workers import process_service, stub_registry
+
+    families = ("llama", "bert", "segformer")
+    artifacts = artifact_paths_for(families, registry_root=registry_root, seed=seed)
+    spec = LoadSpec(
+        requests=requests,
+        mix=(("llama", 8.0), ("bert", 2.0), ("segformer", 0.5)),
+        mode="open",
+        rate_hz=rate_hz,
+        seed=seed,
+        length_range=(1, 8),
+    )
+    stream = build_requests(stub_registry(artifacts), spec)
+    oracles = {family: build_endpoint(family, seed=seed) for family in families}
+    expected = [raw_output(oracles[name].serve_one(request)) for name, request in stream]
+
+    def one_run(use_shm: bool, bucketing: bool, batch_cap: int) -> Dict[str, object]:
+        # The env knob must be set while the pool forks its workers, so
+        # worker-side endpoints agree with the parent-side stub keys.
+        policy = BatchPolicy(max_batch=batch_cap, max_delay_s=max_delay_s)
+        with _env({"REPRO_BUCKETING": None if bucketing else "0"}):
+            service = process_service(
+                artifacts,
+                policy=policy,
+                processes=processes,
+                use_shm=use_shm,
+                queue_limit=max(requests, 64),
+                block_on_full=True,
+            )
+            service.process_pool.warmup()
+            service.start()
+            try:
+                # One unrecorded pass warms every engine shape in the
+                # workers; the recorded pass then measures the dataplane,
+                # not one-time plan compilation.
+                run_load(service, spec, stream=stream)
+                report = run_load(service, spec, stream=stream)
+            finally:
+                metrics = service.drain()
+        if report["completed"] != len(stream):
+            raise AssertionError(
+                f"lost requests: {report['completed']}/{len(stream)} completed "
+                f"(use_shm={use_shm})"
+            )
+        for index, (response, bits) in enumerate(zip(report["responses"], expected)):
+            if not np.array_equal(raw_output(response.result), bits):
+                raise AssertionError(
+                    f"response {index} is not bit-identical to the in-process "
+                    f"oracle (use_shm={use_shm}, bucketing={bucketing})"
+                )
+        return {
+            "wall_s": float(report["wall_s"]),
+            "throughput_rps": float(report["throughput_rps"]),
+            "p99_s": max(
+                stats["latency"]["p99_s"] for stats in metrics["endpoints"].values()
+            ),
+            "mean_batch": float(
+                np.mean([r.timing.batch_size for r in report["responses"]])
+            ),
+        }
+
+    pipe = min(
+        (one_run(False, False, 1) for _ in range(repeats)), key=lambda r: r["wall_s"]
+    )
+    shm = min(
+        (one_run(True, True, max_batch) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
+    record_cell_timing("serve/dataplane/pipe", "serve", pipe["wall_s"])
+    record_cell_timing("serve/dataplane/shm", "serve", shm["wall_s"])
+    return {
+        "requests": requests,
+        "processes": processes,
+        "rate_hz": rate_hz,
+        "pipe": pipe,
+        "shm": shm,
+        "speedup": shm["throughput_rps"] / max(pipe["throughput_rps"], 1e-9),
+        "p99_ratio": shm["p99_s"] / max(pipe["p99_s"], 1e-9),
     }
 
 

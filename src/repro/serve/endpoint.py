@@ -19,8 +19,11 @@ process, exactly like the experiment runner's teachers.
 
 from __future__ import annotations
 
+import os
+import queue
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,7 +36,7 @@ from ..models import (
     SegformerConfig,
     SegformerTiny,
 )
-from ..rae.planner import IntegerExecutionPlan, integer_execution
+from ..rae.planner import IntegerExecutionPlan
 from .types import (
     ClassificationRequest,
     ClassificationResponse,
@@ -97,24 +100,140 @@ def synth_request(
     request_shape: Tuple[int, ...],
     rng: np.random.Generator,
     vocab_size: int = 0,
+    length: Optional[int] = None,
 ):
-    """A deterministic synthetic request (load generator / warmup)."""
+    """A deterministic synthetic request (load generator / warmup).
+
+    ``length`` overrides the token count for sequence scenarios — the
+    hook the load generator's variable-sequence-length mode uses to
+    exercise bucketed padding with honest traffic.
+    """
     if scenario == "segmentation":
         return SegmentationRequest(image=rng.normal(size=request_shape))
-    return SCENARIOS[scenario](tokens=rng.integers(0, vocab_size, size=request_shape))
+    shape = (int(length),) if length is not None else request_shape
+    return SCENARIOS[scenario](tokens=rng.integers(0, vocab_size, size=shape))
+
+
+def bucketing_enabled() -> bool:
+    """The ``REPRO_BUCKETING`` gate (default on; ``0`` restores exact-shape
+    coalescing keys — the pre-bucketing dataplane, kept for A/B benches)."""
+    return os.environ.get("REPRO_BUCKETING", "1") not in ("0", "false", "no", "off")
+
+
+def length_bucket(length: int, cap: int) -> int:
+    """The power-of-two length class ``length`` coalesces into (≤ ``cap``).
+
+    Shared by :class:`ModelEndpoint` and the artifact stubs so parent-
+    side coalescing keys and worker-side padding always agree.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    bucket = 1 << (length - 1).bit_length()
+    return min(bucket, cap) if cap else bucket
+
+
+class EnginePool:
+    """N integer-plan clones behind a blocking queue, one model patch.
+
+    :func:`~repro.rae.planner.integer_execution` patches each planned
+    layer's ``forward`` on entry and pops it on exit — correct for one
+    batch at a time, but a data race the moment two threads serve the
+    same endpoint.  The pool installs the patch **once** and routes it
+    per-thread instead: a worker checks a clone out of the queue, binds
+    it to a ``threading.local`` slot for the duration of its batch, and
+    every planned forward executes through whichever clone the *current
+    thread* holds.  Clones share the read-only compile-time arrays
+    (weight codes, GEMM operands, scale plans — see
+    :meth:`~repro.rae.planner.IntegerExecutionPlan.clone_for_serving`)
+    and own only engines and scratch, so N same-endpoint batches run
+    concurrently with the memory footprint of one plan.
+
+    A thread holding no clone falls through to the layer's original
+    (float fake-quant) forward — exactly the pre-pool behaviour of a
+    model outside an ``integer_execution`` context.
+    """
+
+    def __init__(self, model, plan, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"engine pool size must be >= 1, got {size}")
+        self.model = model
+        self.source = plan
+        self.size = size
+        if plan.cache_activations:
+            # The digest-keyed activation cache lives on the source plan;
+            # running it concurrently would race its one-deep entries, so
+            # digest-caching endpoints pin a single shared engine.
+            if size != 1:
+                raise ValueError(
+                    "cache_activations='digest' requires engine_pool=1 "
+                    "(the activation cache is single-writer)"
+                )
+            clones = [plan]
+        else:
+            clones = plan.clone_for_serving(size)
+        self._free: "queue.Queue" = queue.Queue()
+        for clone in clones:
+            self._free.put(clone)
+        self._tls = threading.local()
+        self._patches: Dict[str, tuple] = {}
+        self._install()
+
+    def _install(self) -> None:
+        from ..tensor.tensor import Tensor
+
+        tls = self._tls
+        for name in self.source.layer_names:
+            layer = self.model.get_submodule(name)
+            original = type(layer).forward
+
+            def pooled_forward(
+                x, _name=name, _layer=layer, _original=original, _tls=tls
+            ):
+                active = getattr(_tls, "plan", None)
+                if active is None:
+                    return _original(_layer, x)
+                arr = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=float)
+                return Tensor(active.run_layer(_name, arr))
+
+            layer.__dict__["forward"] = pooled_forward
+            self._patches[name] = (layer, pooled_forward)
+
+    def _ensure_patched(self) -> None:
+        # A stray ``integer_execution`` context on the same model pops
+        # our patch on exit; cheap to heal at every checkout.
+        for layer, patched in self._patches.values():
+            if layer.__dict__.get("forward") is not patched:
+                layer.__dict__["forward"] = patched
+
+    @contextmanager
+    def engine(self):
+        """Check a clone out (blocking) and route this thread through it."""
+        clone = self._free.get()
+        self._ensure_patched()
+        self._tls.plan = clone
+        try:
+            yield clone
+        finally:
+            self._tls.plan = None
+            self._free.put(clone)
+
+    def __repr__(self) -> str:
+        return f"EnginePool(size={self.size}, layers={len(self._patches)})"
 
 
 class ModelEndpoint:
     """One served model: quantize/load once, pin the plan, serve batches.
 
-    ``infer_batch`` is the only compute entry point: it stacks same-shape
-    request payloads into one batch, runs a single integer-datapath
-    forward under the endpoint lock (plan engines are stateful), and
+    ``infer_batch`` is the only compute entry point: it stacks request
+    payloads into one batch (padding variable-length scoring payloads to
+    their power-of-two bucket), checks an execution clone out of the
+    :class:`EnginePool`, runs a single integer-datapath forward, and
     splits the batch back into per-request responses.  Because every
-    planned layer reduces through the bit-exact batched engine and every
-    float glue op works row-wise, the response for request *i* is
-    bit-identical whether it was served alone or coalesced — the
-    invariant the micro-batcher relies on.
+    planned layer reduces through the bit-exact batched engine, every
+    float glue op works row-wise, and causal attention's softmax is
+    pad-invariant, the response for request *i* is bit-identical whether
+    it was served alone, coalesced, or padded — the invariant the
+    micro-batcher relies on.
     """
 
     def __init__(
@@ -126,6 +245,8 @@ class ModelEndpoint:
         rounding: str = "half_even",
         plan: IntegerExecutionPlan | None = None,
         cache_activations: object = False,
+        engine_pool: Optional[int] = None,
+        bucketing: bool = True,
     ) -> None:
         if scenario not in SCENARIOS:
             raise KeyError(f"unknown scenario {scenario!r}; options: {sorted(SCENARIOS)}")
@@ -152,8 +273,25 @@ class ModelEndpoint:
         # repeated identical requests; hit rates surface in the serve
         # metrics snapshot.
         self.plan.cache_activations = cache_activations == "digest"
-        # Engines and the layer patching are stateful: one batch at a time.
-        self.lock = threading.RLock()
+        # Same-endpoint batches used to serialize on one RLock around
+        # the (patch-and-unpatch) integer_execution context; the engine
+        # pool runs them concurrently on plan clones instead.
+        if engine_pool is None:
+            engine_pool = int(os.environ.get("REPRO_ENGINE_POOL", "1") or "1")
+        self.engines = EnginePool(model, self.plan, engine_pool)
+        #: Bucketed padded coalescing (scoring endpoints only): payloads
+        #: coalesce on power-of-two length classes and pad within the
+        #: bucket.  Safe exactly because the model's causal attention
+        #: uses the pad-invariant softmax — padded rows are bit-identical
+        #: to unpadded singles (pinned by the hypothesis sweeps).
+        self.bucketing = bool(bucketing) and scenario == "scoring" and bucketing_enabled()
+        self._pad_lock = threading.Lock()
+        self._pad_stats = {
+            "batches": 0,
+            "padded_batches": 0,
+            "padded_requests": 0,
+            "pad_tokens": 0,
+        }
 
     # ------------------------------------------------------------------
     # Request handling
@@ -174,40 +312,87 @@ class ModelEndpoint:
             vocab_size=getattr(config, "vocab_size", 0),
         )
 
+    def length_bucket(self, length: int) -> int:
+        """The power-of-two class ``length`` pads into (≤ ``max_seq_len``)."""
+        return length_bucket(length, getattr(self.model.config, "max_seq_len", 0))
+
     def coalesce_key(self, payload: np.ndarray) -> tuple:
-        """Batching key: only same-endpoint, same-shape payloads stack."""
+        """Batching key: same endpoint, same shape — or same length bucket.
+
+        Scoring traffic with variable sequence lengths used to fragment
+        into singleton batches (exact-shape keys); with bucketing, all
+        lengths in one power-of-two class coalesce and pad together.
+        """
+        if self.bucketing:
+            return (self.name, ("bucket", self.length_bucket(payload.shape[0])))
         return (self.name, payload.shape)
 
-    def synth_request(self, rng: np.random.Generator):
+    def synth_request(self, rng: np.random.Generator, length: Optional[int] = None):
         """A deterministic synthetic request (load generator / warmup)."""
         return synth_request(
             self.scenario,
             self.request_shape,
             rng,
             vocab_size=getattr(self.model.config, "vocab_size", 0),
+            length=length,
         )
 
     def act_cache_stats(self) -> Dict[str, int]:
         """Hit/miss counters of the opt-in activation-code cache."""
         return self.plan.act_cache_stats()
 
+    def pad_stats(self) -> Dict[str, int]:
+        """Bucketed-coalescing counters (``status()`` surfaces these)."""
+        with self._pad_lock:
+            return dict(self._pad_stats)
+
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
+    def _padded_batch(
+        self, payloads: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack variable-length token payloads padded to their bucket.
+
+        Pads with token 0 (any valid id works: causal attention plus the
+        pad-invariant softmax keep every real position's bits untouched)
+        and returns the per-row true lengths for logit extraction.
+        """
+        lengths = np.array([p.shape[0] for p in payloads], dtype=np.int64)
+        target = self.length_bucket(int(lengths.max()))
+        batch = np.zeros((len(payloads), target), dtype=np.int64)
+        for row, payload in enumerate(payloads):
+            batch[row, : payload.shape[0]] = payload
+        pad_tokens = int(batch.shape[1] * len(payloads) - lengths.sum())
+        with self._pad_lock:
+            self._pad_stats["batches"] += 1
+            if pad_tokens:
+                self._pad_stats["padded_batches"] += 1
+                self._pad_stats["padded_requests"] += int(
+                    np.count_nonzero(lengths < batch.shape[1])
+                )
+                self._pad_stats["pad_tokens"] += pad_tokens
+        return batch, lengths
+
     def infer_batch(self, payloads: Sequence[np.ndarray]) -> List[object]:
         """Serve a coalesced batch through one integer-datapath forward."""
         if not payloads:
             return []
-        shapes = {tuple(p.shape) for p in payloads}
-        if len(shapes) > 1:
-            raise ValueError(f"cannot stack mixed payload shapes: {sorted(shapes)}")
-        batch = np.stack(payloads)
         from ..tensor import no_grad
         from ..tensor.tensor import Tensor
 
-        with self.lock, integer_execution(self.model, self.plan):
+        lengths = None
+        if self.scenario == "scoring" and self.bucketing:
+            batch, lengths = self._padded_batch(payloads)
+        else:
+            shapes = {tuple(p.shape) for p in payloads}
+            if len(shapes) > 1:
+                raise ValueError(f"cannot stack mixed payload shapes: {sorted(shapes)}")
+            batch = np.stack(payloads)
+
+        with self.engines.engine():
             if self.scenario == "scoring":
-                logprobs = self.model.next_token_logprobs(batch)
+                logprobs = self.model.next_token_logprobs(batch, lengths=lengths)
                 return [
                     ScoringResponse(logprobs=row, top_token=int(row.argmax()))
                     for row in logprobs
@@ -226,6 +411,12 @@ class ModelEndpoint:
                     ClassificationResponse(logits=row, label=int(row.argmax()))
                     for row in logits
                 ]
+
+    def resize_engine_pool(self, size: int) -> None:
+        """Swap in a fresh pool of ``size`` clones (idle endpoints only)."""
+        if size == self.engines.size:
+            return
+        self.engines = EnginePool(self.model, self.plan, size)
 
     def serve_one(self, request) -> object:
         """Single-request convenience path (the determinism oracle)."""
@@ -398,13 +589,18 @@ def clear_endpoint_memo() -> None:
 
 
 def build_endpoint(
-    family: str, seed: int = 0, gs: int = 2, rounding: str = "half_even"
+    family: str,
+    seed: int = 0,
+    gs: int = 2,
+    rounding: str = "half_even",
+    engine_pool: Optional[int] = None,
 ) -> ModelEndpoint:
     """A calibrated endpoint for one model family (memoized per process).
 
     Deterministic per key: ``manual_seed(seed)`` before construction and a
     seeded rng for the calibration batch, so any process (or serve
     worker) building the same key pins an identical model and plan.
+    An explicit ``engine_pool`` resizes a memoized endpoint's pool.
     """
     from ..tensor import manual_seed
 
@@ -412,14 +608,22 @@ def build_endpoint(
     key = (family, seed, gs, rounding)
     if key in _ENDPOINT_MEMO:
         _ENDPOINT_MEMO.move_to_end(key)
-        return _ENDPOINT_MEMO[key]
+        endpoint = _ENDPOINT_MEMO[key]
+        if engine_pool is not None:
+            endpoint.resize_engine_pool(engine_pool)
+        return endpoint
     manual_seed(seed)
     config = spec.make_config()
     model = spec.build_model(config, gs)
     spec.calibrate(model, config, np.random.default_rng(seed))
     model.eval()
     endpoint = ModelEndpoint(
-        family, spec.scenario, model, spec.request_shape(config), rounding=rounding
+        family,
+        spec.scenario,
+        model,
+        spec.request_shape(config),
+        rounding=rounding,
+        engine_pool=engine_pool,
     )
     _ENDPOINT_MEMO[key] = endpoint
     while len(_ENDPOINT_MEMO) > _ENDPOINT_MEMO_CAP:
@@ -431,9 +635,10 @@ def default_registry(
     families: Sequence[str] = ("bert", "llama", "segformer"),
     seed: int = 0,
     gs: int = 2,
+    engine_pool: Optional[int] = None,
 ) -> EndpointRegistry:
     """The three-scenario registry the CLI and the benches serve from."""
     registry = EndpointRegistry()
     for family in families:
-        registry.register(build_endpoint(family, seed=seed, gs=gs))
+        registry.register(build_endpoint(family, seed=seed, gs=gs, engine_pool=engine_pool))
     return registry

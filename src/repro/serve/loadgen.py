@@ -38,6 +38,12 @@ class LoadSpec:
     concurrency: int = 8  # closed loop: outstanding requests
     rate_hz: float = 200.0  # open loop: mean arrival rate
     seed: int = 0
+    #: Variable-sequence-length mode: when set, scoring requests draw
+    #: their prompt length uniformly from ``[lo, hi]`` (inclusive, from
+    #: the same seeded stream) instead of using the endpoint's fixed
+    #: request shape — the traffic pattern that exercises bucketed
+    #: padded coalescing.  Non-scoring endpoints ignore it.
+    length_range: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -50,6 +56,12 @@ class LoadSpec:
             raise ValueError(f"rate_hz must be > 0, got {self.rate_hz}")
         if not self.mix or any(weight <= 0 for _, weight in self.mix):
             raise ValueError(f"mix needs positive weights, got {self.mix!r}")
+        if self.length_range is not None:
+            lo, hi = self.length_range
+            if lo < 1 or hi < lo:
+                raise ValueError(
+                    f"length_range must satisfy 1 <= lo <= hi, got {self.length_range}"
+                )
 
 
 def build_requests(
@@ -63,7 +75,16 @@ def build_requests(
     stream: List[Tuple[str, object]] = []
     for _ in range(spec.requests):
         name = names[int(rng.choice(len(names), p=weights))]
-        stream.append((name, registry.get(name).synth_request(rng)))
+        endpoint = registry.get(name)
+        if (
+            spec.length_range is not None
+            and getattr(endpoint, "scenario", None) == "scoring"
+        ):
+            lo, hi = spec.length_range
+            length = int(rng.integers(lo, hi + 1))
+            stream.append((name, endpoint.synth_request(rng, length=length)))
+        else:
+            stream.append((name, endpoint.synth_request(rng)))
     return stream
 
 

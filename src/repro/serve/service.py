@@ -103,6 +103,13 @@ class InferenceService:
         #: dispatcher routes through a supervised fleet; ``status()`` folds
         #: its node health into the service snapshot.
         self.supervisor = None
+        #: Set by :func:`repro.serve.workers.process_service`; ``status()``
+        #: folds its shm/pickle dataplane counters into the snapshot.
+        self.process_pool = None
+        #: Per-coalescing-key dispatch counters (batches served, requests
+        #: they carried) — with bucketed scoring keys this is the
+        #: per-bucket coalescing view ``status()`` reports.
+        self._key_stats: dict = {}
         self.metrics = ServiceMetrics()
         self._batcher = MicroBatcher(self.policy)
         self._lock = threading.Lock()
@@ -237,14 +244,36 @@ class InferenceService:
     def status(self) -> dict:
         """Live operational snapshot (what ``serve-admin status`` renders).
 
-        Combines the service's own state/queue/metrics with the
-        supervised fleet's node health when a supervisor is attached.
+        Combines the service's own state/queue/metrics with per-key queue
+        depths, per-bucket coalescing/padding stats, the process pool's
+        dataplane counters, and the supervised fleet's node health when
+        those components are attached.
         """
+        with self._lock:
+            state = self._state
+            depth = self._batcher.depth()
+            queues = {str(key): n for key, n in self._batcher.key_depths().items()}
+            coalescing = {key: dict(stats) for key, stats in self._key_stats.items()}
         report = {
-            "state": self.state,
-            "queue_depth": self.queue_depth(),
+            "state": state,
+            "queue_depth": depth,
+            "queues": queues,
+            "coalescing": coalescing,
             "metrics": self.metrics.snapshot(),
         }
+        endpoints = {}
+        for name in self.registry.names:
+            endpoint = self.registry.get(name)
+            if hasattr(endpoint, "pad_stats"):
+                endpoints[name] = {
+                    "bucketing": endpoint.bucketing,
+                    "engine_pool": endpoint.engines.size,
+                    "padding": endpoint.pad_stats(),
+                }
+        if endpoints:
+            report["endpoints"] = endpoints
+        if self.process_pool is not None:
+            report["dataplane"] = self.process_pool.dataplane_stats()
         if self.supervisor is not None:
             report["fleet"] = self.supervisor.status()
         return report
@@ -307,6 +336,12 @@ class InferenceService:
 
             record_cell_timing(f"serve/{batch.endpoint}/batch", "serve", service_s)
         self.metrics.on_batch(batch.endpoint, len(batch.requests), service_s)
+        with self._lock:
+            stats = self._key_stats.setdefault(
+                str(batch.key), {"batches": 0, "requests": 0}
+            )
+            stats["batches"] += 1
+            stats["requests"] += len(batch.requests)
         for pending, result in zip(batch.requests, results):
             timing = ServeTiming(
                 queue_s=started - pending.enqueued_at,

@@ -1,0 +1,367 @@
+"""Zero-copy payload transport: a shared-memory slot arena + descriptors.
+
+The process dataplane used to pickle every coalesced batch — request
+payloads down the executor/node pipe, response arrays back up — which
+puts serialization, not inference, at the top of the serve profile once
+batches are large.  This module replaces the payload bytes with a
+``multiprocessing.shared_memory`` **arena**: a fixed number of aligned,
+fixed-size slots over one segment.  The parent writes request tensors
+into a slot and ships only a tiny :class:`SlotDescriptor` — ``(slot,
+(dtype, shape, offset, nbytes) spans, sha256 digest)`` — over the pipe;
+the worker maps the same segment, reads the arrays zero-copy, writes its
+response arrays into a second, parent-pre-allocated slot, and replies
+with another descriptor.
+
+Design rules that make this crash-safe:
+
+- **All allocation is parent-side.**  Slot free lists and refcounts live
+  in ordinary parent memory, never in the shared segment, so a worker
+  that dies mid-batch (``kill -9`` included) cannot corrupt allocator
+  state.  The parent releases a dead worker's in-flight slots the moment
+  the pipe EOF surfaces — reclamation is a ``finally`` block, not a
+  distributed protocol.
+- **Descriptors are verified.**  Every read recomputes the spans' sha256
+  and compares it to the descriptor's digest; a torn write or corrupted
+  descriptor raises :class:`ShmIntegrityError` instead of serving wrong
+  bytes.
+- **Backpressure, then failure.**  ``acquire`` blocks while the arena is
+  full (bounded memory under load) and raises
+  :class:`ArenaExhaustedError` after its timeout.
+- **Graceful fallback.**  A payload bigger than one slot raises
+  :class:`SlotOverflowError`; callers fall back to the pickle path for
+  that batch.  ``REPRO_SHM=0`` disables the arena wholesale (the
+  supported fallback configuration, exercised in CI).
+
+Knobs: ``REPRO_SHM`` (default on), ``REPRO_SHM_SLOTS`` (default 32),
+``REPRO_SHM_SLOT_KB`` (default 1024).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Spans are aligned to this many bytes inside a slot, so every mapped
+#: array view is properly aligned (same discipline as the artifact
+#: payload packing in :mod:`repro.artifacts.format`).
+SPAN_ALIGN = 64
+
+
+class ShmError(RuntimeError):
+    """Base class for arena transport failures."""
+
+
+class ArenaExhaustedError(ShmError):
+    """No free slot became available within the acquire timeout."""
+
+
+class SlotOverflowError(ShmError):
+    """The arrays do not fit in one slot; use the pickle fallback."""
+
+
+class ShmIntegrityError(ShmError):
+    """A descriptor's digest does not match the bytes it points at."""
+
+
+def shm_enabled() -> bool:
+    """The ``REPRO_SHM`` gate (default on; ``0`` falls back to pickle)."""
+    return os.environ.get("REPRO_SHM", "1") not in ("0", "false", "no", "off")
+
+
+def default_geometry() -> Tuple[int, int]:
+    """(slots, slot_bytes) from the environment knobs."""
+    slots = int(os.environ.get("REPRO_SHM_SLOTS", "32") or "32")
+    slot_kb = int(os.environ.get("REPRO_SHM_SLOT_KB", "1024") or "1024")
+    return max(1, slots), max(SPAN_ALIGN, slot_kb * 1024)
+
+
+def _spans_digest(views: Sequence[np.ndarray]) -> str:
+    h = hashlib.sha256()
+    for view in views:
+        h.update(str(view.dtype.str).encode("ascii"))
+        h.update(repr(view.shape).encode("ascii"))
+        h.update(view.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SlotDescriptor:
+    """What actually crosses the pipe: where the arrays live, not the bytes.
+
+    ``spans`` is a tuple of ``(dtype_str, shape, offset, nbytes)`` — the
+    offsets are slot-relative.  ``digest`` is the sha256 over every
+    span's dtype/shape/bytes, verified on read.
+    """
+
+    slot: int
+    spans: Tuple[Tuple[str, Tuple[int, ...], int, int], ...]
+    digest: str
+
+    @property
+    def nbytes(self) -> int:
+        return sum(span[3] for span in self.spans)
+
+
+class ShmArena:
+    """A ring of fixed-size aligned slots over one shared-memory segment.
+
+    The creating (parent) process owns the allocator — ``acquire`` /
+    ``release`` / refcounts are parent-side only.  Workers attach with
+    :meth:`attach` and may only read descriptors handed to them and
+    write into slots the parent pre-allocated (:meth:`write`).
+    """
+
+    def __init__(
+        self,
+        slots: Optional[int] = None,
+        slot_bytes: Optional[int] = None,
+        name: Optional[str] = None,
+        _create: bool = True,
+    ) -> None:
+        default_slots, default_bytes = default_geometry()
+        self.slots = int(slots if slots is not None else default_slots)
+        self.slot_bytes = int(slot_bytes if slot_bytes is not None else default_bytes)
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if self.slot_bytes < SPAN_ALIGN:
+            raise ValueError(f"slot_bytes must be >= {SPAN_ALIGN}, got {self.slot_bytes}")
+        self._owner = _create
+        if _create:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=self.slots * self.slot_bytes
+            )
+        else:
+            # Attach without registering with the resource tracker: only
+            # the owner may unlink, and (under fork) the tracker is
+            # shared with the parent, so a child-side unregister would
+            # strip the parent's own registration.  Suppressing the
+            # register call during attach sidesteps both failure modes
+            # (Python 3.13 exposes this as ``track=False``).
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                self._shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        self._buf = self._shm.buf
+        self._closed = False
+        # Parent-side allocator state (meaningless on attached arenas).
+        self._lock = threading.Lock()
+        self._free_slot = threading.Condition(self._lock)
+        self._free: deque = deque(range(self.slots))
+        self._refs: Dict[int, int] = {}
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "ShmArena":
+        """Map an existing arena (worker side — no allocator rights)."""
+        return cls(slots=slots, slot_bytes=slot_bytes, name=name, _create=False)
+
+    def geometry(self) -> Tuple[str, int, int]:
+        """(name, slots, slot_bytes) — everything a worker needs to attach."""
+        return (self.name, self.slots, self.slot_bytes)
+
+    # ------------------------------------------------------------------
+    # Allocation (owner side)
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = 5.0) -> int:
+        """Claim a free slot (refcount 1); blocks while the arena is full.
+
+        Blocking *is* the backpressure: submission throttles to slot
+        turnover instead of growing unbounded.  After ``timeout`` seconds
+        with no free slot, raises :class:`ArenaExhaustedError`.
+        """
+        if not self._owner:
+            raise ShmError("only the arena owner allocates slots")
+        with self._free_slot:
+            if not self._free and not self._free_slot.wait_for(
+                lambda: bool(self._free), timeout=timeout
+            ):
+                raise ArenaExhaustedError(
+                    f"no free arena slot within {timeout}s "
+                    f"({self.slots} slots, all in flight)"
+                )
+            slot = self._free.popleft()
+            self._refs[slot] = 1
+            return slot
+
+    def retain(self, slot: int) -> None:
+        """Bump a held slot's refcount (shared ownership across readers)."""
+        with self._lock:
+            if slot not in self._refs:
+                raise ShmError(f"slot {slot} is not held")
+            self._refs[slot] += 1
+
+    def release(self, slot: int) -> None:
+        """Drop one reference; the slot returns to the free list at zero.
+
+        Idempotent for already-free slots so crash-cleanup paths can
+        release unconditionally.
+        """
+        with self._free_slot:
+            count = self._refs.get(slot)
+            if count is None:
+                return
+            if count > 1:
+                self._refs[slot] = count - 1
+                return
+            del self._refs[slot]
+            self._free.append(slot)
+            self._free_slot.notify()
+
+    def in_use(self) -> int:
+        """How many slots are currently held (0 == fully reclaimed)."""
+        with self._lock:
+            return len(self._refs)
+
+    # ------------------------------------------------------------------
+    # Data plane (both sides)
+    # ------------------------------------------------------------------
+    def write(self, slot: int, arrays: Sequence[np.ndarray]) -> SlotDescriptor:
+        """Copy ``arrays`` into ``slot`` at 64-byte alignment; descriptor out."""
+        if not 0 <= slot < self.slots:
+            raise ShmError(f"slot {slot} outside arena of {self.slots}")
+        base = slot * self.slot_bytes
+        offset = 0
+        spans: List[Tuple[str, Tuple[int, ...], int, int]] = []
+        views: List[np.ndarray] = []
+        for array in arrays:
+            value = np.ascontiguousarray(array)
+            pad = -offset % SPAN_ALIGN
+            offset += pad
+            nbytes = value.nbytes
+            if offset + nbytes > self.slot_bytes:
+                raise SlotOverflowError(
+                    f"{len(arrays)} arrays need > {self.slot_bytes} bytes in slot "
+                    f"{slot} (overflowed at {offset + nbytes})"
+                )
+            view = np.frombuffer(
+                self._buf, dtype=value.dtype, count=value.size, offset=base + offset
+            ).reshape(value.shape)
+            view[...] = value
+            spans.append((value.dtype.str, tuple(value.shape), offset, nbytes))
+            views.append(view)
+            offset += nbytes
+        return SlotDescriptor(slot=slot, spans=tuple(spans), digest=_spans_digest(views))
+
+    def read(self, descriptor: SlotDescriptor, copy: bool = True) -> List[np.ndarray]:
+        """Map a descriptor's arrays back out; verifies the digest first.
+
+        ``copy=True`` (the default) returns owned arrays, so the slot can
+        be released immediately after; ``copy=False`` returns views that
+        are only valid while the slot is held.
+        """
+        if not 0 <= descriptor.slot < self.slots:
+            raise ShmIntegrityError(
+                f"descriptor slot {descriptor.slot} outside arena of {self.slots}"
+            )
+        base = descriptor.slot * self.slot_bytes
+        views: List[np.ndarray] = []
+        for dtype_str, shape, offset, nbytes in descriptor.spans:
+            dtype = np.dtype(dtype_str)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if offset < 0 or offset + nbytes > self.slot_bytes or count * dtype.itemsize != nbytes:
+                raise ShmIntegrityError(
+                    f"span {dtype_str}{shape} at {offset}+{nbytes} does not fit "
+                    f"slot {descriptor.slot}"
+                )
+            views.append(
+                np.frombuffer(
+                    self._buf, dtype=dtype, count=count, offset=base + offset
+                ).reshape(shape)
+            )
+        actual = _spans_digest(views)
+        if actual != descriptor.digest:
+            raise ShmIntegrityError(
+                f"slot {descriptor.slot} content hashes to {actual[:12]}, "
+                f"descriptor says {descriptor.digest[:12]} (torn write or "
+                "corrupted descriptor)"
+            )
+        return [view.copy() for view in views] if copy else views
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segment (and unlink it if this process created it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        try:
+            self._shm.close()
+        except BufferError:  # outstanding copy=False views somewhere;
+            pass  # the mapping goes away with the process instead
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"ShmArena({self.name!r}, {role}, slots={self.slots}, "
+            f"slot_bytes={self.slot_bytes}, in_use={len(self._refs)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Result packing: responses cross the arena as raw arrays
+# ----------------------------------------------------------------------
+# Response dataclasses carry derived scalars (labels, top tokens, class
+# maps) next to the float tensors.  Only the tensors cross the arena;
+# the receiving side re-derives the scalars with the exact same argmax
+# the worker would have run — deterministic given bit-identical logits,
+# so the rebuilt responses are byte-equal to pickled ones.
+
+
+def pack_results(scenario: str, results: Sequence[object]) -> np.ndarray:
+    """Stack a batch's raw outputs into one array for the response slot."""
+    from .types import raw_output
+
+    return np.stack([np.asarray(raw_output(result)) for result in results])
+
+
+def unpack_results(scenario: str, stacked: np.ndarray) -> List[object]:
+    """Rebuild per-request responses from a response slot's stacked array.
+
+    Mirrors :meth:`ModelEndpoint.infer_batch`'s response construction
+    exactly — one row per request, scalars re-derived by argmax.
+    """
+    from .types import ClassificationResponse, ScoringResponse, SegmentationResponse
+
+    if scenario == "scoring":
+        return [
+            ScoringResponse(logprobs=row, top_token=int(row.argmax()))
+            for row in stacked
+        ]
+    if scenario == "segmentation":
+        return [
+            SegmentationResponse(logits=row, class_map=row.argmax(axis=-1))
+            for row in stacked
+        ]
+    if scenario == "classification":
+        return [
+            ClassificationResponse(logits=row, label=int(row.argmax()))
+            for row in stacked
+        ]
+    raise KeyError(f"unknown scenario {scenario!r}")

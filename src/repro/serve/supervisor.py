@@ -51,6 +51,14 @@ import numpy as np
 from .batcher import BatchPolicy
 from .metrics import percentile
 from .service import InferenceService
+from .shm import (
+    ShmArena,
+    ShmIntegrityError,
+    SlotOverflowError,
+    pack_results,
+    shm_enabled,
+    unpack_results,
+)
 from .types import raw_output
 
 PathLike = Union[str, Path]
@@ -105,6 +113,7 @@ def _node_main(
     dtype_name: str,
     heartbeat_s: float,
     cache_activations: object = False,
+    arena_geometry=None,
 ) -> None:
     """Serve loop of one worker node (runs in the child process).
 
@@ -113,6 +122,12 @@ def _node_main(
     are sent *from the serve loop itself* — not a side thread — so a
     wedged loop stops beating and the parent watchdog can tell "alive
     but unable to serve" from "idle".
+
+    With ``arena_geometry`` the node also serves ``infer_shm``: payloads
+    arrive as arena descriptors and the response tensors go back through
+    a parent-pre-allocated slot.  The node never allocates arena slots —
+    all slot lifecycle stays in the parent, which is what makes a
+    ``kill -9`` here reclaimable by a plain parent-side ``finally``.
     """
     from ..artifacts import read_manifest
     from .workers import load_worker_endpoints
@@ -122,6 +137,9 @@ def _node_main(
             assignments, dtype_name, cache_activations=cache_activations
         )
         digests = {ep: read_manifest(path)["digest"] for ep, path in assignments.items()}
+        arena = (
+            ShmArena.attach(*arena_geometry) if arena_geometry is not None else None
+        )
         conn.send(("ready", digests))
     except BaseException as error:  # pragma: no cover - load failure path
         try:
@@ -155,6 +173,29 @@ def _node_main(
                 conn.send(("error", task_id, f"{type(error).__name__}: {error}"))
                 continue
             conn.send(("result", task_id, results))
+        elif op == "infer_shm":
+            _, task_id, endpoint_name, request, resp_slot = message
+            payloads = None
+            try:
+                endpoint = endpoints[endpoint_name]
+                payloads = arena.read(request, copy=False)
+                results = endpoint.infer_batch(payloads)
+                # Drop the zero-copy views now: lingering views would pin
+                # the mapping open past arena close / process teardown.
+                payloads = None
+                try:
+                    descriptor = arena.write(
+                        resp_slot, [pack_results(endpoint.scenario, results)]
+                    )
+                    reply = ("result_shm", task_id, descriptor, endpoint.scenario)
+                except SlotOverflowError:
+                    # Response outgrew its slot: same results, pickled.
+                    reply = ("result", task_id, results)
+            except BaseException as error:
+                payloads = None
+                conn.send(("error", task_id, f"{type(error).__name__}: {error}"))
+                continue
+            conn.send(reply)
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +297,8 @@ class ServeSupervisor:
         circuit_threshold: int = 5,
         max_replays: int = 8,
         cache_activations: object = False,
+        use_shm: Optional[bool] = None,
+        shm_timeout_s: float = 30.0,
     ) -> None:
         if nodes < 1:
             raise ValueError(f"nodes must be >= 1, got {nodes}")
@@ -278,6 +321,10 @@ class ServeSupervisor:
         self.circuit_threshold = circuit_threshold
         self.max_replays = max_replays
         self.cache_activations = cache_activations
+        self.use_shm = shm_enabled() if use_shm is None else bool(use_shm)
+        self.shm_timeout_s = shm_timeout_s
+        self._arena: Optional[ShmArena] = None
+        self._dataplane = {"shm_batches": 0, "pickle_batches": 0, "shm_fallbacks": 0}
         self._dtype_name = default_dtype().__name__
         self._ctx = multiprocessing.get_context()
 
@@ -304,6 +351,8 @@ class ServeSupervisor:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self, wait_ready: bool = True) -> "ServeSupervisor":
+        if self.use_shm and self._arena is None:
+            self._arena = ShmArena()
         with self._cond:
             if self._running:
                 raise RuntimeError("supervisor already running")
@@ -346,6 +395,9 @@ class ServeSupervisor:
                 if node.state != "broken":
                     node.state = "stopped"
             self._cond.notify_all()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "ServeSupervisor":
         return self.start()
@@ -368,6 +420,7 @@ class ServeSupervisor:
                 self._dtype_name,
                 self.heartbeat_interval_s,
                 self.cache_activations,
+                self._arena.geometry() if self._arena is not None else None,
             ),
             daemon=True,
         )
@@ -612,38 +665,79 @@ class ServeSupervisor:
             task_id = self._next_task
             self._next_task += 1
         conn = node.conn
-        try:
-            with node.send_lock:
-                conn.send(("infer", task_id, endpoint, payloads))
-        except (BrokenPipeError, OSError) as error:
-            raise NodeFailure(f"send failed: {error}") from error
-        deadline = time.monotonic() + self.batch_timeout_s
-        started = time.monotonic()
-        while True:
+        # Shm dataplane: stage the payloads in the arena and ship only a
+        # descriptor.  BOTH slots (request + the response slot the node
+        # will write into) are allocated here, parent-side, and released
+        # in the finally below — so any exit, including the NodeFailure a
+        # kill -9 raises via pipe EOF, reclaims them in full.
+        arena = self._arena
+        outbound = None
+        req_slot = resp_slot = None
+        if arena is not None:
+            req_slot = arena.acquire(timeout=self.shm_timeout_s)
             try:
-                if not conn.poll(0.05):
-                    if not node.process.is_alive():
-                        raise NodeFailure("process died mid-batch")
-                    if time.monotonic() > deadline:
-                        raise NodeFailure(
-                            f"batch timed out after {self.batch_timeout_s:.1f}s"
-                        )
+                request = arena.write(req_slot, payloads)
+                resp_slot = arena.acquire(timeout=self.shm_timeout_s)
+                outbound = ("infer_shm", task_id, endpoint, request, resp_slot)
+            except SlotOverflowError:
+                arena.release(req_slot)
+                req_slot = None
+                with self._cond:
+                    self._dataplane["shm_fallbacks"] += 1
+            except BaseException:
+                arena.release(req_slot)
+                raise
+        try:
+            try:
+                with node.send_lock:
+                    conn.send(outbound or ("infer", task_id, endpoint, payloads))
+            except (BrokenPipeError, OSError) as error:
+                raise NodeFailure(f"send failed: {error}") from error
+            deadline = time.monotonic() + self.batch_timeout_s
+            started = time.monotonic()
+            while True:
+                try:
+                    if not conn.poll(0.05):
+                        if not node.process.is_alive():
+                            raise NodeFailure("process died mid-batch")
+                        if time.monotonic() > deadline:
+                            raise NodeFailure(
+                                f"batch timed out after {self.batch_timeout_s:.1f}s"
+                            )
+                        continue
+                    message = conn.recv()
+                except (EOFError, OSError) as error:
+                    raise NodeFailure(f"pipe closed mid-batch: {error}") from error
+                node.last_seen = time.monotonic()
+                op = message[0]
+                if op == "hb":
                     continue
-                message = conn.recv()
-            except (EOFError, OSError) as error:
-                raise NodeFailure(f"pipe closed mid-batch: {error}") from error
-            node.last_seen = time.monotonic()
-            op = message[0]
-            if op == "hb":
-                continue
-            if op == "result" and message[1] == task_id:
-                node.record_service(endpoint, time.monotonic() - started)
-                return message[2]
-            if op == "error" and message[1] == task_id:
-                # An application error (bad payload reached a worker) is
-                # not a node failure: the node stays up, the batch fails.
-                self._release_node(node, ok=True)
-                raise SupervisorError(f"endpoint {endpoint!r} raised: {message[2]}")
+                if op == "result" and message[1] == task_id:
+                    node.record_service(endpoint, time.monotonic() - started)
+                    with self._cond:
+                        self._dataplane["pickle_batches"] += 1
+                    return message[2]
+                if op == "result_shm" and message[1] == task_id:
+                    node.record_service(endpoint, time.monotonic() - started)
+                    try:
+                        (stacked,) = arena.read(message[2])
+                    except ShmIntegrityError as error:
+                        # Torn/corrupt transport is a node fault, not an
+                        # application error: replay on another node.
+                        raise NodeFailure(f"shm result corrupted: {error}") from error
+                    with self._cond:
+                        self._dataplane["shm_batches"] += 1
+                    return unpack_results(message[3], stacked)
+                if op == "error" and message[1] == task_id:
+                    # An application error (bad payload reached a worker) is
+                    # not a node failure: the node stays up, the batch fails.
+                    self._release_node(node, ok=True)
+                    raise SupervisorError(f"endpoint {endpoint!r} raised: {message[2]}")
+        finally:
+            if resp_slot is not None:
+                arena.release(resp_slot)
+            if req_slot is not None:
+                arena.release(req_slot)
 
     def _verify_canary(
         self,
@@ -1031,7 +1125,16 @@ class ServeSupervisor:
                     "canary_matches": route.canary_matches,
                     "canary_mismatches": route.canary_mismatches,
                 }
-            return {"running": self._running, "nodes": nodes, "routes": routes}
+            dataplane = dict(self._dataplane)
+            dataplane["transport"] = "shm" if self._arena is not None else "pipe"
+            dataplane["arena_slots"] = self._arena.slots if self._arena else 0
+            dataplane["arena_in_use"] = self._arena.in_use() if self._arena else 0
+            return {
+                "running": self._running,
+                "nodes": nodes,
+                "routes": routes,
+                "dataplane": dataplane,
+            }
 
     def __repr__(self) -> str:
         with self._cond:
@@ -1120,6 +1223,14 @@ def supervised_service(
 def format_status(status: Dict[str, object]) -> str:
     """Human-readable fleet status (what ``serve-admin status`` prints)."""
     lines = [f"fleet: {'running' if status['running'] else 'stopped'}"]
+    dataplane = status.get("dataplane")
+    if dataplane:
+        lines.append(
+            f"dataplane: {dataplane['transport']} "
+            f"shm={dataplane['shm_batches']} pickle={dataplane['pickle_batches']} "
+            f"fallbacks={dataplane['shm_fallbacks']} "
+            f"slots={dataplane['arena_in_use']}/{dataplane['arena_slots']}"
+        )
     lines.append("nodes:")
     for name, node in status["nodes"].items():
         lines.append(

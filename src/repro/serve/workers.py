@@ -37,8 +37,23 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from .batcher import BatchPolicy
-from .endpoint import SCENARIOS, EndpointRegistry, normalize_payload, synth_request
+from .endpoint import (
+    SCENARIOS,
+    EndpointRegistry,
+    bucketing_enabled,
+    length_bucket,
+    normalize_payload,
+    synth_request,
+)
 from .service import InferenceService
+from .shm import (
+    ShmArena,
+    SlotDescriptor,
+    SlotOverflowError,
+    pack_results,
+    shm_enabled,
+    unpack_results,
+)
 
 PathLike = Union[str, Path]
 
@@ -49,6 +64,7 @@ PathLike = Union[str, Path]
 # (the executor's per-process-memo idiom: load once, serve many).
 
 _WORKER_ENDPOINTS: Dict[str, object] = {}
+_WORKER_ARENA: List[Optional[ShmArena]] = [None]
 
 
 def load_worker_endpoints(
@@ -79,6 +95,7 @@ def _init_worker(
     dtype_name: str,
     cache_activations: object,
     barrier=None,
+    arena_geometry=None,
 ) -> None:
     _WORKER_ENDPOINTS.clear()
     _WORKER_ENDPOINTS.update(
@@ -86,6 +103,9 @@ def _init_worker(
             artifact_paths, dtype_name, cache_activations=cache_activations
         )
     )
+    if arena_geometry is not None:
+        name, slots, slot_bytes = arena_geometry
+        _WORKER_ARENA[0] = ShmArena.attach(name, slots, slot_bytes)
     if barrier is not None:
         # All pool processes spawn together on the first submit, and each
         # runs this initializer exactly once — so waiting here means no
@@ -101,6 +121,29 @@ def _init_worker(
 
 def _worker_infer(endpoint_name: str, payloads: List[np.ndarray]) -> list:
     return _WORKER_ENDPOINTS[endpoint_name].infer_batch(payloads)
+
+
+def _worker_infer_shm(
+    endpoint_name: str, request: SlotDescriptor, resp_slot: int
+) -> tuple:
+    """Shm-dataplane batch: payloads in via descriptor, raw arrays out.
+
+    The request slot stays held parent-side until this call returns, so
+    the zero-copy (``copy=False``) views stay valid for the whole batch.
+    The response goes into ``resp_slot`` (pre-allocated by the parent —
+    workers never allocate); if the stacked response outgrows the slot we
+    degrade to returning the pickled results, bit-identical either way.
+    """
+    arena = _WORKER_ARENA[0]
+    endpoint = _WORKER_ENDPOINTS[endpoint_name]
+    payloads = arena.read(request, copy=False)
+    results = endpoint.infer_batch(payloads)
+    scenario = endpoint.scenario
+    try:
+        descriptor = arena.write(resp_slot, [pack_results(scenario, results)])
+    except SlotOverflowError:
+        return ("pickle", results)
+    return ("shm", descriptor, scenario)
 
 
 def _worker_ready() -> bool:
@@ -137,6 +180,10 @@ class ArtifactEndpointStub:
         self._in_channels = int(config.get("in_channels", 0))
         self._max_seq_len = int(config.get("max_seq_len", 0))
         self._vocab_size = int(config.get("vocab_size", 0))
+        # Must mirror ModelEndpoint: scoring traffic coalesces by length
+        # *bucket* (the worker-side endpoint pads within the bucket);
+        # bidirectional scenarios keep exact-shape keys.
+        self.bucketing = self.scenario == "scoring" and bucketing_enabled()
 
     @property
     def request_type(self) -> type:
@@ -153,11 +200,18 @@ class ArtifactEndpointStub:
         )
 
     def coalesce_key(self, payload: np.ndarray) -> tuple:
+        if self.bucketing:
+            bucket = length_bucket(int(payload.shape[0]), self._max_seq_len)
+            return (self.name, ("bucket", bucket))
         return (self.name, payload.shape)
 
-    def synth_request(self, rng: np.random.Generator):
+    def synth_request(self, rng: np.random.Generator, length: Optional[int] = None):
         return synth_request(
-            self.scenario, self.request_shape, rng, vocab_size=self._vocab_size
+            self.scenario,
+            self.request_shape,
+            rng,
+            vocab_size=self._vocab_size,
+            length=length,
         )
 
     def repoint(self, path: PathLike) -> None:
@@ -197,13 +251,23 @@ class ArtifactEndpointStub:
 
 
 class ProcessEndpointPool:
-    """Worker processes serving batches from artifact-loaded endpoints."""
+    """Worker processes serving batches from artifact-loaded endpoints.
+
+    When the shared-memory dataplane is on (``REPRO_SHM``, default
+    enabled), batch payloads and response tensors travel through a
+    :class:`~repro.serve.shm.ShmArena` and only slot descriptors cross
+    the executor pipe; ``use_shm=False`` (or ``REPRO_SHM=0``) keeps the
+    original pickle dataplane.  Oversized batches fall back to pickle
+    per-batch; the bits are identical on every path.
+    """
 
     def __init__(
         self,
         artifacts: Mapping[str, PathLike],
         processes: int = 2,
         cache_activations: object = False,
+        use_shm: Optional[bool] = None,
+        shm_timeout_s: float = 30.0,
     ) -> None:
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -213,6 +277,10 @@ class ProcessEndpointPool:
 
         self.artifacts = {name: Path(path) for name, path in artifacts.items()}
         self.processes = processes
+        self.shm_timeout_s = shm_timeout_s
+        self.arena = ShmArena() if (shm_enabled() if use_shm is None else use_shm) else None
+        self._stats_lock = threading.Lock()
+        self.stats = {"shm_batches": 0, "pickle_batches": 0, "shm_fallbacks": 0}
         # The executor discipline: workers replicate process-global config
         # through the initializer (identical under fork, required under
         # spawn), then memoize their loaded endpoints for the pool's life.
@@ -227,6 +295,7 @@ class ProcessEndpointPool:
                 default_dtype().__name__,
                 cache_activations,
                 barrier,
+                self.arena.geometry() if self.arena is not None else None,
             ),
         )
 
@@ -242,10 +311,61 @@ class ProcessEndpointPool:
         """Serve one coalesced batch in whichever worker is free (blocking)."""
         if endpoint_name not in self.artifacts:
             raise KeyError(f"no artifact for endpoint {endpoint_name!r}")
-        return self._pool.submit(_worker_infer, endpoint_name, list(payloads)).result()
+        payloads = list(payloads)
+        if self.arena is not None:
+            try:
+                return self._infer_shm(endpoint_name, payloads)
+            except SlotOverflowError:
+                # Batch bigger than one slot: this batch rides the pickle
+                # path (same bits, just serialized).
+                with self._stats_lock:
+                    self.stats["shm_fallbacks"] += 1
+        with self._stats_lock:
+            self.stats["pickle_batches"] += 1
+        return self._pool.submit(_worker_infer, endpoint_name, payloads).result()
+
+    def _infer_shm(self, endpoint_name: str, payloads: List[np.ndarray]) -> list:
+        """One batch over the arena; slots are released here no matter what.
+
+        The ``finally`` blocks are the crash-safety story: a worker that
+        dies mid-batch surfaces as ``BrokenProcessPool`` from
+        ``.result()``, and both slots return to the free list on the way
+        out — a dead worker can never leak arena capacity.
+        """
+        arena = self.arena
+        req_slot = arena.acquire(timeout=self.shm_timeout_s)
+        try:
+            request = arena.write(req_slot, payloads)
+            resp_slot = arena.acquire(timeout=self.shm_timeout_s)
+            try:
+                reply = self._pool.submit(
+                    _worker_infer_shm, endpoint_name, request, resp_slot
+                ).result()
+                if reply[0] == "pickle":  # response outgrew its slot
+                    results = reply[1]
+                else:
+                    (stacked,) = arena.read(reply[1])
+                    results = unpack_results(reply[2], stacked)
+                with self._stats_lock:
+                    self.stats["shm_batches"] += 1
+                return results
+            finally:
+                arena.release(resp_slot)
+        finally:
+            arena.release(req_slot)
+
+    def dataplane_stats(self) -> Dict[str, int]:
+        """Shm/pickle batch counters plus current arena occupancy."""
+        with self._stats_lock:
+            stats = dict(self.stats)
+        stats["arena_slots"] = self.arena.slots if self.arena is not None else 0
+        stats["arena_in_use"] = self.arena.in_use() if self.arena is not None else 0
+        return stats
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
+        if self.arena is not None:
+            self.arena.close()
 
     def __enter__(self) -> "ProcessEndpointPool":
         self.warmup()
@@ -275,6 +395,7 @@ def process_service(
     processes: int = 2,
     dispatch_threads: Optional[int] = None,
     cache_activations: object = False,
+    use_shm: Optional[bool] = None,
     **service_kwargs,
 ) -> InferenceService:
     """An :class:`InferenceService` served entirely by process workers.
@@ -287,7 +408,10 @@ def process_service(
     pool shuts down when the service drains or aborts.
     """
     pool = ProcessEndpointPool(
-        artifacts, processes=processes, cache_activations=cache_activations
+        artifacts,
+        processes=processes,
+        cache_activations=cache_activations,
+        use_shm=use_shm,
     )
     service = InferenceService(
         stub_registry(artifacts),

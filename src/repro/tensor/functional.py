@@ -8,11 +8,27 @@ from scipy import special
 from .tensor import Tensor, make_op
 
 
-def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+def softmax(x: Tensor, axis: int = -1, pad_invariant: bool = False) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    ``pad_invariant=True`` computes the denominator with a strict
+    left-to-right scan (``cumsum``) instead of ``np.sum``'s pairwise
+    tree.  Appending ``-inf``-masked entries to a row then contributes
+    exact ``+0.0`` terms to an unchanged prefix fold, so the softmax of a
+    row is bit-identical no matter how much masked tail padding follows
+    it.  ``np.sum`` does *not* have this property: its pairwise summation
+    regroups the real terms when the axis length crosses an unroll
+    threshold.  Causal attention uses this mode so that right-padded
+    sequences reproduce the unpadded bits exactly (the bucketed-coalescing
+    invariant of :mod:`repro.serve`).
+    """
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    if pad_invariant:
+        denom = np.cumsum(exp, axis=axis).take([-1], axis=axis)
+    else:
+        denom = exp.sum(axis=axis, keepdims=True)
+    out_data = exp / denom
 
     def backward(g: np.ndarray):
         dot = (g * out_data).sum(axis=axis, keepdims=True)

@@ -99,6 +99,91 @@ class TestFairnessAndKeys:
         assert b.key_depths() == {key(): 2}
 
 
+class TestHeapFairness:
+    """Pins the lazy-deletion heap rewrite to the original FIFO contract."""
+
+    def test_fifo_across_many_keys(self):
+        # Interleave arrivals across 8 bucket-style keys with strictly
+        # increasing timestamps; once everything has aged past the delay,
+        # dispatch order must follow oldest-head-first exactly.
+        b = MicroBatcher(BatchPolicy(max_batch=64, max_delay_s=0.001))
+        keys = [("llama", ("bucket", 1 << k)) for k in range(8)]
+        t = 1.0
+        expected_heads = []
+        for i in range(40):
+            k = keys[(i * 5) % len(keys)]  # scrambled key order
+            if k not in [key for key, _ in expected_heads]:
+                expected_heads.append((k, t))
+            b.put(k, pending(i, endpoint="llama", t=t))
+            t += 0.01
+        order = []
+        while True:
+            batch = b.pop_ready(now=t + 1.0)
+            if batch is None:
+                break
+            order.append(batch.key)
+        assert order == [key for key, _ in sorted(expected_heads, key=lambda e: e[1])]
+        assert b.depth() == 0
+
+    def test_full_queue_waits_behind_older_ready_head(self):
+        # An old aged head must dispatch before a younger full queue —
+        # fullness is a readiness trigger, not a priority boost.
+        b = MicroBatcher(BatchPolicy(max_batch=2, max_delay_s=0.005))
+        b.put(key("bert"), pending(0, t=1.0))
+        b.put(key("llama", (2,)), pending(1, endpoint="llama", t=2.0, shape=(2,)))
+        b.put(key("llama", (2,)), pending(2, endpoint="llama", t=2.0, shape=(2,)))
+        first = b.pop_ready(now=2.0)  # bert head aged out; llama is full
+        assert first.endpoint == "bert"
+        second = b.pop_ready(now=2.0)
+        assert second.endpoint == "llama" and len(second) == 2
+
+    def test_young_full_queue_dispatches_while_older_head_waits(self):
+        # Inverse case: nothing aged, so the full queue goes first even
+        # though another queue holds the globally oldest head.
+        b = MicroBatcher(BatchPolicy(max_batch=2, max_delay_s=10.0))
+        b.put(key("bert"), pending(0, t=1.0))
+        b.put(key("llama", (2,)), pending(1, endpoint="llama", t=2.0, shape=(2,)))
+        b.put(key("llama", (2,)), pending(2, endpoint="llama", t=2.0, shape=(2,)))
+        batch = b.pop_ready(now=2.0)
+        assert batch.endpoint == "llama"
+        assert b.pop_ready(now=2.0) is None  # bert still young and short
+
+    def test_identical_timestamps_never_lose_or_duplicate(self):
+        # The regression the full-heap length re-check fixed: a flood of
+        # same-timestamp puts across keys must dispatch every request
+        # exactly once, in stable per-key FIFO order.
+        b = MicroBatcher(BatchPolicy(max_batch=3, max_delay_s=10.0))
+        n = 0
+        for _ in range(4):  # 4 rounds x 3 keys x 2 puts, all at t=1.0
+            for shape in ((2,), (4,), (6,)):
+                for _ in range(2):
+                    b.put(key(shape=shape), pending(n, t=1.0, shape=shape))
+                    n += 1
+        seen = []
+        while True:
+            batch = b.pop_ready(now=1.0, flush=True)
+            if batch is None:
+                break
+            assert len(batch) <= 3
+            seen.extend(p.request_id for p in batch.requests)
+        assert sorted(seen) == list(range(n))  # nothing lost, nothing doubled
+        assert b.depth() == 0
+
+    def test_interleaved_pop_and_put_keeps_heads_fresh(self):
+        # Stale heap entries from popped heads must never shadow the
+        # true oldest head after new arrivals.
+        b = MicroBatcher(BatchPolicy(max_batch=2, max_delay_s=0.0))
+        b.put(key("bert"), pending(0, t=1.0))
+        b.put(key("bert"), pending(1, t=1.1))
+        assert b.pop_ready(now=1.2).endpoint == "bert"
+        b.put(key("llama", (2,)), pending(2, endpoint="llama", t=1.3, shape=(2,)))
+        b.put(key("bert"), pending(3, t=1.4))
+        batch = b.pop_ready(now=2.0)
+        assert [p.request_id for p in batch.requests] == [2]  # llama head older
+        batch = b.pop_ready(now=2.0)
+        assert [p.request_id for p in batch.requests] == [3]
+
+
 class TestNextDeadline:
     def test_empty_is_none(self):
         b = MicroBatcher(BatchPolicy())

@@ -105,3 +105,93 @@ def test_segmentation_class_maps_match_under_batching():
     for request, coalesced in zip(requests, batched):
         single = endpoint.serve_one(request)
         assert np.array_equal(coalesced.class_map, single.class_map)
+
+
+# ----------------------------------------------------------------------
+# Bucketed padding: every (length, bucket) pair is bit-identical
+# ----------------------------------------------------------------------
+
+
+def test_padding_tripwire_every_length_and_bucket():
+    """Deterministic sweep: each prompt length 1..max_seq_len serves the
+    same bits alone (padded to its own bucket) and inside a mixed batch
+    padded to the *maximum* bucket.  If someone replaces the causal
+    pad-invariant softmax with a plain one, this is the test that snaps.
+    """
+    endpoint = build_endpoint("llama")
+    max_len = endpoint.model.config.max_seq_len
+    for seed in (0, 1):
+        rng = np.random.default_rng(seed)
+        requests = [
+            endpoint.synth_request(rng, length=length)
+            for length in range(1, max_len + 1)
+        ]
+        payloads = [endpoint.request_payload(r) for r in requests]
+        singles = [endpoint.serve_one(r) for r in requests]
+        # One batch holding every length pads everything to the top
+        # bucket — the maximal padding any request can ever receive.
+        mixed = endpoint.infer_batch(payloads)
+        for length, single, padded in zip(range(1, max_len + 1), singles, mixed):
+            assert np.array_equal(
+                response_bits(padded), response_bits(single)
+            ), f"seed {seed}: length {length} drifted when padded to {max_len}"
+            assert padded.top_token == single.top_token
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    payload_seed=st.integers(min_value=0, max_value=10_000),
+    lengths=st.lists(st.integers(min_value=1, max_value=24), min_size=1, max_size=6),
+    pool_size=st.integers(min_value=1, max_value=3),
+)
+def test_engine_pool_and_buckets_match_sequential(payload_seed, lengths, pool_size):
+    """Variable-length scoring through an N-clone engine pool, coalesced
+    by bucket, stays bit-identical to the single-request oracle."""
+    endpoint = build_endpoint("llama", engine_pool=pool_size)
+    try:
+        assert endpoint.engines.size == pool_size
+        rng = np.random.default_rng(payload_seed)
+        requests = [endpoint.synth_request(rng, length=n) for n in lengths]
+        singles = [endpoint.serve_one(r) for r in requests]
+        outputs = coalesced_responses(
+            [("llama", r) for r in requests], max_batch=4, order=range(len(requests))
+        )
+        for index, single in enumerate(singles):
+            assert np.array_equal(response_bits(outputs[index]), response_bits(single))
+    finally:
+        endpoint.resize_engine_pool(1)  # restore the memoized endpoint
+
+
+def test_engine_pool_concurrent_batches_match_sequential():
+    """N threads hammering one endpoint through N clones: no cross-batch
+    state bleed — every response equals its sequential oracle."""
+    import threading
+
+    endpoint = build_endpoint("llama", engine_pool=3)
+    try:
+        rng = np.random.default_rng(13)
+        batches = [
+            [endpoint.request_payload(endpoint.synth_request(rng, length=n)) for n in lens]
+            for lens in ([5, 5, 9], [17, 2], [24], [3, 3, 3, 3], [12, 7])
+        ]
+        expected = [[endpoint.infer_batch([p])[0] for p in batch] for batch in batches]
+        results = [None] * len(batches)
+
+        def run(i):
+            results[i] = endpoint.infer_batch(batches[i])
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(len(batches))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for batch_out, batch_expected in zip(results, expected):
+            for got, want in zip(batch_out, batch_expected):
+                assert np.array_equal(response_bits(got), response_bits(want))
+                assert got.top_token == want.top_token
+    finally:
+        endpoint.resize_engine_pool(1)

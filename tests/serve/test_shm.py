@@ -1,0 +1,395 @@
+"""The shared-memory dataplane: arena mechanics, transport bit-identity,
+backpressure, corruption detection, and crash-safe slot reclamation.
+
+The contract under test, in increasing order of integration:
+
+1. :class:`ShmArena` round-trips arbitrary arrays through aligned slot
+   spans and verifies every read against the descriptor digest.
+2. ``ProcessEndpointPool`` over shm serves bits identical to the
+   in-process oracle (and to its own ``REPRO_SHM=0`` pickle fallback),
+   for all three scenario families and variable-length scoring traffic.
+3. The arena applies *backpressure* when full (blocking acquire →
+   :class:`ArenaExhaustedError` after timeout) and *degrades* (to
+   pickle) when a batch outgrows a slot — never wrong bits.
+4. ``kill -9`` on a supervised node holding slots mid-batch loses zero
+   requests and leaks zero slots: the parent's ``finally`` releases the
+   dead worker's in-flight slots the moment the pipe EOF surfaces.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import compile_endpoint, write_artifact
+from repro.serve import (
+    ArenaExhaustedError,
+    ProcessEndpointPool,
+    ServeSupervisor,
+    ShmArena,
+    ShmError,
+    ShmIntegrityError,
+    SlotDescriptor,
+    SlotOverflowError,
+    build_endpoint,
+    shm_enabled,
+)
+from repro.serve.shm import SPAN_ALIGN, pack_results, unpack_results
+from repro.serve.types import raw_output as response_bits
+
+FAMILIES = ("bert", "llama", "segformer")
+
+
+@pytest.fixture(scope="module")
+def artifact_paths(tmp_path_factory):
+    root = tmp_path_factory.mktemp("shm-artifacts")
+    paths = {}
+    for family in FAMILIES:
+        path = root / family
+        write_artifact(compile_endpoint(family), path)
+        paths[family] = path
+    return paths
+
+
+@pytest.fixture(scope="module")
+def shm_pool(artifact_paths):
+    with ProcessEndpointPool(artifact_paths, processes=2, use_shm=True) as pool:
+        yield pool
+
+
+def variable_length_payloads(endpoint, rng, lengths):
+    return [
+        endpoint.request_payload(endpoint.synth_request(rng, length=length))
+        for length in lengths
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. Arena mechanics
+# ----------------------------------------------------------------------
+
+
+class TestShmArena:
+    def test_roundtrip_preserves_bits_and_alignment(self):
+        with ShmArena(slots=2, slot_bytes=8192) as arena:
+            arrays = [
+                np.arange(7, dtype=np.int64),
+                np.random.default_rng(0).normal(size=(3, 5)),
+                np.array([[True, False]]),
+            ]
+            slot = arena.acquire()
+            descriptor = arena.write(slot, arrays)
+            assert all(offset % SPAN_ALIGN == 0 for _, _, offset, _ in descriptor.spans)
+            out = arena.read(descriptor)
+            for sent, received in zip(arrays, out):
+                assert sent.dtype == received.dtype
+                assert np.array_equal(sent, received)
+            arena.release(slot)
+            assert arena.in_use() == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        shapes=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=8),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        dtype=st.sampled_from(["float64", "int64", "float32", "int32"]),
+    )
+    def test_roundtrip_property(self, seed, shapes, dtype):
+        rng = np.random.default_rng(seed)
+        arrays = [
+            (rng.normal(size=shape) * 100).astype(dtype) for shape in shapes
+        ]
+        with ShmArena(slots=1, slot_bytes=1 << 14) as arena:
+            slot = arena.acquire()
+            out = arena.read(arena.write(slot, arrays))
+            for sent, received in zip(arrays, out):
+                assert np.array_equal(sent, received)
+            arena.release(slot)
+
+    def test_overflow_raises(self):
+        with ShmArena(slots=1, slot_bytes=256) as arena:
+            slot = arena.acquire()
+            with pytest.raises(SlotOverflowError):
+                arena.write(slot, [np.zeros(1024, dtype=np.float64)])
+            arena.release(slot)
+
+    def test_exhaustion_blocks_then_raises(self):
+        with ShmArena(slots=2, slot_bytes=256) as arena:
+            first, second = arena.acquire(), arena.acquire()
+            started = time.monotonic()
+            with pytest.raises(ArenaExhaustedError):
+                arena.acquire(timeout=0.1)
+            assert time.monotonic() - started >= 0.09  # it blocked, then failed
+            arena.release(first)
+            arena.release(second)
+
+    def test_release_unblocks_waiting_acquire(self):
+        with ShmArena(slots=1, slot_bytes=256) as arena:
+            held = arena.acquire()
+            got = []
+
+            def waiter():
+                got.append(arena.acquire(timeout=5.0))
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.05)
+            arena.release(held)
+            thread.join(timeout=5.0)
+            assert got == [held]  # backpressure released into the waiter
+            arena.release(held)
+
+    def test_refcounts_and_idempotent_release(self):
+        with ShmArena(slots=1, slot_bytes=256) as arena:
+            slot = arena.acquire()
+            arena.retain(slot)
+            arena.release(slot)
+            assert arena.in_use() == 1  # one reference still out
+            arena.release(slot)
+            assert arena.in_use() == 0
+            arena.release(slot)  # releasing a free slot is a no-op
+            assert arena.in_use() == 0
+
+    def test_corrupted_digest_is_detected(self):
+        with ShmArena(slots=1, slot_bytes=256) as arena:
+            slot = arena.acquire()
+            descriptor = arena.write(slot, [np.arange(4, dtype=np.int64)])
+            forged = SlotDescriptor(
+                slot=descriptor.slot, spans=descriptor.spans, digest="0" * 64
+            )
+            with pytest.raises(ShmIntegrityError):
+                arena.read(forged)
+            arena.release(slot)
+
+    def test_torn_write_is_detected(self):
+        with ShmArena(slots=1, slot_bytes=256) as arena:
+            slot = arena.acquire()
+            descriptor = arena.write(slot, [np.arange(4, dtype=np.int64)])
+            # Scribble over the slot bytes behind the descriptor's back.
+            arena.write(slot, [np.arange(4, 8, dtype=np.int64)])
+            with pytest.raises(ShmIntegrityError):
+                arena.read(descriptor)
+            arena.release(slot)
+
+    def test_bogus_span_geometry_is_rejected(self):
+        with ShmArena(slots=1, slot_bytes=256) as arena:
+            bad_slot = SlotDescriptor(slot=99, spans=(), digest="0" * 64)
+            with pytest.raises(ShmIntegrityError):
+                arena.read(bad_slot)
+            bad_span = SlotDescriptor(
+                slot=0, spans=(("<f8", (1024,), 0, 8192),), digest="0" * 64
+            )
+            with pytest.raises(ShmIntegrityError):
+                arena.read(bad_span)
+
+    def test_attach_sees_owner_writes(self):
+        with ShmArena(slots=1, slot_bytes=512) as arena:
+            slot = arena.acquire()
+            descriptor = arena.write(slot, [np.arange(10, dtype=np.int64)])
+            attached = ShmArena.attach(*arena.geometry())
+            assert np.array_equal(
+                attached.read(descriptor)[0], np.arange(10, dtype=np.int64)
+            )
+            with pytest.raises(ShmError):
+                attached.acquire()  # workers never allocate
+            attached.close()
+            arena.release(slot)
+
+    def test_pack_unpack_mirror_endpoint_responses(self):
+        endpoint = build_endpoint("llama")
+        rng = np.random.default_rng(5)
+        payloads = variable_length_payloads(endpoint, rng, [4, 9, 9])
+        results = endpoint.infer_batch(payloads)
+        rebuilt = unpack_results("scoring", pack_results("scoring", results))
+        for original, copy in zip(results, rebuilt):
+            assert np.array_equal(original.logprobs, copy.logprobs)
+            assert original.top_token == copy.top_token
+
+
+# ----------------------------------------------------------------------
+# 2. Pool transport bit-identity (shm vs pickle vs in-process oracle)
+# ----------------------------------------------------------------------
+
+
+class TestPoolDataplane:
+    def test_shm_gate_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm_enabled()  # default on
+        for off in ("0", "false", "no", "off"):
+            monkeypatch.setenv("REPRO_SHM", off)
+            assert not shm_enabled()
+        monkeypatch.setenv("REPRO_SHM", "1")
+        assert shm_enabled()
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_shm_pool_matches_in_process_oracle(self, shm_pool, family):
+        oracle = build_endpoint(family)
+        rng = np.random.default_rng(11)
+        if family == "llama":
+            payloads = variable_length_payloads(oracle, rng, [3, 17, 24, 3])
+        else:
+            payloads = [
+                oracle.request_payload(oracle.synth_request(rng)) for _ in range(4)
+            ]
+        served = shm_pool.infer_batch(family, payloads)
+        expected = oracle.infer_batch(payloads)
+        for a, b in zip(served, expected):
+            assert type(a).__name__ == type(b).__name__
+            assert np.array_equal(response_bits(a), response_bits(b))
+        assert shm_pool.dataplane_stats()["shm_batches"] > 0
+        assert shm_pool.dataplane_stats()["arena_in_use"] == 0
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        family=st.sampled_from(FAMILIES),
+        payload_seed=st.integers(min_value=0, max_value=10_000),
+        lengths=st.lists(st.integers(min_value=1, max_value=24), min_size=1, max_size=6),
+    )
+    def test_shm_transport_property(self, shm_pool, family, payload_seed, lengths):
+        """Any seeded batch serves bit-identical through the arena."""
+        oracle = build_endpoint(family)
+        rng = np.random.default_rng(payload_seed)
+        if family == "llama":
+            payloads = variable_length_payloads(oracle, rng, lengths)
+        else:
+            payloads = [
+                oracle.request_payload(oracle.synth_request(rng)) for _ in lengths
+            ]
+        served = shm_pool.infer_batch(family, payloads)
+        expected = [oracle.infer_batch([p])[0] for p in payloads]
+        for a, b in zip(served, expected):
+            assert np.array_equal(response_bits(a), response_bits(b))
+
+    def test_pickle_fallback_pool_matches(self, artifact_paths):
+        oracle = build_endpoint("llama")
+        rng = np.random.default_rng(23)
+        payloads = variable_length_payloads(oracle, rng, [5, 12, 24])
+        with ProcessEndpointPool(artifact_paths, processes=1, use_shm=False) as pool:
+            assert pool.arena is None
+            served = pool.infer_batch("llama", payloads)
+            stats = pool.dataplane_stats()
+        assert stats["pickle_batches"] == 1 and stats["shm_batches"] == 0
+        expected = oracle.infer_batch(payloads)
+        for a, b in zip(served, expected):
+            assert np.array_equal(response_bits(a), response_bits(b))
+
+    def test_oversized_batch_degrades_to_pickle(self, artifact_paths, monkeypatch):
+        """A batch bigger than one slot still serves — via pickle."""
+        monkeypatch.setenv("REPRO_SHM_SLOT_KB", "1")  # 1 KiB slots
+        oracle = build_endpoint("segformer")
+        rng = np.random.default_rng(2)
+        payloads = [
+            oracle.request_payload(oracle.synth_request(rng)) for _ in range(2)
+        ]  # each image is ~6 KiB > the 1 KiB slot
+        with ProcessEndpointPool(
+            {"segformer": artifact_paths["segformer"]}, processes=1
+        ) as pool:
+            assert pool.arena is not None and pool.arena.slot_bytes == 1024
+            served = pool.infer_batch("segformer", payloads)
+            stats = pool.dataplane_stats()
+        assert stats["shm_fallbacks"] == 1 and stats["pickle_batches"] == 1
+        assert stats["arena_in_use"] == 0
+        expected = oracle.infer_batch(payloads)
+        for a, b in zip(served, expected):
+            assert np.array_equal(response_bits(a), response_bits(b))
+
+    def test_arena_exhaustion_backpressure_surfaces(self, artifact_paths, monkeypatch):
+        """With every slot held, dispatch blocks then fails loudly."""
+        monkeypatch.setenv("REPRO_SHM_SLOTS", "2")
+        oracle = build_endpoint("bert")
+        payload = oracle.request_payload(
+            oracle.synth_request(np.random.default_rng(0))
+        )
+        with ProcessEndpointPool(
+            {"bert": artifact_paths["bert"]}, processes=1
+        ) as pool:
+            pool.shm_timeout_s = 0.1
+            held = [pool.arena.acquire(), pool.arena.acquire()]
+            with pytest.raises(ArenaExhaustedError):
+                pool.infer_batch("bert", [payload])
+            for slot in held:
+                pool.arena.release(slot)
+            # Capacity restored: the same batch now serves.
+            served = pool.infer_batch("bert", [payload])
+        assert np.array_equal(
+            response_bits(served[0]),
+            response_bits(oracle.infer_batch([payload])[0]),
+        )
+
+
+# ----------------------------------------------------------------------
+# 3. Supervised fleet: chaos + reclamation + fallback
+# ----------------------------------------------------------------------
+
+
+class TestSupervisorShm:
+    def test_kill9_mid_shm_batch_loses_nothing_and_leaks_nothing(self, artifact_paths):
+        oracle = build_endpoint("llama")
+        rng = np.random.default_rng(31)
+        payloads = variable_length_payloads(oracle, rng, [4, 9, 17, 24] * 3)
+        expected = oracle.infer_batch(payloads)
+        supervisor = ServeSupervisor(
+            {"llama": artifact_paths["llama"]}, nodes=2
+        ).start()
+        try:
+            assert supervisor.status()["dataplane"]["transport"] == "shm"
+            outcome = {}
+
+            def dispatch():
+                outcome["results"] = supervisor.dispatch("llama", payloads)
+
+            thread = threading.Thread(target=dispatch)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            killed = None
+            while killed is None and time.monotonic() < deadline:
+                busy = supervisor.busy_nodes()
+                if busy:
+                    killed = supervisor.kill_node(busy[0])
+                else:
+                    time.sleep(0.002)
+            assert killed is not None, "batch finished before the kill landed"
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+            # Zero lost requests, bit-identical to the oracle.
+            assert len(outcome["results"]) == len(payloads)
+            for a, b in zip(outcome["results"], expected):
+                assert np.array_equal(response_bits(a), response_bits(b))
+            # Full slot reclamation: the killed node's in-flight slots
+            # were released by the parent's finally on pipe EOF.
+            dataplane = supervisor.status()["dataplane"]
+            assert dataplane["arena_in_use"] == 0
+            assert dataplane["shm_batches"] >= 1
+        finally:
+            supervisor.stop()
+
+    def test_supervisor_pickle_fallback_matches(self, artifact_paths):
+        oracle = build_endpoint("llama")
+        rng = np.random.default_rng(37)
+        payloads = variable_length_payloads(oracle, rng, [6, 13])
+        expected = oracle.infer_batch(payloads)
+        supervisor = ServeSupervisor(
+            {"llama": artifact_paths["llama"]}, nodes=1, use_shm=False
+        ).start()
+        try:
+            results = supervisor.dispatch("llama", payloads)
+            dataplane = supervisor.status()["dataplane"]
+            assert dataplane["transport"] == "pipe"
+            assert dataplane["pickle_batches"] == 1
+        finally:
+            supervisor.stop()
+        for a, b in zip(results, expected):
+            assert np.array_equal(response_bits(a), response_bits(b))
