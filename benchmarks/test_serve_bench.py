@@ -20,6 +20,7 @@ from repro.serve import (
     InferenceService,
     bench_engine_pool,
     bench_microbatch_speedup,
+    bench_slo_shedding,
     bench_supervised_recovery,
     bench_zero_copy_dataplane,
     clear_endpoint_memo,
@@ -131,6 +132,47 @@ def test_engine_pool_cells(results_dir):
     assert result["speedup"] >= 0.5, (
         f"engine pool {1 / result['speedup']:.1f}x slower than the shared engine"
     )
+
+
+def test_slo_shedding_bounded_p99(results_dir):
+    """SLO shedding bounds the high-priority tail under 2x overload.
+
+    ``bench_slo_shedding`` calibrates the endpoint's capacity, then
+    drives the same seeded open-loop stream at twice that rate with and
+    without a per-endpoint SLO budget.  The bench itself asserts full
+    outcome accounting (served + shed + rejected == submitted, zero
+    silent drops) and bit-identity of every *served* response against
+    the in-process oracle; this gate then pins the robustness claim —
+    unbounded queueing blows the budget by >= 5x while shedding keeps
+    the high tier's p99 inside it — and lands the ``serve/shed/off|on``
+    cells in ``timings.json``.
+    """
+    result = bench_slo_shedding()
+    off, on = result["off"], result["on"]
+    save_result(
+        results_dir,
+        "serve_slo_shedding",
+        "repro.serve — SLO shedding under 2x open-loop overload (BERT)\n"
+        f"requests={result['requests']}, rate={result['rate_hz']:.0f}/s "
+        f"(capacity {result['capacity_rps']:.0f}/s), "
+        f"budget p99={result['budget_p99_s'] * 1e3:.1f} ms "
+        f"depth={result['budget_depth']}\n"
+        f"shedding off: p99 {off['p99_s'] * 1e3:8.1f} ms  "
+        f"served={off['outcomes']['served']} (gate: >= 5x budget)\n"
+        f"shedding on:  high-tier p99 {on['high_p99_s'] * 1e3:8.1f} ms  "
+        f"served={on['outcomes']['served']} shed={on['outcomes']['shed']} "
+        "(gate: <= budget)",
+    )
+    assert off["p99_s"] >= 5.0 * result["budget_p99_s"], (
+        f"no-shedding baseline p99 {off['p99_s'] * 1e3:.1f} ms is not the "
+        f"saturated tail the gate expects (budget {result['budget_p99_s'] * 1e3:.1f} ms)"
+    )
+    assert on["high_p99_s"] <= result["budget_p99_s"], (
+        f"high-priority p99 {on['high_p99_s'] * 1e3:.1f} ms blew the "
+        f"{result['budget_p99_s'] * 1e3:.1f} ms budget despite shedding"
+    )
+    assert on["high_served"] > 0 and on["outcomes"]["shed"] > 0
+    assert on["shed_metrics"]["total"] == on["outcomes"]["shed"]
 
 
 def test_supervised_recovery_p99(results_dir, tmp_path):

@@ -23,7 +23,8 @@ serve-bench [--requests N] [--max-batch B] [--workers W] [--mode open|closed]
     With ``--from-artifact`` the endpoints cold-start from compiled
     artifacts (compiled on demand into the registry), and
     ``--process-workers N`` serves the mixed phase from N artifact-backed
-    worker processes.
+    worker processes.  ``--shed`` adds the SLO-shedding overload phase
+    (the ``serve/shed/off|on`` cells).
 compile FAMILY [--gs G] [--seed S] [--registry DIR]
     Build + calibrate one endpoint family, compile it to a
     content-addressed artifact (weight codes, scale plans, shift
@@ -31,7 +32,7 @@ compile FAMILY [--gs G] [--seed S] [--registry DIR]
 artifacts {list | inspect REF | gc [--keep REF,...]}
     Inspect or garbage-collect the artifact registry (``REF`` is a digest
     or unique digest prefix).
-serve-admin {status | drain NODE | deploy REF | rollback}
+serve-admin {status | drain NODE | deploy REF | rollback | slo}
     Administer a supervised serve fleet booted from the registry's deploy
     pointers (``--families``, ``--nodes``).  ``status`` probes each
     endpoint and prints node health + routes; ``drain NODE`` gracefully
@@ -40,7 +41,9 @@ serve-admin {status | drain NODE | deploy REF | rollback}
     ``--canary-batches``) and promotes the registry pointer;
     ``rollback`` swaps current/previous pointers and rolls the fleet
     back.  A canary digest mismatch aborts the deploy (exit 1) with the
-    incumbent untouched.
+    incumbent untouched.  ``slo`` boots an in-process service under a
+    per-endpoint SLO budget, drives a seeded 2x-capacity overload, and
+    prints the per-request outcome table + shed metrics (no fleet).
 info
     Print the package/version and the configuration of the analytical
     accelerator.
@@ -193,6 +196,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0,
         help="serve the mixed phase from N artifact-backed worker processes",
     )
+    serve_parser.add_argument(
+        "--shed",
+        action="store_true",
+        help="also run the SLO-shedding overload phase (serve/shed cells)",
+    )
     compile_parser = sub.add_parser(
         "compile", help="compile one endpoint family to a content-addressed artifact"
     )
@@ -219,7 +227,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     admin_parser = sub.add_parser(
         "serve-admin", help="administer a supervised serve fleet (status/drain/deploy/rollback)"
     )
-    admin_parser.add_argument("verb", choices=["status", "drain", "deploy", "rollback"])
+    admin_parser.add_argument(
+        "verb", choices=["status", "drain", "deploy", "rollback", "slo"]
+    )
     admin_parser.add_argument(
         "ref", nargs="?", default="", help="deploy: digest or prefix; drain: node name"
     )
@@ -284,6 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             from_artifact=args.from_artifact or args.process_workers > 0,
             artifact_root=Path(args.registry) if args.registry else None,
             process_workers=args.process_workers,
+            shed=args.shed,
         )
         print(format_bench_report(result))
     elif args.command == "compile":
@@ -334,6 +345,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         from pathlib import Path
 
         import numpy as np
+
+        if args.verb == "slo":
+            # In-process SLO demo: no fleet, no artifacts — calibrate the
+            # first family's capacity, overload it 2x under a budget, and
+            # show the typed per-request outcomes and shed metrics.
+            from .serve.bench import bench_slo_shedding
+
+            family = tuple(f for f in args.families.split(",") if f)[0]
+            result = bench_slo_shedding(family=family)
+            print(
+                f"slo overload: endpoint={family} requests={result['requests']} "
+                f"rate={result['rate_hz']:.0f}/s "
+                f"(2x capacity {result['capacity_rps']:.0f}/s)"
+            )
+            print(
+                f"budget: p99 <= {result['budget_p99_s'] * 1e3:.1f} ms, "
+                f"queue depth <= {result['budget_depth']}"
+            )
+            for label, run in (("shedding off", result["off"]), ("shedding on", result["on"])):
+                outcomes = run["outcomes"]
+                print(
+                    f"{label}: p99={run['p99_s'] * 1e3:7.1f} ms "
+                    f"high-tier p99={run['high_p99_s'] * 1e3:7.1f} ms  "
+                    + "  ".join(f"{k}={v}" for k, v in outcomes.items())
+                )
+            print(f"shed metrics: {_json.dumps(result['on']['shed_metrics'], sort_keys=True)}")
+            return 0
 
         from .artifacts import ArtifactRegistry
         from .serve.supervisor import (

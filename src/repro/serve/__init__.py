@@ -33,18 +33,31 @@ The load-bearing invariant (property-tested in ``tests/serve``): any
 coalescing of N requests returns responses **bit-identical** to N
 sequential single-request passes — the batched-vs-scalar oracle
 discipline of the RAE datapath, applied at the service layer.
+
+Request lifecycle (this PR's hardening layer): every request may carry a
+``priority`` and a ``deadline_s``; per-endpoint :class:`SLOBudget`
+admission sheds the lowest tier first under breach (typed
+:class:`~repro.serve.types.Shed`), expired requests get typed
+:class:`~repro.serve.types.DeadlineExceeded` rejections at every stage
+(queue, coalesce, worker), the supervisor retries with bounded backoff
+and optional hedging (:class:`~repro.serve.supervisor.RetryPolicy`), and
+:mod:`~repro.serve.faults` injects seeded, deterministic faults at named
+sites across the stack (``REPRO_FAULTS``).
 """
 
+from . import faults
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .bench import (
     bench_artifact_cold_start,
     bench_engine_pool,
     bench_microbatch_speedup,
+    bench_slo_shedding,
     bench_supervised_recovery,
     bench_zero_copy_dataplane,
     format_bench_report,
     serve_bench,
 )
+from .faults import FaultError, FaultPlan, FaultRule
 from .endpoint import (
     FAMILIES,
     SCENARIOS,
@@ -74,10 +87,13 @@ from .service import (
     InferenceService,
     ServeFuture,
     ServiceClosedError,
+    SLOBudget,
+    slo_budget_from_env,
 )
 from .supervisor import (
     CanaryMismatchError,
     FleetUnavailableError,
+    RetryPolicy,
     ServeSupervisor,
     SupervisorError,
     WorkerNode,
@@ -95,12 +111,16 @@ from .workers import (
 from .types import (
     ClassificationRequest,
     ClassificationResponse,
+    DeadlineExceeded,
+    DeadlineMiss,
+    RequestRejected,
     ScoringRequest,
     ScoringResponse,
     SegmentationRequest,
     SegmentationResponse,
     ServeResponse,
     ServeTiming,
+    Shed,
     raw_output,
 )
 
@@ -138,10 +158,21 @@ __all__ = [
     "ServiceMetrics",
     "BackpressureError",
     "InferenceService",
+    "SLOBudget",
     "ServeFuture",
     "ServiceClosedError",
+    "slo_budget_from_env",
     "CanaryMismatchError",
+    "DeadlineExceeded",
+    "DeadlineMiss",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
     "FleetUnavailableError",
+    "RequestRejected",
+    "RetryPolicy",
+    "Shed",
+    "faults",
     "ServeSupervisor",
     "SupervisorError",
     "WorkerNode",
@@ -160,6 +191,7 @@ __all__ = [
     "bench_artifact_cold_start",
     "bench_engine_pool",
     "bench_microbatch_speedup",
+    "bench_slo_shedding",
     "bench_zero_copy_dataplane",
     "bench_supervised_recovery",
     "format_bench_report",

@@ -19,6 +19,16 @@ entries are invalidated by *head change*: each entry pins the head
 timestamp it saw, and any pop moves the head, so stale entries fail the
 comparison and are discarded on the next peek.
 
+Requests additionally carry a *lifecycle*: an optional absolute deadline
+and a priority.  Two more lazy-deletion heaps track them — a deadline
+min-heap so :meth:`expire` can retire past-due work in O(log n) without
+scanning queues, and a per-endpoint priority heap so admission control
+can :meth:`shed_lowest` when an SLO budget is breached.  A request
+leaves the queued state exactly once (dispatched, expired, or shed);
+dead entries are skipped lazily everywhere and purged eagerly only at
+queue heads, where they would otherwise corrupt the head-timestamp
+invalidation rule.
+
 The batcher is a pure data structure — no locks, no threads.  The
 service serializes access under its own condition variable, which keeps
 the coalescing decisions deterministic and directly unit-testable.
@@ -56,13 +66,23 @@ class BatchPolicy:
 
 @dataclass(eq=False)
 class PendingRequest:
-    """One queued request: payload + identity + completion slot."""
+    """One queued request: payload + identity + lifecycle + completion slot.
+
+    ``deadline_at`` is an absolute ``time.monotonic()`` instant (or
+    ``None`` for no deadline); ``priority`` orders shedding — higher
+    values survive longer.  ``state`` is the lifecycle flag the lazy
+    heaps test: ``"queued"`` entries are live, anything else
+    (``"dispatched"``, ``"expired"``, ``"shed"``) is dead and skipped.
+    """
 
     request_id: int
     endpoint: str
     payload: np.ndarray
     enqueued_at: float
     future: object = None
+    deadline_at: Optional[float] = None
+    priority: int = 0
+    state: str = "queued"
 
 
 @dataclass(eq=False)
@@ -91,6 +111,25 @@ class MicroBatcher:
         self._heads: List[Tuple[float, int, tuple]] = []
         self._full: List[Tuple[float, int, tuple]] = []
         self._seq = 0
+        # Live (still-queued) request counts.  Deques may hold dead
+        # entries mid-queue, so ``len(queue)`` overcounts; every fullness
+        # and depth decision reads these instead.
+        self._live: Dict[tuple, int] = {}
+        self._endpoint_live: Dict[str, int] = {}
+        # Lifecycle heaps, lazy-deleted via ``pending.state``:
+        # (deadline_at, seq, key, pending) ordered soonest-first, and a
+        # per-endpoint (priority, -seq, key, pending) heap ordered
+        # lowest-priority-then-youngest-first for shedding.
+        self._deadlines: List[Tuple[float, int, tuple, PendingRequest]] = []
+        self._prio: Dict[str, List[Tuple[int, int, tuple, PendingRequest]]] = {}
+        #: Optional ``estimator(endpoint) -> seconds`` the service wires
+        #: in: the expected batch service time.  With it, ``_pop_from``
+        #: refuses to coalesce a request into a batch that cannot finish
+        #: before the request's deadline — such rows are expired at pop
+        #: time (service time only grows with queueing, so an unmeetable
+        #: row now is unmeetable forever).
+        self.estimator: Optional[callable] = None
+        self._expired_at_pop: List[PendingRequest] = []
 
     # ------------------------------------------------------------------
     def _push(self, heap: List[Tuple[float, int, tuple]], key: tuple) -> None:
@@ -106,9 +145,10 @@ class MicroBatcher:
         timestamp.  Ties make that test too weak for the full heap —
         different requests can share a timestamp, so a post-pop remainder
         can impersonate the pinned head — hence full-heap entries also
-        re-check the actual length (a queue only shrinks by popping, and
-        every pop that leaves a full backlog re-registers it, so
-        discarding a short entry never loses a full queue).
+        re-check the actual live count (a count only shrinks by popping
+        or retiring, and every change that leaves a full backlog
+        re-registers it, so discarding a short entry never loses a full
+        queue).
         """
         while heap:
             head_at, _, key = heap[0]
@@ -116,7 +156,7 @@ class MicroBatcher:
             if (
                 queue
                 and queue[0].enqueued_at == head_at
-                and (not full or len(queue) >= self.policy.max_batch)
+                and (not full or self._live.get(key, 0) >= self.policy.max_batch)
             ):
                 return head_at, key
             heapq.heappop(heap)
@@ -130,18 +170,113 @@ class MicroBatcher:
             queue = self._queues[key] = deque()
         queue.append(pending)
         self._depth += 1
+        self._live[key] = self._live.get(key, 0) + 1
+        self._endpoint_live[pending.endpoint] = (
+            self._endpoint_live.get(pending.endpoint, 0) + 1
+        )
         if len(queue) == 1:
             self._push(self._heads, key)
-        if len(queue) == self.policy.max_batch:
+        if self._live[key] == self.policy.max_batch:
             self._push(self._full, key)
+        if pending.deadline_at is not None:
+            heapq.heappush(
+                self._deadlines, (pending.deadline_at, self._seq, key, pending)
+            )
+            self._seq += 1
+        prio_heap = self._prio.get(pending.endpoint)
+        if prio_heap is None:
+            prio_heap = self._prio[pending.endpoint] = []
+        heapq.heappush(prio_heap, (pending.priority, -self._seq, key, pending))
+        self._seq += 1
         return self._depth
 
     def depth(self) -> int:
-        """Total requests currently queued (all keys)."""
+        """Total live requests currently queued (all keys)."""
         return self._depth
 
     def key_depths(self) -> dict:
-        return {key: len(q) for key, q in self._queues.items() if q}
+        return {key: n for key, n in self._live.items() if n}
+
+    def endpoint_depth(self, endpoint: str) -> int:
+        """Live queued requests for one endpoint (SLO admission input)."""
+        return self._endpoint_live.get(endpoint, 0)
+
+    # ------------------------------------------------------------------
+    def _retire(self, key: tuple, pending: PendingRequest, state: str) -> None:
+        """Move a queued request to a dead state and fix the live counts.
+
+        Mid-queue corpses stay in the deque for lazy skipping, but a dead
+        *head* would break the head-timestamp invalidation rule (stale
+        heap entries would keep matching it), so heads are purged eagerly
+        and the survivors re-registered.
+        """
+        pending.state = state
+        self._depth -= 1
+        self._live[key] -= 1
+        self._endpoint_live[pending.endpoint] -= 1
+        queue = self._queues.get(key)
+        if queue is not None and queue and queue[0] is pending:
+            self._purge_head(key)
+
+    def _purge_head(self, key: tuple) -> None:
+        """Drop dead entries off the head of ``key``'s queue."""
+        queue = self._queues[key]
+        while queue and queue[0].state != "queued":
+            queue.popleft()
+        if not queue:
+            del self._queues[key]
+            self._live.pop(key, None)
+            return
+        # The survivors got a new head: re-register it (and its fullness,
+        # if the live backlog still tops a whole batch).
+        self._push(self._heads, key)
+        if self._live.get(key, 0) >= self.policy.max_batch:
+            self._push(self._full, key)
+
+    def expire(self, now: float) -> List[PendingRequest]:
+        """Retire every queued request whose deadline has passed.
+
+        Returns the newly-expired requests so the caller can reject each
+        with a typed ``DeadlineExceeded`` — expiry is never a silent
+        drop.  O(log n) per expired request via the deadline heap; dead
+        entries (already dispatched/shed) are skipped lazily.
+        """
+        expired: List[PendingRequest] = []
+        while self._deadlines and self._deadlines[0][0] <= now:
+            _, _, key, pending = heapq.heappop(self._deadlines)
+            if pending.state != "queued":
+                continue
+            self._retire(key, pending, "expired")
+            expired.append(pending)
+        return expired
+
+    def lowest_priority(self, endpoint: str) -> Optional[int]:
+        """Priority of the endpoint's most sheddable queued request."""
+        heap = self._prio.get(endpoint)
+        if not heap:
+            return None
+        while heap:
+            priority, _, _, pending = heap[0]
+            if pending.state == "queued":
+                return priority
+            heapq.heappop(heap)
+        return None
+
+    def shed_lowest(self, endpoint: str) -> Optional[PendingRequest]:
+        """Retire the endpoint's lowest-priority queued request.
+
+        Ties shed the *youngest* first (older work has waited longest and
+        is closest to dispatch).  Returns the shed request for a typed
+        rejection, or ``None`` if nothing is queued for the endpoint.
+        """
+        heap = self._prio.get(endpoint)
+        while heap:
+            _, _, key, pending = heapq.heappop(heap)
+            if pending.state != "queued":
+                continue
+            self._retire(key, pending, "shed")
+            return pending
+        return None
 
     # ------------------------------------------------------------------
     def pop_ready(self, now: float, flush: bool = False) -> Optional[Batch]:
@@ -164,42 +299,71 @@ class MicroBatcher:
         if (
             flush
             or (now - head_at) >= self.policy.max_delay_s
-            or len(self._queues[key]) >= self.policy.max_batch
+            or self._live.get(key, 0) >= self.policy.max_batch
         ):
-            return self._pop_from(key)
+            return self._pop_from(key, now)
         full_top = self._peek(self._full, full=True)
         if full_top is not None:
-            return self._pop_from(full_top[1])
+            return self._pop_from(full_top[1], now)
         return None
 
-    def _pop_from(self, key: tuple) -> Batch:
+    def take_expired(self) -> List[PendingRequest]:
+        """Drain requests expired at pop time (unmeetable deadlines)."""
+        expired, self._expired_at_pop = self._expired_at_pop, []
+        return expired
+
+    def _pop_from(self, key: tuple, now: Optional[float] = None) -> Batch:
         queue = self._queues[key]
         batch = Batch(key=key, endpoint=key[0])
+        est: Optional[float] = None
+        taken = 0
         while queue and len(batch.requests) < self.policy.max_batch:
-            batch.requests.append(queue.popleft())
+            pending = queue.popleft()
+            if pending.state != "queued":
+                continue
+            taken += 1
+            if now is not None and pending.deadline_at is not None:
+                if est is None:
+                    est = self.estimator(batch.endpoint) if self.estimator else 0.0
+                if pending.deadline_at <= now + est:
+                    pending.state = "expired"
+                    self._expired_at_pop.append(pending)
+                    continue
+            pending.state = "dispatched"
+            batch.requests.append(pending)
+        self._depth -= taken
+        if taken:
+            self._live[key] -= taken
+            self._endpoint_live[batch.endpoint] -= taken
         if queue:
-            # The survivors got a new head: re-register it (and its
-            # fullness, if the backlog still tops a whole batch).
-            self._push(self._heads, key)
-            if len(queue) >= self.policy.max_batch:
-                self._push(self._full, key)
+            # Dead entries may now lead the remainder; purge so the new
+            # head is live before re-registering (it also handles the
+            # heads/full re-push and empty-queue cleanup).
+            self._purge_head(key)
         else:
             del self._queues[key]
-        self._depth -= len(batch.requests)
+            self._live.pop(key, None)
         return batch
 
     def next_deadline(self, now: float) -> Optional[float]:
-        """Earliest moment some queue becomes ready; ``now`` if one is.
+        """Earliest moment some queue becomes ready *or* a request expires.
 
-        ``None`` means nothing is queued — the dispatch loop can sleep
-        until the next enqueue wakes it.
+        ``now`` if a queue is ready already; ``None`` means nothing is
+        queued — the dispatch loop can sleep until the next enqueue wakes
+        it.  Request deadlines participate so the loop wakes in time to
+        expire dead work instead of serving it.
         """
         if self._peek(self._full, full=True) is not None:
             return now
         top = self._peek(self._heads)
         if top is None:
             return None
-        return top[0] + self.policy.max_delay_s
+        ready_at = top[0] + self.policy.max_delay_s
+        while self._deadlines and self._deadlines[0][3].state != "queued":
+            heapq.heappop(self._deadlines)
+        if self._deadlines:
+            ready_at = min(ready_at, self._deadlines[0][0])
+        return ready_at
 
     def __repr__(self) -> str:
         return (

@@ -31,11 +31,14 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from dataclasses import replace
+
 from ..experiments.executor import cell_timings, record_cell_timing
 from .batcher import BatchPolicy
 from .endpoint import EndpointRegistry, build_endpoint, clear_endpoint_memo, default_registry
 from .loadgen import LoadSpec, build_requests, run_load
-from .service import InferenceService
+from .metrics import percentile
+from .service import InferenceService, SLOBudget
 from .types import raw_output
 
 
@@ -514,6 +517,135 @@ def bench_zero_copy_dataplane(
     }
 
 
+def bench_slo_shedding(
+    family: str = "bert",
+    max_batch: int = 8,
+    batches: int = 128,
+    seed: int = 0,
+    calibration_repeats: int = 5,
+) -> Dict[str, object]:
+    """Bounded tail latency under overload: SLO shedding off vs on.
+
+    The same seeded open-loop stream arrives at **2x the endpoint's
+    measured capacity** (capacity is calibrated first: best warm
+    ``infer_batch`` wall over ``calibration_repeats``, so the overload
+    factor is real on any machine).  Requests alternate between two
+    priority tiers.  Without a budget the queue grows without bound and
+    every request pays it; with a depth+p99 budget the service sheds the
+    low tier (typed :class:`~repro.serve.types.Shed`, never a silent
+    drop) and the high tier's p99 stays within the budget.
+
+    Before any number is reported: every terminal outcome is accounted
+    for (served + shed + rejected == submitted, zero ``failed``) and
+    every *served* response is asserted bit-identical to the in-process
+    oracle — shedding may drop work, it may never corrupt it.  Records
+    the ``serve/shed/off`` (no-budget p99) and ``serve/shed/on``
+    (high-tier p99 under shedding) cells.
+    """
+    endpoint = build_endpoint(family, seed=seed)
+    registry = EndpointRegistry()
+    registry.register(endpoint)
+    requests_n = batches * max_batch
+    base_spec = LoadSpec(
+        requests=requests_n,
+        mix=((family, 1.0),),
+        mode="open",
+        seed=seed,
+        priorities=(0, 1),
+    )
+    stream = build_requests(registry, base_spec)
+    endpoint.warmup(seed=seed)
+
+    # Calibrate: one warm coalesced batch's service time sets capacity,
+    # the arrival rate, and the SLO budget — machine-independent gates.
+    probe = [endpoint.request_payload(request) for _, request in stream[:max_batch]]
+    samples = []
+    for _ in range(calibration_repeats):
+        started = time.monotonic()
+        endpoint.infer_batch(probe)
+        samples.append(time.monotonic() - started)
+    # Median, not min: the budget must reflect the batch cost under the
+    # loaded run (loadgen + worker threads live), and a lucky-fast probe
+    # would set a budget the real service time cannot meet.
+    t_batch = max(sorted(samples)[len(samples) // 2], 1e-3)
+    capacity_rps = max_batch / t_batch
+    rate_hz = 2.0 * capacity_rps
+    # Depth budget of one batch bounds an admitted request's queue to at
+    # most one coalesced batch ahead of it; with the in-flight batch,
+    # coalescing delay, and its own service, the worst served latency is
+    # ~3.5 batch times.  Budgeting 8x absorbs GC pauses and scheduler
+    # jitter (a hot full-suite process can stretch one batch to ~2x the
+    # calibrated time); the off-run's unbounded queue still blows 5x
+    # past it because its tail scales with ``batches``, not jitter.
+    budget = SLOBudget(p99_target_s=8.0 * t_batch, max_queue_depth=max_batch)
+    spec = replace(base_spec, rate_hz=rate_hz)
+    expected = [raw_output(endpoint.serve_one(request)) for _, request in stream]
+
+    def one_run(budgets: Optional[Dict[str, SLOBudget]]) -> Dict[str, object]:
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=max_batch, max_delay_s=t_batch / 2.0),
+            workers=1,
+            queue_limit=requests_n + max_batch,
+            slo_budgets=budgets,
+        ).start()
+        try:
+            report = run_load(service, spec, stream=stream)
+        finally:
+            metrics = service.drain()
+        outcomes = report["outcomes"]
+        accounted = (
+            outcomes["served"]
+            + outcomes["shed"]
+            + outcomes["deadline_exceeded"]
+            + outcomes["rejected"]
+            + outcomes["failed"]
+        )
+        if accounted != requests_n or outcomes["failed"]:
+            raise AssertionError(
+                f"request accounting broken under shedding: {outcomes} "
+                f"over {requests_n} submitted"
+            )
+        for index, (response, bits) in enumerate(zip(report["responses"], expected)):
+            if response is not None and not np.array_equal(
+                raw_output(response.result), bits
+            ):
+                raise AssertionError(
+                    f"served response {index} is not bit-identical to the "
+                    f"in-process oracle (budgets={budgets})"
+                )
+        by_tier = {0: [], 1: []}
+        for index, response in enumerate(report["responses"]):
+            if response is not None:
+                by_tier[index % 2].append(response.timing.latency_s)
+        served_latencies = by_tier[0] + by_tier[1]
+        return {
+            "outcomes": outcomes,
+            "p99_s": percentile(served_latencies, 99),
+            "high_p99_s": percentile(by_tier[1], 99) if by_tier[1] else 0.0,
+            "high_served": len(by_tier[1]),
+            "low_served": len(by_tier[0]),
+            "shed_metrics": metrics.get("shed", {}),
+        }
+
+    off = one_run(None)
+    on = one_run({family: budget})
+    record_cell_timing("serve/shed/off", "serve", off["p99_s"])
+    record_cell_timing("serve/shed/on", "serve", max(on["high_p99_s"], 1e-4))
+    return {
+        "family": family,
+        "requests": requests_n,
+        "max_batch": max_batch,
+        "t_batch_s": t_batch,
+        "capacity_rps": capacity_rps,
+        "rate_hz": rate_hz,
+        "budget_p99_s": budget.p99_target_s,
+        "budget_depth": budget.max_queue_depth,
+        "off": off,
+        "on": on,
+    }
+
+
 def artifact_paths_for(
     families: Sequence[str],
     registry_root: Optional[Path] = None,
@@ -597,6 +729,7 @@ def serve_bench(
     from_artifact: bool = False,
     artifact_root: Optional[Path] = None,
     process_workers: int = 0,
+    shed: bool = False,
 ) -> Dict[str, object]:
     """The full serve-bench: micro-batch gate + mixed-scenario load.
 
@@ -658,6 +791,8 @@ def serve_bench(
         mixed = run_mixed_load(registry, spec, policy=policy, workers=workers)
     record_cell_timing(f"serve/mixed/{mode}", "serve", float(mixed["wall_s"]))
     result: Dict[str, object] = {"gate": gate, "mixed": mixed}
+    if shed:
+        result["shed"] = bench_slo_shedding(seed=seed)
     if artifact_report is not None:
         result["artifacts"] = artifact_report
     if timings_path is not None:
@@ -715,4 +850,36 @@ def format_bench_report(result: Dict[str, object]) -> str:
         f"  peak queue depth {metrics['peak_queue_depth']}, "
         f"failed {metrics['failed']}"
     )
+    outcomes = mixed.get("outcomes")
+    if outcomes:
+        lines += ["", "[outcomes] per-request terminal states"]
+        lines.append(
+            "  "
+            + "  ".join(
+                f"{key}={outcomes[key]}"
+                for key in (
+                    "served",
+                    "shed",
+                    "deadline_exceeded",
+                    "rejected",
+                    "failed",
+                    "retried",
+                    "hedged",
+                )
+            )
+        )
+    if "shed" in result:
+        shed = result["shed"]
+        lines += [
+            "",
+            f"[shed] endpoint={shed['family']} requests={shed['requests']} "
+            f"rate={shed['rate_hz']:.0f}/s (2x capacity "
+            f"{shed['capacity_rps']:.0f}/s) budget p99="
+            f"{shed['budget_p99_s'] * 1e3:.1f} ms depth={shed['budget_depth']}",
+            f"  shedding off: p99={shed['off']['p99_s'] * 1e3:7.1f} ms  "
+            f"served={shed['off']['outcomes']['served']}",
+            f"  shedding on:  high-tier p99={shed['on']['high_p99_s'] * 1e3:7.1f} ms  "
+            f"served={shed['on']['outcomes']['served']} "
+            f"shed={shed['on']['outcomes']['shed']}",
+        ]
     return "\n".join(lines)

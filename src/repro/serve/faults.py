@@ -1,0 +1,264 @@
+"""Deterministic fault injection for the serve stack.
+
+Every recovery path in the serve stack (crash-mid-batch replay, heartbeat
+respawn, arena backpressure shedding, descriptor-corruption replay) used
+to be exercised by ad-hoc ``kill -9`` helpers and sleeps.  This module
+makes faults first-class: a seeded :class:`FaultPlan` names *sites* in
+the stack and fires rules on specific hit numbers, so a chaos run is a
+reproducible seed instead of a race.
+
+Sites instrumented across the stack (fired via :func:`fire`):
+
+- ``worker.batch`` — a worker process is about to serve a batch
+  (``supervisor._node_main`` infer ops and the process-pool worker).
+  ``crash`` exits the process mid-batch; ``slow`` sleeps before serving.
+- ``node.loop`` — one iteration of the supervised child's heartbeat
+  loop.  ``stall`` sleeps in-loop, which stops heartbeats (the watchdog
+  must notice); ``crash`` kills the node between batches.
+- ``arena.acquire`` — parent-side shared-memory slot acquisition.
+  ``arena_exhaust`` raises the arena's backpressure error immediately,
+  as if every slot were in flight.
+- ``arena.read`` — parent-side descriptor verification.  ``corrupt``
+  forces the digest check to fail, as if the payload bytes were torn.
+- ``service.batch`` — the in-process service is about to dispatch a
+  coalesced batch.  ``slow`` sleeps first; ``error`` raises
+  :class:`FaultError` (the batch is rejected, never silently dropped).
+
+Plans serialize to JSON and install from the ``REPRO_FAULTS``
+environment variable, so spawned worker processes inherit the plan
+without any extra plumbing; hit counters are per-process by
+construction.  Rules fire on explicit 1-based hit numbers (``at``),
+optionally bounded by ``limit``, or probabilistically with a per-rule
+``random.Random`` seeded from ``(plan.seed, rule index, site)`` — the
+same plan always fires at the same hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Fault kinds understood by the call-site helpers.
+FAULT_KINDS = ("crash", "stall", "slow", "error", "arena_exhaust", "corrupt")
+
+#: Exit status used by injected crashes, distinct from real SIGKILL so a
+#: post-mortem can tell an injected death from an organic one.
+CRASH_EXIT_CODE = 86
+
+
+class FaultError(RuntimeError):
+    """Raised by an ``error``-kind rule at a site that supports it."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: fire ``kind`` at ``site`` on selected hits.
+
+    ``at`` lists 1-based hit numbers (per process).  When empty, the
+    rule fires probabilistically with ``prob`` per hit.  ``limit``
+    bounds total fires per process (0 = unlimited).  ``param`` is the
+    sleep duration in seconds for ``stall``/``slow`` rules.
+    """
+
+    site: str
+    kind: str
+    at: tuple[int, ...] = ()
+    prob: float = 0.0
+    param: float = 0.0
+    limit: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at": list(self.at),
+            "prob": self.prob,
+            "param": self.param,
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        return cls(
+            site=data["site"],
+            kind=data["kind"],
+            at=tuple(int(n) for n in data.get("at", ())),
+            prob=float(data.get("prob", 0.0)),
+            param=float(data.get("param", 0.0)),
+            limit=int(data.get("limit", 0)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, serializable set of fault rules."""
+
+    rules: list = field(default_factory=list)
+    seed: int = 0
+
+    def rule(self, site, kind, *, at=(), prob=0.0, param=0.0, limit=0):
+        """Append a rule and return self (builder style)."""
+        if isinstance(at, int):
+            at = (at,)
+        self.rules.append(
+            FaultRule(site=site, kind=kind, at=tuple(at), prob=prob, param=param, limit=limit)
+        )
+        return self
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            rules=[FaultRule.from_dict(r) for r in data.get("rules", ())],
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        text = (environ if environ is not None else os.environ).get(ENV_FAULTS, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+class _FaultState:
+    """Per-process mutable firing state for one installed plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self._rngs: dict[int, random.Random] = {
+            i: random.Random((plan.seed, i, rule.site).__repr__())
+            for i, rule in enumerate(plan.rules)
+        }
+
+    def fire(self, site: str) -> FaultRule | None:
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            for i, rule in enumerate(self.plan.rules):
+                if rule.site != site:
+                    continue
+                if rule.limit and self._fired.get(i, 0) >= rule.limit:
+                    continue
+                if rule.at:
+                    if hit not in rule.at:
+                        continue
+                elif not (rule.prob > 0.0 and self._rngs[i].random() < rule.prob):
+                    continue
+                self._fired[i] = self._fired.get(i, 0) + 1
+                return rule
+        return None
+
+    def hits(self, site: str) -> int:
+        with self._lock:
+            return self._hits.get(site, 0)
+
+
+_STATE: _FaultState | None = None
+_STATE_LOCK = threading.Lock()
+_INITIALIZED = False
+
+
+def install_plan(plan: FaultPlan | None) -> None:
+    """Install ``plan`` as this process's active plan (None clears it)."""
+    global _STATE, _INITIALIZED
+    with _STATE_LOCK:
+        _STATE = _FaultState(plan) if plan is not None else None
+        _INITIALIZED = True
+
+
+def install_from_env() -> FaultPlan | None:
+    """Install the plan serialized in ``REPRO_FAULTS``, if any.
+
+    Called from worker-process bootstrap paths; spawned children inherit
+    the parent's environment, so setting the env var in the parent is
+    enough to arm every process in the fleet.
+    """
+    plan = FaultPlan.from_env()
+    install_plan(plan)
+    return plan
+
+
+def active_plan() -> FaultPlan | None:
+    state = _STATE
+    return state.plan if state is not None else None
+
+
+def fire(site: str) -> FaultRule | None:
+    """Record a hit at ``site``; return the rule that fires, if any.
+
+    Cheap no-op (two global reads) when no plan is installed, so
+    instrumentation sites cost nothing in production.  The first hit in
+    a process that never called :func:`install_plan` arms itself from
+    ``REPRO_FAULTS``, so parent-side sites (arena, service) see an
+    env-declared plan without explicit bootstrap.
+    """
+    state = _STATE
+    if state is None:
+        if _INITIALIZED:
+            return None
+        install_from_env()
+        state = _STATE
+        if state is None:
+            return None
+    return state.fire(site)
+
+
+def site_hits(site: str) -> int:
+    """How many times ``site`` has been hit in this process (testing aid)."""
+    state = _STATE
+    return state.hits(site) if state is not None else 0
+
+
+def crash_point(site: str) -> FaultRule | None:
+    """Fire ``site`` and act on process-level kinds in place.
+
+    ``crash`` exits the process immediately (``os._exit`` — no cleanup,
+    exactly like a SIGKILL from the parent's point of view).  ``stall``
+    and ``slow`` sleep for ``rule.param`` seconds, then return the rule
+    so the caller can continue.  Other kinds are returned untouched for
+    the caller to interpret.
+    """
+    rule = fire(site)
+    if rule is None:
+        return None
+    if rule.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if rule.kind in ("stall", "slow"):
+        time.sleep(rule.param)
+    return rule
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "crash_point",
+    "fire",
+    "install_from_env",
+    "install_plan",
+    "site_hits",
+]

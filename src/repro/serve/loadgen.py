@@ -25,7 +25,7 @@ import numpy as np
 
 from .endpoint import EndpointRegistry
 from .service import BackpressureError, InferenceService, ServeFuture
-from .types import ServeResponse
+from .types import DeadlineExceeded, ServeResponse, Shed
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,13 @@ class LoadSpec:
     #: request shape — the traffic pattern that exercises bucketed
     #: padded coalescing.  Non-scoring endpoints ignore it.
     length_range: Optional[Tuple[int, int]] = None
+    #: Request priorities, assigned round-robin over the stream (request
+    #: ``i`` gets ``priorities[i % len(priorities)]``).  Higher numbers
+    #: are more important; under SLO shedding the low tiers go first.
+    priorities: Tuple[int, ...] = (0,)
+    #: Per-request deadline (seconds from submission).  ``None`` means
+    #: no deadline; expired requests come back as typed rejections.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -62,6 +69,10 @@ class LoadSpec:
                 raise ValueError(
                     f"length_range must satisfy 1 <= lo <= hi, got {self.length_range}"
                 )
+        if not self.priorities:
+            raise ValueError("priorities must not be empty")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
 
 
 def build_requests(
@@ -88,15 +99,34 @@ def build_requests(
     return stream
 
 
-def _await_all(futures: Sequence[ServeFuture]) -> List[Optional[ServeResponse]]:
-    """Resolve every future; a rejected one reads as ``None``."""
+def _await_all(
+    futures: Sequence[ServeFuture],
+) -> Tuple[List[Optional[ServeResponse]], List[str]]:
+    """Resolve every future into a (response, outcome-label) pair.
+
+    Outcome labels are the request lifecycle's terminal states:
+    ``served``, ``shed`` (SLO admission), ``deadline_exceeded``, or
+    ``failed`` (any other dispatch error).  Rejections read as ``None``
+    responses — never a silent drop, always a typed outcome.
+    """
     responses: List[Optional[ServeResponse]] = []
+    outcomes: List[str] = []
     for future in futures:
         try:
-            responses.append(future.result())
+            response = future.result()
+        except Shed:
+            responses.append(None)
+            outcomes.append("shed")
+        except DeadlineExceeded:
+            responses.append(None)
+            outcomes.append("deadline_exceeded")
         except Exception:
             responses.append(None)
-    return responses
+            outcomes.append("failed")
+        else:
+            responses.append(response)
+            outcomes.append("served")
+    return responses, outcomes
 
 
 def run_load(
@@ -108,43 +138,72 @@ def run_load(
 
     The service must already be started; it is *not* drained here, so a
     caller can layer several load phases before one graceful shutdown.
-    Returns wall-clock, completion/rejection counts, throughput, and the
-    responses in submission order (``None`` for rejected requests).
+    Returns wall-clock, completion/rejection counts, throughput, the
+    responses in submission order (``None`` for rejected requests), a
+    per-request ``request_outcomes`` list aligned with the stream, and
+    an ``outcomes`` summary (served / shed / deadline_exceeded /
+    rejected / failed counts plus retried / hedged totals).
     """
     stream = build_requests(service.registry, spec) if stream is None else stream
+    priority_of = lambda i: spec.priorities[i % len(spec.priorities)]  # noqa: E731
     futures: List[Optional[ServeFuture]] = []
     rejected = 0
     started = time.monotonic()
     if spec.mode == "closed":
         outstanding: "deque[ServeFuture]" = deque()
-        for name, request in stream:
+        for i, (name, request) in enumerate(stream):
             if len(outstanding) >= spec.concurrency:
                 try:
                     outstanding.popleft().result()  # pacing only; _await_all
                 except Exception:  # re-collects every outcome below
                     pass
-            future = service.submit(name, request)
+            future = service.submit(
+                name, request, priority=priority_of(i), deadline_s=spec.deadline_s
+            )
             outstanding.append(future)
             futures.append(future)
     else:
         rng = np.random.default_rng(spec.seed + 1)
         next_arrival = started
-        for name, request in stream:
+        for i, (name, request) in enumerate(stream):
             next_arrival += float(rng.exponential(1.0 / spec.rate_hz))
             delay = next_arrival - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
             try:
-                futures.append(service.submit(name, request))
+                futures.append(
+                    service.submit(
+                        name,
+                        request,
+                        priority=priority_of(i),
+                        deadline_s=spec.deadline_s,
+                    )
+                )
             except BackpressureError:
                 rejected += 1
                 futures.append(None)
-    resolved = iter(_await_all([f for f in futures if f is not None]))
-    responses: List[Optional[ServeResponse]] = [
-        None if future is None else next(resolved) for future in futures
-    ]
+    resolved, labels = _await_all([f for f in futures if f is not None])
+    resolved_iter, label_iter = iter(resolved), iter(labels)
+    responses: List[Optional[ServeResponse]] = []
+    request_outcomes: List[str] = []
+    for future in futures:
+        if future is None:
+            responses.append(None)
+            request_outcomes.append("rejected")
+        else:
+            responses.append(next(resolved_iter))
+            request_outcomes.append(next(label_iter))
     wall_s = time.monotonic() - started
     completed = sum(1 for r in responses if r is not None)
+    outcomes = {
+        "served": completed,
+        "shed": request_outcomes.count("shed"),
+        "deadline_exceeded": request_outcomes.count("deadline_exceeded"),
+        "rejected": rejected,
+        "failed": request_outcomes.count("failed"),
+        "retried": sum(r.timing.retries for r in responses if r is not None),
+        "hedged": sum(1 for r in responses if r is not None and r.timing.hedged),
+    }
     return {
         "mode": spec.mode,
         "wall_s": wall_s,
@@ -153,4 +212,6 @@ def run_load(
         "rejected": rejected,
         "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
         "responses": responses,
+        "request_outcomes": request_outcomes,
+        "outcomes": outcomes,
     }

@@ -10,7 +10,13 @@ depth and rejection counts — overall and per endpoint.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import Dict, List, Optional, Sequence
+
+#: Window of most-recent per-request latencies backing ``rolling_p99`` —
+#: small enough to react to a saturation onset within ~a hundred
+#: requests, large enough that p99 is not one outlier.
+ROLLING_WINDOW = 128
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -56,6 +62,11 @@ class ServiceMetrics:
         self._first_submit: Optional[float] = None
         self._last_complete: Optional[float] = None
         self._act_cache: Dict[str, Dict[str, int]] = {}
+        self._rolling: Dict[str, deque] = {}
+        self._shed: Dict[str, Dict[str, int]] = {}
+        self._deadline: Dict[str, Dict[str, int]] = {}
+        self.retried = 0
+        self.hedged = 0
 
     # ------------------------------------------------------------------
     def on_submit(self, depth: int, now: float) -> None:
@@ -72,6 +83,38 @@ class ServiceMetrics:
     def on_failure(self, batch_size: int) -> None:
         with self._lock:
             self.failed += batch_size
+
+    def on_shed(self, endpoint: str, reason: str, n: int = 1) -> None:
+        """Count a typed ``Shed`` rejection (``reason`` in p99/depth/arena)."""
+        with self._lock:
+            per = self._shed.setdefault(endpoint, {})
+            per[reason] = per.get(reason, 0) + n
+
+    def on_deadline(self, endpoint: str, stage: str, n: int = 1) -> None:
+        """Count a typed ``DeadlineExceeded`` rejection.
+
+        ``stage`` names where the deadline died: ``queued`` (expired
+        while waiting), ``unmeetable`` (would expire before the batch
+        could finish), or ``worker`` (a process worker skipped the row).
+        """
+        with self._lock:
+            per = self._deadline.setdefault(endpoint, {})
+            per[stage] = per.get(stage, 0) + n
+
+    def on_dispatch_meta(self, retries: int, hedged: bool) -> None:
+        """Fold one batch's transport retry/hedge facts into the totals."""
+        with self._lock:
+            self.retried += retries
+            if hedged:
+                self.hedged += 1
+
+    def rolling_p99(self, endpoint: str) -> float:
+        """p99 over the endpoint's most recent completions (SLO input)."""
+        with self._lock:
+            window = self._rolling.get(endpoint)
+            if not window:
+                return 0.0
+            return percentile(list(window), 99)
 
     def on_batch(self, endpoint: str, batch_size: int, service_s: float) -> None:
         with self._lock:
@@ -98,6 +141,10 @@ class ServiceMetrics:
         with self._lock:
             self.completed += 1
             self._latency.setdefault(endpoint, []).append(latency_s)
+            window = self._rolling.get(endpoint)
+            if window is None:
+                window = self._rolling[endpoint] = deque(maxlen=ROLLING_WINDOW)
+            window.append(latency_s)
             self._queue_wait.setdefault(endpoint, []).append(queue_s)
             if self._last_complete is None or now > self._last_complete:
                 self._last_complete = now
@@ -137,6 +184,16 @@ class ServiceMetrics:
                         "misses": cache["misses"],
                         "hit_rate": (cache["hits"] / total) if total else 0.0,
                     }
+            shed_total = sum(sum(per.values()) for per in self._shed.values())
+            deadline_total = sum(sum(per.values()) for per in self._deadline.values())
+            by_reason: Dict[str, int] = {}
+            for per in self._shed.values():
+                for reason, n in per.items():
+                    by_reason[reason] = by_reason.get(reason, 0) + n
+            by_stage: Dict[str, int] = {}
+            for per in self._deadline.values():
+                for stage, n in per.items():
+                    by_stage[stage] = by_stage.get(stage, 0) + n
             return {
                 "submitted": self.submitted,
                 "completed": self.completed,
@@ -146,4 +203,22 @@ class ServiceMetrics:
                 "wall_s": wall_s,
                 "throughput_rps": (self.completed / wall_s) if wall_s > 0 else 0.0,
                 "endpoints": endpoints,
+                "shed": {
+                    "total": shed_total,
+                    "by_reason": dict(sorted(by_reason.items())),
+                    "by_endpoint": {
+                        name: sum(per.values())
+                        for name, per in sorted(self._shed.items())
+                    },
+                },
+                "deadline_exceeded": {
+                    "total": deadline_total,
+                    "by_stage": dict(sorted(by_stage.items())),
+                    "by_endpoint": {
+                        name: sum(per.values())
+                        for name, per in sorted(self._deadline.items())
+                    },
+                },
+                "retried": self.retried,
+                "hedged": self.hedged,
             }

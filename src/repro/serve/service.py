@@ -10,27 +10,46 @@ and execute them through the endpoint's pinned integer execution plan;
 endpoints serialize on their own lock, so multiple workers overlap
 *across* endpoints while each plan's stateful engines stay single-writer.
 
+Requests carry a lifecycle: an optional ``deadline_s`` and a
+``priority``.  Queued requests that outlive their deadline are expired
+with a typed :class:`~repro.serve.types.DeadlineExceeded` — never served
+dead, never dropped silently — and the batcher refuses to coalesce a
+request into a batch it cannot meet (an EWMA of recent batch service
+times estimates the finish line).  Per-endpoint :class:`SLOBudget`\\ s
+add admission control: when the rolling p99 or queue depth breaches
+budget, the lowest-priority traffic is shed first with a typed
+:class:`~repro.serve.types.Shed` rejection, which bounds p99 under
+saturation where an unbounded queue would grow without limit.  Arena
+backpressure from the shared-memory dataplane surfaces through the same
+shed path (reason ``"arena"``) instead of failing the batch.
+
 Shutdown is graceful by default: :meth:`drain` stops intake, flushes
 every queue through the normal dispatch path (partial batches included),
 joins the workers and returns the final metrics snapshot.  :meth:`abort`
 rejects whatever is still queued instead.
 
-Determinism: dispatch order and coalescing change *which* requests share
-a batch, never the bits of a response — the endpoint invariant
+Determinism: dispatch order, coalescing, shedding and expiry change
+*which* requests share a batch (or are served at all), never the bits of
+a served response — the endpoint invariant
 (``tests/serve/test_determinism.py``) makes any interleaving equivalent
 to sequential single-request serving.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
 import threading
 import time
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
+from . import faults
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .endpoint import EndpointRegistry
 from .metrics import ServiceMetrics
-from .types import ServeResponse, ServeTiming
+from .shm import ArenaExhaustedError
+from .types import DeadlineExceeded, DeadlineMiss, ServeResponse, ServeTiming, Shed
 
 
 class BackpressureError(RuntimeError):
@@ -39,6 +58,61 @@ class BackpressureError(RuntimeError):
 
 class ServiceClosedError(RuntimeError):
     """The service is draining or closed and takes no new requests."""
+
+
+@dataclass(frozen=True)
+class SLOBudget:
+    """Per-endpoint service-level objective the admission control defends.
+
+    ``p99_target_s`` bounds the rolling p99 latency; ``max_queue_depth``
+    bounds the endpoint's queued backlog.  Breaching either sheds the
+    lowest-priority traffic first.  ``None`` fields are unenforced.
+    """
+
+    p99_target_s: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+
+    def active(self) -> bool:
+        return self.p99_target_s is not None or self.max_queue_depth is not None
+
+
+def slo_budget_from_env(environ=None) -> Optional[SLOBudget]:
+    """Default budget from ``REPRO_SLO_P99_MS`` / ``REPRO_SLO_DEPTH``.
+
+    Unset (or empty) variables leave the corresponding bound unenforced;
+    with neither set there is no default budget and admission control
+    stays off unless budgets are passed explicitly.
+    """
+    env = environ if environ is not None else os.environ
+    p99_ms = env.get("REPRO_SLO_P99_MS", "").strip()
+    depth = env.get("REPRO_SLO_DEPTH", "").strip()
+    if not p99_ms and not depth:
+        return None
+    return SLOBudget(
+        p99_target_s=float(p99_ms) / 1e3 if p99_ms else None,
+        max_queue_depth=int(depth) if depth else None,
+    )
+
+
+def _accepts_meta(dispatcher) -> bool:
+    """Does the dispatcher take the (endpoint, payloads, meta) protocol?
+
+    Process-level dispatchers accept a third ``meta`` argument carrying
+    per-row deadlines in and transport retry/hedge facts out; plain
+    two-argument dispatchers (tests, ad-hoc hooks) keep working without
+    it.
+    """
+    try:
+        sig = inspect.signature(dispatcher)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for param in sig.parameters.values():
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            return True
+        if param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD):
+            positional += 1
+    return positional >= 3
 
 
 class ServeFuture:
@@ -83,6 +157,7 @@ class InferenceService:
         block_on_full: bool = False,
         record_timings: bool = False,
         dispatcher: Optional[Callable[[str, List[object]], list]] = None,
+        slo_budgets: Optional[Dict[str, SLOBudget]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -94,11 +169,23 @@ class InferenceService:
         self.queue_limit = queue_limit
         self.block_on_full = block_on_full
         self.record_timings = record_timings
-        #: ``dispatcher(endpoint_name, payloads) -> results`` replaces the
-        #: in-process ``endpoint.infer_batch`` execution — the hook
-        #: process-level workers plug into (the registry then only needs
-        #: validation stubs, see :mod:`repro.serve.workers`).
+        #: ``dispatcher(endpoint_name, payloads[, meta]) -> results``
+        #: replaces the in-process ``endpoint.infer_batch`` execution —
+        #: the hook process-level workers plug into (the registry then
+        #: only needs validation stubs, see :mod:`repro.serve.workers`).
+        #: Three-argument dispatchers receive a ``meta`` dict with the
+        #: batch's absolute per-row ``deadlines`` and may report
+        #: ``replays``/``hedged`` back for the timing records.
         self.dispatcher = dispatcher
+        self._dispatcher_meta = dispatcher is not None and _accepts_meta(dispatcher)
+        #: Per-endpoint SLO budgets; an entry under ``"*"`` applies to
+        #: every endpoint without its own.  When ``None``, the
+        #: ``REPRO_SLO_P99_MS``/``REPRO_SLO_DEPTH`` environment default
+        #: (if any) applies fleet-wide.
+        if slo_budgets is None:
+            env_budget = slo_budget_from_env()
+            slo_budgets = {"*": env_budget} if env_budget is not None else {}
+        self.slo_budgets = dict(slo_budgets)
         #: Set by :func:`repro.serve.supervisor.supervised_service` when the
         #: dispatcher routes through a supervised fleet; ``status()`` folds
         #: its node health into the service snapshot.
@@ -112,6 +199,11 @@ class InferenceService:
         self._key_stats: dict = {}
         self.metrics = ServiceMetrics()
         self._batcher = MicroBatcher(self.policy)
+        #: EWMA of recent batch service times per endpoint — the finish-
+        #: line estimate behind "never coalesce a request into a batch it
+        #: cannot meet" (the batcher expires such rows at pop time).
+        self._service_ewma: Dict[str, float] = {}
+        self._batcher.estimator = self._estimate_service_s
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -173,6 +265,7 @@ class InferenceService:
                 if batch is None:
                     break
                 rejected.extend(batch.requests)
+            rejected.extend(self._batcher.take_expired())
             self._not_empty.notify_all()
             self._not_full.notify_all()
         for pending in rejected:
@@ -191,17 +284,51 @@ class InferenceService:
     # ------------------------------------------------------------------
     # Intake
     # ------------------------------------------------------------------
-    def submit(self, endpoint_name: str, request) -> ServeFuture:
+    def _budget_for(self, endpoint_name: str) -> Optional[SLOBudget]:
+        budget = self.slo_budgets.get(endpoint_name, self.slo_budgets.get("*"))
+        if budget is not None and budget.active():
+            return budget
+        return None
+
+    def _estimate_service_s(self, endpoint_name: str) -> float:
+        return self._service_ewma.get(endpoint_name, 0.0)
+
+    def submit(
+        self,
+        endpoint_name: str,
+        request,
+        *,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> ServeFuture:
         """Validate, enqueue, and return the request's future.
 
-        Raises :class:`BackpressureError` when the queue is full (or
-        blocks for space when ``block_on_full``), and
-        :class:`ServiceClosedError` once draining has begun.
+        ``priority`` orders SLO shedding (higher survives longer);
+        ``deadline_s`` is a relative deadline from now — a queued request
+        that outlives it gets a typed :class:`DeadlineExceeded` through
+        its future, as does one submitted already dead.  Shed requests
+        get a typed :class:`Shed` the same way.  Raises
+        :class:`BackpressureError` when the queue is full (or blocks for
+        space when ``block_on_full``), and :class:`ServiceClosedError`
+        once draining has begun.
         """
         endpoint = self.registry.get(endpoint_name)
         payload = endpoint.request_payload(request)  # validate outside the lock
         key = endpoint.coalesce_key(payload)
         future = ServeFuture()
+        if deadline_s is not None and deadline_s <= 0:
+            self.metrics.on_deadline(endpoint_name, "queued")
+            future._reject(
+                DeadlineExceeded(
+                    f"deadline of {deadline_s:.4f}s expired before submission",
+                    endpoint=endpoint_name,
+                    reason="queued",
+                )
+            )
+            return future
+        expired: List[PendingRequest] = []
+        shed: List[PendingRequest] = []
+        shed_reason: Optional[str] = None
         with self._lock:
             while True:
                 if self._state != "running":
@@ -215,17 +342,70 @@ class InferenceService:
                     )
                 self._not_full.wait()
             now = time.monotonic()
-            pending = PendingRequest(
-                request_id=self._next_id,
-                endpoint=endpoint_name,
-                payload=payload,
-                enqueued_at=now,
-                future=future,
+            expired = self._batcher.expire(now)
+            admit = True
+            budget = self._budget_for(endpoint_name)
+            if budget is not None:
+                breach = None
+                if (
+                    budget.max_queue_depth is not None
+                    and self._batcher.endpoint_depth(endpoint_name)
+                    >= budget.max_queue_depth
+                ):
+                    breach = "depth"
+                elif (
+                    budget.p99_target_s is not None
+                    and self.metrics.rolling_p99(endpoint_name)
+                    > budget.p99_target_s
+                ):
+                    breach = "p99"
+                if breach is not None:
+                    # Shed the lowest-priority traffic first: evict a
+                    # strictly lower-priority queued request to make room,
+                    # otherwise the incoming request IS the lowest.
+                    shed_reason = breach
+                    lowest = self._batcher.lowest_priority(endpoint_name)
+                    if lowest is not None and lowest < priority:
+                        victim = self._batcher.shed_lowest(endpoint_name)
+                        if victim is not None:
+                            shed.append(victim)
+                    else:
+                        admit = False
+            if admit:
+                pending = PendingRequest(
+                    request_id=self._next_id,
+                    endpoint=endpoint_name,
+                    payload=payload,
+                    enqueued_at=now,
+                    future=future,
+                    deadline_at=(now + deadline_s) if deadline_s is not None else None,
+                    priority=priority,
+                )
+                self._next_id += 1
+                depth = self._batcher.put(key, pending)
+                self.metrics.on_submit(depth, now)
+                self._not_empty.notify()
+        self._reject_expired(expired, "queued")
+        for victim in shed:
+            self.metrics.on_shed(victim.endpoint, shed_reason or "p99")
+            victim.future._reject(
+                Shed(
+                    f"shed: endpoint {victim.endpoint!r} over {shed_reason} budget "
+                    f"(priority {victim.priority})",
+                    endpoint=victim.endpoint,
+                    reason=shed_reason or "p99",
+                )
             )
-            self._next_id += 1
-            depth = self._batcher.put(key, pending)
-            self.metrics.on_submit(depth, now)
-            self._not_empty.notify()
+        if not admit:
+            self.metrics.on_shed(endpoint_name, shed_reason or "p99")
+            future._reject(
+                Shed(
+                    f"shed: endpoint {endpoint_name!r} over {shed_reason} budget "
+                    f"(priority {priority} is lowest in sight)",
+                    endpoint=endpoint_name,
+                    reason=shed_reason or "p99",
+                )
+            )
         return future
 
     def serve(self, endpoint_name: str, request, timeout: Optional[float] = None) -> ServeResponse:
@@ -261,6 +441,16 @@ class InferenceService:
             "coalescing": coalescing,
             "metrics": self.metrics.snapshot(),
         }
+        budgets = {
+            name: {
+                "p99_target_s": budget.p99_target_s,
+                "max_queue_depth": budget.max_queue_depth,
+            }
+            for name, budget in sorted(self.slo_budgets.items())
+            if budget is not None and budget.active()
+        }
+        if budgets:
+            report["slo"] = budgets
         endpoints = {}
         for name in self.registry.names:
             endpoint = self.registry.get(name)
@@ -281,36 +471,76 @@ class InferenceService:
     # ------------------------------------------------------------------
     # Dispatch loop
     # ------------------------------------------------------------------
+    def _reject_expired(self, expired: List[PendingRequest], stage: str) -> None:
+        for pending in expired:
+            self.metrics.on_deadline(pending.endpoint, stage)
+            pending.future._reject(
+                DeadlineExceeded(
+                    f"deadline exceeded while {stage} "
+                    f"(endpoint {pending.endpoint!r})",
+                    endpoint=pending.endpoint,
+                    reason=stage,
+                )
+            )
+
     def _worker(self) -> None:
         while True:
+            expired: List[PendingRequest] = []
+            unmeetable: List[PendingRequest] = []
+            batch = None
+            stop = False
             with self._lock:
-                batch = None
                 while True:
                     if self._state == "closed":
-                        return
+                        stop = True
+                        break
+                    now = time.monotonic()
+                    expired.extend(self._batcher.expire(now))
                     flush = self._state == "draining"
-                    batch = self._batcher.pop_ready(time.monotonic(), flush=flush)
+                    batch = self._batcher.pop_ready(now, flush=flush)
+                    unmeetable.extend(self._batcher.take_expired())
+                    if batch is not None and not batch.requests:
+                        batch = None  # every popped row was past due
                     if batch is not None:
                         break
+                    if expired or unmeetable:
+                        break  # reject promptly, then come back for more
                     if flush:
-                        return  # draining and nothing left to do
+                        stop = True  # draining and nothing left to do
+                        break
                     deadline = self._batcher.next_deadline(time.monotonic())
                     timeout = None
                     if deadline is not None:
                         timeout = max(0.0, deadline - time.monotonic())
                     self._not_empty.wait(timeout)
-                if self._batcher.depth() > 0:
+                if batch is not None and self._batcher.depth() > 0:
                     self._not_empty.notify()  # more work may already be ready
-                self._not_full.notify()
-            self._execute(batch)
+                if batch is not None or expired or unmeetable:
+                    self._not_full.notify()
+            self._reject_expired(expired, "queued")
+            self._reject_expired(unmeetable, "unmeetable")
+            if batch is not None:
+                self._execute(batch)
+            elif stop:
+                return
 
     def _execute(self, batch: Batch) -> None:
         endpoint = self.registry.get(batch.endpoint)
         started = time.monotonic()
+        meta: Optional[dict] = None
         try:
+            rule = faults.crash_point("service.batch")
+            if rule is not None and rule.kind == "error":
+                raise faults.FaultError(
+                    f"injected fault at service.batch ({batch.endpoint})"
+                )
             payloads = [p.payload for p in batch.requests]
             if self.dispatcher is not None:
-                results = self.dispatcher(batch.endpoint, payloads)
+                if self._dispatcher_meta:
+                    meta = {"deadlines": [p.deadline_at for p in batch.requests]}
+                    results = self.dispatcher(batch.endpoint, payloads, meta)
+                else:
+                    results = self.dispatcher(batch.endpoint, payloads)
             else:
                 results = endpoint.infer_batch(payloads)
             results = list(results)
@@ -322,6 +552,20 @@ class InferenceService:
                     f"endpoint {batch.endpoint!r} returned {len(results)} results "
                     f"for a batch of {len(payloads)} requests"
                 )
+        except ArenaExhaustedError as error:
+            # Arena backpressure is load, not failure: surface it through
+            # the shed path so callers see a typed, counted rejection and
+            # the fleet keeps serving everything already in flight.
+            self.metrics.on_shed(batch.endpoint, "arena", n=len(batch.requests))
+            for pending in batch.requests:
+                pending.future._reject(
+                    Shed(
+                        f"shed: shared-memory arena exhausted ({error})",
+                        endpoint=batch.endpoint,
+                        reason="arena",
+                    )
+                )
+            return
         except BaseException as error:  # reject the whole batch, keep serving
             self.metrics.on_failure(len(batch.requests))
             for pending in batch.requests:
@@ -329,6 +573,14 @@ class InferenceService:
             return
         done = time.monotonic()
         service_s = done - started
+        prev = self._service_ewma.get(batch.endpoint)
+        self._service_ewma[batch.endpoint] = (
+            service_s if prev is None else 0.7 * prev + 0.3 * service_s
+        )
+        retries = int(meta.get("replays", 0)) if meta else 0
+        hedged = bool(meta.get("hedged", False)) if meta else False
+        if retries or hedged:
+            self.metrics.on_dispatch_meta(retries, hedged)
         if getattr(endpoint, "cache_activations", False):
             self.metrics.on_act_cache(batch.endpoint, endpoint.act_cache_stats())
         if self.record_timings:
@@ -343,11 +595,26 @@ class InferenceService:
             stats["batches"] += 1
             stats["requests"] += len(batch.requests)
         for pending, result in zip(batch.requests, results):
+            if isinstance(result, DeadlineMiss):
+                # A worker skipped this row as already past due — map the
+                # marker to the same typed rejection queued expiry uses.
+                self.metrics.on_deadline(batch.endpoint, "worker")
+                pending.future._reject(
+                    DeadlineExceeded(
+                        f"deadline exceeded at the worker "
+                        f"(endpoint {batch.endpoint!r})",
+                        endpoint=batch.endpoint,
+                        reason="worker",
+                    )
+                )
+                continue
             timing = ServeTiming(
                 queue_s=started - pending.enqueued_at,
                 service_s=service_s,
                 latency_s=done - pending.enqueued_at,
                 batch_size=len(batch.requests),
+                retries=retries,
+                hedged=hedged,
             )
             self.metrics.on_complete(
                 batch.endpoint, timing.queue_s, timing.latency_s, done

@@ -48,6 +48,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import faults
+
 #: Spans are aligned to this many bytes inside a slot, so every mapped
 #: array view is properly aligned (same discipline as the artifact
 #: payload packing in :mod:`repro.artifacts.format`).
@@ -185,6 +187,13 @@ class ShmArena:
         """
         if not self._owner:
             raise ShmError("only the arena owner allocates slots")
+        rule = faults.fire("arena.acquire")
+        if rule is not None and rule.kind == "arena_exhaust":
+            # Injected backpressure: behave exactly as if every slot had
+            # stayed in flight for the whole timeout.
+            raise ArenaExhaustedError(
+                f"injected arena exhaustion ({self.slots} slots treated as in flight)"
+            )
         with self._free_slot:
             if not self._free and not self._free_slot.wait_for(
                 lambda: bool(self._free), timeout=timeout
@@ -283,6 +292,10 @@ class ShmArena:
                 ).reshape(shape)
             )
         actual = _spans_digest(views)
+        rule = faults.fire("arena.read")
+        if rule is not None and rule.kind == "corrupt":
+            # Injected torn write: make the verify see mismatched bytes.
+            actual = "0" * len(actual)
         if actual != descriptor.digest:
             raise ShmIntegrityError(
                 f"slot {descriptor.slot} content hashes to {actual[:12]}, "

@@ -40,14 +40,17 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import queue
 import threading
 import time
 from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import faults
 from .batcher import BatchPolicy
 from .metrics import percentile
 from .service import InferenceService
@@ -59,7 +62,7 @@ from .shm import (
     shm_enabled,
     unpack_results,
 )
-from .types import raw_output
+from .types import DeadlineMiss, raw_output
 
 PathLike = Union[str, Path]
 
@@ -83,6 +86,30 @@ class CanaryMismatchError(SupervisorError):
 
 class NodeFailure(SupervisorError):
     """Internal: the node serving a batch died, wedged, or went away."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Replay backoff + hedging knobs for :meth:`ServeSupervisor.dispatch`.
+
+    Replays (a batch re-queued after node loss) sleep a bounded
+    exponential backoff between attempts so a flapping fleet is not
+    hammered.  With ``hedge`` on, a primary batch that outlives the
+    fleet's observed ``hedge_percentile`` service time (scaled by
+    ``hedge_factor``, floored at ``hedge_min_s``) is *also* dispatched
+    to a second healthy node; requests are idempotent integer programs,
+    so both attempts produce the same bits and the first response wins.
+    """
+
+    backoff_base_s: float = 0.01
+    backoff_max_s: float = 0.25
+    hedge: bool = False
+    hedge_percentile: float = 95.0
+    hedge_factor: float = 2.0
+    hedge_min_s: float = 0.05
+
+    def backoff_s(self, replays: int) -> float:
+        return min(self.backoff_base_s * (2.0 ** max(0, replays - 1)), self.backoff_max_s)
 
 
 def response_digest(results: Sequence[object]) -> str:
@@ -130,7 +157,7 @@ def _node_main(
     ``kill -9`` here reclaimable by a plain parent-side ``finally``.
     """
     from ..artifacts import read_manifest
-    from .workers import load_worker_endpoints
+    from .workers import load_worker_endpoints, serve_rows_with_deadlines
 
     try:
         endpoints = load_worker_endpoints(
@@ -148,6 +175,9 @@ def _node_main(
             pass
         return
     while True:
+        # ``stall`` here wedges the loop in place (heartbeats stop — the
+        # watchdog must notice); ``crash`` kills the node between batches.
+        faults.crash_point("node.loop")
         try:
             if not conn.poll(heartbeat_s):
                 conn.send(("hb",))
@@ -166,31 +196,42 @@ def _node_main(
             time.sleep(float(message[1]))
             continue
         if op == "infer":
-            _, task_id, endpoint_name, payloads = message
+            _, task_id, endpoint_name, payloads, deadlines = message
             try:
-                results = endpoints[endpoint_name].infer_batch(payloads)
+                faults.crash_point("worker.batch")
+                results, _ = serve_rows_with_deadlines(
+                    endpoints[endpoint_name], payloads, deadlines
+                )
             except BaseException as error:
                 conn.send(("error", task_id, f"{type(error).__name__}: {error}"))
                 continue
             conn.send(("result", task_id, results))
         elif op == "infer_shm":
-            _, task_id, endpoint_name, request, resp_slot = message
+            _, task_id, endpoint_name, request, resp_slot, deadlines = message
             payloads = None
             try:
+                faults.crash_point("worker.batch")
                 endpoint = endpoints[endpoint_name]
                 payloads = arena.read(request, copy=False)
-                results = endpoint.infer_batch(payloads)
+                results, had_miss = serve_rows_with_deadlines(
+                    endpoint, payloads, deadlines
+                )
                 # Drop the zero-copy views now: lingering views would pin
                 # the mapping open past arena close / process teardown.
                 payloads = None
-                try:
-                    descriptor = arena.write(
-                        resp_slot, [pack_results(endpoint.scenario, results)]
-                    )
-                    reply = ("result_shm", task_id, descriptor, endpoint.scenario)
-                except SlotOverflowError:
-                    # Response outgrew its slot: same results, pickled.
+                if had_miss:
+                    # DeadlineMiss markers cannot stack into arena tensors;
+                    # the partial batch degrades to the pickle lane.
                     reply = ("result", task_id, results)
+                else:
+                    try:
+                        descriptor = arena.write(
+                            resp_slot, [pack_results(endpoint.scenario, results)]
+                        )
+                        reply = ("result_shm", task_id, descriptor, endpoint.scenario)
+                    except SlotOverflowError:
+                        # Response outgrew its slot: same results, pickled.
+                        reply = ("result", task_id, results)
             except BaseException as error:
                 payloads = None
                 conn.send(("error", task_id, f"{type(error).__name__}: {error}"))
@@ -296,6 +337,7 @@ class ServeSupervisor:
         backoff_max_s: float = 2.0,
         circuit_threshold: int = 5,
         max_replays: int = 8,
+        retry_policy: Optional[RetryPolicy] = None,
         cache_activations: object = False,
         use_shm: Optional[bool] = None,
         shm_timeout_s: float = 30.0,
@@ -320,6 +362,7 @@ class ServeSupervisor:
         self.backoff_max_s = backoff_max_s
         self.circuit_threshold = circuit_threshold
         self.max_replays = max_replays
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.cache_activations = cache_activations
         self.use_shm = shm_enabled() if use_shm is None else bool(use_shm)
         self.shm_timeout_s = shm_timeout_s
@@ -551,34 +594,163 @@ class ServeSupervisor:
     # ------------------------------------------------------------------
     # Dispatch: claim a node, run, replay on failure
     # ------------------------------------------------------------------
-    def dispatch(self, endpoint: str, payloads: List[np.ndarray]) -> list:
+    def dispatch(
+        self,
+        endpoint: str,
+        payloads: List[np.ndarray],
+        meta: Optional[dict] = None,
+    ) -> list:
         """Serve one coalesced batch; replays transparently on node loss.
 
         The entry point :func:`supervised_service` plugs into
         :class:`~repro.serve.service.InferenceService` as its dispatcher.
         Thread-safe; each claimed node serves one batch at a time.
+
+        ``meta`` (optional) carries per-row absolute ``deadlines`` in —
+        the node skips rows already past due, returning typed
+        :class:`~repro.serve.types.DeadlineMiss` markers — and reports
+        ``replays``/``hedged`` back out for the service's metrics.
+        Replays sleep the :class:`RetryPolicy` backoff between attempts;
+        with hedging enabled a slow primary races a second healthy node
+        and the first response wins (bit-identical by construction).
         """
+        deadlines = (meta or {}).get("deadlines")
+        if deadlines is not None and not any(d is not None for d in deadlines):
+            deadlines = None
+        policy = self.retry_policy
         replays = 0
+        hedged = False
         while True:
             node, role = self._claim_node(endpoint)
+            hedging = policy.hedge and role == "primary"
             try:
-                results = self._run_on_node(node, endpoint, payloads)
+                if hedging:
+                    results, used_hedge = self._run_hedged(
+                        node, endpoint, payloads, deadlines
+                    )
+                    hedged = hedged or used_hedge
+                else:
+                    results = self._run_on_node(node, endpoint, payloads, deadlines)
             except NodeFailure as failure:
-                with self._cond:
-                    self._mark_failed(node, str(failure))
+                if not hedging:  # _run_hedged marks its own nodes failed
+                    with self._cond:
+                        self._mark_failed(node, str(failure))
                 replays += 1
                 if replays > self.max_replays:
                     raise FleetUnavailableError(
                         f"batch for {endpoint!r} failed after {replays} replays: {failure}"
                     ) from failure
+                time.sleep(policy.backoff_s(replays))
                 continue  # re-queue: identical integer program, identical bits
             except BaseException:
-                self._release_node(node, ok=False)
+                if not hedging:  # hedge runner threads manage their own nodes
+                    self._release_node(node, ok=False)
                 raise
+            if meta is not None:
+                meta["replays"] = replays
+                meta["hedged"] = hedged
             if role == "canary":
                 return self._verify_canary(node, endpoint, payloads, results)
             self._release_node(node, ok=True)
             return results
+
+    def _hedge_trigger_s(self, endpoint: str) -> float:
+        """Latency threshold after which a primary batch gets hedged."""
+        policy = self.retry_policy
+        values: List[float] = []
+        with self._cond:
+            for node in self._nodes.values():
+                values.extend(node.service_times.get(endpoint, ()))
+        if not values:
+            return policy.hedge_min_s
+        return max(
+            policy.hedge_min_s,
+            percentile(values, policy.hedge_percentile) * policy.hedge_factor,
+        )
+
+    def _try_claim_free(
+        self, endpoint: str, exclude: Tuple[str, ...] = ()
+    ) -> Optional[WorkerNode]:
+        """Claim an idle incumbent-pinned node *right now*, else ``None``.
+
+        Hedging must never queue behind the fleet: a hedge that waits for
+        capacity adds load exactly when the fleet is saturated, which is
+        the classic hedging failure mode.
+        """
+        with self._cond:
+            if not self._running:
+                return None
+            route = self._routes.get(endpoint)
+            if route is None:
+                return None
+            for node in self._nodes.values():
+                if node.name not in exclude and self._eligible(
+                    node, endpoint, route.current.digest
+                ):
+                    node.busy = True
+                    return node
+        return None
+
+    def _run_hedged(
+        self,
+        primary: WorkerNode,
+        endpoint: str,
+        payloads: List[np.ndarray],
+        deadlines: Optional[List[Optional[float]]],
+    ) -> Tuple[list, bool]:
+        """Race the primary against a late-claimed hedge node.
+
+        The primary runs in a helper thread.  If it outlives the hedge
+        trigger (fleet ``hedge_percentile`` service time × factor) and a
+        second node is idle, the same batch is dispatched there too; the
+        first successful response wins and the loser finishes (and
+        releases its node) in the background — requests are idempotent
+        integer programs, so both attempts hold identical bits.  Raises
+        :class:`NodeFailure` only when every attempt lost its node; the
+        nodes involved are already marked failed.
+        """
+        outcomes: "queue.Queue" = queue.Queue()
+
+        def run(node: WorkerNode) -> None:
+            try:
+                results = self._run_on_node(node, endpoint, payloads, deadlines)
+            except NodeFailure as failure:
+                with self._cond:
+                    self._mark_failed(node, str(failure))
+                outcomes.put(("fail", failure))
+            except BaseException as error:
+                # Application errors release the node inside _run_on_node.
+                outcomes.put(("error", error))
+            else:
+                self._release_node(node, ok=True)
+                outcomes.put(("ok", results))
+
+        threading.Thread(
+            target=run, args=(primary,), name="serve-hedge-primary", daemon=True
+        ).start()
+        used_hedge = False
+        outstanding = 1
+        try:
+            first = outcomes.get(timeout=self._hedge_trigger_s(endpoint))
+        except queue.Empty:
+            hedge_node = self._try_claim_free(endpoint, exclude=(primary.name,))
+            if hedge_node is not None:
+                used_hedge = True
+                outstanding += 1
+                threading.Thread(
+                    target=run, args=(hedge_node,), name="serve-hedge", daemon=True
+                ).start()
+            first = outcomes.get()
+        while True:
+            kind, value = first
+            outstanding -= 1
+            if kind == "ok":
+                return value, used_hedge
+            if kind == "error":
+                raise value
+            if outstanding == 0:
+                raise value  # NodeFailure: dispatch replays with backoff
+            first = outcomes.get()
 
     def _eligible(self, node: WorkerNode, endpoint: str, digest: str) -> bool:
         pin = node.assignments.get(endpoint)
@@ -653,7 +825,11 @@ class ServeSupervisor:
             self._cond.notify_all()
 
     def _run_on_node(
-        self, node: WorkerNode, endpoint: str, payloads: List[np.ndarray]
+        self,
+        node: WorkerNode,
+        endpoint: str,
+        payloads: List[np.ndarray],
+        deadlines: Optional[List[Optional[float]]] = None,
     ) -> list:
         """One batch on one claimed node; raises :class:`NodeFailure` on loss.
 
@@ -678,7 +854,7 @@ class ServeSupervisor:
             try:
                 request = arena.write(req_slot, payloads)
                 resp_slot = arena.acquire(timeout=self.shm_timeout_s)
-                outbound = ("infer_shm", task_id, endpoint, request, resp_slot)
+                outbound = ("infer_shm", task_id, endpoint, request, resp_slot, deadlines)
             except SlotOverflowError:
                 arena.release(req_slot)
                 req_slot = None
@@ -690,7 +866,7 @@ class ServeSupervisor:
         try:
             try:
                 with node.send_lock:
-                    conn.send(outbound or ("infer", task_id, endpoint, payloads))
+                    conn.send(outbound or ("infer", task_id, endpoint, payloads, deadlines))
             except (BrokenPipeError, OSError) as error:
                 raise NodeFailure(f"send failed: {error}") from error
             deadline = time.monotonic() + self.batch_timeout_s
@@ -754,6 +930,12 @@ class ServeSupervisor:
         back — a bad deploy can never leak divergent responses.
         """
         self._release_node(canary_node, ok=True)
+        if any(isinstance(r, DeadlineMiss) for r in canary_results):
+            # A mirror run happens later, so its set of expired rows can
+            # legitimately differ — there is no byte-stable digest to
+            # compare.  Served rows are still pinned bit-identical by the
+            # seeded canary probes; skip the verdict for this batch.
+            return canary_results
         mirror_node, _ = self._claim_node(
             endpoint, allow_canary=False, exclude=(canary_node.name,)
         )
@@ -1270,6 +1452,7 @@ __all__ = [
     "CanaryMismatchError",
     "FleetUnavailableError",
     "NodeFailure",
+    "RetryPolicy",
     "RouteState",
     "ServeSupervisor",
     "SupervisorError",

@@ -84,6 +84,50 @@ def raw_output(result) -> np.ndarray:
     raise TypeError(f"response payload {type(result).__name__} has no raw output")
 
 
+class RequestRejected(RuntimeError):
+    """Base class for typed request rejections.
+
+    A rejected request always learns *why* it was rejected: its future
+    raises one of these subclasses, never a bare RuntimeError, and never
+    silently drops.  ``endpoint`` and ``reason`` make the rejection
+    attributable in logs and loadgen outcome tables.
+    """
+
+    def __init__(self, message: str, *, endpoint: str | None = None, reason: str = ""):
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.reason = reason
+
+
+class DeadlineExceeded(RequestRejected):
+    """The request's deadline passed before (or while) it could be served."""
+
+
+class Shed(RequestRejected):
+    """Admission control rejected the request to protect the SLO budget.
+
+    Raised when a per-endpoint SLO budget (rolling p99 target or max
+    queue depth) is breached and this request was the lowest-priority
+    traffic in sight, or when arena backpressure made the batch
+    unserviceable without blocking everything behind it.
+    """
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """Picklable per-row result marker: a worker skipped a past-due row.
+
+    Deadlines propagate across the process transports as absolute
+    ``time.monotonic()`` instants (CLOCK_MONOTONIC is system-wide on
+    Linux, so parent and worker clocks agree).  A worker that finds a
+    row already past due returns this marker in the row's result slot
+    instead of burning compute on dead work; the service maps it to a
+    typed :class:`DeadlineExceeded` rejection.
+    """
+
+    deadline_at: float
+
+
 @dataclass(frozen=True)
 class ServeTiming:
     """Per-request timing facts, filled in by the dispatch loop."""
@@ -92,6 +136,8 @@ class ServeTiming:
     service_s: float
     latency_s: float
     batch_size: int
+    retries: int = 0
+    hedged: bool = False
 
 
 @dataclass(frozen=True, eq=False)

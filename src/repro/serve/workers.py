@@ -30,13 +30,16 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import faults
 from .batcher import BatchPolicy
+from .types import DeadlineMiss
 from .endpoint import (
     SCENARIOS,
     EndpointRegistry,
@@ -83,6 +86,10 @@ def load_worker_endpoints(
     from ..artifacts import load_endpoint
     from ..tensor.tensor import set_default_dtype
 
+    # Arm this process's fault plan (if any) alongside the dtype config:
+    # spawned children inherit REPRO_FAULTS, so a seeded chaos run plumbs
+    # itself into every worker through the same bootstrap.
+    faults.install_from_env()
     set_default_dtype(dtype_name)
     return {
         name: load_endpoint(path, name=name, cache_activations=cache_activations)
@@ -119,25 +126,68 @@ def _init_worker(
             pass
 
 
-def _worker_infer(endpoint_name: str, payloads: List[np.ndarray]) -> list:
-    return _WORKER_ENDPOINTS[endpoint_name].infer_batch(payloads)
+def serve_rows_with_deadlines(
+    endpoint, payloads: Sequence[np.ndarray], deadlines
+) -> Tuple[list, bool]:
+    """Serve a batch, skipping rows already past their absolute deadline.
+
+    Deadlines are ``time.monotonic()`` instants (CLOCK_MONOTONIC is
+    system-wide on Linux, so the parent's clock is this process's clock).
+    Skipped rows come back as picklable :class:`DeadlineMiss` markers in
+    their original positions — result alignment is preserved, the service
+    maps markers to typed rejections.  Returns ``(results, had_miss)``.
+    """
+    payloads = list(payloads)
+    if not deadlines or all(d is None for d in deadlines):
+        return endpoint.infer_batch(payloads), False
+    now = time.monotonic()
+    live = [
+        payload
+        for payload, deadline in zip(payloads, deadlines)
+        if deadline is None or deadline > now
+    ]
+    if len(live) == len(payloads):
+        return endpoint.infer_batch(payloads), False
+    served = iter(endpoint.infer_batch(live)) if live else iter(())
+    results = [
+        DeadlineMiss(deadline_at=deadline)
+        if deadline is not None and deadline <= now
+        else next(served)
+        for deadline in deadlines
+    ]
+    return results, True
+
+
+def _worker_infer(
+    endpoint_name: str, payloads: List[np.ndarray], deadlines=None
+) -> list:
+    faults.crash_point("worker.batch")
+    results, _ = serve_rows_with_deadlines(
+        _WORKER_ENDPOINTS[endpoint_name], payloads, deadlines
+    )
+    return results
 
 
 def _worker_infer_shm(
-    endpoint_name: str, request: SlotDescriptor, resp_slot: int
+    endpoint_name: str, request: SlotDescriptor, resp_slot: int, deadlines=None
 ) -> tuple:
     """Shm-dataplane batch: payloads in via descriptor, raw arrays out.
 
     The request slot stays held parent-side until this call returns, so
     the zero-copy (``copy=False``) views stay valid for the whole batch.
     The response goes into ``resp_slot`` (pre-allocated by the parent —
-    workers never allocate); if the stacked response outgrows the slot we
-    degrade to returning the pickled results, bit-identical either way.
+    workers never allocate); if the stacked response outgrows the slot —
+    or the batch mixes live rows with :class:`DeadlineMiss` markers,
+    which cannot stack into one array — we degrade to returning the
+    pickled results, bit-identical either way.
     """
+    faults.crash_point("worker.batch")
     arena = _WORKER_ARENA[0]
     endpoint = _WORKER_ENDPOINTS[endpoint_name]
     payloads = arena.read(request, copy=False)
-    results = endpoint.infer_batch(payloads)
+    results, had_miss = serve_rows_with_deadlines(endpoint, payloads, deadlines)
+    if had_miss:
+        return ("pickle", results)
     scenario = endpoint.scenario
     try:
         descriptor = arena.write(resp_slot, [pack_results(scenario, results)])
@@ -307,14 +357,27 @@ class ProcessEndpointPool:
         """
         self._pool.submit(_worker_ready).result()
 
-    def infer_batch(self, endpoint_name: str, payloads: Sequence[np.ndarray]) -> list:
-        """Serve one coalesced batch in whichever worker is free (blocking)."""
+    def infer_batch(
+        self,
+        endpoint_name: str,
+        payloads: Sequence[np.ndarray],
+        meta: Optional[dict] = None,
+    ) -> list:
+        """Serve one coalesced batch in whichever worker is free (blocking).
+
+        ``meta["deadlines"]`` (absolute monotonic instants, one per row)
+        propagates to the worker so rows already past due are skipped
+        there and come back as :class:`DeadlineMiss` markers.
+        """
         if endpoint_name not in self.artifacts:
             raise KeyError(f"no artifact for endpoint {endpoint_name!r}")
         payloads = list(payloads)
+        deadlines = (meta or {}).get("deadlines")
+        if deadlines is not None and all(d is None for d in deadlines):
+            deadlines = None
         if self.arena is not None:
             try:
-                return self._infer_shm(endpoint_name, payloads)
+                return self._infer_shm(endpoint_name, payloads, deadlines)
             except SlotOverflowError:
                 # Batch bigger than one slot: this batch rides the pickle
                 # path (same bits, just serialized).
@@ -322,9 +385,13 @@ class ProcessEndpointPool:
                     self.stats["shm_fallbacks"] += 1
         with self._stats_lock:
             self.stats["pickle_batches"] += 1
-        return self._pool.submit(_worker_infer, endpoint_name, payloads).result()
+        return self._pool.submit(
+            _worker_infer, endpoint_name, payloads, deadlines
+        ).result()
 
-    def _infer_shm(self, endpoint_name: str, payloads: List[np.ndarray]) -> list:
+    def _infer_shm(
+        self, endpoint_name: str, payloads: List[np.ndarray], deadlines=None
+    ) -> list:
         """One batch over the arena; slots are released here no matter what.
 
         The ``finally`` blocks are the crash-safety story: a worker that
@@ -339,7 +406,7 @@ class ProcessEndpointPool:
             resp_slot = arena.acquire(timeout=self.shm_timeout_s)
             try:
                 reply = self._pool.submit(
-                    _worker_infer_shm, endpoint_name, request, resp_slot
+                    _worker_infer_shm, endpoint_name, request, resp_slot, deadlines
                 ).result()
                 if reply[0] == "pickle":  # response outgrew its slot
                     results = reply[1]

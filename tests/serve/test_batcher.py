@@ -199,3 +199,113 @@ class TestNextDeadline:
         b.put(key("bert"), pending(0, t=1.0))
         b.put(key("llama", (2,)), pending(1, endpoint="llama", t=0.5, shape=(2,)))
         assert b.next_deadline(now=0.5) == pytest.approx(0.510)
+
+    def test_request_deadline_caps_the_wakeup(self):
+        # The dispatch loop must wake in time to EXPIRE dead work, not
+        # just to dispatch ready work.
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=10.0))
+        b.put(key(), lifecycle_pending(0, t=1.0, deadline_at=1.5))
+        assert b.next_deadline(now=1.0) == pytest.approx(1.5)
+
+
+def lifecycle_pending(i, *, t=0.0, deadline_at=None, priority=0, endpoint="bert"):
+    return PendingRequest(
+        request_id=i,
+        endpoint=endpoint,
+        payload=np.zeros((4,)),
+        enqueued_at=t,
+        deadline_at=deadline_at,
+        priority=priority,
+    )
+
+
+class TestLifecycle:
+    """Deadline expiry, priority shedding, and the unmeetable-batch rule."""
+
+    def test_expire_retires_past_due_requests_only(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=10.0))
+        b.put(key(), lifecycle_pending(0, t=1.0, deadline_at=2.0))
+        b.put(key(), lifecycle_pending(1, t=1.0, deadline_at=5.0))
+        b.put(key(), lifecycle_pending(2, t=1.0))  # no deadline
+        expired = b.expire(now=3.0)
+        assert [p.request_id for p in expired] == [0]
+        assert expired[0].state == "expired"
+        assert b.depth() == 2
+        assert b.expire(now=3.0) == []  # never expires twice
+
+    def test_expired_head_does_not_shadow_survivors(self):
+        # The expired request WAS the head; the survivors must still
+        # dispatch once aged (eager head purge + re-registration).
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=0.010))
+        b.put(key(), lifecycle_pending(0, t=1.0, deadline_at=1.5))
+        b.put(key(), lifecycle_pending(1, t=1.2))
+        b.expire(now=2.0)
+        batch = b.pop_ready(now=2.0)
+        assert [p.request_id for p in batch.requests] == [1]
+        assert b.depth() == 0
+
+    def test_shed_lowest_takes_lowest_priority_youngest_first(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=10.0))
+        b.put(key(), lifecycle_pending(0, t=1.0, priority=0))
+        b.put(key(), lifecycle_pending(1, t=2.0, priority=0))
+        b.put(key(), lifecycle_pending(2, t=3.0, priority=2))
+        assert b.lowest_priority("bert") == 0
+        victim = b.shed_lowest("bert")
+        assert victim.request_id == 1  # tie on priority: youngest goes
+        assert victim.state == "shed"
+        assert b.shed_lowest("bert").request_id == 0
+        assert b.lowest_priority("bert") == 2
+        assert b.depth() == 1
+
+    def test_shed_empty_endpoint_returns_none(self):
+        b = MicroBatcher(BatchPolicy())
+        assert b.lowest_priority("bert") is None
+        assert b.shed_lowest("bert") is None
+
+    def test_endpoint_depth_counts_live_requests_per_endpoint(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=10.0))
+        b.put(key(), lifecycle_pending(0, t=1.0))
+        b.put(key(), lifecycle_pending(1, t=1.0, deadline_at=2.0))
+        b.put(key("llama", (2,)), lifecycle_pending(2, t=1.0, endpoint="llama"))
+        assert b.endpoint_depth("bert") == 2
+        assert b.endpoint_depth("llama") == 1
+        b.expire(now=3.0)
+        assert b.endpoint_depth("bert") == 1
+        b.shed_lowest("bert")
+        assert b.endpoint_depth("bert") == 0
+        assert b.endpoint_depth("segformer") == 0
+
+    def test_pop_expires_rows_the_estimated_batch_cannot_meet(self):
+        # "Never coalesce a request into a batch it cannot meet": with a
+        # 1s estimated service time, a row due in 0.5s is dead on
+        # dispatch and must be expired at pop time, not served late.
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=0.0))
+        b.estimator = lambda endpoint: 1.0
+        b.put(key(), lifecycle_pending(0, t=1.0, deadline_at=1.5))
+        b.put(key(), lifecycle_pending(1, t=1.0, deadline_at=9.0))
+        b.put(key(), lifecycle_pending(2, t=1.0))
+        batch = b.pop_ready(now=1.0)
+        assert [p.request_id for p in batch.requests] == [1, 2]
+        unmeetable = b.take_expired()
+        assert [p.request_id for p in unmeetable] == [0]
+        assert unmeetable[0].state == "expired"
+        assert b.take_expired() == []  # drained exactly once
+
+    def test_pop_without_estimator_trusts_the_deadline_alone(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=0.0))
+        b.put(key(), lifecycle_pending(0, t=1.0, deadline_at=1.2))
+        batch = b.pop_ready(now=1.0)  # due in the future, est defaults 0
+        assert [p.request_id for p in batch.requests] == [0]
+        assert b.take_expired() == []
+
+    def test_shed_and_expired_never_dispatch(self):
+        b = MicroBatcher(BatchPolicy(max_batch=8, max_delay_s=10.0))
+        b.put(key(), lifecycle_pending(0, t=1.0, deadline_at=1.5, priority=0))
+        b.put(key(), lifecycle_pending(1, t=1.0, priority=0))
+        b.put(key(), lifecycle_pending(2, t=1.0, priority=1))
+        b.expire(now=2.0)  # kills 0
+        b.shed_lowest("bert")  # kills 1
+        batch = b.pop_ready(now=99.0, flush=True)
+        assert [p.request_id for p in batch.requests] == [2]
+        assert b.pop_ready(now=99.0, flush=True) is None
+        assert b.depth() == 0

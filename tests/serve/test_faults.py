@@ -1,0 +1,432 @@
+"""Seeded fault-injection matrix: every named site, every recovery path.
+
+Each test installs a deterministic :class:`FaultPlan` (in the parent, in
+the spawned workers via ``REPRO_FAULTS``, or both) and pins the recovery
+contract from ISSUE criteria: zero lost non-shed requests, bit-identical
+served responses against the in-process oracle, and a *typed* rejection
+for everything not served.  The same file runs under both dataplanes in
+CI (``REPRO_SHM=0|1``); arena-site tests skip on the pickle leg.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import ArtifactRegistry, compile_endpoint
+from repro.serve import (
+    BatchPolicy,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    InferenceService,
+    RetryPolicy,
+    ServeSupervisor,
+    SLOBudget,
+    Shed,
+    build_endpoint,
+    default_registry,
+    faults,
+    shm_enabled,
+    supervised_service,
+)
+from repro.serve.shm import ArenaExhaustedError, ShmArena
+from repro.serve.types import DeadlineExceeded, raw_output as response_bits
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    registry = ArtifactRegistry(tmp_path_factory.mktemp("faults-registry"))
+    registry.put(compile_endpoint("bert", seed=0))
+    return registry
+
+
+@pytest.fixture(scope="module")
+def artifact_paths(registry):
+    (record,) = registry.list()
+    return {"bert": registry.resolve(record["digest"])}
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """Every test leaves no plan armed — parent or environment."""
+    yield
+    faults.install_plan(None)
+    os.environ.pop(faults.ENV_FAULTS, None)
+
+
+def arm_children(monkeypatch, plan):
+    """Arm worker processes spawned after this point (env inheritance)."""
+    monkeypatch.setenv(faults.ENV_FAULTS, plan.to_json())
+
+
+def oracle_burst(count, seed=0):
+    oracle = build_endpoint("bert", seed=0)
+    rng = np.random.default_rng(seed)
+    requests = [oracle.synth_request(rng) for _ in range(count)]
+    expected = [response_bits(oracle.serve_one(request)) for request in requests]
+    return requests, expected
+
+
+def assert_bits(responses, expected):
+    for response, bits in zip(responses, expected):
+        assert np.array_equal(response_bits(response.result), bits), (
+            "served response drifted from the in-process oracle"
+        )
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = (
+            FaultPlan(seed=7)
+            .rule("worker.batch", "crash", at=(2, 5))
+            .rule("service.batch", "slow", prob=0.25, param=0.01, limit=3)
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.seed == 7
+        assert clone.rules == plan.rules
+        assert clone.to_json() == plan.to_json()
+
+    def test_from_env(self, monkeypatch):
+        plan = FaultPlan(seed=1).rule("node.loop", "stall", at=1, param=0.5)
+        monkeypatch.setenv(faults.ENV_FAULTS, plan.to_json())
+        assert FaultPlan.from_env().to_json() == plan.to_json()
+        monkeypatch.delenv(faults.ENV_FAULTS)
+        assert FaultPlan.from_env() is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="worker.batch", kind="meteor")
+
+    def test_at_hits_fire_exactly_once_each(self):
+        faults.install_plan(FaultPlan().rule("site.x", "error", at=(2, 4)))
+        fired = [faults.fire("site.x") is not None for _ in range(6)]
+        assert fired == [False, True, False, True, False, False]
+        assert faults.site_hits("site.x") == 6
+
+    def test_limit_bounds_probabilistic_fires(self):
+        faults.install_plan(
+            FaultPlan(seed=3).rule("site.x", "error", prob=1.0, limit=2)
+        )
+        fired = [faults.fire("site.x") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_probabilistic_fires_are_seed_deterministic(self):
+        def pattern(seed):
+            faults.install_plan(FaultPlan(seed=seed).rule("site.x", "error", prob=0.5))
+            return [faults.fire("site.x") is not None for _ in range(32)]
+
+        assert pattern(11) == pattern(11)
+        assert pattern(11) != pattern(12)  # astronomically unlikely to tie
+
+    def test_no_plan_is_a_cheap_noop(self):
+        faults.install_plan(None)
+        assert faults.fire("site.x") is None
+        assert faults.site_hits("site.x") == 0
+        assert faults.active_plan() is None
+
+
+class TestWorkerFaults:
+    """Injected faults in spawned worker processes (env-armed plans)."""
+
+    def test_worker_crash_mid_batch_replays_bit_identical(
+        self, artifact_paths, monkeypatch
+    ):
+        """Seeded replacement for the ad-hoc kill-9 chaos helper: each
+        node exits mid-batch on its 2nd served batch; nothing is lost."""
+        requests, expected = oracle_burst(16)
+        arm_children(monkeypatch, FaultPlan(seed=0).rule("worker.batch", "crash", at=2))
+        supervisor = ServeSupervisor(artifact_paths, nodes=2, backoff_base_s=0.01)
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.002),
+            queue_limit=64,
+            shutdown_supervisor=True,
+        ).start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            responses = [future.result(120.0) for future in futures]
+            snapshot = service.metrics.snapshot()
+            status = supervisor.status()
+        finally:
+            service.drain()
+        assert_bits(responses, expected)
+        assert snapshot["completed"] == len(requests)
+        assert snapshot["failed"] == 0
+        assert snapshot["retried"] >= 1  # the crashed batches replayed
+        assert sum(node["restarts"] for node in status["nodes"].values()) >= 1
+
+    def test_worker_slow_batch_still_serves_bit_identical(
+        self, artifact_paths, monkeypatch
+    ):
+        requests, expected = oracle_burst(8, seed=1)
+        arm_children(
+            monkeypatch,
+            FaultPlan(seed=0).rule("worker.batch", "slow", at=1, param=0.2),
+        )
+        supervisor = ServeSupervisor(artifact_paths, nodes=1)
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=8, max_delay_s=0.002),
+            shutdown_supervisor=True,
+        ).start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            responses = [future.result(120.0) for future in futures]
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert_bits(responses, expected)
+        assert snapshot["failed"] == 0
+
+    def test_node_loop_crash_respawns_and_serves(self, artifact_paths, monkeypatch):
+        """A node dying between batches (not mid-batch) respawns and the
+        fleet keeps serving without losing anything."""
+        requests, expected = oracle_burst(8, seed=2)
+        arm_children(monkeypatch, FaultPlan(seed=0).rule("node.loop", "crash", at=8))
+        supervisor = ServeSupervisor(
+            artifact_paths,
+            nodes=1,
+            heartbeat_interval_s=0.02,
+            heartbeat_timeout_s=0.25,
+            backoff_base_s=0.01,
+        )
+        with supervisor:
+            monkeypatch.delenv(faults.ENV_FAULTS)  # respawn comes back clean
+            assert wait_until_restarted(supervisor, "node-0")
+            service = supervised_service(
+                supervisor,
+                policy=BatchPolicy(max_batch=4, max_delay_s=0.002),
+                shutdown_supervisor=False,
+            ).start()
+            try:
+                futures = [service.submit("bert", request) for request in requests]
+                responses = [future.result(120.0) for future in futures]
+            finally:
+                service.drain()
+        assert_bits(responses, expected)
+
+    def test_hedged_dispatch_first_response_wins_bit_identical(
+        self, artifact_paths, monkeypatch
+    ):
+        """A slow primary trips the hedge trigger; the raced response is
+        bit-identical and the timing records the hedge."""
+        requests, expected = oracle_burst(4, seed=3)
+        arm_children(
+            monkeypatch,
+            FaultPlan(seed=0).rule("worker.batch", "slow", at=1, param=0.4),
+        )
+        supervisor = ServeSupervisor(
+            artifact_paths,
+            nodes=2,
+            retry_policy=RetryPolicy(hedge=True, hedge_min_s=0.05),
+        )
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.002),
+            shutdown_supervisor=True,
+        ).start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            responses = [future.result(120.0) for future in futures]
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert_bits(responses, expected)
+        assert any(response.timing.hedged for response in responses)
+        assert snapshot["hedged"] >= 1
+        assert snapshot["failed"] == 0
+
+
+def wait_until_restarted(supervisor, name, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        node = supervisor.status()["nodes"][name]
+        if node["restarts"] >= 1 and node["state"] == "ready":
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.mark.skipif(not shm_enabled(), reason="arena sites need the shm dataplane")
+class TestArenaFaults:
+    """Parent-side arena faults (plans installed in-process, not via env)."""
+
+    def test_arena_exhaustion_raises_typed_backpressure(self):
+        faults.install_plan(
+            FaultPlan(seed=0).rule("arena.acquire", "arena_exhaust", at=1)
+        )
+        arena = ShmArena(slots=2, slot_bytes=1 << 12)
+        try:
+            with pytest.raises(ArenaExhaustedError):
+                arena.acquire(timeout=0.01)
+            slot = arena.acquire(timeout=1.0)  # hit 2: healthy again
+            arena.release(slot)
+        finally:
+            arena.close()
+
+    def test_arena_exhaustion_sheds_batch_with_typed_rejection(
+        self, artifact_paths, monkeypatch
+    ):
+        """Satellite: ``ArenaExhaustedError`` unifies with the shed path —
+        the starved batch gets typed ``Shed(reason="arena")`` rejections
+        and a counted metrics block, while later batches serve."""
+        monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+        requests, expected = oracle_burst(8, seed=4)
+        supervisor = ServeSupervisor(artifact_paths, nodes=1, use_shm=True)
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.002),
+            shutdown_supervisor=True,
+        ).start()
+        faults.install_plan(
+            FaultPlan(seed=0).rule("arena.acquire", "arena_exhaust", at=1)
+        )
+        served, shed = [], 0
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            for future, bits in zip(futures, expected):
+                try:
+                    response = future.result(120.0)
+                except Shed as rejection:
+                    assert rejection.reason == "arena"
+                    assert rejection.endpoint == "bert"
+                    shed += 1
+                else:
+                    assert np.array_equal(response_bits(response.result), bits)
+                    served.append(response)
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert shed >= 1 and served  # one batch starved, the rest served
+        assert shed + len(served) == len(requests)  # zero silent drops
+        assert snapshot["shed"]["total"] == shed
+        assert snapshot["shed"]["by_reason"] == {"arena": shed}
+        assert snapshot["failed"] == 0
+
+    def test_corrupt_descriptor_replays_bit_identical(
+        self, artifact_paths, monkeypatch
+    ):
+        """A torn shm response (digest mismatch on the parent's read) is a
+        node fault: the batch replays and every request still serves
+        bit-identical."""
+        monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+        requests, expected = oracle_burst(8, seed=5)
+        supervisor = ServeSupervisor(
+            artifact_paths, nodes=2, use_shm=True, backoff_base_s=0.01
+        )
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.002),
+            shutdown_supervisor=True,
+        ).start()
+        faults.install_plan(FaultPlan(seed=0).rule("arena.read", "corrupt", at=1))
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            responses = [future.result(120.0) for future in futures]
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert_bits(responses, expected)
+        assert snapshot["completed"] == len(requests)
+        assert snapshot["failed"] == 0
+        assert snapshot["retried"] >= 1  # the corrupted batch replayed
+
+
+class TestServiceFaults:
+    """In-process ``service.batch`` faults: typed errors, no silent drops."""
+
+    def test_error_fault_rejects_batch_typed_then_recovers(self):
+        registry = default_registry(families=("bert",))
+        endpoint = registry.get("bert")
+        rng = np.random.default_rng(0)
+        first, second = endpoint.synth_request(rng), endpoint.synth_request(rng)
+        faults.install_plan(
+            FaultPlan(seed=0).rule("service.batch", "error", at=1)
+        )
+        with InferenceService(
+            registry, policy=BatchPolicy(max_batch=1, max_delay_s=0.0)
+        ) as service:
+            doomed = service.submit("bert", first)
+            with pytest.raises(FaultError):
+                doomed.result(30.0)
+            response = service.serve("bert", second, timeout=30.0)
+        single = endpoint.serve_one(second)
+        assert np.array_equal(response_bits(response.result), response_bits(single))
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.too_slow,
+        ],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        fault=st.sampled_from(("none", "slow", "error")),
+        priorities=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=1, max_size=3
+        ),
+        deadline_s=st.sampled_from((None, 0.002, 5.0)),
+    )
+    def test_lifecycle_sweep_served_bits_match_oracle(
+        self, seed, fault, priorities, deadline_s
+    ):
+        """Satellite sweep: any interleaving of priorities x deadlines x
+        injected faults yields bit-identical responses to the in-process
+        oracle for every request actually served, and a typed terminal
+        outcome for every request that is not."""
+        registry = default_registry(families=("bert",))
+        endpoint = registry.get("bert")
+        rng = np.random.default_rng(seed)
+        requests = [endpoint.synth_request(rng) for _ in range(10)]
+        expected = [response_bits(endpoint.serve_one(r)) for r in requests]
+        plan = FaultPlan(seed=seed)
+        if fault == "slow":
+            plan.rule("service.batch", "slow", prob=0.4, param=0.01)
+        elif fault == "error":
+            plan.rule("service.batch", "error", prob=0.3)
+        faults.install_plan(plan)
+        outcomes = {"served": 0, "shed": 0, "deadline_exceeded": 0, "faulted": 0}
+        try:
+            with InferenceService(
+                registry,
+                policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+                slo_budgets={"bert": SLOBudget(max_queue_depth=6)},
+            ) as service:
+                futures = [
+                    service.submit(
+                        "bert",
+                        request,
+                        priority=priorities[i % len(priorities)],
+                        deadline_s=deadline_s,
+                    )
+                    for i, request in enumerate(requests)
+                ]
+                for future, bits in zip(futures, expected):
+                    try:
+                        response = future.result(60.0)
+                    except Shed:
+                        outcomes["shed"] += 1
+                    except DeadlineExceeded:
+                        outcomes["deadline_exceeded"] += 1
+                    except FaultError:
+                        outcomes["faulted"] += 1
+                    else:
+                        outcomes["served"] += 1
+                        assert np.array_equal(response_bits(response.result), bits)
+        finally:
+            faults.install_plan(None)
+        assert sum(outcomes.values()) == len(requests)  # typed terminal states only
+        if fault != "error" and deadline_s is None:
+            # No faults that reject and no deadlines: everything either
+            # serves or is shed by the depth budget — never lost.  The
+            # first ``max_queue_depth`` admissions can never breach, so a
+            # served majority is guaranteed, not just likely.
+            assert outcomes["deadline_exceeded"] == 0
+            assert outcomes["faulted"] == 0
+            assert outcomes["served"] >= 6

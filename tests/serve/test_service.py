@@ -9,11 +9,17 @@ import pytest
 from repro.serve import (
     BackpressureError,
     BatchPolicy,
+    DeadlineExceeded,
     EndpointRegistry,
     InferenceService,
     ServiceClosedError,
+    SLOBudget,
+    Shed,
     default_registry,
+    slo_budget_from_env,
 )
+from repro.serve.shm import ArenaExhaustedError
+from repro.serve.types import DeadlineMiss, RequestRejected
 
 
 def response_bits(result):
@@ -280,6 +286,232 @@ class TestFailures:
             assert endpoint.calls == []  # endpoint.infer_batch never ran
         finally:
             service.drain()
+
+
+class TestDeadlines:
+    def test_already_dead_submission_fast_fails_typed(self):
+        registry, _ = stub_registry()
+        with InferenceService(registry) as service:
+            future = service.submit("stub", [1.0], deadline_s=0.0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                future.result(5.0)
+            assert excinfo.value.endpoint == "stub"
+            assert excinfo.value.reason == "queued"
+            assert isinstance(excinfo.value, RequestRejected)
+            snapshot = service.metrics.snapshot()
+        assert snapshot["deadline_exceeded"]["total"] == 1
+        assert snapshot["deadline_exceeded"]["by_stage"] == {"queued": 1}
+
+    def test_queued_request_expires_while_worker_is_busy(self):
+        registry, endpoint = stub_registry()
+        endpoint.release.clear()
+        service = InferenceService(
+            registry, policy=BatchPolicy(max_batch=1, max_delay_s=0.0), queue_limit=8
+        ).start()
+        try:
+            in_flight = service.submit("stub", [1.0])
+            time.sleep(0.05)  # worker parked inside infer_batch
+            doomed = service.submit("stub", [2.0], deadline_s=0.05)
+            time.sleep(0.1)  # the deadline dies while the worker is parked
+            endpoint.release.set()
+            # The worker finishes the in-flight batch, loops, and must
+            # expire the dead request instead of serving it late.
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                doomed.result(5.0)
+            assert excinfo.value.reason in ("queued", "unmeetable")
+        finally:
+            endpoint.release.set()
+            service.drain()
+        assert in_flight.result(5.0).result == 1.0  # never lost
+
+    def test_worker_deadline_miss_maps_to_typed_rejection(self):
+        """A dispatcher returning ``DeadlineMiss`` markers (the process
+        transports' past-due-row skip) rejects exactly those rows."""
+        registry, _ = stub_registry()
+
+        def skip_first(endpoint, payloads, meta):
+            deadlines = meta["deadlines"]
+            assert len(deadlines) == len(payloads)
+            return [DeadlineMiss(deadline_at=deadlines[0] or 0.0)] + [
+                float(p.sum()) for p in payloads[1:]
+            ]
+
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.05),
+            dispatcher=skip_first,
+        ).start()
+        try:
+            futures = [
+                service.submit("stub", [float(i)], deadline_s=30.0) for i in range(3)
+            ]
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                futures[0].result(5.0)
+            assert excinfo.value.reason == "worker"
+            assert [f.result(5.0).result for f in futures[1:]] == [1.0, 2.0]
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert snapshot["deadline_exceeded"]["by_stage"] == {"worker": 1}
+        assert snapshot["completed"] == 2
+
+
+class TestSLOShedding:
+    def test_depth_breach_sheds_incoming_lowest_priority(self):
+        registry, endpoint = stub_registry()
+        endpoint.release.clear()
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            queue_limit=16,
+            slo_budgets={"stub": SLOBudget(max_queue_depth=1)},
+        ).start()
+        try:
+            in_flight = service.submit("stub", [1.0])
+            time.sleep(0.05)  # worker parked; queue is empty again
+            queued = service.submit("stub", [2.0])  # depth 0 -> 1, admitted
+            doomed = service.submit("stub", [3.0])  # depth at budget: shed
+            with pytest.raises(Shed) as excinfo:
+                doomed.result(5.0)
+            assert excinfo.value.endpoint == "stub"
+            assert excinfo.value.reason == "depth"
+            assert isinstance(excinfo.value, RequestRejected)
+        finally:
+            endpoint.release.set()
+            service.drain()
+        assert in_flight.result(5.0).result == 1.0
+        assert queued.result(5.0).result == 2.0
+        snapshot = service.metrics.snapshot()
+        assert snapshot["shed"]["total"] == 1
+        assert snapshot["shed"]["by_reason"] == {"depth": 1}
+        assert snapshot["shed"]["by_endpoint"] == {"stub": 1}
+
+    def test_higher_priority_evicts_queued_lower_priority(self):
+        registry, endpoint = stub_registry()
+        endpoint.release.clear()
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            queue_limit=16,
+            slo_budgets={"stub": SLOBudget(max_queue_depth=1)},
+        ).start()
+        try:
+            in_flight = service.submit("stub", [1.0])
+            time.sleep(0.05)
+            victim = service.submit("stub", [2.0], priority=0)
+            vip = service.submit("stub", [3.0], priority=5)  # evicts the victim
+            with pytest.raises(Shed):
+                victim.result(5.0)
+        finally:
+            endpoint.release.set()
+            service.drain()
+        assert in_flight.result(5.0).result == 1.0
+        assert vip.result(5.0).result == 3.0  # admitted in the victim's place
+
+    def test_p99_breach_sheds_when_nothing_lower_is_queued(self):
+        registry, endpoint = stub_registry()
+        slow = 0.02
+
+        original = endpoint.infer_batch
+
+        def slow_infer(payloads):
+            time.sleep(slow)
+            return original(payloads)
+
+        endpoint.infer_batch = slow_infer
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            slo_budgets={"stub": SLOBudget(p99_target_s=slow / 10.0)},
+        ).start()
+        try:
+            service.submit("stub", [1.0]).result(5.0)  # seeds the rolling p99
+            with pytest.raises(Shed) as excinfo:
+                service.submit("stub", [2.0]).result(5.0)
+            assert excinfo.value.reason == "p99"
+        finally:
+            service.drain()
+
+    def test_arena_exhaustion_is_a_counted_shed(self):
+        """Satellite: arena backpressure surfaces as ``Shed("arena")`` —
+        typed, counted, and the service keeps serving the next batch."""
+        registry, _ = stub_registry()
+        starved = {"done": False}
+
+        def starving_dispatcher(endpoint, payloads):
+            if not starved["done"]:
+                starved["done"] = True
+                raise ArenaExhaustedError("no free slot after 0.0s")
+            return [float(p.sum()) for p in payloads]
+
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            dispatcher=starving_dispatcher,
+        ).start()
+        try:
+            doomed = service.submit("stub", [1.0])
+            with pytest.raises(Shed) as excinfo:
+                doomed.result(5.0)
+            assert excinfo.value.reason == "arena"
+            ok = service.submit("stub", [2.0]).result(5.0)
+            assert ok.result == 2.0
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert snapshot["shed"]["by_reason"] == {"arena": 1}
+        assert snapshot["failed"] == 0  # backpressure is load, not failure
+
+    def test_budget_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLO_P99_MS", raising=False)
+        monkeypatch.delenv("REPRO_SLO_DEPTH", raising=False)
+        assert slo_budget_from_env() is None
+        monkeypatch.setenv("REPRO_SLO_P99_MS", "250")
+        monkeypatch.setenv("REPRO_SLO_DEPTH", "32")
+        budget = slo_budget_from_env()
+        assert budget == SLOBudget(p99_target_s=0.25, max_queue_depth=32)
+        monkeypatch.setenv("REPRO_SLO_P99_MS", "")
+        budget = slo_budget_from_env()
+        assert budget == SLOBudget(p99_target_s=None, max_queue_depth=32)
+
+
+class TestDispatchMeta:
+    def test_meta_dispatcher_reports_retries_and_hedging(self):
+        registry, _ = stub_registry()
+
+        def transport(endpoint, payloads, meta):
+            meta["replays"] = 2
+            meta["hedged"] = True
+            return [float(p.sum()) for p in payloads]
+
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=2, max_delay_s=0.0),
+            dispatcher=transport,
+        ).start()
+        try:
+            response = service.submit("stub", [1.0]).result(5.0)
+            snapshot = service.metrics.snapshot()
+        finally:
+            service.drain()
+        assert response.timing.retries == 2
+        assert response.timing.hedged is True
+        assert snapshot["retried"] == 2
+        assert snapshot["hedged"] == 1
+
+    def test_two_argument_dispatchers_keep_working(self):
+        registry, _ = stub_registry()
+        service = InferenceService(
+            registry,
+            policy=BatchPolicy(max_batch=2, max_delay_s=0.0),
+            dispatcher=lambda endpoint, payloads: [float(p.sum()) for p in payloads],
+        ).start()
+        try:
+            response = service.submit("stub", [4.0], deadline_s=30.0).result(5.0)
+        finally:
+            service.drain()
+        assert response.result == 4.0
+        assert response.timing.retries == 0 and response.timing.hedged is False
 
 
 class TestMetrics:
