@@ -24,7 +24,9 @@ serve-bench [--requests N] [--max-batch B] [--workers W] [--mode open|closed]
     artifacts (compiled on demand into the registry), and
     ``--process-workers N`` serves the mixed phase from N artifact-backed
     worker processes.  ``--shed`` adds the SLO-shedding overload phase
-    (the ``serve/shed/off|on`` cells).
+    (the ``serve/shed/off|on`` cells); ``--generate`` adds the KV-cache
+    decode vs full-recompute phase (the ``generate/recompute|kv_cache``
+    cells, bit-identity asserted before timing).
 compile FAMILY [--gs G] [--seed S] [--registry DIR]
     Build + calibrate one endpoint family, compile it to a
     content-addressed artifact (weight codes, scale plans, shift
@@ -201,6 +203,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also run the SLO-shedding overload phase (serve/shed cells)",
     )
+    serve_parser.add_argument(
+        "--generate",
+        action="store_true",
+        help="also run the KV-cache decode vs full-recompute phase "
+        "(generate/recompute|kv_cache cells)",
+    )
     compile_parser = sub.add_parser(
         "compile", help="compile one endpoint family to a content-addressed artifact"
     )
@@ -295,6 +303,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             artifact_root=Path(args.registry) if args.registry else None,
             process_workers=args.process_workers,
             shed=args.shed,
+            generate=args.generate,
         )
         print(format_bench_report(result))
     elif args.command == "compile":

@@ -92,7 +92,14 @@ def load_endpoint(
     config = spec.make_config(meta.get("config", {}))
     model = spec.build_model(config, int(meta["gs"]))
     plan = restore_into(model, artifact)
-    return ModelEndpoint(
+    endpoint_cls = ModelEndpoint
+    if spec.scenario == "generation":
+        # Generation artifacts cold-start with their decode engine
+        # attached, so process workers serve KV-cache decode too.
+        from ..serve.generation import GenerationEndpoint
+
+        endpoint_cls = GenerationEndpoint
+    return endpoint_cls(
         name or meta["family"],
         spec.scenario,
         model,

@@ -1,0 +1,15 @@
+"""Autoregressive generation: integer KV-code cache + incremental decode.
+
+The subsystem behind the serve layer's generation endpoint (ROADMAP item
+4): prefill captures a sequence's key/value projections as quantized
+engine codes, and each decode step recomputes only the new token's rows
+(M=1 GEMMs per layer — the paper's Table IV decode phase) while attending
+over the cached context.  Every generated token is bit-identical to a
+full-context ``next_token_logprobs`` pass; see :mod:`repro.generate.engine`
+for the invariant's proof sketch.
+"""
+
+from .cache import KVCodeCache
+from .engine import DecodeEngine, DecodeState, decode_step
+
+__all__ = ["KVCodeCache", "DecodeEngine", "DecodeState", "decode_step"]

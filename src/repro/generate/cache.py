@@ -1,0 +1,119 @@
+"""Per-sequence KV cache holding *quantized engine codes*.
+
+The decode path's cache stores each block's key/value projections in the
+same form the RAE emits them: post-requant integer codes, **before**
+dequantization.  Floats are derived lazily per block and re-derived only
+when the owning layer's requant constants change —
+:meth:`~repro.rae.planner.IntegerExecutionPlan.scale_key` is the version
+key, the companion of the planner's weight-code and ScalePlan caches.
+Because :meth:`~repro.rae.planner.IntegerExecutionPlan.dequantize_codes`
+is an elementwise pure function of the plan constants, a re-derived
+context reproduces the original full-pass keys/values bit for bit; a QAT
+step bumps the key and the cache resyncs instead of serving stale floats.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class KVCodeCache:
+    """One sequence's cached context: integer k/v codes + derived heads.
+
+    Codes live in preallocated ``(max_ctx, hidden)`` int64 buffers per
+    block; derived rotary-applied key heads and value heads live in
+    ``(num_heads, max_ctx, head_dim)`` float buffers.  ``length`` counts
+    the valid context rows (shared by every block — a decode step appends
+    one row to all blocks, then calls :meth:`advance` once).
+    """
+
+    def __init__(self, num_blocks: int, max_ctx: int, hidden: int, num_heads: int) -> None:
+        if hidden % num_heads:
+            raise ValueError(f"hidden {hidden} not divisible by heads {num_heads}")
+        self.num_blocks = num_blocks
+        self.max_ctx = max_ctx
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.head_dim = hidden // num_heads
+        self.length = 0
+        self.k_codes: List[np.ndarray] = [
+            np.zeros((max_ctx, hidden), dtype=np.int64) for _ in range(num_blocks)
+        ]
+        self.v_codes: List[np.ndarray] = [
+            np.zeros((max_ctx, hidden), dtype=np.int64) for _ in range(num_blocks)
+        ]
+        self.k_heads: List[np.ndarray] = [
+            np.zeros((num_heads, max_ctx, self.head_dim)) for _ in range(num_blocks)
+        ]
+        self.v_heads: List[np.ndarray] = [
+            np.zeros((num_heads, max_ctx, self.head_dim)) for _ in range(num_blocks)
+        ]
+        #: rows of the derived float buffers that are valid per block
+        self._derived: List[int] = [0] * num_blocks
+        #: (k scale_key, v scale_key) the derived rows were computed under
+        self._keys: List[Optional[tuple]] = [None] * num_blocks
+
+    def append(self, block: int, k_codes: np.ndarray, v_codes: np.ndarray) -> None:
+        """Store ``n`` new rows of one block's k/v codes at the tail.
+
+        Call once per block within a step, then :meth:`advance` the shared
+        length counter by ``n``.
+        """
+        n = k_codes.shape[0]
+        if self.length + n > self.max_ctx:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {n} rows > max_ctx {self.max_ctx}"
+            )
+        self.k_codes[block][self.length : self.length + n] = k_codes
+        self.v_codes[block][self.length : self.length + n] = v_codes
+
+    def advance(self, n: int) -> None:
+        """Commit ``n`` appended rows (after every block has them)."""
+        self.length += n
+
+    def ensure_derived(
+        self,
+        block: int,
+        plan,
+        k_name: str,
+        v_name: str,
+        rope: Tuple[np.ndarray, np.ndarray],
+        upto: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Derived key/value heads for one block, resynced to ``plan``.
+
+        Dequantizes any rows the float buffers don't cover yet — all of
+        them if the layers' :meth:`scale_key` changed since the last
+        derivation (a QAT step), only the newly appended rows otherwise —
+        splits heads and applies rotary embedding to keys at their
+        absolute positions.  ``upto`` includes rows appended but not yet
+        committed by :meth:`advance` (the in-flight decode row); default
+        is the committed ``length``.  Returns ``(k_heads, v_heads)`` views
+        of shape ``(num_heads, upto, head_dim)``.
+        """
+        from ..nn.attention import apply_rope_at
+
+        key = (plan.scale_key(k_name), plan.scale_key(v_name))
+        if self._keys[block] != key:
+            self._derived[block] = 0
+            self._keys[block] = key
+        start, stop = self._derived[block], self.length if upto is None else upto
+        if start < stop:
+            cos, sin = rope
+            m = stop - start
+            positions = np.arange(start, stop, dtype=np.int64)
+            k = plan.dequantize_codes(
+                k_name, self.k_codes[block][start:stop], (m, self.hidden)
+            )
+            v = plan.dequantize_codes(
+                v_name, self.v_codes[block][start:stop], (m, self.hidden)
+            )
+            k = k.reshape(m, self.num_heads, self.head_dim).transpose(1, 0, 2)
+            v = v.reshape(m, self.num_heads, self.head_dim).transpose(1, 0, 2)
+            k = apply_rope_at(k[None], cos, sin, positions[None])[0]
+            self.k_heads[block][:, start:stop] = k
+            self.v_heads[block][:, start:stop] = v
+            self._derived[block] = stop
+        return self.k_heads[block][:, :stop], self.v_heads[block][:, :stop]

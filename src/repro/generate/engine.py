@@ -1,0 +1,310 @@
+"""Incremental autoregressive decode over the integer datapath.
+
+The decode engine replays :class:`~repro.models.llama.LlamaTiny`'s forward
+op for op, but recomputes only the *new* token rows of each sequence:
+every quantized projection runs through an
+:class:`~repro.rae.planner.IntegerExecutionPlan` (one fused
+``reduce_batch`` per reduction-shape group, exactly like the planner's
+full pass), k/v projection codes are captured into a per-sequence
+:class:`~repro.generate.cache.KVCodeCache`, and attention runs the
+cache-aware path (:meth:`~repro.nn.attention.MultiHeadAttention.attend_cached`).
+
+Bit-identity with the full-context pass is the design invariant, not an
+approximation: dequantization is an elementwise pure function of the
+ScalePlan, rotary embedding depends only on the absolute position, the
+causal mask row of a valid token is the same 0.0/-inf pattern as its
+``tril`` row, the softmax denominator is the same strict left-to-right
+fold as the pad-invariant mode, and padded key/value columns contribute
+exact +0.0 tail terms to the BLAS reductions (the PR-7 bucketed-padding
+invariant).  N generated tokens therefore match N single-shot
+``next_token_logprobs`` full-context passes bit for bit — the oracle the
+generation test suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.attention import apply_rope_at
+from ..tensor import tril_mask
+from .cache import KVCodeCache
+
+
+class DecodeState:
+    """One in-flight sequence: tokens so far, KV cache, last logprobs.
+
+    ``logprobs`` always holds log p(next | tokens) for the *current*
+    context, so greedy decoding reads ``logprobs.argmax()`` and feeds the
+    choice back through :func:`decode_step`.
+    """
+
+    __slots__ = ("engine", "tokens", "cache", "logprobs", "steps")
+
+    def __init__(self, engine: "DecodeEngine", tokens: np.ndarray, cache: KVCodeCache) -> None:
+        self.engine = engine
+        self.tokens = np.asarray(tokens, dtype=np.int64)
+        self.cache = cache
+        self.logprobs: Optional[np.ndarray] = None
+        #: forward passes this sequence took part in (prefill counts as 1)
+        self.steps = 0
+
+    @property
+    def length(self) -> int:
+        """Current context length (prompt + appended tokens)."""
+        return self.cache.length
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the context window is full (no further decode step)."""
+        return self.cache.length >= self.engine.max_seq_len
+
+
+class DecodeEngine:
+    """Cache-aware prefill/decode executor for one quantized ``LlamaTiny``.
+
+    Stateless across sequences — all per-sequence state lives in
+    :class:`DecodeState` — and plan-agnostic: every method takes the
+    :class:`IntegerExecutionPlan` to execute through, so an
+    :class:`~repro.serve.endpoint.EnginePool` clone checked out per batch
+    works exactly like the endpoint's pinned plan.
+    """
+
+    def __init__(self, model) -> None:
+        config = model.config
+        self.model = model
+        self.num_heads = config.num_heads
+        self.hidden = config.hidden
+        self.head_dim = config.hidden // config.num_heads
+        self.max_seq_len = config.max_seq_len
+        self.vocab_size = config.vocab_size
+        self.rope = model._rope
+        self.blocks = list(model.layers)
+        self._names = [
+            {
+                "q": f"layers.{i}.attention.q_proj",
+                "k": f"layers.{i}.attention.k_proj",
+                "v": f"layers.{i}.attention.v_proj",
+                "out": f"layers.{i}.attention.out_proj",
+                "gate": f"layers.{i}.ffn.gate_proj",
+                "up": f"layers.{i}.ffn.up_proj",
+                "down": f"layers.{i}.ffn.down_proj",
+            }
+            for i in range(len(self.blocks))
+        ]
+        self._checked_plans: set = set()
+
+    def _check_plan(self, plan) -> None:
+        """Verify (once per plan) that it covers every decode-path layer."""
+        if id(plan) in self._checked_plans:
+            return
+        known = set(plan.layer_names)
+        needed = {name for names in self._names for name in names.values()}
+        needed.add("lm_head")
+        missing = sorted(needed - known)
+        if missing:
+            raise KeyError(f"plan is missing decode-path layers: {missing}")
+        self._checked_plans.add(id(plan))
+
+    # ------------------------------------------------------------------
+    # Float glue (numpy mirrors of the model's Tensor ops)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rms(x: np.ndarray, norm) -> np.ndarray:
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        return x / np.sqrt(ms + norm.eps) * norm.weight.data
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    @staticmethod
+    def _log_softmax(x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+    def _ffn(self, plan, block_names, block, x: np.ndarray) -> np.ndarray:
+        xf = self._rms(x, block.ffn_norm)
+        outs = plan.run_model({block_names["gate"]: xf, block_names["up"]: xf})
+        gate, up = outs[block_names["gate"]], outs[block_names["up"]]
+        sig = 1.0 / (1.0 + np.exp(-gate))
+        return x + plan.run_layer(block_names["down"], (gate * sig) * up)
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    def prefill(self, plan, prompts: Sequence[np.ndarray]) -> List[DecodeState]:
+        """Run ragged prompts through one padded full pass, capturing KV codes.
+
+        Right-pads to the batch max (token 0 — any valid id: causal
+        attention plus the pad-invariant softmax keep real rows'
+        bits untouched), stores each sequence's real k/v code rows in a
+        fresh :class:`KVCodeCache`, and seeds ``state.logprobs`` with the
+        next-token distribution at each prompt's last real row — the bits
+        of ``next_token_logprobs(padded, lengths)``.
+        """
+        self._check_plan(plan)
+        prompts = [np.asarray(p, dtype=np.int64) for p in prompts]
+        for p in prompts:
+            if p.ndim != 1 or not 1 <= p.shape[0] <= self.max_seq_len:
+                raise ValueError(
+                    f"prompt must be 1-D with 1..{self.max_seq_len} tokens, got {p.shape}"
+                )
+            if p.size and (p.min() < 0 or p.max() >= self.vocab_size):
+                raise ValueError(f"token ids outside [0, {self.vocab_size})")
+        lengths = np.array([p.shape[0] for p in prompts], dtype=np.int64)
+        s, t = len(prompts), int(lengths.max())
+        ids = np.zeros((s, t), dtype=np.int64)
+        for row, p in enumerate(prompts):
+            ids[row, : p.shape[0]] = p
+        states = [
+            DecodeState(
+                self,
+                p,
+                KVCodeCache(len(self.blocks), self.max_seq_len, self.hidden, self.num_heads),
+            )
+            for p in prompts
+        ]
+
+        cos, sin = self.rope
+        x = self.model.token_embedding.weight.data[ids]  # (S, T, D)
+        mask = tril_mask(t)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        positions = np.arange(t, dtype=np.int64)[None, :]
+        for i, block in enumerate(self.blocks):
+            names = self._names[i]
+            xn = self._rms(x, block.attn_norm)
+            codes = plan.run_model_codes(
+                {names["q"]: xn, names["k"]: xn, names["v"]: xn}
+            )
+            q, k, v = (
+                self._split_heads(plan.dequantize_codes(names[key], *codes[names[key]]))
+                for key in ("q", "k", "v")
+            )
+            q = apply_rope_at(q, cos, sin, positions)
+            k = apply_rope_at(k, cos, sin, positions)
+            # Capture each sequence's real rows as integer codes.
+            k_rows = codes[names["k"]][0].reshape(s, t, self.hidden)
+            v_rows = codes[names["v"]][0].reshape(s, t, self.hidden)
+            for row, state in enumerate(states):
+                state.cache.append(i, k_rows[row, : lengths[row]], v_rows[row, : lengths[row]])
+            # Intra-prefill attention over the padded batch: identical to
+            # the model's own causal forward on these ids (pad rows are
+            # valid token-0 rows the mask keeps out of real rows' view).
+            scores = (q @ k.swapaxes(-1, -2)) * scale + mask
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            attn = exp / np.cumsum(exp, axis=-1).take([-1], axis=-1)
+            merged = (attn @ v).transpose(0, 2, 1, 3).reshape(s, t, self.hidden)
+            x = x + plan.run_layer(names["out"], merged)
+            x = self._ffn(plan, names, block, x)
+        logits = plan.run_layer("lm_head", self._rms(x, self.model.final_norm))
+        logp = self._log_softmax(logits)
+        for row, state in enumerate(states):
+            state.cache.advance(int(lengths[row]))
+            state.logprobs = logp[row, lengths[row] - 1]
+            state.steps = 1
+        return states
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode(self, plan, states: Sequence[DecodeState], tokens: np.ndarray) -> np.ndarray:
+        """One batched decode step: append ``tokens[i]`` to ``states[i]``.
+
+        Recomputes only the newest row of each sequence (M=1 GEMMs — the
+        paper's Table IV decode phase), attends over the cached ragged
+        contexts, and returns (and stores) the new next-token logprobs
+        ``(S, vocab)``.
+        """
+        self._check_plan(plan)
+        if not states:
+            return np.zeros((0, self.vocab_size))
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(len(states))
+        if tokens.min() < 0 or tokens.max() >= self.vocab_size:
+            raise ValueError(f"token ids outside [0, {self.vocab_size})")
+        for state in states:
+            if state.engine is not self:
+                raise ValueError("state belongs to a different DecodeEngine")
+            if state.exhausted:
+                raise ValueError(
+                    f"context window full ({state.length}/{self.max_seq_len}); "
+                    "sequence must leave the batch"
+                )
+        s = len(states)
+        starts = np.array([state.length for state in states], dtype=np.int64)
+        total = starts + 1
+        t_max = int(total.max())
+        cos, sin = self.rope
+        positions = starts[:, None]  # (S, 1) absolute position of the new row
+
+        x = self.model.token_embedding.weight.data[tokens[:, None]]  # (S, 1, D)
+        for i, block in enumerate(self.blocks):
+            names = self._names[i]
+            xn = self._rms(x, block.attn_norm)
+            codes = plan.run_model_codes(
+                {names["q"]: xn, names["k"]: xn, names["v"]: xn}
+            )
+            q = self._split_heads(plan.dequantize_codes(names["q"], *codes[names["q"]]))
+            q = apply_rope_at(q, cos, sin, positions)
+            k_rows = codes[names["k"]][0]  # (S, hidden)
+            v_rows = codes[names["v"]][0]
+            keys = np.zeros((s, self.num_heads, t_max, self.head_dim))
+            values = np.zeros_like(keys)
+            for row, state in enumerate(states):
+                state.cache.append(i, k_rows[row : row + 1], v_rows[row : row + 1])
+                k_heads, v_heads = state.cache.ensure_derived(
+                    i, plan, names["k"], names["v"], self.rope, upto=int(total[row])
+                )
+                keys[row, :, : total[row]] = k_heads
+                values[row, :, : total[row]] = v_heads
+            merged = block.attention.attend_cached(q, keys, values, total)
+            x = x + plan.run_layer(names["out"], merged)
+            x = self._ffn(plan, names, block, x)
+        logits = plan.run_layer("lm_head", self._rms(x, self.model.final_norm))
+        logp = self._log_softmax(logits)[:, 0, :]
+        for row, state in enumerate(states):
+            state.cache.advance(1)
+            state.tokens = np.concatenate([state.tokens, tokens[row : row + 1]])
+            state.logprobs = logp[row]
+            state.steps += 1
+        return logp
+
+    # ------------------------------------------------------------------
+    # Convenience loops
+    # ------------------------------------------------------------------
+    def generate(
+        self, plan, prompt: np.ndarray, max_new_tokens: int
+    ) -> Tuple[np.ndarray, np.ndarray, DecodeState]:
+        """Greedy-decode one prompt: returns (tokens, per-step logprobs, state).
+
+        Row ``k`` of the logprobs is the full next-token distribution the
+        ``k``-th generated token was argmax-read from — bit-identical to
+        ``next_token_logprobs(prompt + tokens[:k])``.  Stops early when
+        the context window fills.
+        """
+        if max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        state = self.prefill(plan, [prompt])[0]
+        tokens: List[int] = []
+        rows: List[np.ndarray] = []
+        while True:
+            token = int(state.logprobs.argmax())
+            tokens.append(token)
+            rows.append(state.logprobs)
+            if len(tokens) >= max_new_tokens or state.exhausted:
+                break
+            self.decode(plan, [state], np.array([token], dtype=np.int64))
+        return np.array(tokens, dtype=np.int64), np.stack(rows), state
+
+
+def decode_step(plan, cache: DecodeState, token: int) -> np.ndarray:
+    """One single-sequence decode step through ``plan``.
+
+    Appends ``token`` to the sequence ``cache`` belongs to, recomputing
+    only the new token's rows, and returns the new next-token logprobs
+    ``(vocab,)`` — bit-identical to a full-context
+    ``next_token_logprobs`` pass over the extended sequence.
+    """
+    return cache.engine.decode(plan, [cache], np.array([token], dtype=np.int64))[0]

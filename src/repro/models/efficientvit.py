@@ -30,6 +30,9 @@ class EfficientViTConfig:
     expand: int = 4
     decoder_dim: int = 32
     num_classes: int = 5
+    #: "segmentation" (per-pixel logits, the default) or "classification"
+    #: (global-average-pooled fused features -> one label per image).
+    head: str = "segmentation"
 
 
 class MBConvBlock(nn.Module):
@@ -86,11 +89,17 @@ class EfficientViTTiny(nn.Module):
     """Conv stem + (MBConv, linear attention) stages + segmentation head.
 
     ``forward`` takes images (batch, C, H, W) and returns logits
-    (batch, H/2, W/2, num_classes), matching :class:`SegformerTiny`.
+    (batch, H/2, W/2, num_classes), matching :class:`SegformerTiny` —
+    or (batch, num_classes) when ``config.head == "classification"``
+    (global-average-pooled fused features, the served variant).
     """
 
     def __init__(self, config: EfficientViTConfig) -> None:
         super().__init__()
+        if config.head not in ("segmentation", "classification"):
+            raise ValueError(
+                f"head must be 'segmentation' or 'classification', got {config.head!r}"
+            )
         self.config = config
         self.stem = DownsampleConv(config.in_channels, config.stem_dim)
         self.stages = nn.ModuleList()
@@ -121,7 +130,14 @@ class EfficientViTTiny(nn.Module):
         for feat, proj in zip(feats, self.head_projs):
             up = upsample_nearest(proj(feat), target // feat.shape[-1])
             fused = up if fused is None else fused + up
-        logits = self.classifier(fused.relu())  # (B, classes, H/2, W/2)
+        fused = fused.relu()
+        if self.config.head == "classification":
+            # Global average pool keeps the classifier a 1x1 conv — the
+            # same quantized GEMM — while emitting one label per image.
+            pooled = fused.mean(axis=(2, 3), keepdims=True)  # (B, D, 1, 1)
+            logits = self.classifier(pooled)
+            return logits.reshape(logits.shape[0], logits.shape[1])
+        logits = self.classifier(fused)  # (B, classes, H/2, W/2)
         return logits.transpose(0, 2, 3, 1)
 
     def extra_repr(self) -> str:

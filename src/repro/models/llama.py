@@ -127,7 +127,13 @@ class LlamaTiny(nn.Module):
             logp = log_softmax(logits, axis=-1).data
         if lengths is None:
             return logp[:, -1, :]
-        positions = np.asarray(lengths, dtype=np.int64) - 1
+        lengths = np.asarray(lengths)
+        if not np.issubdtype(lengths.dtype, np.integer):
+            raise TypeError(
+                f"lengths must have an integer dtype, got {lengths.dtype}; "
+                "a float cast would silently truncate fractional lengths"
+            )
+        positions = lengths.astype(np.int64) - 1
         if positions.shape != (tokens.shape[0],):
             raise ValueError(
                 f"lengths must be (batch,) = ({tokens.shape[0]},), got {positions.shape}"

@@ -4,6 +4,7 @@ from .attention import (
     LinearAttention,
     MultiHeadAttention,
     apply_rope,
+    apply_rope_at,
     rope_tables,
 )
 from .container import ModuleList, Sequential
@@ -33,6 +34,7 @@ __all__ = [
     "LinearAttention",
     "rope_tables",
     "apply_rope",
+    "apply_rope_at",
     "cross_entropy",
     "mse_loss",
     "kd_kl_loss",

@@ -82,6 +82,47 @@ class MultiHeadAttention(Module):
         attn = self.attn_dropout(softmax(scores, axis=-1, pad_invariant=self.causal))
         return self.out_proj(_merge_heads(attn @ v))
 
+    def attend_cached(
+        self,
+        q: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        context_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Cache-aware causal attention over ragged right-padded contexts.
+
+        The incremental-decode path: ``q`` holds only the newest ``n`` rows
+        per sequence (rope already applied at their absolute positions),
+        while ``keys``/``values`` are full per-sequence contexts
+        ``(B, H, T, dh)`` right-padded along T to the batch max, with
+        ``context_lengths`` the valid lengths *including* the new rows.
+        Returns merged pre-``out_proj`` context rows ``(B, n, H*dh)`` — the
+        caller pushes them through the quantized output projection.
+
+        Bit-identity with the same rows of a full-context :meth:`forward`
+        holds because a valid row sees the same 0.0/``-inf`` mask pattern
+        as its ``tril`` row, the softmax denominator is the same strict
+        left-to-right fold as ``pad_invariant`` mode, and padded key/value
+        columns contribute exact ``+0.0`` tail terms to the BLAS value
+        reduction (the PR-7 bucketed-coalescing invariant).
+        """
+        if not self.causal:
+            raise ValueError("attend_cached requires a causal attention layer")
+        b, h, n, dh = q.shape
+        t = keys.shape[2]
+        lengths = np.asarray(context_lengths, dtype=np.int64).reshape(b, 1, 1, 1)
+        cols = np.arange(t).reshape(1, 1, 1, t)
+        rows = np.arange(n).reshape(1, 1, n, 1)
+        # Query row i sits at absolute position L - n + i: it attends keys
+        # j <= that position — exactly the tril row of the full pass.
+        mask = np.where(cols <= lengths - n + rows, 0.0, -np.inf)
+        scale = 1.0 / np.sqrt(self.dim // self.num_heads)
+        scores = (q @ keys.swapaxes(-1, -2)) * scale + mask
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        attn = exp / np.cumsum(exp, axis=-1).take([-1], axis=-1)
+        return (attn @ values).transpose(0, 2, 1, 3).reshape(b, n, h * dh)
+
     def extra_repr(self) -> str:
         return f"dim={self.dim}, heads={self.num_heads}, causal={self.causal}"
 
@@ -143,3 +184,24 @@ def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
 
     rotated = stack([-x2, x1], axis=-1).reshape(*x.shape)
     return x * cos_t + rotated * sin_t
+
+
+def apply_rope_at(
+    x: np.ndarray, cos: np.ndarray, sin: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Rotate ``(B, H, n, dh)`` rows at explicit absolute positions.
+
+    Cache-aware companion of :func:`apply_rope`: a decode step computes
+    only the newest token's rows, whose rotary angle depends on the
+    *absolute* sequence position, not the row index.  ``positions`` is
+    ``(B, n)`` (one absolute index per row).  Elementwise over plain
+    ndarrays (the decode path runs outside autograd) with the same
+    ``(-x2, x1)`` interleave, so a row equals the full-context rotation of
+    that position bit for bit.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    c = cos[positions][:, None, :, :]  # (B, 1, n, dh)
+    s = sin[positions][:, None, :, :]
+    pairs = x.reshape(*x.shape[:-1], x.shape[-1] // 2, 2)
+    rotated = np.stack([-pairs[..., 1], pairs[..., 0]], axis=-1).reshape(x.shape)
+    return x * c + rotated * s

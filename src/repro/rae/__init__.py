@@ -12,6 +12,7 @@ from .integration import (
     shift_exponents,
 )
 from .planner import (
+    DecodeGemm,
     IntegerExecutionPlan,
     PlannedLayer,
     ReductionShape,
@@ -42,6 +43,7 @@ __all__ = [
     "INT32_MAX",
     "IntegerGemmRunner",
     "IntegerExecutionPlan",
+    "DecodeGemm",
     "PlannedLayer",
     "ReductionShape",
     "capture_layer_inputs",

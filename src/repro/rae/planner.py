@@ -55,6 +55,17 @@ class ReductionShape:
     bits: int
 
 
+@dataclass(frozen=True)
+class DecodeGemm:
+    """One decode-step GEMM as the accelerator sees it: M=1 per new token."""
+
+    name: str
+    m: int
+    n: int
+    k: int
+    num_tiles: int
+
+
 class PlannedLayer:
     """One layer's slot in a plan: shape key plus per-layer caches."""
 
@@ -399,12 +410,23 @@ class IntegerExecutionPlan:
 
     def run_layer(self, name: str, x: np.ndarray) -> np.ndarray:
         """Integer-execute one layer through its group's shared engine."""
+        codes, out_shape = self.run_layer_codes(name, x)
+        return self._dequantize(self.entry(name), codes, out_shape)
+
+    def run_layer_codes(self, name: str, x: np.ndarray) -> Tuple[np.ndarray, tuple]:
+        """Integer-execute one layer, returning its raw output codes.
+
+        The codes ``(rows, lanes)`` are the engine's post-requant integers
+        *before* dequantization — the form the decode KV-cache stores, so
+        a cached key/value can be re-derived bit-exactly under any later
+        :class:`ScalePlan` via :meth:`dequantize_codes`.
+        """
         entry = self.entry(name)
         tiles, out_shape = self.integer_tiles(name, x)
         plan = self.scale_plan_for(name)
         engine = self.engine_for(entry.shape)
         codes, _ = engine.reduce_batch(tiles, list(plan.exponents))
-        return self._dequantize(entry, codes, out_shape)
+        return codes, out_shape
 
     def run_model(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Integer-execute every layer present in ``inputs``.
@@ -415,10 +437,34 @@ class IntegerExecutionPlan:
         own requant constants.  Outputs are bit-identical to running each
         layer through its own :class:`IntegerGemmRunner`.
         """
+        return {
+            name: self._dequantize(entry, codes, out_shape, plan)
+            for name, (entry, codes, out_shape, plan) in self._run_groups(inputs).items()
+        }
+
+    def run_model_codes(
+        self, inputs: Mapping[str, np.ndarray]
+    ) -> Dict[str, Tuple[np.ndarray, tuple]]:
+        """Like :meth:`run_model` but returning raw output codes per layer.
+
+        Each value is ``(codes, out_shape)`` where ``codes`` has shape
+        ``(rows, lanes)``.  The decode path stores k/v projections in this
+        form and dequantizes lazily (:meth:`dequantize_codes`), so a cached
+        context survives a QAT scale update without going stale.
+        """
+        return {
+            name: (codes, out_shape)
+            for name, (_, codes, out_shape, _) in self._run_groups(inputs).items()
+        }
+
+    def _run_groups(
+        self, inputs: Mapping[str, np.ndarray]
+    ) -> Dict[str, Tuple[PlannedLayer, np.ndarray, tuple, object]]:
+        """Shared body of :meth:`run_model` / :meth:`run_model_codes`."""
         unknown = [name for name in inputs if name not in self._entries]
         if unknown:
             raise KeyError(f"inputs for unplanned layers: {sorted(unknown)}")
-        outputs: Dict[str, np.ndarray] = {}
+        outputs: Dict[str, Tuple[PlannedLayer, np.ndarray, tuple, object]] = {}
         for shape, names in self._groups.items():
             present = [n for n in names if n in inputs]
             if not present:
@@ -445,11 +491,58 @@ class IntegerExecutionPlan:
             codes, _ = engine.reduce_batch(batched, exponents)
             offset = 0
             for (entry, _, out_shape, plan), count in zip(prepared, row_counts):
-                outputs[entry.name] = self._dequantize(
+                outputs[entry.name] = (
                     entry, codes[offset : offset + count], out_shape, plan
                 )
                 offset += count
         return outputs
+
+    def dequantize_codes(
+        self, name: str, codes: np.ndarray, out_shape: tuple
+    ) -> np.ndarray:
+        """Dequantize raw output codes under the layer's *current* ScalePlan.
+
+        Elementwise pure function of the plan constants: re-running it over
+        cached codes reproduces the original :meth:`run_layer` output bit
+        for bit as long as :meth:`scale_key` is unchanged.
+        """
+        return self._dequantize(self.entry(name), codes, out_shape)
+
+    def scale_key(self, name: str) -> tuple:
+        """Version key of the requant constants feeding ``name``'s ScalePlan.
+
+        Cached dequantized values derived from stored codes stay valid
+        exactly while this key is unchanged; a QAT step bumps it.
+        """
+        return self._scale_versions(self.entry(name).layer)
+
+    def decode_shape_groups(self) -> Dict[ReductionShape, Tuple["DecodeGemm", ...]]:
+        """Per-shape decode-step GEMM descriptors (M=1 per new token).
+
+        Incremental decode feeds each linear layer exactly one GEMM row per
+        sequence per step; these descriptors mirror the paper's Table IV
+        decode workload model (``accelerator/workloads.py`` with
+        ``phase="decode"``) so tests can tie the serving path back to it.
+        """
+        groups: Dict[ReductionShape, Tuple[DecodeGemm, ...]] = {}
+        for shape, names in self._groups.items():
+            gemms = []
+            for n in names:
+                entry = self.entry(n)
+                if entry.kind != "linear":
+                    continue  # convs have no autoregressive decode phase
+                gemms.append(
+                    DecodeGemm(
+                        name=n,
+                        m=1,
+                        n=entry.layer.out_features,
+                        k=entry.layer.in_features,
+                        num_tiles=shape.num_tiles,
+                    )
+                )
+            if gemms:
+                groups[shape] = tuple(gemms)
+        return groups
 
     def _group_exponents(
         self, shape: ReductionShape, plans: tuple, row_counts: tuple

@@ -50,6 +50,7 @@ from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .bench import (
     bench_artifact_cold_start,
     bench_engine_pool,
+    bench_generation_decode,
     bench_microbatch_speedup,
     bench_slo_shedding,
     bench_supervised_recovery,
@@ -71,6 +72,7 @@ from .endpoint import (
     family_spec,
     length_bucket,
 )
+from .generation import GenerationEndpoint
 from .loadgen import LoadSpec, build_requests, run_load
 from .metrics import ServiceMetrics
 from .shm import (
@@ -113,6 +115,9 @@ from .types import (
     ClassificationResponse,
     DeadlineExceeded,
     DeadlineMiss,
+    GenerationRequest,
+    GenerationResponse,
+    ImageClassificationRequest,
     RequestRejected,
     ScoringRequest,
     ScoringResponse,
@@ -137,6 +142,7 @@ __all__ = [
     "EndpointRegistry",
     "EnginePool",
     "ModelEndpoint",
+    "GenerationEndpoint",
     "ArenaExhaustedError",
     "ShmArena",
     "ShmError",
@@ -181,6 +187,9 @@ __all__ = [
     "supervisor_from_registry",
     "ClassificationRequest",
     "ClassificationResponse",
+    "GenerationRequest",
+    "GenerationResponse",
+    "ImageClassificationRequest",
     "ScoringRequest",
     "ScoringResponse",
     "SegmentationRequest",
@@ -190,6 +199,7 @@ __all__ = [
     "raw_output",
     "bench_artifact_cold_start",
     "bench_engine_pool",
+    "bench_generation_decode",
     "bench_microbatch_speedup",
     "bench_slo_shedding",
     "bench_zero_copy_dataplane",

@@ -262,6 +262,21 @@ class MicroBatcher:
             heapq.heappop(heap)
         return None
 
+    def highest_priority(self, key: tuple) -> Optional[int]:
+        """Highest priority among one key's queued requests.
+
+        The continuous generation loop reads this to decide whether a
+        queued sequence outranks the lowest-priority *live* one and may
+        preempt it when the batch is full under SLO breach.  O(queue) —
+        generation queues are short and the check runs at most once per
+        decode step.
+        """
+        queue = self._queues.get(key)
+        if not queue:
+            return None
+        live = [p.priority for p in queue if p.state == "queued"]
+        return max(live) if live else None
+
     def shed_lowest(self, endpoint: str) -> Optional[PendingRequest]:
         """Retire the endpoint's lowest-priority queued request.
 
@@ -312,12 +327,29 @@ class MicroBatcher:
         expired, self._expired_at_pop = self._expired_at_pop, []
         return expired
 
-    def _pop_from(self, key: tuple, now: Optional[float] = None) -> Batch:
+    def pop_join(self, key: tuple, now: float, limit: int) -> List[PendingRequest]:
+        """Pop up to ``limit`` queued requests from one key (continuous join).
+
+        The continuous generation batcher admits queued sequences into the
+        *running* batch between decode steps, so the size-or-timeout ready
+        rule does not apply: whatever is queued under the key joins, up to
+        the live batch's free capacity.  Unmeetable deadlines are expired
+        at pop time exactly like :meth:`pop_ready` (drain them via
+        :meth:`take_expired`).  Returns a possibly-empty list.
+        """
+        if limit < 1 or key not in self._queues:
+            return []
+        return self._pop_from(key, now, limit=limit).requests
+
+    def _pop_from(
+        self, key: tuple, now: Optional[float] = None, limit: Optional[int] = None
+    ) -> Batch:
         queue = self._queues[key]
         batch = Batch(key=key, endpoint=key[0])
         est: Optional[float] = None
         taken = 0
-        while queue and len(batch.requests) < self.policy.max_batch:
+        cap = self.policy.max_batch if limit is None else limit
+        while queue and len(batch.requests) < cap:
             pending = queue.popleft()
             if pending.state != "queued":
                 continue

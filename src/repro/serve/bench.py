@@ -646,6 +646,123 @@ def bench_slo_shedding(
     }
 
 
+def bench_generation_decode(
+    batch: int = 8,
+    context: int = 64,
+    new_tokens: int = 9,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """KV-cache decode vs full-context recompute at serving batch width.
+
+    The autoregressive subsystem's headline gate.  ``batch`` sequences
+    with ``context``-token prompts generate ``new_tokens`` greedy tokens
+    two ways:
+
+    - **recompute** — the pre-subsystem baseline: every step re-runs the
+      full causal forward over the whole (grown) context and reads the
+      last position's logprobs.
+    - **kv_cache** — one prefill, then :class:`~repro.generate.DecodeEngine`
+      steps that run the integer GEMMs for the one new row only, against
+      version-keyed cached K/V codes.
+
+    Bit-identity is asserted FIRST — every decode step's logprob row must
+    equal the full-recompute pass bit for bit — and only then are the
+    per-step wall clocks measured (best of ``repeats``) and recorded as
+    the ``generate/recompute`` and ``generate/kv_cache`` cells.  A
+    single-sequence measurement is reported alongside (ungated: with one
+    row the per-call engine overhead dominates both arms).
+    """
+    steps = new_tokens - 1
+    if steps < 1:
+        raise ValueError(f"new_tokens must be >= 2, got {new_tokens}")
+    endpoint = build_endpoint(
+        "llama-gen",
+        seed=seed,
+        config_overrides={"max_seq_len": context + new_tokens + 8},
+    )
+    decoder = endpoint.decoder
+    rng = np.random.default_rng(seed)
+    vocab = endpoint.model.config.vocab_size
+    prompts = [rng.integers(0, vocab, size=context) for _ in range(batch)]
+
+    with endpoint.engines.engine() as plan:
+        # Correctness pass (doubles as warmup for every engine shape):
+        # generate with the KV cache, then replay each step as a fresh
+        # full-context prefill and require bit-equal logprob rows.
+        states = decoder.prefill(plan, prompts)
+        rows = [[state.logprobs] for state in states]
+        tokens = [[int(state.logprobs.argmax())] for state in states]
+        for _ in range(steps):
+            decoder.decode(
+                plan, states, np.array([t[-1] for t in tokens], dtype=np.int64)
+            )
+            for i, state in enumerate(states):
+                rows[i].append(state.logprobs)
+                tokens[i].append(int(state.logprobs.argmax()))
+        grown = [
+            [
+                np.concatenate([prompts[i], np.array(tokens[i][:s], dtype=np.int64)])
+                for i in range(batch)
+            ]
+            for s in range(new_tokens)
+        ]
+        for s in range(new_tokens):
+            fresh = decoder.prefill(plan, grown[s])
+            for i, state in enumerate(fresh):
+                if not np.array_equal(state.logprobs, rows[i][s]):
+                    raise AssertionError(
+                        f"decode step {s} of sequence {i} is not bit-identical "
+                        "to the full-context recompute"
+                    )
+
+        def time_kv(seqs) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                live = decoder.prefill(plan, seqs)
+                feed = np.array([int(s.logprobs.argmax()) for s in live], dtype=np.int64)
+                started = time.monotonic()
+                for _ in range(steps):
+                    logp = decoder.decode(plan, live, feed)
+                    feed = logp.argmax(axis=-1)
+                best = min(best, time.monotonic() - started)
+            return best
+
+        def time_recompute(seq_indices) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.monotonic()
+                for s in range(1, new_tokens):
+                    decoder.prefill(plan, [grown[s][i] for i in seq_indices])
+                best = min(best, time.monotonic() - started)
+            return best
+
+        t_kv = time_kv(prompts)
+        t_recompute = time_recompute(range(batch))
+        t_kv_single = time_kv(prompts[:1])
+        t_recompute_single = time_recompute([0])
+
+    record_cell_timing("generate/recompute", "generate", t_recompute)
+    record_cell_timing("generate/kv_cache", "generate", t_kv)
+    tok = batch * steps
+    return {
+        "family": "llama-gen",
+        "batch": batch,
+        "context": context,
+        "steps": steps,
+        "t_recompute_s": t_recompute,
+        "t_kv_cache_s": t_kv,
+        "speedup": t_recompute / max(t_kv, 1e-9),
+        "tokens_per_s_recompute": tok / max(t_recompute, 1e-9),
+        "tokens_per_s_kv": tok / max(t_kv, 1e-9),
+        "single": {
+            "t_recompute_s": t_recompute_single,
+            "t_kv_cache_s": t_kv_single,
+            "speedup": t_recompute_single / max(t_kv_single, 1e-9),
+        },
+    }
+
+
 def artifact_paths_for(
     families: Sequence[str],
     registry_root: Optional[Path] = None,
@@ -730,6 +847,7 @@ def serve_bench(
     artifact_root: Optional[Path] = None,
     process_workers: int = 0,
     shed: bool = False,
+    generate: bool = False,
 ) -> Dict[str, object]:
     """The full serve-bench: micro-batch gate + mixed-scenario load.
 
@@ -793,6 +911,8 @@ def serve_bench(
     result: Dict[str, object] = {"gate": gate, "mixed": mixed}
     if shed:
         result["shed"] = bench_slo_shedding(seed=seed)
+    if generate:
+        result["generation"] = bench_generation_decode(seed=seed)
     if artifact_report is not None:
         result["artifacts"] = artifact_report
     if timings_path is not None:
@@ -881,5 +1001,21 @@ def format_bench_report(result: Dict[str, object]) -> str:
             f"  shedding on:  high-tier p99={shed['on']['high_p99_s'] * 1e3:7.1f} ms  "
             f"served={shed['on']['outcomes']['served']} "
             f"shed={shed['on']['outcomes']['shed']}",
+        ]
+    if "generation" in result:
+        gen = result["generation"]
+        single = gen["single"]
+        lines += [
+            "",
+            f"[generate] endpoint={gen['family']} batch={gen['batch']} "
+            f"context={gen['context']} steps={gen['steps']} "
+            "(bit-identity asserted before timing)",
+            f"  full recompute:  {gen['t_recompute_s'] * 1e3:9.1f} ms "
+            f"({gen['tokens_per_s_recompute']:8.1f} tok/s)",
+            f"  kv-cache decode: {gen['t_kv_cache_s'] * 1e3:9.1f} ms "
+            f"({gen['tokens_per_s_kv']:8.1f} tok/s)",
+            f"  speedup: {gen['speedup']:.1f}x batched "
+            f"({single['speedup']:.1f}x single-sequence, ungated: "
+            "per-call engine overhead dominates at batch 1)",
         ]
     return "\n".join(lines)

@@ -31,6 +31,8 @@ import numpy as np
 from ..models import (
     BertConfig,
     BertTiny,
+    EfficientViTConfig,
+    EfficientViTTiny,
     LlamaConfig,
     LlamaTiny,
     SegformerConfig,
@@ -40,6 +42,8 @@ from ..rae.planner import IntegerExecutionPlan
 from .types import (
     ClassificationRequest,
     ClassificationResponse,
+    GenerationRequest,
+    ImageClassificationRequest,
     ScoringRequest,
     ScoringResponse,
     SegmentationRequest,
@@ -51,7 +55,29 @@ SCENARIOS: Dict[str, type] = {
     "classification": ClassificationRequest,
     "scoring": ScoringRequest,
     "segmentation": SegmentationRequest,
+    "image_classification": ImageClassificationRequest,
+    "generation": GenerationRequest,
 }
+
+#: scenarios whose request carries one (C, H, W) image
+IMAGE_SCENARIOS = ("segmentation", "image_classification")
+
+
+def encode_generation_payload(tokens: np.ndarray, max_new_tokens: int) -> np.ndarray:
+    """Pack a generation request into one 1-D int64 payload array.
+
+    Payloads travel the batcher and both process transports as plain
+    ndarrays; element 0 carries the token budget, the rest the prompt.
+    """
+    return np.concatenate(
+        [np.array([max_new_tokens], dtype=np.int64), np.asarray(tokens, dtype=np.int64)]
+    )
+
+
+def decode_generation_payload(payload: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Unpack :func:`encode_generation_payload`: ``(prompt, max_new_tokens)``."""
+    payload = np.asarray(payload, dtype=np.int64)
+    return payload[1:], int(payload[0])
 
 
 def normalize_payload(
@@ -76,7 +102,7 @@ def normalize_payload(
             f"endpoint {name!r} ({scenario}) expects "
             f"{request_type.__name__}, got {type(request).__name__}"
         )
-    if scenario == "segmentation":
+    if scenario in IMAGE_SCENARIOS:
         image = np.asarray(request.image, dtype=float)
         if image.ndim != 3 or image.shape[0] != in_channels:
             raise ValueError(
@@ -92,6 +118,14 @@ def normalize_payload(
         )
     if tokens.min() < 0 or tokens.max() >= vocab_size:
         raise ValueError(f"endpoint {name!r}: token ids outside [0, {vocab_size})")
+    if scenario == "generation":
+        max_new = request.max_new_tokens
+        if not isinstance(max_new, (int, np.integer)) or max_new < 1:
+            raise ValueError(
+                f"endpoint {name!r}: max_new_tokens must be a positive int, "
+                f"got {max_new!r}"
+            )
+        return encode_generation_payload(tokens, int(max_new))
     return tokens
 
 
@@ -108,10 +142,13 @@ def synth_request(
     hook the load generator's variable-sequence-length mode uses to
     exercise bucketed padding with honest traffic.
     """
-    if scenario == "segmentation":
-        return SegmentationRequest(image=rng.normal(size=request_shape))
+    if scenario in IMAGE_SCENARIOS:
+        return SCENARIOS[scenario](image=rng.normal(size=request_shape))
     shape = (int(length),) if length is not None else request_shape
-    return SCENARIOS[scenario](tokens=rng.integers(0, vocab_size, size=shape))
+    tokens = rng.integers(0, vocab_size, size=shape)
+    if scenario == "generation":
+        return GenerationRequest(tokens=tokens, max_new_tokens=int(rng.integers(1, 6)))
+    return SCENARIOS[scenario](tokens=tokens)
 
 
 def bucketing_enabled() -> bool:
@@ -378,6 +415,11 @@ class ModelEndpoint:
         """Serve a coalesced batch through one integer-datapath forward."""
         if not payloads:
             return []
+        if self.scenario == "generation":
+            raise RuntimeError(
+                f"endpoint {self.name!r}: generation batches are served by "
+                "GenerationEndpoint (repro.serve.generation)"
+            )
         from ..tensor import no_grad
         from ..tensor.tensor import Tensor
 
@@ -404,6 +446,12 @@ class ModelEndpoint:
                         SegmentationResponse(
                             logits=row, class_map=row.argmax(axis=-1)
                         )
+                        for row in logits
+                    ]
+                if self.scenario == "image_classification":
+                    logits = self.model(Tensor(batch)).data  # (B, classes)
+                    return [
+                        ClassificationResponse(logits=row, label=int(row.argmax()))
                         for row in logits
                     ]
                 logits = self.model(batch).data
@@ -568,6 +616,25 @@ FAMILIES: Dict[str, FamilySpec] = {
         request_shape=lambda config: (config.in_channels, 16, 16),
         calibrate=_calibrate_images,
     ),
+    "efficientvit": FamilySpec(
+        "efficientvit",
+        "image_classification",
+        EfficientViTConfig,
+        EfficientViTTiny,
+        request_shape=lambda config: (config.in_channels, 16, 16),
+        calibrate=_calibrate_images,
+        config_kwargs=dict(
+            head="classification", image_size=16, stage_dims=(16, 32), num_heads=(2, 2)
+        ),
+    ),
+    "llama-gen": FamilySpec(
+        "llama-gen",
+        "generation",
+        LlamaConfig,
+        LlamaTiny,
+        request_shape=lambda config: (12,),
+        calibrate=_calibrate_tokens((4, 12)),
+    ),
 }
 
 
@@ -594,6 +661,7 @@ def build_endpoint(
     gs: int = 2,
     rounding: str = "half_even",
     engine_pool: Optional[int] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> ModelEndpoint:
     """A calibrated endpoint for one model family (memoized per process).
 
@@ -601,11 +669,14 @@ def build_endpoint(
     seeded rng for the calibration batch, so any process (or serve
     worker) building the same key pins an identical model and plan.
     An explicit ``engine_pool`` resizes a memoized endpoint's pool.
+    ``config_overrides`` tweak the family config (e.g. a longer
+    ``max_seq_len`` for generation benches) and are part of the memo key.
     """
     from ..tensor import manual_seed
 
     spec = family_spec(family)
-    key = (family, seed, gs, rounding)
+    overrides = dict(config_overrides or {})
+    key = (family, seed, gs, rounding, tuple(sorted(overrides.items())))
     if key in _ENDPOINT_MEMO:
         _ENDPOINT_MEMO.move_to_end(key)
         endpoint = _ENDPOINT_MEMO[key]
@@ -613,11 +684,17 @@ def build_endpoint(
             endpoint.resize_engine_pool(engine_pool)
         return endpoint
     manual_seed(seed)
-    config = spec.make_config()
+    config = spec.make_config(overrides)
     model = spec.build_model(config, gs)
     spec.calibrate(model, config, np.random.default_rng(seed))
     model.eval()
-    endpoint = ModelEndpoint(
+    if spec.scenario == "generation":
+        from .generation import GenerationEndpoint
+
+        endpoint_cls = GenerationEndpoint
+    else:
+        endpoint_cls = ModelEndpoint
+    endpoint = endpoint_cls(
         family,
         spec.scenario,
         model,

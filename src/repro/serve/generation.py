@@ -1,0 +1,184 @@
+"""Generation endpoint: KV-code decode behind the serving front door.
+
+A :class:`GenerationEndpoint` pairs a quantized causal LM with a
+:class:`~repro.generate.engine.DecodeEngine`.  Two execution paths share
+its bits:
+
+- :meth:`infer_batch` generates a *fixed* batch of requests to completion
+  (sequences leave as their budget or the context window fills).  This is
+  the path process workers and ``serve_one`` take — no joins, so one call
+  is a pure function of its payloads.
+- The in-process service loop (:meth:`InferenceService._execute_generation
+  <repro.serve.service.InferenceService._execute_generation>`) drives
+  prefill/decode step by step instead, so queued sequences can *join* the
+  running batch between steps and deadlines/shedding can evict per token.
+
+Both paths produce bit-identical tokens because every decode step is
+bit-identical to a full-context pass regardless of batch composition —
+the :mod:`repro.generate` invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..generate import DecodeEngine, DecodeState
+from ..rae.planner import IntegerExecutionPlan
+from .endpoint import ModelEndpoint, decode_generation_payload
+from .types import GenerationResponse
+
+
+class GenerationEndpoint(ModelEndpoint):
+    """One served causal LM with an incremental-decode engine."""
+
+    def __init__(
+        self,
+        name: str,
+        scenario: str,
+        model,
+        request_shape: Tuple[int, ...],
+        rounding: str = "half_even",
+        plan: IntegerExecutionPlan | None = None,
+        cache_activations: object = False,
+        engine_pool: Optional[int] = None,
+        bucketing: bool = True,
+    ) -> None:
+        if scenario != "generation":
+            raise ValueError(f"GenerationEndpoint requires scenario 'generation', got {scenario!r}")
+        super().__init__(
+            name,
+            scenario,
+            model,
+            request_shape,
+            rounding=rounding,
+            plan=plan,
+            cache_activations=cache_activations,
+            engine_pool=engine_pool,
+            bucketing=bucketing,
+        )
+        self.decoder = DecodeEngine(model)
+        self._gen_lock = threading.Lock()
+        self._gen_stats = {
+            "prefills": 0,
+            "prefill_rows": 0,
+            "decode_steps": 0,
+            "decode_rows": 0,
+            "tokens": 0,
+            "sequences": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Coalescing
+    # ------------------------------------------------------------------
+    def coalesce_key(self, payload: np.ndarray) -> tuple:
+        """All generation traffic for the endpoint shares one queue key.
+
+        Prompt lengths need no bucketing dimension here: the continuous
+        batcher pads ragged prompts at prefill (pad-invariant), and the
+        per-*step* coalescing keys the service records carry the context
+        bucket as their step dimension instead.
+        """
+        return (self.name, ("generate",))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def note_prefill(self, rows: int) -> None:
+        with self._gen_lock:
+            self._gen_stats["prefills"] += 1
+            self._gen_stats["prefill_rows"] += rows
+
+    def note_decode(self, rows: int) -> None:
+        with self._gen_lock:
+            self._gen_stats["decode_steps"] += 1
+            self._gen_stats["decode_rows"] += rows
+
+    def note_finished(self, tokens: int) -> None:
+        with self._gen_lock:
+            self._gen_stats["sequences"] += 1
+            self._gen_stats["tokens"] += tokens
+
+    def gen_stats(self) -> Dict[str, int]:
+        """Cumulative prefill/decode counters (``status()`` surfaces these)."""
+        with self._gen_lock:
+            return dict(self._gen_stats)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def infer_batch(self, payloads: Sequence[np.ndarray]) -> List[object]:
+        """Generate a fixed batch of encoded payloads to completion."""
+        if not payloads:
+            return []
+        jobs = [decode_generation_payload(p) for p in payloads]
+        with self.engines.engine() as plan:
+            return self.generate_batch(plan, jobs)
+
+    def generate_batch(
+        self, plan, jobs: Sequence[Tuple[np.ndarray, int]]
+    ) -> List[GenerationResponse]:
+        """Greedy-decode ``(prompt, max_new_tokens)`` jobs as one batch.
+
+        Sequences leave the decode batch as they finish (budget reached or
+        context window full); the rest keep stepping together.  Tokens are
+        bit-identical to serving each job alone.
+        """
+        states = self.prefill_states(plan, [prompt for prompt, _ in jobs])
+        budgets = [int(budget) for _, budget in jobs]
+        tokens: List[List[int]] = [[] for _ in jobs]
+        rows: List[List[np.ndarray]] = [[] for _ in jobs]
+        live = list(range(len(jobs)))
+        while live:
+            keep: List[int] = []
+            for i in live:
+                state = states[i]
+                token = int(state.logprobs.argmax())
+                tokens[i].append(token)
+                rows[i].append(state.logprobs)
+                if len(tokens[i]) < budgets[i] and not state.exhausted:
+                    keep.append(i)
+            if keep:
+                self.decode_states(
+                    plan,
+                    [states[i] for i in keep],
+                    np.array([tokens[i][-1] for i in keep], dtype=np.int64),
+                )
+            live = keep
+        return [
+            self.finish_response(seq_tokens, seq_rows)
+            for seq_tokens, seq_rows in zip(tokens, rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # Step primitives (shared with the service's continuous loop)
+    # ------------------------------------------------------------------
+    def prefill_states(self, plan, prompts: Sequence[np.ndarray]) -> List[DecodeState]:
+        states = self.decoder.prefill(plan, prompts)
+        self.note_prefill(len(prompts))
+        return states
+
+    def decode_states(
+        self, plan, states: Sequence[DecodeState], tokens: np.ndarray
+    ) -> np.ndarray:
+        logp = self.decoder.decode(plan, states, tokens)
+        self.note_decode(len(states))
+        return logp
+
+    def finish_response(
+        self, tokens: Sequence[int], rows: Sequence[np.ndarray]
+    ) -> GenerationResponse:
+        self.note_finished(len(tokens))
+        return GenerationResponse(
+            tokens=np.array(tokens, dtype=np.int64),
+            logprobs=np.stack(rows),
+            steps=len(tokens),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerationEndpoint({self.name!r}, "
+            f"layers={len(self.plan.layer_names)}, groups={len(self.plan.groups)})"
+        )

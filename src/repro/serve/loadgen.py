@@ -42,7 +42,9 @@ class LoadSpec:
     #: their prompt length uniformly from ``[lo, hi]`` (inclusive, from
     #: the same seeded stream) instead of using the endpoint's fixed
     #: request shape — the traffic pattern that exercises bucketed
-    #: padded coalescing.  Non-scoring endpoints ignore it.
+    #: padded coalescing.  Generation requests draw their prompt length
+    #: from the same range (ragged prefill + continuous batching);
+    #: image endpoints ignore it.
     length_range: Optional[Tuple[int, int]] = None
     #: Request priorities, assigned round-robin over the stream (request
     #: ``i`` gets ``priorities[i % len(priorities)]``).  Higher numbers
@@ -89,7 +91,7 @@ def build_requests(
         endpoint = registry.get(name)
         if (
             spec.length_range is not None
-            and getattr(endpoint, "scenario", None) == "scoring"
+            and getattr(endpoint, "scenario", None) in ("scoring", "generation")
         ):
             lo, hi = spec.length_range
             length = int(rng.integers(lo, hi + 1))

@@ -65,6 +65,7 @@ class ServiceMetrics:
         self._rolling: Dict[str, deque] = {}
         self._shed: Dict[str, Dict[str, int]] = {}
         self._deadline: Dict[str, Dict[str, int]] = {}
+        self._generation: Dict[str, Dict[str, float]] = {}
         self.retried = 0
         self.hedged = 0
 
@@ -115,6 +116,34 @@ class ServiceMetrics:
             if not window:
                 return 0.0
             return percentile(list(window), 99)
+
+    def on_generation(
+        self,
+        endpoint: str,
+        *,
+        sequences: int,
+        tokens: int,
+        steps: int,
+        live_sum: int,
+        wall_s: float,
+    ) -> None:
+        """Fold one continuous-batching run's generation facts in.
+
+        ``steps`` counts batched decode steps, ``live_sum`` the total of
+        live-batch sizes over those steps (their ratio is the mean live
+        batch), ``tokens`` the tokens actually emitted to completed
+        sequences, ``wall_s`` the run's wall time (tokens/sec input).
+        """
+        with self._lock:
+            g = self._generation.setdefault(
+                endpoint,
+                {"sequences": 0, "tokens": 0, "steps": 0, "live_sum": 0, "wall_s": 0.0},
+            )
+            g["sequences"] += sequences
+            g["tokens"] += tokens
+            g["steps"] += steps
+            g["live_sum"] += live_sum
+            g["wall_s"] += wall_s
 
     def on_batch(self, endpoint: str, batch_size: int, service_s: float) -> None:
         with self._lock:
@@ -176,6 +205,22 @@ class ServiceMetrics:
                         else 0.0
                     ),
                 }
+                gen = self._generation.get(name)
+                if gen is not None:
+                    endpoints[name]["generation"] = {
+                        "sequences": int(gen["sequences"]),
+                        "tokens": int(gen["tokens"]),
+                        "steps": int(gen["steps"]),
+                        "tokens_per_s": (
+                            gen["tokens"] / gen["wall_s"] if gen["wall_s"] > 0 else 0.0
+                        ),
+                        "mean_live_batch": (
+                            gen["live_sum"] / gen["steps"] if gen["steps"] else 0.0
+                        ),
+                        "steps_per_seq": (
+                            gen["steps"] / gen["sequences"] if gen["sequences"] else 0.0
+                        ),
+                    }
                 cache = self._act_cache.get(name)
                 if cache is not None:
                     total = cache["hits"] + cache["misses"]

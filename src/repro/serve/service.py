@@ -44,6 +44,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from . import faults
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .endpoint import EndpointRegistry
@@ -92,6 +94,18 @@ def slo_budget_from_env(environ=None) -> Optional[SLOBudget]:
         p99_target_s=float(p99_ms) / 1e3 if p99_ms else None,
         max_queue_depth=int(depth) if depth else None,
     )
+
+
+@dataclass(eq=False)
+class _LiveSequence:
+    """One sequence inside a running continuous-batching generation loop."""
+
+    pending: PendingRequest
+    state: object  # repro.generate.DecodeState
+    budget: int
+    tokens: List[int]
+    rows: List[np.ndarray]
+    admitted_at: float
 
 
 def _accepts_meta(dispatcher) -> bool:
@@ -460,6 +474,8 @@ class InferenceService:
                     "engine_pool": endpoint.engines.size,
                     "padding": endpoint.pad_stats(),
                 }
+                if hasattr(endpoint, "gen_stats"):
+                    endpoints[name]["generation"] = endpoint.gen_stats()
         if endpoints:
             report["endpoints"] = endpoints
         if self.process_pool is not None:
@@ -526,6 +542,13 @@ class InferenceService:
 
     def _execute(self, batch: Batch) -> None:
         endpoint = self.registry.get(batch.endpoint)
+        if self.dispatcher is None and getattr(endpoint, "scenario", "") == "generation":
+            # Generation batches are not one-shot: the continuous loop
+            # holds the engine across decode steps so queued sequences can
+            # join mid-flight.  (With a process dispatcher the workers run
+            # fixed batches to completion through infer_batch instead.)
+            self._execute_generation(batch, endpoint)
+            return
         started = time.monotonic()
         meta: Optional[dict] = None
         try:
@@ -626,6 +649,239 @@ class InferenceService:
                     result=result,
                     timing=timing,
                 )
+            )
+
+    def _execute_generation(self, batch: Batch, endpoint) -> None:
+        """Continuous-batching decode loop for one generation endpoint.
+
+        The batch's sequences are prefilled together, then decoded one
+        token per iteration as a single ragged batch.  Between steps the
+        loop (1) evicts live sequences past their deadline (typed
+        ``DeadlineExceeded``, stage ``"decode"``), (2) admits queued
+        sequences into free slots via :meth:`MicroBatcher.pop_join`, and
+        (3) when the batch is full under an SLO breach, preempts the
+        lowest-priority live sequence in favour of a strictly
+        higher-priority queued one (typed :class:`Shed`, reason
+        ``"preempted"``).  Sequences retire as their token budget or the
+        context window fills.
+
+        Determinism: joins, evictions and preemption change *which*
+        sequences share a step, never their tokens — every decode step is
+        bit-identical to a full-context pass (the :mod:`repro.generate`
+        invariant), so any interleaving equals sequential serving.
+        """
+        from .endpoint import decode_generation_payload
+
+        run_started = time.monotonic()
+        live: List[_LiveSequence] = []
+        total_steps = 0
+        live_sum = 0
+        finished = 0
+        tokens_out = 0
+
+        def reject_all(pendings: List[PendingRequest], error: BaseException) -> None:
+            self.metrics.on_failure(len(pendings))
+            for pending in pendings:
+                pending.future._reject(error)
+
+        rule = faults.crash_point("service.batch")
+        if rule is not None and rule.kind == "error":
+            reject_all(
+                batch.requests,
+                faults.FaultError(f"injected fault at service.batch ({batch.endpoint})"),
+            )
+            return
+
+        def finish(seq: _LiveSequence, done: float, live_count: int) -> None:
+            nonlocal finished, tokens_out
+            result = endpoint.finish_response(seq.tokens, seq.rows)
+            timing = ServeTiming(
+                queue_s=seq.admitted_at - seq.pending.enqueued_at,
+                service_s=done - seq.admitted_at,
+                latency_s=done - seq.pending.enqueued_at,
+                batch_size=live_count,
+            )
+            self.metrics.on_complete(
+                batch.endpoint, timing.queue_s, timing.latency_s, done
+            )
+            finished += 1
+            tokens_out += len(seq.tokens)
+            seq.pending.future._resolve(
+                ServeResponse(
+                    request_id=seq.pending.request_id,
+                    endpoint=batch.endpoint,
+                    result=result,
+                    timing=timing,
+                )
+            )
+
+        def admit(plan, pendings: List[PendingRequest], now: float) -> None:
+            """Prefill a join group; survivors enter the live batch."""
+            if not pendings:
+                return
+            try:
+                jobs = [decode_generation_payload(p.payload) for p in pendings]
+                states = endpoint.prefill_states(plan, [prompt for prompt, _ in jobs])
+            except BaseException as error:  # reject the group, keep the batch
+                reject_all(pendings, error)
+                return
+            for pending, (_, budget), state in zip(pendings, jobs, states):
+                token = int(state.logprobs.argmax())
+                seq = _LiveSequence(
+                    pending=pending,
+                    state=state,
+                    budget=int(budget),
+                    tokens=[token],
+                    rows=[state.logprobs],
+                    admitted_at=now,
+                )
+                if len(seq.tokens) >= seq.budget or state.exhausted:
+                    finish(seq, time.monotonic(), len(pendings))
+                else:
+                    live.append(seq)
+
+        with endpoint.engines.engine() as plan:
+            admit(plan, batch.requests, time.monotonic())
+            while live:
+                now = time.monotonic()
+                # (1) Per-token deadline enforcement: a sequence that
+                # outlives its deadline mid-generation is evicted with the
+                # same typed rejection queued expiry uses.
+                overdue = [
+                    s
+                    for s in live
+                    if s.pending.deadline_at is not None and s.pending.deadline_at <= now
+                ]
+                if overdue:
+                    dead = set(map(id, overdue))
+                    live = [s for s in live if id(s) not in dead]
+                    for seq in overdue:
+                        self.metrics.on_deadline(batch.endpoint, "decode")
+                        seq.pending.future._reject(
+                            DeadlineExceeded(
+                                f"deadline exceeded while decoding "
+                                f"(endpoint {batch.endpoint!r}, "
+                                f"{len(seq.tokens)} tokens generated)",
+                                endpoint=batch.endpoint,
+                                reason="decode",
+                            )
+                        )
+                # (2)+(3) Joins and preemption under the service lock.
+                joiners: List[PendingRequest] = []
+                unmeetable: List[PendingRequest] = []
+                preempted: List[_LiveSequence] = []
+                with self._lock:
+                    closed = self._state == "closed"
+                    if not closed:
+                        capacity = self.policy.max_batch - len(live)
+                        if capacity > 0:
+                            joiners = self._batcher.pop_join(batch.key, now, capacity)
+                        elif live:
+                            budget = self._budget_for(batch.endpoint)
+                            breach = budget is not None and (
+                                (
+                                    budget.max_queue_depth is not None
+                                    and self._batcher.endpoint_depth(batch.endpoint)
+                                    >= budget.max_queue_depth
+                                )
+                                or (
+                                    budget.p99_target_s is not None
+                                    and self.metrics.rolling_p99(batch.endpoint)
+                                    > budget.p99_target_s
+                                )
+                            )
+                            if breach:
+                                lowest = min(live, key=lambda s: s.pending.priority)
+                                best = self._batcher.highest_priority(batch.key)
+                                if best is not None and best > lowest.pending.priority:
+                                    swap = self._batcher.pop_join(batch.key, now, 1)
+                                    if swap:
+                                        preempted.append(lowest)
+                                        joiners = swap
+                        unmeetable = self._batcher.take_expired()
+                    if joiners or unmeetable:
+                        self._not_full.notify()
+                if closed:
+                    reject_all(
+                        [s.pending for s in live],
+                        ServiceClosedError("service aborted"),
+                    )
+                    live = []
+                    break
+                self._reject_expired(unmeetable, "unmeetable")
+                for seq in preempted:
+                    live.remove(seq)
+                    self.metrics.on_shed(batch.endpoint, "preempted")
+                    seq.pending.future._reject(
+                        Shed(
+                            f"shed: sequence preempted by a higher-priority arrival "
+                            f"(endpoint {batch.endpoint!r}, "
+                            f"priority {seq.pending.priority})",
+                            endpoint=batch.endpoint,
+                            reason="preempted",
+                        )
+                    )
+                admit(plan, joiners, now)
+                if not live:
+                    continue
+                # One batched decode step: every live sequence advances by
+                # exactly one token, whatever its context length.
+                step_started = time.monotonic()
+                step_tokens = np.array([s.tokens[-1] for s in live], dtype=np.int64)
+                try:
+                    endpoint.decode_states(plan, [s.state for s in live], step_tokens)
+                except BaseException as error:
+                    reject_all([s.pending for s in live], error)
+                    live = []
+                    break
+                step_s = time.monotonic() - step_started
+                total_steps += 1
+                live_sum += len(live)
+                prev = self._service_ewma.get(batch.endpoint)
+                self._service_ewma[batch.endpoint] = (
+                    step_s if prev is None else 0.7 * prev + 0.3 * step_s
+                )
+                self.metrics.on_batch(batch.endpoint, len(live), step_s)
+                # Per-step coalescing stats: the step key carries the
+                # context bucket as its step dimension (the per-request
+                # queue key deliberately has none).
+                context = max(s.state.length for s in live)
+                step_key = (
+                    batch.endpoint,
+                    ("generate", "step", endpoint.length_bucket(context)),
+                )
+                with self._lock:
+                    stats = self._key_stats.setdefault(
+                        str(step_key), {"batches": 0, "requests": 0}
+                    )
+                    stats["batches"] += 1
+                    stats["requests"] += len(live)
+                # Read out the new token per sequence; retire the finished.
+                done = time.monotonic()
+                width = len(live)
+                still: List[_LiveSequence] = []
+                for seq in live:
+                    seq.tokens.append(int(seq.state.logprobs.argmax()))
+                    seq.rows.append(seq.state.logprobs)
+                    if len(seq.tokens) >= seq.budget or seq.state.exhausted:
+                        finish(seq, done, width)
+                    else:
+                        still.append(seq)
+                live = still
+        wall_s = time.monotonic() - run_started
+        self.metrics.on_generation(
+            batch.endpoint,
+            sequences=finished,
+            tokens=tokens_out,
+            steps=total_steps,
+            live_sum=live_sum,
+            wall_s=wall_s,
+        )
+        if self.record_timings:
+            from ..experiments.executor import record_cell_timing
+
+            record_cell_timing(
+                f"serve/{batch.endpoint}/generation", "serve", wall_s
             )
 
     def __repr__(self) -> str:

@@ -348,10 +348,22 @@ class ShmArena:
 
 
 def pack_results(scenario: str, results: Sequence[object]) -> np.ndarray:
-    """Stack a batch's raw outputs into one array for the response slot."""
+    """Stack a batch's raw outputs into one array for the response slot.
+
+    Generation outputs are ragged whenever token budgets differ inside a
+    batch; ragged rows cannot share one stacked span, so that surfaces as
+    :class:`SlotOverflowError` and the caller takes the pickle fallback
+    for the batch — same escape hatch as an oversized payload.
+    """
     from .types import raw_output
 
-    return np.stack([np.asarray(raw_output(result)) for result in results])
+    rows = [np.asarray(raw_output(result)) for result in results]
+    try:
+        return np.stack(rows)
+    except ValueError as error:
+        raise SlotOverflowError(
+            f"ragged batch outputs cannot stack for shm transport: {error}"
+        ) from None
 
 
 def unpack_results(scenario: str, stacked: np.ndarray) -> List[object]:
@@ -359,8 +371,16 @@ def unpack_results(scenario: str, stacked: np.ndarray) -> List[object]:
 
     Mirrors :meth:`ModelEndpoint.infer_batch`'s response construction
     exactly — one row per request, scalars re-derived by argmax.
+    Generation tokens rebuild the same way: decoding is greedy, so the
+    token sequence is a pure function of the logprob rows that crossed
+    the arena.
     """
-    from .types import ClassificationResponse, ScoringResponse, SegmentationResponse
+    from .types import (
+        ClassificationResponse,
+        GenerationResponse,
+        ScoringResponse,
+        SegmentationResponse,
+    )
 
     if scenario == "scoring":
         return [
@@ -372,9 +392,18 @@ def unpack_results(scenario: str, stacked: np.ndarray) -> List[object]:
             SegmentationResponse(logits=row, class_map=row.argmax(axis=-1))
             for row in stacked
         ]
-    if scenario == "classification":
+    if scenario in ("classification", "image_classification"):
         return [
             ClassificationResponse(logits=row, label=int(row.argmax()))
             for row in stacked
+        ]
+    if scenario == "generation":
+        return [
+            GenerationResponse(
+                tokens=rows.argmax(axis=-1).astype(np.int64),
+                logprobs=rows,
+                steps=int(rows.shape[0]),
+            )
+            for rows in stacked
         ]
     raise KeyError(f"unknown scenario {scenario!r}")

@@ -63,6 +63,44 @@ class SegmentationRequest:
 
 
 @dataclass(frozen=True, eq=False)
+class ImageClassificationRequest:
+    """Single-label image classification: one image ``(C, H, W)``."""
+
+    image: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class GenerationRequest:
+    """Autoregressive generation: prompt ids plus a token budget.
+
+    ``max_new_tokens`` is a *budget*, not a promise — the served sequence
+    may stop earlier when the model's context window fills, and may be
+    evicted mid-generation by its deadline or by SLO shedding (in which
+    case the request's future raises the typed rejection instead of
+    returning a partial response).
+    """
+
+    tokens: np.ndarray
+    max_new_tokens: int
+
+
+@dataclass(frozen=True, eq=False)
+class GenerationResponse:
+    """Greedily decoded continuation plus the per-step distributions.
+
+    ``logprobs`` row ``k`` is the full next-token distribution
+    ``tokens[k]`` was argmax-read from — bit-identical to a single-shot
+    full-context ``next_token_logprobs`` pass over prompt + ``tokens[:k]``
+    (the generation determinism oracle).  ``steps`` counts the decode
+    steps the sequence took (== ``len(tokens)``).
+    """
+
+    tokens: np.ndarray
+    logprobs: np.ndarray
+    steps: int
+
+
+@dataclass(frozen=True, eq=False)
 class SegmentationResponse:
     """Per-pixel logits ``(H', W', classes)`` and the argmax class map."""
 

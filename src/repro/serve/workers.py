@@ -250,6 +250,10 @@ class ArtifactEndpointStub:
         )
 
     def coalesce_key(self, payload: np.ndarray) -> tuple:
+        if self.scenario == "generation":
+            # Mirror GenerationEndpoint: one queue per endpoint — ragged
+            # prompts pad together at prefill, budgets ride the payload.
+            return (self.name, ("generate",))
         if self.bucketing:
             bucket = length_bucket(int(payload.shape[0]), self._max_seq_len)
             return (self.name, ("bucket", bucket))

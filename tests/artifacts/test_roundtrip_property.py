@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 from repro.artifacts import compile_endpoint, load_endpoint, write_artifact
 from repro.serve import build_endpoint
 
-FAMILIES = ("bert", "llama", "segformer")
+FAMILIES = ("bert", "llama", "segformer", "efficientvit", "llama-gen")
 
 _PAIRS = {}
 

@@ -1,0 +1,271 @@
+"""The decode engine's anchor invariant, pinned against the full pass.
+
+N-token generation through the KV-code cache must be **bit-identical**
+to N full-context ``next_token_logprobs`` passes over the grown prompt —
+no tolerance, no approximation.  These tests pin that anchor for single
+sequences, ragged batches, and the version-keyed cache's resync after a
+QAT-style scale bump, and tie the decode step's GEMM shapes back to the
+accelerator workload model (Table IV's M=1 decode phase).
+"""
+
+import numpy as np
+import pytest
+
+from repro.generate import DecodeEngine, KVCodeCache, decode_step
+from repro.serve import build_endpoint
+
+
+def oracle_logprobs(endpoint, context: np.ndarray) -> np.ndarray:
+    """Full-context recompute: one ``next_token_logprobs`` pass, no cache.
+
+    Must be called inside the endpoint's engine context so the model
+    runs the same integer datapath the decode engine executes through.
+    """
+    return endpoint.model.next_token_logprobs(
+        np.asarray(context, dtype=np.int64)[None]
+    )[0]
+
+
+def prompts_for(endpoint, lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    vocab = endpoint.model.config.vocab_size
+    return [rng.integers(0, vocab, size=n) for n in lengths]
+
+
+# ----------------------------------------------------------------------
+# The anchor: N generated tokens == N full-context passes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("prompt_len,new_tokens", [(1, 6), (5, 8), (12, 4)])
+def test_generation_matches_full_context_oracle(prompt_len, new_tokens):
+    endpoint = build_endpoint("llama-gen")
+    (prompt,) = prompts_for(endpoint, [prompt_len], seed=prompt_len)
+    with endpoint.engines.engine() as plan:
+        tokens, rows, state = endpoint.decoder.generate(plan, prompt, new_tokens)
+        assert tokens.shape[0] == rows.shape[0] == new_tokens
+        for k in range(new_tokens):
+            context = np.concatenate([prompt, tokens[:k]])
+            expected = oracle_logprobs(endpoint, context)
+            assert np.array_equal(rows[k], expected), (
+                f"step {k}: cached decode drifted from the full-context pass"
+            )
+            assert tokens[k] == expected.argmax()
+        # The state's final context is the prompt plus everything kept.
+        assert np.array_equal(state.tokens, np.concatenate([prompt, tokens[:-1]]))
+
+
+def test_decode_step_matches_full_context_pass():
+    """The ``decode_step(plan, cache, token)`` form of the same anchor."""
+    endpoint = build_endpoint("llama-gen")
+    (prompt,) = prompts_for(endpoint, [4], seed=3)
+    with endpoint.engines.engine() as plan:
+        state = endpoint.decoder.prefill(plan, [prompt])[0]
+        assert np.array_equal(state.logprobs, oracle_logprobs(endpoint, prompt))
+        context = prompt
+        for _ in range(5):
+            token = int(state.logprobs.argmax())
+            logp = decode_step(plan, state, token)
+            context = np.concatenate([context, [token]])
+            assert np.array_equal(logp, oracle_logprobs(endpoint, context))
+            assert logp is not state.logprobs or np.array_equal(logp, state.logprobs)
+            assert np.array_equal(state.logprobs, logp)
+
+
+def test_ragged_batch_decode_matches_single_sequence():
+    """Batched decode over ragged contexts == each sequence decoded alone."""
+    endpoint = build_endpoint("llama-gen")
+    lengths = [1, 3, 7, 12]
+    prompts = prompts_for(endpoint, lengths, seed=11)
+    with endpoint.engines.engine() as plan:
+        batched = endpoint.decoder.prefill(plan, prompts)
+        singles = [endpoint.decoder.prefill(plan, [p])[0] for p in prompts]
+        for b, s in zip(batched, singles):
+            assert np.array_equal(b.logprobs, s.logprobs)
+        for _ in range(4):
+            tokens = np.array(
+                [int(s.logprobs.argmax()) for s in batched], dtype=np.int64
+            )
+            endpoint.decoder.decode(plan, batched, tokens)
+            for row, single in enumerate(singles):
+                endpoint.decoder.decode(
+                    plan, [single], tokens[row : row + 1]
+                )
+                assert np.array_equal(batched[row].logprobs, single.logprobs), (
+                    f"row {row}: ragged-batch decode drifted from solo decode"
+                )
+
+
+def test_decode_refuses_exhausted_and_foreign_state():
+    endpoint = build_endpoint("llama-gen")
+    max_len = endpoint.model.config.max_seq_len
+    (prompt,) = prompts_for(endpoint, [max_len], seed=5)
+    with endpoint.engines.engine() as plan:
+        state = endpoint.decoder.prefill(plan, [prompt])[0]
+        assert state.exhausted
+        with pytest.raises(ValueError, match="context window full"):
+            endpoint.decoder.decode(plan, [state], np.array([0]))
+        other = DecodeEngine(endpoint.model)
+        (short,) = prompts_for(endpoint, [2], seed=5)
+        fresh = endpoint.decoder.prefill(plan, [short])[0]
+        with pytest.raises(ValueError, match="different DecodeEngine"):
+            other.decode(plan, [fresh], np.array([0]))
+
+
+def test_prefill_rejects_bad_prompts():
+    endpoint = build_endpoint("llama-gen")
+    max_len = endpoint.model.config.max_seq_len
+    vocab = endpoint.model.config.vocab_size
+    with endpoint.engines.engine() as plan:
+        with pytest.raises(ValueError, match="1-D"):
+            endpoint.decoder.prefill(plan, [np.zeros((2, 2), dtype=np.int64)])
+        with pytest.raises(ValueError, match="1-D"):
+            endpoint.decoder.prefill(
+                plan, [np.zeros(max_len + 1, dtype=np.int64)]
+            )
+        with pytest.raises(ValueError, match="token ids"):
+            endpoint.decoder.prefill(plan, [np.array([vocab], dtype=np.int64)])
+
+
+# ----------------------------------------------------------------------
+# Version-keyed cache: a QAT-style scale bump resyncs, never staleness
+# ----------------------------------------------------------------------
+
+
+def test_cache_rederives_after_scale_rebind_same_values():
+    """Rebinding a scale Parameter (version bump, same values) forces a
+    re-derivation that reproduces the original floats bit for bit."""
+    endpoint = build_endpoint("llama-gen")
+    (prompt,) = prompts_for(endpoint, [6], seed=7)
+    layer = endpoint.model.layers[0].attention.k_proj
+    with endpoint.engines.engine() as plan:
+        state = endpoint.decoder.prefill(plan, [prompt])[0]
+        names = endpoint.decoder._names[0]
+        before_k, before_v = state.cache.ensure_derived(
+            0, plan, names["k"], names["v"], endpoint.decoder.rope
+        )
+        before_k, before_v = before_k.copy(), before_v.copy()
+        key_before = plan.scale_key(names["k"])
+        layer.act_quantizer.scale.data = layer.act_quantizer.scale.data.copy()
+        assert plan.scale_key(names["k"]) != key_before
+        after_k, after_v = state.cache.ensure_derived(
+            0, plan, names["k"], names["v"], endpoint.decoder.rope
+        )
+        # Same constants => the re-derived context is bit-identical.
+        assert np.array_equal(after_k, before_k)
+        assert np.array_equal(after_v, before_v)
+        assert state.cache._derived[0] == state.cache.length
+
+
+def test_derived_floats_resync_after_qat_scale_change():
+    """A real scale *change* mid-sequence: the derived context is re-
+    derived under the new constants — exactly what the current plan
+    dequantizes the stored codes to, never the pre-change floats.  (The
+    stored *codes* are the sequence's history under the model that
+    produced them; a QAT step changes how they dequantize, and the
+    version key is what keeps the float buffers honest about it.)"""
+    from repro.nn.attention import apply_rope_at
+
+    endpoint = build_endpoint("llama-gen")
+    (prompt,) = prompts_for(endpoint, [5], seed=9)
+    quantizer = endpoint.model.layers[0].attention.k_proj.accumulator.quantizers[-1]
+    original = quantizer.scale.data.copy()
+    with endpoint.engines.engine() as plan:
+        state = endpoint.decoder.prefill(plan, [prompt])[0]
+        names = endpoint.decoder._names[0]
+        rope = endpoint.decoder.rope
+        before_k, _ = state.cache.ensure_derived(0, plan, names["k"], names["v"], rope)
+        before_k = before_k.copy()
+        try:
+            # The QAT-step analogue: rebind with doubled output scales
+            # (the accumulator's final alpha IS the dequant constant).
+            quantizer.scale.data = original * 2.0
+            after_k, after_v = state.cache.ensure_derived(
+                0, plan, names["k"], names["v"], rope
+            )
+            assert not np.array_equal(after_k, before_k), (
+                "scale bump did not invalidate the derived float context"
+            )
+            # The resynced floats are the pure function of the stored
+            # codes and the *current* plan constants.
+            cache = state.cache
+            m, heads, hd = cache.length, cache.num_heads, cache.head_dim
+            raw_k = plan.dequantize_codes(
+                names["k"], cache.k_codes[0][:m], (m, cache.hidden)
+            ).reshape(m, heads, hd).transpose(1, 0, 2)
+            raw_v = plan.dequantize_codes(
+                names["v"], cache.v_codes[0][:m], (m, cache.hidden)
+            ).reshape(m, heads, hd).transpose(1, 0, 2)
+            cos, sin = rope
+            positions = np.arange(m, dtype=np.int64)
+            expected_k = apply_rope_at(raw_k[None], cos, sin, positions[None])[0]
+            assert np.array_equal(after_k, expected_k)
+            assert np.array_equal(after_v, raw_v)
+        finally:
+            quantizer.scale.data = original
+
+
+def test_cache_overflow_raises():
+    cache = KVCodeCache(num_blocks=1, max_ctx=4, hidden=8, num_heads=2)
+    cache.append(0, np.zeros((3, 8), dtype=np.int64), np.zeros((3, 8), dtype=np.int64))
+    cache.advance(3)
+    with pytest.raises(ValueError, match="overflow"):
+        cache.append(
+            0, np.zeros((2, 8), dtype=np.int64), np.zeros((2, 8), dtype=np.int64)
+        )
+
+
+# ----------------------------------------------------------------------
+# Decode shape groups vs the accelerator workload model (Table IV)
+# ----------------------------------------------------------------------
+
+
+def test_decode_shape_groups_match_accelerator_decode_phase():
+    """The planner's decode-step GEMM descriptors are the serving-scale
+    mirror of ``llama2_7b_workload(phase="decode")``: every projection
+    runs M=1 per new token (the workload model's ``psum_m=1`` decode
+    phase), with the same per-role (K, N) structure — q/k/v and attn_out
+    square in hidden, gate/up hidden→FFN, down FFN→hidden."""
+    from repro.accelerator.workloads import llama2_7b_workload
+
+    endpoint = build_endpoint("llama-gen")
+    config = endpoint.model.config
+    hidden, ffn = config.hidden, config.hidden * config.ffn_mult
+    groups = endpoint.plan.decode_shape_groups()
+    gemms = {g.name: g for group in groups.values() for g in group}
+
+    # Every decode-path projection of every block is present, at M=1.
+    roles = {
+        "attention.q_proj": (hidden, hidden),
+        "attention.k_proj": (hidden, hidden),
+        "attention.v_proj": (hidden, hidden),
+        "attention.out_proj": (hidden, hidden),
+        "ffn.gate_proj": (hidden, ffn),
+        "ffn.up_proj": (hidden, ffn),
+        "ffn.down_proj": (ffn, hidden),
+    }
+    for i in range(config.num_layers):
+        for role, (k, n) in roles.items():
+            gemm = gemms[f"layers.{i}.{role}"]
+            assert gemm.m == 1, f"{gemm.name}: decode GEMM must be M=1"
+            assert (gemm.k, gemm.n) == (k, n)
+    assert gemms["lm_head"].m == 1
+    assert (gemms["lm_head"].k, gemms["lm_head"].n) == (hidden, config.vocab_size)
+
+    # Grouping is consistent with the plan's reduction-shape groups: a
+    # descriptor's tile count is its group key's.
+    for shape, group in groups.items():
+        for gemm in group:
+            assert gemm.num_tiles == shape.num_tiles
+
+    # The full-size workload model agrees on the phase semantics: decode
+    # keeps one output row's PSUMs live (psum_m=1) for every projection —
+    # the same M=1-per-token shape the planner descriptors report — and
+    # covers the same projection roles (qkv fused, attn_out, gate/up/down).
+    workload = llama2_7b_workload(seq_len=64, phase="decode")
+    assert {g.name for g in workload} == {
+        "qkv_proj", "attn_out", "gate_proj", "up_proj", "down_proj"
+    }
+    assert all(g.psum_m == 1 for g in workload)
+    qkv = next(g for g in workload if g.name == "qkv_proj")
+    assert qkv.co == 3 * qkv.ci  # fused q/k/v == the planner's three squares

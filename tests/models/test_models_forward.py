@@ -122,6 +122,32 @@ class TestEfficientViTTiny:
         model(imgs).sum().backward()
         assert model.classifier.weight.grad is not None
 
+    def test_classification_head_shape(self):
+        model = EfficientViTTiny(EfficientViTConfig(head="classification"))
+        imgs = np.random.default_rng(3).normal(size=(2, 3, 32, 32))
+        assert model(imgs).shape == (2, 5)
+
+    def test_classification_head_is_pooled_segmentation_logits(self):
+        """The classification head is global-average pooling over the
+        fused per-position logits — same datapath, one extra mean."""
+        config = EfficientViTConfig(head="classification")
+        model = EfficientViTTiny(config)
+        imgs = np.random.default_rng(4).normal(size=(1, 3, 32, 32))
+        model(imgs)  # populate BN running stats
+        model.eval()
+        with no_grad():
+            logits = model(imgs).data
+        seg = EfficientViTTiny(EfficientViTConfig())
+        seg.load_state_dict(model.state_dict())
+        seg.eval()
+        with no_grad():
+            dense = seg(imgs).data
+        assert np.allclose(logits, dense.mean(axis=(1, 2)))
+
+    def test_unknown_head_rejected(self):
+        with pytest.raises(ValueError, match="head"):
+            EfficientViTTiny(EfficientViTConfig(head="detection"))
+
 
 class TestLlamaTiny:
     def make(self, **kw):
@@ -166,6 +192,22 @@ class TestLlamaTiny:
         log_probs = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
         manual = sum(log_probs[0, t - 1, tokens[0, t]] for t in range(3, 6))
         assert np.isclose(lp[0], manual)
+
+    def test_next_token_logprobs_rejects_non_integer_lengths(self):
+        """A float ``lengths`` would silently truncate fractional values
+        on the int cast; the dtype is rejected up front instead."""
+        model = self.make()
+        tokens = np.random.default_rng(5).integers(0, 32, size=(2, 8))
+        with pytest.raises(TypeError, match="integer dtype"):
+            model.next_token_logprobs(tokens, lengths=np.array([4.0, 8.0]))
+        with pytest.raises(TypeError, match="integer dtype"):
+            model.next_token_logprobs(tokens, lengths=np.array([4.5, 7.5]))
+        # Integer dtypes of any width stay accepted.
+        for dtype in (np.int32, np.int64, np.uint8):
+            got = model.next_token_logprobs(
+                tokens, lengths=np.array([4, 8], dtype=dtype)
+            )
+            assert got.shape == (2, 32)
 
     def test_greedy_decode_extends(self):
         model = self.make()

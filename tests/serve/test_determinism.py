@@ -2,7 +2,7 @@
 
 Any interleaving and any coalescing of N requests must return responses
 **bit-identical** to N sequential single-request passes — across all
-three scenario families.  This is the batched-vs-scalar oracle
+scenario families, autoregressive generation included.  This is the batched-vs-scalar oracle
 discipline of ``tests/rae/test_reduce_batch.py`` lifted to the service
 layer: the oracle is ``ModelEndpoint.serve_one``, the system under test
 is whatever batches the :class:`MicroBatcher` decides to form.
@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 
 from repro.serve import BatchPolicy, MicroBatcher, PendingRequest, build_endpoint
 
-FAMILIES = ("bert", "llama", "segformer")
+FAMILIES = ("bert", "llama", "segformer", "efficientvit", "llama-gen")
 
 
 def response_bits(result):

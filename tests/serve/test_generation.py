@@ -1,0 +1,299 @@
+"""Continuous batching's load-bearing invariant, as a property test.
+
+Any join/leave schedule the continuous batcher produces — whatever mix of
+context lengths, token budgets, priorities and batch capacities — must
+emit tokens **bit-identical** to a full-recompute oracle that re-runs
+``next_token_logprobs`` over the whole grown context at every step, with
+no KV cache anywhere.  Joins, evictions and preemption may change which
+sequences share a decode step, never their bits.
+
+The eviction tests pin the lifecycle half of the contract: a sequence
+evicted mid-generation ends in **exactly one** typed terminal state —
+``DeadlineExceeded(reason="decode")`` for per-token deadline expiry,
+``Shed(reason="preempted")`` for priority preemption — and the survivors
+keep decoding unperturbed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceeded,
+    EndpointRegistry,
+    GenerationRequest,
+    InferenceService,
+    SLOBudget,
+    Shed,
+    build_endpoint,
+)
+
+
+def full_recompute_oracle(endpoint, request):
+    """Greedy generation by repeated full-context passes — no KV cache.
+
+    Mirrors the decode loop's stop conditions (budget reached, or the
+    context window full) but recomputes every step from scratch through
+    ``next_token_logprobs``; the ISSUE's verification anchor.
+    """
+    model = endpoint.model
+    max_len = model.config.max_seq_len
+    context = np.asarray(request.tokens, dtype=np.int64)
+    budget = int(request.max_new_tokens)
+    tokens, rows = [], []
+    with endpoint.engines.engine():
+        logp = model.next_token_logprobs(context[None])[0]
+        while True:
+            tokens.append(int(logp.argmax()))
+            rows.append(logp)
+            if len(tokens) >= budget or context.shape[0] + len(tokens) - 1 >= max_len:
+                break
+            grown = np.concatenate([context, np.array(tokens, dtype=np.int64)])
+            logp = model.next_token_logprobs(grown[None])[0]
+    return np.array(tokens, dtype=np.int64), np.stack(rows)
+
+
+def generation_service(endpoint, max_batch, **kwargs):
+    registry = EndpointRegistry()
+    registry.register(endpoint)
+    return InferenceService(
+        registry,
+        policy=BatchPolicy(max_batch=max_batch, max_delay_s=0.001),
+        workers=1,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# The sweep: join/leave schedules × context lengths × priorities
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seqs=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=12),  # prompt length
+            st.integers(min_value=1, max_value=5),  # token budget
+            st.integers(min_value=0, max_value=2),  # priority
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    payload_seed=st.integers(min_value=0, max_value=10_000),
+    max_batch=st.integers(min_value=1, max_value=4),
+)
+def test_any_join_leave_schedule_matches_full_recompute(seqs, payload_seed, max_batch):
+    endpoint = build_endpoint("llama-gen")
+    rng = np.random.default_rng(payload_seed)
+    vocab = endpoint.model.config.vocab_size
+    requests = [
+        GenerationRequest(
+            tokens=rng.integers(0, vocab, size=length), max_new_tokens=budget
+        )
+        for length, budget, _ in seqs
+    ]
+    with generation_service(endpoint, max_batch) as service:
+        futures = [
+            service.submit(endpoint.name, request, priority=priority)
+            for request, (_, _, priority) in zip(requests, seqs)
+        ]
+        responses = [future.result(120.0) for future in futures]
+    for index, (request, response) in enumerate(zip(requests, responses)):
+        tokens, rows = full_recompute_oracle(endpoint, request)
+        assert np.array_equal(response.result.tokens, tokens), (
+            f"sequence {index}: tokens drifted from the full-recompute oracle"
+        )
+        assert np.array_equal(response.result.logprobs, rows), (
+            f"sequence {index}: logprobs drifted from the full-recompute oracle"
+        )
+        assert response.result.steps == len(tokens)
+
+
+def test_fixed_batch_path_matches_full_recompute():
+    """``infer_batch`` (the process-worker / serve_one path) hits the same
+    oracle — both execution paths share the decode engine's bits."""
+    endpoint = build_endpoint("llama-gen")
+    rng = np.random.default_rng(5)
+    vocab = endpoint.model.config.vocab_size
+    requests = [
+        GenerationRequest(tokens=rng.integers(0, vocab, size=n), max_new_tokens=b)
+        for n, b in ((1, 5), (7, 3), (12, 4))
+    ]
+    payloads = [endpoint.request_payload(r) for r in requests]
+    batched = endpoint.infer_batch(payloads)
+    for request, response in zip(requests, batched):
+        tokens, rows = full_recompute_oracle(endpoint, request)
+        assert np.array_equal(response.tokens, tokens)
+        assert np.array_equal(response.logprobs, rows)
+
+
+def test_budget_clips_to_context_window():
+    """A budget larger than the remaining window stops at exhaustion."""
+    endpoint = build_endpoint("llama-gen")
+    max_len = endpoint.model.config.max_seq_len
+    rng = np.random.default_rng(2)
+    vocab = endpoint.model.config.vocab_size
+    prompt = rng.integers(0, vocab, size=max_len - 3)
+    response = endpoint.serve_one(
+        GenerationRequest(tokens=prompt, max_new_tokens=10)
+    )
+    # Tokens are read at context lengths P .. max_len (the last one from
+    # the full window), then no further decode step is possible:
+    # max_len - len(prompt) + 1 generated tokens, not 10.
+    assert response.steps == max_len - prompt.shape[0] + 1
+    tokens, rows = full_recompute_oracle(
+        endpoint, GenerationRequest(tokens=prompt, max_new_tokens=10)
+    )
+    assert np.array_equal(response.tokens, tokens)
+    assert np.array_equal(response.logprobs, rows)
+
+
+# ----------------------------------------------------------------------
+# Eviction: exactly one typed terminal state
+# ----------------------------------------------------------------------
+
+
+def _wait_for(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("timed out waiting for service state")
+        time.sleep(0.001)
+
+
+def test_deadline_eviction_mid_decode_is_single_typed_terminal_state():
+    endpoint = build_endpoint("llama-gen", config_overrides={"max_seq_len": 128})
+    rng = np.random.default_rng(0)
+    vocab = endpoint.model.config.vocab_size
+    keeper = GenerationRequest(
+        tokens=rng.integers(0, vocab, size=3), max_new_tokens=120
+    )
+    doomed = GenerationRequest(
+        tokens=rng.integers(0, vocab, size=3), max_new_tokens=120
+    )
+    with generation_service(endpoint, max_batch=2) as service:
+        base = endpoint.gen_stats()["prefills"]
+        keep_future = service.submit(endpoint.name, keeper)
+        # Wait until the keeper's prefill ran, so the doomed request joins
+        # a *live* decode loop and its deadline expires mid-decode, never
+        # in the queue.
+        _wait_for(lambda: endpoint.gen_stats()["prefills"] > base)
+        doom_future = service.submit(endpoint.name, doomed, deadline_s=0.08)
+        keep_response = keep_future.result(120.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            doom_future.result(120.0)
+    assert excinfo.value.reason == "decode"
+    assert excinfo.value.endpoint == endpoint.name
+    # Exactly one terminal state each: keeper completed, doomed evicted
+    # with one typed deadline rejection — nothing shed, nothing failed.
+    snapshot = service.metrics.snapshot()
+    assert snapshot["completed"] == 1
+    assert snapshot["failed"] == 0
+    assert snapshot["shed"]["total"] == 0
+    assert snapshot["deadline_exceeded"]["total"] == 1
+    assert snapshot["deadline_exceeded"]["by_stage"] == {"decode": 1}
+    # The survivor's bits are unperturbed by sharing steps with a
+    # sequence that was evicted mid-flight.
+    oracle = endpoint.serve_one(keeper)
+    assert np.array_equal(keep_response.result.tokens, oracle.tokens)
+    assert np.array_equal(keep_response.result.logprobs, oracle.logprobs)
+
+
+def test_preemption_is_single_typed_terminal_state():
+    endpoint = build_endpoint("llama-gen", config_overrides={"max_seq_len": 128})
+    rng = np.random.default_rng(1)
+    vocab = endpoint.model.config.vocab_size
+    victim = GenerationRequest(
+        tokens=rng.integers(0, vocab, size=3), max_new_tokens=120
+    )
+    winner = GenerationRequest(
+        tokens=rng.integers(0, vocab, size=5), max_new_tokens=4
+    )
+    with generation_service(
+        endpoint,
+        max_batch=1,
+        slo_budgets={endpoint.name: SLOBudget(max_queue_depth=1)},
+    ) as service:
+        base = endpoint.gen_stats()["prefills"]
+        victim_future = service.submit(endpoint.name, victim, priority=0)
+        # The victim must hold the only slot before the winner arrives.
+        _wait_for(lambda: endpoint.gen_stats()["prefills"] > base)
+        winner_future = service.submit(endpoint.name, winner, priority=1)
+        winner_response = winner_future.result(120.0)
+        with pytest.raises(Shed) as excinfo:
+            victim_future.result(120.0)
+    assert excinfo.value.reason == "preempted"
+    assert excinfo.value.endpoint == endpoint.name
+    snapshot = service.metrics.snapshot()
+    assert snapshot["completed"] == 1
+    assert snapshot["failed"] == 0
+    assert snapshot["deadline_exceeded"]["total"] == 0
+    assert snapshot["shed"]["total"] == 1
+    assert snapshot["shed"]["by_reason"] == {"preempted": 1}
+    # The preempting sequence's bits equal its solo serving.
+    oracle = endpoint.serve_one(winner)
+    assert np.array_equal(winner_response.result.tokens, oracle.tokens)
+    assert np.array_equal(winner_response.result.logprobs, oracle.logprobs)
+
+
+def test_equal_priority_never_preempts():
+    """Preemption requires a *strictly* higher-priority arrival; an equal
+    tier waits its turn and both sequences complete."""
+    endpoint = build_endpoint("llama-gen")
+    rng = np.random.default_rng(3)
+    vocab = endpoint.model.config.vocab_size
+    first = GenerationRequest(tokens=rng.integers(0, vocab, size=4), max_new_tokens=8)
+    second = GenerationRequest(tokens=rng.integers(0, vocab, size=6), max_new_tokens=3)
+    with generation_service(
+        endpoint,
+        max_batch=1,
+        slo_budgets={endpoint.name: SLOBudget(max_queue_depth=1)},
+    ) as service:
+        base = endpoint.gen_stats()["prefills"]
+        first_future = service.submit(endpoint.name, first, priority=1)
+        _wait_for(lambda: endpoint.gen_stats()["prefills"] > base)
+        second_future = service.submit(endpoint.name, second, priority=1)
+        responses = [first_future.result(120.0), second_future.result(120.0)]
+    snapshot = service.metrics.snapshot()
+    assert snapshot["completed"] == 2
+    assert snapshot["shed"]["total"] == 0
+    for request, response in zip((first, second), responses):
+        oracle = endpoint.serve_one(request)
+        assert np.array_equal(response.result.tokens, oracle.tokens)
+
+
+# ----------------------------------------------------------------------
+# Generation metrics in status()
+# ----------------------------------------------------------------------
+
+
+def test_generation_metrics_in_status():
+    endpoint = build_endpoint("llama-gen")
+    rng = np.random.default_rng(9)
+    vocab = endpoint.model.config.vocab_size
+    requests = [
+        GenerationRequest(tokens=rng.integers(0, vocab, size=n), max_new_tokens=b)
+        for n, b in ((2, 3), (6, 4), (9, 2), (4, 5))
+    ]
+    with generation_service(endpoint, max_batch=4) as service:
+        futures = [service.submit(endpoint.name, r) for r in requests]
+        responses = [f.result(120.0) for f in futures]
+        status = service.status()
+    gen = status["metrics"]["endpoints"][endpoint.name]["generation"]
+    assert gen["sequences"] == len(requests)
+    assert gen["tokens"] == sum(r.result.steps for r in responses)
+    assert gen["steps"] >= max(r.result.steps for r in responses) - 1
+    assert gen["tokens_per_s"] > 0.0
+    assert gen["mean_live_batch"] >= 1.0
+    counters = status["endpoints"][endpoint.name]["generation"]
+    assert counters["sequences"] >= len(requests)
+    assert counters["decode_steps"] >= 1

@@ -123,3 +123,61 @@ class TestProcessService:
                 assert isinstance(endpoint, ArtifactEndpointStub)
         finally:
             service.process_pool.shutdown()
+
+
+@pytest.fixture(scope="module")
+def new_family_artifact_paths(tmp_path_factory):
+    """Compiled artifacts for the two families this PR adds to serving."""
+    root = tmp_path_factory.mktemp("serve-gen-artifacts")
+    paths = {}
+    for family in ("llama-gen", "efficientvit"):
+        path = root / family
+        write_artifact(compile_endpoint(family), path)
+        paths[family] = path
+    return paths
+
+
+class TestGenerationAcrossTransports:
+    """The acceptance anchor: generated tokens are bit-identical across
+    both process transports (shm descriptors and the pickle pipe).
+
+    Generation responses have ragged row counts (each sequence's budget
+    is its own), so under shm the worker transparently falls back to a
+    pickled reply when a batch cannot stack — either way the bits must
+    equal the in-process fixed-batch oracle.
+    """
+
+    @pytest.mark.parametrize("shm", ["1", "0"])
+    def test_generation_and_image_bits_survive_transport(
+        self, new_family_artifact_paths, monkeypatch, shm
+    ):
+        monkeypatch.setenv("REPRO_SHM", shm)
+        service = process_service(
+            new_family_artifact_paths,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            processes=1,
+            queue_limit=64,
+            block_on_full=True,
+        )
+        rng = np.random.default_rng(23)
+        stream = []
+        for i in range(8):
+            name = ("llama-gen", "efficientvit")[i % 2]
+            stream.append((name, service.registry.get(name).synth_request(rng)))
+        service.start()
+        try:
+            futures = [service.submit(name, request) for name, request in stream]
+            responses = [future.result(timeout=120) for future in futures]
+        finally:
+            metrics = service.drain()
+        assert metrics["completed"] == len(stream)
+        for (name, request), response in zip(stream, responses):
+            single = build_endpoint(name).serve_one(request)
+            assert np.array_equal(
+                response_bits(response.result), response_bits(single)
+            ), f"{name} response drifted across the {'shm' if shm == '1' else 'pipe'} transport"
+            if name == "llama-gen":
+                assert np.array_equal(response.result.tokens, single.tokens)
+                assert response.result.steps == single.steps
+            else:
+                assert response.result.label == single.label
