@@ -26,7 +26,9 @@ serve-bench [--requests N] [--max-batch B] [--workers W] [--mode open|closed]
     worker processes.  ``--shed`` adds the SLO-shedding overload phase
     (the ``serve/shed/off|on`` cells); ``--generate`` adds the KV-cache
     decode vs full-recompute phase (the ``generate/recompute|kv_cache``
-    cells, bit-identity asserted before timing).
+    cells, bit-identity asserted before timing).  ``--admin-port P``
+    mounts the HTTP admin plane on the mixed-phase service (0 = pick an
+    ephemeral port) and records one live mid-burst scrape in the report.
 compile FAMILY [--gs G] [--seed S] [--registry DIR]
     Build + calibrate one endpoint family, compile it to a
     content-addressed artifact (weight codes, scale plans, shift
@@ -34,13 +36,19 @@ compile FAMILY [--gs G] [--seed S] [--registry DIR]
 artifacts {list | inspect REF | gc [--keep REF,...]}
     Inspect or garbage-collect the artifact registry (``REF`` is a digest
     or unique digest prefix).
-serve-admin {status | drain NODE | deploy REF | rollback | slo}
+serve-admin {status | watch | drain NODE | deploy REF | reload REF | rollback | slo}
     Administer a supervised serve fleet booted from the registry's deploy
     pointers (``--families``, ``--nodes``).  ``status`` probes each
-    endpoint and prints node health + routes; ``drain NODE`` gracefully
-    stops one named node; ``deploy REF`` runs a canary-verified rolling
-    deploy of a new artifact digest (``--canary-fraction``,
-    ``--canary-batches``) and promotes the registry pointer;
+    endpoint and prints node health + routes; ``watch`` polls a live
+    admin plane's ``/status`` at ``--interval`` seconds (``--count N``
+    stops after N frames; with ``--url`` it attaches to an already
+    running service instead of booting a fleet); ``drain NODE``
+    gracefully stops one named node; ``deploy REF`` runs a
+    canary-verified rolling deploy of a new artifact digest
+    (``--canary-fraction``, ``--canary-batches``) and promotes the
+    registry pointer; ``reload REF`` performs the same hot-swap over
+    HTTP — ``POST /reload`` against ``--url`` (or against a fleet it
+    boots itself) — exiting 1 if the canary rejects the digest;
     ``rollback`` swaps current/previous pointers and rolls the fleet
     back.  A canary digest mismatch aborts the deploy (exit 1) with the
     incumbent untouched.  ``slo`` boots an in-process service under a
@@ -209,6 +217,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also run the KV-cache decode vs full-recompute phase "
         "(generate/recompute|kv_cache cells)",
     )
+    serve_parser.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        help="mount the HTTP admin plane on the mixed phase (0 = ephemeral port)",
+    )
     compile_parser = sub.add_parser(
         "compile", help="compile one endpoint family to a content-addressed artifact"
     )
@@ -233,13 +247,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--keep", default="", help="gc: comma-separated digests/prefixes to keep"
     )
     admin_parser = sub.add_parser(
-        "serve-admin", help="administer a supervised serve fleet (status/drain/deploy/rollback)"
+        "serve-admin",
+        help="administer a supervised serve fleet "
+        "(status/watch/drain/deploy/reload/rollback/slo)",
     )
     admin_parser.add_argument(
-        "verb", choices=["status", "drain", "deploy", "rollback", "slo"]
+        "verb", choices=["status", "watch", "drain", "deploy", "reload", "rollback", "slo"]
     )
     admin_parser.add_argument(
-        "ref", nargs="?", default="", help="deploy: digest or prefix; drain: node name"
+        "ref",
+        nargs="?",
+        default="",
+        help="deploy/reload: digest or prefix; drain: node name",
     )
     admin_parser.add_argument(
         "--families",
@@ -261,6 +280,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     admin_parser.add_argument(
         "--probes", type=int, default=2, help="status: probe batches per endpoint"
+    )
+    admin_parser.add_argument(
+        "--url",
+        default="",
+        help="watch/reload: base URL of a running admin plane "
+        "(e.g. http://127.0.0.1:8787); omit to boot a fleet in-process",
+    )
+    admin_parser.add_argument(
+        "--admin-port",
+        type=int,
+        default=0,
+        help="watch/reload without --url: port for the self-booted admin plane "
+        "(default 0 = ephemeral)",
+    )
+    admin_parser.add_argument(
+        "--interval", type=float, default=1.0, help="watch: seconds between frames"
+    )
+    admin_parser.add_argument(
+        "--count", type=int, default=0, help="watch: stop after N frames (0 = forever)"
     )
     all_parser = sub.add_parser("all", help="regenerate every artefact")
     _add_effort_args(all_parser)
@@ -304,6 +342,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             process_workers=args.process_workers,
             shed=args.shed,
             generate=args.generate,
+            admin_port=args.admin_port,
         )
         print(format_bench_report(result))
     elif args.command == "compile":
@@ -381,6 +420,56 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             print(f"shed metrics: {_json.dumps(result['on']['shed_metrics'], sort_keys=True)}")
             return 0
+
+        if args.verb in ("watch", "reload"):
+            # HTTP-plane verbs: attach to a running admin plane via
+            # --url, or boot a supervised fleet with the plane mounted
+            # and drive it over its own URL.
+            from .serve.admin import post_reload, watch
+
+            url = args.url.rstrip("/") if args.url else ""
+            service = None
+            if not url:
+                from .artifacts import ArtifactRegistry
+                from .serve.supervisor import supervised_service, supervisor_from_registry
+
+                registry = ArtifactRegistry(Path(args.registry) if args.registry else None)
+                families = tuple(f for f in args.families.split(",") if f)
+                service = supervised_service(
+                    supervisor_from_registry(
+                        families=families, registry=registry, nodes=args.nodes
+                    ),
+                    shutdown_supervisor=True,
+                    admin_port=args.admin_port,
+                ).start()
+                url = service.admin.url
+                print(f"admin plane listening at {url}")
+            try:
+                if args.verb == "watch":
+                    try:
+                        frames = watch(url, interval_s=args.interval, count=args.count)
+                    except KeyboardInterrupt:
+                        return 0
+                    print(f"watched {frames} frame(s) from {url}")
+                    return 0
+                if not args.ref:
+                    print("serve-admin reload needs an artifact digest (or unique prefix)")
+                    return 2
+                status, payload = post_reload(
+                    url,
+                    args.ref,
+                    endpoint=args.endpoint or None,
+                    canary_fraction=args.canary_fraction,
+                    canary_batches=args.canary_batches,
+                )
+                print(_json.dumps(payload, indent=2, sort_keys=True))
+                if status != 200:
+                    print(f"serve-admin reload failed: HTTP {status}")
+                    return 1
+                return 0
+            finally:
+                if service is not None:
+                    service.drain()
 
         from .artifacts import ArtifactRegistry
         from .serve.supervisor import (

@@ -43,11 +43,21 @@ admission sheds the lowest tier first under breach (typed
 and optional hedging (:class:`~repro.serve.supervisor.RetryPolicy`), and
 :mod:`~repro.serve.faults` injects seeded, deterministic faults at named
 sites across the stack (``REPRO_FAULTS``).
+
+Observability (this PR's admin plane): :mod:`~repro.serve.trace` samples
+per-request span chains (admit → queue → coalesce → dispatch → transport
+→ engine → respond, ``REPRO_TRACE_SAMPLE``) into a bounded ring, and
+:mod:`~repro.serve.admin` mounts a stdlib HTTP endpoint over a live
+service — ``/status``, Prometheus-style ``/metrics``, ``/trace`` and
+``POST /reload`` (canary-verified artifact hot-swap) — plus the
+``serve-admin watch``/``reload`` CLI verbs (``REPRO_ADMIN_PORT``).
 """
 
 from . import faults
+from .admin import AdminServer, admin_port_from_env, mount_admin, render_prometheus
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .bench import (
+    bench_admin_scrape,
     bench_artifact_cold_start,
     bench_engine_pool,
     bench_generation_decode,
@@ -58,6 +68,7 @@ from .bench import (
     format_bench_report,
     serve_bench,
 )
+from .trace import RequestTrace, Span, Tracer, trace_sample_from_env
 from .faults import FaultError, FaultPlan, FaultRule
 from .endpoint import (
     FAMILIES,
@@ -130,6 +141,15 @@ from .types import (
 )
 
 __all__ = [
+    "AdminServer",
+    "RequestTrace",
+    "Span",
+    "Tracer",
+    "admin_port_from_env",
+    "mount_admin",
+    "render_prometheus",
+    "trace_sample_from_env",
+    "bench_admin_scrape",
     "ArtifactEndpointStub",
     "Batch",
     "BatchPolicy",

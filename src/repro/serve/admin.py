@@ -1,0 +1,478 @@
+"""Live admin plane: HTTP introspection over a running service.
+
+:class:`AdminServer` mounts a stdlib-only (``http.server`` + ``json``)
+HTTP endpoint on a live :class:`~repro.serve.service.InferenceService`
+and serves four routes:
+
+- ``GET /status`` — the full ``service.status()`` snapshot as JSON:
+  state, per-key queue depths, per-bucket coalescing stats, latency
+  percentiles, shed/deadline/hedge counters, generation and act-cache
+  metrics, the shm/pickle dataplane counters and (when supervised) the
+  fleet's node health with pinned artifact digests.
+- ``GET /metrics`` — Prometheus-style text exposition of the same
+  counters (``repro_serve_*``), scrapeable by anything that speaks the
+  format.
+- ``GET /trace`` — the tracer's ring of finished per-request span
+  chains (admit → queue → coalesce → transport → engine → respond, plus
+  retry/hedge/dataplane/decode-step events).  Empty unless sampling is
+  on (``REPRO_TRACE_SAMPLE``).
+- ``POST /reload`` — artifact hot-swap through the supervisor's
+  existing deploy path (stage canary → probe → promote); a canary
+  digest mismatch answers 409 and leaves the incumbent serving.
+
+The server binds loopback only, threads per request (scrapes never
+queue behind each other), and every handler reads through the service's
+own thread-safe snapshot paths — a scrape takes the service lock for
+exactly one snapshot, never across a dispatch.
+
+Mount one with :func:`mount_admin` (port 0 = ephemeral), or pass
+``admin_port=``/``--admin-port`` to ``supervised_service``/
+``serve-bench``; ``REPRO_ADMIN_PORT`` mounts one on every supervised
+service without code changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+from urllib.request import Request, urlopen
+
+
+def admin_port_from_env(environ=None) -> Optional[int]:
+    """The ``REPRO_ADMIN_PORT`` port, or ``None`` when unset (off)."""
+    env = environ if environ is not None else os.environ
+    raw = env.get("REPRO_ADMIN_PORT", "").strip()
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_ADMIN_PORT must be an integer, got {raw!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"REPRO_ADMIN_PORT must be in [0, 65535], got {port}")
+    return port
+
+
+def _json_default(value):
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels(**labels) -> str:
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}" if inner else ""
+
+
+def render_prometheus(status: dict) -> str:
+    """Render a ``service.status()`` snapshot as Prometheus text format.
+
+    One line per sample, ``repro_serve_`` prefix throughout; labels for
+    endpoint/quantile/reason/stage/lane/node dimensions.  Pure function
+    of the snapshot, so it is exactly as fresh (and as consistent) as
+    one ``/status`` scrape.
+    """
+    lines = []
+
+    def sample(name: str, value, **labels) -> None:
+        lines.append(f"repro_serve_{name}{_labels(**labels)} {value}")
+
+    metrics = status.get("metrics", {})
+    sample("up", 1 if status.get("state") == "running" else 0)
+    sample("snapshot_seq", metrics.get("snapshot_seq", 0))
+    sample("snapshot_timestamp_seconds", metrics.get("ts", 0.0))
+    sample("queue_depth", status.get("queue_depth", 0))
+    for counter in ("submitted", "completed", "rejected", "failed", "retried"):
+        sample(f"{counter}_total", metrics.get(counter, 0))
+    sample("hedged_batches_total", metrics.get("hedged", 0))
+    sample("peak_queue_depth", metrics.get("peak_queue_depth", 0))
+    sample("throughput_rps", metrics.get("throughput_rps", 0.0))
+    for name, ep in metrics.get("endpoints", {}).items():
+        sample("requests_total", ep.get("requests", 0), endpoint=name)
+        sample("batches_total", ep.get("batches", 0), endpoint=name)
+        sample("mean_batch_size", ep.get("mean_batch", 0.0), endpoint=name)
+        sample("queue_wait_seconds_mean", ep.get("mean_queue_s", 0.0), endpoint=name)
+        sample("service_seconds_mean", ep.get("mean_service_s", 0.0), endpoint=name)
+        latency = ep.get("latency", {})
+        for quantile, key in (("0.5", "p50_s"), ("0.95", "p95_s"), ("0.99", "p99_s")):
+            sample(
+                "latency_seconds",
+                latency.get(key, 0.0),
+                endpoint=name,
+                quantile=quantile,
+            )
+        sample("latency_seconds_max", latency.get("max_s", 0.0), endpoint=name)
+        gen = ep.get("generation")
+        if gen:
+            sample("generation_sequences_total", gen.get("sequences", 0), endpoint=name)
+            sample("generation_tokens_total", gen.get("tokens", 0), endpoint=name)
+            sample("generation_steps_total", gen.get("steps", 0), endpoint=name)
+            sample("generation_tokens_per_s", gen.get("tokens_per_s", 0.0), endpoint=name)
+            sample(
+                "generation_mean_live_batch",
+                gen.get("mean_live_batch", 0.0),
+                endpoint=name,
+            )
+        cache = ep.get("act_cache")
+        if cache:
+            sample("act_cache_hits_total", cache.get("hits", 0), endpoint=name)
+            sample("act_cache_misses_total", cache.get("misses", 0), endpoint=name)
+    shed = metrics.get("shed", {})
+    sample("shed_total", shed.get("total", 0))
+    for reason, n in shed.get("by_reason", {}).items():
+        sample("shed_requests_total", n, reason=reason)
+    deadline = metrics.get("deadline_exceeded", {})
+    sample("deadline_exceeded_total", deadline.get("total", 0))
+    for stage, n in deadline.get("by_stage", {}).items():
+        sample("deadline_exceeded_requests_total", n, stage=stage)
+    trace = status.get("trace")
+    if trace:
+        sample("trace_sample_rate", trace.get("sample", 0.0))
+        sample("traces_sampled_total", trace.get("sampled", 0))
+        sample("trace_ring_size", trace.get("ring", 0))
+    dataplane = status.get("dataplane") or (status.get("fleet") or {}).get("dataplane")
+    if dataplane:
+        for lane in ("shm", "pickle"):
+            sample("dataplane_batches_total", dataplane.get(f"{lane}_batches", 0), lane=lane)
+        sample("shm_fallbacks_total", dataplane.get("shm_fallbacks", 0))
+        sample("arena_slots", dataplane.get("arena_slots", 0))
+        sample("arena_slots_in_use", dataplane.get("arena_in_use", 0))
+    fleet = status.get("fleet")
+    if fleet:
+        sample("fleet_running", 1 if fleet.get("running") else 0)
+        for name, node in fleet.get("nodes", {}).items():
+            sample("node_up", 1 if node.get("state") == "ready" else 0, node=name)
+            sample("node_busy", 1 if node.get("busy") else 0, node=name)
+            sample("node_restarts_total", node.get("restarts", 0), node=name)
+            sample("node_batches_served_total", node.get("batches_served", 0), node=name)
+            sample(
+                "node_heartbeat_age_seconds",
+                node.get("last_seen_age_s", 0.0),
+                node=name,
+            )
+        for endpoint, route in fleet.get("routes", {}).items():
+            sample("route_served_total", route.get("served", 0), endpoint=endpoint)
+            sample(
+                "canary_mismatches_total",
+                route.get("canary_mismatches", 0),
+                endpoint=endpoint,
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The HTTP server
+# ----------------------------------------------------------------------
+
+
+class AdminServer:
+    """Threaded loopback HTTP server bound to one live service."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "AdminServer":
+        if self._thread is not None:
+            raise RuntimeError("admin server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-admin-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Idempotent shutdown (registered as a service shutdown hook)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join()
+        if not self._closed:
+            self._closed = True
+            self._httpd.server_close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    # -- handler -------------------------------------------------------
+    def _make_handler(self):
+        admin = self
+
+        class Handler(BaseHTTPRequestHandler):
+            server_version = "repro-serve-admin"
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002 - stdlib API
+                pass  # scrapes are telemetry, not stdout traffic
+
+            def _reply(self, code: int, body: bytes, content_type: str) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _reply_json(self, code: int, payload) -> None:
+                body = json.dumps(payload, default=_json_default).encode()
+                self._reply(code, body, "application/json")
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API
+                parsed = urlparse(self.path)
+                try:
+                    if parsed.path == "/status":
+                        self._reply_json(200, admin.service.status())
+                    elif parsed.path == "/metrics":
+                        text = render_prometheus(admin.service.status())
+                        self._reply(200, text.encode(), "text/plain; version=0.0.4")
+                    elif parsed.path == "/trace":
+                        query = parse_qs(parsed.query)
+                        limit = None
+                        if "limit" in query:
+                            limit = int(query["limit"][0])
+                        tracer = admin.service.tracer
+                        self._reply_json(
+                            200,
+                            {
+                                "sample": tracer.rate,
+                                **tracer.counters(),
+                                "traces": tracer.snapshot(limit=limit),
+                            },
+                        )
+                    elif parsed.path == "/healthz":
+                        self._reply_json(200, {"state": admin.service.state})
+                    else:
+                        self._reply_json(404, {"error": f"no route {parsed.path!r}"})
+                except BrokenPipeError:
+                    pass  # scraper went away mid-reply
+                except Exception as error:  # surface, never kill the server
+                    self._reply_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib API
+                parsed = urlparse(self.path)
+                try:
+                    if parsed.path != "/reload":
+                        self._reply_json(404, {"error": f"no route {parsed.path!r}"})
+                        return
+                    self._reply_reload(parsed)
+                except BrokenPipeError:
+                    pass
+                except Exception as error:
+                    self._reply_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+            def _reply_reload(self, parsed) -> None:
+                from .supervisor import CanaryMismatchError, SupervisorError
+
+                supervisor = admin.service.supervisor
+                if supervisor is None:
+                    self._reply_json(
+                        503, {"error": "no supervisor attached: reload needs a fleet"}
+                    )
+                    return
+                params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+                length = int(self.headers.get("Content-Length") or 0)
+                if length:
+                    try:
+                        params.update(json.loads(self.rfile.read(length) or b"{}"))
+                    except json.JSONDecodeError as error:
+                        self._reply_json(400, {"error": f"bad JSON body: {error}"})
+                        return
+                ref = params.get("ref") or params.get("digest")
+                if not ref:
+                    self._reply_json(
+                        400,
+                        {"error": "reload needs an artifact digest: "
+                                  '{"ref": "<digest-or-prefix>"}'},
+                    )
+                    return
+                endpoint = params.get("endpoint")
+                if not endpoint:
+                    served = list(supervisor.artifact_paths())
+                    if len(served) != 1:
+                        self._reply_json(
+                            400,
+                            {"error": "fleet serves multiple endpoints; "
+                                      f'pick one of {served} via "endpoint"'},
+                        )
+                        return
+                    endpoint = served[0]
+                try:
+                    report = supervisor.deploy(
+                        endpoint,
+                        ref,
+                        canary_fraction=float(params.get("canary_fraction", 0.25)),
+                        canary_batches=int(params.get("canary_batches", 4)),
+                    )
+                except CanaryMismatchError as error:
+                    self._reply_json(409, {"error": str(error), "rolled_back": True})
+                    return
+                except (SupervisorError, KeyError, FileNotFoundError) as error:
+                    self._reply_json(400, {"error": f"{type(error).__name__}: {error}"})
+                    return
+                self._reply_json(200, {"deployed": report})
+
+        return Handler
+
+
+def mount_admin(service, port: int = 0, host: str = "127.0.0.1") -> AdminServer:
+    """Start an :class:`AdminServer` on ``service``; dies with the service.
+
+    Port 0 binds an ephemeral port (read it back from ``server.port``).
+    The server is registered as a shutdown hook, so ``drain()``/
+    ``abort()`` closes it — no separate lifecycle to manage.
+    """
+    server = AdminServer(service, host=host, port=port).start()
+    service.on_shutdown(server.close)
+    service.admin = server
+    return server
+
+
+# ----------------------------------------------------------------------
+# Client helpers (the `serve-admin watch` / `reload` verbs)
+# ----------------------------------------------------------------------
+
+
+def fetch_json(url: str, timeout: float = 10.0) -> dict:
+    """GET ``url`` and decode the JSON payload (loopback admin traffic)."""
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 - loopback admin
+        return json.loads(response.read())
+
+
+def fetch_text(url: str, timeout: float = 10.0) -> str:
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 - loopback admin
+        return response.read().decode()
+
+
+def post_reload(
+    base_url: str,
+    ref: str,
+    endpoint: Optional[str] = None,
+    canary_fraction: float = 0.25,
+    canary_batches: int = 4,
+    timeout: float = 300.0,
+) -> tuple:
+    """POST ``/reload``; returns ``(http_status, decoded payload)``.
+
+    Deploy errors come back as structured payloads (409 for a canary
+    mismatch), not exceptions — the CLI turns them into exit codes.
+    """
+    body = {
+        "ref": ref,
+        "canary_fraction": canary_fraction,
+        "canary_batches": canary_batches,
+    }
+    if endpoint:
+        body["endpoint"] = endpoint
+    request = Request(
+        base_url.rstrip("/") + "/reload",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urlopen(request, timeout=timeout) as response:  # noqa: S310
+            return response.status, json.loads(response.read())
+    except Exception as error:
+        status = getattr(error, "code", None)
+        if status is None:
+            raise
+        return status, json.loads(error.read())
+
+
+def format_live_status(status: dict) -> str:
+    """Human-readable rendering of one ``/status`` payload (watch frame)."""
+    from .supervisor import format_status
+
+    metrics = status.get("metrics", {})
+    lines = [
+        f"service: {status.get('state', '?')}  "
+        f"queue={status.get('queue_depth', 0)}  "
+        f"snapshot#{metrics.get('snapshot_seq', 0)}",
+        f"requests: submitted={metrics.get('submitted', 0)} "
+        f"completed={metrics.get('completed', 0)} "
+        f"rejected={metrics.get('rejected', 0)} "
+        f"failed={metrics.get('failed', 0)} "
+        f"shed={metrics.get('shed', {}).get('total', 0)} "
+        f"deadline={metrics.get('deadline_exceeded', {}).get('total', 0)} "
+        f"retried={metrics.get('retried', 0)} hedged={metrics.get('hedged', 0)}",
+    ]
+    for name, ep in metrics.get("endpoints", {}).items():
+        latency = ep.get("latency", {})
+        lines.append(
+            f"  {name:<12} n={ep.get('requests', 0):<6} "
+            f"p50={latency.get('p50_s', 0.0) * 1e3:7.1f} ms "
+            f"p99={latency.get('p99_s', 0.0) * 1e3:7.1f} ms "
+            f"batch={ep.get('mean_batch', 0.0):.1f}"
+        )
+    trace = status.get("trace")
+    if trace:
+        lines.append(
+            f"trace: sample={trace.get('sample', 0.0)} "
+            f"sampled={trace.get('sampled', 0)} ring={trace.get('ring', 0)}"
+        )
+    fleet = status.get("fleet")
+    if fleet:
+        lines.append(format_status(fleet))
+    return "\n".join(lines)
+
+
+def watch(
+    url: str,
+    interval_s: float = 1.0,
+    count: int = 0,
+    out=print,
+    clear: bool = True,
+) -> int:
+    """Poll ``/status`` and render frames until ``count`` (0 = forever).
+
+    The staleness check rides on ``snapshot_seq``: a frame whose
+    sequence did not advance past the previous frame's is reported as
+    stale rather than silently redrawn.
+    """
+    status_url = url.rstrip("/") + "/status"
+    frames = 0
+    last_seq = -1
+    while True:
+        status = fetch_json(status_url)
+        seq = status.get("metrics", {}).get("snapshot_seq", 0)
+        frame = format_live_status(status)
+        if clear:
+            out("\x1b[2J\x1b[H" + frame)
+        else:
+            out(frame)
+        if seq <= last_seq:
+            out(f"(stale snapshot: seq {seq} <= {last_seq})")
+        last_seq = seq
+        frames += 1
+        if count and frames >= count:
+            return frames
+        time.sleep(interval_s)

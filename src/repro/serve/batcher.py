@@ -83,6 +83,10 @@ class PendingRequest:
     deadline_at: Optional[float] = None
     priority: int = 0
     state: str = "queued"
+    #: Sampled span chain (``repro.serve.trace.RequestTrace``) or None
+    #: for the unsampled common case; the batcher stamps queue/coalesce
+    #: events on it.
+    trace: Optional[object] = None
 
 
 @dataclass(eq=False)
@@ -169,6 +173,8 @@ class MicroBatcher:
         if queue is None:
             queue = self._queues[key] = deque()
         queue.append(pending)
+        if pending.trace is not None:
+            pending.trace.event("queue")
         self._depth += 1
         self._live[key] = self._live.get(key, 0) + 1
         self._endpoint_live[pending.endpoint] = (
@@ -362,6 +368,8 @@ class MicroBatcher:
                     self._expired_at_pop.append(pending)
                     continue
             pending.state = "dispatched"
+            if pending.trace is not None:
+                pending.trace.event("coalesce")
             batch.requests.append(pending)
         self._depth -= taken
         if taken:

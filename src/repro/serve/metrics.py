@@ -10,6 +10,7 @@ depth and rejection counts — overall and per endpoint.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence
 
@@ -68,6 +69,10 @@ class ServiceMetrics:
         self._generation: Dict[str, Dict[str, float]] = {}
         self.retried = 0
         self.hedged = 0
+        # Snapshot staleness markers: a monotonic per-instance sequence
+        # plus a wall-clock stamp, so a poller scraping /status can tell
+        # a fresh snapshot from a replayed one.
+        self._snapshot_seq = 0
 
     # ------------------------------------------------------------------
     def on_submit(self, depth: int, now: float) -> None:
@@ -239,7 +244,10 @@ class ServiceMetrics:
             for per in self._deadline.values():
                 for stage, n in per.items():
                     by_stage[stage] = by_stage.get(stage, 0) + n
+            self._snapshot_seq += 1
             return {
+                "snapshot_seq": self._snapshot_seq,
+                "ts": time.time(),
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "rejected": self.rejected,

@@ -51,6 +51,7 @@ from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .endpoint import EndpointRegistry
 from .metrics import ServiceMetrics
 from .shm import ArenaExhaustedError
+from .trace import Tracer, merge_meta_events
 from .types import DeadlineExceeded, DeadlineMiss, ServeResponse, ServeTiming, Shed
 
 
@@ -172,6 +173,7 @@ class InferenceService:
         record_timings: bool = False,
         dispatcher: Optional[Callable[[str, List[object]], list]] = None,
         slo_budgets: Optional[Dict[str, SLOBudget]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -207,10 +209,18 @@ class InferenceService:
         #: Set by :func:`repro.serve.workers.process_service`; ``status()``
         #: folds its shm/pickle dataplane counters into the snapshot.
         self.process_pool = None
+        #: Set by :func:`repro.serve.admin.mount_admin`: the live HTTP
+        #: admin server scraping this service, closed on shutdown.
+        self.admin = None
         #: Per-coalescing-key dispatch counters (batches served, requests
         #: they carried) — with bucketed scoring keys this is the
         #: per-bucket coalescing view ``status()`` reports.
         self._key_stats: dict = {}
+        #: Per-request span tracing (``REPRO_TRACE_SAMPLE``; off by
+        #: default).  Sampled requests carry a ``RequestTrace`` through
+        #: the batcher and dispatch loop; finished traces land in the
+        #: tracer's ring for the admin plane's ``/trace`` endpoint.
+        self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = ServiceMetrics()
         self._batcher = MicroBatcher(self.policy)
         #: EWMA of recent batch service times per endpoint — the finish-
@@ -283,6 +293,7 @@ class InferenceService:
             self._not_empty.notify_all()
             self._not_full.notify_all()
         for pending in rejected:
+            self.tracer.finish(pending.trace, "aborted")
             pending.future._reject(ServiceClosedError("service aborted"))
         for thread in self._threads:
             thread.join()
@@ -394,6 +405,7 @@ class InferenceService:
                     future=future,
                     deadline_at=(now + deadline_s) if deadline_s is not None else None,
                     priority=priority,
+                    trace=self.tracer.begin(self._next_id, endpoint_name),
                 )
                 self._next_id += 1
                 depth = self._batcher.put(key, pending)
@@ -402,6 +414,7 @@ class InferenceService:
         self._reject_expired(expired, "queued")
         for victim in shed:
             self.metrics.on_shed(victim.endpoint, shed_reason or "p99")
+            self.tracer.finish(victim.trace, f"shed:{shed_reason or 'p99'}")
             victim.future._reject(
                 Shed(
                     f"shed: endpoint {victim.endpoint!r} over {shed_reason} budget "
@@ -478,6 +491,8 @@ class InferenceService:
                     endpoints[name]["generation"] = endpoint.gen_stats()
         if endpoints:
             report["endpoints"] = endpoints
+        if self.tracer.enabled:
+            report["trace"] = {"sample": self.tracer.rate, **self.tracer.counters()}
         if self.process_pool is not None:
             report["dataplane"] = self.process_pool.dataplane_stats()
         if self.supervisor is not None:
@@ -490,6 +505,7 @@ class InferenceService:
     def _reject_expired(self, expired: List[PendingRequest], stage: str) -> None:
         for pending in expired:
             self.metrics.on_deadline(pending.endpoint, stage)
+            self.tracer.finish(pending.trace, f"deadline_exceeded:{stage}")
             pending.future._reject(
                 DeadlineExceeded(
                     f"deadline exceeded while {stage} "
@@ -551,6 +567,9 @@ class InferenceService:
             return
         started = time.monotonic()
         meta: Optional[dict] = None
+        traced = [p.trace for p in batch.requests if p.trace is not None]
+        for trace in traced:
+            trace.event("dispatch", f"batch={len(batch.requests)}")
         try:
             rule = faults.crash_point("service.batch")
             if rule is not None and rule.kind == "error":
@@ -561,11 +580,26 @@ class InferenceService:
             if self.dispatcher is not None:
                 if self._dispatcher_meta:
                     meta = {"deadlines": [p.deadline_at for p in batch.requests]}
+                    if traced:
+                        # Transport-side span channel: the dispatcher
+                        # appends (stage, t, detail) events here and the
+                        # fold below applies them to every traced rider.
+                        meta["trace"] = []
+                    for trace in traced:
+                        trace.event("transport")
                     results = self.dispatcher(batch.endpoint, payloads, meta)
                 else:
+                    for trace in traced:
+                        trace.event("transport", "inline")
                     results = self.dispatcher(batch.endpoint, payloads)
             else:
+                for trace in traced:
+                    trace.event("transport", "inproc")
                 results = endpoint.infer_batch(payloads)
+            if meta is not None and traced:
+                merge_meta_events(traced, meta.get("trace", []))
+            for trace in traced:
+                trace.event("engine")
             results = list(results)
             if len(results) != len(payloads):
                 # A short result list would silently drop the trailing
@@ -581,6 +615,7 @@ class InferenceService:
             # the fleet keeps serving everything already in flight.
             self.metrics.on_shed(batch.endpoint, "arena", n=len(batch.requests))
             for pending in batch.requests:
+                self.tracer.finish(pending.trace, "shed:arena")
                 pending.future._reject(
                     Shed(
                         f"shed: shared-memory arena exhausted ({error})",
@@ -592,6 +627,7 @@ class InferenceService:
         except BaseException as error:  # reject the whole batch, keep serving
             self.metrics.on_failure(len(batch.requests))
             for pending in batch.requests:
+                self.tracer.finish(pending.trace, "failed")
                 pending.future._reject(error)
             return
         done = time.monotonic()
@@ -622,6 +658,7 @@ class InferenceService:
                 # A worker skipped this row as already past due — map the
                 # marker to the same typed rejection queued expiry uses.
                 self.metrics.on_deadline(batch.endpoint, "worker")
+                self.tracer.finish(pending.trace, "deadline_exceeded:worker")
                 pending.future._reject(
                     DeadlineExceeded(
                         f"deadline exceeded at the worker "
@@ -631,6 +668,8 @@ class InferenceService:
                     )
                 )
                 continue
+            if pending.trace is not None:
+                pending.trace.event("respond")
             timing = ServeTiming(
                 queue_s=started - pending.enqueued_at,
                 service_s=service_s,
@@ -638,6 +677,7 @@ class InferenceService:
                 batch_size=len(batch.requests),
                 retries=retries,
                 hedged=hedged,
+                spans=tuple(pending.trace.spans) if pending.trace is not None else None,
             )
             self.metrics.on_complete(
                 batch.endpoint, timing.queue_s, timing.latency_s, done
@@ -650,6 +690,7 @@ class InferenceService:
                     timing=timing,
                 )
             )
+            self.tracer.finish(pending.trace, "served")
 
     def _execute_generation(self, batch: Batch, endpoint) -> None:
         """Continuous-batching decode loop for one generation endpoint.
@@ -679,9 +720,14 @@ class InferenceService:
         finished = 0
         tokens_out = 0
 
-        def reject_all(pendings: List[PendingRequest], error: BaseException) -> None:
+        def reject_all(
+            pendings: List[PendingRequest],
+            error: BaseException,
+            outcome: str = "failed",
+        ) -> None:
             self.metrics.on_failure(len(pendings))
             for pending in pendings:
+                self.tracer.finish(pending.trace, outcome)
                 pending.future._reject(error)
 
         rule = faults.crash_point("service.batch")
@@ -695,11 +741,15 @@ class InferenceService:
         def finish(seq: _LiveSequence, done: float, live_count: int) -> None:
             nonlocal finished, tokens_out
             result = endpoint.finish_response(seq.tokens, seq.rows)
+            trace = seq.pending.trace
+            if trace is not None:
+                trace.event("respond", f"tokens={len(seq.tokens)}")
             timing = ServeTiming(
                 queue_s=seq.admitted_at - seq.pending.enqueued_at,
                 service_s=done - seq.admitted_at,
                 latency_s=done - seq.pending.enqueued_at,
                 batch_size=live_count,
+                spans=tuple(trace.spans) if trace is not None else None,
             )
             self.metrics.on_complete(
                 batch.endpoint, timing.queue_s, timing.latency_s, done
@@ -714,17 +764,25 @@ class InferenceService:
                     timing=timing,
                 )
             )
+            self.tracer.finish(trace, "served")
 
         def admit(plan, pendings: List[PendingRequest], now: float) -> None:
             """Prefill a join group; survivors enter the live batch."""
             if not pendings:
                 return
+            for pending in pendings:
+                if pending.trace is not None:
+                    pending.trace.event("dispatch", f"join={len(pendings)}")
+                    pending.trace.event("transport", "inproc")
             try:
                 jobs = [decode_generation_payload(p.payload) for p in pendings]
                 states = endpoint.prefill_states(plan, [prompt for prompt, _ in jobs])
             except BaseException as error:  # reject the group, keep the batch
                 reject_all(pendings, error)
                 return
+            for pending in pendings:
+                if pending.trace is not None:
+                    pending.trace.event("engine", "prefill")
             for pending, (_, budget), state in zip(pendings, jobs, states):
                 token = int(state.logprobs.argmax())
                 seq = _LiveSequence(
@@ -757,6 +815,7 @@ class InferenceService:
                     live = [s for s in live if id(s) not in dead]
                     for seq in overdue:
                         self.metrics.on_deadline(batch.endpoint, "decode")
+                        self.tracer.finish(seq.pending.trace, "deadline_exceeded:decode")
                         seq.pending.future._reject(
                             DeadlineExceeded(
                                 f"deadline exceeded while decoding "
@@ -805,6 +864,7 @@ class InferenceService:
                     reject_all(
                         [s.pending for s in live],
                         ServiceClosedError("service aborted"),
+                        outcome="aborted",
                     )
                     live = []
                     break
@@ -812,6 +872,7 @@ class InferenceService:
                 for seq in preempted:
                     live.remove(seq)
                     self.metrics.on_shed(batch.endpoint, "preempted")
+                    self.tracer.finish(seq.pending.trace, "shed:preempted")
                     seq.pending.future._reject(
                         Shed(
                             f"shed: sequence preempted by a higher-priority arrival "
@@ -837,6 +898,11 @@ class InferenceService:
                 step_s = time.monotonic() - step_started
                 total_steps += 1
                 live_sum += len(live)
+                for seq in live:
+                    if seq.pending.trace is not None:
+                        seq.pending.trace.event(
+                            "decode_step", f"step={total_steps} live={len(live)}"
+                        )
                 prev = self._service_ewma.get(batch.endpoint)
                 self._service_ewma[batch.endpoint] = (
                     step_s if prev is None else 0.7 * prev + 0.3 * step_s

@@ -617,11 +617,17 @@ class ServeSupervisor:
         deadlines = (meta or {}).get("deadlines")
         if deadlines is not None and not any(d is not None for d in deadlines):
             deadlines = None
+        # Span channel for sampled request traces: the service seeds
+        # ``meta["trace"]`` and folds whatever lands here into every
+        # traced request of the batch.
+        trace_events = meta.get("trace") if meta is not None else None
         policy = self.retry_policy
         replays = 0
         hedged = False
         while True:
             node, role = self._claim_node(endpoint)
+            if trace_events is not None:
+                trace_events.append(("node", time.monotonic(), f"{node.name}:{role}"))
             hedging = policy.hedge and role == "primary"
             try:
                 if hedging:
@@ -636,6 +642,10 @@ class ServeSupervisor:
                     with self._cond:
                         self._mark_failed(node, str(failure))
                 replays += 1
+                if trace_events is not None:
+                    trace_events.append(
+                        ("retry", time.monotonic(), f"replay={replays}")
+                    )
                 if replays > self.max_replays:
                     raise FleetUnavailableError(
                         f"batch for {endpoint!r} failed after {replays} replays: {failure}"
@@ -646,6 +656,8 @@ class ServeSupervisor:
                 if not hedging:  # hedge runner threads manage their own nodes
                     self._release_node(node, ok=False)
                 raise
+            if trace_events is not None and hedged:
+                trace_events.append(("hedge", time.monotonic(), "raced"))
             if meta is not None:
                 meta["replays"] = replays
                 meta["hedged"] = hedged
@@ -1368,6 +1380,7 @@ def supervised_service(
     nodes: int = 2,
     dispatch_threads: Optional[int] = None,
     shutdown_supervisor: Optional[bool] = None,
+    admin_port: Optional[int] = None,
     **service_kwargs,
 ) -> InferenceService:
     """An :class:`InferenceService` dispatching through a supervised fleet.
@@ -1378,7 +1391,13 @@ def supervised_service(
     manifest-backed stubs; every coalesced batch routes through
     :meth:`ServeSupervisor.dispatch`, so crashed workers replay instead
     of failing requests.
+
+    ``admin_port`` mounts the HTTP admin plane on the service (0 =
+    ephemeral port, read back from ``service.admin.port``); when omitted
+    the ``REPRO_ADMIN_PORT`` environment default applies.  The admin
+    server is closed by the service's own shutdown.
     """
+    from .admin import admin_port_from_env, mount_admin
     from .workers import stub_registry
 
     if isinstance(supervisor_or_assignments, ServeSupervisor):
@@ -1399,6 +1418,10 @@ def supervised_service(
     service.supervisor = supervisor
     if owns:
         service.on_shutdown(supervisor.stop)
+    if admin_port is None:
+        admin_port = admin_port_from_env()
+    if admin_port is not None:
+        mount_admin(service, port=admin_port)
     return service
 
 

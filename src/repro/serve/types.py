@@ -168,7 +168,13 @@ class DeadlineMiss:
 
 @dataclass(frozen=True)
 class ServeTiming:
-    """Per-request timing facts, filled in by the dispatch loop."""
+    """Per-request timing facts, filled in by the dispatch loop.
+
+    ``spans`` is ``None`` unless the request was sampled by the tracer
+    (``REPRO_TRACE_SAMPLE``), in which case it carries the request's
+    full admit→respond span chain (a tuple of
+    :class:`repro.serve.trace.Span`).
+    """
 
     queue_s: float
     service_s: float
@@ -176,6 +182,7 @@ class ServeTiming:
     batch_size: int
     retries: int = 0
     hedged: bool = False
+    spans: tuple | None = None
 
 
 @dataclass(frozen=True, eq=False)

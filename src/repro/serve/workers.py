@@ -379,9 +379,15 @@ class ProcessEndpointPool:
         deadlines = (meta or {}).get("deadlines")
         if deadlines is not None and all(d is None for d in deadlines):
             deadlines = None
+        # Span channel for sampled request traces: report which dataplane
+        # lane actually carried the batch.
+        trace_events = meta.get("trace") if meta is not None else None
         if self.arena is not None:
             try:
-                return self._infer_shm(endpoint_name, payloads, deadlines)
+                results = self._infer_shm(endpoint_name, payloads, deadlines)
+                if trace_events is not None:
+                    trace_events.append(("dataplane", time.monotonic(), "shm"))
+                return results
             except SlotOverflowError:
                 # Batch bigger than one slot: this batch rides the pickle
                 # path (same bits, just serialized).
@@ -389,9 +395,12 @@ class ProcessEndpointPool:
                     self.stats["shm_fallbacks"] += 1
         with self._stats_lock:
             self.stats["pickle_batches"] += 1
-        return self._pool.submit(
+        results = self._pool.submit(
             _worker_infer, endpoint_name, payloads, deadlines
         ).result()
+        if trace_events is not None:
+            trace_events.append(("dataplane", time.monotonic(), "pickle"))
+        return results
 
     def _infer_shm(
         self, endpoint_name: str, payloads: List[np.ndarray], deadlines=None

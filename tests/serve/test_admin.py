@@ -1,0 +1,515 @@
+"""Live admin plane: span tracing, HTTP scrape surface, and hot reload.
+
+The observability discipline mirrors the serving invariant: watching the
+service must never change what it serves.  Scrapes run against live
+bursts (shm on and off) and every served response is still checked
+bit-identical to the in-process oracle; ``POST /reload`` rides the
+existing canary deploy path, so a divergent artifact answers 409 with
+the incumbent untouched.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactRegistry, compile_endpoint
+from repro.serve import (
+    BatchPolicy,
+    InferenceService,
+    ServeSupervisor,
+    ServiceMetrics,
+    Tracer,
+    build_endpoint,
+    default_registry,
+    mount_admin,
+    supervised_service,
+)
+from repro.serve.admin import (
+    admin_port_from_env,
+    fetch_json,
+    fetch_text,
+    post_reload,
+    render_prometheus,
+)
+from repro.serve.trace import (
+    LIFECYCLE_STAGES,
+    RequestTrace,
+    merge_meta_events,
+    sample_period,
+    trace_sample_from_env,
+)
+from repro.serve.types import raw_output as response_bits
+from repro.serve.workers import process_service
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    """bert seed-0/seed-1 (same shapes, different bits) + llama seed-0."""
+    registry = ArtifactRegistry(tmp_path_factory.mktemp("admin-registry"))
+    for family, seed in (("bert", 0), ("bert", 1), ("llama", 0)):
+        registry.put(compile_endpoint(family, seed=seed))
+    return registry
+
+
+def digest_of(registry, family, seed):
+    for record in registry.list():
+        if record["meta"]["family"] == family and record["meta"]["seed"] == seed:
+            return record["digest"]
+    raise KeyError((family, seed))
+
+
+@pytest.fixture(scope="module")
+def artifact_paths(registry):
+    return {
+        "bert": registry.resolve(digest_of(registry, "bert", 0)),
+        "llama": registry.resolve(digest_of(registry, "llama", 0)),
+    }
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def oracle_burst(family, count, seed=0):
+    oracle = build_endpoint(family, seed=0)
+    rng = np.random.default_rng(seed)
+    requests = [oracle.synth_request(rng) for _ in range(count)]
+    expected = [response_bits(oracle.serve_one(request)) for request in requests]
+    return requests, expected
+
+
+def assert_complete_chain(stages):
+    """``stages`` must contain admit→…→respond as an ordered subsequence."""
+    cursor = iter(stages)
+    for required in LIFECYCLE_STAGES:
+        assert any(stage == required for stage in cursor), (
+            f"missing or out-of-order stage {required!r} in {stages}"
+        )
+
+
+class TestSnapshotOrdering:
+    def test_consecutive_snapshots_are_strictly_ordered(self):
+        metrics = ServiceMetrics()
+        first = metrics.snapshot()
+        second = metrics.snapshot()
+        assert first["snapshot_seq"] >= 1
+        assert second["snapshot_seq"] == first["snapshot_seq"] + 1
+        assert second["ts"] >= first["ts"] > 0.0
+
+    def test_snapshot_markers_lead_the_payload(self):
+        keys = list(ServiceMetrics().snapshot())
+        assert keys[:2] == ["snapshot_seq", "ts"]
+
+
+class TestTracerUnit:
+    def test_sampling_off_is_a_noop(self):
+        tracer = Tracer(sample=0.0)
+        assert not tracer.enabled
+        assert tracer.begin(1, "bert") is None
+        tracer.finish(None, "served")  # None-safe
+        assert tracer.counters()["ring"] == 0
+
+    def test_sample_period_math(self):
+        assert sample_period(0.0) == 0
+        assert sample_period(1.0) == 1
+        assert sample_period(0.5) == 2
+        assert sample_period(0.25) == 4
+
+    def test_counter_sampling_is_deterministic(self):
+        tracer = Tracer(sample=0.5)
+        sampled = [tracer.begin(i, "bert") is not None for i in range(8)]
+        assert sum(sampled) == 4
+        assert sampled == sampled[:2] * 4  # strict every-other cadence
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(sample=1.0, capacity=4)
+        for i in range(10):
+            tracer.finish(tracer.begin(i, "bert"), "served")
+        assert tracer.counters()["ring"] == 4
+        assert [t["request_id"] for t in tracer.snapshot()] == [6, 7, 8, 9]
+
+    def test_snapshot_is_json_ready(self):
+        tracer = Tracer(sample=1.0)
+        trace = tracer.begin(7, "bert")
+        trace.event("queue", "depth=1")
+        tracer.finish(trace, "served")
+        payload = json.loads(json.dumps(tracer.snapshot()))
+        assert payload[0]["outcome"] == "served"
+        assert payload[0]["spans"][0]["stage"] == "admit"
+        assert payload[0]["spans"][0]["dt_ms"] == 0.0
+
+    def test_merge_meta_events_folds_into_every_rider(self):
+        traces = [RequestTrace(request_id=i, endpoint="bert") for i in range(2)]
+        merge_meta_events(traces, [("node", time.monotonic(), "node-0:primary")])
+        for trace in traces:
+            assert trace.stages() == ["node"]
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        assert trace_sample_from_env() == 0.0  # off by default
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0.25")
+        assert trace_sample_from_env() == 0.25
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "nope")
+        with pytest.raises(ValueError):
+            trace_sample_from_env()
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "1.5")
+        with pytest.raises(ValueError):
+            trace_sample_from_env()
+        monkeypatch.delenv("REPRO_ADMIN_PORT", raising=False)
+        assert admin_port_from_env() is None
+        monkeypatch.setenv("REPRO_ADMIN_PORT", "0")
+        assert admin_port_from_env() == 0
+        monkeypatch.setenv("REPRO_ADMIN_PORT", "not-a-port")
+        with pytest.raises(ValueError):
+            admin_port_from_env()
+
+
+class TestSpanChains:
+    def make_service(self, sample=1.0, families=("bert",)):
+        return InferenceService(
+            default_registry(families=families, seed=0),
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            workers=1,
+            queue_limit=256,
+            tracer=Tracer(sample=sample),
+        )
+
+    def test_served_chain_is_complete_and_monotonic(self):
+        requests, expected = oracle_burst("bert", 12, seed=1)
+        service = self.make_service().start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            responses = [future.result(timeout=120.0) for future in futures]
+        finally:
+            service.drain()
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+            assert response.timing.spans is not None  # surfaced per response
+        traces = service.tracer.snapshot()
+        assert len(traces) == len(requests)
+        for trace in traces:
+            assert trace["outcome"] == "served"
+            assert_complete_chain([span["stage"] for span in trace["spans"]])
+            times = [span["t_s"] for span in trace["spans"]]
+            assert times == sorted(times)  # monotonic within the chain
+
+    def test_tracing_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        requests, _ = oracle_burst("bert", 2, seed=2)
+        service = InferenceService(
+            default_registry(families=("bert",), seed=0),
+            policy=BatchPolicy(max_batch=2, max_delay_s=0.001),
+            workers=1,
+        ).start()
+        try:
+            assert not service.tracer.enabled
+            responses = [service.submit("bert", r).result(timeout=120.0) for r in requests]
+        finally:
+            service.drain()
+        assert all(response.timing.spans is None for response in responses)
+        assert service.tracer.snapshot() == []
+
+    def test_generation_chain_records_decode_steps(self):
+        requests, expected = oracle_burst("llama-gen", 3, seed=3)
+        service = self.make_service(families=("llama-gen",)).start()
+        try:
+            futures = [service.submit("llama-gen", request) for request in requests]
+            responses = [future.result(timeout=300.0) for future in futures]
+        finally:
+            service.drain()
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+        for trace in service.tracer.snapshot():
+            stages = [span["stage"] for span in trace["spans"]]
+            assert trace["outcome"] == "served"
+            assert stages.count("decode_step") >= 1  # one span per live step
+            assert stages[-1] == "respond"
+
+    def test_supervised_chain_records_node_and_transport(self, artifact_paths):
+        requests, expected = oracle_burst("bert", 8, seed=4)
+        service = supervised_service(
+            ServeSupervisor({"bert": artifact_paths["bert"]}, nodes=2),
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            queue_limit=64,
+            block_on_full=True,
+            shutdown_supervisor=True,
+            tracer=Tracer(sample=1.0),
+        ).start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            responses = [future.result(timeout=120.0) for future in futures]
+        finally:
+            service.drain()
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+        for trace in service.tracer.snapshot():
+            stages = [span["stage"] for span in trace["spans"]]
+            assert_complete_chain(stages)
+            assert "node" in stages  # which worker actually served it
+
+
+@pytest.mark.smoke
+class TestAdminHTTP:
+    def test_status_metrics_trace_healthz_over_http(self):
+        requests, expected = oracle_burst("bert", 8, seed=5)
+        service = InferenceService(
+            default_registry(families=("bert",), seed=0),
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            workers=1,
+            tracer=Tracer(sample=1.0),
+        ).start()
+        server = mount_admin(service, port=0)
+        try:
+            responses = [service.submit("bert", r).result(timeout=120.0) for r in requests]
+            status = fetch_json(server.url + "/status")
+            assert status["metrics"]["snapshot_seq"] >= 1
+            assert status["metrics"]["completed"] == len(requests)
+            assert status["trace"]["sampled"] == len(requests)
+            exposition = fetch_text(server.url + "/metrics")
+            assert "repro_serve_up 1" in exposition
+            assert f"repro_serve_completed_total {len(requests)}" in exposition
+            assert 'repro_serve_requests_total{endpoint="bert"}' in exposition
+            ring = fetch_json(server.url + "/trace?limit=2")
+            assert len(ring["traces"]) == 2
+            assert_complete_chain([s["stage"] for s in ring["traces"][-1]["spans"]])
+            assert fetch_json(server.url + "/healthz")["state"] == "running"
+            with pytest.raises(urllib.request.HTTPError):
+                fetch_json(server.url + "/nope")
+        finally:
+            service.drain()
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+        assert server.closed  # drain tears the admin plane down too
+
+    def test_render_prometheus_is_line_parseable(self):
+        service = InferenceService(default_registry(families=("bert",), seed=0))
+        text = render_prometheus(service.status())
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_and_labels, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses as a number
+            assert name_and_labels.startswith("repro_serve_")
+
+    @pytest.mark.parametrize("shm", ["0", "1"])
+    def test_scrape_during_mixed_burst_never_disturbs_bits(
+        self, artifact_paths, monkeypatch, shm
+    ):
+        """The tentpole property: hammering /status + /metrics + /trace
+        from threads during a mixed shm/pickle burst raises nothing,
+        deadlocks nothing, and every served response stays bit-identical
+        to the in-process oracle."""
+        monkeypatch.setenv("REPRO_SHM", shm)
+        bert_requests, bert_expected = oracle_burst("bert", 12, seed=6)
+        llama_requests, llama_expected = oracle_burst("llama", 12, seed=7)
+        service = process_service(
+            artifact_paths,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            processes=2,
+            queue_limit=256,
+            block_on_full=True,
+            tracer=Tracer(sample=1.0),
+        )
+        service.process_pool.warmup()
+        service.start()
+        server = mount_admin(service, port=0)
+        stop = threading.Event()
+        errors = []
+
+        def scraper():
+            while not stop.is_set():
+                try:
+                    status = fetch_json(server.url + "/status")
+                    assert status["metrics"]["snapshot_seq"] >= 1
+                    assert "repro_serve_up 1" in fetch_text(server.url + "/metrics")
+                    fetch_json(server.url + "/trace?limit=4")
+                except Exception as error:  # surfaces after the burst
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=scraper, daemon=True) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            futures = [
+                service.submit(family, request)
+                for pair in zip(bert_requests, llama_requests)
+                for family, request in zip(("bert", "llama"), pair)
+            ]
+            responses = [future.result(timeout=300.0) for future in futures]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            metrics = service.drain()
+        assert not errors, f"scrape failed mid-burst: {errors[0]}"
+        assert not any(thread.is_alive() for thread in threads)
+        assert metrics["completed"] == len(futures)
+        assert metrics["failed"] == 0
+        expected = [
+            bits
+            for pair in zip(bert_expected, llama_expected)
+            for bits in pair
+        ]
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+
+
+class TestReload:
+    def test_reload_hot_swaps_with_zero_lost_requests(self, registry, artifact_paths):
+        """POST /reload mid-burst rides the canary deploy path; every
+        in-flight request is still served bit-identically."""
+        d0 = digest_of(registry, "bert", 0)
+        registry.set_pointer("bert", d0)
+        requests, expected = oracle_burst("bert", 16, seed=8)
+        supervisor = ServeSupervisor(
+            {"bert": artifact_paths["bert"]}, nodes=2, registry=registry
+        )
+        service = supervised_service(
+            supervisor,
+            policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+            queue_limit=64,
+            block_on_full=True,
+            shutdown_supervisor=True,
+            admin_port=0,
+        ).start()
+        try:
+            futures = [service.submit("bert", request) for request in requests]
+            code, payload = post_reload(service.admin.url, d0[:12])
+            assert code == 200
+            assert payload["deployed"]["digest"] == d0
+            assert payload["deployed"]["canary_mismatches"] == 0
+            responses = [future.result(timeout=300.0) for future in futures]
+            status = fetch_json(service.admin.url + "/status")
+            assert status["fleet"]["routes"]["bert"]["current"] == d0
+        finally:
+            metrics = service.drain()
+        assert metrics["completed"] == len(requests)  # zero lost requests
+        assert metrics["failed"] == 0
+        for response, bits in zip(responses, expected):
+            assert np.array_equal(response_bits(response.result), bits)
+
+    def test_reload_divergent_artifact_answers_409_and_rolls_back(
+        self, registry, artifact_paths
+    ):
+        d0 = digest_of(registry, "bert", 0)
+        d1 = digest_of(registry, "bert", 1)
+        registry.set_pointer("bert", d0)
+        supervisor = ServeSupervisor(
+            {"bert": artifact_paths["bert"]}, nodes=2, registry=registry
+        )
+        service = supervised_service(
+            supervisor, shutdown_supervisor=True, admin_port=0
+        ).start()
+        try:
+            code, payload = post_reload(
+                service.admin.url, d1, canary_fraction=0.5, canary_batches=2
+            )
+            assert code == 409
+            assert payload["rolled_back"] is True
+            status = fetch_json(service.admin.url + "/status")
+            route = status["fleet"]["routes"]["bert"]
+            assert route["current"] == d0  # incumbent untouched
+            assert route["canary"] is None
+        finally:
+            service.drain()
+        assert registry.pointer("bert")["current"] == d0
+
+    def test_reload_without_supervisor_answers_503(self):
+        service = InferenceService(default_registry(families=("bert",), seed=0)).start()
+        server = mount_admin(service, port=0)
+        try:
+            code, payload = post_reload(server.url, "deadbeef")
+            assert code == 503
+            assert "supervisor" in payload["error"]
+        finally:
+            service.drain()
+
+    def test_reload_needs_a_ref(self, artifact_paths):
+        service = supervised_service(
+            ServeSupervisor({"bert": artifact_paths["bert"]}, nodes=1),
+            shutdown_supervisor=True,
+            admin_port=0,
+        ).start()
+        try:
+            request = urllib.request.Request(
+                service.admin.url + "/reload", data=b"{}", method="POST"
+            )
+            with pytest.raises(urllib.request.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert excinfo.value.code == 400
+        finally:
+            service.drain()
+
+
+class TestKilledNodeVisibility:
+    def test_status_reflects_killed_node_within_one_heartbeat(self, artifact_paths):
+        """The chaos observability property: SIGKILL a node and /status
+        must show the casualty (restart or error state) within one
+        heartbeat interval of the supervisor noticing."""
+        heartbeat_s = 0.05
+        service = supervised_service(
+            ServeSupervisor(
+                {"bert": artifact_paths["bert"]},
+                nodes=2,
+                heartbeat_interval_s=heartbeat_s,
+                backoff_base_s=0.01,
+            ),
+            shutdown_supervisor=True,
+            admin_port=0,
+        ).start()
+        url = service.admin.url
+        try:
+            supervisor = service.supervisor
+            pid = supervisor.status()["nodes"]["node-0"]["pid"]
+            supervisor.kill_node("node-0")
+
+            def casualty_visible():
+                node = fetch_json(url + "/status")["fleet"]["nodes"]["node-0"]
+                return node["restarts"] >= 1 or node["pid"] != pid or node["state"] != "ready"
+
+            # Generous outer deadline for the kill itself to be detected;
+            # the scrape latency bound is asserted separately below.
+            assert wait_until(casualty_visible, timeout=30.0, interval=heartbeat_s / 5)
+            started = time.monotonic()
+            assert casualty_visible()  # one scrape, not a polling race
+            assert time.monotonic() - started < heartbeat_s + 1.0
+        finally:
+            service.drain()
+
+
+class TestCLI:
+    def test_usage_text_names_every_verb(self):
+        from repro.__main__ import __doc__ as cli_doc
+
+        assert "serve-admin {status | watch | drain NODE | deploy REF | reload REF" in cli_doc
+        for verb in ("watch", "reload REF", "--admin-port"):
+            assert verb in cli_doc
+
+    def test_watch_and_reload_over_url(self, capsys):
+        from repro.__main__ import main
+
+        service = InferenceService(default_registry(families=("bert",), seed=0)).start()
+        server = mount_admin(service, port=0)
+        try:
+            assert main(["serve-admin", "watch", "--url", server.url, "--count", "2",
+                         "--interval", "0.05"]) == 0
+            out = capsys.readouterr().out
+            assert "service: running" in out
+            assert "watched 2 frame(s)" in out
+            # reload over HTTP against an unsupervised service: exit 1
+            assert main(["serve-admin", "reload", "deadbeef", "--url", server.url]) == 1
+            assert "HTTP 503" in capsys.readouterr().out
+            assert main(["serve-admin", "reload", "--url", server.url]) == 2
+            assert "needs an artifact digest" in capsys.readouterr().out
+        finally:
+            service.drain()
